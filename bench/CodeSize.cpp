@@ -1,0 +1,103 @@
+//===- CodeSize.cpp - Section 7.2 object size / freeze count experiment --------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the Section 7.2 code-size results: object size changes of
+/// roughly +/-0.5%; freeze instructions around 0.04-0.06% of all IR
+/// instructions across the suite; and a bit-field-heavy "gcc" with an order
+/// of magnitude more (the paper: 0.29%).
+///
+//===----------------------------------------------------------------------===//
+
+#include "Kernels.h"
+
+#include "codegen/Codegen.h"
+#include "ir/Context.h"
+#include "ir/Instructions.h"
+#include "ir/Module.h"
+#include "opt/Pass.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace frost;
+using namespace frost::bench;
+
+namespace {
+
+unsigned freezeCount(Function &F) {
+  unsigned N = 0;
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      N += I->getOpcode() == Opcode::Freeze;
+  return N;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  static IRContext Ctx;
+  static Module M(Ctx, "size");
+
+  std::printf("\n=== Section 7.2: object size and freeze fraction ===\n");
+  std::printf("%-12s %10s %10s %8s %8s %8s %10s\n", "benchmark", "legacyMI",
+              "frostMI", "size%", "IRinsts", "freezes", "freeze%%IR");
+  uint64_t TotalIR = 0, TotalFreeze = 0;
+  double GccFraction = 0;
+  for (const KernelSpec &Spec : kernelSuite()) {
+    Function *FL = buildKernel(M, Spec.Name, "szl", PipelineMode::Legacy);
+    Function *FP = buildKernel(M, Spec.Name, "szp", PipelineMode::Proposed);
+    for (auto [F, Mode] :
+         {std::pair{FL, PipelineMode::Legacy},
+          std::pair{FP, PipelineMode::Proposed}}) {
+      PassManager PM(false);
+      buildStandardPipeline(PM, Mode);
+      PM.run(*F);
+    }
+    codegen::CompiledFunction CL = codegen::compileFunction(*FL);
+    codegen::CompiledFunction CP = codegen::compileFunction(*FP);
+
+    unsigned IR = FP->instructionCount();
+    unsigned Fr = freezeCount(*FP);
+    TotalIR += IR;
+    TotalFreeze += Fr;
+    double SizeDelta = 100.0 *
+                       (static_cast<double>(CP.Stats.MIInstructions) -
+                        CL.Stats.MIInstructions) /
+                       CL.Stats.MIInstructions;
+    double FrFrac = 100.0 * Fr / IR;
+    if (Spec.Name == "gcc")
+      GccFraction = FrFrac;
+    std::printf("%-12s %10u %10u %+7.2f%% %8u %8u %9.3f%%\n",
+                Spec.Name.c_str(), CL.Stats.MIInstructions,
+                CP.Stats.MIInstructions, SizeDelta, IR, Fr, FrFrac);
+  }
+  std::printf("suite freeze fraction: %.3f%% of IR instructions "
+              "(paper: 0.04-0.06%%)\n",
+              100.0 * static_cast<double>(TotalFreeze) /
+                  static_cast<double>(TotalIR));
+  std::printf("bit-field-heavy gcc:   %.3f%% (paper: 0.29%%)\n", GccFraction);
+
+  benchmark::RegisterBenchmark(
+      "BM_codegen_suite", [](benchmark::State &State) {
+        IRContext LocalCtx;
+        Module LocalM(LocalCtx, "bm");
+        std::vector<Function *> Fns;
+        for (const KernelSpec &Spec : kernelSuite())
+          Fns.push_back(
+              buildKernel(LocalM, Spec.Name, "bm", PipelineMode::Proposed));
+        for (auto _ : State)
+          for (Function *F : Fns) {
+            codegen::CompiledFunction CF = codegen::compileFunction(*F);
+            benchmark::DoNotOptimize(CF.Stats.MIInstructions);
+          }
+      });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,704 @@
+//===- Kernels.cpp - SPEC CPU 2006 substitute kernels ---------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Kernels.h"
+
+#include "frontend/BitFields.h"
+#include "fuzz/RandomProgram.h"
+#include "ir/Context.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+#include "support/ErrorHandling.h"
+
+using namespace frost;
+using namespace frost::bench;
+
+namespace {
+
+/// Textual kernels; FNAME is substituted with the instantiated name.
+/// Each is UB-free for the suite's fixed inputs.
+
+// Stanford Queens (LNT): iterative 8-queens with an explicit stack. The
+// loop-invariant %trace branch is unswitchable, which under the proposed
+// pipeline inserts a freeze — the mechanism behind the paper's "Stanford
+// Queens" register-allocation anecdote.
+const char *QueensSrc = R"(
+@q.cols = global i32, 64
+@q.ld = global i32, 64
+@q.rd = global i32, 64
+@q.avail = global i32, 64
+@q.dbg = global i32, 4
+
+define i32 @FNAME(i32 %n, i32 %trace) {
+entry:
+  %one = shl i32 1, %n
+  %full = sub i32 %one, 1
+  %p0 = gep i32* @q.cols, i32 0
+  store i32 0, i32* %p0
+  %p1 = gep i32* @q.ld, i32 0
+  store i32 0, i32* %p1
+  %p2 = gep i32* @q.rd, i32 0
+  store i32 0, i32* %p2
+  %p3 = gep i32* @q.avail, i32 0
+  store i32 %full, i32* %p3
+  br label %loop
+
+loop:
+  %sp = phi i32 [ 0, %entry ], [ %sp.next, %cont ]
+  %count = phi i32 [ 0, %entry ], [ %count.next, %cont ]
+  %done = icmp slt i32 %sp, 0
+  br i1 %done, label %exit, label %body
+
+body:
+  %pa = gep i32* @q.avail, i32 %sp
+  %a = load i32, i32* %pa
+  %empty = icmp eq i32 %a, 0
+  br i1 %empty, label %pop, label %place
+
+pop:
+  %sp.dec = sub i32 %sp, 1
+  br label %cont.pop
+
+cont.pop:
+  br label %cont
+
+place:
+  %nega = sub i32 0, %a
+  %bit = and i32 %a, %nega
+  %nbit = xor i32 %bit, -1
+  %a.rest = and i32 %a, %nbit
+  store i32 %a.rest, i32* %pa
+  %pc = gep i32* @q.cols, i32 %sp
+  %cols = load i32, i32* %pc
+  %ncols = or i32 %cols, %bit
+  %solved = icmp eq i32 %ncols, %full
+  br i1 %solved, label %found, label %push
+
+found:
+  br label %cont
+
+push:
+  %pl = gep i32* @q.ld, i32 %sp
+  %ld = load i32, i32* %pl
+  %pr = gep i32* @q.rd, i32 %sp
+  %rd = load i32, i32* %pr
+  %ld1 = or i32 %ld, %bit
+  %ld2 = shl i32 %ld1, 1
+  %ld3 = and i32 %ld2, %full
+  %rd1 = or i32 %rd, %bit
+  %rd2 = lshr i32 %rd1, 1
+  %sp1 = add nsw i32 %sp, 1
+  %qc = gep i32* @q.cols, i32 %sp1
+  store i32 %ncols, i32* %qc
+  %ql = gep i32* @q.ld, i32 %sp1
+  store i32 %ld3, i32* %ql
+  %qr = gep i32* @q.rd, i32 %sp1
+  store i32 %rd2, i32* %qr
+  %blocked1 = or i32 %ncols, %ld3
+  %blocked = or i32 %blocked1, %rd2
+  %free = xor i32 %blocked, -1
+  %av = and i32 %free, %full
+  %qa = gep i32* @q.avail, i32 %sp1
+  store i32 %av, i32* %qa
+  %tr = icmp ne i32 %trace, 0
+  br i1 %tr, label %dbg, label %cont.push
+
+dbg:
+  store i32 %sp1, i32* @q.dbg
+  br label %cont.push
+
+cont.push:
+  br label %cont
+
+cont:
+  %sp.next = phi i32 [ %sp.dec, %cont.pop ], [ %sp, %found ], [ %sp1, %cont.push ]
+  %inc = phi i32 [ 0, %cont.pop ], [ 1, %found ], [ 0, %cont.push ]
+  %count.next = add nsw i32 %count, %inc
+  br label %loop
+
+exit:
+  %count.lcssa = phi i32 [ %count, %loop ]
+  ret i32 %count.lcssa
+}
+)";
+
+// hmmer: Viterbi-flavoured DP inner loop with max-selects.
+const char *HmmerSrc = R"(
+@h.score = global i32, 256
+@h.trans = global i32, 256
+
+define i32 @FNAME(i32 %rows, i32 %seed) {
+entry:
+  br label %init
+
+init:
+  %i0 = phi i32 [ 0, %entry ], [ %i0n, %init ]
+  %v = mul i32 %i0, 2654435761
+  %v2 = lshr i32 %v, 24
+  %ps = gep i32* @h.score, i32 %i0
+  store i32 %v2, i32* %ps
+  %vt = add i32 %v2, %seed
+  %vt2 = and i32 %vt, 255
+  %pt = gep i32* @h.trans, i32 %i0
+  store i32 %vt2, i32* %pt
+  %i0n = add nsw i32 %i0, 1
+  %c0 = icmp ult i32 %i0n, 64
+  br i1 %c0, label %init, label %outer.pre
+
+outer.pre:
+  br label %outer
+
+outer:
+  %r = phi i32 [ 0, %outer.pre ], [ %rn, %outer.latch ]
+  %best.o = phi i32 [ 0, %outer.pre ], [ %best.f, %outer.latch ]
+  br label %inner
+
+inner:
+  %j = phi i32 [ 1, %outer ], [ %jn, %inner ]
+  %best = phi i32 [ %best.o, %outer ], [ %best.n, %inner ]
+  %jm1 = sub i32 %j, 1
+  %pp = gep i32* @h.score, i32 %jm1
+  %prev = load i32, i32* %pp
+  %pc = gep i32* @h.trans, i32 %j
+  %tr = load i32, i32* %pc
+  %cand = add nsw i32 %prev, %tr
+  %pq = gep i32* @h.score, i32 %j
+  %cur = load i32, i32* %pq
+  %gt = icmp sgt i32 %cand, %cur
+  %nv = select i1 %gt, i32 %cand, i32 %cur
+  store i32 %nv, i32* %pq
+  %bgt = icmp sgt i32 %nv, %best
+  %best.n = select i1 %bgt, i32 %nv, i32 %best
+  %jn = add nsw i32 %j, 1
+  %ci = icmp ult i32 %jn, 64
+  br i1 %ci, label %inner, label %outer.latch
+
+outer.latch:
+  %best.f = and i32 %best.n, 65535
+  %rn = add nsw i32 %r, 1
+  %co = icmp ult i32 %rn, %rows
+  br i1 %co, label %outer, label %exit
+
+exit:
+  ret i32 %best.f
+}
+)";
+
+// h264ref: sum of absolute differences over two blocks.
+const char *H264Src = R"(
+@s.a = global i32, 256
+@s.b = global i32, 256
+
+define i32 @FNAME(i32 %rounds, i32 %seed) {
+entry:
+  br label %init
+
+init:
+  %i = phi i32 [ 0, %entry ], [ %in, %init ]
+  %x = mul i32 %i, 1103515245
+  %x2 = add i32 %x, %seed
+  %x3 = and i32 %x2, 255
+  %pa = gep i32* @s.a, i32 %i
+  store i32 %x3, i32* %pa
+  %y = mul i32 %i, 69069
+  %y2 = and i32 %y, 255
+  %pb = gep i32* @s.b, i32 %i
+  store i32 %y2, i32* %pb
+  %in = add nsw i32 %i, 1
+  %c = icmp ult i32 %in, 64
+  br i1 %c, label %init, label %outer.pre
+
+outer.pre:
+  br label %outer
+
+outer:
+  %r = phi i32 [ 0, %outer.pre ], [ %rn, %outer.latch ]
+  %sad.o = phi i32 [ 0, %outer.pre ], [ %sad.f, %outer.latch ]
+  br label %inner
+
+inner:
+  %j = phi i32 [ 0, %outer ], [ %jn, %inner ]
+  %sad = phi i32 [ %sad.o, %outer ], [ %sad.n, %inner ]
+  %qa = gep i32* @s.a, i32 %j
+  %va = load i32, i32* %qa
+  %qb = gep i32* @s.b, i32 %j
+  %vb = load i32, i32* %qb
+  %d = sub nsw i32 %va, %vb
+  %neg = icmp slt i32 %d, 0
+  %dn = sub nsw i32 0, %d
+  %ad = select i1 %neg, i32 %dn, i32 %d
+  %sad.n = add nsw i32 %sad, %ad
+  %jn = add nsw i32 %j, 1
+  %ci = icmp ult i32 %jn, 64
+  br i1 %ci, label %inner, label %outer.latch
+
+outer.latch:
+  %sad.f = and i32 %sad.n, 1048575
+  %rn = add nsw i32 %r, 1
+  %co = icmp ult i32 %rn, %rounds
+  br i1 %co, label %outer, label %exit
+
+exit:
+  ret i32 %sad.f
+}
+)";
+
+// libquantum: xor/shift sweeps over a register file.
+const char *LibquantumSrc = R"(
+@lq.reg = global i32, 512
+
+define i32 @FNAME(i32 %rounds, i32 %gate) {
+entry:
+  br label %init
+
+init:
+  %i = phi i32 [ 0, %entry ], [ %in, %init ]
+  %v = mul i32 %i, 2246822519
+  %p = gep i32* @lq.reg, i32 %i
+  store i32 %v, i32* %p
+  %in = add nsw i32 %i, 1
+  %c = icmp ult i32 %in, 128
+  br i1 %c, label %init, label %sweep.pre
+
+sweep.pre:
+  %g = and i32 %gate, 15
+  br label %sweep
+
+sweep:
+  %r = phi i32 [ 0, %sweep.pre ], [ %rn, %sweep.latch ]
+  %acc.o = phi i32 [ 0, %sweep.pre ], [ %acc.f, %sweep.latch ]
+  br label %qloop
+
+qloop:
+  %j = phi i32 [ 0, %sweep ], [ %jn, %qcont ]
+  %acc = phi i32 [ %acc.o, %sweep ], [ %acc.n, %qcont ]
+  %p2 = gep i32* @lq.reg, i32 %j
+  %q = load i32, i32* %p2
+  %sh = shl i32 %q, %g
+  %fx = xor i32 %q, %sh
+  store i32 %fx, i32* %p2
+  %acc.n = add i32 %acc, %fx
+  %tr = icmp ugt i32 %gate, 255
+  br i1 %tr, label %qdbg, label %qcont
+
+qdbg:
+  %p3 = gep i32* @lq.reg, i32 0
+  store i32 %acc.n, i32* %p3
+  br label %qcont
+
+qcont:
+  %jn = add nsw i32 %j, 1
+  %ci = icmp ult i32 %jn, 128
+  br i1 %ci, label %qloop, label %sweep.latch
+
+sweep.latch:
+  %acc.out = phi i32 [ %acc.n, %qcont ]
+  %acc.f = lshr i32 %acc.out, 1
+  %rn = add nsw i32 %r, 1
+  %co = icmp ult i32 %rn, %rounds
+  br i1 %co, label %sweep, label %exit
+
+exit:
+  ret i32 %acc.f
+}
+)";
+
+// mcf: index chasing through a successor table.
+const char *McfSrc = R"(
+@m.next = global i32, 512
+
+define i32 @FNAME(i32 %hops, i32 %seed) {
+entry:
+  br label %init
+
+init:
+  %i = phi i32 [ 0, %entry ], [ %in, %init ]
+  %t = mul i32 %i, 7
+  %t2 = add i32 %t, %seed
+  %t3 = and i32 %t2, 127
+  %p = gep i32* @m.next, i32 %i
+  store i32 %t3, i32* %p
+  %in = add nsw i32 %i, 1
+  %c = icmp ult i32 %in, 128
+  br i1 %c, label %init, label %chase.pre
+
+chase.pre:
+  br label %chase
+
+chase:
+  %h = phi i32 [ 0, %chase.pre ], [ %hn, %chase ]
+  %cur = phi i32 [ 0, %chase.pre ], [ %nxt, %chase ]
+  %sum = phi i32 [ 0, %chase.pre ], [ %sum.n, %chase ]
+  %p2 = gep i32* @m.next, i32 %cur
+  %nxt = load i32, i32* %p2
+  %sum.n = add i32 %sum, %nxt
+  %hn = add nsw i32 %h, 1
+  %c2 = icmp ult i32 %hn, %hops
+  br i1 %c2, label %chase, label %exit
+
+exit:
+  ret i32 %sum.n
+}
+)";
+
+// dealII: 1-D stencil with a narrow induction variable that is
+// sign-extended for addressing — the Figure 3 widening shape.
+const char *DealIISrc = R"(
+@d.a = global i32, 520
+@d.b = global i32, 520
+
+define i32 @FNAME(i32 %rounds, i32 %seed) {
+entry:
+  br label %init
+
+init:
+  %i = phi i32 [ 0, %entry ], [ %in, %init ]
+  %v = mul i32 %i, 40503
+  %v2 = add i32 %v, %seed
+  %v3 = and i32 %v2, 1023
+  %p = gep i32* @d.a, i32 %i
+  store i32 %v3, i32* %p
+  %in = add nsw i32 %i, 1
+  %c = icmp ult i32 %in, 128
+  br i1 %c, label %init, label %outer.pre
+
+outer.pre:
+  br label %outer
+
+outer:
+  %r = phi i32 [ 0, %outer.pre ], [ %rn, %outer.latch ]
+  %acc.o = phi i32 [ 0, %outer.pre ], [ %acc.f, %outer.latch ]
+  br label %stencil
+
+stencil:
+  %j = phi i16 [ 1, %outer ], [ %jn, %stencil ]
+  %acc = phi i32 [ %acc.o, %outer ], [ %acc.n, %stencil ]
+  %jw = sext i16 %j to i32
+  %jm = sub nsw i32 %jw, 1
+  %jp = add nsw i32 %jw, 1
+  %pm = gep i32* @d.a, i32 %jm
+  %vm = load i32, i32* %pm
+  %pc = gep i32* @d.a, i32 %jw
+  %vc = load i32, i32* %pc
+  %pp = gep i32* @d.a, i32 %jp
+  %vp = load i32, i32* %pp
+  %c2 = shl i32 %vc, 1
+  %s1 = add nsw i32 %vm, %c2
+  %s2 = add nsw i32 %s1, %vp
+  %avg = lshr i32 %s2, 2
+  %pb = gep i32* @d.b, i32 %jw
+  store i32 %avg, i32* %pb
+  %acc.n = add i32 %acc, %avg
+  %jn = add nsw i16 %j, 1
+  %ci = icmp slt i16 %jn, 127
+  br i1 %ci, label %stencil, label %outer.latch
+
+outer.latch:
+  %acc.f = and i32 %acc.n, 16777215
+  %rn = add nsw i32 %r, 1
+  %co = icmp ult i32 %rn, %rounds
+  br i1 %co, label %outer, label %exit
+
+exit:
+  ret i32 %acc.f
+}
+)";
+
+// sphinx3: dot products over i16 tables (sext in the hot loop).
+const char *SphinxSrc = R"(
+@x.f = global i16, 256
+@x.w = global i16, 256
+
+define i32 @FNAME(i32 %rounds, i32 %seed) {
+entry:
+  br label %init
+
+init:
+  %i = phi i32 [ 0, %entry ], [ %in, %init ]
+  %v = mul i32 %i, 31
+  %v2 = add i32 %v, %seed
+  %vt = trunc i32 %v2 to i16
+  %p = gep i16* @x.f, i32 %i
+  store i16 %vt, i16* %p
+  %w = mul i32 %i, 17
+  %wt = trunc i32 %w to i16
+  %pw0 = gep i16* @x.w, i32 %i
+  store i16 %wt, i16* %pw0
+  %in = add nsw i32 %i, 1
+  %c = icmp ult i32 %in, 128
+  br i1 %c, label %init, label %outer.pre
+
+outer.pre:
+  br label %outer
+
+outer:
+  %r = phi i32 [ 0, %outer.pre ], [ %rn, %outer.latch ]
+  %dot.o = phi i32 [ 0, %outer.pre ], [ %dot.f, %outer.latch ]
+  br label %dot
+
+dot:
+  %j = phi i16 [ 0, %outer ], [ %jn, %dot ]
+  %acc = phi i32 [ %dot.o, %outer ], [ %acc.n, %dot ]
+  %jw = sext i16 %j to i32
+  %pf = gep i16* @x.f, i32 %jw
+  %vf = load i16, i16* %pf
+  %pw = gep i16* @x.w, i32 %jw
+  %vw = load i16, i16* %pw
+  %wf = sext i16 %vf to i32
+  %ww = sext i16 %vw to i32
+  %prod = mul nsw i32 %wf, %ww
+  %acc.n = add i32 %acc, %prod
+  %jn = add nsw i16 %j, 1
+  %ci = icmp slt i16 %jn, 128
+  br i1 %ci, label %dot, label %outer.latch
+
+outer.latch:
+  %dot.f = lshr i32 %acc.n, 3
+  %rn = add nsw i32 %r, 1
+  %co = icmp ult i32 %rn, %rounds
+  br i1 %co, label %outer, label %exit
+
+exit:
+  ret i32 %dot.f
+}
+)";
+
+// milc: small integer matrix-vector products.
+const char *MilcSrc = R"(
+@mm.m = global i32, 64
+@mm.v = global i32, 16
+
+define i32 @FNAME(i32 %rounds, i32 %seed) {
+entry:
+  br label %initm
+
+initm:
+  %i = phi i32 [ 0, %entry ], [ %in, %initm ]
+  %e = mul i32 %i, 2654435761
+  %e2 = lshr i32 %e, 28
+  %p = gep i32* @mm.m, i32 %i
+  store i32 %e2, i32* %p
+  %in = add nsw i32 %i, 1
+  %c = icmp ult i32 %in, 16
+  br i1 %c, label %initm, label %initv.pre
+
+initv.pre:
+  br label %initv
+
+initv:
+  %k = phi i32 [ 0, %initv.pre ], [ %kn, %initv ]
+  %ev = add i32 %k, %seed
+  %ev2 = and i32 %ev, 15
+  %pv = gep i32* @mm.v, i32 %k
+  store i32 %ev2, i32* %pv
+  %kn = add nsw i32 %k, 1
+  %cv = icmp ult i32 %kn, 4
+  br i1 %cv, label %initv, label %outer.pre
+
+outer.pre:
+  br label %outer
+
+outer:
+  %r = phi i32 [ 0, %outer.pre ], [ %rn, %outer.latch ]
+  %acc.o = phi i32 [ 0, %outer.pre ], [ %acc.f, %outer.latch ]
+  br label %row
+
+row:
+  %ri = phi i32 [ 0, %outer ], [ %rin, %row.latch ]
+  %acc.r = phi i32 [ %acc.o, %outer ], [ %acc.rn, %row.latch ]
+  %base = shl i32 %ri, 2
+  br label %col
+
+col:
+  %cj = phi i32 [ 0, %row ], [ %cjn, %col ]
+  %dotp = phi i32 [ 0, %row ], [ %dot.n, %col ]
+  %idx = add i32 %base, %cj
+  %pm = gep i32* @mm.m, i32 %idx
+  %mv = load i32, i32* %pm
+  %pv2 = gep i32* @mm.v, i32 %cj
+  %vv = load i32, i32* %pv2
+  %pr = mul nsw i32 %mv, %vv
+  %dot.n = add nsw i32 %dotp, %pr
+  %cjn = add nsw i32 %cj, 1
+  %cc = icmp ult i32 %cjn, 4
+  br i1 %cc, label %col, label %row.latch
+
+row.latch:
+  %acc.rn = add i32 %acc.r, %dot.n
+  %rin = add nsw i32 %ri, 1
+  %cr = icmp ult i32 %rin, 4
+  br i1 %cr, label %row, label %outer.latch
+
+outer.latch:
+  %acc.f = and i32 %acc.rn, 1048575
+  %rn = add nsw i32 %r, 1
+  %co = icmp ult i32 %rn, %rounds
+  br i1 %co, label %outer, label %exit
+
+exit:
+  ret i32 %acc.f
+}
+)";
+
+Function *parseKernel(Module &M, const char *Src, const std::string &Name) {
+  std::string Text(Src);
+  const std::string Tag = "FNAME";
+  size_t Pos = Text.find(Tag);
+  assert(Pos != std::string::npos && "kernel text lacks FNAME");
+  Text.replace(Pos, Tag.size(), Name);
+  ParseResult R = parseModule(Text, M);
+  if (!R.Ok) {
+    std::fprintf(stderr, "kernel parse error: %s\n", R.Error.c_str());
+    frost_unreachable("benchmark kernel failed to parse");
+  }
+  Function *F = M.getFunction(Name);
+  assert(F && verifyFunction(*F) && "kernel is malformed");
+  return F;
+}
+
+/// The bit-field-heavy "gcc" kernel is built programmatically so the
+/// front-end lowering (legacy vs freeze) is mode-dependent, as in the paper
+/// ("the gcc benchmark had 3,993 freeze instructions ... since it contains a
+/// large number of bit-field operations").
+Function *buildGccKernel(Module &M, const std::string &Name,
+                         PipelineMode Mode) {
+  IRContext &Ctx = M.context();
+  auto *I32 = Ctx.intTy(32);
+  frontend::RecordType Insn;
+  Insn.add("opcode", 6).add("dst", 5).add("src1", 5).add("src2", 5)
+      .add("flags", 4).add("imm", 7);
+  frontend::BitFieldLowering Lowering =
+      Mode == PipelineMode::Proposed ? frontend::BitFieldLowering::Proposed
+                                     : frontend::BitFieldLowering::Legacy;
+
+  GlobalVariable *Pool = Ctx.getGlobal("g.insns", I32, 256);
+  Function *F = M.createFunction(Name, Ctx.types().fnTy(I32, {I32, I32}));
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Head = F->addBlock("head");
+  BasicBlock *Body = F->addBlock("body");
+  BasicBlock *Exit = F->addBlock("exit");
+  IRBuilder B(Ctx, Entry);
+  B.br(Head);
+
+  B.setInsertPoint(Head);
+  PhiNode *I = B.phi(I32, "i");
+  PhiNode *Acc = B.phi(I32, "acc");
+  Value *C = B.icmp(ICmpPred::ULT, I, F->arg(0), "c");
+  B.condBr(C, Body, Exit);
+
+  B.setInsertPoint(Body);
+  Value *Slot = B.and_(I, Ctx.getInt(32, 63), "slot");
+  Value *P = B.gep(Pool, Slot, true, "p");
+  // Rewrite several fields of the instruction word, then read two back.
+  Value *Op = B.and_(B.add(I, F->arg(1)), Ctx.getInt(32, 63), "op");
+  frontend::emitFieldStore(B, P, Insn, "opcode", Op, Lowering);
+  frontend::emitFieldStore(B, P, Insn, "dst", B.and_(I, Ctx.getInt(32, 31)),
+                           Lowering);
+  frontend::emitFieldStore(B, P, Insn, "flags",
+                           B.and_(B.lshr(I, Ctx.getInt(32, 2)),
+                                  Ctx.getInt(32, 15)),
+                           Lowering);
+  frontend::emitFieldStore(B, P, Insn, "imm",
+                           B.and_(B.xor_(I, F->arg(1)), Ctx.getInt(32, 127)),
+                           Lowering);
+  Value *ROp = frontend::emitFieldLoad(B, P, Insn, "opcode", Lowering);
+  Value *RImm = frontend::emitFieldLoad(B, P, Insn, "imm", Lowering);
+  // Dilute the bit-field traffic with ordinary compiler-ish hashing work so
+  // the freeze density lands near the paper's 0.29% of instructions.
+  Value *H = B.xor_(ROp, RImm, "h0");
+  for (unsigned Round = 0; Round != 24; ++Round) {
+    H = B.mul(H, Ctx.getInt(32, 2654435761u), {}, "hm");
+    H = B.xor_(H, B.lshr(H, Ctx.getInt(32, 13 + (Round % 5))), "hx");
+    H = B.add(H, I, {}, "ha");
+  }
+  Value *Acc1 = B.add(Acc, H, {}, "acc1");
+  Value *I1 = B.add(I, Ctx.getInt(32, 1), {true, false, false}, "i1");
+  B.br(Head);
+
+  I->addIncoming(Ctx.getInt(32, 0), Entry);
+  I->addIncoming(I1, Body);
+  Acc->addIncoming(Ctx.getInt(32, 0), Entry);
+  Acc->addIncoming(Acc1, Body);
+
+  B.setInsertPoint(Exit);
+  B.ret(Acc);
+  assert(verifyFunction(*F) && "gcc kernel is malformed");
+  return F;
+}
+
+Function *buildSeededKernel(Module &M, const std::string &Name,
+                            uint64_t Seed, bool BitFields) {
+  fuzz::RandomProgramOptions Opts;
+  Opts.Seed = Seed;
+  Opts.Statements = 28;
+  Opts.Loops = 3;
+  Opts.WithBitFieldOps = BitFields;
+  return fuzz::generateRandomFunction(M, Name, Opts);
+}
+
+} // namespace
+
+const std::vector<KernelSpec> &bench::kernelSuite() {
+  static const std::vector<KernelSpec> Suite = {
+      // CINT (paper order).
+      {"perlbench", false, {160, 7}},
+      {"bzip2", false, {160, 11}},
+      {"gcc", false, {300, 5}},
+      {"mcf", false, {4000, 3}},
+      {"gobmk", false, {160, 17}},
+      {"hmmer", false, {60, 9}},
+      {"sjeng", false, {160, 23}},
+      {"libquantum", false, {30, 6}},
+      {"h264ref", false, {60, 4}},
+      {"omnetpp", false, {160, 29}},
+      {"astar", false, {160, 31}},
+      {"xalancbmk", false, {160, 37}},
+      // CFP (integer analogues).
+      {"milc", true, {200, 2}},
+      {"namd", true, {160, 41}},
+      {"dealII", true, {30, 8}},
+      {"soplex", true, {160, 43}},
+      {"povray", true, {160, 47}},
+      {"lbm", true, {160, 53}},
+      {"sphinx3", true, {30, 12}},
+      // LNT outlier kernel.
+      {"queens", false, {8, 0}},
+  };
+  return Suite;
+}
+
+Function *bench::buildKernel(Module &M, const std::string &Name,
+                             const std::string &Suffix, PipelineMode Mode) {
+  std::string FnName = Name + "." + Suffix;
+  if (Name == "queens")
+    return parseKernel(M, QueensSrc, FnName);
+  if (Name == "hmmer")
+    return parseKernel(M, HmmerSrc, FnName);
+  if (Name == "h264ref")
+    return parseKernel(M, H264Src, FnName);
+  if (Name == "libquantum")
+    return parseKernel(M, LibquantumSrc, FnName);
+  if (Name == "mcf")
+    return parseKernel(M, McfSrc, FnName);
+  if (Name == "dealII")
+    return parseKernel(M, DealIISrc, FnName);
+  if (Name == "sphinx3")
+    return parseKernel(M, SphinxSrc, FnName);
+  if (Name == "milc")
+    return parseKernel(M, MilcSrc, FnName);
+  if (Name == "gcc")
+    return buildGccKernel(M, FnName, Mode);
+
+  // Seeded synthetic kernels for the remaining SPEC names.
+  uint64_t Seed = 0xC0FFEE;
+  for (char C : Name)
+    Seed = Seed * 131 + static_cast<unsigned char>(C);
+  bool BitFields = Name == "omnetpp" || Name == "xalancbmk";
+  return buildSeededKernel(M, FnName, Seed, BitFields);
+}

@@ -1,0 +1,58 @@
+//===- Kernels.h - SPEC CPU 2006 substitute kernels -------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark suite standing in for the paper's SPEC CPU 2006 C/C++
+/// subset (12 CINT + 7 CFP, Section 7.1) plus the LNT "Stanford Queens"
+/// kernel the paper singles out. Each kernel keeps the *name* of the SPEC
+/// benchmark it substitutes for and exercises a workload shape reminiscent
+/// of it (hashing, DP inner loops, SAD, pointer chasing, stencils, ...);
+/// several are seeded synthetic kernels from the random program generator.
+/// All kernels are integer-only (the simulator has no FPU) — the CFP names
+/// run integer analogues, which preserves the experiment's point: measuring
+/// the *delta* between the legacy and freeze pipelines on identical
+/// workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_BENCH_KERNELS_H
+#define FROST_BENCH_KERNELS_H
+
+#include "opt/Pass.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace frost {
+
+class Function;
+class Module;
+
+namespace bench {
+
+/// One benchmark kernel.
+struct KernelSpec {
+  std::string Name;
+  bool IsCFP = false;       ///< Reported in the CFP column of Figure 6.
+  std::vector<uint32_t> Args; ///< Fixed inputs for the simulator runs.
+};
+
+/// The full suite, in the paper's Figure 6 order (CINT then CFP), plus
+/// "queens" last.
+const std::vector<KernelSpec> &kernelSuite();
+
+/// Builds kernel \p Name into \p M (function name "<name>.<suffix>").
+/// \p Mode selects the front-end bit-field lowering where relevant (the
+/// "gcc" kernel is bit-field heavy, as in the paper).
+Function *buildKernel(Module &M, const std::string &Name,
+                      const std::string &Suffix, PipelineMode Mode);
+
+} // namespace bench
+} // namespace frost
+
+#endif // FROST_BENCH_KERNELS_H

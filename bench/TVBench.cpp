@@ -1,0 +1,161 @@
+//===- TVBench.cpp - Section 6 opt-fuzz + Alive validation experiment ----------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the Section 6 testing methodology: "we used opt-fuzz to
+/// exhaustively generate all LLVM functions with three instructions (over
+/// 2-bit integer arithmetic) and then we used Alive to validate both
+/// individual passes and the collection of passes implied by -O2". Here the
+/// enumerator plays opt-fuzz, the exhaustive refinement checker plays Alive,
+/// and the pipeline in Proposed mode must validate on every function, while
+/// the Legacy select transformations are caught red-handed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Enumerate.h"
+
+#include "ir/Cloning.h"
+#include "ir/IRBuilder.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "opt/Pass.h"
+#include "opt/Passes.h"
+#include "tv/Refinement.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+using namespace frost;
+using frost::sem::SemanticsConfig;
+
+namespace {
+
+struct SweepResult {
+  uint64_t Functions = 0;
+  uint64_t Changed = 0;
+  uint64_t Valid = 0;
+  uint64_t Invalid = 0;
+  uint64_t Inconclusive = 0;
+  double Seconds = 0;
+};
+
+/// Validates the Proposed pipeline over the first \p MaxFunctions of the
+/// NumInsts-instruction space (2-bit arithmetic, poison operands included).
+/// The paper ran the full 3-instruction space over days of CPU; the bench
+/// default covers an exhaustive prefix sized for minutes.
+SweepResult sweepPipeline(unsigned NumInsts, bool WithSelect,
+                          uint64_t MaxFunctions) {
+  IRContext Ctx;
+  Module M(Ctx, "tvbench");
+  fuzz::EnumOptions Opts;
+  Opts.NumInsts = NumInsts;
+  Opts.NumArgs = 1;
+  Opts.WithPoison = true;
+  Opts.WithFlags = true;
+  Opts.WithSelect = WithSelect;
+  Opts.Opcodes = {Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::And,
+                  Opcode::Xor, Opcode::Shl};
+
+  SemanticsConfig Config = SemanticsConfig::proposed();
+  tv::TVOptions TVOpts;
+  TVOpts.CompareMemory = false;
+
+  SweepResult R;
+  auto T0 = std::chrono::steady_clock::now();
+  fuzz::enumerateFunctions(M, Opts, [&](Function &F) {
+    if (R.Functions >= MaxFunctions)
+      return false;
+    Function *Orig = cloneFunction(F, M, "orig");
+    PassManager PM(false);
+    buildStandardPipeline(PM, PipelineMode::Proposed);
+    R.Changed += PM.run(F);
+    tv::TVResult TR = tv::checkRefinement(*Orig, F, Config, TVOpts);
+    M.eraseFunction(Orig);
+    ++R.Functions;
+    if (TR.valid())
+      ++R.Valid;
+    else if (TR.invalid())
+      ++R.Invalid;
+    else
+      ++R.Inconclusive;
+    return true;
+  });
+  R.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf("\n=== Section 6: exhaustive validation "
+              "(opt-fuzz + Alive substitute) ===\n");
+
+  SweepResult Two = sweepPipeline(2, /*WithSelect=*/false, 400000);
+  std::printf("2-instruction space: %llu functions, %llu changed by -O2, "
+              "%llu valid, %llu INVALID, %llu inconclusive (%.1f fn/s)\n",
+              (unsigned long long)Two.Functions,
+              (unsigned long long)Two.Changed, (unsigned long long)Two.Valid,
+              (unsigned long long)Two.Invalid,
+              (unsigned long long)Two.Inconclusive,
+              Two.Functions / Two.Seconds);
+
+  SweepResult Three = sweepPipeline(3, /*WithSelect=*/true, 120000);
+  std::printf("3-instruction space: %llu functions, %llu changed by -O2, "
+              "%llu valid, %llu INVALID, %llu inconclusive (%.1f fn/s)\n",
+              (unsigned long long)Three.Functions,
+              (unsigned long long)Three.Changed,
+              (unsigned long long)Three.Valid,
+              (unsigned long long)Three.Invalid,
+              (unsigned long long)Three.Inconclusive,
+              Three.Functions / Three.Seconds);
+
+  if (Two.Invalid || Three.Invalid) {
+    std::printf("VALIDATION FAILURE: the proposed pipeline miscompiled an "
+                "enumerated function\n");
+    return 1;
+  }
+  std::printf("proposed pipeline: every enumerated function validates "
+              "(paper: no end-to-end miscompilations found)\n");
+
+  // The counterpoint: the legacy "select c, true, x -> or c, x" combine is
+  // unsound; the same harness catches it.
+  {
+    IRContext Ctx;
+    Module M(Ctx, "legacy");
+    auto *I1 = Ctx.boolTy();
+    Function *F = M.createFunction("sel", Ctx.types().fnTy(I1, {I1, I1}));
+    IRBuilder B(Ctx, F->addBlock("entry"));
+    B.ret(B.select(F->arg(0), Ctx.getTrue(), F->arg(1)));
+    Function *Orig = cloneFunction(*F, M, "sel.orig");
+    createInstCombinePass(PipelineMode::Legacy)->runOnFunction(*F);
+    tv::TVOptions TVOpts;
+    TVOpts.CompareMemory = false;
+    tv::TVResult TR = tv::checkRefinement(*Orig, *F,
+                                          SemanticsConfig::proposed(),
+                                          TVOpts);
+    std::printf("legacy select->or combine: %s\n",
+                TR.invalid() ? "MISCOMPILATION DETECTED (as expected)"
+                             : "unexpectedly validated");
+    if (!TR.invalid())
+      return 1;
+  }
+
+  benchmark::RegisterBenchmark(
+      "BM_validate_2inst", [](benchmark::State &State) {
+        for (auto _ : State) {
+          SweepResult R = sweepPipeline(2, false, 2000);
+          benchmark::DoNotOptimize(R.Valid);
+        }
+      });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+//===- bitfields.cpp - Section 5.3: bit-field stores need freeze ----------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Demonstrates the paper's one-line Clang change. A C program like
+//
+//     struct { unsigned lo:4; unsigned mid:12; unsigned hi:16; } s;
+//     s.lo = 5;            // First store to an uninitialized struct!
+//     return s.lo;
+//
+// compiles bit-field stores into load/mask/merge/store. Under the proposed
+// semantics the first load reads poison, and without freeze the merge
+// poisons *every* field — the program above would return poison. The fix
+// freezes the loaded word; the superior vector lowering needs no freeze at
+// all because poison is tracked per element (Section 5.4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/BitFields.h"
+#include "ir/Context.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "sem/Interp.h"
+
+#include <cstdio>
+
+using namespace frost;
+using namespace frost::frontend;
+
+namespace {
+
+Function *buildDemo(Module &M, const char *Name, BitFieldLowering Lowering) {
+  IRContext &Ctx = M.context();
+  auto *I32 = Ctx.intTy(32);
+  RecordType Rec;
+  Rec.add("lo", 4).add("mid", 12).add("hi", 16);
+
+  Function *F = M.createFunction(Name, Ctx.types().fnTy(I32, {I32}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *Struct = B.alloca_(I32, "s");
+  // s.lo = arg; return s.lo;  -- with no prior initialization of s.
+  emitFieldStore(B, Struct, Rec, "lo", F->arg(0), Lowering);
+  B.ret(emitFieldLoad(B, Struct, Rec, "lo", Lowering));
+  return F;
+}
+
+void runDemo(Module &M, const char *Name, BitFieldLowering Lowering,
+             const char *Label) {
+  Function *F = buildDemo(M, Name, Lowering);
+  std::printf("--- %s lowering ---\n%s", Label, F->str().c_str());
+
+  sem::DeterministicOracle Oracle;
+  sem::Interpreter I(sem::SemanticsConfig::proposed(), Oracle);
+  sem::ExecResult R = I.run(*F, {sem::Value::concrete(BitVec(32, 5))});
+  std::printf("s.lo = 5; read back: %s\n\n", R.Ret->str().c_str());
+}
+
+} // namespace
+
+int main() {
+  IRContext Ctx;
+  Module M(Ctx, "bitfields");
+
+  runDemo(M, "legacy", BitFieldLowering::Legacy,
+          "legacy (pre-paper Clang, no freeze)");
+  runDemo(M, "fixed", BitFieldLowering::Proposed,
+          "proposed (the paper's one-line Clang change)");
+  runDemo(M, "vector", BitFieldLowering::Vector,
+          "vector (Section 5.3's superior alternative)");
+
+  std::printf("The legacy lowering returns POISON for a perfectly "
+              "reasonable C program;\nthe freeze and vector lowerings "
+              "return 5.\n");
+  return 0;
+}

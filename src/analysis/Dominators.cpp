@@ -1,0 +1,125 @@
+//===- Dominators.cpp - Dominator tree -------------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include "ir/Instructions.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace frost;
+
+DominatorTree::DominatorTree(Function &F) : F(F) {
+  assert(!F.isDeclaration() && "cannot analyze a declaration");
+
+  // Depth-first post-order from the entry.
+  std::vector<BasicBlock *> PostOrder;
+  std::set<BasicBlock *> Visited;
+  std::vector<std::pair<BasicBlock *, unsigned>> Stack;
+  Stack.push_back({F.entry(), 0});
+  Visited.insert(F.entry());
+  while (!Stack.empty()) {
+    auto &[BB, NextSucc] = Stack.back();
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (NextSucc < Succs.size()) {
+      BasicBlock *S = Succs[NextSucc++];
+      if (Visited.insert(S).second)
+        Stack.push_back({S, 0});
+      continue;
+    }
+    PostOrder.push_back(BB);
+    Stack.pop_back();
+  }
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (unsigned I = 0; I != RPO.size(); ++I)
+    RPOIndex[RPO[I]] = I;
+
+  // Cooper–Harvey–Kennedy iteration to a fixed point.
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (RPOIndex[A] > RPOIndex[B])
+        A = IDom[A];
+      while (RPOIndex[B] > RPOIndex[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  IDom[F.entry()] = F.entry();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : RPO) {
+      if (BB == F.entry())
+        continue;
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *Pred : BB->uniquePredecessors()) {
+        if (!IDom.count(Pred))
+          continue; // Unreachable or not yet processed.
+        NewIDom = NewIDom ? Intersect(NewIDom, Pred) : Pred;
+      }
+      if (!NewIDom)
+        continue;
+      auto It = IDom.find(BB);
+      if (It == IDom.end() || It->second != NewIDom) {
+        IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+BasicBlock *DominatorTree::idom(const BasicBlock *BB) const {
+  auto It = IDom.find(const_cast<BasicBlock *>(BB));
+  if (It == IDom.end() || It->second == BB)
+    return nullptr;
+  return It->second;
+}
+
+bool DominatorTree::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  if (!isReachable(B))
+    return true;
+  if (!isReachable(A))
+    return false;
+  const BasicBlock *Cur = B;
+  while (true) {
+    if (Cur == A)
+      return true;
+    const BasicBlock *Up = idom(Cur);
+    if (!Up)
+      return false;
+    Cur = Up;
+  }
+}
+
+bool DominatorTree::dominates(const Instruction *Def, const Instruction *User,
+                              unsigned OpNo) const {
+  const BasicBlock *DefBB = Def->getParent();
+  const BasicBlock *UseBB = User->getParent();
+
+  // A use in a phi node occurs on the edge from the incoming block, so the
+  // def needs to dominate the *end of the incoming block*.
+  if (const auto *P = dyn_cast<PhiNode>(User)) {
+    const BasicBlock *Incoming = P->getIncomingBlock(OpNo / 2);
+    if (DefBB == Incoming)
+      return true; // Def is in the incoming block; end-of-block use.
+    return dominates(DefBB, Incoming);
+  }
+
+  if (DefBB != UseBB)
+    return dominates(DefBB, UseBB);
+
+  // Same block: Def must come strictly before User.
+  for (const Instruction *I : *DefBB) {
+    if (I == Def)
+      return true;
+    if (I == User)
+      return false;
+  }
+  return false;
+}

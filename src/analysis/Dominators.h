@@ -1,0 +1,62 @@
+//===- Dominators.h - Dominator tree ----------------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree over a function's CFG, built with the Cooper–Harvey–
+/// Kennedy iterative algorithm. Used by the verifier (SSA dominance), GVN,
+/// LICM, and loop detection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_ANALYSIS_DOMINATORS_H
+#define FROST_ANALYSIS_DOMINATORS_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <vector>
+
+namespace frost {
+
+/// Immediate-dominator tree for one function. Invalidated by any CFG edit.
+class DominatorTree {
+public:
+  explicit DominatorTree(Function &F);
+
+  Function &function() const { return F; }
+
+  /// Blocks in reverse post-order (entry first); unreachable blocks are
+  /// excluded.
+  const std::vector<BasicBlock *> &rpo() const { return RPO; }
+
+  bool isReachable(const BasicBlock *BB) const {
+    return IDom.count(const_cast<BasicBlock *>(BB)) != 0;
+  }
+
+  /// The immediate dominator of \p BB (null for the entry block).
+  BasicBlock *idom(const BasicBlock *BB) const;
+
+  /// True iff \p A dominates \p B (reflexive). Unreachable blocks are
+  /// dominated by everything, matching LLVM's convention.
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// True iff the definition \p Def dominates the use of it in \p User at
+  /// operand \p OpNo. Handles same-block ordering and the phi rule (a phi
+  /// use is anchored at the end of its incoming block).
+  bool dominates(const Instruction *Def, const Instruction *User,
+                 unsigned OpNo) const;
+
+private:
+  Function &F;
+  std::vector<BasicBlock *> RPO;
+  std::map<BasicBlock *, unsigned> RPOIndex;
+  std::map<BasicBlock *, BasicBlock *> IDom;
+};
+
+} // namespace frost
+
+#endif // FROST_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,133 @@
+//===- LoopInfo.cpp - Natural loop detection --------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include "ir/Constants.h"
+
+#include <algorithm>
+
+using namespace frost;
+
+BasicBlock *Loop::preheader() const {
+  std::vector<BasicBlock *> Entries = entryPredecessors();
+  if (Entries.size() != 1)
+    return nullptr;
+  BasicBlock *Cand = Entries.front();
+  if (Cand->successors().size() != 1)
+    return nullptr;
+  return Cand;
+}
+
+std::vector<BasicBlock *> Loop::entryPredecessors() const {
+  std::vector<BasicBlock *> Result;
+  for (BasicBlock *Pred : Header->uniquePredecessors())
+    if (!contains(Pred))
+      Result.push_back(Pred);
+  return Result;
+}
+
+std::vector<BasicBlock *> Loop::latches() const {
+  std::vector<BasicBlock *> Result;
+  for (BasicBlock *Pred : Header->uniquePredecessors())
+    if (contains(Pred))
+      Result.push_back(Pred);
+  return Result;
+}
+
+std::vector<BasicBlock *> Loop::exitBlocks() const {
+  std::vector<BasicBlock *> Result;
+  for (BasicBlock *BB : Blocks)
+    for (BasicBlock *Succ : BB->successors())
+      if (!contains(Succ) &&
+          std::find(Result.begin(), Result.end(), Succ) == Result.end())
+        Result.push_back(Succ);
+  return Result;
+}
+
+bool Loop::isLoopInvariant(const Value *V) const {
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return true; // Constants, arguments, globals.
+  return !contains(I);
+}
+
+LoopInfo::LoopInfo([[maybe_unused]] Function &F, const DominatorTree &DT) {
+  assert(&DT.function() == &F && "dominator tree is for another function");
+  // Find back edges: Latch -> Header where Header dominates Latch.
+  // Process headers in reverse RPO so inner loops are discovered after the
+  // outer ones that contain them (we fix nesting afterwards regardless).
+  for (BasicBlock *Header : DT.rpo()) {
+    std::vector<BasicBlock *> BackPreds;
+    for (BasicBlock *Pred : Header->uniquePredecessors())
+      if (DT.isReachable(Pred) && DT.dominates(Header, Pred))
+        BackPreds.push_back(Pred);
+    if (BackPreds.empty())
+      continue;
+
+    auto L = std::make_unique<Loop>();
+    L->Header = Header;
+    L->Blocks.insert(Header);
+    // Walk predecessors backwards from each latch until the header.
+    std::vector<BasicBlock *> Work = BackPreds;
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (!L->Blocks.insert(BB).second)
+        continue;
+      for (BasicBlock *Pred : BB->uniquePredecessors())
+        if (DT.isReachable(Pred) && Pred != Header)
+          Work.push_back(Pred);
+    }
+    AllLoops.push_back(std::move(L));
+  }
+
+  // Establish nesting: loop A is a child of the smallest loop B != A whose
+  // block set strictly contains A's header.
+  for (auto &L : AllLoops) {
+    Loop *Best = nullptr;
+    for (auto &Other : AllLoops) {
+      if (Other.get() == L.get())
+        continue;
+      if (!Other->contains(L->Header))
+        continue;
+      if (!Best || Other->Blocks.size() < Best->Blocks.size())
+        Best = Other.get();
+    }
+    L->Parent = Best;
+    if (Best)
+      Best->SubLoops.push_back(L.get());
+    else
+      TopLevel.push_back(L.get());
+  }
+
+  // Innermost loop per block.
+  for (auto &L : AllLoops)
+    for (BasicBlock *BB : L->Blocks) {
+      auto It = InnermostMap.find(BB);
+      if (It == InnermostMap.end() ||
+          It->second->Blocks.size() > L->Blocks.size())
+        InnermostMap[BB] = L.get();
+    }
+}
+
+Loop *LoopInfo::loopFor(const BasicBlock *BB) const {
+  auto It = InnermostMap.find(BB);
+  return It == InnermostMap.end() ? nullptr : It->second;
+}
+
+std::vector<Loop *> LoopInfo::loopsInnermostFirst() const {
+  std::vector<Loop *> Result;
+  for (auto &L : AllLoops)
+    Result.push_back(L.get());
+  std::sort(Result.begin(), Result.end(), [](Loop *A, Loop *B) {
+    if (A->depth() != B->depth())
+      return A->depth() > B->depth();
+    return A->blocks().size() < B->blocks().size();
+  });
+  return Result;
+}

@@ -1,0 +1,88 @@
+//===- LoopInfo.h - Natural loop detection ----------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection over the dominator tree. LICM, LoopUnswitch, and
+/// induction-variable widening all operate on these Loop objects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_ANALYSIS_LOOPINFO_H
+#define FROST_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Dominators.h"
+
+#include <memory>
+#include <set>
+
+namespace frost {
+
+/// A single natural loop: a header dominating a set of blocks with at least
+/// one back edge to the header.
+class Loop {
+public:
+  BasicBlock *header() const { return Header; }
+  const std::set<BasicBlock *> &blocks() const { return Blocks; }
+  bool contains(const BasicBlock *BB) const {
+    return Blocks.count(const_cast<BasicBlock *>(BB)) != 0;
+  }
+  bool contains(const Instruction *I) const {
+    return contains(I->getParent());
+  }
+
+  Loop *parent() const { return Parent; }
+  const std::vector<Loop *> &subLoops() const { return SubLoops; }
+  unsigned depth() const {
+    unsigned D = 1;
+    for (Loop *P = Parent; P; P = P->Parent)
+      ++D;
+    return D;
+  }
+
+  /// The unique out-of-loop predecessor of the header whose only successor
+  /// is the header, or null.
+  BasicBlock *preheader() const;
+  /// All out-of-loop predecessors of the header (preheader candidates).
+  std::vector<BasicBlock *> entryPredecessors() const;
+  /// Blocks inside the loop that branch back to the header.
+  std::vector<BasicBlock *> latches() const;
+  /// Blocks outside the loop that are targeted from inside.
+  std::vector<BasicBlock *> exitBlocks() const;
+
+  /// True if \p V is defined outside the loop (constants and arguments
+  /// included).
+  bool isLoopInvariant(const Value *V) const;
+
+private:
+  friend class LoopInfo;
+  BasicBlock *Header = nullptr;
+  std::set<BasicBlock *> Blocks;
+  Loop *Parent = nullptr;
+  std::vector<Loop *> SubLoops;
+};
+
+/// All natural loops of one function.
+class LoopInfo {
+public:
+  LoopInfo(Function &F, const DominatorTree &DT);
+
+  /// Innermost loop containing \p BB, or null.
+  Loop *loopFor(const BasicBlock *BB) const;
+  /// Outermost loops.
+  const std::vector<Loop *> &topLevel() const { return TopLevel; }
+  /// All loops, innermost first (safe order for loop transforms).
+  std::vector<Loop *> loopsInnermostFirst() const;
+
+private:
+  std::vector<std::unique_ptr<Loop>> AllLoops;
+  std::vector<Loop *> TopLevel;
+  std::map<const BasicBlock *, Loop *> InnermostMap;
+};
+
+} // namespace frost
+
+#endif // FROST_ANALYSIS_LOOPINFO_H

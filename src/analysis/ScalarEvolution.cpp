@@ -1,0 +1,129 @@
+//===- ScalarEvolution.cpp - Affine recurrence analysis -------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ScalarEvolution.h"
+
+#include "analysis/ValueTracking.h"
+#include "ir/Constants.h"
+#include "ir/Instructions.h"
+#include "sem/Eval.h"
+
+using namespace frost;
+
+Value *ScalarEvolution::stripFreeze(Value *V) const {
+  // Section 10.1: scalar evolution "currently fails to analyze expressions
+  // involving freeze". The FreezeAware mode may only look through a freeze
+  // when the operand is provably non-poison (then freeze is the identity);
+  // looking through an arbitrary freeze would be unsound, since the frozen
+  // value of a poison recurrence follows no recurrence at all.
+  while (auto *Fr = dyn_cast<FreezeInst>(V)) {
+    if (!FreezeAware || !isGuaranteedNotToBePoison(Fr->src()))
+      return V;
+    V = Fr->src();
+  }
+  return V;
+}
+
+std::optional<AddRec> ScalarEvolution::asAddRec(Value *V, Loop &L) const {
+  V = stripFreeze(V);
+
+  // Loop-invariant values are {V, +, 0}.
+  if (L.isLoopInvariant(V)) {
+    AddRec R;
+    R.Start = V;
+    unsigned W = V->getType()->isInteger() ? V->getType()->bitWidth() : 32;
+    R.Step = BitVec(W, 0);
+    return R;
+  }
+
+  auto *P = dyn_cast<PhiNode>(V);
+  if (!P || P->getParent() != L.header() || P->getNumIncoming() != 2 ||
+      !P->getType()->isInteger())
+    return std::nullopt;
+  BasicBlock *Pre = L.preheader();
+  if (!Pre)
+    return std::nullopt;
+  int PreIdx = P->getBlockIndex(Pre);
+  if (PreIdx < 0)
+    return std::nullopt;
+  unsigned LatchIdx = 1 - static_cast<unsigned>(PreIdx);
+
+  Value *Next = stripFreeze(P->getIncomingValue(LatchIdx));
+  auto *Step = dyn_cast<BinaryOperator>(Next);
+  if (!Step || Step->getOpcode() != Opcode::Add || !L.contains(Step))
+    return std::nullopt;
+  Value *Other = nullptr;
+  if (stripFreeze(Step->lhs()) == P)
+    Other = Step->rhs();
+  else if (stripFreeze(Step->rhs()) == P)
+    Other = Step->lhs();
+  else
+    return std::nullopt;
+  if (isa<FreezeInst>(Step->lhs()) || isa<FreezeInst>(Step->rhs())) {
+    // A frozen back-edge breaks the recurrence unless FreezeAware proved it
+    // transparent above.
+    if (!FreezeAware)
+      return std::nullopt;
+  }
+  const auto *C = dyn_cast<ConstantInt>(Other);
+  if (!C)
+    return std::nullopt;
+
+  AddRec R;
+  R.Start = P->getIncomingValue(static_cast<unsigned>(PreIdx));
+  R.Step = C->value();
+  R.NSW = Step->hasNSW();
+  return R;
+}
+
+std::optional<uint64_t> ScalarEvolution::constantTripCount(Loop &L) const {
+  BasicBlock *Header = L.header();
+  auto *Br = dyn_cast_or_null<BranchInst>(Header->terminator());
+  if (!Br || !Br->isConditional())
+    return std::nullopt;
+  bool ExitOnFalse = L.contains(Br->trueDest()) && !L.contains(Br->falseDest());
+  bool ExitOnTrue = !L.contains(Br->trueDest()) && L.contains(Br->falseDest());
+  if (!ExitOnFalse && !ExitOnTrue)
+    return std::nullopt;
+
+  Value *CondV = Br->condition();
+  if (isa<FreezeInst>(CondV)) {
+    CondV = stripFreeze(CondV);
+    if (isa<FreezeInst>(CondV))
+      return std::nullopt; // Unanalyzable freeze (the Section 10.1 gap).
+  }
+  auto *Cmp = dyn_cast<ICmpInst>(CondV);
+  if (!Cmp)
+    return std::nullopt;
+
+  auto IV = asAddRec(Cmp->lhs(), L);
+  const auto *Bound = dyn_cast<ConstantInt>(Cmp->rhs());
+  if (!IV || !Bound || IV->Step.isZero())
+    return std::nullopt;
+  const auto *Start = dyn_cast<ConstantInt>(IV->Start);
+  if (!Start)
+    return std::nullopt;
+
+  // Brute-force the recurrence; fine for the widths and trip counts the
+  // clients use, and exact by construction.
+  ICmpPred P = Cmp->pred();
+  BitVec I = Start->value();
+  uint64_t Trips = 0;
+  constexpr uint64_t Limit = 1u << 20;
+  while (Trips < Limit) {
+    bool InLoop = sem::foldPred(P, I, Bound->value());
+    if (ExitOnTrue)
+      InLoop = !InLoop;
+    if (!InLoop)
+      return Trips;
+    ++Trips;
+    I = I.add(IV->Step);
+    if (I == Start->value())
+      return std::nullopt; // Wrapped a full cycle: no static trip count.
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,70 @@
+//===- ScalarEvolution.h - Affine recurrence analysis -----------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature scalar evolution: classifies loop values as affine add
+/// recurrences {start, +, step} and computes trip counts of canonical
+/// counted loops. Reproduces the Section 10.1 integration pain point —
+/// "scalar evolution ... currently fails to analyze expressions involving
+/// freeze" — as an explicit, testable behaviour: by default a freeze is not
+/// looked through (the analysis returns unknown), and a FreezeAware flag
+/// models the future work of teaching it otherwise (sound for add-recs whose
+/// operands are known non-poison).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_ANALYSIS_SCALAREVOLUTION_H
+#define FROST_ANALYSIS_SCALAREVOLUTION_H
+
+#include "analysis/LoopInfo.h"
+#include "support/BitVec.h"
+
+#include <optional>
+
+namespace frost {
+
+/// An affine recurrence {Start, +, Step} over a loop, or a loop-invariant
+/// value (Step == 0 with Invariant set).
+struct AddRec {
+  Value *Start = nullptr; ///< Value on loop entry.
+  BitVec Step;            ///< Constant per-iteration increment.
+  bool NSW = false;       ///< The recurrence cannot signed-wrap (its step
+                          ///< add carries nsw), so narrow overflow is
+                          ///< poison — the fact IndVarWiden needs.
+};
+
+/// Scalar evolution over one function's loops.
+class ScalarEvolution {
+public:
+  ScalarEvolution(Function &F, const DominatorTree &DT, const LoopInfo &LI,
+                  bool FreezeAware = false)
+      : LI(LI), FreezeAware(FreezeAware) {
+    (void)F;
+    (void)DT;
+  }
+
+  /// Classifies \p V as an affine add recurrence of loop \p L.
+  /// Returns nullopt for anything it cannot prove — including, by default,
+  /// any expression involving freeze (Section 10.1).
+  std::optional<AddRec> asAddRec(Value *V, Loop &L) const;
+
+  /// Trip count of a canonical counted loop
+  ///   header: %i = phi [C0, pre], [%i + C1, latch]; br (icmp %i, C2) ...
+  /// when it is a compile-time constant. Freeze in the exit condition makes
+  /// the loop unanalyzable unless FreezeAware is set.
+  std::optional<uint64_t> constantTripCount(Loop &L) const;
+
+private:
+  const LoopInfo &LI;
+  bool FreezeAware;
+
+  Value *stripFreeze(Value *V) const;
+};
+
+} // namespace frost
+
+#endif // FROST_ANALYSIS_SCALAREVOLUTION_H

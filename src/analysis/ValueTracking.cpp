@@ -1,0 +1,198 @@
+//===- ValueTracking.cpp - Poison-aware value analyses ------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ValueTracking.h"
+
+#include "ir/Constants.h"
+#include "ir/Function.h"
+#include "ir/Instructions.h"
+
+using namespace frost;
+
+static constexpr unsigned MaxDepth = 6;
+
+KnownBits frost::computeKnownBits(const Value *V, unsigned Depth) {
+  unsigned W = V->getType()->isInteger() ? V->getType()->bitWidth() : 0;
+  if (W == 0)
+    return KnownBits(1);
+  KnownBits Known(W);
+
+  if (const auto *C = dyn_cast<ConstantInt>(V)) {
+    Known.Ones = C->value();
+    Known.Zeros = C->value().not_();
+    return Known;
+  }
+  if (Depth >= MaxDepth)
+    return Known;
+
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return Known;
+
+  switch (I->getOpcode()) {
+  case Opcode::And: {
+    KnownBits L = computeKnownBits(I->getOperand(0), Depth + 1);
+    KnownBits R = computeKnownBits(I->getOperand(1), Depth + 1);
+    Known.Ones = L.Ones.and_(R.Ones);
+    Known.Zeros = L.Zeros.or_(R.Zeros);
+    return Known;
+  }
+  case Opcode::Or: {
+    KnownBits L = computeKnownBits(I->getOperand(0), Depth + 1);
+    KnownBits R = computeKnownBits(I->getOperand(1), Depth + 1);
+    Known.Ones = L.Ones.or_(R.Ones);
+    Known.Zeros = L.Zeros.and_(R.Zeros);
+    return Known;
+  }
+  case Opcode::Xor: {
+    KnownBits L = computeKnownBits(I->getOperand(0), Depth + 1);
+    KnownBits R = computeKnownBits(I->getOperand(1), Depth + 1);
+    Known.Ones = L.Ones.and_(R.Zeros).or_(L.Zeros.and_(R.Ones));
+    Known.Zeros = L.Zeros.and_(R.Zeros).or_(L.Ones.and_(R.Ones));
+    return Known;
+  }
+  case Opcode::Shl: {
+    if (const auto *Amt = dyn_cast<ConstantInt>(I->getOperand(1))) {
+      if (Amt->value().shiftTooBig())
+        return Known;
+      KnownBits L = computeKnownBits(I->getOperand(0), Depth + 1);
+      Known.Ones = L.Ones.shl(Amt->value());
+      // Shifted-in low bits are zero.
+      BitVec LowMask(W, (uint64_t(1) << Amt->value().zext()) - 1);
+      Known.Zeros = L.Zeros.shl(Amt->value()).or_(LowMask);
+      return Known;
+    }
+    return Known;
+  }
+  case Opcode::LShr: {
+    if (const auto *Amt = dyn_cast<ConstantInt>(I->getOperand(1))) {
+      if (Amt->value().shiftTooBig())
+        return Known;
+      KnownBits L = computeKnownBits(I->getOperand(0), Depth + 1);
+      Known.Ones = L.Ones.lshr(Amt->value());
+      Known.Zeros = L.Zeros.lshr(Amt->value());
+      // Shifted-in high bits are zero.
+      for (unsigned BitIdx = W - Amt->value().zext(); BitIdx < W; ++BitIdx)
+        Known.Zeros.setBit(BitIdx, true);
+      return Known;
+    }
+    return Known;
+  }
+  case Opcode::ZExt: {
+    const Value *Src = I->getOperand(0);
+    unsigned SrcW = Src->getType()->bitWidth();
+    KnownBits L = computeKnownBits(Src, Depth + 1);
+    Known.Ones = L.Ones.zextTo(W);
+    Known.Zeros = L.Zeros.zextTo(W);
+    for (unsigned BitIdx = SrcW; BitIdx < W; ++BitIdx)
+      Known.Zeros.setBit(BitIdx, true);
+    return Known;
+  }
+  case Opcode::Trunc: {
+    KnownBits L = computeKnownBits(I->getOperand(0), Depth + 1);
+    Known.Ones = L.Ones.truncTo(W);
+    Known.Zeros = L.Zeros.truncTo(W);
+    return Known;
+  }
+  case Opcode::Select: {
+    KnownBits L = computeKnownBits(I->getOperand(1), Depth + 1);
+    KnownBits R = computeKnownBits(I->getOperand(2), Depth + 1);
+    Known.Ones = L.Ones.and_(R.Ones);
+    Known.Zeros = L.Zeros.and_(R.Zeros);
+    return Known;
+  }
+  case Opcode::Freeze:
+    return computeKnownBits(I->getOperand(0), Depth + 1);
+  default:
+    return Known;
+  }
+}
+
+bool frost::isKnownToBeAPowerOfTwo(const Value *V, unsigned Depth) {
+  if (const auto *C = dyn_cast<ConstantInt>(V))
+    return C->value().isPowerOf2();
+  if (Depth >= MaxDepth)
+    return false;
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return false;
+
+  switch (I->getOpcode()) {
+  case Opcode::Shl:
+    // The paper's Section 5.6 example: shl 1, %y is a power of two in every
+    // non-poison execution (over-shift yields poison, not a stray value).
+    if (const auto *C = dyn_cast<ConstantInt>(I->getOperand(0)))
+      return C->value().isOne();
+    return isKnownToBeAPowerOfTwo(I->getOperand(0), Depth + 1);
+  case Opcode::Freeze:
+    // NOT a power of two: freezing poison materialises an arbitrary value,
+    // so the "up to poison" fact does not survive a freeze.
+    return false;
+  case Opcode::ZExt:
+    return isKnownToBeAPowerOfTwo(I->getOperand(0), Depth + 1);
+  case Opcode::Select:
+    return isKnownToBeAPowerOfTwo(I->getOperand(1), Depth + 1) &&
+           isKnownToBeAPowerOfTwo(I->getOperand(2), Depth + 1);
+  default:
+    return false;
+  }
+}
+
+bool frost::canCreatePoison(const Instruction *I) {
+  if (I->flags().any())
+    return true;
+  switch (I->getOpcode()) {
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr:
+    // Over-wide shift amounts yield deferred UB.
+    if (const auto *C = dyn_cast<ConstantInt>(I->getOperand(1)))
+      return C->value().shiftTooBig();
+    return true;
+  case Opcode::GEP:
+    return cast<GEPInst>(I)->isInBounds();
+  case Opcode::Load:
+    // May read poison bits from memory.
+    return true;
+  case Opcode::Call:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool frost::isGuaranteedNotToBePoison(const Value *V, unsigned Depth) {
+  if (isa<PoisonValue>(V) || isa<UndefValue>(V))
+    return false;
+  if (isa<ConstantInt>(V) || isa<GlobalVariable>(V))
+    return true;
+  if (const auto *CV = dyn_cast<ConstantVector>(V)) {
+    for (unsigned I = 0, E = CV->size(); I != E; ++I)
+      if (!isGuaranteedNotToBePoison(CV->element(I), Depth + 1))
+        return false;
+    return true;
+  }
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return false; // Arguments may be poison.
+  if (I->getOpcode() == Opcode::Freeze || I->getOpcode() == Opcode::Alloca)
+    return true;
+  if (Depth >= MaxDepth)
+    return false;
+  if (canCreatePoison(I))
+    return false;
+  if (isa<PhiNode>(I))
+    return false; // Would need per-edge reasoning; stay conservative.
+  for (unsigned Op = 0, E = I->getNumOperands(); Op != E; ++Op) {
+    const Value *OpV = I->getOperand(Op);
+    if (isa<BasicBlock>(OpV) || isa<Function>(OpV))
+      continue;
+    if (!isGuaranteedNotToBePoison(OpV, Depth + 1))
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,68 @@
+//===- ValueTracking.h - Poison-aware value analyses ------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dataflow facts about SSA values, with the poison caveat of Section 5.6:
+/// most analysis results hold only "up to poison" — they are valid for
+/// expression rewriting (poison in, poison out on both sides) but NOT for
+/// hoisting UB-capable instructions past control flow unless the inputs are
+/// additionally proven non-poison. The two query families are therefore kept
+/// separate here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_ANALYSIS_VALUETRACKING_H
+#define FROST_ANALYSIS_VALUETRACKING_H
+
+#include "ir/Value.h"
+#include "support/BitVec.h"
+
+namespace frost {
+
+class Instruction;
+
+/// Bits proven zero / one in every *non-poison* execution. An "up to
+/// poison" result in the Section 5.6 sense.
+struct KnownBits {
+  BitVec Zeros; ///< Bit set => value bit is 0.
+  BitVec Ones;  ///< Bit set => value bit is 1.
+
+  explicit KnownBits(unsigned Width)
+      : Zeros(Width, 0), Ones(Width, 0) {}
+
+  unsigned width() const { return Zeros.width(); }
+  bool isNonZero() const { return !Ones.isZero(); }
+  /// True if every bit is known.
+  bool isConstant() const {
+    return Zeros.or_(Ones).isAllOnes();
+  }
+};
+
+/// Computes known-zero/one bits of \p V (up to poison). \p Depth limits
+/// recursion.
+KnownBits computeKnownBits(const Value *V, unsigned Depth = 0);
+
+/// True if \p V is a power of two in every non-poison execution — the
+/// paper's isKnownToBeAPowerOfTwo example: "shl 1, %y" is a power of two
+/// *unless %y is poison*, in which case it can be anything. Clients that
+/// hoist UB-capable code must also check isGuaranteedNotToBePoison.
+bool isKnownToBeAPowerOfTwo(const Value *V, unsigned Depth = 0);
+
+/// True if \p V can be proven to never be poison (nor undef): constants
+/// other than poison/undef, freezes, and operations whose operands are all
+/// non-poison and which cannot generate poison themselves. Function
+/// arguments are NOT assumed non-poison (see Section 6, "opportunities for
+/// improvement").
+bool isGuaranteedNotToBePoison(const Value *V, unsigned Depth = 0);
+
+/// True if the instruction itself can introduce poison even when all its
+/// operands are non-poison (nsw/nuw/exact arithmetic, shifts, inbounds gep).
+bool canCreatePoison(const Instruction *I);
+
+} // namespace frost
+
+#endif // FROST_ANALYSIS_VALUETRACKING_H

@@ -1,0 +1,757 @@
+//===- Codegen.cpp - IR to machine code pipeline -------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Codegen.h"
+
+#include "codegen/RegAlloc.h"
+#include "codegen/SelectionDAG.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Instructions.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace frost;
+using namespace frost::codegen;
+
+//===----------------------------------------------------------------------===//
+// Type legalization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool producesValue(SDKind K) { return K != SDKind::Store; }
+
+bool isSignSensitive(const SDNode *N) {
+  switch (N->K) {
+  case SDKind::SDiv:
+  case SDKind::SRem:
+    return true;
+  case SDKind::Cmp:
+    return N->Pred == ICmpPred::SGT || N->Pred == ICmpPred::SGE ||
+           N->Pred == ICmpPred::SLT || N->Pred == ICmpPred::SLE;
+  default:
+    return false;
+  }
+}
+
+/// Operations whose 32-bit result can have garbage above the semantic
+/// width, requiring a MaskTo to restore the zero-extended representation.
+bool needsResultMask(SDKind K) {
+  switch (K) {
+  case SDKind::Add:
+  case SDKind::Sub:
+  case SDKind::Mul:
+  case SDKind::Shl:
+  case SDKind::SDiv:
+  case SDKind::SRem:
+  case SDKind::AShr:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+unsigned codegen::legalizeDAG(BlockDAG &DAG,
+                              std::map<SDNode *, SDNode *> *Replaced) {
+  unsigned Inserted = 0;
+  std::map<SDNode *, SDNode *> Replace;
+
+  for (SDNode *N : DAG.nodes()) {
+    if (Replace.count(N))
+      continue; // A node we inserted ourselves.
+    // Promote sign-sensitive operands of sub-word operations.
+    if (N->Width < 32 && (isSignSensitive(N) || N->K == SDKind::AShr)) {
+      unsigned LastOp = N->K == SDKind::AShr ? 1 : N->Ops.size();
+      for (unsigned I = 0; I != LastOp; ++I) {
+        SDNode *Ext = DAG.node(SDKind::SExtFrom, {N->Ops[I]});
+        Ext->Imm = N->Width;
+        Ext->Width = 32;
+        Replace[Ext] = Ext; // Marker: do not process again.
+        N->Ops[I] = Ext;
+        ++Inserted;
+      }
+    }
+    // Freeze needs nothing: a register copy of the promoted representation
+    // is still a correct freeze — this is the "teach type legalization
+    // about freeze" change reduced to its essence.
+    if (N->Width < 32 && needsResultMask(N->K) && producesValue(N->K)) {
+      SDNode *Mask = DAG.node(SDKind::MaskTo, {N});
+      Mask->Imm = N->Width;
+      Mask->Width = N->Width;
+      Mask->OutReg = N->OutReg;
+      N->OutReg = 0;
+      Replace[N] = Mask;
+      ++Inserted;
+    }
+  }
+
+  if (Replace.empty())
+    return Inserted;
+  for (SDNode *N : DAG.nodes()) {
+    auto Self = Replace.find(N);
+    for (SDNode *&Op : N->Ops) {
+      auto It = Replace.find(Op);
+      if (It == Replace.end() || It->second == It->first)
+        continue;
+      // The mask node itself keeps the raw value as its operand.
+      if (Self != Replace.end() && Self->second == N && Op == N)
+        continue;
+      if (N->K == SDKind::MaskTo && It->second == N)
+        continue;
+      Op = It->second;
+    }
+  }
+  for (SDNode *&Root : DAG.Roots) {
+    auto It = Replace.find(Root);
+    if (It != Replace.end() && It->second != It->first)
+      Root = It->second;
+  }
+  if (Replaced)
+    for (auto &[From, To] : Replace)
+      if (From != To)
+        (*Replaced)[From] = To;
+  return Inserted;
+}
+
+//===----------------------------------------------------------------------===//
+// Function lowering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class FunctionLowering {
+public:
+  FunctionLowering(Function &F, const CodegenOptions &Opts)
+      : F(F), Opts(Opts) {}
+
+  CompiledFunction run();
+
+private:
+  Function &F;
+  const CodegenOptions &Opts;
+  CompiledFunction Out;
+  MachineFunction *MF = nullptr;
+
+  std::map<const Value *, unsigned> ValueVReg;     // Cross-block values.
+  std::map<const AllocaInst *, unsigned> AllocaSlot;
+  std::map<const BasicBlock *, MachineBasicBlock *> BlockMap;
+
+  // Per-block state.
+  std::map<const Value *, SDNode *> NodeFor;
+  std::map<const SDNode *, unsigned> NodeReg;
+  MachineBasicBlock *MBB = nullptr;
+
+  unsigned vregFor(const Value *V) {
+    auto It = ValueVReg.find(V);
+    if (It != ValueVReg.end())
+      return It->second;
+    unsigned R = MF->newVReg();
+    ValueVReg[V] = R;
+    return R;
+  }
+
+  static unsigned typeWidth(const Type *Ty) {
+    unsigned W = Ty->bitWidth();
+    if (W > 32)
+      frost_unreachable("frost-risc supports at most 32-bit values");
+    return W;
+  }
+  static unsigned sizeBytes(const Type *Ty) {
+    unsigned B = (typeWidth(Ty) + 7) / 8;
+    if (B == 3)
+      frost_unreachable("unsupported 3-byte memory access width");
+    return B;
+  }
+
+  void assignCrossBlockRegs();
+  void layoutGlobals();
+  void lowerBlock(BasicBlock *BB, BlockDAG &DAG);
+  SDNode *buildNode(BlockDAG &DAG, Instruction *I);
+  SDNode *operandNode(BlockDAG &DAG, Value *V);
+  void emitDAG(BlockDAG &DAG);
+  unsigned emitNode(SDNode *N);
+  void emitPhiCopiesAndTerminator(BasicBlock *BB, BlockDAG &DAG);
+};
+
+void FunctionLowering::layoutGlobals() {
+  std::vector<const GlobalVariable *> Globals;
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      for (unsigned Op = 0, E = I->getNumOperands(); Op != E; ++Op)
+        if (auto *G = dyn_cast<GlobalVariable>(I->getOperand(Op)))
+          if (!Out.GlobalAddrs.count(G))
+            Globals.push_back(G);
+  std::sort(Globals.begin(), Globals.end(),
+            [](const GlobalVariable *A, const GlobalVariable *B) {
+              return A->getName() < B->getName();
+            });
+  uint32_t Addr = 0x100;
+  for (const GlobalVariable *G : Globals) {
+    Out.GlobalAddrs[G] = Addr;
+    Addr += (G->sizeBytes() + 15) & ~15u;
+  }
+  Out.MemoryEnd = Addr;
+}
+
+void FunctionLowering::assignCrossBlockRegs() {
+  for (unsigned I = 0; I != F.getNumArgs(); ++I)
+    vregFor(F.arg(I));
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB) {
+      if (isa<PhiNode>(I)) {
+        vregFor(I);
+        continue;
+      }
+      for (const Use *U : I->uses()) {
+        auto *UserInst = cast<Instruction>(U->getUser());
+        if (UserInst->getParent() != BB || isa<PhiNode>(UserInst)) {
+          vregFor(I);
+          break;
+        }
+      }
+    }
+}
+
+SDNode *FunctionLowering::operandNode(BlockDAG &DAG, Value *V) {
+  auto It = NodeFor.find(V);
+  if (It != NodeFor.end())
+    return It->second;
+
+  SDNode *N = nullptr;
+  if (const auto *C = dyn_cast<ConstantInt>(V)) {
+    N = DAG.node(SDKind::Constant);
+    N->Imm = static_cast<int64_t>(C->value().zext());
+    N->Width = typeWidth(C->getType());
+  } else if (isa<PoisonValue>(V) || isa<UndefValue>(V)) {
+    // At this level both lower to an undef register.
+    N = DAG.node(SDKind::Poison);
+    N->Width = typeWidth(V->getType());
+  } else if (const auto *G = dyn_cast<GlobalVariable>(V)) {
+    N = DAG.node(SDKind::GlobalAddr);
+    N->Imm = Out.GlobalAddrs.at(G);
+  } else {
+    // Argument, phi, or an instruction from another block: already has a
+    // virtual register.
+    assert(ValueVReg.count(V) && "cross-block value without a register");
+    N = DAG.node(SDKind::CopyFromReg);
+    N->VReg = ValueVReg[V];
+    N->Width = typeWidth(V->getType());
+  }
+  NodeFor[V] = N;
+  return N;
+}
+
+SDNode *FunctionLowering::buildNode(BlockDAG &DAG, Instruction *I) {
+  switch (I->getOpcode()) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::UDiv:
+  case Opcode::SDiv:
+  case Opcode::URem:
+  case Opcode::SRem:
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor: {
+    static const std::pair<Opcode, SDKind> Map[] = {
+        {Opcode::Add, SDKind::Add},   {Opcode::Sub, SDKind::Sub},
+        {Opcode::Mul, SDKind::Mul},   {Opcode::UDiv, SDKind::UDiv},
+        {Opcode::SDiv, SDKind::SDiv}, {Opcode::URem, SDKind::URem},
+        {Opcode::SRem, SDKind::SRem}, {Opcode::Shl, SDKind::Shl},
+        {Opcode::LShr, SDKind::LShr}, {Opcode::AShr, SDKind::AShr},
+        {Opcode::And, SDKind::And},   {Opcode::Or, SDKind::Or},
+        {Opcode::Xor, SDKind::Xor}};
+    SDKind K = SDKind::Add;
+    for (auto &[Op, SK] : Map)
+      if (Op == I->getOpcode())
+        K = SK;
+    SDNode *N = DAG.node(K, {operandNode(DAG, I->getOperand(0)),
+                             operandNode(DAG, I->getOperand(1))});
+    N->Width = typeWidth(I->getType());
+    return N;
+  }
+  case Opcode::ICmp: {
+    auto *C = cast<ICmpInst>(I);
+    SDNode *N = DAG.node(SDKind::Cmp, {operandNode(DAG, C->lhs()),
+                                       operandNode(DAG, C->rhs())});
+    N->Pred = C->pred();
+    // Comparison operands keep the *operand* width for legalization.
+    N->Width = typeWidth(C->lhs()->getType());
+    SDNode *Result = N;
+    Result->Width = typeWidth(C->lhs()->getType());
+    return Result;
+  }
+  case Opcode::Select: {
+    SDNode *N = DAG.node(SDKind::Select,
+                         {operandNode(DAG, I->getOperand(0)),
+                          operandNode(DAG, I->getOperand(1)),
+                          operandNode(DAG, I->getOperand(2))});
+    N->Width = typeWidth(I->getType());
+    return N;
+  }
+  case Opcode::Freeze: {
+    SDNode *N = DAG.node(SDKind::Freeze, {operandNode(DAG, I->getOperand(0))});
+    N->Width = typeWidth(I->getType());
+    return N;
+  }
+  case Opcode::ZExt:
+    // The zero-extended representation is unchanged; alias the operand.
+    return operandNode(DAG, I->getOperand(0));
+  case Opcode::Trunc: {
+    SDNode *N = DAG.node(SDKind::MaskTo, {operandNode(DAG, I->getOperand(0))});
+    N->Imm = typeWidth(I->getType());
+    N->Width = typeWidth(I->getType());
+    return N;
+  }
+  case Opcode::SExt: {
+    unsigned SrcW = typeWidth(I->getOperand(0)->getType());
+    unsigned DstW = typeWidth(I->getType());
+    SDNode *Ext =
+        DAG.node(SDKind::SExtFrom, {operandNode(DAG, I->getOperand(0))});
+    Ext->Imm = SrcW;
+    Ext->Width = 32;
+    if (DstW == 32)
+      return Ext;
+    SDNode *Mask = DAG.node(SDKind::MaskTo, {Ext});
+    Mask->Imm = DstW;
+    Mask->Width = DstW;
+    return Mask;
+  }
+  case Opcode::BitCast:
+    if (I->getType()->isVector() || I->getOperand(0)->getType()->isVector())
+      frost_unreachable("vector bitcast is not supported by frost-risc");
+    return operandNode(DAG, I->getOperand(0));
+  case Opcode::Alloca: {
+    auto *A = cast<AllocaInst>(I);
+    auto It = AllocaSlot.find(A);
+    unsigned Slot;
+    if (It != AllocaSlot.end()) {
+      Slot = It->second;
+    } else {
+      Slot = MF->newFrameSlot((A->allocatedType()->bitWidth() + 7) / 8);
+      AllocaSlot[A] = Slot;
+    }
+    SDNode *N = DAG.node(SDKind::FrameAddr);
+    N->Imm = Slot;
+    return N;
+  }
+  case Opcode::GEP: {
+    auto *G = cast<GEPInst>(I);
+    unsigned ElemBytes = (G->pointeeType()->bitWidth() + 7) / 8;
+    SDNode *Idx = operandNode(DAG, G->index());
+    unsigned IdxW = typeWidth(G->index()->getType());
+    if (IdxW < 32) {
+      SDNode *Ext = DAG.node(SDKind::SExtFrom, {Idx});
+      Ext->Imm = IdxW;
+      Ext->Width = 32;
+      Idx = Ext;
+    }
+    SDNode *ByteOff = Idx;
+    if (ElemBytes != 1) {
+      SDNode *Sz = DAG.node(SDKind::Constant);
+      Sz->Imm = ElemBytes;
+      ByteOff = DAG.node(SDKind::Mul, {Idx, Sz});
+    }
+    SDNode *N =
+        DAG.node(SDKind::Add, {operandNode(DAG, G->base()), ByteOff});
+    N->Width = 32;
+    return N;
+  }
+  case Opcode::Load: {
+    SDNode *N = DAG.node(SDKind::Load, {operandNode(DAG, I->getOperand(0))});
+    N->Imm = sizeBytes(I->getType());
+    N->Width = typeWidth(I->getType());
+    DAG.Roots.push_back(N); // Keep program order with stores.
+    return N;
+  }
+  case Opcode::Store: {
+    auto *S = cast<StoreInst>(I);
+    SDNode *N = DAG.node(SDKind::Store, {operandNode(DAG, S->value()),
+                                         operandNode(DAG, S->pointer())});
+    N->Imm = sizeBytes(S->value()->getType());
+    DAG.Roots.push_back(N);
+    return N;
+  }
+  case Opcode::ExtractElement:
+  case Opcode::InsertElement:
+    frost_unreachable("vector operations are not supported by frost-risc");
+  case Opcode::Call:
+    frost_unreachable("calls are not supported by frost-risc (inline first)");
+  default:
+    frost_unreachable("unexpected instruction in block body");
+  }
+}
+
+void FunctionLowering::lowerBlock(BasicBlock *BB, BlockDAG &DAG) {
+  NodeFor.clear();
+  NodeReg.clear();
+  MBB = BlockMap.at(BB);
+
+  for (Instruction *I : *BB) {
+    if (isa<PhiNode>(I) || I->isTerminator())
+      continue;
+    SDNode *N = buildNode(DAG, I);
+    NodeFor[I] = N;
+    if (ValueVReg.count(I)) {
+      N->OutReg = ValueVReg[I];
+      DAG.Roots.push_back(N);
+    }
+  }
+
+  std::map<SDNode *, SDNode *> Replaced;
+  Out.Stats.LegalizeNodes += legalizeDAG(DAG, &Replaced);
+  // Legalization may wrap the node bound to an IR value in a MaskTo;
+  // rebind so terminators and phi copies see the masked value.
+  for (auto &[V, N] : NodeFor) {
+    auto It = Replaced.find(N);
+    if (It != Replaced.end())
+      NodeFor[V] = It->second;
+  }
+  emitDAG(DAG);
+  emitPhiCopiesAndTerminator(BB, DAG);
+}
+
+unsigned FunctionLowering::emitNode(SDNode *N) {
+  auto It = NodeReg.find(N);
+  if (It != NodeReg.end())
+    return It->second;
+
+  // Emit operands first (skip for leaves).
+  std::vector<unsigned> OpRegs;
+  for (SDNode *Op : N->Ops)
+    OpRegs.push_back(emitNode(Op));
+
+  unsigned Rd = MF->newVReg();
+  switch (N->K) {
+  case SDKind::Constant:
+  case SDKind::GlobalAddr:
+    MBB->push(MOp::LI, {MOperand::reg(Rd), MOperand::imm(N->Imm)});
+    break;
+  case SDKind::Poison:
+    MBB->push(MOp::IMPLICIT_DEF, {MOperand::reg(Rd)});
+    ++Out.Stats.ImplicitDefs;
+    break;
+  case SDKind::CopyFromReg:
+    // Use the virtual register directly; no copy needed.
+    Rd = N->VReg;
+    break;
+  case SDKind::FrameAddr:
+    MBB->push(MOp::FRAMEADDR, {MOperand::reg(Rd), MOperand::frame(N->Imm)});
+    break;
+  case SDKind::Freeze:
+    // freeze -> register copy: all readers of Rd observe one value even if
+    // the source register was IMPLICIT_DEF.
+    MBB->push(MOp::COPY, {MOperand::reg(Rd), MOperand::reg(OpRegs[0])});
+    ++Out.Stats.FreezeCopies;
+    break;
+  case SDKind::MaskTo:
+    MBB->push(MOp::ANDI,
+              {MOperand::reg(Rd), MOperand::reg(OpRegs[0]),
+               MOperand::imm(static_cast<int64_t>(
+                   N->Imm >= 32 ? 0xFFFFFFFFll
+                                : ((1ll << N->Imm) - 1)))});
+    break;
+  case SDKind::SExtFrom: {
+    unsigned Sh = 32 - static_cast<unsigned>(N->Imm);
+    unsigned Tmp = MF->newVReg();
+    MBB->push(MOp::SHLI, {MOperand::reg(Tmp), MOperand::reg(OpRegs[0]),
+                          MOperand::imm(Sh)});
+    MBB->push(MOp::SHRAI,
+              {MOperand::reg(Rd), MOperand::reg(Tmp), MOperand::imm(Sh)});
+    break;
+  }
+  case SDKind::Add:
+  case SDKind::Sub:
+  case SDKind::Mul:
+  case SDKind::UDiv:
+  case SDKind::SDiv:
+  case SDKind::URem:
+  case SDKind::SRem:
+  case SDKind::Shl:
+  case SDKind::LShr:
+  case SDKind::AShr:
+  case SDKind::And:
+  case SDKind::Or:
+  case SDKind::Xor: {
+    // Simple strength reduction pattern: mul by a power-of-two constant
+    // immediate becomes a shift.
+    if (N->K == SDKind::Mul && N->Ops[1]->K == SDKind::Constant) {
+      uint64_t C = static_cast<uint64_t>(N->Ops[1]->Imm);
+      if (C != 0 && (C & (C - 1)) == 0) {
+        unsigned Sh = 0;
+        while (!((C >> Sh) & 1))
+          ++Sh;
+        MBB->push(MOp::SHLI, {MOperand::reg(Rd), MOperand::reg(OpRegs[0]),
+                              MOperand::imm(Sh)});
+        break;
+      }
+    }
+    static const std::pair<SDKind, MOp> Map[] = {
+        {SDKind::Add, MOp::ADD},   {SDKind::Sub, MOp::SUB},
+        {SDKind::Mul, MOp::MUL},   {SDKind::UDiv, MOp::DIVU},
+        {SDKind::SDiv, MOp::DIVS}, {SDKind::URem, MOp::REMU},
+        {SDKind::SRem, MOp::REMS}, {SDKind::Shl, MOp::SHL},
+        {SDKind::LShr, MOp::SHRL}, {SDKind::AShr, MOp::SHRA},
+        {SDKind::And, MOp::AND},   {SDKind::Or, MOp::OR},
+        {SDKind::Xor, MOp::XOR}};
+    MOp Op = MOp::ADD;
+    for (auto &[K, M] : Map)
+      if (K == N->K)
+        Op = M;
+    MBB->push(Op, {MOperand::reg(Rd), MOperand::reg(OpRegs[0]),
+                   MOperand::reg(OpRegs[1])});
+    break;
+  }
+  case SDKind::Cmp: {
+    ICmpPred P = N->Pred;
+    unsigned A = OpRegs[0], B = OpRegs[1];
+    // Canonicalise GT/GE to LT/LE with swapped operands.
+    if (P == ICmpPred::UGT || P == ICmpPred::SGT || P == ICmpPred::UGE ||
+        P == ICmpPred::SGE) {
+      std::swap(A, B);
+      P = swappedPred(P);
+    }
+    MOp Op;
+    switch (P) {
+    case ICmpPred::EQ:
+      Op = MOp::CMPEQ;
+      break;
+    case ICmpPred::NE:
+      Op = MOp::CMPNE;
+      break;
+    case ICmpPred::ULT:
+      Op = MOp::CMPULT;
+      break;
+    case ICmpPred::ULE:
+      Op = MOp::CMPULE;
+      break;
+    case ICmpPred::SLT:
+      Op = MOp::CMPSLT;
+      break;
+    case ICmpPred::SLE:
+      Op = MOp::CMPSLE;
+      break;
+    default:
+      frost_unreachable("canonicalised predicate expected");
+    }
+    MBB->push(Op, {MOperand::reg(Rd), MOperand::reg(A), MOperand::reg(B)});
+    break;
+  }
+  case SDKind::Select: {
+    // Branchless select: res = f ^ ((t ^ f) & (0 - cond)).
+    unsigned Zero = MF->newVReg();
+    unsigned NegMask = MF->newVReg();
+    unsigned TxF = MF->newVReg();
+    unsigned Masked = MF->newVReg();
+    MBB->push(MOp::LI, {MOperand::reg(Zero), MOperand::imm(0)});
+    MBB->push(MOp::SUB, {MOperand::reg(NegMask), MOperand::reg(Zero),
+                         MOperand::reg(OpRegs[0])});
+    MBB->push(MOp::XOR, {MOperand::reg(TxF), MOperand::reg(OpRegs[1]),
+                         MOperand::reg(OpRegs[2])});
+    MBB->push(MOp::AND, {MOperand::reg(Masked), MOperand::reg(TxF),
+                         MOperand::reg(NegMask)});
+    MBB->push(MOp::XOR, {MOperand::reg(Rd), MOperand::reg(Masked),
+                         MOperand::reg(OpRegs[2])});
+    break;
+  }
+  case SDKind::Load: {
+    MOp Op = N->Imm == 1 ? MOp::LOAD1 : N->Imm == 2 ? MOp::LOAD2 : MOp::LOAD4;
+    MBB->push(Op, {MOperand::reg(Rd), MOperand::reg(OpRegs[0]),
+                   MOperand::imm(0)});
+    break;
+  }
+  case SDKind::Store: {
+    MOp Op = N->Imm == 1 ? MOp::STORE1
+                         : N->Imm == 2 ? MOp::STORE2 : MOp::STORE4;
+    MBB->push(Op, {MOperand::reg(OpRegs[0]), MOperand::reg(OpRegs[1]),
+                   MOperand::imm(0)});
+    break;
+  }
+  }
+
+  NodeReg[N] = Rd;
+  if (N->OutReg)
+    MBB->push(MOp::COPY, {MOperand::reg(N->OutReg), MOperand::reg(Rd)});
+  return Rd;
+}
+
+void FunctionLowering::emitDAG(BlockDAG &DAG) {
+  for (SDNode *Root : DAG.Roots)
+    emitNode(Root);
+}
+
+void FunctionLowering::emitPhiCopiesAndTerminator(BasicBlock *BB,
+                                                  BlockDAG &DAG) {
+  (void)DAG;
+  Instruction *T = BB->terminator();
+  assert(T && "block must be terminated");
+
+  // Parallel phi copies via temporaries (handles phi swaps).
+  std::vector<std::pair<unsigned, unsigned>> Finals; // (phivreg, tmp).
+  for (BasicBlock *Succ : BB->successors()) {
+    for (PhiNode *P : Succ->phis()) {
+      Value *In = P->getIncomingValueForBlock(BB);
+      unsigned Tmp = MF->newVReg();
+      unsigned SrcReg = 0;
+      // Source register: either the value already has a node in this block
+      // (its register), a cross-block vreg, or a constant materialised now.
+      auto NIt = NodeFor.find(In);
+      if (NIt != NodeFor.end()) {
+        SrcReg = emitNode(NIt->second);
+      } else if (ValueVReg.count(In)) {
+        SrcReg = ValueVReg[In];
+      } else if (const auto *C = dyn_cast<ConstantInt>(In)) {
+        SrcReg = MF->newVReg();
+        MBB->push(MOp::LI, {MOperand::reg(SrcReg),
+                            MOperand::imm(static_cast<int64_t>(
+                                C->value().zext()))});
+      } else if (isa<PoisonValue>(In) || isa<UndefValue>(In)) {
+        SrcReg = MF->newVReg();
+        MBB->push(MOp::IMPLICIT_DEF, {MOperand::reg(SrcReg)});
+        ++Out.Stats.ImplicitDefs;
+      } else if (const auto *G = dyn_cast<GlobalVariable>(In)) {
+        SrcReg = MF->newVReg();
+        MBB->push(MOp::LI, {MOperand::reg(SrcReg),
+                            MOperand::imm(Out.GlobalAddrs.at(G))});
+      } else {
+        frost_unreachable("phi input without a register");
+      }
+      MBB->push(MOp::COPY, {MOperand::reg(Tmp), MOperand::reg(SrcReg)});
+      Finals.push_back({ValueVReg.at(P), Tmp});
+    }
+  }
+  for (auto &[PhiReg, Tmp] : Finals)
+    MBB->push(MOp::COPY, {MOperand::reg(PhiReg), MOperand::reg(Tmp)});
+
+  auto RegOfValue = [&](Value *V) -> unsigned {
+    auto NIt = NodeFor.find(V);
+    if (NIt != NodeFor.end())
+      return emitNode(NIt->second); // Memoised; emits on first demand.
+    if (ValueVReg.count(V))
+      return ValueVReg[V];
+    if (const auto *C = dyn_cast<ConstantInt>(V)) {
+      unsigned R = MF->newVReg();
+      MBB->push(MOp::LI, {MOperand::reg(R), MOperand::imm(static_cast<int64_t>(
+                                                C->value().zext()))});
+      return R;
+    }
+    unsigned R = MF->newVReg();
+    MBB->push(MOp::IMPLICIT_DEF, {MOperand::reg(R)});
+    ++Out.Stats.ImplicitDefs;
+    return R;
+  };
+
+  switch (T->getOpcode()) {
+  case Opcode::Br: {
+    auto *Br = cast<BranchInst>(T);
+    if (Br->isConditional()) {
+      unsigned C = RegOfValue(Br->condition());
+      MBB->push(MOp::BNZ, {MOperand::reg(C),
+                           MOperand::label(BlockMap.at(Br->trueDest()))});
+      MBB->push(MOp::JMP, {MOperand::label(BlockMap.at(Br->falseDest()))});
+      MBB->Succs = {BlockMap.at(Br->trueDest()),
+                    BlockMap.at(Br->falseDest())};
+    } else {
+      MBB->push(MOp::JMP, {MOperand::label(BlockMap.at(Br->dest()))});
+      MBB->Succs = {BlockMap.at(Br->dest())};
+    }
+    break;
+  }
+  case Opcode::Switch: {
+    auto *SW = cast<SwitchInst>(T);
+    unsigned C = RegOfValue(SW->condition());
+    for (unsigned I = 0, E = SW->getNumCases(); I != E; ++I) {
+      unsigned K = MF->newVReg(), Eq = MF->newVReg();
+      MBB->push(MOp::LI, {MOperand::reg(K),
+                          MOperand::imm(static_cast<int64_t>(
+                              SW->caseValue(I)->value().zext()))});
+      MBB->push(MOp::CMPEQ,
+                {MOperand::reg(Eq), MOperand::reg(C), MOperand::reg(K)});
+      MBB->push(MOp::BNZ, {MOperand::reg(Eq),
+                           MOperand::label(BlockMap.at(SW->caseDest(I)))});
+      MBB->Succs.push_back(BlockMap.at(SW->caseDest(I)));
+    }
+    MBB->push(MOp::JMP, {MOperand::label(BlockMap.at(SW->defaultDest()))});
+    MBB->Succs.push_back(BlockMap.at(SW->defaultDest()));
+    break;
+  }
+  case Opcode::Ret: {
+    auto *R = cast<ReturnInst>(T);
+    if (R->hasValue())
+      MBB->push(MOp::RET, {MOperand::reg(RegOfValue(R->value()))});
+    else
+      MBB->push(MOp::RET, {});
+    break;
+  }
+  case Opcode::Unreachable: {
+    // Executing this is UB; return an undef register.
+    if (!F.returnType()->isVoid()) {
+      unsigned R = MF->newVReg();
+      MBB->push(MOp::IMPLICIT_DEF, {MOperand::reg(R)});
+      MBB->push(MOp::RET, {MOperand::reg(R)});
+    } else {
+      MBB->push(MOp::RET, {});
+    }
+    break;
+  }
+  default:
+    frost_unreachable("unknown terminator");
+  }
+}
+
+CompiledFunction FunctionLowering::run() {
+  assert(!F.isDeclaration() && "cannot compile a declaration");
+  Out.MF = MachineFunction(F.getName());
+  MF = &Out.MF;
+  MF->NumArgs = F.getNumArgs();
+
+  layoutGlobals();
+  for (unsigned I = 0; I != F.getNumArgs(); ++I) {
+    Out.ArgWidths.push_back(typeWidth(F.arg(I)->getType()));
+    MF->newFrameSlot(4); // Incoming argument slots 0..N-1.
+  }
+
+  for (BasicBlock *BB : F)
+    BlockMap[BB] = MF->addBlock(BB->getName());
+  assignCrossBlockRegs();
+
+  // Entry prologue: load the arguments from their frame slots (loads and
+  // stores accept a frame slot directly as the base operand).
+  MBB = BlockMap.at(F.entry());
+  for (unsigned I = 0; I != F.getNumArgs(); ++I)
+    MBB->push(MOp::LOAD4, {MOperand::reg(ValueVReg.at(F.arg(I))),
+                           MOperand::frame(I), MOperand::imm(0)});
+
+  for (BasicBlock *BB : F) {
+    BlockDAG DAG;
+    lowerBlock(BB, DAG);
+  }
+
+  if (Opts.RunRegAlloc) {
+    RegAllocResult RA = runLinearScan(Out.MF);
+    Out.Stats.Spills = RA.Spills;
+    Out.Stats.Reloads = RA.Reloads;
+  }
+  Out.Stats.MIInstructions = Out.MF.instructionCount();
+  return std::move(Out);
+}
+
+} // namespace
+
+CompiledFunction codegen::compileFunction(Function &F,
+                                          const CodegenOptions &Opts) {
+  FunctionLowering FL(F, Opts);
+  return FL.run();
+}

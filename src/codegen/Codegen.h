@@ -1,0 +1,69 @@
+//===- Codegen.h - IR to machine code pipeline ------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 6 backend: IR -> SelectionDAG (with FREEZE) -> type
+/// legalization -> instruction selection (freeze becomes COPY, poison
+/// becomes an IMPLICIT_DEF undef register) -> linear-scan register
+/// allocation -> frost-risc assembly. Paired with MachineSim.h this gives
+/// deterministic cycle counts for the Section 7 run-time experiments.
+///
+/// Restrictions (documented substitutions): scalar integer types up to 32
+/// bits; no vectors, calls, or 64-bit values at this level — the evaluation
+/// kernels are written within this subset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_CODEGEN_CODEGEN_H
+#define FROST_CODEGEN_CODEGEN_H
+
+#include "codegen/MIR.h"
+
+#include <map>
+
+namespace frost {
+
+class Function;
+class GlobalVariable;
+
+namespace codegen {
+
+/// Counters the Section 7 experiments report on.
+struct CodegenStats {
+  unsigned MIInstructions = 0; ///< Final machine instruction count.
+  unsigned FreezeCopies = 0;   ///< COPYs emitted for freeze.
+  unsigned ImplicitDefs = 0;   ///< Undef registers for poison/undef.
+  unsigned Spills = 0;         ///< Spill stores inserted by regalloc.
+  unsigned Reloads = 0;        ///< Reload loads inserted by regalloc.
+  unsigned LegalizeNodes = 0;  ///< Nodes inserted by type legalization.
+};
+
+/// Result of compiling one function.
+struct CompiledFunction {
+  MachineFunction MF{""};
+  CodegenStats Stats;
+  /// Bit width of each formal argument (the simulator masks inputs).
+  std::vector<unsigned> ArgWidths;
+  /// Address assigned to each referenced global.
+  std::map<const GlobalVariable *, uint32_t> GlobalAddrs;
+  /// First free address after the globals (the simulator's frame base).
+  uint32_t MemoryEnd = 0x1000;
+};
+
+struct CodegenOptions {
+  bool RunRegAlloc = true; ///< Disable to inspect virtual-register MIR.
+};
+
+/// Compiles \p F to frost-risc machine code. Aborts on unsupported
+/// constructs (vectors, calls, >32-bit types).
+CompiledFunction compileFunction(Function &F,
+                                 const CodegenOptions &Opts = CodegenOptions());
+
+} // namespace codegen
+} // namespace frost
+
+#endif // FROST_CODEGEN_CODEGEN_H

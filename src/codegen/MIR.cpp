@@ -1,0 +1,156 @@
+//===- MIR.cpp - Machine IR for the frost-risc target -------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/MIR.h"
+
+#include "support/ErrorHandling.h"
+
+#include <sstream>
+
+using namespace frost;
+using namespace frost::codegen;
+
+const char *codegen::mopName(MOp Op) {
+  switch (Op) {
+  case MOp::ADD:
+    return "add";
+  case MOp::SUB:
+    return "sub";
+  case MOp::MUL:
+    return "mul";
+  case MOp::DIVU:
+    return "divu";
+  case MOp::DIVS:
+    return "divs";
+  case MOp::REMU:
+    return "remu";
+  case MOp::REMS:
+    return "rems";
+  case MOp::SHL:
+    return "shl";
+  case MOp::SHRL:
+    return "shrl";
+  case MOp::SHRA:
+    return "shra";
+  case MOp::AND:
+    return "and";
+  case MOp::OR:
+    return "or";
+  case MOp::XOR:
+    return "xor";
+  case MOp::ADDI:
+    return "addi";
+  case MOp::ANDI:
+    return "andi";
+  case MOp::ORI:
+    return "ori";
+  case MOp::XORI:
+    return "xori";
+  case MOp::SHLI:
+    return "shli";
+  case MOp::SHRLI:
+    return "shrli";
+  case MOp::SHRAI:
+    return "shrai";
+  case MOp::CMPEQ:
+    return "cmpeq";
+  case MOp::CMPNE:
+    return "cmpne";
+  case MOp::CMPULT:
+    return "cmpult";
+  case MOp::CMPULE:
+    return "cmpule";
+  case MOp::CMPSLT:
+    return "cmpslt";
+  case MOp::CMPSLE:
+    return "cmpsle";
+  case MOp::LI:
+    return "li";
+  case MOp::COPY:
+    return "copy";
+  case MOp::IMPLICIT_DEF:
+    return "implicit_def";
+  case MOp::LOAD1:
+    return "load1";
+  case MOp::LOAD2:
+    return "load2";
+  case MOp::LOAD4:
+    return "load4";
+  case MOp::STORE1:
+    return "store1";
+  case MOp::STORE2:
+    return "store2";
+  case MOp::STORE4:
+    return "store4";
+  case MOp::FRAMEADDR:
+    return "frameaddr";
+  case MOp::JMP:
+    return "jmp";
+  case MOp::BNZ:
+    return "bnz";
+  case MOp::RET:
+    return "ret";
+  }
+  frost_unreachable("unknown machine opcode");
+}
+
+int MachineInst::defIndex() const {
+  switch (Op) {
+  case MOp::STORE1:
+  case MOp::STORE2:
+  case MOp::STORE4:
+  case MOp::JMP:
+  case MOp::BNZ:
+  case MOp::RET:
+    return -1;
+  default:
+    return 0;
+  }
+}
+
+namespace {
+
+std::string regName(unsigned R) {
+  if (R < FirstVirtReg)
+    return "r" + std::to_string(R);
+  return "%v" + std::to_string(R - FirstVirtReg);
+}
+
+std::string operandStr(const MOperand &O) {
+  switch (O.K) {
+  case MOperand::Kind::Reg:
+    return regName(O.Reg);
+  case MOperand::Kind::Imm:
+    return std::to_string(O.Imm);
+  case MOperand::Kind::Label:
+    return "." + O.MBB->Name;
+  case MOperand::Kind::Frame:
+    return "fp[" + std::to_string(O.Frame) + "]";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string MachineInst::str() const {
+  std::string S = mopName(Op);
+  for (unsigned I = 0; I != Ops.size(); ++I)
+    S += (I ? ", " : " ") + operandStr(Ops[I]);
+  return S;
+}
+
+std::string MachineFunction::str() const {
+  std::ostringstream OS;
+  OS << Name << ":  # " << NumArgs << " args, " << FrameSlots.size()
+     << " frame slots\n";
+  for (const auto &B : Blocks) {
+    OS << "." << B->Name << ":\n";
+    for (const MachineInst &I : B->Insts)
+      OS << "  " << I.str() << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,193 @@
+//===- MIR.h - Machine IR for the frost-risc target -------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MachineInstruction layer of the paper's Section 6 lowering story: a
+/// 32-bit RISC-like target with 12 general-purpose registers. There is no
+/// poison at this level — instead there are *undef registers*
+/// (IMPLICIT_DEF), which may read differently at each use, exactly like
+/// LLVM's MI level; taking a COPY of one pins the value, which is why
+/// freeze lowers to a register copy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_CODEGEN_MIR_H
+#define FROST_CODEGEN_MIR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace frost {
+namespace codegen {
+
+/// frost-risc machine opcodes.
+enum class MOp {
+  // Three-address register arithmetic: rd, ra, rb.
+  ADD,
+  SUB,
+  MUL,
+  DIVU,
+  DIVS,
+  REMU,
+  REMS,
+  SHL,
+  SHRL, // Logical right shift.
+  SHRA, // Arithmetic right shift.
+  AND,
+  OR,
+  XOR,
+  // Register-immediate forms: rd, ra, imm.
+  ADDI,
+  ANDI,
+  ORI,
+  XORI,
+  SHLI,
+  SHRLI,
+  SHRAI,
+  // Compares producing 0/1: rd, ra, rb (one per predicate).
+  CMPEQ,
+  CMPNE,
+  CMPULT,
+  CMPULE,
+  CMPSLT,
+  CMPSLE,
+  // Data movement.
+  LI,           // rd, imm32.
+  COPY,         // rd, ra — also the lowering of freeze.
+  IMPLICIT_DEF, // rd — an undef register (lowering of poison).
+  // Memory: rd/rs, base reg, imm offset; size in bytes is in the opcode.
+  LOAD1,
+  LOAD2,
+  LOAD4,
+  STORE1,
+  STORE2,
+  STORE4,
+  FRAMEADDR, // rd, frame-slot index: materialises a stack address.
+  // Control flow.
+  JMP,  // label.
+  BNZ,  // rc, label: branch if rc != 0.
+  RET,  // optional value reg.
+};
+
+const char *mopName(MOp Op);
+
+/// Number of allocatable physical registers (r0..r11).
+constexpr unsigned NumPhysRegs = 12;
+/// Virtual register numbers start here; anything below is physical.
+constexpr unsigned FirstVirtReg = 64;
+
+class MachineBasicBlock;
+
+/// One operand: register, immediate, block label, or frame slot.
+struct MOperand {
+  enum class Kind { Reg, Imm, Label, Frame };
+  Kind K = Kind::Imm;
+  unsigned Reg = 0;
+  int64_t Imm = 0;
+  MachineBasicBlock *MBB = nullptr;
+  unsigned Frame = 0;
+
+  static MOperand reg(unsigned R) {
+    MOperand O;
+    O.K = Kind::Reg;
+    O.Reg = R;
+    return O;
+  }
+  static MOperand imm(int64_t V) {
+    MOperand O;
+    O.K = Kind::Imm;
+    O.Imm = V;
+    return O;
+  }
+  static MOperand label(MachineBasicBlock *B) {
+    MOperand O;
+    O.K = Kind::Label;
+    O.MBB = B;
+    return O;
+  }
+  static MOperand frame(unsigned Slot) {
+    MOperand O;
+    O.K = Kind::Frame;
+    O.Frame = Slot;
+    return O;
+  }
+
+  bool isReg() const { return K == Kind::Reg; }
+};
+
+/// One machine instruction.
+struct MachineInst {
+  MOp Op;
+  std::vector<MOperand> Ops;
+
+  MachineInst(MOp Op, std::vector<MOperand> Ops)
+      : Op(Op), Ops(std::move(Ops)) {}
+
+  /// Index of the defined register operand, or -1 (stores, branches, ret).
+  int defIndex() const;
+  bool isTerminator() const {
+    return Op == MOp::JMP || Op == MOp::BNZ || Op == MOp::RET;
+  }
+
+  std::string str() const;
+};
+
+/// A machine basic block.
+class MachineBasicBlock {
+public:
+  explicit MachineBasicBlock(std::string Name) : Name(std::move(Name)) {}
+
+  std::string Name;
+  std::vector<MachineInst> Insts;
+  std::vector<MachineBasicBlock *> Succs;
+
+  void push(MOp Op, std::vector<MOperand> Ops) {
+    Insts.emplace_back(Op, std::move(Ops));
+  }
+};
+
+/// A compiled function.
+class MachineFunction {
+public:
+  explicit MachineFunction(std::string Name) : Name(std::move(Name)) {}
+  MachineFunction(MachineFunction &&) = default;
+  MachineFunction &operator=(MachineFunction &&) = default;
+
+  std::string Name;
+  std::vector<std::unique_ptr<MachineBasicBlock>> Blocks;
+  unsigned NextVReg = FirstVirtReg;
+  /// Frame slots (from allocas and spills), in bytes each.
+  std::vector<unsigned> FrameSlots;
+  unsigned NumArgs = 0;
+
+  MachineBasicBlock *addBlock(const std::string &BName) {
+    Blocks.emplace_back(new MachineBasicBlock(BName));
+    return Blocks.back().get();
+  }
+  unsigned newVReg() { return NextVReg++; }
+  unsigned newFrameSlot(unsigned Bytes) {
+    FrameSlots.push_back(Bytes);
+    return FrameSlots.size() - 1;
+  }
+
+  unsigned instructionCount() const {
+    unsigned N = 0;
+    for (const auto &B : Blocks)
+      N += B->Insts.size();
+    return N;
+  }
+
+  /// Renders the function as textual assembly.
+  std::string str() const;
+};
+
+} // namespace codegen
+} // namespace frost
+
+#endif // FROST_CODEGEN_MIR_H

@@ -1,0 +1,314 @@
+//===- MachineSim.cpp - Cycle-counting machine simulator -----------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/MachineSim.h"
+
+#include <map>
+
+using namespace frost;
+using namespace frost::codegen;
+
+namespace {
+
+struct Machine {
+  const CompiledFunction &CF;
+  std::vector<uint32_t> Regs;
+  std::vector<uint8_t> Mem;
+  uint32_t FrameBase;
+  SimResult R;
+
+  explicit Machine(const CompiledFunction &CF)
+      : CF(CF), Regs(NumPhysRegs, 0) {
+    // Memory: [0, MemoryEnd) globals, then the frame slots.
+    FrameBase = CF.MemoryEnd;
+    uint32_t FrameBytes = 0;
+    for (unsigned Slot : CF.MF.FrameSlots)
+      FrameBytes += (Slot + 3) & ~3u;
+    Mem.assign(FrameBase + FrameBytes + 64, 0);
+  }
+
+  uint32_t frameAddr(unsigned Slot) const {
+    uint32_t Off = 0;
+    for (unsigned I = 0; I != Slot; ++I)
+      Off += (CF.MF.FrameSlots[I] + 3) & ~3u;
+    return FrameBase + Off;
+  }
+
+  bool validRange(uint32_t Addr, unsigned Bytes) const {
+    return Addr + Bytes <= Mem.size() && Addr + Bytes >= Addr;
+  }
+
+  uint32_t loadMem(uint32_t Addr, unsigned Bytes) const {
+    uint32_t V = 0;
+    for (unsigned I = 0; I != Bytes; ++I)
+      V |= static_cast<uint32_t>(Mem[Addr + I]) << (8 * I);
+    return V;
+  }
+  void storeMem(uint32_t Addr, unsigned Bytes, uint32_t V) {
+    for (unsigned I = 0; I != Bytes; ++I)
+      Mem[Addr + I] = static_cast<uint8_t>(V >> (8 * I));
+  }
+};
+
+uint64_t opCycles(MOp Op, bool Taken) {
+  switch (Op) {
+  case MOp::MUL:
+    return 3;
+  case MOp::DIVU:
+  case MOp::DIVS:
+  case MOp::REMU:
+  case MOp::REMS:
+    return 12;
+  case MOp::LOAD4:
+  case MOp::STORE4:
+    return 2;
+  case MOp::LOAD1:
+  case MOp::LOAD2:
+  case MOp::STORE1:
+  case MOp::STORE2:
+    return 3;
+  case MOp::BNZ:
+    return Taken ? 2 : 1;
+  default:
+    return 1;
+  }
+}
+
+} // namespace
+
+SimResult codegen::simulate(const CompiledFunction &CF,
+                            const std::vector<uint32_t> &Args,
+                            uint64_t MaxSteps) {
+  Machine M(CF);
+  SimResult &R = M.R;
+
+  if (Args.size() != CF.ArgWidths.size()) {
+    R.Error = "argument count mismatch";
+    return R;
+  }
+  // Arguments arrive in their frame slots, masked to their widths
+  // (zero-extended representation).
+  for (unsigned I = 0; I != Args.size(); ++I) {
+    uint32_t Mask = CF.ArgWidths[I] >= 32
+                        ? 0xFFFFFFFFu
+                        : ((1u << CF.ArgWidths[I]) - 1);
+    M.storeMem(M.frameAddr(I), 4, Args[I] & Mask);
+  }
+
+  if (CF.MF.Blocks.empty()) {
+    R.Error = "empty function";
+    return R;
+  }
+
+  const MachineBasicBlock *BB = CF.MF.Blocks.front().get();
+  size_t PC = 0;
+
+  auto RegOrFrame = [&](const MOperand &O) -> uint32_t {
+    if (O.isReg())
+      return M.Regs[O.Reg];
+    return M.frameAddr(O.Frame);
+  };
+
+  while (true) {
+    if (R.Instructions++ >= MaxSteps) {
+      R.Error = "step limit exceeded";
+      return R;
+    }
+    if (PC >= BB->Insts.size()) {
+      R.Error = "fell off the end of block " + BB->Name;
+      return R;
+    }
+    const MachineInst &I = BB->Insts[PC];
+    bool Taken = false;
+    uint32_t A, B;
+
+    switch (I.Op) {
+    case MOp::ADD:
+    case MOp::SUB:
+    case MOp::MUL:
+    case MOp::DIVU:
+    case MOp::DIVS:
+    case MOp::REMU:
+    case MOp::REMS:
+    case MOp::SHL:
+    case MOp::SHRL:
+    case MOp::SHRA:
+    case MOp::AND:
+    case MOp::OR:
+    case MOp::XOR:
+    case MOp::CMPEQ:
+    case MOp::CMPNE:
+    case MOp::CMPULT:
+    case MOp::CMPULE:
+    case MOp::CMPSLT:
+    case MOp::CMPSLE: {
+      A = M.Regs[I.Ops[1].Reg];
+      B = M.Regs[I.Ops[2].Reg];
+      uint32_t V = 0;
+      int32_t SA = static_cast<int32_t>(A), SB = static_cast<int32_t>(B);
+      switch (I.Op) {
+      case MOp::ADD:
+        V = A + B;
+        break;
+      case MOp::SUB:
+        V = A - B;
+        break;
+      case MOp::MUL:
+        V = A * B;
+        break;
+      case MOp::DIVU:
+        V = B ? A / B : 0xDEADu; // Hardware-defined garbage on /0.
+        break;
+      case MOp::DIVS:
+        V = (B && !(SA == INT32_MIN && SB == -1))
+                ? static_cast<uint32_t>(SA / SB)
+                : 0xDEADu;
+        break;
+      case MOp::REMU:
+        V = B ? A % B : 0xDEADu;
+        break;
+      case MOp::REMS:
+        V = (B && !(SA == INT32_MIN && SB == -1))
+                ? static_cast<uint32_t>(SA % SB)
+                : 0xDEADu;
+        break;
+      case MOp::SHL:
+        V = A << (B & 31);
+        break;
+      case MOp::SHRL:
+        V = A >> (B & 31);
+        break;
+      case MOp::SHRA:
+        V = static_cast<uint32_t>(SA >> (B & 31));
+        break;
+      case MOp::AND:
+        V = A & B;
+        break;
+      case MOp::OR:
+        V = A | B;
+        break;
+      case MOp::XOR:
+        V = A ^ B;
+        break;
+      case MOp::CMPEQ:
+        V = A == B;
+        break;
+      case MOp::CMPNE:
+        V = A != B;
+        break;
+      case MOp::CMPULT:
+        V = A < B;
+        break;
+      case MOp::CMPULE:
+        V = A <= B;
+        break;
+      case MOp::CMPSLT:
+        V = SA < SB;
+        break;
+      case MOp::CMPSLE:
+        V = SA <= SB;
+        break;
+      default:
+        break;
+      }
+      M.Regs[I.Ops[0].Reg] = V;
+      break;
+    }
+    case MOp::ADDI:
+      M.Regs[I.Ops[0].Reg] =
+          M.Regs[I.Ops[1].Reg] + static_cast<uint32_t>(I.Ops[2].Imm);
+      break;
+    case MOp::ANDI:
+      M.Regs[I.Ops[0].Reg] =
+          M.Regs[I.Ops[1].Reg] & static_cast<uint32_t>(I.Ops[2].Imm);
+      break;
+    case MOp::ORI:
+      M.Regs[I.Ops[0].Reg] =
+          M.Regs[I.Ops[1].Reg] | static_cast<uint32_t>(I.Ops[2].Imm);
+      break;
+    case MOp::XORI:
+      M.Regs[I.Ops[0].Reg] =
+          M.Regs[I.Ops[1].Reg] ^ static_cast<uint32_t>(I.Ops[2].Imm);
+      break;
+    case MOp::SHLI:
+      M.Regs[I.Ops[0].Reg] = M.Regs[I.Ops[1].Reg]
+                             << (I.Ops[2].Imm & 31);
+      break;
+    case MOp::SHRLI:
+      M.Regs[I.Ops[0].Reg] = M.Regs[I.Ops[1].Reg] >> (I.Ops[2].Imm & 31);
+      break;
+    case MOp::SHRAI:
+      M.Regs[I.Ops[0].Reg] = static_cast<uint32_t>(
+          static_cast<int32_t>(M.Regs[I.Ops[1].Reg]) >> (I.Ops[2].Imm & 31));
+      break;
+    case MOp::LI:
+      M.Regs[I.Ops[0].Reg] = static_cast<uint32_t>(I.Ops[1].Imm);
+      break;
+    case MOp::COPY:
+      M.Regs[I.Ops[0].Reg] = M.Regs[I.Ops[1].Reg];
+      break;
+    case MOp::IMPLICIT_DEF:
+      // An undef register: the simulator picks a recognizable garbage
+      // value. A correct compilation never lets this influence defined
+      // results.
+      M.Regs[I.Ops[0].Reg] = 0xBAADF00Du;
+      break;
+    case MOp::FRAMEADDR:
+      M.Regs[I.Ops[0].Reg] = M.frameAddr(I.Ops[1].Frame);
+      break;
+    case MOp::LOAD1:
+    case MOp::LOAD2:
+    case MOp::LOAD4: {
+      unsigned Bytes = I.Op == MOp::LOAD1 ? 1 : I.Op == MOp::LOAD2 ? 2 : 4;
+      uint32_t Addr =
+          RegOrFrame(I.Ops[1]) + static_cast<uint32_t>(I.Ops[2].Imm);
+      if (!M.validRange(Addr, Bytes)) {
+        R.Error = "out-of-range load at " + std::to_string(Addr);
+        return R;
+      }
+      M.Regs[I.Ops[0].Reg] = M.loadMem(Addr, Bytes);
+      break;
+    }
+    case MOp::STORE1:
+    case MOp::STORE2:
+    case MOp::STORE4: {
+      unsigned Bytes = I.Op == MOp::STORE1 ? 1 : I.Op == MOp::STORE2 ? 2 : 4;
+      uint32_t Addr =
+          RegOrFrame(I.Ops[1]) + static_cast<uint32_t>(I.Ops[2].Imm);
+      if (!M.validRange(Addr, Bytes)) {
+        R.Error = "out-of-range store at " + std::to_string(Addr);
+        return R;
+      }
+      M.storeMem(Addr, Bytes, M.Regs[I.Ops[0].Reg]);
+      break;
+    }
+    case MOp::JMP:
+      R.Cycles += opCycles(I.Op, true);
+      BB = I.Ops[0].MBB;
+      PC = 0;
+      continue;
+    case MOp::BNZ:
+      Taken = M.Regs[I.Ops[0].Reg] != 0;
+      R.Cycles += opCycles(I.Op, Taken);
+      if (Taken) {
+        BB = I.Ops[1].MBB;
+        PC = 0;
+        continue;
+      }
+      ++PC;
+      continue;
+    case MOp::RET:
+      R.Cycles += 1;
+      R.Ok = true;
+      R.ReturnValue = I.Ops.empty() ? 0 : M.Regs[I.Ops[0].Reg];
+      return R;
+    }
+
+    R.Cycles += opCycles(I.Op, Taken);
+    ++PC;
+  }
+}

@@ -1,0 +1,49 @@
+//===- MachineSim.h - Cycle-counting machine simulator ----------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes compiled frost-risc code with a deterministic cycle model. This
+/// is the measurement substrate for the paper's Section 7 run-time
+/// experiments: where the paper ran SPEC binaries on two Intel machines, we
+/// run the benchmark kernels on this simulator, so relative cycle deltas
+/// between the legacy and freeze pipelines are exact and reproducible.
+///
+/// Cycle model: ALU/compare/copy/li 1; mul 3; div/rem 12; load/store 2
+/// (+1 for sub-word); taken branches 2, untaken 1; jmp 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_CODEGEN_MACHINESIM_H
+#define FROST_CODEGEN_MACHINESIM_H
+
+#include "codegen/Codegen.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace frost {
+namespace codegen {
+
+/// Result of one simulated run.
+struct SimResult {
+  bool Ok = false;
+  uint32_t ReturnValue = 0;
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  std::string Error;
+};
+
+/// Runs \p CF on \p Args (masked to the declared argument widths). Globals
+/// start zero-initialised. \p MaxSteps bounds runaway loops.
+SimResult simulate(const CompiledFunction &CF,
+                   const std::vector<uint32_t> &Args,
+                   uint64_t MaxSteps = 50u * 1000u * 1000u);
+
+} // namespace codegen
+} // namespace frost
+
+#endif // FROST_CODEGEN_MACHINESIM_H

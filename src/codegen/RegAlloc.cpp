@@ -1,0 +1,235 @@
+//===- RegAlloc.cpp - Linear-scan register allocation --------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/RegAlloc.h"
+
+#include "codegen/MIR.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace frost;
+using namespace frost::codegen;
+
+namespace {
+
+/// r0..r9 are allocatable; r10/r11 are reserved for spill code.
+constexpr unsigned NumAllocatable = NumPhysRegs - 2;
+constexpr unsigned Scratch0 = NumPhysRegs - 2;
+constexpr unsigned Scratch1 = NumPhysRegs - 1;
+
+struct Interval {
+  unsigned VReg;
+  unsigned Start;
+  unsigned End;
+};
+
+} // namespace
+
+RegAllocResult codegen::runLinearScan(MachineFunction &MF) {
+  RegAllocResult Result;
+
+  // Global instruction numbering and per-block ranges.
+  std::map<const MachineBasicBlock *, std::pair<unsigned, unsigned>> Range;
+  unsigned Idx = 0;
+  for (auto &B : MF.Blocks) {
+    unsigned Start = Idx;
+    Idx += B->Insts.size();
+    Range[B.get()] = {Start, Idx == Start ? Start : Idx - 1};
+  }
+
+  // Per-block use/def sets over virtual registers.
+  std::map<const MachineBasicBlock *, std::set<unsigned>> UseB, DefB, LiveIn,
+      LiveOut;
+  for (auto &B : MF.Blocks) {
+    std::set<unsigned> &Uses = UseB[B.get()], &Defs = DefB[B.get()];
+    for (const MachineInst &I : B->Insts) {
+      int DI = I.defIndex();
+      for (unsigned O = 0; O != I.Ops.size(); ++O) {
+        if (!I.Ops[O].isReg() || I.Ops[O].Reg < FirstVirtReg)
+          continue;
+        if (static_cast<int>(O) == DI)
+          continue;
+        if (!Defs.count(I.Ops[O].Reg))
+          Uses.insert(I.Ops[O].Reg);
+      }
+      if (DI >= 0 && I.Ops[DI].isReg() && I.Ops[DI].Reg >= FirstVirtReg)
+        Defs.insert(I.Ops[DI].Reg);
+    }
+  }
+
+  // Backward liveness to a fixed point.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto It = MF.Blocks.rbegin(); It != MF.Blocks.rend(); ++It) {
+      MachineBasicBlock *B = It->get();
+      std::set<unsigned> Out;
+      for (MachineBasicBlock *S : B->Succs)
+        for (unsigned V : LiveIn[S])
+          Out.insert(V);
+      std::set<unsigned> In = UseB[B];
+      for (unsigned V : Out)
+        if (!DefB[B].count(V))
+          In.insert(V);
+      if (Out != LiveOut[B] || In != LiveIn[B]) {
+        LiveOut[B] = std::move(Out);
+        LiveIn[B] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+
+  // Build intervals.
+  std::map<unsigned, Interval> Intervals;
+  auto Extend = [&](unsigned V, unsigned Pos) {
+    auto It = Intervals.find(V);
+    if (It == Intervals.end()) {
+      Intervals[V] = {V, Pos, Pos};
+      return;
+    }
+    It->second.Start = std::min(It->second.Start, Pos);
+    It->second.End = std::max(It->second.End, Pos);
+  };
+  Idx = 0;
+  for (auto &B : MF.Blocks) {
+    auto [BStart, BEnd] = Range[B.get()];
+    for (unsigned V : LiveIn[B.get()])
+      Extend(V, BStart);
+    for (unsigned V : LiveOut[B.get()])
+      Extend(V, BEnd);
+    for (const MachineInst &I : B->Insts) {
+      for (const MOperand &O : I.Ops)
+        if (O.isReg() && O.Reg >= FirstVirtReg)
+          Extend(O.Reg, Idx);
+      ++Idx;
+    }
+  }
+
+  // Linear scan.
+  std::vector<Interval> Sorted;
+  for (auto &[V, I] : Intervals)
+    Sorted.push_back(I);
+  std::sort(Sorted.begin(), Sorted.end(), [](const Interval &A,
+                                             const Interval &B) {
+    return A.Start != B.Start ? A.Start < B.Start : A.VReg < B.VReg;
+  });
+
+  std::map<unsigned, unsigned> PhysOf;  // vreg -> phys reg.
+  std::map<unsigned, unsigned> SlotOf;  // vreg -> frame slot.
+  std::vector<Interval> Active;         // Sorted by End.
+  std::set<unsigned> FreeRegs;
+  for (unsigned R = 0; R != NumAllocatable; ++R)
+    FreeRegs.insert(R);
+
+  for (const Interval &Cur : Sorted) {
+    // Expire finished intervals.
+    for (auto It = Active.begin(); It != Active.end();) {
+      if (It->End < Cur.Start) {
+        FreeRegs.insert(PhysOf.at(It->VReg));
+        It = Active.erase(It);
+      } else {
+        ++It;
+      }
+    }
+    Result.PeakPressure = std::max(
+        Result.PeakPressure, static_cast<unsigned>(Active.size() + 1));
+
+    if (!FreeRegs.empty()) {
+      unsigned R = *FreeRegs.begin();
+      FreeRegs.erase(FreeRegs.begin());
+      PhysOf[Cur.VReg] = R;
+      Active.push_back(Cur);
+      std::sort(Active.begin(), Active.end(),
+                [](const Interval &A, const Interval &B) {
+                  return A.End < B.End;
+                });
+      continue;
+    }
+    // Spill the interval that ends last (Poletto's heuristic).
+    Interval &Last = Active.back();
+    if (Last.End > Cur.End) {
+      // Steal its register for the current interval.
+      unsigned R = PhysOf.at(Last.VReg);
+      PhysOf.erase(Last.VReg);
+      SlotOf[Last.VReg] = MF.newFrameSlot(4);
+      PhysOf[Cur.VReg] = R;
+      Active.pop_back();
+      Active.push_back(Cur);
+      std::sort(Active.begin(), Active.end(),
+                [](const Interval &A, const Interval &B) {
+                  return A.End < B.End;
+                });
+    } else {
+      SlotOf[Cur.VReg] = MF.newFrameSlot(4);
+    }
+  }
+  Result.SpilledRegs = SlotOf.size();
+
+  // Rewrite instructions.
+  for (auto &B : MF.Blocks) {
+    std::vector<MachineInst> NewInsts;
+    for (MachineInst &I : B->Insts) {
+      int DI = I.defIndex();
+      unsigned NextScratch = Scratch0;
+      MachineInst Rewritten = I;
+      // Reload spilled uses.
+      for (unsigned O = 0; O != Rewritten.Ops.size(); ++O) {
+        MOperand &Op = Rewritten.Ops[O];
+        if (!Op.isReg() || Op.Reg < FirstVirtReg ||
+            static_cast<int>(O) == DI)
+          continue;
+        auto PIt = PhysOf.find(Op.Reg);
+        if (PIt != PhysOf.end()) {
+          Op.Reg = PIt->second;
+          continue;
+        }
+        auto SIt = SlotOf.find(Op.Reg);
+        assert(SIt != SlotOf.end() && "virtual register never allocated");
+        unsigned Scratch = NextScratch;
+        assert(Scratch <= Scratch1 && "too many spilled uses in one inst");
+        NextScratch = Scratch1;
+        NewInsts.emplace_back(
+            MOp::LOAD4, std::vector<MOperand>{MOperand::reg(Scratch),
+                                              MOperand::frame(SIt->second),
+                                              MOperand::imm(0)});
+        ++Result.Reloads;
+        Op.Reg = Scratch;
+      }
+      // Rewrite / spill the def.
+      bool StoreAfter = false;
+      unsigned StoreSlot = 0;
+      if (DI >= 0 && Rewritten.Ops[DI].isReg() &&
+          Rewritten.Ops[DI].Reg >= FirstVirtReg) {
+        unsigned V = Rewritten.Ops[DI].Reg;
+        auto PIt = PhysOf.find(V);
+        if (PIt != PhysOf.end()) {
+          Rewritten.Ops[DI].Reg = PIt->second;
+        } else {
+          auto SIt = SlotOf.find(V);
+          assert(SIt != SlotOf.end() && "virtual register never allocated");
+          Rewritten.Ops[DI].Reg = Scratch0;
+          StoreAfter = true;
+          StoreSlot = SIt->second;
+        }
+      }
+      NewInsts.push_back(std::move(Rewritten));
+      if (StoreAfter) {
+        NewInsts.emplace_back(
+            MOp::STORE4, std::vector<MOperand>{MOperand::reg(Scratch0),
+                                               MOperand::frame(StoreSlot),
+                                               MOperand::imm(0)});
+        ++Result.Spills;
+      }
+    }
+    B->Insts = std::move(NewInsts);
+  }
+  return Result;
+}

@@ -1,0 +1,39 @@
+//===- RegAlloc.h - Linear-scan register allocation -------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Poletto-style linear scan over live intervals computed from per-block
+/// liveness. Spills go to frame slots, with two reserved scratch registers
+/// for spill code. Freeze lowers to COPYs that this allocator does *not*
+/// coalesce — matching the paper's note that the prototype's freeze
+/// lowering "is currently suboptimal" and may cost a register; the run-time
+/// benchmarks measure exactly this effect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_CODEGEN_REGALLOC_H
+#define FROST_CODEGEN_REGALLOC_H
+
+namespace frost {
+namespace codegen {
+
+class MachineFunction;
+
+struct RegAllocResult {
+  unsigned Spills = 0;        ///< Spill stores inserted.
+  unsigned Reloads = 0;       ///< Reload loads inserted.
+  unsigned SpilledRegs = 0;   ///< Virtual registers assigned to stack slots.
+  unsigned PeakPressure = 0;  ///< Maximum simultaneously live intervals.
+};
+
+/// Rewrites \p MF in place so only physical registers remain.
+RegAllocResult runLinearScan(MachineFunction &MF);
+
+} // namespace codegen
+} // namespace frost
+
+#endif // FROST_CODEGEN_REGALLOC_H

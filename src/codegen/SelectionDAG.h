@@ -1,0 +1,123 @@
+//===- SelectionDAG.h - Per-block lowering DAG ------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SelectionDAG stage of the Section 6 lowering pipeline. Each basic
+/// block is translated into a DAG whose nodes mirror the IR operations —
+/// including a first-class FREEZE node, which the paper's prototype added —
+/// plus target-preparation nodes introduced by *type legalization*: the
+/// frost-risc target only computes on 32-bit registers, so sub-word values
+/// are promoted, with explicit MaskTo (zero the high bits) and SExtFrom
+/// (replicate the sign bit) nodes inserted where the operation is sensitive
+/// to them. Legalization knows how to promote FREEZE ("we had to teach type
+/// legalization to handle freeze instructions with operands of illegal
+/// type").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_CODEGEN_SELECTIONDAG_H
+#define FROST_CODEGEN_SELECTIONDAG_H
+
+#include "ir/Instruction.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace frost {
+
+class BasicBlock;
+
+namespace codegen {
+
+/// DAG node kinds. Value-producing kinds parallel the IR; the last group is
+/// target-specific.
+enum class SDKind {
+  // Leaves.
+  Constant,    ///< Imm holds the (zero-masked) value.
+  Poison,      ///< Lowers to IMPLICIT_DEF: an undef register.
+  CopyFromReg, ///< VReg holds a virtual register (argument, phi, or a value
+               ///< defined in another block).
+  GlobalAddr,  ///< Imm holds the global's assigned address.
+  FrameAddr,   ///< Imm holds the frame slot index.
+  // Mirrored IR operations.
+  Add,
+  Sub,
+  Mul,
+  UDiv,
+  SDiv,
+  URem,
+  SRem,
+  Shl,
+  LShr,
+  AShr,
+  And,
+  Or,
+  Xor,
+  Cmp,    ///< Pred holds the predicate.
+  Select, ///< (cond, true, false); lowered branchlessly via masks.
+  Freeze, ///< The new node: selected as a register COPY.
+  Load,   ///< (addr); Imm holds the size in bytes.
+  Store,  ///< (value, addr); Imm holds the size in bytes.
+  // Legalization-inserted.
+  MaskTo,   ///< (value); Imm holds the bit width to zero-mask to.
+  SExtFrom, ///< (value); Imm holds the bit width to sign-extend from.
+};
+
+/// One DAG node.
+struct SDNode {
+  SDKind K;
+  std::vector<SDNode *> Ops;
+  int64_t Imm = 0;
+  ICmpPred Pred = ICmpPred::EQ;
+  unsigned VReg = 0;
+  unsigned Width = 32; ///< Semantic width of the produced value.
+  /// Virtual register this node's result must be copied into (cross-block
+  /// uses / phis), 0 if none.
+  unsigned OutReg = 0;
+  /// Emission order hint (original IR order).
+  unsigned Order = 0;
+};
+
+/// The DAG for one basic block, plus its side-effect roots in order.
+class BlockDAG {
+public:
+  SDNode *node(SDKind K, std::vector<SDNode *> Ops = {}) {
+    Nodes.emplace_back(new SDNode{K, std::move(Ops), 0, ICmpPred::EQ, 0, 32,
+                                  0, NextOrder++});
+    return Nodes.back().get();
+  }
+
+  /// All nodes in creation (topological) order.
+  std::vector<SDNode *> nodes() const {
+    std::vector<SDNode *> Out;
+    for (auto &N : Nodes)
+      Out.push_back(N.get());
+    return Out;
+  }
+
+  /// Roots that must be emitted (stores, nodes with OutReg), in order.
+  std::vector<SDNode *> Roots;
+
+private:
+  std::vector<std::unique_ptr<SDNode>> Nodes;
+  unsigned NextOrder = 0;
+};
+
+/// Rewrites \p DAG so every arithmetic node is legal for the 32-bit target:
+/// inserts MaskTo / SExtFrom where sub-word semantics demand it and widens
+/// everything else in place. Returns the number of nodes inserted. When
+/// \p Replaced is given, it receives the map from original nodes to their
+/// masked replacements so callers can rebind external references.
+unsigned legalizeDAG(BlockDAG &DAG,
+                     std::map<SDNode *, SDNode *> *Replaced = nullptr);
+
+} // namespace codegen
+} // namespace frost
+
+#endif // FROST_CODEGEN_SELECTIONDAG_H

@@ -1,0 +1,108 @@
+//===- BitFields.cpp - Bit-field record lowering --------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/BitFields.h"
+
+#include "ir/IRBuilder.h"
+#include "support/ErrorHandling.h"
+
+using namespace frost;
+using namespace frost::frontend;
+
+const BitField &RecordType::field(const std::string &Name) const {
+  for (const BitField &F : Fields)
+    if (F.Name == Name)
+      return F;
+  frost_unreachable("no such bit-field");
+}
+
+RecordType &RecordType::add(const std::string &Name, unsigned Width) {
+  assert(NextOffset + Width <= WordBits && "record word overflow");
+  Fields.push_back({Name, NextOffset, Width});
+  NextOffset += Width;
+  return *this;
+}
+
+Value *frontend::emitFieldLoad(IRBuilder &B, Value *WordPtr,
+                               const RecordType &Rec, const std::string &Name,
+                               BitFieldLowering Lowering) {
+  IRContext &Ctx = B.context();
+  const BitField &F = Rec.field(Name);
+
+  if (Lowering == BitFieldLowering::Vector) {
+    // Lane-wise read: only the field's own bits decide the result.
+    Type *VecTy = Ctx.vecTy(Ctx.boolTy(), Rec.WordBits);
+    Value *VecPtr = B.bitcast(WordPtr, Ctx.ptrTy(VecTy), Name + ".vp");
+    Value *Vec = B.load(VecPtr, Name + ".vec");
+    Value *Result = Ctx.getInt(Rec.WordBits, 0);
+    for (unsigned I = 0; I != F.Width; ++I) {
+      Value *Bit = B.extractElement(Vec, F.Offset + I,
+                                    Name + ".x" + std::to_string(I));
+      Value *Wide = B.zext(Bit, Ctx.intTy(Rec.WordBits));
+      Value *Placed =
+          I == 0 ? Wide
+                 : B.shl(Wide, Ctx.getInt(Rec.WordBits, I), {},
+                         Name + ".p" + std::to_string(I));
+      Result = B.or_(Result, Placed);
+    }
+    return Result;
+  }
+
+  Value *Word = B.load(WordPtr, Name + ".word");
+  Value *Shifted =
+      F.Offset == 0
+          ? Word
+          : B.lshr(Word, Ctx.getInt(Rec.WordBits, F.Offset), Name + ".sh");
+  uint64_t Mask = F.Width >= 64 ? ~0ull : ((1ull << F.Width) - 1);
+  return B.and_(Shifted, Ctx.getInt(Rec.WordBits, Mask), Name);
+}
+
+void frontend::emitFieldStore(IRBuilder &B, Value *WordPtr,
+                              const RecordType &Rec, const std::string &Name,
+                              Value *V, BitFieldLowering Lowering) {
+  IRContext &Ctx = B.context();
+  const BitField &F = Rec.field(Name);
+  uint64_t FieldMask = (F.Width >= 64 ? ~0ull : ((1ull << F.Width) - 1))
+                       << F.Offset;
+
+  if (Lowering == BitFieldLowering::Vector) {
+    // Section 5.3's vector alternative: load the word as <N x i1>, insert
+    // the field's bits lane by lane, store it back. Poison stays confined
+    // to the lanes actually written.
+    Type *VecTy = Ctx.vecTy(Ctx.boolTy(), Rec.WordBits);
+    Value *VecPtr = B.bitcast(WordPtr, Ctx.ptrTy(VecTy), Name + ".vp");
+    Value *Vec = B.load(VecPtr, Name + ".vec");
+    for (unsigned I = 0; I != F.Width; ++I) {
+      Value *Bit = B.trunc(
+          B.lshr(V, Ctx.getInt(Rec.WordBits, I)), Ctx.boolTy(),
+          Name + ".b" + std::to_string(I));
+      Vec = B.insertElement(Vec, Bit, F.Offset + I);
+    }
+    B.store(Vec, VecPtr);
+    return;
+  }
+
+  // Scalar load/mask/merge/store.
+  Value *Word = B.load(WordPtr, Name + ".old");
+  if (Lowering == BitFieldLowering::Proposed) {
+    // The paper's one-line front-end change: the loaded word may be
+    // uninitialized (poison) on the record's first store; freeze it so the
+    // merge cannot poison the neighbouring fields.
+    Word = B.freeze(Word, Name + ".fr");
+  }
+  Value *Cleared =
+      B.and_(Word, Ctx.getInt(Rec.WordBits, ~FieldMask), Name + ".clear");
+  Value *FieldVal = B.and_(
+      V, Ctx.getInt(Rec.WordBits, FieldMask >> F.Offset), Name + ".val");
+  Value *Placed =
+      F.Offset == 0
+          ? FieldVal
+          : B.shl(FieldVal, Ctx.getInt(Rec.WordBits, F.Offset), {},
+                  Name + ".pl");
+  Value *Merged = B.or_(Cleared, Placed, Name + ".merge");
+  B.store(Merged, WordPtr);
+}

@@ -1,0 +1,85 @@
+//===- BitFields.h - Bit-field record lowering ------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The front-end substrate for Section 5.3: C-style records whose bit-fields
+/// are packed into machine words, with the two lowering strategies the paper
+/// contrasts for `mystruct.myfield = foo`:
+///
+///  - Legacy: load word; mask; merge; store. Under the proposed semantics
+///    the *first* store to a record reads uninitialized (poison) memory and
+///    the merge poisons every neighbouring field.
+///  - Proposed: the same sequence with a single freeze of the loaded word —
+///    the paper's one-line Clang change.
+///
+/// A vector-based lowering is also provided (the paper's "superior
+/// alternative"): per-bit lanes cannot contaminate neighbours, so no freeze
+/// is needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_FRONTEND_BITFIELDS_H
+#define FROST_FRONTEND_BITFIELDS_H
+
+#include <string>
+#include <vector>
+
+namespace frost {
+
+class IRBuilder;
+class Value;
+
+namespace frontend {
+
+/// One field: \p Offset bits from the LSB, \p Width bits wide.
+struct BitField {
+  std::string Name;
+  unsigned Offset;
+  unsigned Width;
+};
+
+/// A record packed into a single word of \p WordBits (8, 16, or 32).
+struct RecordType {
+  unsigned WordBits = 32;
+  std::vector<BitField> Fields;
+
+  const BitField &field(const std::string &Name) const;
+  /// Declares the next field at the current end of the word.
+  RecordType &add(const std::string &Name, unsigned Width);
+
+private:
+  unsigned NextOffset = 0;
+};
+
+/// Which lowering the "compiler" emits for bit-field stores.
+enum class BitFieldLowering {
+  Legacy,   ///< load/mask/merge/store, no freeze (pre-paper Clang).
+  Proposed, ///< Same with freeze of the loaded word (the paper's fix).
+  Vector,   ///< <WordBits x i1> load/insert/store (Section 5.3's superior
+            ///< alternative: per-element poison, no freeze).
+};
+
+/// Emits a read of record field \p Name through \p WordPtr (a pointer to
+/// the record's word). Returns the field value as an iWordBits value,
+/// zero-extended. The Vector lowering reads lane-wise (Section 5.4's load
+/// widening insight): a scalar whole-word load would lift *any* poison bit
+/// in the word to poison for the whole value (Figure 5), clobbering reads
+/// of initialized fields next to uninitialized ones.
+Value *emitFieldLoad(IRBuilder &B, Value *WordPtr, const RecordType &Rec,
+                     const std::string &Name,
+                     BitFieldLowering Lowering = BitFieldLowering::Proposed);
+
+/// Emits `rec.Name = V` through \p WordPtr using the chosen lowering.
+/// \p V must be an iWordBits value; only the low field bits are stored.
+void emitFieldStore(IRBuilder &B, Value *WordPtr, const RecordType &Rec,
+                    const std::string &Name, Value *V,
+                    BitFieldLowering Lowering);
+
+} // namespace frontend
+} // namespace frost
+
+#endif // FROST_FRONTEND_BITFIELDS_H

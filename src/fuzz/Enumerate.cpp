@@ -1,0 +1,197 @@
+//===- Enumerate.cpp - Exhaustive IR function enumeration ----------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Enumerate.h"
+
+#include "ir/Context.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+using namespace frost;
+using namespace frost::fuzz;
+
+namespace {
+
+/// Recursive generator: at each step, tries every (opcode, operands) choice
+/// for the next instruction, then recurses. The function is materialised
+/// once per complete choice sequence.
+class Enumerator {
+public:
+  Enumerator(Module &M, const EnumOptions &Opts,
+             const std::function<bool(Function &)> &Visit)
+      : M(M), Ctx(M.context()), Opts(Opts), Visit(Visit) {}
+
+  uint64_t run() {
+    Count = 0;
+    Stop = false;
+    generate({});
+    return Count;
+  }
+
+private:
+  Module &M;
+  IRContext &Ctx;
+  const EnumOptions &Opts;
+  const std::function<bool(Function &)> &Visit;
+  uint64_t Count = 0;
+  bool Stop = false;
+
+  /// One planned instruction: opcode, operand indices into the value pool,
+  /// and a flag variant.
+  struct Plan {
+    Opcode Op;
+    unsigned A, B, C; // C used by select only.
+    bool NSW;
+  };
+
+  /// Values available as operands of instruction \p Slot, split by type:
+  /// first the iW pool (args, constants, prior iW results), then the i1
+  /// pool (prior icmp results), identified by indices.
+  void generate(std::vector<Plan> Planned);
+  void materialize(const std::vector<Plan> &Planned);
+
+  /// iW operand pool size before instruction \p Slot given how many of the
+  /// earlier instructions produce iW.
+  std::vector<unsigned> wideProducers(const std::vector<Plan> &Planned) const {
+    std::vector<unsigned> Out;
+    for (unsigned I = 0; I != Planned.size(); ++I)
+      if (Planned[I].Op != Opcode::ICmp)
+        Out.push_back(I);
+    return Out;
+  }
+  std::vector<unsigned> boolProducers(const std::vector<Plan> &Planned) const {
+    std::vector<unsigned> Out;
+    for (unsigned I = 0; I != Planned.size(); ++I)
+      if (Planned[I].Op == Opcode::ICmp)
+        Out.push_back(I);
+    return Out;
+  }
+
+  unsigned numBaseOperands() const {
+    unsigned N = Opts.NumArgs;
+    if (Opts.WithConstants)
+      N += 3; // 0, 1, -1.
+    if (Opts.WithPoison)
+      ++N;
+    if (Opts.WithUndef)
+      ++N;
+    return N;
+  }
+};
+
+void Enumerator::generate(std::vector<Plan> Planned) {
+  if (Stop)
+    return;
+  if (Planned.size() == Opts.NumInsts) {
+    materialize(Planned);
+    return;
+  }
+
+  unsigned WidePool = numBaseOperands() + wideProducers(Planned).size();
+  unsigned BoolPool = boolProducers(Planned).size();
+
+  auto TryBinary = [&](Opcode Op, bool NSW) {
+    for (unsigned A = 0; A != WidePool && !Stop; ++A)
+      for (unsigned B = 0; B != WidePool && !Stop; ++B) {
+        Planned.push_back({Op, A, B, 0, NSW});
+        generate(Planned);
+        Planned.pop_back();
+      }
+  };
+
+  for (Opcode Op : Opts.Opcodes) {
+    TryBinary(Op, false);
+    if (Opts.WithFlags &&
+        (Op == Opcode::Add || Op == Opcode::Sub || Op == Opcode::Mul))
+      TryBinary(Op, true);
+  }
+  if (Opts.WithSelect) {
+    // icmp slt over the wide pool.
+    TryBinary(Opcode::ICmp, false);
+    // select over (bool, wide, wide).
+    for (unsigned CIdx = 0; CIdx != BoolPool && !Stop; ++CIdx)
+      for (unsigned A = 0; A != WidePool && !Stop; ++A)
+        for (unsigned B = 0; B != WidePool && !Stop; ++B) {
+          Planned.push_back({Opcode::Select, A, B, CIdx, false});
+          generate(Planned);
+          Planned.pop_back();
+        }
+  }
+  if (Opts.WithFreeze) {
+    for (unsigned A = 0; A != WidePool && !Stop; ++A) {
+      Planned.push_back({Opcode::Freeze, A, 0, 0, false});
+      generate(Planned);
+      Planned.pop_back();
+    }
+  }
+}
+
+void Enumerator::materialize(const std::vector<Plan> &Planned) {
+  // Last instruction must produce the returned iW value.
+  if (Planned.back().Op == Opcode::ICmp)
+    return;
+
+  IntegerType *WideTy = Ctx.intTy(Opts.Width);
+  std::vector<Type *> Params(Opts.NumArgs, WideTy);
+  Function *F = M.createFunction("fz", Ctx.types().fnTy(WideTy, Params));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+
+  std::vector<Value *> WideVals;
+  for (unsigned I = 0; I != Opts.NumArgs; ++I)
+    WideVals.push_back(F->arg(I));
+  if (Opts.WithConstants) {
+    WideVals.push_back(Ctx.getInt(Opts.Width, 0));
+    WideVals.push_back(Ctx.getInt(Opts.Width, 1));
+    WideVals.push_back(Ctx.getInt(BitVec::allOnes(Opts.Width)));
+  }
+  if (Opts.WithPoison)
+    WideVals.push_back(Ctx.getPoison(WideTy));
+  if (Opts.WithUndef)
+    WideVals.push_back(Ctx.getUndef(WideTy));
+
+  std::vector<Value *> BoolVals;
+  Value *Last = nullptr;
+  for (const Plan &P : Planned) {
+    switch (P.Op) {
+    case Opcode::ICmp:
+      Last = B.icmp(ICmpPred::SLT, WideVals[P.A], WideVals[P.B]);
+      BoolVals.push_back(Last);
+      break;
+    case Opcode::Select:
+      Last = B.select(BoolVals[P.C], WideVals[P.A], WideVals[P.B]);
+      WideVals.push_back(Last);
+      break;
+    case Opcode::Freeze:
+      Last = B.freeze(WideVals[P.A]);
+      WideVals.push_back(Last);
+      break;
+    default:
+      Last = B.binOp(P.Op, WideVals[P.A], WideVals[P.B],
+                     {P.NSW, false, false});
+      WideVals.push_back(Last);
+      break;
+    }
+  }
+  B.ret(Last);
+
+  ++Count;
+  if (!Visit(*F))
+    Stop = true;
+  M.eraseFunction(F);
+}
+
+} // namespace
+
+uint64_t fuzz::enumerateFunctions(Module &M, const EnumOptions &Opts,
+                                  const std::function<bool(Function &)> &Visit) {
+  Enumerator E(M, Opts, Visit);
+  return E.run();
+}
+
+uint64_t fuzz::countFunctions(Module &M, const EnumOptions &Opts) {
+  return enumerateFunctions(M, Opts, [](Function &) { return true; });
+}

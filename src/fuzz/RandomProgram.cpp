@@ -1,0 +1,298 @@
+//===- RandomProgram.cpp - Random terminating program generator ----------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/RandomProgram.h"
+
+#include "ir/Context.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+using namespace frost;
+using namespace frost::fuzz;
+
+namespace {
+
+/// xorshift64* generator, deterministic per seed.
+class Rng {
+  uint64_t State;
+
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9E3779B9) {}
+
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1Dull;
+  }
+  unsigned below(unsigned N) { return static_cast<unsigned>(next() % N); }
+  bool flip() { return next() & 1; }
+};
+
+class ProgramBuilder {
+public:
+  ProgramBuilder(Module &M, const std::string &Name,
+                 const RandomProgramOptions &Opts)
+      : Ctx(M.context()), Opts(Opts), R(Opts.Seed), B(Ctx) {
+    assert((Opts.GlobalWords & (Opts.GlobalWords - 1)) == 0 &&
+           "GlobalWords must be a power of two (indices are masked)");
+    IntegerType *W = Ctx.intTy(Opts.Width);
+    F = M.createFunction(Name, Ctx.types().fnTy(W, {W, W}));
+    F->arg(0)->setName("a");
+    F->arg(1)->setName("b");
+    Arr = Ctx.getGlobal(Name + ".scratch", W, Opts.GlobalWords * wordBytes());
+  }
+
+  Function *build();
+
+private:
+  IRContext &Ctx;
+  const RandomProgramOptions &Opts;
+  Rng R;
+  IRBuilder B;
+  Function *F = nullptr;
+  GlobalVariable *Arr = nullptr;
+  std::vector<Value *> Pool;
+
+  unsigned wordBytes() const { return (Opts.Width + 7) / 8; }
+  IntegerType *wordTy() { return Ctx.intTy(Opts.Width); }
+
+  Value *pick() { return Pool[R.below(Pool.size())]; }
+  Value *constant(uint64_t V) { return Ctx.getInt(Opts.Width, V); }
+
+  /// A safe in-bounds element pointer: index is masked to the array size.
+  Value *arrayLocation(Value *Index) {
+    Value *Masked = B.and_(Index, constant(Opts.GlobalWords - 1), "idx");
+    return B.gep(Arr, Masked, /*InBounds=*/true, "ptr");
+  }
+
+  void emitArithmetic();
+  void emitMemoryOp();
+  void emitBitFieldStore();
+  void emitLoop();
+  void emitSelect();
+  void emitBoolSelect();
+  void emitInvariantBranchLoop();
+};
+
+void ProgramBuilder::emitArithmetic() {
+  Value *X = pick(), *Y = pick();
+  switch (R.below(9)) {
+  case 0:
+    Pool.push_back(B.add(X, Y, {/*NSW=*/R.flip(), false, false}));
+    break;
+  case 1:
+    Pool.push_back(B.sub(X, Y));
+    break;
+  case 2:
+    Pool.push_back(B.mul(X, Y, {R.flip(), false, false}));
+    break;
+  case 3: {
+    // Guarded division: divisor forced odd, hence non-zero.
+    Value *D = B.or_(Y, constant(1), "dv");
+    Pool.push_back(B.udiv(X, D));
+    break;
+  }
+  case 4: {
+    Value *Amt = B.and_(Y, constant(Opts.Width - 1), "sh");
+    Pool.push_back(B.shl(X, Amt));
+    break;
+  }
+  case 5: {
+    Value *Amt = B.and_(Y, constant(Opts.Width - 1), "sh");
+    Pool.push_back(B.lshr(X, Amt));
+    break;
+  }
+  case 6:
+    Pool.push_back(B.and_(X, Y));
+    break;
+  case 7:
+    Pool.push_back(B.or_(X, Y));
+    break;
+  default:
+    Pool.push_back(B.xor_(X, Y));
+    break;
+  }
+}
+
+void ProgramBuilder::emitMemoryOp() {
+  Value *Ptr = arrayLocation(pick());
+  if (R.flip()) {
+    B.store(pick(), Ptr);
+  } else {
+    Pool.push_back(B.load(Ptr, "ld"));
+  }
+}
+
+/// The Section 5.3 bit-field pattern in its legacy form (no freeze): read
+/// the word, mask out a field, merge new bits, write back. The Proposed
+/// frontend inserts a freeze after the load; pipelines see both shapes via
+/// frontend options — here we emit the raw legacy shape.
+void ProgramBuilder::emitBitFieldStore() {
+  Value *Ptr = arrayLocation(pick());
+  Value *Word = B.load(Ptr, "bf.load");
+  unsigned Shift = R.below(Opts.Width - 4);
+  uint64_t Mask = 0xFull << Shift;
+  Value *Cleared = B.and_(Word, constant(~Mask), "bf.clear");
+  Value *FieldVal = B.and_(pick(), constant(0xF), "bf.val");
+  Value *Shifted = B.shl(FieldVal, constant(Shift), {}, "bf.shift");
+  Value *Merged = B.or_(Cleared, Shifted, "bf.merge");
+  B.store(Merged, Ptr);
+}
+
+void ProgramBuilder::emitSelect() {
+  Value *C = B.icmp(static_cast<ICmpPred>(R.below(10)), pick(), pick(), "c");
+  Pool.push_back(B.select(C, pick(), pick(), "sel"));
+}
+
+/// An i1-typed "select c, true, x" — the Section 3.4 pattern whose
+/// InstCombine lowering differs between the legacy and proposed pipelines
+/// (or without vs with freeze).
+void ProgramBuilder::emitBoolSelect() {
+  Value *C1 = B.icmp(ICmpPred::ULT, pick(), pick(), "bc1");
+  Value *C2 = B.icmp(ICmpPred::NE, pick(), constant(0), "bc2");
+  Value *Sel = R.flip() ? B.select(C1, Ctx.getTrue(), C2, "bsel")
+                        : B.select(C1, C2, Ctx.getFalse(), "bsel");
+  Pool.push_back(B.zext(Sel, wordTy(), "bw"));
+}
+
+/// A counted loop containing a loop-invariant branch: loop unswitching
+/// fires on it, and in the proposed pipeline freezes the hoisted condition.
+void ProgramBuilder::emitInvariantBranchLoop() {
+  unsigned Trips = 4 + R.below(9);
+  Value *Flag = pick();
+
+  BasicBlock *Pre = B.insertBlock();
+  BasicBlock *Head = F->addBlock("inv.head");
+  BasicBlock *Body = F->addBlock("inv.body");
+  BasicBlock *Then = F->addBlock("inv.then");
+  BasicBlock *Latch = F->addBlock("inv.latch");
+  BasicBlock *Exit = F->addBlock("inv.exit");
+
+  B.br(Head);
+  B.setInsertPoint(Head);
+  PhiNode *I = B.phi(wordTy(), "ii");
+  PhiNode *Acc = B.phi(wordTy(), "iacc");
+  Value *C = B.icmp(ICmpPred::ULT, I, constant(Trips), "ic");
+  B.condBr(C, Body, Exit);
+
+  B.setInsertPoint(Body);
+  Value *Ptr = arrayLocation(I);
+  Value *Ld = B.load(Ptr, "ild");
+  Value *Inv = B.icmp(ICmpPred::UGT, Flag, constant(0x7FFFFFFF), "inv");
+  B.condBr(Inv, Then, Latch);
+
+  B.setInsertPoint(Then);
+  B.store(B.xor_(Ld, I, "ix"), Ptr);
+  B.br(Latch);
+
+  B.setInsertPoint(Latch);
+  Value *Acc1 = B.add(Acc, Ld, {}, "iacc1");
+  Value *I1 = B.add(I, constant(1), {/*NSW=*/true, false, false}, "ii1");
+  B.br(Head);
+
+  I->addIncoming(constant(0), Pre);
+  I->addIncoming(I1, Latch);
+  Acc->addIncoming(pick(), Pre);
+  Acc->addIncoming(Acc1, Latch);
+
+  B.setInsertPoint(Exit);
+  PhiNode *Out = B.phi(wordTy(), "iout");
+  Out->addIncoming(Acc, Head);
+  Pool.push_back(Out);
+}
+
+void ProgramBuilder::emitLoop() {
+  unsigned Trips = 4 + R.below(13);
+  Value *Init = pick();
+
+  BasicBlock *Pre = B.insertBlock();
+  BasicBlock *Head = F->addBlock("loop.head");
+  BasicBlock *Body = F->addBlock("loop.body");
+  BasicBlock *Exit = F->addBlock("loop.exit");
+
+  B.br(Head);
+  B.setInsertPoint(Head);
+  PhiNode *I = B.phi(wordTy(), "i");
+  PhiNode *Acc = B.phi(wordTy(), "acc");
+  Value *C = B.icmp(ICmpPred::ULT, I, constant(Trips), "lc");
+  B.condBr(C, Body, Exit);
+
+  B.setInsertPoint(Body);
+  // Small loop body: accumulate over the scratch array.
+  Value *Ptr = arrayLocation(I);
+  Value *Ld = B.load(Ptr, "lv");
+  Value *Acc1 = B.add(Acc, Ld, {}, "acc1");
+  Value *Mix = B.xor_(Acc1, I, "mix");
+  B.store(Mix, Ptr);
+  Value *I1 = B.add(I, constant(1), {/*NSW=*/true, false, false}, "i1");
+  B.br(Head);
+
+  I->addIncoming(constant(0), Pre);
+  I->addIncoming(I1, Body);
+  Acc->addIncoming(Init, Pre);
+  Acc->addIncoming(Mix, Body);
+
+  B.setInsertPoint(Exit);
+  Pool.push_back(Acc);
+}
+
+Function *ProgramBuilder::build() {
+  B.setInsertPoint(F->addBlock("entry"));
+  Pool = {F->arg(0), F->arg(1), constant(1), constant(0x2B)};
+
+  // Initialise the scratch array so loads are never uninitialized.
+  for (unsigned I = 0; I != Opts.GlobalWords; ++I)
+    B.store(constant(R.next() & 0xFF), B.gep(Arr, constant(I), true));
+
+  unsigned LoopsLeft = Opts.Loops;
+  // Roughly a quarter of generated programs contain a construct whose
+  // optimization is UB-semantics-sensitive (boolean selects or an
+  // invariant branch in a loop), mirroring the paper's LNT observation
+  // that 26% of benchmarks changed IR under the new pipeline.
+  bool Sensitive = R.below(3) == 0;
+  for (unsigned S = 0; S != Opts.Statements; ++S) {
+    unsigned Kind = R.below(13);
+    if (Kind < 6) {
+      emitArithmetic();
+    } else if (Kind < 8) {
+      emitMemoryOp();
+    } else if (Kind == 8 && Opts.WithBitFieldOps) {
+      emitBitFieldStore();
+    } else if (Kind == 9) {
+      emitSelect();
+    } else if ((Kind == 10 || Kind == 11) && Sensitive) {
+      if (R.flip())
+        emitBoolSelect();
+      else if (LoopsLeft) {
+        --LoopsLeft;
+        emitInvariantBranchLoop();
+      } else {
+        emitBoolSelect();
+      }
+    } else if (LoopsLeft) {
+      --LoopsLeft;
+      emitLoop();
+    } else {
+      emitArithmetic();
+    }
+  }
+
+  // Fold the pool tail into a result.
+  Value *Ret = Pool.back();
+  Ret = B.xor_(Ret, Pool[Pool.size() / 2], "fold");
+  B.ret(Ret);
+  return F;
+}
+
+} // namespace
+
+Function *fuzz::generateRandomFunction(Module &M, const std::string &Name,
+                                       const RandomProgramOptions &Opts) {
+  ProgramBuilder PB(M, Name, Opts);
+  return PB.build();
+}

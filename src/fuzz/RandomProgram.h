@@ -1,0 +1,47 @@
+//===- RandomProgram.h - Random terminating program generator ---*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded generator of UB-free, terminating frost functions: counted loops,
+/// guarded divisions, masked shifts and in-bounds global array traffic. Used
+/// as the LNT-substitute corpus (281 benchmarks in the paper) for the
+/// compile-time, code-size, and binary-diff experiments of Section 7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_FUZZ_RANDOMPROGRAM_H
+#define FROST_FUZZ_RANDOMPROGRAM_H
+
+#include <cstdint>
+#include <string>
+
+namespace frost {
+
+class Function;
+class Module;
+
+namespace fuzz {
+
+/// Generation knobs.
+struct RandomProgramOptions {
+  uint64_t Seed = 1;
+  unsigned Statements = 24;  ///< Roughly, arithmetic statements emitted.
+  unsigned Loops = 2;        ///< Counted loops (non-nested), each 4-16 trips.
+  unsigned Width = 32;       ///< Scalar width.
+  unsigned GlobalWords = 16; ///< Size of the scratch global array.
+  bool WithBitFieldOps = false; ///< Emit load/mask/merge/store sequences
+                                ///< (the Section 5.3 pattern; legacy form).
+};
+
+/// Builds one function "Name(iW a, iW b) -> iW" into \p M.
+Function *generateRandomFunction(Module &M, const std::string &Name,
+                                 const RandomProgramOptions &Opts);
+
+} // namespace fuzz
+} // namespace frost
+
+#endif // FROST_FUZZ_RANDOMPROGRAM_H

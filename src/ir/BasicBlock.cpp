@@ -1,0 +1,165 @@
+//===- BasicBlock.cpp - Basic blocks ---------------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Instructions.h"
+
+#include <algorithm>
+
+using namespace frost;
+
+BasicBlock::BasicBlock(IRContext &Ctx, std::string Name)
+    : Value(Kind::BasicBlock, Ctx.types().labelTy(), std::move(Name)),
+      Ctx(Ctx) {}
+
+BasicBlock *BasicBlock::create(IRContext &Ctx, std::string Name,
+                               Function *Parent) {
+  auto *BB = new BasicBlock(Ctx, std::move(Name));
+  if (Parent)
+    Parent->appendBlock(BB);
+  return BB;
+}
+
+BasicBlock::~BasicBlock() {
+  // Instructions must already have been dropped (Function/Module handles
+  // ordering); free any stragglers defensively after clearing references.
+  for (Instruction *I : Insts)
+    I->dropAllReferences();
+  for (Instruction *I : Insts)
+    delete I;
+}
+
+Instruction *BasicBlock::terminator() const {
+  if (Insts.empty() || !Insts.back()->isTerminator())
+    return nullptr;
+  return Insts.back();
+}
+
+Instruction *BasicBlock::firstNonPhi() const {
+  for (Instruction *I : Insts)
+    if (I->getOpcode() != Opcode::Phi)
+      return I;
+  return nullptr;
+}
+
+std::vector<PhiNode *> BasicBlock::phis() const {
+  std::vector<PhiNode *> Result;
+  for (Instruction *I : Insts) {
+    auto *P = dyn_cast<PhiNode>(I);
+    if (!P)
+      break;
+    Result.push_back(P);
+  }
+  return Result;
+}
+
+void BasicBlock::push_back(Instruction *I) {
+  assert(!I->getParent() && "instruction already has a parent");
+  I->Parent = this;
+  Insts.push_back(I);
+}
+
+void BasicBlock::insertBefore(Instruction *Pos, Instruction *I) {
+  assert(Pos->getParent() == this && "position not in this block");
+  assert(!I->getParent() && "instruction already has a parent");
+  auto It = std::find(Insts.begin(), Insts.end(), Pos);
+  assert(It != Insts.end() && "position not found");
+  I->Parent = this;
+  Insts.insert(It, I);
+}
+
+void BasicBlock::remove(Instruction *I) {
+  assert(I->getParent() == this && "instruction not in this block");
+  auto It = std::find(Insts.begin(), Insts.end(), I);
+  assert(It != Insts.end() && "instruction not found");
+  Insts.erase(It);
+  I->Parent = nullptr;
+}
+
+void BasicBlock::erase(Instruction *I) {
+  assert(!I->hasUses() && "erasing an instruction that still has uses");
+  remove(I);
+  I->dropAllReferences();
+  delete I;
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  std::vector<BasicBlock *> Result;
+  Instruction *T = terminator();
+  if (!T)
+    return Result;
+  if (auto *Br = dyn_cast<BranchInst>(T)) {
+    for (unsigned I = 0, E = Br->getNumDests(); I != E; ++I)
+      Result.push_back(Br->getDest(I));
+  } else if (auto *Sw = dyn_cast<SwitchInst>(T)) {
+    Result.push_back(Sw->defaultDest());
+    for (unsigned I = 0, E = Sw->getNumCases(); I != E; ++I)
+      Result.push_back(Sw->caseDest(I));
+  }
+  return Result;
+}
+
+std::vector<BasicBlock *> BasicBlock::predecessors() const {
+  std::vector<BasicBlock *> Result;
+  for (const Use *U : uses()) {
+    auto *I = dyn_cast<Instruction>(U->getUser());
+    if (!I || !I->isTerminator())
+      continue;
+    Result.push_back(I->getParent());
+  }
+  return Result;
+}
+
+std::vector<BasicBlock *> BasicBlock::uniquePredecessors() const {
+  std::vector<BasicBlock *> Preds = predecessors();
+  std::vector<BasicBlock *> Result;
+  for (BasicBlock *BB : Preds)
+    if (std::find(Result.begin(), Result.end(), BB) == Result.end())
+      Result.push_back(BB);
+  return Result;
+}
+
+bool BasicBlock::hasSinglePredecessor() const {
+  return uniquePredecessors().size() == 1;
+}
+
+void BasicBlock::removePredecessor(BasicBlock *Pred) {
+  for (PhiNode *P : phis()) {
+    int I = P->getBlockIndex(Pred);
+    if (I >= 0)
+      P->removeIncoming(static_cast<unsigned>(I));
+  }
+}
+
+BasicBlock *BasicBlock::splitBefore(Instruction *Pos,
+                                    const std::string &NewName) {
+  assert(Pos->getParent() == this && "split position not in this block");
+  BasicBlock *New = BasicBlock::create(Ctx, NewName, Parent);
+  if (Parent)
+    Parent->moveBlockAfter(New, this);
+  // Move [Pos, end) into the new block.
+  std::vector<Instruction *> ToMove;
+  auto It = std::find(Insts.begin(), Insts.end(), Pos);
+  for (auto I = It; I != Insts.end(); ++I)
+    ToMove.push_back(*I);
+  for (Instruction *I : ToMove) {
+    remove(I);
+    New->push_back(I);
+  }
+  push_back(BranchInst::createUncond(New, Ctx));
+  // Phi nodes in successors of the moved terminator must now name the new
+  // block as their predecessor.
+  for (BasicBlock *Succ : New->successors())
+    for (PhiNode *P : Succ->phis())
+      for (unsigned I = 0, E = P->getNumIncoming(); I != E; ++I)
+        if (P->getIncomingBlock(I) == this)
+          P->setIncomingBlock(I, New);
+  return New;
+}

@@ -1,0 +1,104 @@
+//===- BasicBlock.h - Basic blocks ------------------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A BasicBlock is a label value holding a straight-line list of
+/// instructions ending in a terminator. Blocks own their instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_IR_BASICBLOCK_H
+#define FROST_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <list>
+
+namespace frost {
+
+class Function;
+class IRContext;
+class PhiNode;
+
+/// A single-entry straight-line sequence of instructions.
+class BasicBlock : public Value {
+  BasicBlock(IRContext &Ctx, std::string Name);
+
+public:
+  /// Creates a block; if \p Parent is given, appends it to that function.
+  static BasicBlock *create(IRContext &Ctx, std::string Name,
+                            Function *Parent = nullptr);
+  ~BasicBlock() override;
+
+  Function *getParent() const { return Parent; }
+
+  using iterator = std::list<Instruction *>::iterator;
+  using const_iterator = std::list<Instruction *>::const_iterator;
+  iterator begin() { return Insts.begin(); }
+  iterator end() { return Insts.end(); }
+  const_iterator begin() const { return Insts.begin(); }
+  const_iterator end() const { return Insts.end(); }
+  bool empty() const { return Insts.empty(); }
+  unsigned size() const { return Insts.size(); }
+
+  Instruction *front() const { return Insts.front(); }
+  Instruction *back() const { return Insts.back(); }
+
+  /// The block's terminator, or null if the block is still under
+  /// construction.
+  Instruction *terminator() const;
+
+  /// The first instruction that is not a phi node, or null in an empty
+  /// block.
+  Instruction *firstNonPhi() const;
+
+  /// All phi nodes at the head of the block.
+  std::vector<PhiNode *> phis() const;
+
+  /// Appends \p I (taking ownership).
+  void push_back(Instruction *I);
+  /// Inserts \p I (taking ownership) immediately before \p Pos.
+  void insertBefore(Instruction *Pos, Instruction *I);
+  /// Unlinks \p I without deleting it; caller takes ownership.
+  void remove(Instruction *I);
+  /// Unlinks, drops references, and deletes \p I. I must have no uses.
+  void erase(Instruction *I);
+
+  /// Successor blocks, from the terminator.
+  std::vector<BasicBlock *> successors() const;
+  /// Predecessor blocks: every block whose terminator targets this one.
+  /// Duplicates are kept (a conditional branch with both edges here lists it
+  /// twice), matching phi edge counting.
+  std::vector<BasicBlock *> predecessors() const;
+  /// Predecessors with duplicates removed.
+  std::vector<BasicBlock *> uniquePredecessors() const;
+  bool hasSinglePredecessor() const;
+
+  /// Notifies phi nodes that \p Pred no longer branches here: removes the
+  /// matching incoming edges.
+  void removePredecessor(BasicBlock *Pred);
+
+  /// Splits the block before \p Pos; instructions from \p Pos onward move to
+  /// a new block, and this block gets an unconditional branch to it. Phi
+  /// nodes are not updated (there are none mid-block). Returns the new
+  /// block.
+  BasicBlock *splitBefore(Instruction *Pos, const std::string &NewName);
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::BasicBlock;
+  }
+
+private:
+  friend class Function;
+  IRContext &Ctx;
+  Function *Parent = nullptr;
+  std::list<Instruction *> Insts;
+};
+
+} // namespace frost
+
+#endif // FROST_IR_BASICBLOCK_H

@@ -1,0 +1,49 @@
+//===- Cloning.cpp - Function cloning -------------------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Cloning.h"
+
+#include "ir/Context.h"
+#include "ir/Instructions.h"
+#include "ir/Module.h"
+
+#include <map>
+
+using namespace frost;
+
+Function *frost::cloneFunction(Function &F, Module &M,
+                               const std::string &NewName) {
+  Function *NewF = M.createFunction(NewName, F.fnType());
+  if (F.isDeclaration())
+    return NewF;
+
+  std::map<Value *, Value *> VMap;
+  for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I) {
+    NewF->arg(I)->setName(F.arg(I)->getName());
+    VMap[F.arg(I)] = NewF->arg(I);
+  }
+  for (BasicBlock *BB : F)
+    VMap[BB] = NewF->addBlock(BB->getName());
+  for (BasicBlock *BB : F) {
+    auto *NewBB = cast<BasicBlock>(VMap[BB]);
+    for (Instruction *I : *BB) {
+      Instruction *NewI = I->clone();
+      NewI->setName(I->getName());
+      NewBB->push_back(NewI);
+      VMap[I] = NewI;
+    }
+  }
+  // Remap operands (everything except globals, constants, and functions).
+  for (BasicBlock *BB : *NewF)
+    for (Instruction *I : *BB)
+      for (unsigned Op = 0, E = I->getNumOperands(); Op != E; ++Op) {
+        auto It = VMap.find(I->getOperand(Op));
+        if (It != VMap.end())
+          I->setOperand(Op, It->second);
+      }
+  return NewF;
+}

@@ -1,0 +1,31 @@
+//===- Cloning.h - Function cloning ------------------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-copies a function definition. Used by the per-pass translation
+/// validation harness (keep the original, transform the clone, check
+/// refinement) and by the benchmark driver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_IR_CLONING_H
+#define FROST_IR_CLONING_H
+
+#include <string>
+
+namespace frost {
+
+class Function;
+class Module;
+
+/// Creates a copy of \p F named \p NewName inside \p M (which must share
+/// F's context). Declarations clone to declarations.
+Function *cloneFunction(Function &F, Module &M, const std::string &NewName);
+
+} // namespace frost
+
+#endif // FROST_IR_CLONING_H

@@ -1,0 +1,131 @@
+//===- Constants.h - Constant values ----------------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constant operands of the frost IR: integer constants, the two deferred-UB
+/// constants (poison, and the legacy undef the paper proposes removing),
+/// constant vectors, and named global variables. All constants are uniqued
+/// by the owning IRContext.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_IR_CONSTANTS_H
+#define FROST_IR_CONSTANTS_H
+
+#include "ir/Value.h"
+#include "support/BitVec.h"
+
+namespace frost {
+
+class IRContext;
+
+/// Base class of all constants.
+class Constant : public Value {
+protected:
+  Constant(Kind K, Type *Ty, std::string Name = "")
+      : Value(K, Ty, std::move(Name)) {}
+
+public:
+  static bool classof(const Value *V) {
+    switch (V->getKind()) {
+    case Kind::ConstantInt:
+    case Kind::Poison:
+    case Kind::Undef:
+    case Kind::ConstantVector:
+    case Kind::GlobalVariable:
+      return true;
+    default:
+      return false;
+    }
+  }
+};
+
+/// An integer (or i1 boolean) constant.
+class ConstantInt : public Constant {
+  friend class IRContext;
+  BitVec Val;
+
+  ConstantInt(Type *Ty, BitVec Val)
+      : Constant(Kind::ConstantInt, Ty), Val(Val) {}
+
+public:
+  const BitVec &value() const { return Val; }
+  bool isZero() const { return Val.isZero(); }
+  bool isOne() const { return Val.isOne(); }
+  bool isAllOnes() const { return Val.isAllOnes(); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::ConstantInt;
+  }
+};
+
+/// The poison value: the paper's strong deferred UB. Most operations on
+/// poison yield poison; branching on poison is immediate UB under the
+/// proposed semantics.
+class PoisonValue : public Constant {
+  friend class IRContext;
+  explicit PoisonValue(Type *Ty) : Constant(Kind::Poison, Ty) {}
+
+public:
+  static bool classof(const Value *V) { return V->getKind() == Kind::Poison; }
+};
+
+/// The legacy undef value: each use may observe a different value of the
+/// type. Kept so the Section 3 inconsistencies can be demonstrated; the
+/// proposed semantics removes it.
+class UndefValue : public Constant {
+  friend class IRContext;
+  explicit UndefValue(Type *Ty) : Constant(Kind::Undef, Ty) {}
+
+public:
+  static bool classof(const Value *V) { return V->getKind() == Kind::Undef; }
+};
+
+/// A constant vector; elements are scalar constants (possibly poison/undef).
+class ConstantVector : public Constant {
+  friend class IRContext;
+  std::vector<Constant *> Elems;
+
+  ConstantVector(Type *Ty, std::vector<Constant *> Elems)
+      : Constant(Kind::ConstantVector, Ty), Elems(std::move(Elems)) {}
+
+public:
+  unsigned size() const { return Elems.size(); }
+  Constant *element(unsigned I) const {
+    assert(I < Elems.size() && "vector element index out of range");
+    return Elems[I];
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::ConstantVector;
+  }
+};
+
+/// A named global holding \p SizeBytes bytes of memory; its value is the
+/// address of that block. Used by load/store tests and benchmarks.
+class GlobalVariable : public Constant {
+  friend class IRContext;
+  unsigned SizeBytes;
+
+  GlobalVariable(Type *PtrTy, std::string Name, unsigned SizeBytes)
+      : Constant(Kind::GlobalVariable, PtrTy, std::move(Name)),
+        SizeBytes(SizeBytes) {}
+
+public:
+  unsigned sizeBytes() const { return SizeBytes; }
+  Type *valueType() const {
+    return cast<PointerType>(getType())->pointee();
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::GlobalVariable;
+  }
+};
+
+} // namespace frost
+
+#endif // FROST_IR_CONSTANTS_H

@@ -1,0 +1,70 @@
+//===- Context.cpp - IR context: types and uniqued constants --------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+
+using namespace frost;
+
+IRContext::~IRContext() = default;
+
+ConstantInt *IRContext::getInt(unsigned Width, uint64_t Value) {
+  return getInt(BitVec(Width, Value));
+}
+
+ConstantInt *IRContext::getInt(const BitVec &Value) {
+  auto Key = std::make_pair(Value.width(), Value.zext());
+  auto &Slot = IntPool[Key];
+  if (!Slot)
+    Slot.reset(new ConstantInt(Types.intTy(Value.width()), Value));
+  return Slot.get();
+}
+
+PoisonValue *IRContext::getPoison(Type *Ty) {
+  auto &Slot = PoisonPool[Ty];
+  if (!Slot)
+    Slot.reset(new PoisonValue(Ty));
+  return Slot.get();
+}
+
+UndefValue *IRContext::getUndef(Type *Ty) {
+  auto &Slot = UndefPool[Ty];
+  if (!Slot)
+    Slot.reset(new UndefValue(Ty));
+  return Slot.get();
+}
+
+ConstantVector *IRContext::getVector(std::vector<Constant *> Elems) {
+  assert(!Elems.empty() && "constant vector must have elements");
+  Type *ElemTy = Elems.front()->getType();
+  for (Constant *C : Elems)
+    assert(C->getType() == ElemTy && "mixed element types in constant vector");
+  Type *Ty = Types.vecTy(ElemTy, Elems.size());
+  for (auto &CV : VecPool) {
+    if (CV->getType() != Ty)
+      continue;
+    bool Same = true;
+    for (unsigned I = 0; I != Elems.size() && Same; ++I)
+      Same = CV->element(I) == Elems[I];
+    if (Same)
+      return CV.get();
+  }
+  VecPool.emplace_back(new ConstantVector(Ty, std::move(Elems)));
+  return VecPool.back().get();
+}
+
+GlobalVariable *IRContext::findGlobal(const std::string &Name) const {
+  auto It = Globals.find(Name);
+  return It == Globals.end() ? nullptr : It->second.get();
+}
+
+GlobalVariable *IRContext::getGlobal(std::string Name, Type *ValueTy,
+                                     unsigned SizeBytes) {
+  auto &Slot = Globals[Name];
+  if (!Slot)
+    Slot.reset(new GlobalVariable(Types.ptrTy(ValueTy), Name, SizeBytes));
+  return Slot.get();
+}

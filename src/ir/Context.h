@@ -1,0 +1,72 @@
+//===- Context.h - IR context: types and uniqued constants -----*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRContext owns the type system and the uniqued constant pool shared by all
+/// modules built against it. It must outlive those modules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_IR_CONTEXT_H
+#define FROST_IR_CONTEXT_H
+
+#include "ir/Constants.h"
+#include "ir/Type.h"
+
+#include <map>
+#include <memory>
+
+namespace frost {
+
+/// Owns types and uniqued constants.
+class IRContext {
+public:
+  IRContext() = default;
+  IRContext(const IRContext &) = delete;
+  IRContext &operator=(const IRContext &) = delete;
+  ~IRContext();
+
+  TypeContext &types() { return Types; }
+
+  // Type shortcuts.
+  Type *voidTy() { return Types.voidTy(); }
+  IntegerType *intTy(unsigned Width) { return Types.intTy(Width); }
+  IntegerType *boolTy() { return Types.boolTy(); }
+  PointerType *ptrTy(Type *Pointee) { return Types.ptrTy(Pointee); }
+  VectorType *vecTy(Type *Elem, unsigned Count) {
+    return Types.vecTy(Elem, Count);
+  }
+
+  /// Integer constant of the given width, truncated to fit.
+  ConstantInt *getInt(unsigned Width, uint64_t Value);
+  ConstantInt *getInt(const BitVec &Value);
+  ConstantInt *getBool(bool B) { return getInt(1, B ? 1 : 0); }
+  ConstantInt *getTrue() { return getBool(true); }
+  ConstantInt *getFalse() { return getBool(false); }
+
+  PoisonValue *getPoison(Type *Ty);
+  UndefValue *getUndef(Type *Ty);
+  ConstantVector *getVector(std::vector<Constant *> Elems);
+  /// A named global of \p SizeBytes bytes whose value type is \p ValueTy.
+  GlobalVariable *getGlobal(std::string Name, Type *ValueTy,
+                            unsigned SizeBytes);
+  /// Looks up an already-registered global, or null.
+  GlobalVariable *findGlobal(const std::string &Name) const;
+
+private:
+  TypeContext Types;
+  std::map<std::pair<unsigned, uint64_t>, std::unique_ptr<ConstantInt>>
+      IntPool;
+  std::map<Type *, std::unique_ptr<PoisonValue>> PoisonPool;
+  std::map<Type *, std::unique_ptr<UndefValue>> UndefPool;
+  std::vector<std::unique_ptr<ConstantVector>> VecPool;
+  std::map<std::string, std::unique_ptr<GlobalVariable>> Globals;
+};
+
+} // namespace frost
+
+#endif // FROST_IR_CONTEXT_H

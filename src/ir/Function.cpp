@@ -1,0 +1,107 @@
+//===- Function.cpp - Functions and arguments ------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+#include "ir/Context.h"
+#include "ir/Printer.h"
+
+#include <algorithm>
+
+using namespace frost;
+
+Function::Function(IRContext &Ctx, std::string Name, FunctionType *FT)
+    : Value(Kind::Function, FT, std::move(Name)), Ctx(Ctx), FT(FT) {
+  for (unsigned I = 0, E = FT->params().size(); I != E; ++I)
+    Args.emplace_back(new Argument(FT->params()[I], "", this, I));
+}
+
+Function::~Function() {
+  // Break all cross-references before any value is destroyed.
+  for (BasicBlock *BB : Blocks)
+    for (Instruction *I : *BB)
+      I->dropAllReferences();
+  for (BasicBlock *BB : Blocks)
+    delete BB;
+  Blocks.clear();
+}
+
+BasicBlock *Function::addBlock(std::string Name) {
+  return BasicBlock::create(Ctx, std::move(Name), this);
+}
+
+void Function::appendBlock(BasicBlock *BB) {
+  assert(!BB->Parent && "block already has a parent");
+  BB->Parent = this;
+  Blocks.push_back(BB);
+}
+
+void Function::moveBlockAfter(BasicBlock *BB, BasicBlock *After) {
+  assert(BB->Parent == this && After->Parent == this &&
+         "blocks not in this function");
+  auto It = std::find(Blocks.begin(), Blocks.end(), BB);
+  assert(It != Blocks.end() && "block not found");
+  Blocks.erase(It);
+  auto AfterIt = std::find(Blocks.begin(), Blocks.end(), After);
+  assert(AfterIt != Blocks.end() && "anchor block not found");
+  Blocks.insert(std::next(AfterIt), BB);
+}
+
+void Function::eraseBlock(BasicBlock *BB) {
+  assert(BB->Parent == this && "block not in this function");
+  auto It = std::find(Blocks.begin(), Blocks.end(), BB);
+  assert(It != Blocks.end() && "block not found");
+  Blocks.erase(It);
+  for (Instruction *I : *BB)
+    I->dropAllReferences();
+  assert(!BB->hasUses() && "erasing a block that is still referenced");
+  delete BB;
+}
+
+unsigned Function::instructionCount() const {
+  unsigned N = 0;
+  for (const BasicBlock *BB : Blocks)
+    N += BB->size();
+  return N;
+}
+
+void Function::nameValues() {
+  // Collect names already in use so we never collide with them.
+  std::vector<std::string> Taken;
+  for (auto &A : Args)
+    if (A->hasName())
+      Taken.push_back(A->getName());
+  for (BasicBlock *BB : Blocks) {
+    if (BB->hasName())
+      Taken.push_back(BB->getName());
+    for (Instruction *I : *BB)
+      if (I->hasName())
+        Taken.push_back(I->getName());
+  }
+  unsigned Next = 0;
+  auto Fresh = [&] {
+    std::string Name;
+    do {
+      Name = std::to_string(Next++);
+    } while (std::find(Taken.begin(), Taken.end(), Name) != Taken.end());
+    return Name;
+  };
+  for (auto &A : Args)
+    if (!A->hasName())
+      A->setName(Fresh());
+  for (BasicBlock *BB : Blocks) {
+    if (!BB->hasName())
+      BB->setName(Fresh());
+    for (Instruction *I : *BB)
+      if (!I->hasName() && !I->getType()->isVoid())
+        I->setName(Fresh());
+  }
+}
+
+std::string Function::str() const {
+  return printFunction(*const_cast<Function *>(this));
+}

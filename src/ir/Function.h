@@ -1,0 +1,118 @@
+//===- Function.h - Functions and arguments ---------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function owns a list of basic blocks (the first being the entry) and its
+/// formal arguments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_IR_FUNCTION_H
+#define FROST_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <memory>
+
+namespace frost {
+
+class Module;
+
+/// A formal parameter of a function.
+class Argument : public Value {
+  friend class Function;
+  Function *Parent;
+  unsigned Index;
+
+  Argument(Type *Ty, std::string Name, Function *Parent, unsigned Index)
+      : Value(Kind::Argument, Ty, std::move(Name)), Parent(Parent),
+        Index(Index) {}
+
+public:
+  Function *getParent() const { return Parent; }
+  unsigned index() const { return Index; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::Argument;
+  }
+};
+
+/// A function definition (or declaration, if it has no blocks).
+class Function : public Value {
+  Function(IRContext &Ctx, std::string Name, FunctionType *FT);
+
+public:
+  ~Function() override;
+
+  /// Creates an unattached function; normally reached via
+  /// Module::createFunction.
+  static Function *createDetached(IRContext &Ctx, std::string Name,
+                                  FunctionType *FT) {
+    return new Function(Ctx, std::move(Name), FT);
+  }
+
+  IRContext &context() const { return Ctx; }
+  Module *getParent() const { return Parent; }
+  FunctionType *fnType() const { return FT; }
+  Type *returnType() const { return FT->returnType(); }
+
+  unsigned getNumArgs() const { return Args.size(); }
+  Argument *arg(unsigned I) const {
+    assert(I < Args.size() && "argument index out of range");
+    return Args[I].get();
+  }
+
+  bool isDeclaration() const { return Blocks.empty(); }
+
+  using iterator = std::list<BasicBlock *>::iterator;
+  using const_iterator = std::list<BasicBlock *>::const_iterator;
+  iterator begin() { return Blocks.begin(); }
+  iterator end() { return Blocks.end(); }
+  const_iterator begin() const { return Blocks.begin(); }
+  const_iterator end() const { return Blocks.end(); }
+  unsigned size() const { return Blocks.size(); }
+
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "declaration has no entry block");
+    return Blocks.front();
+  }
+
+  /// Creates and appends a new block.
+  BasicBlock *addBlock(std::string Name);
+  /// Appends an existing detached block, taking ownership.
+  void appendBlock(BasicBlock *BB);
+  /// Moves \p BB to immediately after \p After in the block order.
+  void moveBlockAfter(BasicBlock *BB, BasicBlock *After);
+  /// Unlinks and deletes \p BB; its instructions must be unused elsewhere.
+  void eraseBlock(BasicBlock *BB);
+
+  /// Total instruction count across all blocks.
+  unsigned instructionCount() const;
+
+  /// Gives every unnamed value (argument, block, instruction) a unique name
+  /// so the function can be printed and re-parsed.
+  void nameValues();
+
+  /// Renders the whole function as textual IR.
+  std::string str() const;
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::Function;
+  }
+
+private:
+  friend class Module;
+  IRContext &Ctx;
+  Module *Parent = nullptr;
+  FunctionType *FT;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::list<BasicBlock *> Blocks;
+};
+
+} // namespace frost
+
+#endif // FROST_IR_FUNCTION_H

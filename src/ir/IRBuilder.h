@@ -1,0 +1,182 @@
+//===- IRBuilder.h - Convenience IR construction ----------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRBuilder inserts newly created instructions at the end of a chosen basic
+/// block, mirroring llvm::IRBuilder. All example programs and benchmark
+/// kernels are constructed through this interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_IR_IRBUILDER_H
+#define FROST_IR_IRBUILDER_H
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Instructions.h"
+
+namespace frost {
+
+/// Builds instructions into a basic block.
+class IRBuilder {
+  IRContext &Ctx;
+  BasicBlock *BB = nullptr;
+
+  template <typename T> T *insert(T *I) {
+    assert(BB && "no insertion point set");
+    BB->push_back(I);
+    return I;
+  }
+
+public:
+  explicit IRBuilder(IRContext &Ctx) : Ctx(Ctx) {}
+  IRBuilder(IRContext &Ctx, BasicBlock *BB) : Ctx(Ctx), BB(BB) {}
+
+  IRContext &context() { return Ctx; }
+  BasicBlock *insertBlock() const { return BB; }
+  void setInsertPoint(BasicBlock *B) { BB = B; }
+
+  // Constants.
+  ConstantInt *getInt(unsigned Width, uint64_t V) { return Ctx.getInt(Width, V); }
+  ConstantInt *getBool(bool B) { return Ctx.getBool(B); }
+  PoisonValue *getPoison(Type *Ty) { return Ctx.getPoison(Ty); }
+  UndefValue *getUndef(Type *Ty) { return Ctx.getUndef(Ty); }
+
+  // Binary operations.
+  Value *binOp(Opcode Op, Value *L, Value *R, ArithFlags F = {},
+               std::string Name = "") {
+    return insert(BinaryOperator::create(Op, L, R, F, std::move(Name)));
+  }
+  Value *add(Value *L, Value *R, ArithFlags F = {}, std::string Name = "") {
+    return binOp(Opcode::Add, L, R, F, std::move(Name));
+  }
+  Value *addNSW(Value *L, Value *R, std::string Name = "") {
+    return binOp(Opcode::Add, L, R, {/*NSW=*/true, false, false},
+                 std::move(Name));
+  }
+  Value *sub(Value *L, Value *R, ArithFlags F = {}, std::string Name = "") {
+    return binOp(Opcode::Sub, L, R, F, std::move(Name));
+  }
+  Value *mul(Value *L, Value *R, ArithFlags F = {}, std::string Name = "") {
+    return binOp(Opcode::Mul, L, R, F, std::move(Name));
+  }
+  Value *udiv(Value *L, Value *R, std::string Name = "") {
+    return binOp(Opcode::UDiv, L, R, {}, std::move(Name));
+  }
+  Value *sdiv(Value *L, Value *R, std::string Name = "") {
+    return binOp(Opcode::SDiv, L, R, {}, std::move(Name));
+  }
+  Value *urem(Value *L, Value *R, std::string Name = "") {
+    return binOp(Opcode::URem, L, R, {}, std::move(Name));
+  }
+  Value *shl(Value *L, Value *R, ArithFlags F = {}, std::string Name = "") {
+    return binOp(Opcode::Shl, L, R, F, std::move(Name));
+  }
+  Value *lshr(Value *L, Value *R, std::string Name = "") {
+    return binOp(Opcode::LShr, L, R, {}, std::move(Name));
+  }
+  Value *ashr(Value *L, Value *R, std::string Name = "") {
+    return binOp(Opcode::AShr, L, R, {}, std::move(Name));
+  }
+  Value *and_(Value *L, Value *R, std::string Name = "") {
+    return binOp(Opcode::And, L, R, {}, std::move(Name));
+  }
+  Value *or_(Value *L, Value *R, std::string Name = "") {
+    return binOp(Opcode::Or, L, R, {}, std::move(Name));
+  }
+  Value *xor_(Value *L, Value *R, std::string Name = "") {
+    return binOp(Opcode::Xor, L, R, {}, std::move(Name));
+  }
+
+  // Comparisons and selection.
+  Value *icmp(ICmpPred P, Value *L, Value *R, std::string Name = "") {
+    return insert(ICmpInst::create(Ctx, P, L, R, std::move(Name)));
+  }
+  Value *select(Value *C, Value *T, Value *F, std::string Name = "") {
+    return insert(SelectInst::create(C, T, F, std::move(Name)));
+  }
+  Value *freeze(Value *V, std::string Name = "") {
+    return insert(FreezeInst::create(V, std::move(Name)));
+  }
+
+  // Casts.
+  Value *zext(Value *V, Type *Ty, std::string Name = "") {
+    return insert(CastInst::create(Opcode::ZExt, V, Ty, std::move(Name)));
+  }
+  Value *sext(Value *V, Type *Ty, std::string Name = "") {
+    return insert(CastInst::create(Opcode::SExt, V, Ty, std::move(Name)));
+  }
+  Value *trunc(Value *V, Type *Ty, std::string Name = "") {
+    return insert(CastInst::create(Opcode::Trunc, V, Ty, std::move(Name)));
+  }
+  Value *bitcast(Value *V, Type *Ty, std::string Name = "") {
+    return insert(CastInst::create(Opcode::BitCast, V, Ty, std::move(Name)));
+  }
+
+  // Phi: inserted at the block head, before any non-phi instruction.
+  PhiNode *phi(Type *Ty, std::string Name = "") {
+    assert(BB && "no insertion point set");
+    PhiNode *P = PhiNode::create(Ty, std::move(Name));
+    if (Instruction *FirstNonPhi = BB->firstNonPhi())
+      BB->insertBefore(FirstNonPhi, P);
+    else
+      BB->push_back(P);
+    return P;
+  }
+
+  // Memory.
+  Value *alloca_(Type *Ty, std::string Name = "") {
+    return insert(AllocaInst::create(Ctx, Ty, std::move(Name)));
+  }
+  Value *load(Value *Ptr, std::string Name = "") {
+    Type *Ty = cast<PointerType>(Ptr->getType())->pointee();
+    return insert(LoadInst::create(Ptr, Ty, std::move(Name)));
+  }
+  Value *store(Value *V, Value *Ptr) {
+    return insert(StoreInst::create(V, Ptr, Ctx));
+  }
+  Value *gep(Value *Base, Value *Index, bool InBounds = false,
+             std::string Name = "") {
+    return insert(GEPInst::create(Base, Index, InBounds, std::move(Name)));
+  }
+
+  // Vectors.
+  Value *extractElement(Value *Vec, unsigned Index, std::string Name = "") {
+    return insert(ExtractElementInst::create(Vec, Index, std::move(Name)));
+  }
+  Value *insertElement(Value *Vec, Value *Elem, unsigned Index,
+                       std::string Name = "") {
+    return insert(
+        InsertElementInst::create(Vec, Elem, Index, std::move(Name)));
+  }
+
+  // Calls.
+  Value *call(Function *Callee, const std::vector<Value *> &Args,
+              std::string Name = "") {
+    return insert(CallInst::create(Callee, Args, std::move(Name)));
+  }
+
+  // Terminators.
+  BranchInst *br(BasicBlock *Dest) {
+    return insert(BranchInst::createUncond(Dest, Ctx));
+  }
+  BranchInst *condBr(Value *Cond, BasicBlock *T, BasicBlock *F) {
+    return insert(BranchInst::createCond(Cond, T, F, Ctx));
+  }
+  SwitchInst *switch_(Value *Cond, BasicBlock *Default) {
+    return insert(SwitchInst::create(Cond, Default, Ctx));
+  }
+  ReturnInst *ret(Value *V) { return insert(ReturnInst::create(V, Ctx)); }
+  ReturnInst *retVoid() { return insert(ReturnInst::createVoid(Ctx)); }
+  UnreachableInst *unreachable() {
+    return insert(UnreachableInst::create(Ctx));
+  }
+};
+
+} // namespace frost
+
+#endif // FROST_IR_IRBUILDER_H

@@ -1,0 +1,317 @@
+//===- Instruction.cpp - Instruction base class ----------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Constants.h"
+#include "ir/Function.h"
+#include "ir/Instructions.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace frost;
+
+const char *frost::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::UDiv:
+    return "udiv";
+  case Opcode::SDiv:
+    return "sdiv";
+  case Opcode::URem:
+    return "urem";
+  case Opcode::SRem:
+    return "srem";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::LShr:
+    return "lshr";
+  case Opcode::AShr:
+    return "ashr";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Trunc:
+    return "trunc";
+  case Opcode::ZExt:
+    return "zext";
+  case Opcode::SExt:
+    return "sext";
+  case Opcode::BitCast:
+    return "bitcast";
+  case Opcode::ICmp:
+    return "icmp";
+  case Opcode::Select:
+    return "select";
+  case Opcode::Freeze:
+    return "freeze";
+  case Opcode::Phi:
+    return "phi";
+  case Opcode::Alloca:
+    return "alloca";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::GEP:
+    return "gep";
+  case Opcode::ExtractElement:
+    return "extractelement";
+  case Opcode::InsertElement:
+    return "insertelement";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Br:
+    return "br";
+  case Opcode::Switch:
+    return "switch";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Unreachable:
+    return "unreachable";
+  }
+  frost_unreachable("unknown opcode");
+}
+
+const char *frost::predName(ICmpPred P) {
+  switch (P) {
+  case ICmpPred::EQ:
+    return "eq";
+  case ICmpPred::NE:
+    return "ne";
+  case ICmpPred::UGT:
+    return "ugt";
+  case ICmpPred::UGE:
+    return "uge";
+  case ICmpPred::ULT:
+    return "ult";
+  case ICmpPred::ULE:
+    return "ule";
+  case ICmpPred::SGT:
+    return "sgt";
+  case ICmpPred::SGE:
+    return "sge";
+  case ICmpPred::SLT:
+    return "slt";
+  case ICmpPred::SLE:
+    return "sle";
+  }
+  frost_unreachable("unknown icmp predicate");
+}
+
+ICmpPred frost::swappedPred(ICmpPred P) {
+  switch (P) {
+  case ICmpPred::EQ:
+  case ICmpPred::NE:
+    return P;
+  case ICmpPred::UGT:
+    return ICmpPred::ULT;
+  case ICmpPred::UGE:
+    return ICmpPred::ULE;
+  case ICmpPred::ULT:
+    return ICmpPred::UGT;
+  case ICmpPred::ULE:
+    return ICmpPred::UGE;
+  case ICmpPred::SGT:
+    return ICmpPred::SLT;
+  case ICmpPred::SGE:
+    return ICmpPred::SLE;
+  case ICmpPred::SLT:
+    return ICmpPred::SGT;
+  case ICmpPred::SLE:
+    return ICmpPred::SGE;
+  }
+  frost_unreachable("unknown icmp predicate");
+}
+
+ICmpPred frost::invertedPred(ICmpPred P) {
+  switch (P) {
+  case ICmpPred::EQ:
+    return ICmpPred::NE;
+  case ICmpPred::NE:
+    return ICmpPred::EQ;
+  case ICmpPred::UGT:
+    return ICmpPred::ULE;
+  case ICmpPred::UGE:
+    return ICmpPred::ULT;
+  case ICmpPred::ULT:
+    return ICmpPred::UGE;
+  case ICmpPred::ULE:
+    return ICmpPred::UGT;
+  case ICmpPred::SGT:
+    return ICmpPred::SLE;
+  case ICmpPred::SGE:
+    return ICmpPred::SLT;
+  case ICmpPred::SLT:
+    return ICmpPred::SGE;
+  case ICmpPred::SLE:
+    return ICmpPred::SGT;
+  }
+  frost_unreachable("unknown icmp predicate");
+}
+
+Function *Instruction::getFunction() const {
+  return Parent ? Parent->getParent() : nullptr;
+}
+
+void Instruction::removeFromParent() {
+  assert(Parent && "instruction has no parent");
+  Parent->remove(this);
+}
+
+void Instruction::eraseFromParent() {
+  assert(Parent && "instruction has no parent");
+  Parent->erase(this);
+}
+
+void Instruction::moveBefore(Instruction *Pos) {
+  assert(Pos->getParent() && "destination is not in a block");
+  if (Parent)
+    Parent->remove(this);
+  Pos->getParent()->insertBefore(Pos, this);
+}
+
+void Instruction::moveBeforeTerminator(BasicBlock *BB) {
+  Instruction *Term = BB->terminator();
+  assert(Term && "block has no terminator");
+  moveBefore(Term);
+}
+
+Instruction *Instruction::nextInst() const {
+  assert(Parent && "instruction has no parent");
+  auto It = std::find(Parent->begin(), Parent->end(), this);
+  assert(It != Parent->end() && "instruction not in its parent");
+  ++It;
+  return It == Parent->end() ? nullptr : *It;
+}
+
+Instruction *Instruction::prevInst() const {
+  assert(Parent && "instruction has no parent");
+  auto It = std::find(Parent->begin(), Parent->end(), this);
+  assert(It != Parent->end() && "instruction not in its parent");
+  return It == Parent->begin() ? nullptr : *std::prev(It);
+}
+
+Instruction *Instruction::clone() const {
+  Instruction *New = nullptr;
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::UDiv:
+  case Opcode::SDiv:
+  case Opcode::URem:
+  case Opcode::SRem:
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+    New = BinaryOperator::create(Op, getOperand(0), getOperand(1), Flags);
+    break;
+  case Opcode::Trunc:
+  case Opcode::ZExt:
+  case Opcode::SExt:
+  case Opcode::BitCast:
+    New = CastInst::create(Op, getOperand(0), getType());
+    break;
+  case Opcode::ICmp: {
+    const auto *IC = cast<ICmpInst>(this);
+    New = ICmpInst::createWithType(IC->pred(), getOperand(0), getOperand(1),
+                                   getType());
+    break;
+  }
+  case Opcode::Select:
+    New = SelectInst::create(getOperand(0), getOperand(1), getOperand(2));
+    break;
+  case Opcode::Freeze:
+    New = FreezeInst::create(getOperand(0));
+    break;
+  case Opcode::Phi: {
+    const auto *P = cast<PhiNode>(this);
+    PhiNode *NP = PhiNode::create(getType());
+    for (unsigned I = 0, E = P->getNumIncoming(); I != E; ++I)
+      NP->addIncoming(P->getIncomingValue(I), P->getIncomingBlock(I));
+    New = NP;
+    break;
+  }
+  case Opcode::Alloca:
+    New = AllocaInst::create(getFunction()->context(),
+                             cast<AllocaInst>(this)->allocatedType());
+    break;
+  case Opcode::Load:
+    New = LoadInst::create(getOperand(0), getType());
+    break;
+  case Opcode::Store:
+    New = StoreInst::create(getOperand(0), getOperand(1),
+                            getFunction()->context());
+    break;
+  case Opcode::GEP:
+    New = GEPInst::create(getOperand(0), getOperand(1),
+                          cast<GEPInst>(this)->isInBounds());
+    break;
+  case Opcode::ExtractElement:
+    New = ExtractElementInst::create(getOperand(0),
+                                     cast<ExtractElementInst>(this)->index());
+    break;
+  case Opcode::InsertElement:
+    New = InsertElementInst::create(getOperand(0), getOperand(1),
+                                    cast<InsertElementInst>(this)->index());
+    break;
+  case Opcode::Call: {
+    const auto *C = cast<CallInst>(this);
+    std::vector<Value *> Args;
+    for (unsigned I = 0, E = C->getNumArgs(); I != E; ++I)
+      Args.push_back(C->getArg(I));
+    New = CallInst::create(C->callee(), Args);
+    break;
+  }
+  case Opcode::Br: {
+    const auto *B = cast<BranchInst>(this);
+    IRContext &Ctx = getFunction()->context();
+    if (B->isConditional())
+      New = BranchInst::createCond(B->condition(), B->trueDest(),
+                                   B->falseDest(), Ctx);
+    else
+      New = BranchInst::createUncond(B->dest(), Ctx);
+    break;
+  }
+  case Opcode::Switch: {
+    const auto *S = cast<SwitchInst>(this);
+    IRContext &Ctx = getFunction()->context();
+    SwitchInst *NS = SwitchInst::create(S->condition(), S->defaultDest(), Ctx);
+    for (unsigned I = 0, E = S->getNumCases(); I != E; ++I)
+      NS->addCase(S->caseValue(I), S->caseDest(I));
+    New = NS;
+    break;
+  }
+  case Opcode::Ret: {
+    const auto *R = cast<ReturnInst>(this);
+    IRContext &Ctx = getFunction()->context();
+    New = R->hasValue() ? ReturnInst::create(R->value(), Ctx)
+                        : ReturnInst::createVoid(Ctx);
+    break;
+  }
+  case Opcode::Unreachable:
+    New = UnreachableInst::create(getFunction()->context());
+    break;
+  }
+  assert(New && "clone not implemented for opcode");
+  New->setFlags(Flags);
+  return New;
+}

@@ -1,0 +1,202 @@
+//===- Instruction.h - Instruction base class -------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Instruction base class and the opcode/flag vocabulary of the frost IR,
+/// following the paper's Figure 4: binary ops with nsw/nuw/exact poison
+/// attributes, icmp, select, phi, freeze, casts, memory operations,
+/// getelementptr, vector element ops, call, and terminators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_IR_INSTRUCTION_H
+#define FROST_IR_INSTRUCTION_H
+
+#include "ir/Value.h"
+
+namespace frost {
+
+class BasicBlock;
+class Function;
+class IRContext;
+
+/// Instruction opcodes.
+enum class Opcode {
+  // Binary arithmetic / bitwise.
+  Add,
+  Sub,
+  Mul,
+  UDiv,
+  SDiv,
+  URem,
+  SRem,
+  Shl,
+  LShr,
+  AShr,
+  And,
+  Or,
+  Xor,
+  // Casts.
+  Trunc,
+  ZExt,
+  SExt,
+  BitCast,
+  // Scalar ops.
+  ICmp,
+  Select,
+  Freeze,
+  Phi,
+  // Memory.
+  Alloca,
+  Load,
+  Store,
+  GEP,
+  // Vector element access.
+  ExtractElement,
+  InsertElement,
+  // Calls.
+  Call,
+  // Terminators.
+  Br,
+  Switch,
+  Ret,
+  Unreachable,
+};
+
+/// Returns the mnemonic for \p Op ("add", "icmp", ...).
+const char *opcodeName(Opcode Op);
+
+/// icmp predicates (the paper's cond: eq | ne | ugt | uge | slt | sle plus
+/// the remaining LLVM predicates).
+enum class ICmpPred { EQ, NE, UGT, UGE, ULT, ULE, SGT, SGE, SLT, SLE };
+
+const char *predName(ICmpPred P);
+/// The predicate with operands swapped (e.g. ULT -> UGT).
+ICmpPred swappedPred(ICmpPred P);
+/// The logically negated predicate (e.g. EQ -> NE).
+ICmpPred invertedPred(ICmpPred P);
+
+/// Poison-generating flags on arithmetic (nsw/nuw/exact in the paper).
+struct ArithFlags {
+  bool NSW = false;
+  bool NUW = false;
+  bool Exact = false;
+
+  bool any() const { return NSW || NUW || Exact; }
+  bool operator==(const ArithFlags &) const = default;
+};
+
+/// Base class of all frost instructions.
+class Instruction : public User {
+public:
+  Opcode getOpcode() const { return Op; }
+  const char *getOpcodeName() const { return opcodeName(Op); }
+
+  BasicBlock *getParent() const { return Parent; }
+  Function *getFunction() const;
+
+  ArithFlags flags() const { return Flags; }
+  void setFlags(ArithFlags F) { Flags = F; }
+  bool hasNSW() const { return Flags.NSW; }
+  bool hasNUW() const { return Flags.NUW; }
+  bool isExact() const { return Flags.Exact; }
+  /// Clears nsw/nuw/exact; used by Reassociate, which may change how and
+  /// whether subexpressions overflow (Section 10.2).
+  void dropPoisonGeneratingFlags() { Flags = ArithFlags(); }
+
+  bool isTerminator() const {
+    return Op == Opcode::Br || Op == Opcode::Switch || Op == Opcode::Ret ||
+           Op == Opcode::Unreachable;
+  }
+  bool isBinaryOp() const {
+    return Op >= Opcode::Add && Op <= Opcode::Xor;
+  }
+  bool isCast() const { return Op >= Opcode::Trunc && Op <= Opcode::BitCast; }
+  bool isShift() const {
+    return Op == Opcode::Shl || Op == Opcode::LShr || Op == Opcode::AShr;
+  }
+  bool isDivRem() const {
+    return Op == Opcode::UDiv || Op == Opcode::SDiv || Op == Opcode::URem ||
+           Op == Opcode::SRem;
+  }
+  bool isCommutative() const {
+    return Op == Opcode::Add || Op == Opcode::Mul || Op == Opcode::And ||
+           Op == Opcode::Or || Op == Opcode::Xor;
+  }
+
+  /// True if the instruction writes memory or otherwise has effects beyond
+  /// producing its result.
+  bool mayWriteMemory() const {
+    return Op == Opcode::Store || Op == Opcode::Call;
+  }
+  bool mayReadMemory() const {
+    return Op == Opcode::Load || Op == Opcode::Call;
+  }
+
+  /// True if executing the instruction can trigger immediate UB regardless
+  /// of control context (division, memory access, calls). Such instructions
+  /// must not be hoisted past control flow unless proven safe — the core of
+  /// the Section 3.2 discussion.
+  bool mayTriggerImmediateUB() const {
+    return isDivRem() || Op == Opcode::Load || Op == Opcode::Store ||
+           Op == Opcode::Call;
+  }
+
+  /// True if the instruction may be freely speculated: no side effects and
+  /// no immediate UB. Deferred-UB (poison) producers are speculatable — the
+  /// whole point of poison per Section 2.2. Freeze is speculatable too, but
+  /// never *duplicatable* (Section 5.5): each execution of a freeze of
+  /// poison may pick a different value.
+  bool isSpeculatable() const {
+    return !isTerminator() && !mayTriggerImmediateUB() &&
+           Op != Opcode::Phi && Op != Opcode::Alloca;
+  }
+
+  /// True if the instruction may be duplicated (e.g. by loop sinking or tail
+  /// duplication). Freeze may not: duplicated freezes of the same poison may
+  /// disagree (Section 5.5, pitfall 1).
+  bool isDuplicatable() const { return Op != Opcode::Freeze; }
+
+  /// Unlinks the instruction from its parent block without deleting it.
+  void removeFromParent();
+  /// Unlinks and deletes the instruction. It must have no remaining uses.
+  void eraseFromParent();
+  /// Moves the instruction immediately before \p Pos (possibly in another
+  /// block).
+  void moveBefore(Instruction *Pos);
+  /// Moves the instruction to the end of \p BB, before its terminator.
+  void moveBeforeTerminator(BasicBlock *BB);
+
+  /// The next/previous instruction in the parent block, or null.
+  Instruction *nextInst() const;
+  Instruction *prevInst() const;
+
+  /// Creates an unparented copy of the instruction with identical operands
+  /// and flags. The caller inserts it and remaps operands as needed.
+  Instruction *clone() const;
+
+  /// Renders the instruction as one line of textual IR (without newline).
+  std::string str() const;
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::Instruction;
+  }
+
+protected:
+  Instruction(Opcode Op, Type *Ty, std::string Name = "")
+      : User(Kind::Instruction, Ty, std::move(Name)), Op(Op) {}
+
+private:
+  friend class BasicBlock;
+  Opcode Op;
+  BasicBlock *Parent = nullptr;
+  ArithFlags Flags;
+};
+
+} // namespace frost
+
+#endif // FROST_IR_INSTRUCTION_H

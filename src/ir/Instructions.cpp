@@ -1,0 +1,171 @@
+//===- Instructions.cpp - Concrete instruction classes ---------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instructions.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+
+using namespace frost;
+
+ICmpInst *ICmpInst::create(IRContext &Ctx, ICmpPred Pred, Value *LHS,
+                           Value *RHS, std::string Name) {
+  Type *ResTy = Ctx.boolTy();
+  if (auto *VT = dyn_cast<VectorType>(LHS->getType()))
+    ResTy = Ctx.vecTy(Ctx.boolTy(), VT->count());
+  return new ICmpInst(Pred, LHS, RHS, ResTy, std::move(Name));
+}
+
+BasicBlock *PhiNode::getIncomingBlock(unsigned I) const {
+  return cast<BasicBlock>(getOperand(2 * I + 1));
+}
+
+void PhiNode::setIncomingBlock(unsigned I, BasicBlock *BB) {
+  setOperand(2 * I + 1, BB);
+}
+
+void PhiNode::addIncoming(Value *V, BasicBlock *BB) {
+  assert(V->getType() == getType() && "phi incoming value type mismatch");
+  addOperand(V);
+  addOperand(BB);
+}
+
+void PhiNode::removeIncoming(unsigned I) {
+  unsigned N = getNumIncoming();
+  assert(I < N && "incoming index out of range");
+  // Shift later edges down, then pop the last pair.
+  for (unsigned J = I; J + 1 < N; ++J) {
+    setOperand(2 * J, getOperand(2 * (J + 1)));
+    setOperand(2 * J + 1, getOperand(2 * (J + 1) + 1));
+  }
+  popOperand();
+  popOperand();
+}
+
+int PhiNode::getBlockIndex(const BasicBlock *BB) const {
+  for (unsigned I = 0, E = getNumIncoming(); I != E; ++I)
+    if (getIncomingBlock(I) == BB)
+      return static_cast<int>(I);
+  return -1;
+}
+
+Value *PhiNode::getIncomingValueForBlock(const BasicBlock *BB) const {
+  int I = getBlockIndex(BB);
+  assert(I >= 0 && "block is not a predecessor of this phi");
+  return getIncomingValue(static_cast<unsigned>(I));
+}
+
+Value *PhiNode::hasConstantValue() const {
+  Value *Common = nullptr;
+  for (unsigned I = 0, E = getNumIncoming(); I != E; ++I) {
+    Value *V = getIncomingValue(I);
+    if (V == this)
+      continue;
+    if (Common && V != Common)
+      return nullptr;
+    Common = V;
+  }
+  return Common;
+}
+
+AllocaInst::AllocaInst(IRContext &Ctx, Type *AllocTy, std::string Name)
+    : Instruction(Opcode::Alloca, Ctx.ptrTy(AllocTy), std::move(Name)),
+      AllocTy(AllocTy) {}
+
+StoreInst::StoreInst(Value *Val, Value *Ptr, IRContext &Ctx)
+    : Instruction(Opcode::Store, Ctx.voidTy()) {
+  addOperand(Val);
+  addOperand(Ptr);
+}
+
+CallInst::CallInst(Function *Callee, const std::vector<Value *> &Args,
+                   std::string Name)
+    : Instruction(Opcode::Call, Callee->returnType(), std::move(Name)) {
+  assert(Args.size() == Callee->fnType()->params().size() &&
+         "call argument count mismatch");
+  addOperand(Callee);
+  for (Value *A : Args)
+    addOperand(A);
+}
+
+Function *CallInst::callee() const { return cast<Function>(getOperand(0)); }
+
+BranchInst::BranchInst(Value *Cond, BasicBlock *TrueBB, BasicBlock *FalseBB,
+                       IRContext &Ctx)
+    : Instruction(Opcode::Br, Ctx.voidTy()) {
+  assert(Cond->getType()->isBool() && "branch condition must be i1");
+  addOperand(Cond);
+  addOperand(TrueBB);
+  addOperand(FalseBB);
+}
+
+BranchInst::BranchInst(BasicBlock *Dest, IRContext &Ctx)
+    : Instruction(Opcode::Br, Ctx.voidTy()) {
+  addOperand(Dest);
+}
+
+BasicBlock *BranchInst::trueDest() const {
+  assert(isConditional() && "unconditional branch has no true dest");
+  return cast<BasicBlock>(getOperand(1));
+}
+
+BasicBlock *BranchInst::falseDest() const {
+  assert(isConditional() && "unconditional branch has no false dest");
+  return cast<BasicBlock>(getOperand(2));
+}
+
+BasicBlock *BranchInst::dest() const {
+  assert(!isConditional() && "conditional branch has two dests");
+  return cast<BasicBlock>(getOperand(0));
+}
+
+BasicBlock *BranchInst::getDest(unsigned I) const {
+  assert(I < getNumDests() && "dest index out of range");
+  return cast<BasicBlock>(getOperand(isConditional() ? 1 + I : 0));
+}
+
+void BranchInst::setDest(unsigned I, BasicBlock *BB) {
+  assert(I < getNumDests() && "dest index out of range");
+  setOperand(isConditional() ? 1 + I : 0, BB);
+}
+
+SwitchInst::SwitchInst(Value *Cond, BasicBlock *Default, IRContext &Ctx)
+    : Instruction(Opcode::Switch, Ctx.voidTy()) {
+  addOperand(Cond);
+  addOperand(Default);
+}
+
+BasicBlock *SwitchInst::defaultDest() const {
+  return cast<BasicBlock>(getOperand(1));
+}
+
+ConstantInt *SwitchInst::caseValue(unsigned I) const {
+  assert(I < getNumCases() && "case index out of range");
+  return cast<ConstantInt>(getOperand(2 + 2 * I));
+}
+
+BasicBlock *SwitchInst::caseDest(unsigned I) const {
+  assert(I < getNumCases() && "case index out of range");
+  return cast<BasicBlock>(getOperand(3 + 2 * I));
+}
+
+void SwitchInst::addCase(ConstantInt *Val, BasicBlock *Dest) {
+  assert(Val->getType() == condition()->getType() &&
+         "switch case type mismatch");
+  addOperand(Val);
+  addOperand(Dest);
+}
+
+ReturnInst::ReturnInst(Value *RetVal, IRContext &Ctx)
+    : Instruction(Opcode::Ret, Ctx.voidTy()) {
+  if (RetVal)
+    addOperand(RetVal);
+}
+
+UnreachableInst::UnreachableInst(IRContext &Ctx)
+    : Instruction(Opcode::Unreachable, Ctx.voidTy()) {}

@@ -1,0 +1,463 @@
+//===- Instructions.h - Concrete instruction classes ------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete subclasses of Instruction for every opcode in the paper's
+/// Figure 4 syntax, plus alloca/call/switch needed for complete programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_IR_INSTRUCTIONS_H
+#define FROST_IR_INSTRUCTIONS_H
+
+#include "ir/Instruction.h"
+
+namespace frost {
+
+class ConstantInt;
+
+/// A two-operand arithmetic or bitwise instruction; may carry nsw/nuw/exact
+/// flags, which turn wrapping/inexact results into poison (Figure 5).
+class BinaryOperator : public Instruction {
+  BinaryOperator(Opcode Op, Value *LHS, Value *RHS, ArithFlags F,
+                 std::string Name)
+      : Instruction(Op, LHS->getType(), std::move(Name)) {
+    assert(LHS->getType() == RHS->getType() && "operand type mismatch");
+    setFlags(F);
+    addOperand(LHS);
+    addOperand(RHS);
+  }
+
+public:
+  static BinaryOperator *create(Opcode Op, Value *LHS, Value *RHS,
+                                ArithFlags F = {}, std::string Name = "") {
+    return new BinaryOperator(Op, LHS, RHS, F, std::move(Name));
+  }
+
+  Value *lhs() const { return getOperand(0); }
+  Value *rhs() const { return getOperand(1); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->isBinaryOp();
+  }
+};
+
+/// trunc / zext / sext / bitcast. Bitcast reinterprets the low-level bit
+/// representation via the paper's ty-down / ty-up meta operations.
+class CastInst : public Instruction {
+  CastInst(Opcode Op, Value *Src, Type *DstTy, std::string Name)
+      : Instruction(Op, DstTy, std::move(Name)) {
+    addOperand(Src);
+  }
+
+public:
+  static CastInst *create(Opcode Op, Value *Src, Type *DstTy,
+                          std::string Name = "") {
+    return new CastInst(Op, Src, DstTy, std::move(Name));
+  }
+
+  Value *src() const { return getOperand(0); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->isCast();
+  }
+};
+
+/// Integer comparison producing i1 (or a vector of i1 lane-wise).
+class ICmpInst : public Instruction {
+  ICmpPred Pred;
+
+  ICmpInst(ICmpPred Pred, Value *LHS, Value *RHS, Type *ResTy,
+           std::string Name)
+      : Instruction(Opcode::ICmp, ResTy, std::move(Name)), Pred(Pred) {
+    assert(LHS->getType() == RHS->getType() && "operand type mismatch");
+    addOperand(LHS);
+    addOperand(RHS);
+  }
+
+public:
+  static ICmpInst *create(IRContext &Ctx, ICmpPred Pred, Value *LHS,
+                          Value *RHS, std::string Name = "");
+  /// Creation with a pre-computed result type (i1 or vector of i1); used by
+  /// clone and the parser.
+  static ICmpInst *createWithType(ICmpPred Pred, Value *LHS, Value *RHS,
+                                  Type *ResTy, std::string Name = "") {
+    return new ICmpInst(Pred, LHS, RHS, ResTy, std::move(Name));
+  }
+
+  ICmpPred pred() const { return Pred; }
+  void setPred(ICmpPred P) { Pred = P; }
+  Value *lhs() const { return getOperand(0); }
+  Value *rhs() const { return getOperand(1); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::ICmp;
+  }
+};
+
+/// Ternary select. Under the proposed semantics a poison condition makes the
+/// result poison, and only the *chosen* arm propagates poison — matching phi
+/// (Section 3.4 / Figure 5).
+class SelectInst : public Instruction {
+  SelectInst(Value *Cond, Value *TVal, Value *FVal, std::string Name)
+      : Instruction(Opcode::Select, TVal->getType(), std::move(Name)) {
+    assert(TVal->getType() == FVal->getType() && "select arm type mismatch");
+    addOperand(Cond);
+    addOperand(TVal);
+    addOperand(FVal);
+  }
+
+public:
+  static SelectInst *create(Value *Cond, Value *TVal, Value *FVal,
+                            std::string Name = "") {
+    return new SelectInst(Cond, TVal, FVal, std::move(Name));
+  }
+
+  Value *condition() const { return getOperand(0); }
+  Value *trueValue() const { return getOperand(1); }
+  Value *falseValue() const { return getOperand(2); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Select;
+  }
+};
+
+/// The paper's new instruction: a nop on non-poison inputs; on poison it
+/// non-deterministically picks an arbitrary value of the type, and all uses
+/// of this one freeze observe that same value.
+class FreezeInst : public Instruction {
+  FreezeInst(Value *Src, std::string Name)
+      : Instruction(Opcode::Freeze, Src->getType(), std::move(Name)) {
+    addOperand(Src);
+  }
+
+public:
+  static FreezeInst *create(Value *Src, std::string Name = "") {
+    return new FreezeInst(Src, std::move(Name));
+  }
+
+  Value *src() const { return getOperand(0); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Freeze;
+  }
+};
+
+/// SSA phi node. Operands are stored as (value, block) pairs.
+class PhiNode : public Instruction {
+  explicit PhiNode(Type *Ty, std::string Name)
+      : Instruction(Opcode::Phi, Ty, std::move(Name)) {}
+
+public:
+  static PhiNode *create(Type *Ty, std::string Name = "") {
+    return new PhiNode(Ty, std::move(Name));
+  }
+
+  unsigned getNumIncoming() const { return getNumOperands() / 2; }
+  Value *getIncomingValue(unsigned I) const { return getOperand(2 * I); }
+  BasicBlock *getIncomingBlock(unsigned I) const;
+  void setIncomingValue(unsigned I, Value *V) { setOperand(2 * I, V); }
+  void setIncomingBlock(unsigned I, BasicBlock *BB);
+
+  void addIncoming(Value *V, BasicBlock *BB);
+  /// Removes the I'th incoming edge.
+  void removeIncoming(unsigned I);
+  /// Index of the edge from \p BB, or -1.
+  int getBlockIndex(const BasicBlock *BB) const;
+  Value *getIncomingValueForBlock(const BasicBlock *BB) const;
+
+  /// If every incoming value is the same (ignoring self-references), returns
+  /// it; otherwise null.
+  Value *hasConstantValue() const;
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Phi;
+  }
+};
+
+/// Stack allocation of one value of the given type; yields its address.
+class AllocaInst : public Instruction {
+  Type *AllocTy;
+
+  AllocaInst(IRContext &Ctx, Type *AllocTy, std::string Name);
+
+public:
+  static AllocaInst *create(IRContext &Ctx, Type *AllocTy,
+                            std::string Name = "") {
+    return new AllocaInst(Ctx, AllocTy, std::move(Name));
+  }
+
+  Type *allocatedType() const { return AllocTy; }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Alloca;
+  }
+};
+
+/// Load of a first-class value through a pointer. Immediate UB on a poison
+/// or invalid address (Figure 5).
+class LoadInst : public Instruction {
+  LoadInst(Value *Ptr, Type *Ty, std::string Name)
+      : Instruction(Opcode::Load, Ty, std::move(Name)) {
+    addOperand(Ptr);
+  }
+
+public:
+  static LoadInst *create(Value *Ptr, Type *Ty, std::string Name = "") {
+    return new LoadInst(Ptr, Ty, std::move(Name));
+  }
+
+  Value *pointer() const { return getOperand(0); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Load;
+  }
+};
+
+/// Store through a pointer. Immediate UB on a poison or invalid address.
+/// Storing a *poison value* is fine: the bits become poison bits.
+class StoreInst : public Instruction {
+  StoreInst(Value *Val, Value *Ptr, IRContext &Ctx);
+
+public:
+  static StoreInst *create(Value *Val, Value *Ptr, IRContext &Ctx) {
+    return new StoreInst(Val, Ptr, Ctx);
+  }
+
+  Value *value() const { return getOperand(0); }
+  Value *pointer() const { return getOperand(1); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Store;
+  }
+};
+
+/// Pointer arithmetic: base + index * sizeof(pointee), as in the Figure 3
+/// example. With the inbounds flag set, wrapping the address space or
+/// leaving the underlying object yields poison — the property that justifies
+/// induction variable widening (Section 2.4).
+class GEPInst : public Instruction {
+  bool InBounds;
+
+  GEPInst(Value *Base, Value *Index, bool InBounds, std::string Name)
+      : Instruction(Opcode::GEP, Base->getType(), std::move(Name)),
+        InBounds(InBounds) {
+    addOperand(Base);
+    addOperand(Index);
+  }
+
+public:
+  static GEPInst *create(Value *Base, Value *Index, bool InBounds = false,
+                         std::string Name = "") {
+    return new GEPInst(Base, Index, InBounds, std::move(Name));
+  }
+
+  Value *base() const { return getOperand(0); }
+  Value *index() const { return getOperand(1); }
+  bool isInBounds() const { return InBounds; }
+  void setInBounds(bool B) { InBounds = B; }
+  Type *pointeeType() const {
+    return cast<PointerType>(getType())->pointee();
+  }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::GEP;
+  }
+};
+
+/// Reads one lane of a vector. The index is a constant, per Figure 4.
+class ExtractElementInst : public Instruction {
+  ExtractElementInst(Value *Vec, unsigned Index, std::string Name)
+      : Instruction(Opcode::ExtractElement,
+                    cast<VectorType>(Vec->getType())->element(),
+                    std::move(Name)),
+        Index(Index) {
+    addOperand(Vec);
+  }
+
+  unsigned Index;
+
+public:
+  static ExtractElementInst *create(Value *Vec, unsigned Index,
+                                    std::string Name = "") {
+    return new ExtractElementInst(Vec, Index, std::move(Name));
+  }
+
+  Value *vector() const { return getOperand(0); }
+  unsigned index() const { return Index; }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::ExtractElement;
+  }
+};
+
+/// Writes one lane of a vector, yielding the updated vector.
+class InsertElementInst : public Instruction {
+  InsertElementInst(Value *Vec, Value *Elem, unsigned Index, std::string Name)
+      : Instruction(Opcode::InsertElement, Vec->getType(), std::move(Name)),
+        Index(Index) {
+    addOperand(Vec);
+    addOperand(Elem);
+  }
+
+  unsigned Index;
+
+public:
+  static InsertElementInst *create(Value *Vec, Value *Elem, unsigned Index,
+                                   std::string Name = "") {
+    return new InsertElementInst(Vec, Elem, Index, std::move(Name));
+  }
+
+  Value *vector() const { return getOperand(0); }
+  Value *element() const { return getOperand(1); }
+  unsigned index() const { return Index; }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::InsertElement;
+  }
+};
+
+/// Direct call to a function in the same module. Passing poison as an
+/// argument is *not* UB by itself, but the callee observes poison — the GVN
+/// discussion of Section 3.3 hinges on this.
+class CallInst : public Instruction {
+  CallInst(Function *Callee, const std::vector<Value *> &Args,
+           std::string Name);
+
+public:
+  static CallInst *create(Function *Callee, const std::vector<Value *> &Args,
+                          std::string Name = "") {
+    return new CallInst(Callee, Args, std::move(Name));
+  }
+
+  Function *callee() const;
+  unsigned getNumArgs() const { return getNumOperands() - 1; }
+  Value *getArg(unsigned I) const { return getOperand(1 + I); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Call;
+  }
+};
+
+/// Conditional or unconditional branch. Branching on poison is immediate UB
+/// under the proposed semantics; under the legacy semantics its meaning is
+/// configurable (the Section 3.3 conflict).
+class BranchInst : public Instruction {
+  BranchInst(Value *Cond, BasicBlock *TrueBB, BasicBlock *FalseBB,
+             IRContext &Ctx);
+  BranchInst(BasicBlock *Dest, IRContext &Ctx);
+
+public:
+  static BranchInst *createCond(Value *Cond, BasicBlock *TrueBB,
+                                BasicBlock *FalseBB, IRContext &Ctx) {
+    return new BranchInst(Cond, TrueBB, FalseBB, Ctx);
+  }
+  static BranchInst *createUncond(BasicBlock *Dest, IRContext &Ctx) {
+    return new BranchInst(Dest, Ctx);
+  }
+
+  bool isConditional() const { return getNumOperands() == 3; }
+  Value *condition() const {
+    assert(isConditional() && "no condition on an unconditional branch");
+    return getOperand(0);
+  }
+  void setCondition(Value *C) {
+    assert(isConditional() && "no condition on an unconditional branch");
+    setOperand(0, C);
+  }
+  BasicBlock *trueDest() const;
+  BasicBlock *falseDest() const;
+  BasicBlock *dest() const;
+  unsigned getNumDests() const { return isConditional() ? 2 : 1; }
+  BasicBlock *getDest(unsigned I) const;
+  void setDest(unsigned I, BasicBlock *BB);
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Br;
+  }
+};
+
+/// Multiway branch on an integer. Switching on poison follows the same rule
+/// as branch.
+class SwitchInst : public Instruction {
+  SwitchInst(Value *Cond, BasicBlock *Default, IRContext &Ctx);
+
+public:
+  static SwitchInst *create(Value *Cond, BasicBlock *Default, IRContext &Ctx) {
+    return new SwitchInst(Cond, Default, Ctx);
+  }
+
+  Value *condition() const { return getOperand(0); }
+  BasicBlock *defaultDest() const;
+  unsigned getNumCases() const { return (getNumOperands() - 2) / 2; }
+  ConstantInt *caseValue(unsigned I) const;
+  BasicBlock *caseDest(unsigned I) const;
+  void addCase(ConstantInt *Val, BasicBlock *Dest);
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Switch;
+  }
+};
+
+/// Function return, with an optional value. Returning poison is allowed;
+/// the caller observes poison.
+class ReturnInst : public Instruction {
+  ReturnInst(Value *RetVal, IRContext &Ctx);
+
+public:
+  static ReturnInst *create(Value *RetVal, IRContext &Ctx) {
+    return new ReturnInst(RetVal, Ctx);
+  }
+  static ReturnInst *createVoid(IRContext &Ctx) {
+    return new ReturnInst(nullptr, Ctx);
+  }
+
+  bool hasValue() const { return getNumOperands() == 1; }
+  Value *value() const {
+    assert(hasValue() && "void return has no value");
+    return getOperand(0);
+  }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Ret;
+  }
+};
+
+/// Executing unreachable is immediate UB.
+class UnreachableInst : public Instruction {
+  explicit UnreachableInst(IRContext &Ctx);
+
+public:
+  static UnreachableInst *create(IRContext &Ctx) {
+    return new UnreachableInst(Ctx);
+  }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Unreachable;
+  }
+};
+
+} // namespace frost
+
+#endif // FROST_IR_INSTRUCTIONS_H

@@ -1,0 +1,68 @@
+//===- Module.cpp - Top-level IR container ---------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "ir/Context.h"
+#include "ir/Printer.h"
+
+using namespace frost;
+
+Module::~Module() {
+  // Break every cross-function reference (calls) before destroying any
+  // function, so Value's "no remaining uses" invariant holds at deletion.
+  for (auto &F : Functions)
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB)
+        I->dropAllReferences();
+}
+
+Function *Module::createFunction(std::string FnName, FunctionType *FT) {
+  assert(!getFunction(FnName) && "function name already taken");
+  Function *F = Function::createDetached(Ctx, std::move(FnName), FT);
+  F->Parent = this;
+  Functions.emplace_back(F);
+  return F;
+}
+
+Function *Module::getFunction(const std::string &FnName) const {
+  for (const auto &F : Functions)
+    if (F->getName() == FnName)
+      return F.get();
+  return nullptr;
+}
+
+void Module::eraseFunction(Function *F) {
+  for (BasicBlock *BB : *F)
+    for (Instruction *I : *BB)
+      I->dropAllReferences();
+  assert(!F->hasUses() && "erasing a function that is still called");
+  for (auto It = Functions.begin(); It != Functions.end(); ++It)
+    if (It->get() == F) {
+      Functions.erase(It);
+      return;
+    }
+  assert(false && "function not owned by this module");
+}
+
+std::vector<Function *> Module::functions() const {
+  std::vector<Function *> Result;
+  for (const auto &F : Functions)
+    Result.push_back(F.get());
+  return Result;
+}
+
+unsigned Module::instructionCount() const {
+  unsigned N = 0;
+  for (const auto &F : Functions)
+    N += F->instructionCount();
+  return N;
+}
+
+std::string Module::str() const {
+  return printModule(*const_cast<Module *>(this));
+}

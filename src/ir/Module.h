@@ -1,0 +1,68 @@
+//===- Module.h - Top-level IR container ------------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module owns a list of functions and is tied to an IRContext (which must
+/// outlive it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_IR_MODULE_H
+#define FROST_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <iosfwd>
+
+namespace frost {
+
+/// Top-level container for functions.
+class Module {
+public:
+  Module(IRContext &Ctx, std::string Name = "module")
+      : Ctx(Ctx), Name(std::move(Name)) {}
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+  ~Module();
+
+  IRContext &context() const { return Ctx; }
+  const std::string &name() const { return Name; }
+
+  /// Creates a function owned by this module. Empty until blocks are added,
+  /// in which state it acts as a declaration.
+  Function *createFunction(std::string FnName, FunctionType *FT);
+
+  /// Looks up a function by name, or null.
+  Function *getFunction(const std::string &FnName) const;
+
+  /// Removes and destroys \p F. It must not be referenced by calls from
+  /// other functions.
+  void eraseFunction(Function *F);
+
+  using iterator = std::vector<std::unique_ptr<Function>>::iterator;
+  iterator begin() { return Functions.begin(); }
+  iterator end() { return Functions.end(); }
+  unsigned size() const { return Functions.size(); }
+
+  /// All functions in creation order.
+  std::vector<Function *> functions() const;
+
+  /// Total instruction count across all functions.
+  unsigned instructionCount() const;
+
+  /// Renders the module as textual IR.
+  std::string str() const;
+
+private:
+  IRContext &Ctx;
+  std::string Name;
+  std::vector<std::unique_ptr<Function>> Functions;
+};
+
+} // namespace frost
+
+#endif // FROST_IR_MODULE_H

@@ -1,0 +1,218 @@
+//===- Printer.cpp - Textual IR output -------------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/Context.h"
+#include "ir/Instructions.h"
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace frost;
+
+namespace {
+
+/// "i32 %a" — operand with its type.
+std::string typedRef(const Value *V) {
+  return V->getType()->str() + " " + V->refString();
+}
+
+std::string flagString(const Instruction &I) {
+  std::string S;
+  if (I.hasNSW())
+    S += " nsw";
+  if (I.hasNUW())
+    S += " nuw";
+  if (I.isExact())
+    S += " exact";
+  return S;
+}
+
+} // namespace
+
+std::string frost::printInstruction(const Instruction &I) {
+  std::ostringstream OS;
+  if (!I.getType()->isVoid())
+    OS << I.refString() << " = ";
+
+  switch (I.getOpcode()) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::UDiv:
+  case Opcode::SDiv:
+  case Opcode::URem:
+  case Opcode::SRem:
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+    OS << I.getOpcodeName() << flagString(I) << " "
+       << I.getOperand(0)->getType()->str() << " "
+       << I.getOperand(0)->refString() << ", " << I.getOperand(1)->refString();
+    break;
+  case Opcode::Trunc:
+  case Opcode::ZExt:
+  case Opcode::SExt:
+  case Opcode::BitCast:
+    OS << I.getOpcodeName() << " " << typedRef(I.getOperand(0)) << " to "
+       << I.getType()->str();
+    break;
+  case Opcode::ICmp: {
+    const auto &C = cast<ICmpInst>(I);
+    OS << "icmp " << predName(C.pred()) << " "
+       << C.lhs()->getType()->str() << " " << C.lhs()->refString() << ", "
+       << C.rhs()->refString();
+    break;
+  }
+  case Opcode::Select:
+    OS << "select " << typedRef(I.getOperand(0)) << ", "
+       << typedRef(I.getOperand(1)) << ", " << typedRef(I.getOperand(2));
+    break;
+  case Opcode::Freeze:
+    OS << "freeze " << typedRef(I.getOperand(0));
+    break;
+  case Opcode::Phi: {
+    const auto &P = cast<PhiNode>(I);
+    OS << "phi " << P.getType()->str();
+    for (unsigned J = 0, E = P.getNumIncoming(); J != E; ++J) {
+      OS << (J ? ", [ " : " [ ") << P.getIncomingValue(J)->refString()
+         << ", " << P.getIncomingBlock(J)->refString() << " ]";
+    }
+    break;
+  }
+  case Opcode::Alloca:
+    OS << "alloca " << cast<AllocaInst>(I).allocatedType()->str();
+    break;
+  case Opcode::Load:
+    OS << "load " << I.getType()->str() << ", "
+       << typedRef(I.getOperand(0));
+    break;
+  case Opcode::Store:
+    OS << "store " << typedRef(I.getOperand(0)) << ", "
+       << typedRef(I.getOperand(1));
+    break;
+  case Opcode::GEP: {
+    const auto &G = cast<GEPInst>(I);
+    OS << "gep " << (G.isInBounds() ? "inbounds " : "")
+       << typedRef(G.base()) << ", " << typedRef(G.index());
+    break;
+  }
+  case Opcode::ExtractElement:
+    OS << "extractelement " << typedRef(I.getOperand(0)) << ", "
+       << cast<ExtractElementInst>(I).index();
+    break;
+  case Opcode::InsertElement:
+    OS << "insertelement " << typedRef(I.getOperand(0)) << ", "
+       << typedRef(I.getOperand(1)) << ", "
+       << cast<InsertElementInst>(I).index();
+    break;
+  case Opcode::Call: {
+    const auto &C = cast<CallInst>(I);
+    OS << "call " << C.callee()->returnType()->str() << " "
+       << C.callee()->refString() << "(";
+    for (unsigned J = 0, E = C.getNumArgs(); J != E; ++J)
+      OS << (J ? ", " : "") << typedRef(C.getArg(J));
+    OS << ")";
+    break;
+  }
+  case Opcode::Br: {
+    const auto &B = cast<BranchInst>(I);
+    if (B.isConditional())
+      OS << "br i1 " << B.condition()->refString() << ", label "
+         << B.trueDest()->refString() << ", label "
+         << B.falseDest()->refString();
+    else
+      OS << "br label " << B.dest()->refString();
+    break;
+  }
+  case Opcode::Switch: {
+    const auto &S = cast<SwitchInst>(I);
+    OS << "switch " << typedRef(S.condition()) << ", label "
+       << S.defaultDest()->refString() << " [";
+    for (unsigned J = 0, E = S.getNumCases(); J != E; ++J)
+      OS << " " << typedRef(S.caseValue(J)) << ", label "
+         << S.caseDest(J)->refString();
+    OS << " ]";
+    break;
+  }
+  case Opcode::Ret: {
+    const auto &R = cast<ReturnInst>(I);
+    if (R.hasValue())
+      OS << "ret " << typedRef(R.value());
+    else
+      OS << "ret void";
+    break;
+  }
+  case Opcode::Unreachable:
+    OS << "unreachable";
+    break;
+  }
+  return OS.str();
+}
+
+std::string frost::printFunction(Function &F) {
+  F.nameValues();
+  std::ostringstream OS;
+  if (F.isDeclaration()) {
+    OS << "declare " << F.returnType()->str() << " @" << F.getName() << "(";
+    for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I)
+      OS << (I ? ", " : "") << F.arg(I)->getType()->str();
+    OS << ")\n";
+    return OS.str();
+  }
+  OS << "define " << F.returnType()->str() << " @" << F.getName() << "(";
+  for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I)
+    OS << (I ? ", " : "") << typedRef(F.arg(I));
+  OS << ") {\n";
+  bool First = true;
+  for (BasicBlock *BB : F) {
+    if (!First)
+      OS << "\n";
+    First = false;
+    OS << BB->getName() << ":\n";
+    for (Instruction *I : *BB)
+      OS << "  " << printInstruction(*I) << "\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string frost::printModule(Module &M) {
+  std::ostringstream OS;
+  // Emit any globals referenced by the module first, so a round-trip
+  // through the parser can re-register them with the right sizes.
+  std::vector<GlobalVariable *> Globals;
+  for (Function *F : M.functions())
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB)
+        for (unsigned Op = 0, E = I->getNumOperands(); Op != E; ++Op)
+          if (auto *G = dyn_cast<GlobalVariable>(I->getOperand(Op)))
+            if (std::find(Globals.begin(), Globals.end(), G) == Globals.end())
+              Globals.push_back(G);
+  for (const GlobalVariable *G : Globals)
+    OS << "@" << G->getName() << " = global " << G->valueType()->str()
+       << ", " << G->sizeBytes() << "\n";
+  if (!Globals.empty())
+    OS << "\n";
+
+  bool First = true;
+  for (Function *F : M.functions()) {
+    if (!First)
+      OS << "\n";
+    First = false;
+    OS << printFunction(*F);
+  }
+  return OS.str();
+}
+
+std::string Instruction::str() const { return printInstruction(*this); }

@@ -1,0 +1,37 @@
+//===- Printer.h - Textual IR output ----------------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders modules, functions, and instructions in an LLVM-like textual
+/// syntax that round-trips through the parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_IR_PRINTER_H
+#define FROST_IR_PRINTER_H
+
+#include <string>
+
+namespace frost {
+
+class Function;
+class Instruction;
+class Module;
+
+/// Renders one instruction (no trailing newline). Operands must be named;
+/// call Function::nameValues() first for machine-generated IR.
+std::string printInstruction(const Instruction &I);
+
+/// Renders a full function definition (names unnamed values first).
+std::string printFunction(Function &F);
+
+/// Renders every function in the module.
+std::string printModule(Module &M);
+
+} // namespace frost
+
+#endif // FROST_IR_PRINTER_H

@@ -1,0 +1,104 @@
+//===- Type.cpp - frost IR type system ------------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace frost;
+
+namespace {
+/// Concrete singleton types for void and label.
+class SimpleType : public Type {
+public:
+  explicit SimpleType(Kind K) : Type(K) {}
+};
+} // namespace
+
+bool Type::isBool() const {
+  return isInteger() && static_cast<const IntegerType *>(this)->width() == 1;
+}
+
+unsigned Type::bitWidth() const {
+  switch (TheKind) {
+  case Kind::Integer:
+    return static_cast<const IntegerType *>(this)->width();
+  case Kind::Pointer:
+    return PointerType::AddressBits;
+  case Kind::Vector: {
+    const auto *VT = static_cast<const VectorType *>(this);
+    return VT->element()->bitWidth() * VT->count();
+  }
+  case Kind::Void:
+  case Kind::Label:
+  case Kind::Function:
+    break;
+  }
+  frost_unreachable("type has no bit width");
+}
+
+std::string Type::str() const {
+  switch (TheKind) {
+  case Kind::Void:
+    return "void";
+  case Kind::Label:
+    return "label";
+  case Kind::Integer:
+    return "i" + std::to_string(static_cast<const IntegerType *>(this)->width());
+  case Kind::Pointer:
+    return static_cast<const PointerType *>(this)->pointee()->str() + "*";
+  case Kind::Vector: {
+    const auto *VT = static_cast<const VectorType *>(this);
+    return "<" + std::to_string(VT->count()) + " x " +
+           VT->element()->str() + ">";
+  }
+  case Kind::Function: {
+    const auto *FT = static_cast<const FunctionType *>(this);
+    std::string S = FT->returnType()->str() + " (";
+    for (unsigned I = 0, E = FT->params().size(); I != E; ++I) {
+      if (I)
+        S += ", ";
+      S += FT->params()[I]->str();
+    }
+    return S + ")";
+  }
+  }
+  frost_unreachable("unknown type kind");
+}
+
+TypeContext::TypeContext()
+    : VoidTy(std::make_unique<SimpleType>(Type::Kind::Void)),
+      LabelTy(std::make_unique<SimpleType>(Type::Kind::Label)) {}
+
+IntegerType *TypeContext::intTy(unsigned Width) {
+  auto &Slot = IntTypes[Width];
+  if (!Slot)
+    Slot.reset(new IntegerType(Width));
+  return Slot.get();
+}
+
+PointerType *TypeContext::ptrTy(Type *Pointee) {
+  auto &Slot = PtrTypes[Pointee];
+  if (!Slot)
+    Slot.reset(new PointerType(Pointee));
+  return Slot.get();
+}
+
+VectorType *TypeContext::vecTy(Type *Elem, unsigned Count) {
+  auto &Slot = VecTypes[{Elem, Count}];
+  if (!Slot)
+    Slot.reset(new VectorType(Elem, Count));
+  return Slot.get();
+}
+
+FunctionType *TypeContext::fnTy(Type *Ret, std::vector<Type *> Params) {
+  for (auto &FT : FnTypes)
+    if (FT->returnType() == Ret && FT->params() == Params)
+      return FT.get();
+  FnTypes.emplace_back(new FunctionType(Ret, std::move(Params)));
+  return FnTypes.back().get();
+}

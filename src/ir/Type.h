@@ -1,0 +1,162 @@
+//===- Type.h - frost IR type system ----------------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The frost IR type system, matching the paper's Figure 4: arbitrary
+/// bit-width integers isz, typed pointers ty*, and vectors <sz x ty> with a
+/// statically known element count, plus void/label/function types needed to
+/// form complete modules. Types are uniqued by a TypeContext and compared by
+/// pointer identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_IR_TYPE_H
+#define FROST_IR_TYPE_H
+
+#include <cassert>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace frost {
+
+class TypeContext;
+
+/// Base class of all frost IR types. Instances are uniqued: two types are
+/// equal iff their pointers are equal.
+class Type {
+public:
+  enum class Kind { Void, Integer, Pointer, Vector, Label, Function };
+
+  Kind getKind() const { return TheKind; }
+
+  bool isVoid() const { return TheKind == Kind::Void; }
+  bool isInteger() const { return TheKind == Kind::Integer; }
+  bool isPointer() const { return TheKind == Kind::Pointer; }
+  bool isVector() const { return TheKind == Kind::Vector; }
+  bool isLabel() const { return TheKind == Kind::Label; }
+  bool isFunction() const { return TheKind == Kind::Function; }
+  /// True for types that may appear as SSA register values.
+  bool isFirstClass() const {
+    return isInteger() || isPointer() || isVector();
+  }
+  /// True for i1, the branch/select condition type.
+  bool isBool() const;
+
+  /// Total number of bits in a value of this type (pointers are 32 bits, per
+  /// the paper's memory model). Asserts on void/label/function.
+  unsigned bitWidth() const;
+
+  /// Renders the type in LLVM-like syntax ("i32", "i8*", "<4 x i8>").
+  std::string str() const;
+
+  virtual ~Type() = default;
+
+protected:
+  explicit Type(Kind K) : TheKind(K) {}
+
+private:
+  Kind TheKind;
+};
+
+/// An integer type of 1 to 64 bits.
+class IntegerType : public Type {
+  friend class TypeContext;
+  unsigned Width;
+
+  explicit IntegerType(unsigned Width) : Type(Kind::Integer), Width(Width) {
+    assert(Width >= 1 && Width <= 64 && "unsupported integer width");
+  }
+
+public:
+  unsigned width() const { return Width; }
+
+  static bool classof(const Type *T) { return T->getKind() == Kind::Integer; }
+};
+
+/// A typed pointer. All pointers are 32 bits wide in the semantics, as in the
+/// paper's Figure 5 memory model.
+class PointerType : public Type {
+  friend class TypeContext;
+  Type *Pointee;
+
+  explicit PointerType(Type *Pointee)
+      : Type(Kind::Pointer), Pointee(Pointee) {}
+
+public:
+  /// Bit width of every pointer value.
+  static constexpr unsigned AddressBits = 32;
+
+  Type *pointee() const { return Pointee; }
+
+  static bool classof(const Type *T) { return T->getKind() == Kind::Pointer; }
+};
+
+/// A fixed-length vector of integer or pointer elements.
+class VectorType : public Type {
+  friend class TypeContext;
+  Type *Elem;
+  unsigned Count;
+
+  VectorType(Type *Elem, unsigned Count)
+      : Type(Kind::Vector), Elem(Elem), Count(Count) {
+    assert(Count >= 1 && "vector must have at least one element");
+    assert((Elem->isInteger() || Elem->isPointer()) &&
+           "vector elements must be scalar");
+  }
+
+public:
+  Type *element() const { return Elem; }
+  unsigned count() const { return Count; }
+
+  static bool classof(const Type *T) { return T->getKind() == Kind::Vector; }
+};
+
+/// The type of a function: a return type plus parameter types.
+class FunctionType : public Type {
+  friend class TypeContext;
+  Type *Ret;
+  std::vector<Type *> Params;
+
+  FunctionType(Type *Ret, std::vector<Type *> Params)
+      : Type(Kind::Function), Ret(Ret), Params(std::move(Params)) {}
+
+public:
+  Type *returnType() const { return Ret; }
+  const std::vector<Type *> &params() const { return Params; }
+
+  static bool classof(const Type *T) { return T->getKind() == Kind::Function; }
+};
+
+/// Owns and uniques all types used by a set of modules.
+class TypeContext {
+public:
+  TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  Type *voidTy() { return VoidTy.get(); }
+  Type *labelTy() { return LabelTy.get(); }
+  IntegerType *intTy(unsigned Width);
+  IntegerType *boolTy() { return intTy(1); }
+  PointerType *ptrTy(Type *Pointee);
+  VectorType *vecTy(Type *Elem, unsigned Count);
+  FunctionType *fnTy(Type *Ret, std::vector<Type *> Params);
+
+private:
+  std::unique_ptr<Type> VoidTy;
+  std::unique_ptr<Type> LabelTy;
+  std::map<unsigned, std::unique_ptr<IntegerType>> IntTypes;
+  std::map<Type *, std::unique_ptr<PointerType>> PtrTypes;
+  std::map<std::pair<Type *, unsigned>, std::unique_ptr<VectorType>> VecTypes;
+  std::vector<std::unique_ptr<FunctionType>> FnTypes;
+};
+
+} // namespace frost
+
+#endif // FROST_IR_TYPE_H

@@ -1,0 +1,92 @@
+//===- Value.cpp - SSA values, uses, and users -----------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Value.h"
+
+#include "ir/Constants.h"
+#include "support/MemStats.h"
+
+#include <algorithm>
+
+using namespace frost;
+
+Value::Value(Kind K, Type *Ty, std::string Name)
+    : TheKind(K), Ty(Ty), Name(std::move(Name)) {
+  memstats::recordAlloc(sizeof(Value));
+}
+
+Value::~Value() {
+  assert(Uses.empty() && "value deleted while still in use");
+  memstats::recordFree(sizeof(Value));
+}
+
+void Value::removeUse(Use *U) {
+  auto It = std::find(Uses.begin(), Uses.end(), U);
+  assert(It != Uses.end() && "use not found in use list");
+  Uses.erase(It);
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "RAUW with self would create a cycle");
+  assert((!New || New->getType() == getType()) && "RAUW type mismatch");
+  // Copy: Use::set mutates the list we are iterating.
+  std::vector<Use *> Snapshot = Uses;
+  for (Use *U : Snapshot)
+    U->set(New);
+}
+
+std::string Value::refString() const {
+  switch (TheKind) {
+  case Kind::ConstantInt:
+    return cast<ConstantInt>(this)->value().toSignedString();
+  case Kind::Poison:
+    return "poison";
+  case Kind::Undef:
+    return "undef";
+  case Kind::ConstantVector: {
+    const auto *CV = cast<ConstantVector>(this);
+    std::string S = "<";
+    for (unsigned I = 0, E = CV->size(); I != E; ++I) {
+      if (I)
+        S += ", ";
+      S += CV->element(I)->getType()->str() + " " +
+           CV->element(I)->refString();
+    }
+    return S + ">";
+  }
+  case Kind::Function:
+  case Kind::GlobalVariable:
+    return "@" + Name;
+  case Kind::BasicBlock:
+  case Kind::Argument:
+  case Kind::Instruction:
+  case Kind::Placeholder:
+    return "%" + Name;
+  }
+  return "<unknown>";
+}
+
+void Use::set(Value *V) {
+  if (Val == V)
+    return;
+  if (Val)
+    Val->removeUse(this);
+  Val = V;
+  if (Val)
+    Val->addUse(this);
+}
+
+void User::replaceUsesOfWith(Value *From, Value *To) {
+  for (unsigned I = 0, E = getNumOperands(); I != E; ++I)
+    if (getOperand(I) == From)
+      setOperand(I, To);
+}
+
+void User::dropAllReferences() {
+  for (unsigned I = 0, E = getNumOperands(); I != E; ++I)
+    setOperand(I, nullptr);
+}

@@ -1,0 +1,148 @@
+//===- Value.h - SSA values, uses, and users --------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The root of the frost IR value hierarchy. Every SSA register, constant,
+/// argument, basic block and function is a Value; instructions additionally
+/// derive from User and hold their operands as Use edges, giving full use-def
+/// and def-use chains (needed by RAUW-style rewriting in the optimizer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_IR_VALUE_H
+#define FROST_IR_VALUE_H
+
+#include "support/Casting.h"
+#include "ir/Type.h"
+
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace frost {
+
+class Use;
+class User;
+
+/// Base class of everything that can be referenced by an instruction operand.
+class Value {
+public:
+  enum class Kind {
+    Argument,
+    BasicBlock,
+    Function,
+    GlobalVariable,
+    ConstantInt,
+    Poison,
+    Undef,
+    ConstantVector,
+    Instruction,
+    Placeholder, ///< Parser-internal forward reference; never escapes.
+  };
+
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value();
+
+  Kind getKind() const { return TheKind; }
+  Type *getType() const { return Ty; }
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+  bool hasName() const { return !Name.empty(); }
+
+  /// All Use edges whose value is this one.
+  const std::vector<Use *> &uses() const { return Uses; }
+  unsigned getNumUses() const { return Uses.size(); }
+  bool hasUses() const { return !Uses.empty(); }
+  bool hasOneUse() const { return Uses.size() == 1; }
+
+  /// Rewrites every use of this value to use \p New instead.
+  void replaceAllUsesWith(Value *New);
+
+  /// Renders the value as it appears in an operand position ("%x", "42",
+  /// "poison").
+  std::string refString() const;
+
+protected:
+  Value(Kind K, Type *Ty, std::string Name = "");
+
+private:
+  friend class Use;
+  void addUse(Use *U) { Uses.push_back(U); }
+  void removeUse(Use *U);
+
+  Kind TheKind;
+  Type *Ty;
+  std::string Name;
+  std::vector<Use *> Uses;
+};
+
+/// A single operand edge from a User to a Value. Maintains the used value's
+/// use list automatically.
+class Use {
+public:
+  Use(User *Parent, unsigned OpNo) : Parent(Parent), OpNo(OpNo) {}
+  Use(const Use &) = delete;
+  Use &operator=(const Use &) = delete;
+  ~Use() { set(nullptr); }
+
+  Value *get() const { return Val; }
+  void set(Value *V);
+
+  User *getUser() const { return Parent; }
+  unsigned getOperandNo() const { return OpNo; }
+
+private:
+  Value *Val = nullptr;
+  User *Parent;
+  unsigned OpNo;
+};
+
+/// A value that references other values through operands.
+class User : public Value {
+public:
+  unsigned getNumOperands() const { return Operands.size(); }
+  Value *getOperand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I].get();
+  }
+  void setOperand(unsigned I, Value *V) {
+    assert(I < Operands.size() && "operand index out of range");
+    Operands[I].set(V);
+  }
+
+  /// Replaces every operand equal to \p From with \p To.
+  void replaceUsesOfWith(Value *From, Value *To);
+
+  /// Drops all operand references (used before deletion to break cycles).
+  void dropAllReferences();
+
+protected:
+  User(Kind K, Type *Ty, std::string Name = "")
+      : Value(K, Ty, std::move(Name)) {}
+
+  /// Appends a new operand slot holding \p V. Uses a deque so Use addresses
+  /// stay stable as phi nodes grow.
+  void addOperand(Value *V) {
+    Operands.emplace_back(this, static_cast<unsigned>(Operands.size()));
+    Operands.back().set(V);
+  }
+
+  /// Removes the last operand slot.
+  void popOperand() {
+    assert(!Operands.empty() && "no operand to pop");
+    Operands.pop_back();
+  }
+
+private:
+  std::deque<Use> Operands;
+};
+
+} // namespace frost
+
+#endif // FROST_IR_VALUE_H

@@ -1,0 +1,280 @@
+//===- Verifier.cpp - IR well-formedness checks -----------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "analysis/Dominators.h"
+#include "ir/Instructions.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace frost;
+
+namespace {
+
+class FunctionVerifier {
+  Function &F;
+  std::vector<std::string> &Errors;
+
+  void report(const std::string &Msg) { Errors.push_back(Msg); }
+  void report(const Instruction *I, const std::string &Msg) {
+    Errors.push_back(Msg + " in: " + printInstruction(*I));
+  }
+
+public:
+  FunctionVerifier(Function &F, std::vector<std::string> &Errors)
+      : F(F), Errors(Errors) {}
+
+  bool run();
+
+private:
+  void checkBlock(BasicBlock *BB);
+  void checkInstruction(Instruction *I);
+  void checkDominance();
+};
+
+bool FunctionVerifier::run() {
+  if (F.isDeclaration())
+    return true;
+  size_t Before = Errors.size();
+
+  if (!F.entry()->uniquePredecessors().empty())
+    report("entry block has predecessors in @" + F.getName());
+  if (!F.entry()->phis().empty())
+    report("entry block has phi nodes in @" + F.getName());
+
+  for (BasicBlock *BB : F)
+    checkBlock(BB);
+
+  // Dominance is only meaningful on structurally valid IR.
+  if (Errors.size() == Before)
+    checkDominance();
+  return Errors.size() == Before;
+}
+
+void FunctionVerifier::checkBlock(BasicBlock *BB) {
+  if (BB->empty() || !BB->back()->isTerminator()) {
+    report("block %" + BB->getName() + " lacks a terminator");
+    return;
+  }
+  bool SeenNonPhi = false;
+  for (Instruction *I : *BB) {
+    if (I->isTerminator() && I != BB->back())
+      report(I, "terminator in the middle of a block");
+    if (isa<PhiNode>(I)) {
+      if (SeenNonPhi)
+        report(I, "phi after a non-phi instruction");
+    } else {
+      SeenNonPhi = true;
+    }
+    if (I->getParent() != BB)
+      report(I, "instruction parent link is wrong");
+    checkInstruction(I);
+  }
+
+  // Phi incoming blocks must be exactly the unique predecessors.
+  std::vector<BasicBlock *> Preds = BB->uniquePredecessors();
+  for (PhiNode *P : BB->phis()) {
+    std::set<BasicBlock *> Seen;
+    for (unsigned I = 0, E = P->getNumIncoming(); I != E; ++I) {
+      BasicBlock *In = P->getIncomingBlock(I);
+      if (!Seen.insert(In).second)
+        report(P, "duplicate phi edge from %" + In->getName());
+      if (std::find(Preds.begin(), Preds.end(), In) == Preds.end())
+        report(P, "phi edge from non-predecessor %" + In->getName());
+    }
+    for (BasicBlock *Pred : Preds)
+      if (!Seen.count(Pred))
+        report(P, "phi is missing an edge from predecessor %" +
+                      Pred->getName());
+  }
+}
+
+void FunctionVerifier::checkInstruction(Instruction *I) {
+  for (unsigned Op = 0, E = I->getNumOperands(); Op != E; ++Op)
+    if (!I->getOperand(Op))
+      report(I, "null operand");
+
+  switch (I->getOpcode()) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::UDiv:
+  case Opcode::SDiv:
+  case Opcode::URem:
+  case Opcode::SRem:
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor: {
+    if (I->getOperand(0)->getType() != I->getType() ||
+        I->getOperand(1)->getType() != I->getType())
+      report(I, "binary operand type mismatch");
+    bool FlagsAllowed =
+        I->getOpcode() == Opcode::Add || I->getOpcode() == Opcode::Sub ||
+        I->getOpcode() == Opcode::Mul || I->getOpcode() == Opcode::Shl;
+    bool ExactAllowed = I->isDivRem() || I->getOpcode() == Opcode::LShr ||
+                        I->getOpcode() == Opcode::AShr;
+    if ((I->hasNSW() || I->hasNUW()) && !FlagsAllowed)
+      report(I, "nsw/nuw on an opcode that does not support them");
+    if (I->isExact() && !ExactAllowed)
+      report(I, "exact on an opcode that does not support it");
+    break;
+  }
+  case Opcode::Trunc:
+  case Opcode::ZExt:
+  case Opcode::SExt: {
+    Type *SrcTy = I->getOperand(0)->getType();
+    if (!SrcTy->isInteger() || !I->getType()->isInteger()) {
+      report(I, "int cast on non-integer type");
+      break;
+    }
+    unsigned Src = SrcTy->bitWidth(), Dst = I->getType()->bitWidth();
+    if (I->getOpcode() == Opcode::Trunc ? Src <= Dst : Src >= Dst)
+      report(I, "cast does not change width in the right direction");
+    break;
+  }
+  case Opcode::BitCast:
+    if (I->getOperand(0)->getType()->bitWidth() != I->getType()->bitWidth())
+      report(I, "bitcast between types of different bit width");
+    break;
+  case Opcode::ICmp:
+    if (I->getOperand(0)->getType() != I->getOperand(1)->getType())
+      report(I, "icmp operand type mismatch");
+    break;
+  case Opcode::Select: {
+    const auto *S = cast<SelectInst>(I);
+    if (!S->condition()->getType()->isBool())
+      report(I, "select condition is not i1");
+    if (S->trueValue()->getType() != S->falseValue()->getType() ||
+        S->trueValue()->getType() != S->getType())
+      report(I, "select arm type mismatch");
+    break;
+  }
+  case Opcode::Phi:
+    for (unsigned J = 0, E = cast<PhiNode>(I)->getNumIncoming(); J != E; ++J)
+      if (cast<PhiNode>(I)->getIncomingValue(J)->getType() != I->getType())
+        report(I, "phi incoming value type mismatch");
+    break;
+  case Opcode::Load: {
+    const auto *PT = dyn_cast<PointerType>(I->getOperand(0)->getType());
+    if (!PT)
+      report(I, "load from non-pointer");
+    else if (PT->pointee() != I->getType())
+      report(I, "load type does not match pointee type");
+    break;
+  }
+  case Opcode::Store: {
+    const auto *PT = dyn_cast<PointerType>(I->getOperand(1)->getType());
+    if (!PT)
+      report(I, "store to non-pointer");
+    else if (PT->pointee() != I->getOperand(0)->getType())
+      report(I, "stored type does not match pointee type");
+    break;
+  }
+  case Opcode::GEP:
+    if (!isa<PointerType>(I->getOperand(0)->getType()))
+      report(I, "gep base is not a pointer");
+    if (!I->getOperand(1)->getType()->isInteger())
+      report(I, "gep index is not an integer");
+    break;
+  case Opcode::ExtractElement: {
+    const auto *VT = dyn_cast<VectorType>(I->getOperand(0)->getType());
+    if (!VT)
+      report(I, "extractelement from non-vector");
+    else if (cast<ExtractElementInst>(I)->index() >= VT->count())
+      report(I, "extractelement index out of range");
+    break;
+  }
+  case Opcode::InsertElement: {
+    const auto *VT = dyn_cast<VectorType>(I->getOperand(0)->getType());
+    if (!VT) {
+      report(I, "insertelement into non-vector");
+      break;
+    }
+    if (cast<InsertElementInst>(I)->index() >= VT->count())
+      report(I, "insertelement index out of range");
+    if (I->getOperand(1)->getType() != VT->element())
+      report(I, "insertelement element type mismatch");
+    break;
+  }
+  case Opcode::Call: {
+    const auto *C = cast<CallInst>(I);
+    const auto &Params = C->callee()->fnType()->params();
+    if (C->getNumArgs() != Params.size()) {
+      report(I, "call argument count mismatch");
+      break;
+    }
+    for (unsigned J = 0; J != Params.size(); ++J)
+      if (C->getArg(J)->getType() != Params[J])
+        report(I, "call argument type mismatch");
+    break;
+  }
+  case Opcode::Br:
+    if (cast<BranchInst>(I)->isConditional() &&
+        !cast<BranchInst>(I)->condition()->getType()->isBool())
+      report(I, "branch condition is not i1");
+    break;
+  case Opcode::Ret: {
+    const auto *R = cast<ReturnInst>(I);
+    Type *Expected = I->getFunction()->returnType();
+    if (R->hasValue() ? R->value()->getType() != Expected
+                      : !Expected->isVoid())
+      report(I, "return type mismatch");
+    break;
+  }
+  case Opcode::Freeze:
+    if (I->getOperand(0)->getType() != I->getType())
+      report(I, "freeze type mismatch");
+    break;
+  case Opcode::Alloca:
+  case Opcode::Switch:
+  case Opcode::Unreachable:
+    break;
+  }
+}
+
+void FunctionVerifier::checkDominance() {
+  DominatorTree DT(F);
+  for (BasicBlock *BB : F) {
+    if (!DT.isReachable(BB))
+      continue;
+    for (Instruction *I : *BB) {
+      for (unsigned Op = 0, E = I->getNumOperands(); Op != E; ++Op) {
+        auto *Def = dyn_cast<Instruction>(I->getOperand(Op));
+        if (!Def)
+          continue;
+        if (Def->getFunction() != &F) {
+          report(I, "operand defined in another function");
+          continue;
+        }
+        if (!DT.dominates(Def, I, Op))
+          report(I, "operand %" + Def->getName() + " does not dominate use");
+      }
+    }
+  }
+}
+
+} // namespace
+
+bool frost::verifyFunction(Function &F, std::vector<std::string> *Errors) {
+  std::vector<std::string> Local;
+  FunctionVerifier V(F, Errors ? *Errors : Local);
+  return V.run();
+}
+
+bool frost::verifyModule(Module &M, std::vector<std::string> *Errors) {
+  bool OK = true;
+  for (Function *F : M.functions())
+    OK &= verifyFunction(*F, Errors);
+  return OK;
+}

@@ -1,0 +1,35 @@
+//===- Verifier.h - IR well-formedness checks -------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and SSA well-formedness verification, run after every pass in
+/// checked pipelines. Note this checks *form*, not semantics: refinement
+/// checking is the job of frost/tv.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_IR_VERIFIER_H
+#define FROST_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace frost {
+
+class Function;
+class Module;
+
+/// Appends a diagnostic per violation to \p Errors; returns true if the
+/// function is well formed.
+bool verifyFunction(Function &F, std::vector<std::string> *Errors = nullptr);
+
+/// Verifies every function in \p M.
+bool verifyModule(Module &M, std::vector<std::string> *Errors = nullptr);
+
+} // namespace frost
+
+#endif // FROST_IR_VERIFIER_H

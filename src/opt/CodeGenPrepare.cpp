@@ -1,0 +1,220 @@
+//===- CodeGenPrepare.cpp - Late lowering preparation --------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 6 backend-preparation tweaks the prototype needed to recover
+/// performance once freeze existed:
+///
+///  - freeze(icmp x, C) -> icmp (freeze x), C, so the compare can be placed
+///    right next to its branch. (The paper notes this must run late: it is
+///    a refinement, and running it early would confuse analyses like scalar
+///    evolution.)
+///  - freeze(and/or a, b) -> and/or (freeze a, freeze b) on i1, so a branch
+///    on a frozen and/or can still be split into two jumps.
+///  - Sinking a compare whose single user is a branch in another block down
+///    to that branch.
+///  - Splitting "br (and/or c1, c2)" into two branches.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Instructions.h"
+#include "opt/Passes.h"
+#include "opt/Utils.h"
+
+using namespace frost;
+using namespace frost::opt;
+
+namespace {
+
+class CodeGenPrepare : public Pass {
+public:
+  explicit CodeGenPrepare(PipelineMode Mode) : Mode(Mode) {}
+
+  const char *name() const override { return "codegenprepare"; }
+
+  bool runOnFunction(Function &F) override {
+    bool Changed = false;
+    if (Mode == PipelineMode::Proposed) {
+      Changed |= pushFreezeThroughICmp(F);
+      Changed |= distributeFreezeOverLogic(F);
+    }
+    Changed |= sinkCmpsToBranches(F);
+    Changed |= splitLogicalBranches(F);
+    return Changed;
+  }
+
+private:
+  PipelineMode Mode;
+
+  bool pushFreezeThroughICmp(Function &F);
+  bool distributeFreezeOverLogic(Function &F);
+  bool sinkCmpsToBranches(Function &F);
+  bool splitLogicalBranches(Function &F);
+};
+
+/// freeze(icmp pred x, C) -> icmp pred (freeze x), C.
+/// Refinement: if x is poison the source is an arbitrary i1 choice; the
+/// target compares an arbitrary frozen value against C, whose outcome set
+/// is a subset of {true, false} reachable — still a subset of "any i1".
+bool CodeGenPrepare::pushFreezeThroughICmp(Function &F) {
+  bool Changed = false;
+  for (BasicBlock *BB : F) {
+    std::vector<Instruction *> Insts(BB->begin(), BB->end());
+    for (Instruction *I : Insts) {
+      auto *Fr = dyn_cast<FreezeInst>(I);
+      if (!Fr)
+        continue;
+      auto *Cmp = dyn_cast<ICmpInst>(Fr->src());
+      if (!Cmp || !Cmp->hasOneUse() || !isa<ConstantInt>(Cmp->rhs()))
+        continue;
+      IRContext &Ctx = F.context();
+      auto *NewFr =
+          FreezeInst::create(Cmp->lhs(), Cmp->lhs()->getName() + ".fr");
+      BB->insertBefore(Fr, NewFr);
+      auto *NewCmp = ICmpInst::create(Ctx, Cmp->pred(), NewFr, Cmp->rhs(),
+                                      Cmp->getName() + ".fr");
+      BB->insertBefore(Fr, NewCmp);
+      replaceAndErase(Fr, NewCmp);
+      Cmp->eraseFromParent();
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+/// freeze(and/or a, b) on i1 -> and/or (freeze a), (freeze b).
+/// Refinement: whenever either input is poison, the source may pick *any*
+/// boolean, and the target's outcome is always some boolean.
+bool CodeGenPrepare::distributeFreezeOverLogic(Function &F) {
+  bool Changed = false;
+  for (BasicBlock *BB : F) {
+    std::vector<Instruction *> Insts(BB->begin(), BB->end());
+    for (Instruction *I : Insts) {
+      auto *Fr = dyn_cast<FreezeInst>(I);
+      if (!Fr || !Fr->getType()->isBool())
+        continue;
+      auto *Logic = dyn_cast<BinaryOperator>(Fr->src());
+      if (!Logic || !Logic->hasOneUse() ||
+          (Logic->getOpcode() != Opcode::And &&
+           Logic->getOpcode() != Opcode::Or))
+        continue;
+      auto *FrL =
+          FreezeInst::create(Logic->lhs(), Logic->lhs()->getName() + ".fr");
+      auto *FrR =
+          FreezeInst::create(Logic->rhs(), Logic->rhs()->getName() + ".fr");
+      BB->insertBefore(Fr, FrL);
+      BB->insertBefore(Fr, FrR);
+      auto *NewLogic = BinaryOperator::create(
+          Logic->getOpcode(), FrL, FrR, ArithFlags{}, Logic->getName() + ".s");
+      BB->insertBefore(Fr, NewLogic);
+      replaceAndErase(Fr, NewLogic);
+      Logic->eraseFromParent();
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+/// Moves an icmp whose only user is a conditional branch in another block
+/// to just before that branch, keeping compare+branch adjacent for the
+/// backend.
+bool CodeGenPrepare::sinkCmpsToBranches(Function &F) {
+  bool Changed = false;
+  for (BasicBlock *BB : F) {
+    std::vector<Instruction *> Insts(BB->begin(), BB->end());
+    for (Instruction *I : Insts) {
+      auto *Cmp = dyn_cast<ICmpInst>(I);
+      if (!Cmp || !Cmp->hasOneUse())
+        continue;
+      auto *Br = dyn_cast<BranchInst>(Cmp->uses().front()->getUser());
+      if (!Br || Br->getParent() == BB)
+        continue;
+      // Only sink when the branch block is dominated trivially: a compare
+      // is pure, so moving it later on the same path is always sound; we
+      // conservatively require the branch block's unique predecessor chain
+      // to contain BB (single-pred chains only).
+      BasicBlock *Walk = Br->getParent();
+      bool Reaches = false;
+      for (unsigned Steps = 0; Walk && Steps != 8; ++Steps) {
+        std::vector<BasicBlock *> Preds = Walk->uniquePredecessors();
+        if (Preds.size() != 1)
+          break;
+        Walk = Preds.front();
+        if (Walk == BB) {
+          Reaches = true;
+          break;
+        }
+      }
+      if (!Reaches)
+        continue;
+      Cmp->moveBefore(Br);
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+/// br (and c1, c2), T, F  ->  br c1, Check2, F;  Check2: br c2, T, F
+/// br (or  c1, c2), T, F  ->  br c1, T, Check2;  Check2: br c2, T, F
+/// Sound under the proposed semantics because a poison c1/c2 made the
+/// original branch UB already (and/or propagate poison). Phi edges in T/F
+/// are updated for the extra predecessor.
+bool CodeGenPrepare::splitLogicalBranches(Function &F) {
+  IRContext &Ctx = F.context();
+  bool Changed = false;
+  bool LocalChange = true;
+  while (LocalChange) {
+    LocalChange = false;
+    for (BasicBlock *BB : F) {
+      auto *Br = dyn_cast_or_null<BranchInst>(BB->terminator());
+      if (!Br || !Br->isConditional())
+        continue;
+      auto *Logic = dyn_cast<BinaryOperator>(Br->condition());
+      if (!Logic || !Logic->getType()->isBool() || !Logic->hasOneUse())
+        continue;
+      bool IsAnd = Logic->getOpcode() == Opcode::And;
+      if (!IsAnd && Logic->getOpcode() != Opcode::Or)
+        continue;
+      BasicBlock *T = Br->trueDest(), *FD = Br->falseDest();
+      if (T == FD)
+        continue;
+
+      BasicBlock *Check2 = BasicBlock::create(
+          Ctx, BB->getName() + ".check2", BB->getParent());
+      Check2->push_back(
+          BranchInst::createCond(Logic->rhs(), T, FD, Ctx));
+      Br->eraseFromParent();
+      BB->push_back(IsAnd
+                        ? BranchInst::createCond(Logic->lhs(), Check2, FD, Ctx)
+                        : BranchInst::createCond(Logic->lhs(), T, Check2,
+                                                 Ctx));
+      // The short-circuited destination keeps BB as a predecessor and also
+      // gains Check2; the other destination's edge moved from BB to Check2.
+      BasicBlock *Shared = IsAnd ? FD : T;  // Reached from both blocks.
+      BasicBlock *Moved = IsAnd ? T : FD;   // Now reached only from Check2.
+      for (PhiNode *P : Shared->phis())
+        P->addIncoming(P->getIncomingValueForBlock(BB), Check2);
+      for (PhiNode *P : Moved->phis()) {
+        int Idx = P->getBlockIndex(BB);
+        if (Idx >= 0)
+          P->setIncomingBlock(static_cast<unsigned>(Idx), Check2);
+      }
+      Logic->eraseFromParent();
+      Changed = LocalChange = true;
+      break; // Restart: block list changed.
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+std::unique_ptr<Pass> frost::createCodeGenPreparePass(PipelineMode Mode) {
+  return std::make_unique<CodeGenPrepare>(Mode);
+}

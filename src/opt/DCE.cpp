@@ -1,0 +1,34 @@
+//===- DCE.cpp - Dead code elimination -----------------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Removes instructions with no uses and no effects. Deferred-UB producers
+/// are removable: dropping an unused poison value only shrinks the
+/// behaviour set.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "opt/Passes.h"
+#include "opt/Utils.h"
+
+using namespace frost;
+
+namespace {
+
+class DCE : public Pass {
+public:
+  const char *name() const override { return "dce"; }
+
+  bool runOnFunction(Function &F) override { return opt::eraseDeadCode(F); }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> frost::createDCEPass() {
+  return std::make_unique<DCE>();
+}

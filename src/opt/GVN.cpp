@@ -1,0 +1,214 @@
+//===- GVN.cpp - Global value numbering ----------------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator-based value numbering of pure expressions. Replacing a value
+/// with a syntactically equal one is refinement-safe regardless of poison
+/// (equal expressions over equal operands are poison in exactly the same
+/// executions). The *equality-propagation* part of GVN — replacing t by y
+/// after observing "br (t == y)" — is sound only because branch-on-poison is
+/// UB under the proposed semantics (Section 3.3); it is implemented here and
+/// is exactly the transformation that conflicts with legacy loop
+/// unswitching.
+///
+/// Freeze instructions are never value-numbered: two freezes of the same
+/// operand may yield different values (Section 6, "opportunities for
+/// improvement").
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+#include "ir/Function.h"
+#include "ir/Instructions.h"
+#include "opt/Passes.h"
+#include "opt/Utils.h"
+
+#include <map>
+#include <sstream>
+
+using namespace frost;
+using namespace frost::opt;
+
+namespace {
+
+class GVN : public Pass {
+public:
+  const char *name() const override { return "gvn"; }
+  bool runOnFunction(Function &F) override;
+
+private:
+  /// Structural key for a pure expression; empty when not numberable.
+  std::string expressionKey(Instruction *I);
+
+  bool numberValues(Function &F, const DominatorTree &DT);
+  bool propagateBranchEqualities(Function &F, const DominatorTree &DT);
+};
+
+std::string GVN::expressionKey(Instruction *I) {
+  switch (I->getOpcode()) {
+  case Opcode::Load:
+  case Opcode::Store:
+  case Opcode::Call:
+  case Opcode::Alloca:
+  case Opcode::Phi:
+  case Opcode::Freeze: // Never merge freezes (see file comment).
+    return "";
+  default:
+    break;
+  }
+  if (I->isTerminator())
+    return "";
+
+  std::ostringstream OS;
+  OS << I->getOpcodeName();
+  if (auto *C = dyn_cast<ICmpInst>(I))
+    OS << "." << predName(C->pred());
+  if (auto *E = dyn_cast<ExtractElementInst>(I))
+    OS << "." << E->index();
+  if (auto *Ins = dyn_cast<InsertElementInst>(I))
+    OS << "." << Ins->index();
+  if (auto *G = dyn_cast<GEPInst>(I))
+    OS << (G->isInBounds() ? ".ib" : "");
+  OS << ":" << I->getType()->str();
+  if (I->hasNSW())
+    OS << ".nsw";
+  if (I->hasNUW())
+    OS << ".nuw";
+  if (I->isExact())
+    OS << ".exact";
+
+  // Operand identities; sorted for commutative operations.
+  std::vector<const void *> Ops;
+  for (unsigned Op = 0, E = I->getNumOperands(); Op != E; ++Op)
+    Ops.push_back(I->getOperand(Op));
+  if (I->isCommutative() && Ops.size() == 2 && Ops[1] < Ops[0])
+    std::swap(Ops[0], Ops[1]);
+  for (const void *P : Ops)
+    OS << " " << P;
+  return OS.str();
+}
+
+bool GVN::numberValues([[maybe_unused]] Function &F, const DominatorTree &DT) {
+  bool Changed = false;
+  std::map<std::string, Instruction *> Leaders;
+  // RPO guarantees leaders are seen before dominated duplicates in
+  // straight-line and diamond code; the dominance check makes it safe in
+  // general.
+  for (BasicBlock *BB : DT.rpo()) {
+    std::vector<Instruction *> Insts(BB->begin(), BB->end());
+    for (Instruction *I : Insts) {
+      std::string Key = expressionKey(I);
+      if (Key.empty())
+        continue;
+      auto It = Leaders.find(Key);
+      if (It == Leaders.end()) {
+        Leaders[Key] = I;
+        continue;
+      }
+      Instruction *Leader = It->second;
+      if (Leader == I)
+        continue;
+      // The leader must dominate every use of I after replacement, i.e.
+      // dominate I itself.
+      bool Dominates =
+          Leader->getParent() == I->getParent()
+              ? true // RPO + in-block order: leader recorded earlier.
+              : DT.dominates(Leader->getParent(), I->getParent());
+      if (!Dominates)
+        continue;
+      replaceAndErase(I, Leader);
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+/// After "br (icmp eq a, b), T, F", a and b are interchangeable inside T
+/// (when T has no other predecessors). Uses the *dominated* occurrence and
+/// substitutes the other operand. This is the Section 3.3 GVN
+/// transformation that requires branch-on-poison to be UB.
+bool GVN::propagateBranchEqualities(Function &F, const DominatorTree &DT) {
+  bool Changed = false;
+  for (BasicBlock *BB : F) {
+    auto *Br = dyn_cast_or_null<BranchInst>(BB->terminator());
+    if (!Br || !Br->isConditional())
+      continue;
+    auto *Cmp = dyn_cast<ICmpInst>(Br->condition());
+    if (!Cmp)
+      continue;
+    BasicBlock *EqSide = nullptr;
+    if (Cmp->pred() == ICmpPred::EQ)
+      EqSide = Br->trueDest();
+    else if (Cmp->pred() == ICmpPred::NE)
+      EqSide = Br->falseDest();
+    if (!EqSide || EqSide == BB)
+      continue;
+    // Only propagate into blocks dominated by this edge: with a single
+    // CFG edge in, dominance of the block is exactly edge dominance here.
+    if (!EqSide->hasSinglePredecessor())
+      continue;
+    if (Br->trueDest() == Br->falseDest())
+      continue;
+
+    Value *A = Cmp->lhs(), *B = Cmp->rhs();
+    // Prefer replacing the instruction by the "simpler" value: constants
+    // first, then arguments.
+    auto Rank = [](Value *V) {
+      if (isa<Constant>(V))
+        return 0;
+      if (isa<Argument>(V))
+        return 1;
+      return 2;
+    };
+    Value *From = A, *To = B;
+    if (Rank(A) < Rank(B))
+      std::swap(From, To);
+    if (From == To || isa<Constant>(From))
+      continue;
+
+    // Replace uses of From inside blocks dominated by EqSide.
+    std::vector<Use *> Uses(From->uses().begin(), From->uses().end());
+    for (Use *U : Uses) {
+      auto *UserInst = dyn_cast<Instruction>(U->getUser());
+      if (!UserInst)
+        continue;
+      BasicBlock *UseBB = UserInst->getParent();
+      if (auto *P = dyn_cast<PhiNode>(UserInst))
+        UseBB = P->getIncomingBlock(U->getOperandNo() / 2);
+      if (!DT.dominates(EqSide, UseBB))
+        continue;
+      // 'To' must dominate the rewritten use.
+      if (auto *ToInst = dyn_cast<Instruction>(To)) {
+        if (!DT.dominates(ToInst, UserInst, U->getOperandNo()))
+          continue;
+      }
+      U->set(To);
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+bool GVN::runOnFunction(Function &F) {
+  bool Changed = false;
+  bool LocalChange = true;
+  // Bounded iteration: equality propagation could in principle ping-pong
+  // between symmetric facts.
+  for (unsigned Round = 0; LocalChange && Round != 8; ++Round) {
+    DominatorTree DT(F);
+    LocalChange = numberValues(F, DT);
+    LocalChange |= propagateBranchEqualities(F, DT);
+    Changed |= LocalChange;
+  }
+  return Changed;
+}
+
+} // namespace
+
+std::unique_ptr<Pass> frost::createGVNPass() {
+  return std::make_unique<GVN>();
+}

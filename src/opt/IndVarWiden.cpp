@@ -1,0 +1,145 @@
+//===- IndVarWiden.cpp - Induction variable widening ---------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Figure 3 transformation: a narrow induction variable that is
+/// sign-extended in the loop body is replaced by a wide induction variable,
+/// eliminating the per-iteration sext ("up to 39% faster, one instruction
+/// per iteration"). Section 2.4 shows this is ONLY justified when narrow
+/// overflow is poison (nsw): with wrapping or undef semantics the wide
+/// trip sequence diverges from the narrow one. The pass therefore insists
+/// on an nsw step.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Instructions.h"
+#include "opt/Passes.h"
+#include "opt/Utils.h"
+
+using namespace frost;
+using namespace frost::opt;
+
+namespace {
+
+class IndVarWiden : public Pass {
+public:
+  explicit IndVarWiden(unsigned TargetWidth) : TargetWidth(TargetWidth) {}
+
+  const char *name() const override { return "indvar-widen"; }
+
+  bool runOnFunction(Function &F) override {
+    DominatorTree DT(F);
+    LoopInfo LI(F, DT);
+    bool Changed = false;
+    for (Loop *L : LI.loopsInnermostFirst())
+      Changed |= widenLoop(*L);
+    return Changed;
+  }
+
+private:
+  unsigned TargetWidth;
+
+  bool widenLoop(Loop &L);
+};
+
+bool IndVarWiden::widenLoop(Loop &L) {
+  BasicBlock *Preheader = L.preheader();
+  if (!Preheader)
+    return false;
+  BasicBlock *Header = L.header();
+  IRContext &Ctx = Header->getParent()->context();
+
+  bool Changed = false;
+  for (PhiNode *IV : Header->phis()) {
+    // Canonical shape: %i = phi [start, preheader], [%i.next, latch]
+    // with %i.next = add nsw %i, step.
+    if (IV->getNumIncoming() != 2 || !IV->getType()->isInteger())
+      continue;
+    if (IV->getType()->bitWidth() >= TargetWidth)
+      continue;
+    int PreIdx = IV->getBlockIndex(Preheader);
+    if (PreIdx < 0)
+      continue;
+    unsigned LatchIdx = 1 - static_cast<unsigned>(PreIdx);
+    Value *Start = IV->getIncomingValue(static_cast<unsigned>(PreIdx));
+    auto *Step = dyn_cast<BinaryOperator>(IV->getIncomingValue(LatchIdx));
+    if (!Step || Step->getOpcode() != Opcode::Add || !Step->hasNSW())
+      continue;
+    if (Step->lhs() != IV && Step->rhs() != IV)
+      continue;
+    Value *StepAmt = Step->lhs() == IV ? Step->rhs() : Step->lhs();
+    const BitVec *StepC = constantValue(StepAmt);
+    if (!StepC)
+      continue;
+    if (!L.contains(Step))
+      continue;
+
+    // Find sexts of the IV to the target width inside the loop.
+    std::vector<CastInst *> Sexts;
+    for (const Use *U : IV->uses()) {
+      auto *SE = dyn_cast<CastInst>(U->getUser());
+      if (SE && SE->getOpcode() == Opcode::SExt &&
+          SE->getType()->bitWidth() == TargetWidth && L.contains(SE))
+        Sexts.push_back(SE);
+    }
+    // Also widen sexts of the incremented value.
+    std::vector<CastInst *> StepSexts;
+    for (const Use *U : Step->uses()) {
+      auto *SE = dyn_cast<CastInst>(U->getUser());
+      if (SE && SE->getOpcode() == Opcode::SExt &&
+          SE->getType()->bitWidth() == TargetWidth && L.contains(SE))
+        StepSexts.push_back(SE);
+    }
+    if (Sexts.empty() && StepSexts.empty())
+      continue;
+
+    IntegerType *WideTy = Ctx.intTy(TargetWidth);
+
+    // Wide start value, in the preheader (folded if constant).
+    Value *WideStart;
+    if (const BitVec *StartC = constantValue(Start)) {
+      WideStart = Ctx.getInt(StartC->sextTo(TargetWidth));
+    } else {
+      auto *SE = CastInst::create(Opcode::SExt, Start, WideTy,
+                                  IV->getName() + ".start.wide");
+      Preheader->insertBefore(Preheader->terminator(), SE);
+      WideStart = SE;
+    }
+
+    // Wide induction: %iw = phi [wide start, preheader],
+    //                          [add nsw %iw, wide step, latch].
+    auto *WideIV = PhiNode::create(WideTy, IV->getName() + ".wide");
+    Header->insertBefore(Header->front(), WideIV);
+    auto *WideStep = BinaryOperator::create(
+        Opcode::Add, WideIV, Ctx.getInt(StepC->sextTo(TargetWidth)),
+        {/*NSW=*/true, /*NUW=*/false, /*Exact=*/false},
+        Step->getName() + ".wide");
+    Step->getParent()->insertBefore(Step, WideStep);
+    WideIV->addIncoming(WideStart, Preheader);
+    WideIV->addIncoming(WideStep, IV->getIncomingBlock(LatchIdx));
+
+    // Replace the sexts. The nsw on the narrow step is what makes
+    // sext(i_narrow) == i_wide in every non-poison execution; on overflow
+    // the narrow value is poison and anything refines it (Section 2.4).
+    for (CastInst *SE : Sexts)
+      replaceAndErase(SE, WideIV);
+    for (CastInst *SE : StepSexts)
+      replaceAndErase(SE, WideStep);
+    Changed = true;
+  }
+  return Changed;
+}
+
+} // namespace
+
+std::unique_ptr<Pass> frost::createIndVarWidenPass(unsigned TargetWidth) {
+  return std::make_unique<IndVarWiden>(TargetWidth);
+}

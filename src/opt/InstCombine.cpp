@@ -1,0 +1,309 @@
+//===- InstCombine.cpp - Peephole combines --------------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Peephole rewrites, including every select/arithmetic transformation the
+/// paper's Section 3.4 dissects. PipelineMode selects between:
+///
+///  - Legacy: the historically *unsound* forms LLVM shipped, e.g.
+///    "select c, true, x -> or c, x" without protection — kept so the
+///    TV benchmark can demonstrate the miscompilation end to end; and
+///  - Proposed: the fixed forms, which freeze the arm that may inject
+///    poison into the strict arithmetic replacement, plus the freeze
+///    peepholes the prototype added (Section 6): freeze(freeze x) ->
+///    freeze x, freeze(const) -> const, freeze x -> x when x is provably
+///    not poison.
+///
+/// Note on the fix: the strict `or`/`and` propagates poison from *either*
+/// operand, while select only propagates the chosen arm, so it is the
+/// not-always-chosen value operand that needs freezing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ValueTracking.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Instructions.h"
+#include "opt/Passes.h"
+#include "opt/Utils.h"
+
+using namespace frost;
+using namespace frost::opt;
+
+namespace {
+
+/// Minimal insertion helper: creates instructions immediately before an
+/// anchor instruction.
+class IRBuilderLiteImpl {
+public:
+  IRBuilderLiteImpl(IRContext &Ctx, Instruction *Anchor)
+      : Ctx(Ctx), Anchor(Anchor) {}
+
+  IRContext &Ctx;
+  Instruction *Anchor;
+
+  Value *insert(Instruction *I) {
+    Anchor->getParent()->insertBefore(Anchor, I);
+    return I;
+  }
+};
+
+Value *combineBinOp(Instruction *I, PipelineMode Mode, IRBuilderLiteImpl &B) {
+  (void)Mode;
+  IRContext &Ctx = B.Ctx;
+  Opcode Op = I->getOpcode();
+  Value *L = I->getOperand(0), *R = I->getOperand(1);
+  const BitVec *RC = constantValue(R);
+
+  switch (Op) {
+  case Opcode::Mul:
+    // mul x, 2^k -> shl x, k. nuw carries over (the unsigned overflow
+    // conditions coincide), but nsw only does when 2^k is positive as a
+    // signed value: when 2^k is the sign bit (e.g. "mul nsw i2 x, 2", where
+    // 2 reads as -2), the overflow conditions differ — a bug our own
+    // exhaustive validation found, precisely the class of mistake the
+    // paper's Section 6 methodology targets. Dropping nsw is always a
+    // refinement, so we drop it in the sign-bit case.
+    if (RC && RC->isPowerOf2()) {
+      unsigned K = RC->countTrailingZeros();
+      ArithFlags Flags = I->flags();
+      if (K + 1 >= RC->width())
+        Flags.NSW = false;
+      auto *Shl =
+          BinaryOperator::create(Opcode::Shl, L, Ctx.getInt(RC->width(), K),
+                                 Flags, I->getName() + ".shl");
+      return B.insert(Shl);
+    }
+    break;
+  case Opcode::UDiv:
+    // udiv x, 2^k -> lshr x, k ('exact' carries over directly).
+    if (RC && RC->isPowerOf2()) {
+      ArithFlags Flags;
+      Flags.Exact = I->isExact();
+      auto *Shr = BinaryOperator::create(
+          Opcode::LShr, L, Ctx.getInt(RC->width(), RC->countTrailingZeros()),
+          Flags, I->getName() + ".shr");
+      return B.insert(Shr);
+    }
+    break;
+  case Opcode::Sub:
+    // sub x, C -> add x, -C.
+    if (RC && !RC->isZero() && !I->hasNSW() && !I->hasNUW()) {
+      auto *Add = BinaryOperator::create(Opcode::Add, L,
+                                         Ctx.getInt(RC->neg()), ArithFlags{},
+                                         I->getName() + ".add");
+      return B.insert(Add);
+    }
+    break;
+  case Opcode::Add: {
+    // add (add x, C1), C2 -> add x, C1+C2 (flags dropped: combined step
+    // may overflow differently — this only *removes* poison, a refinement).
+    auto *LB = dyn_cast<BinaryOperator>(L);
+    if (RC && LB && LB->getOpcode() == Opcode::Add) {
+      if (const BitVec *C1 = constantValue(LB->rhs())) {
+        auto *Add = BinaryOperator::create(Opcode::Add, LB->lhs(),
+                                           Ctx.getInt(C1->add(*RC)),
+                                           ArithFlags{}, I->getName() + ".c");
+        return B.insert(Add);
+      }
+    }
+    break;
+  }
+  case Opcode::Xor: {
+    // xor (xor x, C1), C2 -> xor x, C1^C2.
+    auto *LB = dyn_cast<BinaryOperator>(L);
+    if (RC && LB && LB->getOpcode() == Opcode::Xor) {
+      if (const BitVec *C1 = constantValue(LB->rhs())) {
+        auto *Xor = BinaryOperator::create(Opcode::Xor, LB->lhs(),
+                                           Ctx.getInt(C1->xor_(*RC)),
+                                           ArithFlags{}, I->getName() + ".c");
+        return B.insert(Xor);
+      }
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  return nullptr;
+}
+
+Value *combineICmp(ICmpInst *C, IRBuilderLiteImpl &B) {
+  IRContext &Ctx = B.Ctx;
+
+  // The flagship poison-justified fold (Sections 1/2.4):
+  //   icmp sgt (add nsw a, b), a  ->  icmp sgt b, 0
+  // and its symmetric/commuted forms.
+  auto MatchAddNSW = [&](Value *AddSide, Value *Other) -> Value * {
+    auto *Add = dyn_cast<BinaryOperator>(AddSide);
+    if (!Add || Add->getOpcode() != Opcode::Add || !Add->hasNSW())
+      return nullptr;
+    if (Add->lhs() == Other)
+      return Add->rhs();
+    if (Add->rhs() == Other)
+      return Add->lhs();
+    return nullptr;
+  };
+  if (C->pred() == ICmpPred::SGT) {
+    if (Value *BOp = MatchAddNSW(C->lhs(), C->rhs())) {
+      auto *NewCmp = ICmpInst::create(
+          Ctx, ICmpPred::SGT, BOp,
+          Ctx.getInt(BOp->getType()->bitWidth(), 0), C->getName() + ".b");
+      return B.insert(NewCmp);
+    }
+  }
+  if (C->pred() == ICmpPred::SLT) {
+    if (Value *BOp = MatchAddNSW(C->rhs(), C->lhs())) {
+      auto *NewCmp = ICmpInst::create(
+          Ctx, ICmpPred::SGT, BOp,
+          Ctx.getInt(BOp->getType()->bitWidth(), 0), C->getName() + ".b");
+      return B.insert(NewCmp);
+    }
+  }
+
+  // icmp ult x, 1 -> icmp eq x, 0.
+  if (C->pred() == ICmpPred::ULT && matchConstant(C->rhs(), 1)) {
+    auto *NewCmp =
+        ICmpInst::create(Ctx, ICmpPred::EQ, C->lhs(),
+                         Ctx.getInt(C->lhs()->getType()->bitWidth(), 0),
+                         C->getName() + ".z");
+    return B.insert(NewCmp);
+  }
+  return nullptr;
+}
+
+Value *combineSelect(SelectInst *S, PipelineMode Mode, IRBuilderLiteImpl &B) {
+  IRContext &Ctx = B.Ctx;
+  if (!S->getType()->isBool())
+    return nullptr;
+
+  Value *Cond = S->condition();
+  Value *T = S->trueValue(), *F = S->falseValue();
+
+  auto Protect = [&](Value *V) -> Value * {
+    if (Mode == PipelineMode::Legacy)
+      return V; // The historical, unsound form (caught by the TV bench).
+    if (isGuaranteedNotToBePoison(V))
+      return V;
+    return B.insert(FreezeInst::create(V, V->getName() + ".fr"));
+  };
+
+  // select c, true, x -> or c, freeze(x) (Section 3.4).
+  if (matchConstant(T, 1))
+    return B.insert(BinaryOperator::create(Opcode::Or, Cond, Protect(F),
+                                           ArithFlags{},
+                                           S->getName() + ".or"));
+  // select c, x, false -> and c, freeze(x).
+  if (matchConstant(F, 0))
+    return B.insert(BinaryOperator::create(Opcode::And, Cond, Protect(T),
+                                           ArithFlags{},
+                                           S->getName() + ".and"));
+  // select c, false, x -> and (xor c, true), freeze(x).
+  if (matchConstant(T, 0)) {
+    Value *Not = B.insert(BinaryOperator::create(
+        Opcode::Xor, Cond, Ctx.getTrue(), ArithFlags{},
+        Cond->getName() + ".not"));
+    return B.insert(BinaryOperator::create(Opcode::And, Not, Protect(F),
+                                           ArithFlags{},
+                                           S->getName() + ".and"));
+  }
+  // select c, x, true -> or (xor c, true), freeze(x).
+  if (matchConstant(F, 1)) {
+    Value *Not = B.insert(BinaryOperator::create(
+        Opcode::Xor, Cond, Ctx.getTrue(), ArithFlags{},
+        Cond->getName() + ".not"));
+    return B.insert(BinaryOperator::create(Opcode::Or, Not, Protect(T),
+                                           ArithFlags{},
+                                           S->getName() + ".or"));
+  }
+  return nullptr;
+}
+
+Value *combineCast(CastInst *C, IRBuilderLiteImpl &B) {
+  auto *Inner = dyn_cast<CastInst>(C->src());
+  if (!Inner)
+    return nullptr;
+  Opcode Outer = C->getOpcode(), In = Inner->getOpcode();
+  // zext(zext x) -> zext x; sext(sext x) -> sext x; sext(zext x) -> zext x
+  // (zext already fixed the sign bit at 0).
+  if ((Outer == Opcode::ZExt && In == Opcode::ZExt) ||
+      (Outer == Opcode::SExt && In == Opcode::SExt) ||
+      (Outer == Opcode::SExt && In == Opcode::ZExt)) {
+    Opcode NewOp = In;
+    return B.insert(CastInst::create(NewOp, Inner->src(), C->getType(),
+                                     C->getName() + ".c"));
+  }
+  // trunc(zext/sext x) back to the original width is the identity.
+  if (Outer == Opcode::Trunc &&
+      (In == Opcode::ZExt || In == Opcode::SExt) &&
+      Inner->src()->getType() == C->getType())
+    return Inner->src();
+  return nullptr;
+}
+
+Value *combineFreeze(FreezeInst *Fr, IRBuilderLiteImpl &B) {
+  (void)B;
+  Value *Src = Fr->src();
+  // freeze(freeze x) -> freeze x.
+  if (isa<FreezeInst>(Src))
+    return Src;
+  // freeze(const) -> const; freeze of provably-non-poison -> the value.
+  if (isGuaranteedNotToBePoison(Src))
+    return Src;
+  return nullptr;
+}
+
+class InstCombineImpl : public Pass {
+public:
+  explicit InstCombineImpl(PipelineMode Mode) : Mode(Mode) {}
+
+  const char *name() const override { return "instcombine"; }
+
+  bool runOnFunction(Function &F) override {
+    IRContext &Ctx = F.context();
+    bool Changed = false;
+    bool LocalChange = true;
+    while (LocalChange) {
+      LocalChange = false;
+      for (BasicBlock *BB : F) {
+        std::vector<Instruction *> Insts(BB->begin(), BB->end());
+        for (Instruction *I : Insts) {
+          IRBuilderLiteImpl B(Ctx, I);
+          Value *Repl = nullptr;
+          if (I->isBinaryOp())
+            Repl = combineBinOp(I, Mode, B);
+          else if (auto *C = dyn_cast<ICmpInst>(I))
+            Repl = combineICmp(C, B);
+          else if (auto *S = dyn_cast<SelectInst>(I))
+            Repl = combineSelect(S, Mode, B);
+          else if (auto *Cast = dyn_cast<CastInst>(I))
+            Repl = combineCast(Cast, B);
+          else if (auto *Fr = dyn_cast<FreezeInst>(I)) {
+            if (Mode == PipelineMode::Proposed)
+              Repl = combineFreeze(Fr, B);
+          }
+          if (!Repl)
+            continue;
+          replaceAndErase(I, Repl);
+          Changed = LocalChange = true;
+        }
+      }
+      // Clean up operand chains orphaned by the rewrites.
+      LocalChange |= eraseDeadCode(F);
+    }
+    return Changed;
+  }
+
+private:
+  PipelineMode Mode;
+};
+
+} // namespace
+
+std::unique_ptr<Pass> frost::createInstCombinePass(PipelineMode Mode) {
+  return std::make_unique<InstCombineImpl>(Mode);
+}

@@ -1,0 +1,229 @@
+//===- InstSimplify.cpp - Local folds and identities ---------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constant folding plus algebraic identities. Every rewrite here is a
+/// refinement under the proposed semantics; identities that *weaken*
+/// deferred UB (e.g. "xor x, x -> 0", which drops a poison possibility) are
+/// fine — refinement permits dropping poison — while rewrites that would
+/// *strengthen* it are not performed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ValueTracking.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "opt/Passes.h"
+#include "opt/Utils.h"
+
+using namespace frost;
+using namespace frost::opt;
+
+namespace {
+
+class InstSimplify : public Pass {
+public:
+  const char *name() const override { return "instsimplify"; }
+  bool runOnFunction(Function &F) override;
+
+private:
+  /// Returns the replacement for \p I, or null if no simplification.
+  Value *simplify(Instruction *I, IRContext &Ctx);
+  Value *simplifyBinOp(Instruction *I, IRContext &Ctx);
+  Value *simplifySelect(SelectInst *S, IRContext &Ctx);
+};
+
+bool InstSimplify::runOnFunction(Function &F) {
+  IRContext &Ctx = F.context();
+  bool Changed = false;
+  bool LocalChange = true;
+  while (LocalChange) {
+    LocalChange = false;
+    for (BasicBlock *BB : F) {
+      // Snapshot: simplification erases instructions.
+      std::vector<Instruction *> Insts(BB->begin(), BB->end());
+      for (Instruction *I : Insts) {
+        Value *V = simplify(I, Ctx);
+        if (!V)
+          continue;
+        replaceAndErase(I, V);
+        Changed = LocalChange = true;
+      }
+    }
+  }
+  return Changed;
+}
+
+Value *InstSimplify::simplify(Instruction *I, IRContext &Ctx) {
+  if (I->isBinaryOp())
+    return simplifyBinOp(I, Ctx);
+
+  switch (I->getOpcode()) {
+  case Opcode::ICmp: {
+    auto *C = cast<ICmpInst>(I);
+    if (Constant *Folded = foldICmp(Ctx, C->pred(), C->lhs(), C->rhs()))
+      return Folded;
+    // icmp pred x, x folds to a constant for any x: when x is poison the
+    // source result is poison and a constant refines it.
+    if (C->lhs() == C->rhs() && I->getType()->isBool()) {
+      switch (C->pred()) {
+      case ICmpPred::EQ:
+      case ICmpPred::UGE:
+      case ICmpPred::ULE:
+      case ICmpPred::SGE:
+      case ICmpPred::SLE:
+        return Ctx.getTrue();
+      default:
+        return Ctx.getFalse();
+      }
+    }
+    return nullptr;
+  }
+  case Opcode::Select:
+    return simplifySelect(cast<SelectInst>(I), Ctx);
+  case Opcode::Phi: {
+    auto *P = cast<PhiNode>(I);
+    // A phi whose incoming values all agree is that value — but only when
+    // the value dominates the phi, which holds for non-instructions and
+    // for the unique incoming instruction of a single-valued phi feeding
+    // from all predecessors. We conservatively allow constants, arguments,
+    // and globals, plus the single-predecessor case.
+    if (Value *Common = P->hasConstantValue()) {
+      if (!isa<Instruction>(Common) || P->getParent()->hasSinglePredecessor())
+        return Common;
+    }
+    return nullptr;
+  }
+  case Opcode::Trunc:
+  case Opcode::ZExt:
+  case Opcode::SExt:
+  case Opcode::BitCast: {
+    if (Constant *Folded =
+            foldCast(Ctx, I->getOpcode(), I->getOperand(0), I->getType()))
+      return Folded;
+    // bitcast to the same type is the identity.
+    if (I->getOpcode() == Opcode::BitCast &&
+        I->getOperand(0)->getType() == I->getType())
+      return I->getOperand(0);
+    return nullptr;
+  }
+  case Opcode::Freeze:
+    // freeze of a provably non-poison value is the identity (the rewrite
+    // direction "x -> freeze x" is always sound; this is the converse,
+    // sound only with the proof).
+    if (isGuaranteedNotToBePoison(I->getOperand(0)))
+      return I->getOperand(0);
+    return nullptr;
+  case Opcode::ExtractElement: {
+    auto *E = cast<ExtractElementInst>(I);
+    if (auto *CV = dyn_cast<ConstantVector>(E->vector()))
+      return CV->element(E->index());
+    // extractelement(insertelement(v, x, i), i) -> x.
+    if (auto *Ins = dyn_cast<InsertElementInst>(E->vector()))
+      if (Ins->index() == E->index())
+        return Ins->element();
+    return nullptr;
+  }
+  case Opcode::GEP:
+    // gep p, 0 -> p (inbounds or not: offset zero stays in bounds).
+    if (matchConstant(I->getOperand(1), 0))
+      return I->getOperand(0);
+    return nullptr;
+  default:
+    return nullptr;
+  }
+}
+
+Value *InstSimplify::simplifyBinOp(Instruction *I, IRContext &Ctx) {
+  Opcode Op = I->getOpcode();
+  Value *L = I->getOperand(0), *R = I->getOperand(1);
+
+  if (Constant *Folded = foldBinOp(Ctx, Op, I->flags(), L, R))
+    return Folded;
+
+  // Move a constant LHS of a commutative op to the RHS to halve the number
+  // of patterns (x op C canonical form). Handled by returning nothing but
+  // swapping in place.
+  if (I->isCommutative() && isa<ConstantInt>(L) && !isa<ConstantInt>(R)) {
+    I->setOperand(0, R);
+    I->setOperand(1, L);
+    std::swap(L, R);
+  }
+
+  switch (Op) {
+  case Opcode::Add:
+    if (matchConstant(R, 0))
+      return L; // x + 0 == x even for poison x.
+    break;
+  case Opcode::Sub:
+    if (matchConstant(R, 0))
+      return L;
+    if (L == R && !I->getType()->isVector())
+      return Ctx.getInt(I->getType()->bitWidth(), 0); // Refines poison/undef.
+    break;
+  case Opcode::Mul:
+    if (matchConstant(R, 1))
+      return L;
+    if (matchConstant(R, 0) && !I->getType()->isVector())
+      return Ctx.getInt(I->getType()->bitWidth(), 0);
+    break;
+  case Opcode::UDiv:
+  case Opcode::SDiv:
+    if (matchConstant(R, 1))
+      return L;
+    break;
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr:
+    if (matchConstant(R, 0))
+      return L;
+    break;
+  case Opcode::And:
+    if (L == R)
+      return L;
+    if (matchConstant(R, 0) && !I->getType()->isVector())
+      return Ctx.getInt(I->getType()->bitWidth(), 0);
+    if (constantValue(R) && constantValue(R)->isAllOnes())
+      return L;
+    break;
+  case Opcode::Or:
+    if (L == R)
+      return L;
+    if (matchConstant(R, 0))
+      return L;
+    if (constantValue(R) && constantValue(R)->isAllOnes() &&
+        !I->getType()->isVector())
+      return Ctx.getInt(BitVec::allOnes(I->getType()->bitWidth()));
+    break;
+  case Opcode::Xor:
+    if (matchConstant(R, 0))
+      return L;
+    if (L == R && !I->getType()->isVector())
+      return Ctx.getInt(I->getType()->bitWidth(), 0);
+    break;
+  default:
+    break;
+  }
+  return nullptr;
+}
+
+Value *InstSimplify::simplifySelect(SelectInst *S, IRContext &Ctx) {
+  (void)Ctx;
+  if (const auto *C = dyn_cast<ConstantInt>(S->condition()))
+    return C->isOne() ? S->trueValue() : S->falseValue();
+  // select c, x, x -> x: if c is poison the select is poison under the
+  // proposed rule and x refines it.
+  if (S->trueValue() == S->falseValue())
+    return S->trueValue();
+  return nullptr;
+}
+
+} // namespace
+
+std::unique_ptr<Pass> frost::createInstSimplifyPass() {
+  return std::make_unique<InstSimplify>();
+}

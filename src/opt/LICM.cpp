@@ -1,0 +1,92 @@
+//===- LICM.cpp - Loop invariant code motion -----------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hoists loop-invariant *speculatable* instructions into the preheader.
+/// Deferred-UB producers (nsw arithmetic, shifts, inbounds geps) hoist
+/// freely — executing them when the loop would not have run merely computes
+/// an unused poison value; this is the whole point of poison (Section 2.2).
+/// Instructions with immediate UB (division, memory access) are never
+/// hoisted past control flow, reproducing LLVM's post-PR21412 behaviour the
+/// paper describes in Sections 3.2 and 6 ("we did not attempt to reactivate
+/// this optimization"). Freeze hoists too: executing one freeze in the
+/// preheader refines a per-iteration freeze of an invariant operand.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+#include "ir/Instructions.h"
+#include "opt/Passes.h"
+
+#include <set>
+
+using namespace frost;
+
+namespace {
+
+class LICM : public Pass {
+public:
+  const char *name() const override { return "licm"; }
+
+  bool runOnFunction(Function &F) override {
+    DominatorTree DT(F);
+    LoopInfo LI(F, DT);
+    bool Changed = false;
+    for (Loop *L : LI.loopsInnermostFirst())
+      Changed |= hoistLoop(*L, DT);
+    return Changed;
+  }
+
+private:
+  bool hoistLoop(Loop &L, const DominatorTree &DT) {
+    BasicBlock *Preheader = L.preheader();
+    if (!Preheader)
+      return false;
+
+    bool Changed = false;
+    std::set<Instruction *> Hoisted;
+    auto IsInvariantOperand = [&](Value *V) {
+      auto *I = dyn_cast<Instruction>(V);
+      if (!I)
+        return true;
+      return !L.contains(I) || Hoisted.count(I) != 0;
+    };
+
+    // Iterate to a fixed point so chains of invariant instructions hoist in
+    // dependency order.
+    bool LocalChange = true;
+    while (LocalChange) {
+      LocalChange = false;
+      for (BasicBlock *BB : DT.rpo()) {
+        if (!L.contains(BB))
+          continue;
+        std::vector<Instruction *> Insts(BB->begin(), BB->end());
+        for (Instruction *I : Insts) {
+          if (Hoisted.count(I) || !I->isSpeculatable())
+            continue;
+          bool AllInvariant = true;
+          for (unsigned Op = 0, E = I->getNumOperands(); Op != E; ++Op)
+            AllInvariant &= IsInvariantOperand(I->getOperand(Op));
+          if (!AllInvariant)
+            continue;
+          I->moveBeforeTerminator(Preheader);
+          Hoisted.insert(I);
+          Changed = LocalChange = true;
+        }
+      }
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> frost::createLICMPass() {
+  return std::make_unique<LICM>();
+}

@@ -1,0 +1,264 @@
+//===- LoopUnswitch.cpp - Loop unswitching with the freeze fix -----------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hoists a loop-invariant conditional branch out of a loop by duplicating
+/// the loop body (Section 3.3). Under the proposed semantics, branching on
+/// the hoisted condition where the original program might never have
+/// branched can introduce UB if the condition is poison; the paper's fix
+/// (Section 5.1, and the actual LLVM patch of Section 6) freezes the hoisted
+/// condition. PipelineMode::Legacy performs the historical, unsound hoist —
+/// kept selectable so the translation-validation benchmark can demonstrate
+/// the miscompilation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/ValueTracking.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Instructions.h"
+#include "opt/Passes.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace frost;
+
+namespace {
+
+constexpr unsigned MaxLoopBlocks = 32;
+constexpr unsigned MaxLoopInsts = 256;
+
+class LoopUnswitch : public Pass {
+public:
+  explicit LoopUnswitch(PipelineMode Mode) : Mode(Mode) {}
+
+  const char *name() const override { return "loop-unswitch"; }
+
+  bool runOnFunction(Function &F) override {
+    DominatorTree DT(F);
+    LoopInfo LI(F, DT);
+    bool Changed = false;
+    for (Loop *L : LI.loopsInnermostFirst())
+      Changed |= unswitchOnce(*L);
+    return Changed;
+  }
+
+private:
+  PipelineMode Mode;
+
+  bool unswitchOnce(Loop &L);
+};
+
+/// The invariant conditional branch to unswitch on, or null.
+BranchInst *findCandidate(Loop &L) {
+  for (BasicBlock *BB : L.blocks()) {
+    auto *Br = dyn_cast_or_null<BranchInst>(BB->terminator());
+    if (!Br || !Br->isConditional())
+      continue;
+    if (Br->trueDest() == Br->falseDest())
+      continue;
+    Value *C = Br->condition();
+    if (isa<Constant>(C) || !L.isLoopInvariant(C))
+      continue;
+    // Unswitching the loop-exiting branch of the header is just loop
+    // rotation; still profitable, allowed.
+    return Br;
+  }
+  return nullptr;
+}
+
+/// Re-forms LCSSA for the common single-exit shape: loop-defined values
+/// used outside the loop are routed through a phi in the exit block (LLVM
+/// keeps loops in LCSSA form for the same reason; our InstSimplify folds
+/// single-entry phis away, so the pass rebuilds them on demand). Returns
+/// false when the loop's exits are too complex for this simple rebuild.
+bool formLCSSA(Loop &L) {
+  std::vector<BasicBlock *> Exits = L.exitBlocks();
+  for (BasicBlock *BB : L.blocks()) {
+    std::vector<Instruction *> Insts(BB->begin(), BB->end());
+    for (Instruction *I : Insts) {
+      // Collect uses outside the loop (skipping exit-block phis, which are
+      // already in LCSSA position).
+      std::vector<Use *> Outside;
+      for (Use *U : I->uses()) {
+        auto *UserInst = dyn_cast<Instruction>(U->getUser());
+        if (!UserInst)
+          return false;
+        if (L.contains(UserInst))
+          continue;
+        auto *P = dyn_cast<PhiNode>(UserInst);
+        if (P && std::find(Exits.begin(), Exits.end(), P->getParent()) !=
+                     Exits.end() &&
+            L.contains(P->getIncomingBlock(U->getOperandNo() / 2)))
+          continue;
+        Outside.push_back(U);
+      }
+      if (Outside.empty())
+        continue;
+      // Only the single-exit, single-exit-predecessor shape is handled.
+      if (Exits.size() != 1)
+        return false;
+      BasicBlock *Exit = Exits.front();
+      std::vector<BasicBlock *> ExitPreds = Exit->uniquePredecessors();
+      if (ExitPreds.size() != 1 || !L.contains(ExitPreds.front()))
+        return false;
+      auto *P = PhiNode::create(I->getType(), I->getName() + ".lcssa");
+      if (Instruction *First = Exit->firstNonPhi())
+        Exit->insertBefore(First, P);
+      else
+        Exit->push_back(P);
+      P->addIncoming(I, ExitPreds.front());
+      for (Use *U : Outside)
+        U->set(P);
+    }
+  }
+  return true;
+}
+
+/// True if any value defined in the loop is used outside it, other than by
+/// phis in exit blocks (which the transform knows how to extend).
+bool hasUnsupportedExternalUses(Loop &L) {
+  for (BasicBlock *BB : L.blocks())
+    for (Instruction *I : *BB)
+      for (const Use *U : I->uses()) {
+        auto *UserInst = dyn_cast<Instruction>(U->getUser());
+        if (!UserInst)
+          return true;
+        if (L.contains(UserInst))
+          continue;
+        auto *P = dyn_cast<PhiNode>(UserInst);
+        if (!P)
+          return true;
+        // Exit phi: the incoming edge must come from inside the loop.
+        if (!L.contains(P->getIncomingBlock(U->getOperandNo() / 2)))
+          return true;
+      }
+  return false;
+}
+
+bool LoopUnswitch::unswitchOnce(Loop &L) {
+  BasicBlock *Preheader = L.preheader();
+  if (!Preheader || L.blocks().size() > MaxLoopBlocks)
+    return false;
+  unsigned InstCount = 0;
+  for (BasicBlock *BB : L.blocks())
+    InstCount += BB->size();
+  if (InstCount > MaxLoopInsts)
+    return false;
+
+  BranchInst *Candidate = findCandidate(L);
+  if (!Candidate)
+    return false;
+  if (!formLCSSA(L) || hasUnsupportedExternalUses(L))
+    return false;
+
+  Function *F = Preheader->getParent();
+  IRContext &Ctx = F->context();
+  Value *Cond = Candidate->condition();
+
+  // Clone every loop block.
+  std::map<Value *, Value *> VMap;
+  std::vector<BasicBlock *> OrigBlocks(L.blocks().begin(), L.blocks().end());
+  std::vector<BasicBlock *> CloneBlocks;
+  for (BasicBlock *BB : OrigBlocks) {
+    BasicBlock *NewBB = BasicBlock::create(Ctx, BB->getName() + ".us", F);
+    VMap[BB] = NewBB;
+    CloneBlocks.push_back(NewBB);
+  }
+  for (BasicBlock *BB : OrigBlocks) {
+    auto *NewBB = cast<BasicBlock>(VMap[BB]);
+    for (Instruction *I : *BB) {
+      Instruction *NewI = I->clone();
+      if (I->hasName())
+        NewI->setName(I->getName() + ".us");
+      NewBB->push_back(NewI);
+      VMap[I] = NewI;
+    }
+  }
+  // Remap cloned operands.
+  for (BasicBlock *NewBB : CloneBlocks)
+    for (Instruction *I : *NewBB)
+      for (unsigned Op = 0, E = I->getNumOperands(); Op != E; ++Op) {
+        auto It = VMap.find(I->getOperand(Op));
+        if (It != VMap.end())
+          I->setOperand(Op, It->second);
+      }
+
+  // Build the dispatch block between the preheader and the two loops.
+  BasicBlock *Header = L.header();
+  auto *CloneHeader = cast<BasicBlock>(VMap[Header]);
+  BasicBlock *Dispatch =
+      BasicBlock::create(Ctx, Header->getName() + ".unswitch", F);
+
+  Value *DispatchCond = Cond;
+  if (Mode == PipelineMode::Proposed && !isGuaranteedNotToBePoison(Cond)) {
+    auto *Fr = FreezeInst::create(Cond, Cond->getName() + ".fr");
+    Dispatch->push_back(Fr);
+    DispatchCond = Fr;
+  }
+  Dispatch->push_back(
+      BranchInst::createCond(DispatchCond, Header, CloneHeader, Ctx));
+
+  // Retarget the preheader at the dispatch block.
+  Preheader->terminator()->replaceUsesOfWith(Header, Dispatch);
+
+  // Header phis: the preheader edge now comes from the dispatch block.
+  for (PhiNode *P : Header->phis()) {
+    int Idx = P->getBlockIndex(Preheader);
+    if (Idx >= 0)
+      P->setIncomingBlock(static_cast<unsigned>(Idx), Dispatch);
+  }
+  for (PhiNode *P : CloneHeader->phis()) {
+    int Idx = P->getBlockIndex(Preheader);
+    if (Idx >= 0)
+      P->setIncomingBlock(static_cast<unsigned>(Idx), Dispatch);
+  }
+
+  // Exit-block phis gain one edge per cloned predecessor.
+  for (BasicBlock *Exit : L.exitBlocks()) {
+    for (PhiNode *P : Exit->phis()) {
+      unsigned NumIn = P->getNumIncoming();
+      for (unsigned I = 0; I != NumIn; ++I) {
+        BasicBlock *In = P->getIncomingBlock(I);
+        auto BIt = VMap.find(In);
+        if (BIt == VMap.end())
+          continue;
+        Value *V = P->getIncomingValue(I);
+        auto VIt = VMap.find(V);
+        P->addIncoming(VIt == VMap.end() ? V : VIt->second,
+                       cast<BasicBlock>(BIt->second));
+      }
+    }
+  }
+
+  // Specialise: original loop takes the true side, clone takes the false
+  // side.
+  auto *CloneBr = cast<BranchInst>(VMap[Candidate]);
+  BasicBlock *TrueDest = Candidate->trueDest();
+  BasicBlock *FalseDestClone = CloneBr->falseDest();
+
+  BasicBlock *CandBB = Candidate->getParent();
+  Candidate->falseDest()->removePredecessor(CandBB);
+  Candidate->eraseFromParent();
+  CandBB->push_back(BranchInst::createUncond(TrueDest, Ctx));
+
+  BasicBlock *CloneCandBB = CloneBr->getParent();
+  CloneBr->trueDest()->removePredecessor(CloneCandBB);
+  CloneBr->eraseFromParent();
+  CloneCandBB->push_back(BranchInst::createUncond(FalseDestClone, Ctx));
+
+  return true;
+}
+
+} // namespace
+
+std::unique_ptr<Pass> frost::createLoopUnswitchPass(PipelineMode Mode) {
+  return std::make_unique<LoopUnswitch>(Mode);
+}

@@ -1,0 +1,75 @@
+//===- Pass.cpp - Pass manager -----------------------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "opt/Passes.h"
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+
+using namespace frost;
+
+Pass::~Pass() = default;
+
+bool PassManager::run(Function &F) {
+  bool Changed = false;
+  if (Changes.empty())
+    for (const auto &P : Passes)
+      Changes.push_back({P->name(), 0});
+
+  for (unsigned I = 0; I != Passes.size(); ++I) {
+    bool PassChanged = Passes[I]->runOnFunction(F);
+    Changed |= PassChanged;
+    if (PassChanged)
+      ++Changes[I].second;
+    if (Verify && PassChanged) {
+      std::vector<std::string> Errors;
+      if (!verifyFunction(F, &Errors)) {
+        std::fprintf(stderr, "verifier failed after %s on @%s:\n",
+                     Passes[I]->name(), F.getName().c_str());
+        for (const std::string &E : Errors)
+          std::fprintf(stderr, "  %s\n", E.c_str());
+        std::fprintf(stderr, "%s", F.str().c_str());
+        frost_unreachable("pass produced invalid IR");
+      }
+    }
+  }
+  return Changed;
+}
+
+bool PassManager::run(Module &M) {
+  bool Changed = false;
+  for (Function *F : M.functions())
+    if (!F->isDeclaration())
+      Changed |= run(*F);
+  return Changed;
+}
+
+void frost::buildStandardPipeline(PassManager &PM, PipelineMode Mode) {
+  // Shaped like LLVM's -O2: early cleanup, scalar optimizations, loop
+  // optimizations, then late cleanup and lowering preparation.
+  PM.add(createInstSimplifyPass());
+  PM.add(createSimplifyCFGPass());
+  PM.add(createInstCombinePass(Mode));
+  PM.add(createSCCPPass());
+  PM.add(createSimplifyCFGPass());
+  PM.add(createGVNPass());
+  PM.add(createLICMPass());
+  PM.add(createLoopUnswitchPass(Mode));
+  PM.add(createIndVarWidenPass());
+  PM.add(createReassociatePass());
+  PM.add(createInstCombinePass(Mode));
+  PM.add(createGVNPass());
+  PM.add(createDCEPass());
+  PM.add(createSimplifyCFGPass());
+  PM.add(createCodeGenPreparePass(Mode));
+  PM.add(createDCEPass());
+}

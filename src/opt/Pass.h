@@ -1,0 +1,78 @@
+//===- Pass.h - Pass interface and pass manager -----------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function-pass interface and a sequential pass manager with optional
+/// per-pass verification, mirroring the experimental methodology of
+/// Section 6: every pipeline can be run in "legacy" mode (the unsound
+/// transformations LLVM shipped) or "proposed" mode (freeze-based fixes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_OPT_PASS_H
+#define FROST_OPT_PASS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace frost {
+
+class Function;
+class Module;
+
+/// Which UB semantics the pipeline targets. The choice decides whether
+/// passes insert freeze (proposed) or perform the historically unsound
+/// legacy transformations (Section 3).
+enum class PipelineMode {
+  Legacy,   ///< Pre-paper LLVM: no freeze, unsound select/unswitch rules.
+  Proposed, ///< The paper's semantics: freeze-based fixes everywhere.
+};
+
+/// A transformation over one function.
+class Pass {
+public:
+  virtual ~Pass();
+
+  virtual const char *name() const = 0;
+
+  /// Returns true if the function was modified.
+  virtual bool runOnFunction(Function &F) = 0;
+};
+
+/// Runs passes in sequence over every function of a module.
+class PassManager {
+public:
+  explicit PassManager(bool VerifyAfterEachPass = true)
+      : Verify(VerifyAfterEachPass) {}
+
+  void add(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
+
+  /// Runs the whole pipeline once; returns true if anything changed.
+  /// Aborts (via assert) if a pass breaks the verifier and verification is
+  /// enabled.
+  bool run(Module &M);
+  bool run(Function &F);
+
+  /// Number of times each pass reported a change, in pipeline order.
+  const std::vector<std::pair<std::string, unsigned>> &changeCounts() const {
+    return Changes;
+  }
+
+private:
+  bool Verify;
+  std::vector<std::unique_ptr<Pass>> Passes;
+  std::vector<std::pair<std::string, unsigned>> Changes;
+};
+
+/// Appends the paper's evaluation pipeline (an -O2/-O3-shaped sequence) to
+/// \p PM. In Proposed mode the freeze-aware pass variants are used.
+void buildStandardPipeline(PassManager &PM, PipelineMode Mode);
+
+} // namespace frost
+
+#endif // FROST_OPT_PASS_H

@@ -1,0 +1,69 @@
+//===- Passes.h - Pass factory functions ------------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Factories for every optimization pass discussed in the paper. Passes
+/// whose soundness depends on the UB semantics take a PipelineMode selecting
+/// the legacy (pre-paper, unsound) or proposed (freeze-based) variant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_OPT_PASSES_H
+#define FROST_OPT_PASSES_H
+
+#include "opt/Pass.h"
+
+namespace frost {
+
+/// Local folds: constant folding, algebraic identities, trivial phis.
+std::unique_ptr<Pass> createInstSimplifyPass();
+
+/// Peepholes, including the select transformations of Section 3.4. In
+/// Legacy mode this includes the *unsound* select c,true,x -> or c,x (for
+/// demonstration and for the TV benchmark to catch); in Proposed mode the
+/// freeze-based fixed versions plus freeze peepholes run instead.
+std::unique_ptr<Pass> createInstCombinePass(PipelineMode Mode);
+
+/// CFG cleanup: constant branch folding, block merging, unreachable-block
+/// removal, and the phi->select if-conversion of Section 3.4.
+std::unique_ptr<Pass> createSimplifyCFGPass();
+
+/// Sparse conditional constant propagation.
+std::unique_ptr<Pass> createSCCPPass();
+
+/// Global value numbering. Sound only when branch-on-poison is UB
+/// (Section 3.3); under the proposed semantics this holds. Freeze
+/// instructions are never value-numbered (Section 6, "opportunities").
+std::unique_ptr<Pass> createGVNPass();
+
+/// Loop-invariant code motion of speculatable instructions. Division is
+/// never hoisted past control flow (Sections 3.2 / 5.6).
+std::unique_ptr<Pass> createLICMPass();
+
+/// Loop unswitching. Proposed mode freezes the hoisted condition
+/// (Section 5.1); Legacy mode performs the historical, unsound hoist.
+std::unique_ptr<Pass> createLoopUnswitchPass(PipelineMode Mode);
+
+/// Induction-variable widening (the Figure 3 sext-elimination), justified
+/// by nsw-poison.
+std::unique_ptr<Pass> createIndVarWidenPass(unsigned TargetWidth = 32);
+
+/// Reassociation of add/mul trees; drops nsw/nuw from rewritten
+/// subexpressions (Section 10.2).
+std::unique_ptr<Pass> createReassociatePass();
+
+/// Dead code elimination.
+std::unique_ptr<Pass> createDCEPass();
+
+/// Late lowering tweaks from Section 6: sinks "freeze(icmp x, C)" to
+/// "icmp (freeze x), C" so the backend can keep compare and branch
+/// adjacent, and treats freeze as free when duplicating compares.
+std::unique_ptr<Pass> createCodeGenPreparePass(PipelineMode Mode);
+
+} // namespace frost
+
+#endif // FROST_OPT_PASSES_H

@@ -1,0 +1,284 @@
+//===- SCCP.cpp - Sparse conditional constant propagation ----------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic SCCP over the lattice unknown > constant > overdefined, tracking
+/// block executability. Poison constants are treated as overdefined — a
+/// deliberately conservative choice: SCCP that assumed "poison folds to
+/// anything convenient" is exactly the kind of reasoning Section 3 shows to
+/// be inconsistent, so the pass only propagates facts that hold in every
+/// execution.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Instructions.h"
+#include "opt/Passes.h"
+#include "opt/Utils.h"
+
+#include <map>
+#include <set>
+
+using namespace frost;
+using namespace frost::opt;
+
+namespace {
+
+struct LatticeValue {
+  enum class State { Unknown, Constant, Overdefined };
+  State St = State::Unknown;
+  ConstantInt *Const = nullptr;
+
+  bool isUnknown() const { return St == State::Unknown; }
+  bool isConstant() const { return St == State::Constant; }
+  bool isOverdefined() const { return St == State::Overdefined; }
+};
+
+class SCCP : public Pass {
+public:
+  const char *name() const override { return "sccp"; }
+  bool runOnFunction(Function &F) override;
+
+private:
+  std::map<Value *, LatticeValue> Values;
+  std::set<BasicBlock *> Executable;
+  std::set<std::pair<BasicBlock *, BasicBlock *>> ExecutableEdges;
+  std::vector<Instruction *> InstWork;
+  std::vector<BasicBlock *> BlockWork;
+
+  LatticeValue getLattice(Value *V);
+  void markOverdefined(Value *V);
+  void markConstant(Value *V, ConstantInt *C);
+  void markEdge(BasicBlock *From, BasicBlock *To);
+  void visit(Instruction *I);
+};
+
+LatticeValue SCCP::getLattice(Value *V) {
+  if (auto *C = dyn_cast<ConstantInt>(V)) {
+    LatticeValue LV;
+    LV.St = LatticeValue::State::Constant;
+    LV.Const = C;
+    return LV;
+  }
+  if (isa<Constant>(V)) {
+    // Poison/undef/globals/vectors: conservatively overdefined.
+    LatticeValue LV;
+    LV.St = LatticeValue::State::Overdefined;
+    return LV;
+  }
+  if (isa<Argument>(V)) {
+    LatticeValue LV;
+    LV.St = LatticeValue::State::Overdefined;
+    return LV;
+  }
+  return Values[V];
+}
+
+void SCCP::markOverdefined(Value *V) {
+  LatticeValue &LV = Values[V];
+  if (LV.isOverdefined())
+    return;
+  LV.St = LatticeValue::State::Overdefined;
+  LV.Const = nullptr;
+  for (const Use *U : V->uses())
+    if (auto *I = dyn_cast<Instruction>(U->getUser()))
+      InstWork.push_back(I);
+}
+
+void SCCP::markConstant(Value *V, ConstantInt *C) {
+  LatticeValue &LV = Values[V];
+  if (LV.isConstant() && LV.Const == C)
+    return;
+  if (LV.isOverdefined())
+    return;
+  if (LV.isConstant() && LV.Const != C) {
+    markOverdefined(V);
+    return;
+  }
+  LV.St = LatticeValue::State::Constant;
+  LV.Const = C;
+  for (const Use *U : V->uses())
+    if (auto *I = dyn_cast<Instruction>(U->getUser()))
+      InstWork.push_back(I);
+}
+
+void SCCP::markEdge(BasicBlock *From, BasicBlock *To) {
+  if (!ExecutableEdges.insert({From, To}).second)
+    return;
+  // New edge: phis in To must re-meet.
+  for (PhiNode *P : To->phis())
+    InstWork.push_back(P);
+  if (Executable.insert(To).second)
+    BlockWork.push_back(To);
+}
+
+void SCCP::visit(Instruction *I) {
+  if (!Executable.count(I->getParent()))
+    return;
+
+  switch (I->getOpcode()) {
+  case Opcode::Phi: {
+    auto *P = cast<PhiNode>(I);
+    LatticeValue Result;
+    for (unsigned E = 0, N = P->getNumIncoming(); E != N; ++E) {
+      if (!ExecutableEdges.count({P->getIncomingBlock(E), P->getParent()}))
+        continue;
+      LatticeValue In = getLattice(P->getIncomingValue(E));
+      if (In.isUnknown())
+        continue;
+      if (In.isOverdefined()) {
+        markOverdefined(P);
+        return;
+      }
+      if (Result.isUnknown()) {
+        Result = In;
+      } else if (Result.Const != In.Const) {
+        markOverdefined(P);
+        return;
+      }
+    }
+    if (Result.isConstant())
+      markConstant(P, Result.Const);
+    return;
+  }
+  case Opcode::Br: {
+    auto *Br = cast<BranchInst>(I);
+    if (!Br->isConditional()) {
+      markEdge(I->getParent(), Br->dest());
+      return;
+    }
+    LatticeValue C = getLattice(Br->condition());
+    if (C.isConstant()) {
+      markEdge(I->getParent(),
+               C.Const->isOne() ? Br->trueDest() : Br->falseDest());
+    } else if (C.isOverdefined()) {
+      markEdge(I->getParent(), Br->trueDest());
+      markEdge(I->getParent(), Br->falseDest());
+    }
+    return;
+  }
+  case Opcode::Switch: {
+    auto *SW = cast<SwitchInst>(I);
+    LatticeValue C = getLattice(SW->condition());
+    if (C.isConstant()) {
+      BasicBlock *Dest = SW->defaultDest();
+      for (unsigned Cs = 0, E = SW->getNumCases(); Cs != E; ++Cs)
+        if (SW->caseValue(Cs)->value() == C.Const->value())
+          Dest = SW->caseDest(Cs);
+      markEdge(I->getParent(), Dest);
+    } else if (C.isOverdefined()) {
+      markEdge(I->getParent(), SW->defaultDest());
+      for (unsigned Cs = 0, E = SW->getNumCases(); Cs != E; ++Cs)
+        markEdge(I->getParent(), SW->caseDest(Cs));
+    }
+    return;
+  }
+  case Opcode::Ret:
+  case Opcode::Unreachable:
+  case Opcode::Store:
+    return;
+  default:
+    break;
+  }
+
+  if (I->getType()->isVoid() || !I->getType()->isInteger()) {
+    markOverdefined(I);
+    return;
+  }
+
+  // Value-producing instruction: fold if all integer operands are constant.
+  IRContext &Ctx = I->getFunction()->context();
+  Constant *Folded = nullptr;
+  if (I->isBinaryOp()) {
+    LatticeValue A = getLattice(I->getOperand(0));
+    LatticeValue B = getLattice(I->getOperand(1));
+    if (A.isUnknown() || B.isUnknown())
+      return;
+    if (A.isConstant() && B.isConstant())
+      Folded = foldBinOp(Ctx, I->getOpcode(), I->flags(), A.Const, B.Const);
+  } else if (auto *C = dyn_cast<ICmpInst>(I)) {
+    LatticeValue A = getLattice(C->lhs());
+    LatticeValue B = getLattice(C->rhs());
+    if (A.isUnknown() || B.isUnknown())
+      return;
+    if (A.isConstant() && B.isConstant())
+      Folded = foldICmp(Ctx, C->pred(), A.Const, B.Const);
+  } else if (I->isCast()) {
+    LatticeValue A = getLattice(I->getOperand(0));
+    if (A.isUnknown())
+      return;
+    if (A.isConstant())
+      Folded = foldCast(Ctx, I->getOpcode(), A.Const, I->getType());
+  } else if (auto *S = dyn_cast<SelectInst>(I)) {
+    LatticeValue C = getLattice(S->condition());
+    if (C.isUnknown())
+      return;
+    if (C.isConstant()) {
+      LatticeValue Arm = getLattice(C.Const->isOne() ? S->trueValue()
+                                                     : S->falseValue());
+      if (Arm.isUnknown())
+        return;
+      if (Arm.isConstant()) {
+        markConstant(I, Arm.Const);
+        return;
+      }
+    }
+  }
+
+  if (auto *CI = dyn_cast_or_null<ConstantInt>(Folded))
+    markConstant(I, CI);
+  else
+    markOverdefined(I);
+}
+
+bool SCCP::runOnFunction(Function &F) {
+  Values.clear();
+  Executable.clear();
+  ExecutableEdges.clear();
+  InstWork.clear();
+  BlockWork.clear();
+
+  Executable.insert(F.entry());
+  BlockWork.push_back(F.entry());
+
+  while (!BlockWork.empty() || !InstWork.empty()) {
+    while (!InstWork.empty()) {
+      Instruction *I = InstWork.back();
+      InstWork.pop_back();
+      visit(I);
+    }
+    while (!BlockWork.empty()) {
+      BasicBlock *BB = BlockWork.back();
+      BlockWork.pop_back();
+      for (Instruction *I : *BB)
+        visit(I);
+    }
+  }
+
+  // Apply the solution.
+  bool Changed = false;
+  for (BasicBlock *BB : F) {
+    if (!Executable.count(BB))
+      continue;
+    std::vector<Instruction *> Insts(BB->begin(), BB->end());
+    for (Instruction *I : Insts) {
+      auto It = Values.find(I);
+      if (It == Values.end() || !It->second.isConstant())
+        continue;
+      replaceAndErase(I, It->second.Const);
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+std::unique_ptr<Pass> frost::createSCCPPass() {
+  return std::make_unique<SCCP>();
+}

@@ -1,0 +1,334 @@
+//===- SimplifyCFG.cpp - CFG cleanup and if-conversion -------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CFG simplification: constant branch folding, unreachable block removal,
+/// straight-line block merging, empty block forwarding, and the Section 3.4
+/// phi -> select if-conversion. The if-conversion is sound under the
+/// proposed semantics precisely because select with a poison condition
+/// yields poison while the branch it replaces was immediate UB — the select
+/// refines it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Instructions.h"
+#include "opt/Passes.h"
+#include "opt/Utils.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace frost;
+using namespace frost::opt;
+
+namespace {
+
+class SimplifyCFG : public Pass {
+public:
+  const char *name() const override { return "simplifycfg"; }
+  bool runOnFunction(Function &F) override;
+
+private:
+  bool removeUnreachableBlocks(Function &F);
+  bool foldConstantBranches(Function &F);
+  bool mergeStraightLine(Function &F);
+  bool forwardEmptyBlocks(Function &F);
+  bool convertPhisToSelects(Function &F);
+};
+
+bool SimplifyCFG::runOnFunction(Function &F) {
+  bool Changed = false;
+  bool LocalChange = true;
+  while (LocalChange) {
+    LocalChange = false;
+    LocalChange |= foldConstantBranches(F);
+    LocalChange |= removeUnreachableBlocks(F);
+    LocalChange |= mergeStraightLine(F);
+    LocalChange |= forwardEmptyBlocks(F);
+    LocalChange |= convertPhisToSelects(F);
+    Changed |= LocalChange;
+  }
+  return Changed;
+}
+
+/// br true/false -> unconditional; conditional branch with equal
+/// destinations -> unconditional. Also folds switches on constants.
+bool SimplifyCFG::foldConstantBranches(Function &F) {
+  IRContext &Ctx = F.context();
+  bool Changed = false;
+  for (BasicBlock *BB : F) {
+    Instruction *T = BB->terminator();
+    if (!T)
+      continue;
+    if (auto *Br = dyn_cast<BranchInst>(T)) {
+      if (!Br->isConditional())
+        continue;
+      BasicBlock *Keep = nullptr;
+      if (const auto *C = dyn_cast<ConstantInt>(Br->condition()))
+        Keep = C->isOne() ? Br->trueDest() : Br->falseDest();
+      else if (Br->trueDest() == Br->falseDest())
+        Keep = Br->trueDest();
+      if (!Keep)
+        continue;
+      BasicBlock *Drop =
+          Keep == Br->trueDest() ? Br->falseDest() : Br->trueDest();
+      if (Drop != Keep)
+        Drop->removePredecessor(BB);
+      Br->eraseFromParent();
+      BB->push_back(BranchInst::createUncond(Keep, Ctx));
+      Changed = true;
+    } else if (auto *SW = dyn_cast<SwitchInst>(T)) {
+      const auto *C = dyn_cast<ConstantInt>(SW->condition());
+      if (!C)
+        continue;
+      BasicBlock *Keep = SW->defaultDest();
+      for (unsigned I = 0, E = SW->getNumCases(); I != E; ++I)
+        if (SW->caseValue(I)->value() == C->value())
+          Keep = SW->caseDest(I);
+      std::set<BasicBlock *> Dests;
+      Dests.insert(SW->defaultDest());
+      for (unsigned I = 0, E = SW->getNumCases(); I != E; ++I)
+        Dests.insert(SW->caseDest(I));
+      SW->eraseFromParent();
+      for (BasicBlock *D : Dests)
+        if (D != Keep)
+          D->removePredecessor(BB);
+      BB->push_back(BranchInst::createUncond(Keep, Ctx));
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+bool SimplifyCFG::removeUnreachableBlocks(Function &F) {
+  // Flood from the entry.
+  std::set<BasicBlock *> Reachable;
+  std::vector<BasicBlock *> Work{F.entry()};
+  while (!Work.empty()) {
+    BasicBlock *BB = Work.back();
+    Work.pop_back();
+    if (!Reachable.insert(BB).second)
+      continue;
+    for (BasicBlock *S : BB->successors())
+      Work.push_back(S);
+  }
+
+  std::vector<BasicBlock *> Dead;
+  for (BasicBlock *BB : F)
+    if (!Reachable.count(BB))
+      Dead.push_back(BB);
+  if (Dead.empty())
+    return false;
+
+  // First remove phi edges from dead predecessors, then drop references so
+  // cross-block uses (legal only from other dead blocks) disappear.
+  for (BasicBlock *BB : Dead)
+    for (BasicBlock *S : BB->successors())
+      if (Reachable.count(S))
+        S->removePredecessor(BB);
+  for (BasicBlock *BB : Dead)
+    for (Instruction *I : *BB)
+      I->dropAllReferences();
+  for (BasicBlock *BB : Dead) {
+    // Uses of this dead block's instructions can only be in dead blocks,
+    // whose references were just dropped.
+    std::vector<Instruction *> Insts(BB->begin(), BB->end());
+    for (auto It = Insts.rbegin(); It != Insts.rend(); ++It) {
+      assert(!(*It)->hasUses() && "dead instruction still used");
+      BB->erase(*It);
+    }
+    F.eraseBlock(BB);
+  }
+  return true;
+}
+
+/// Merges a block into its unique predecessor when the predecessor has a
+/// single successor.
+bool SimplifyCFG::mergeStraightLine(Function &F) {
+  bool Changed = false;
+  bool LocalChange = true;
+  while (LocalChange) {
+    LocalChange = false;
+    for (BasicBlock *BB : F) {
+      if (BB == F.entry())
+        continue;
+      std::vector<BasicBlock *> Preds = BB->uniquePredecessors();
+      if (Preds.size() != 1)
+        continue;
+      BasicBlock *Pred = Preds.front();
+      if (Pred->successors().size() != 1 || Pred == BB)
+        continue;
+      // Fold single-entry phis.
+      for (PhiNode *P : BB->phis())
+        replaceAndErase(P, P->getIncomingValue(0));
+      // Splice instructions after removing the predecessor's terminator.
+      Pred->terminator()->eraseFromParent();
+      std::vector<Instruction *> Insts(BB->begin(), BB->end());
+      for (Instruction *I : Insts) {
+        BB->remove(I);
+        Pred->push_back(I);
+      }
+      // Successor phis must now name Pred.
+      for (BasicBlock *S : Pred->successors())
+        for (PhiNode *P : S->phis())
+          for (unsigned I = 0, E = P->getNumIncoming(); I != E; ++I)
+            if (P->getIncomingBlock(I) == BB)
+              P->setIncomingBlock(I, Pred);
+      BB->replaceAllUsesWith(Pred); // Remaining stray block references.
+      F.eraseBlock(BB);
+      LocalChange = Changed = true;
+      break; // Iterator invalidated; restart.
+    }
+  }
+  return Changed;
+}
+
+/// Redirects branches through blocks that contain only an unconditional
+/// branch (and no phis).
+bool SimplifyCFG::forwardEmptyBlocks(Function &F) {
+  bool Changed = false;
+  for (BasicBlock *BB : F) {
+    if (BB == F.entry() || BB->size() != 1)
+      continue;
+    auto *Br = dyn_cast<BranchInst>(BB->terminator());
+    if (!Br || Br->isConditional())
+      continue;
+    BasicBlock *Dest = Br->dest();
+    if (Dest == BB)
+      continue;
+    // Phis in the destination make retargeting non-trivial (a predecessor
+    // may already branch to Dest with a different value). Only forward when
+    // the destination has no phis, or every predecessor of BB is not
+    // already a predecessor of Dest and the phi values can be rerouted.
+    std::vector<BasicBlock *> Preds = BB->uniquePredecessors();
+    if (Preds.empty())
+      continue;
+    std::vector<PhiNode *> DestPhis = Dest->phis();
+    bool CanForward = true;
+    std::vector<BasicBlock *> DestPreds = Dest->uniquePredecessors();
+    for (BasicBlock *P : Preds) {
+      if (std::find(DestPreds.begin(), DestPreds.end(), P) !=
+          DestPreds.end()) {
+        CanForward = false; // Would create duplicate phi edges.
+        break;
+      }
+      // A conditional branch in P with both edges through different paths
+      // to Dest is fine; switches too.
+    }
+    if (!CanForward)
+      continue;
+
+    for (BasicBlock *P : Preds) {
+      Instruction *T = P->terminator();
+      if (auto *PBr = dyn_cast<BranchInst>(T)) {
+        for (unsigned I = 0; I != PBr->getNumDests(); ++I)
+          if (PBr->getDest(I) == BB)
+            PBr->setDest(I, Dest);
+      } else if (isa<SwitchInst>(T)) {
+        T->replaceUsesOfWith(BB, Dest);
+      }
+      // The phi edge that used to come from BB now comes from P; add a new
+      // edge per predecessor with BB's incoming value.
+      for (PhiNode *DP : DestPhis)
+        DP->addIncoming(DP->getIncomingValueForBlock(BB), P);
+    }
+    for (PhiNode *DP : DestPhis) {
+      int Idx = DP->getBlockIndex(BB);
+      if (Idx >= 0)
+        DP->removeIncoming(static_cast<unsigned>(Idx));
+    }
+    // BB is now unreachable; the cleanup iteration removes it.
+    Changed = true;
+  }
+  return Changed;
+}
+
+/// Diamond / triangle if-conversion:
+///   entry: br c, T, F;  T: br M;  F: br M;  M: phi [a,T],[b,F]
+/// becomes a select in M. Sound under the proposed semantics (Section 3.4).
+bool SimplifyCFG::convertPhisToSelects(Function &F) {
+  IRContext &Ctx = F.context();
+  bool Changed = false;
+  for (BasicBlock *Merge : F) {
+    std::vector<BasicBlock *> Preds = Merge->uniquePredecessors();
+    if (Preds.size() != 2)
+      continue;
+    std::vector<PhiNode *> Phis = Merge->phis();
+    if (Phis.empty())
+      continue;
+
+    // Identify the branch block: either both preds are empty forwarders
+    // from a common cond-branch block (diamond), or one pred *is* the
+    // cond-branch block (triangle).
+    auto IsEmptyForwarder = [&](BasicBlock *BB, BasicBlock *&From) {
+      if (BB->size() != 1 || !BB->hasSinglePredecessor())
+        return false;
+      auto *Br = dyn_cast<BranchInst>(BB->terminator());
+      if (!Br || Br->isConditional())
+        return false;
+      From = BB->uniquePredecessors().front();
+      return true;
+    };
+
+    BasicBlock *A = Preds[0], *B = Preds[1];
+    BasicBlock *Head = nullptr;
+    BasicBlock *FromA = nullptr, *FromB = nullptr;
+    bool AEmpty = IsEmptyForwarder(A, FromA);
+    bool BEmpty = IsEmptyForwarder(B, FromB);
+    if (AEmpty && BEmpty && FromA == FromB)
+      Head = FromA; // Diamond.
+    else if (AEmpty && FromA == B)
+      Head = B; // Triangle with B as head.
+    else if (BEmpty && FromB == A)
+      Head = A; // Triangle with A as head.
+    else
+      continue;
+
+    auto *HeadBr = dyn_cast<BranchInst>(Head->terminator());
+    if (!HeadBr || !HeadBr->isConditional())
+      continue;
+    // The head must feed only this diamond.
+    BasicBlock *TrueSide = HeadBr->trueDest();
+    BasicBlock *FalseSide = HeadBr->falseDest();
+    auto SideReaches = [&](BasicBlock *Side) {
+      return Side == Merge || (Side->successors().size() == 1 &&
+                               Side->successors().front() == Merge);
+    };
+    if (!SideReaches(TrueSide) || !SideReaches(FalseSide) ||
+        TrueSide == FalseSide)
+      continue;
+
+    // Rewrite each phi as a select on the head's condition.
+    Value *Cond = HeadBr->condition();
+    for (PhiNode *P : Phis) {
+      Value *TrueVal = TrueSide == Merge
+                           ? P->getIncomingValueForBlock(Head)
+                           : P->getIncomingValueForBlock(TrueSide);
+      Value *FalseVal = FalseSide == Merge
+                            ? P->getIncomingValueForBlock(Head)
+                            : P->getIncomingValueForBlock(FalseSide);
+      auto *Sel = SelectInst::create(Cond, TrueVal, FalseVal,
+                                     P->getName() + ".sel");
+      Merge->insertBefore(Merge->firstNonPhi(), Sel);
+      replaceAndErase(P, Sel);
+    }
+    // Retarget the head directly at the merge block and drop the arms.
+    HeadBr->eraseFromParent();
+    Head->push_back(BranchInst::createUncond(Merge, Ctx));
+    Changed = true;
+    break; // CFG changed substantially; restart outer loop.
+  }
+  return Changed;
+}
+
+} // namespace
+
+std::unique_ptr<Pass> frost::createSimplifyCFGPass() {
+  return std::make_unique<SimplifyCFG>();
+}

@@ -1,0 +1,128 @@
+//===- Utils.cpp - Shared transformation utilities -----------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Utils.h"
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "sem/Eval.h"
+
+#include <optional>
+
+using namespace frost;
+using namespace frost::opt;
+
+namespace {
+
+/// Scalar constant -> semantic lane; nullopt for undef (not folded) or
+/// non-constants.
+std::optional<sem::Lane> laneOf(const Value *V) {
+  if (const auto *C = dyn_cast<ConstantInt>(V))
+    return sem::Lane::concrete(C->value());
+  if (isa<PoisonValue>(V))
+    return sem::Lane::poison();
+  return std::nullopt;
+}
+
+Constant *laneToConstant(IRContext &Ctx, const sem::Lane &L, Type *Ty) {
+  if (L.isPoison())
+    return Ctx.getPoison(Ty);
+  assert(L.isConcrete() && "undef lanes are never produced by folding");
+  return Ctx.getInt(L.Bits);
+}
+
+} // namespace
+
+Constant *opt::foldBinOp(IRContext &Ctx, Opcode Op, ArithFlags Flags,
+                         Value *L, Value *R) {
+  if (!L->getType()->isInteger())
+    return nullptr;
+  auto LA = laneOf(L), LB = laneOf(R);
+  if (!LA || !LB)
+    return nullptr;
+  // The folder always evaluates under the proposed semantics; over-shift is
+  // poison there, which refines the legacy undef, so the fold is sound in
+  // both modes.
+  sem::SemanticsConfig Config = sem::SemanticsConfig::proposed();
+  sem::FoldResult FR = sem::foldBinLane(Op, Flags, *LA, *LB, Config);
+  if (FR.UB)
+    return nullptr; // Leave immediate UB in place (it may be unreachable).
+  return laneToConstant(Ctx, FR.L, L->getType());
+}
+
+Constant *opt::foldICmp(IRContext &Ctx, ICmpPred Pred, Value *L, Value *R) {
+  if (!L->getType()->isInteger())
+    return nullptr;
+  auto LA = laneOf(L), LB = laneOf(R);
+  if (!LA || !LB)
+    return nullptr;
+  if (LA->isPoison() || LB->isPoison())
+    return Ctx.getPoison(Ctx.boolTy());
+  return Ctx.getBool(sem::foldPred(Pred, LA->Bits, LB->Bits));
+}
+
+Constant *opt::foldCast(IRContext &Ctx, Opcode Op, Value *Src, Type *DstTy) {
+  if (!Src->getType()->isInteger() || !DstTy->isInteger())
+    return nullptr;
+  auto LA = laneOf(Src);
+  if (!LA)
+    return nullptr;
+  if (LA->isPoison())
+    return Ctx.getPoison(DstTy);
+  unsigned W = DstTy->bitWidth();
+  switch (Op) {
+  case Opcode::Trunc:
+    return Ctx.getInt(LA->Bits.truncTo(W));
+  case Opcode::ZExt:
+    return Ctx.getInt(LA->Bits.zextTo(W));
+  case Opcode::SExt:
+    return Ctx.getInt(LA->Bits.sextTo(W));
+  case Opcode::BitCast:
+    return W == LA->Bits.width() ? Ctx.getInt(LA->Bits) : nullptr;
+  default:
+    return nullptr;
+  }
+}
+
+void opt::replaceAndErase(Instruction *I, Value *V) {
+  I->replaceAllUsesWith(V);
+  I->eraseFromParent();
+}
+
+bool opt::isTriviallyDead(const Instruction *I) {
+  if (I->hasUses() || I->isTerminator())
+    return false;
+  return !I->mayWriteMemory() && !I->mayTriggerImmediateUB();
+}
+
+bool opt::eraseDeadCode(Function &F) {
+  bool Changed = false;
+  bool LocalChange = true;
+  while (LocalChange) {
+    LocalChange = false;
+    for (BasicBlock *BB : F) {
+      std::vector<Instruction *> Insts(BB->begin(), BB->end());
+      for (auto It = Insts.rbegin(); It != Insts.rend(); ++It) {
+        if (!isTriviallyDead(*It))
+          continue;
+        (*It)->eraseFromParent();
+        Changed = LocalChange = true;
+      }
+    }
+  }
+  return Changed;
+}
+
+bool opt::matchConstant(const Value *V, uint64_t N) {
+  const auto *C = dyn_cast<ConstantInt>(V);
+  return C && C->value() == BitVec(C->value().width(), N);
+}
+
+const BitVec *opt::constantValue(const Value *V) {
+  const auto *C = dyn_cast<ConstantInt>(V);
+  return C ? &C->value() : nullptr;
+}

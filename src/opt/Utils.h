@@ -1,0 +1,61 @@
+//===- Utils.h - Shared transformation utilities ----------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constant folding (delegating to the Figure 5 evaluator in sem/Eval.h, so
+/// the optimizer can never disagree with the interpreter) and small rewrite
+/// helpers shared by the passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_OPT_UTILS_H
+#define FROST_OPT_UTILS_H
+
+#include "ir/Constants.h"
+#include "ir/Instructions.h"
+
+namespace frost {
+
+class IRContext;
+
+namespace opt {
+
+/// Folds a scalar binary operation over constant operands. Returns null
+/// when the operands are not both scalar constants, when the fold would hit
+/// immediate UB (constant division by zero is left in place to trap at run
+/// time), or when an operand is undef (folding undef is exactly the
+/// minefield of Section 3; we refuse).
+Constant *foldBinOp(IRContext &Ctx, Opcode Op, ArithFlags Flags, Value *L,
+                    Value *R);
+
+/// Folds a scalar icmp over constant operands (null when not foldable).
+Constant *foldICmp(IRContext &Ctx, ICmpPred Pred, Value *L, Value *R);
+
+/// Folds a scalar trunc/zext/sext over a constant operand.
+Constant *foldCast(IRContext &Ctx, Opcode Op, Value *Src, Type *DstTy);
+
+/// Replaces every use of \p I with \p V and erases \p I.
+void replaceAndErase(Instruction *I, Value *V);
+
+/// True when \p I has no uses, no side effects, and no immediate UB, so
+/// removing it only shrinks the behaviour set.
+bool isTriviallyDead(const Instruction *I);
+
+/// Sweeps trivially dead instructions (and chains) from \p F; returns true
+/// if anything was removed.
+bool eraseDeadCode(Function &F);
+
+/// True if \p V is the constant integer \p N.
+bool matchConstant(const Value *V, uint64_t N);
+
+/// Returns the constant value of \p V if it is a ConstantInt, else null.
+const BitVec *constantValue(const Value *V);
+
+} // namespace opt
+} // namespace frost
+
+#endif // FROST_OPT_UTILS_H

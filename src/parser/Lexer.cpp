@@ -1,0 +1,116 @@
+//===- Lexer.cpp - Tokenizer for textual frost IR -----------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <cctype>
+
+using namespace frost;
+
+namespace {
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+         C == '.' || C == '-';
+}
+
+} // namespace
+
+Token Lexer::next() {
+  // Skip whitespace and comments.
+  while (Pos < Buf.size()) {
+    char C = Buf[Pos];
+    if (C == '\n') {
+      ++Line;
+      ++Pos;
+    } else if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+    } else if (C == ';') {
+      while (Pos < Buf.size() && Buf[Pos] != '\n')
+        ++Pos;
+    } else {
+      break;
+    }
+  }
+
+  Token T;
+  T.Line = Line;
+  if (Pos >= Buf.size()) {
+    T.K = Token::Kind::Eof;
+    return T;
+  }
+
+  char C = Buf[Pos];
+  auto Single = [&](Token::Kind K) {
+    T.K = K;
+    ++Pos;
+    return T;
+  };
+
+  switch (C) {
+  case '(':
+    return Single(Token::Kind::LParen);
+  case ')':
+    return Single(Token::Kind::RParen);
+  case '{':
+    return Single(Token::Kind::LBrace);
+  case '}':
+    return Single(Token::Kind::RBrace);
+  case '[':
+    return Single(Token::Kind::LBracket);
+  case ']':
+    return Single(Token::Kind::RBracket);
+  case '<':
+    return Single(Token::Kind::Less);
+  case '>':
+    return Single(Token::Kind::Greater);
+  case '*':
+    return Single(Token::Kind::Star);
+  case ',':
+    return Single(Token::Kind::Comma);
+  case ':':
+    return Single(Token::Kind::Colon);
+  case '=':
+    return Single(Token::Kind::Equals);
+  default:
+    break;
+  }
+
+  if (C == '%' || C == '@') {
+    T.K = C == '%' ? Token::Kind::LocalName : Token::Kind::GlobalName;
+    ++Pos;
+    while (Pos < Buf.size() && isIdentChar(Buf[Pos]))
+      T.Text += Buf[Pos++];
+    return T;
+  }
+
+  if (C == '-' || std::isdigit(static_cast<unsigned char>(C))) {
+    bool Neg = C == '-';
+    if (Neg)
+      ++Pos;
+    uint64_t V = 0;
+    while (Pos < Buf.size() &&
+           std::isdigit(static_cast<unsigned char>(Buf[Pos])))
+      V = V * 10 + static_cast<uint64_t>(Buf[Pos++] - '0');
+    T.K = Token::Kind::Integer;
+    T.Int = Neg ? -static_cast<int64_t>(V) : static_cast<int64_t>(V);
+    return T;
+  }
+
+  if (isIdentChar(C)) {
+    T.K = Token::Kind::Word;
+    while (Pos < Buf.size() && isIdentChar(Buf[Pos]))
+      T.Text += Buf[Pos++];
+    return T;
+  }
+
+  // Unknown character: emit as a word so the parser reports it.
+  T.K = Token::Kind::Word;
+  T.Text = std::string(1, C);
+  ++Pos;
+  return T;
+}

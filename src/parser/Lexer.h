@@ -1,0 +1,72 @@
+//===- Lexer.h - Tokenizer for textual frost IR -----------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizes the LLVM-like textual syntax produced by the printer. Comments
+/// run from ';' to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_PARSER_LEXER_H
+#define FROST_PARSER_LEXER_H
+
+#include <cstdint>
+#include <string>
+
+namespace frost {
+
+/// One lexical token.
+struct Token {
+  enum class Kind {
+    Eof,
+    Word,       ///< Keyword or bare identifier: define, add, i32, entry, ...
+    LocalName,  ///< %name
+    GlobalName, ///< @name
+    Integer,    ///< Possibly negative decimal literal.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Less,
+    Greater,
+    Star,
+    Comma,
+    Colon,
+    Equals,
+  };
+
+  Kind K = Kind::Eof;
+  std::string Text; ///< Identifier payload (without % / @ sigils).
+  int64_t Int = 0;  ///< Value for Integer tokens.
+  unsigned Line = 0;
+
+  bool is(Kind Which) const { return K == Which; }
+  bool isWord(const char *W) const { return K == Kind::Word && Text == W; }
+};
+
+/// Splits an input buffer into tokens.
+class Lexer {
+public:
+  explicit Lexer(std::string Input) : Buf(std::move(Input)) {}
+
+  /// Lexes and returns the next token. Returns Eof forever at end of input.
+  Token next();
+
+  /// Current 1-based line number, for diagnostics.
+  unsigned line() const { return Line; }
+
+private:
+  std::string Buf;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+} // namespace frost
+
+#endif // FROST_PARSER_LEXER_H

@@ -1,0 +1,770 @@
+//===- Parser.cpp - Textual IR parser ----------------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include "ir/Context.h"
+#include "ir/Instructions.h"
+#include "ir/Module.h"
+#include "parser/Lexer.h"
+
+#include <map>
+#include <optional>
+
+using namespace frost;
+
+namespace {
+
+/// A forward reference to a value named before its definition (only phis can
+/// legally do this in SSA). Resolved by RAUW when the definition appears.
+class PlaceholderValue : public Value {
+public:
+  PlaceholderValue(Type *Ty, std::string Name)
+      : Value(Kind::Placeholder, Ty, std::move(Name)) {}
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::Placeholder;
+  }
+};
+
+class Parser {
+public:
+  Parser(const std::string &Text, Module &M)
+      : Lex(Text), M(M), Ctx(M.context()) {
+    Cur = Lex.next();
+    Ahead = Lex.next();
+  }
+
+  ParseResult run();
+
+private:
+  // Token plumbing.
+  Token Cur, Ahead;
+  Lexer Lex;
+  Module &M;
+  IRContext &Ctx;
+  std::string Error;
+
+  void advance() {
+    Cur = Ahead;
+    Ahead = Lex.next();
+  }
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = "line " + std::to_string(Cur.Line) + ": " + Msg;
+    return false;
+  }
+  bool expect(Token::Kind K, const char *What) {
+    if (!Cur.is(K))
+      return fail(std::string("expected ") + What);
+    advance();
+    return true;
+  }
+  bool expectWord(const char *W) {
+    if (!Cur.isWord(W))
+      return fail(std::string("expected '") + W + "'");
+    advance();
+    return true;
+  }
+
+  // Per-function state.
+  Function *F = nullptr;
+  std::map<std::string, Value *> Values;
+  std::map<std::string, PlaceholderValue *> Placeholders;
+  std::map<std::string, BasicBlock *> Blocks;
+  std::map<std::string, bool> BlockDefined;
+
+  // Grammar productions.
+  bool parseTopLevel();
+  bool parseGlobal();
+  bool parseDeclare();
+  bool parseDefine();
+  bool parseBlockBody(BasicBlock *BB);
+  Instruction *parseInstruction();
+
+  Type *parseType();
+  Value *parseOperandOfType(Type *Ty);
+  Value *parseTypedOperand(Type **TyOut = nullptr);
+  BasicBlock *parseLabelOperand();
+  BasicBlock *getBlock(const std::string &Name);
+  Value *lookupValue(const std::string &Name, Type *Ty);
+  bool defineValue(const std::string &Name, Value *V);
+
+  std::optional<ICmpPred> parsePred();
+  ArithFlags parseFlags();
+};
+
+ParseResult Parser::run() {
+  while (!Cur.is(Token::Kind::Eof)) {
+    if (!parseTopLevel()) {
+      ParseResult R;
+      R.Error = Error.empty() ? "parse error" : Error;
+      return R;
+    }
+  }
+  ParseResult R;
+  R.Ok = true;
+  return R;
+}
+
+bool Parser::parseTopLevel() {
+  if (Cur.is(Token::Kind::GlobalName) && Ahead.is(Token::Kind::Equals))
+    return parseGlobal();
+  if (Cur.isWord("declare"))
+    return parseDeclare();
+  if (Cur.isWord("define"))
+    return parseDefine();
+  return fail("expected 'define', 'declare', or a global definition");
+}
+
+/// @name = global <type>, <size-bytes>
+bool Parser::parseGlobal() {
+  std::string Name = Cur.Text;
+  advance(); // @name
+  advance(); // =
+  if (!expectWord("global"))
+    return false;
+  Type *Ty = parseType();
+  if (!Ty)
+    return false;
+  if (!expect(Token::Kind::Comma, "','"))
+    return false;
+  if (!Cur.is(Token::Kind::Integer) || Cur.Int < 0)
+    return fail("expected a non-negative global size in bytes");
+  Ctx.getGlobal(Name, Ty, static_cast<unsigned>(Cur.Int));
+  advance();
+  return true;
+}
+
+/// declare <ret> @name(<paramtypes>)
+bool Parser::parseDeclare() {
+  advance(); // declare
+  Type *Ret = parseType();
+  if (!Ret)
+    return false;
+  if (!Cur.is(Token::Kind::GlobalName))
+    return fail("expected function name");
+  std::string Name = Cur.Text;
+  advance();
+  if (!expect(Token::Kind::LParen, "'('"))
+    return false;
+  std::vector<Type *> Params;
+  while (!Cur.is(Token::Kind::RParen)) {
+    if (!Params.empty() && !expect(Token::Kind::Comma, "','"))
+      return false;
+    Type *P = parseType();
+    if (!P)
+      return false;
+    Params.push_back(P);
+    // Tolerate an optional parameter name.
+    if (Cur.is(Token::Kind::LocalName))
+      advance();
+  }
+  advance(); // )
+  if (!M.getFunction(Name))
+    M.createFunction(Name, Ctx.types().fnTy(Ret, Params));
+  return true;
+}
+
+/// define <ret> @name(<ty> %a, ...) { blocks }
+bool Parser::parseDefine() {
+  advance(); // define
+  Type *Ret = parseType();
+  if (!Ret)
+    return false;
+  if (!Cur.is(Token::Kind::GlobalName))
+    return fail("expected function name");
+  std::string Name = Cur.Text;
+  advance();
+  if (!expect(Token::Kind::LParen, "'('"))
+    return false;
+
+  std::vector<Type *> Params;
+  std::vector<std::string> ParamNames;
+  while (!Cur.is(Token::Kind::RParen)) {
+    if (!Params.empty() && !expect(Token::Kind::Comma, "','"))
+      return false;
+    Type *P = parseType();
+    if (!P)
+      return false;
+    if (!Cur.is(Token::Kind::LocalName))
+      return fail("expected parameter name");
+    Params.push_back(P);
+    ParamNames.push_back(Cur.Text);
+    advance();
+  }
+  advance(); // )
+  if (!expect(Token::Kind::LBrace, "'{'"))
+    return false;
+
+  if (M.getFunction(Name))
+    return fail("redefinition of @" + Name);
+  F = M.createFunction(Name, Ctx.types().fnTy(Ret, Params));
+  Values.clear();
+  Placeholders.clear();
+  Blocks.clear();
+  BlockDefined.clear();
+  for (unsigned I = 0; I != ParamNames.size(); ++I) {
+    F->arg(I)->setName(ParamNames[I]);
+    if (!defineValue(ParamNames[I], F->arg(I)))
+      return false;
+  }
+
+  while (!Cur.is(Token::Kind::RBrace)) {
+    // A block label: word ':'.
+    if (!Cur.is(Token::Kind::Word) || !Ahead.is(Token::Kind::Colon))
+      return fail("expected a block label");
+    std::string Label = Cur.Text;
+    advance();
+    advance();
+    BasicBlock *BB = getBlock(Label);
+    if (BlockDefined[Label])
+      return fail("redefinition of block %" + Label);
+    BlockDefined[Label] = true;
+    F->appendBlock(BB);
+    if (!parseBlockBody(BB))
+      return false;
+  }
+  advance(); // }
+
+  for (auto &[BName, Defined] : BlockDefined)
+    if (!Defined)
+      return fail("branch to undefined block %" + BName);
+  if (!Placeholders.empty())
+    return fail("use of undefined value %" + Placeholders.begin()->first);
+  F = nullptr;
+  return true;
+}
+
+bool Parser::parseBlockBody(BasicBlock *BB) {
+  while (true) {
+    // Stop at the next label or the closing brace.
+    if (Cur.is(Token::Kind::RBrace))
+      return true;
+    if (Cur.is(Token::Kind::Word) && Ahead.is(Token::Kind::Colon))
+      return true;
+
+    std::string ResultName;
+    if (Cur.is(Token::Kind::LocalName)) {
+      ResultName = Cur.Text;
+      advance();
+      if (!expect(Token::Kind::Equals, "'='"))
+        return false;
+    }
+    Instruction *I = parseInstruction();
+    if (!I)
+      return false;
+    BB->push_back(I);
+    if (!ResultName.empty()) {
+      I->setName(ResultName);
+      if (!defineValue(ResultName, I))
+        return false;
+    }
+  }
+}
+
+Type *Parser::parseType() {
+  Type *Ty = nullptr;
+  if (Cur.isWord("void")) {
+    advance();
+    Ty = Ctx.voidTy();
+  } else if (Cur.is(Token::Kind::Word) && Cur.Text.size() > 1 &&
+             Cur.Text[0] == 'i' &&
+             Cur.Text.find_first_not_of("0123456789", 1) == std::string::npos) {
+    unsigned W = static_cast<unsigned>(std::stoul(Cur.Text.substr(1)));
+    if (W < 1 || W > 64) {
+      fail("unsupported integer width i" + std::to_string(W));
+      return nullptr;
+    }
+    advance();
+    Ty = Ctx.intTy(W);
+  } else if (Cur.is(Token::Kind::Less)) {
+    advance();
+    if (!Cur.is(Token::Kind::Integer) || Cur.Int < 1) {
+      fail("expected vector element count");
+      return nullptr;
+    }
+    unsigned N = static_cast<unsigned>(Cur.Int);
+    advance();
+    if (!expectWord("x"))
+      return nullptr;
+    Type *Elem = parseType();
+    if (!Elem)
+      return nullptr;
+    if (!expect(Token::Kind::Greater, "'>'"))
+      return nullptr;
+    Ty = Ctx.vecTy(Elem, N);
+  } else {
+    fail("expected a type");
+    return nullptr;
+  }
+  while (Cur.is(Token::Kind::Star)) {
+    advance();
+    Ty = Ctx.ptrTy(Ty);
+  }
+  return Ty;
+}
+
+BasicBlock *Parser::getBlock(const std::string &Name) {
+  auto It = Blocks.find(Name);
+  if (It != Blocks.end())
+    return It->second;
+  BasicBlock *BB = BasicBlock::create(Ctx, Name);
+  Blocks[Name] = BB;
+  BlockDefined.emplace(Name, false);
+  return BB;
+}
+
+Value *Parser::lookupValue(const std::string &Name, Type *Ty) {
+  auto It = Values.find(Name);
+  if (It != Values.end()) {
+    if (It->second->getType() != Ty) {
+      fail("type mismatch for %" + Name);
+      return nullptr;
+    }
+    return It->second;
+  }
+  auto *P = new PlaceholderValue(Ty, Name);
+  Placeholders[Name] = P;
+  Values[Name] = P;
+  return P;
+}
+
+bool Parser::defineValue(const std::string &Name, Value *V) {
+  auto P = Placeholders.find(Name);
+  if (P != Placeholders.end()) {
+    if (P->second->getType() != V->getType())
+      return fail("type mismatch for forward-referenced %" + Name);
+    P->second->replaceAllUsesWith(V);
+    delete P->second;
+    Placeholders.erase(P);
+    Values[Name] = V;
+    return true;
+  }
+  if (!Values.emplace(Name, V).second)
+    return fail("redefinition of %" + Name);
+  return true;
+}
+
+Value *Parser::parseOperandOfType(Type *Ty) {
+  if (Cur.is(Token::Kind::LocalName)) {
+    std::string Name = Cur.Text;
+    advance();
+    return lookupValue(Name, Ty);
+  }
+  if (Cur.is(Token::Kind::GlobalName)) {
+    std::string Name = Cur.Text;
+    advance();
+    if (Function *Fn = M.getFunction(Name))
+      return Fn;
+    // A global must have been declared (with its size) earlier in the file.
+    if (GlobalVariable *G = Ctx.findGlobal(Name)) {
+      if (G->getType() != Ty) {
+        fail("type mismatch for global @" + Name);
+        return nullptr;
+      }
+      return G;
+    }
+    fail("unknown global @" + Name);
+    return nullptr;
+  }
+  if (Cur.is(Token::Kind::Integer)) {
+    if (!Ty->isInteger()) {
+      fail("integer literal for a non-integer type");
+      return nullptr;
+    }
+    int64_t V = Cur.Int;
+    advance();
+    return Ctx.getInt(BitVec(Ty->bitWidth(), static_cast<uint64_t>(V)));
+  }
+  if (Cur.isWord("true") || Cur.isWord("false")) {
+    bool B = Cur.isWord("true");
+    advance();
+    return Ctx.getBool(B);
+  }
+  if (Cur.isWord("poison")) {
+    advance();
+    return Ctx.getPoison(Ty);
+  }
+  if (Cur.isWord("undef")) {
+    advance();
+    return Ctx.getUndef(Ty);
+  }
+  if (Cur.is(Token::Kind::Less)) {
+    // Constant vector: < i8 1, i8 poison, ... >.
+    advance();
+    std::vector<Constant *> Elems;
+    while (!Cur.is(Token::Kind::Greater)) {
+      if (!Elems.empty() && !expect(Token::Kind::Comma, "','"))
+        return nullptr;
+      Type *ETy = parseType();
+      if (!ETy)
+        return nullptr;
+      Value *E = parseOperandOfType(ETy);
+      if (!E)
+        return nullptr;
+      auto *CE = dyn_cast<Constant>(E);
+      if (!CE) {
+        fail("vector constant element must be a constant");
+        return nullptr;
+      }
+      Elems.push_back(CE);
+    }
+    advance(); // >
+    return Ctx.getVector(std::move(Elems));
+  }
+  fail("expected an operand");
+  return nullptr;
+}
+
+Value *Parser::parseTypedOperand(Type **TyOut) {
+  Type *Ty = parseType();
+  if (!Ty)
+    return nullptr;
+  if (TyOut)
+    *TyOut = Ty;
+  return parseOperandOfType(Ty);
+}
+
+BasicBlock *Parser::parseLabelOperand() {
+  if (!expectWord("label"))
+    return nullptr;
+  if (!Cur.is(Token::Kind::LocalName)) {
+    fail("expected a block name");
+    return nullptr;
+  }
+  BasicBlock *BB = getBlock(Cur.Text);
+  advance();
+  return BB;
+}
+
+std::optional<ICmpPred> Parser::parsePred() {
+  static const std::pair<const char *, ICmpPred> Table[] = {
+      {"eq", ICmpPred::EQ},   {"ne", ICmpPred::NE},
+      {"ugt", ICmpPred::UGT}, {"uge", ICmpPred::UGE},
+      {"ult", ICmpPred::ULT}, {"ule", ICmpPred::ULE},
+      {"sgt", ICmpPred::SGT}, {"sge", ICmpPred::SGE},
+      {"slt", ICmpPred::SLT}, {"sle", ICmpPred::SLE},
+  };
+  for (auto &[Name, Pred] : Table)
+    if (Cur.isWord(Name)) {
+      advance();
+      return Pred;
+    }
+  fail("expected an icmp predicate");
+  return std::nullopt;
+}
+
+ArithFlags Parser::parseFlags() {
+  ArithFlags Flags;
+  while (true) {
+    if (Cur.isWord("nsw"))
+      Flags.NSW = true;
+    else if (Cur.isWord("nuw"))
+      Flags.NUW = true;
+    else if (Cur.isWord("exact"))
+      Flags.Exact = true;
+    else
+      break;
+    advance();
+  }
+  return Flags;
+}
+
+Instruction *Parser::parseInstruction() {
+  static const std::pair<const char *, Opcode> BinOps[] = {
+      {"add", Opcode::Add},   {"sub", Opcode::Sub},   {"mul", Opcode::Mul},
+      {"udiv", Opcode::UDiv}, {"sdiv", Opcode::SDiv}, {"urem", Opcode::URem},
+      {"srem", Opcode::SRem}, {"shl", Opcode::Shl},   {"lshr", Opcode::LShr},
+      {"ashr", Opcode::AShr}, {"and", Opcode::And},   {"or", Opcode::Or},
+      {"xor", Opcode::Xor},
+  };
+  for (auto &[Name, Op] : BinOps) {
+    if (!Cur.isWord(Name))
+      continue;
+    advance();
+    ArithFlags Flags = parseFlags();
+    Type *Ty = parseType();
+    if (!Ty)
+      return nullptr;
+    Value *L = parseOperandOfType(Ty);
+    if (!L || !expect(Token::Kind::Comma, "','"))
+      return nullptr;
+    Value *R = parseOperandOfType(Ty);
+    if (!R)
+      return nullptr;
+    return BinaryOperator::create(Op, L, R, Flags);
+  }
+
+  static const std::pair<const char *, Opcode> Casts[] = {
+      {"trunc", Opcode::Trunc},
+      {"zext", Opcode::ZExt},
+      {"sext", Opcode::SExt},
+      {"bitcast", Opcode::BitCast},
+  };
+  for (auto &[Name, Op] : Casts) {
+    if (!Cur.isWord(Name))
+      continue;
+    advance();
+    Value *Src = parseTypedOperand();
+    if (!Src || !expectWord("to"))
+      return nullptr;
+    Type *Dst = parseType();
+    if (!Dst)
+      return nullptr;
+    return CastInst::create(Op, Src, Dst);
+  }
+
+  if (Cur.isWord("icmp")) {
+    advance();
+    auto Pred = parsePred();
+    if (!Pred)
+      return nullptr;
+    Type *Ty = parseType();
+    if (!Ty)
+      return nullptr;
+    Value *L = parseOperandOfType(Ty);
+    if (!L || !expect(Token::Kind::Comma, "','"))
+      return nullptr;
+    Value *R = parseOperandOfType(Ty);
+    if (!R)
+      return nullptr;
+    return ICmpInst::create(Ctx, *Pred, L, R);
+  }
+
+  if (Cur.isWord("select")) {
+    advance();
+    Value *C = parseTypedOperand();
+    if (!C || !expect(Token::Kind::Comma, "','"))
+      return nullptr;
+    Value *T = parseTypedOperand();
+    if (!T || !expect(Token::Kind::Comma, "','"))
+      return nullptr;
+    Value *E = parseTypedOperand();
+    if (!E)
+      return nullptr;
+    return SelectInst::create(C, T, E);
+  }
+
+  if (Cur.isWord("freeze")) {
+    advance();
+    Value *V = parseTypedOperand();
+    if (!V)
+      return nullptr;
+    return FreezeInst::create(V);
+  }
+
+  if (Cur.isWord("phi")) {
+    advance();
+    Type *Ty = parseType();
+    if (!Ty)
+      return nullptr;
+    PhiNode *P = PhiNode::create(Ty);
+    while (Cur.is(Token::Kind::LBracket)) {
+      advance(); // [
+      Value *V = parseOperandOfType(Ty);
+      if (!V || !expect(Token::Kind::Comma, "','"))
+        return nullptr;
+      if (!Cur.is(Token::Kind::LocalName)) {
+        fail("expected an incoming block");
+        return nullptr;
+      }
+      BasicBlock *BB = getBlock(Cur.Text);
+      advance();
+      if (!expect(Token::Kind::RBracket, "']'"))
+        return nullptr;
+      P->addIncoming(V, BB);
+      if (Cur.is(Token::Kind::Comma) && Ahead.is(Token::Kind::LBracket))
+        advance();
+      else
+        break;
+    }
+    return P;
+  }
+
+  if (Cur.isWord("alloca")) {
+    advance();
+    Type *Ty = parseType();
+    if (!Ty)
+      return nullptr;
+    return AllocaInst::create(Ctx, Ty);
+  }
+
+  if (Cur.isWord("load")) {
+    advance();
+    Type *Ty = parseType();
+    if (!Ty || !expect(Token::Kind::Comma, "','"))
+      return nullptr;
+    Value *Ptr = parseTypedOperand();
+    if (!Ptr)
+      return nullptr;
+    return LoadInst::create(Ptr, Ty);
+  }
+
+  if (Cur.isWord("store")) {
+    advance();
+    Value *V = parseTypedOperand();
+    if (!V || !expect(Token::Kind::Comma, "','"))
+      return nullptr;
+    Value *Ptr = parseTypedOperand();
+    if (!Ptr)
+      return nullptr;
+    return StoreInst::create(V, Ptr, Ctx);
+  }
+
+  if (Cur.isWord("gep")) {
+    advance();
+    bool InBounds = false;
+    if (Cur.isWord("inbounds")) {
+      InBounds = true;
+      advance();
+    }
+    Value *Base = parseTypedOperand();
+    if (!Base || !expect(Token::Kind::Comma, "','"))
+      return nullptr;
+    Value *Index = parseTypedOperand();
+    if (!Index)
+      return nullptr;
+    return GEPInst::create(Base, Index, InBounds);
+  }
+
+  if (Cur.isWord("extractelement")) {
+    advance();
+    Value *Vec = parseTypedOperand();
+    if (!Vec || !expect(Token::Kind::Comma, "','"))
+      return nullptr;
+    if (!Cur.is(Token::Kind::Integer) || Cur.Int < 0) {
+      fail("expected a constant lane index");
+      return nullptr;
+    }
+    unsigned Idx = static_cast<unsigned>(Cur.Int);
+    advance();
+    return ExtractElementInst::create(Vec, Idx);
+  }
+
+  if (Cur.isWord("insertelement")) {
+    advance();
+    Value *Vec = parseTypedOperand();
+    if (!Vec || !expect(Token::Kind::Comma, "','"))
+      return nullptr;
+    Value *Elem = parseTypedOperand();
+    if (!Elem || !expect(Token::Kind::Comma, "','"))
+      return nullptr;
+    if (!Cur.is(Token::Kind::Integer) || Cur.Int < 0) {
+      fail("expected a constant lane index");
+      return nullptr;
+    }
+    unsigned Idx = static_cast<unsigned>(Cur.Int);
+    advance();
+    return InsertElementInst::create(Vec, Elem, Idx);
+  }
+
+  if (Cur.isWord("call")) {
+    advance();
+    Type *Ret = parseType();
+    if (!Ret)
+      return nullptr;
+    if (!Cur.is(Token::Kind::GlobalName)) {
+      fail("expected a callee name");
+      return nullptr;
+    }
+    Function *Callee = M.getFunction(Cur.Text);
+    if (!Callee) {
+      fail("call to unknown function @" + Cur.Text);
+      return nullptr;
+    }
+    advance();
+    if (!expect(Token::Kind::LParen, "'('"))
+      return nullptr;
+    std::vector<Value *> Args;
+    while (!Cur.is(Token::Kind::RParen)) {
+      if (!Args.empty() && !expect(Token::Kind::Comma, "','"))
+        return nullptr;
+      Value *A = parseTypedOperand();
+      if (!A)
+        return nullptr;
+      Args.push_back(A);
+    }
+    advance(); // )
+    return CallInst::create(Callee, Args);
+  }
+
+  if (Cur.isWord("br")) {
+    advance();
+    if (Cur.isWord("label")) {
+      BasicBlock *D = parseLabelOperand();
+      if (!D)
+        return nullptr;
+      return BranchInst::createUncond(D, Ctx);
+    }
+    Value *C = parseTypedOperand();
+    if (!C || !expect(Token::Kind::Comma, "','"))
+      return nullptr;
+    BasicBlock *T = parseLabelOperand();
+    if (!T || !expect(Token::Kind::Comma, "','"))
+      return nullptr;
+    BasicBlock *E = parseLabelOperand();
+    if (!E)
+      return nullptr;
+    return BranchInst::createCond(C, T, E, Ctx);
+  }
+
+  if (Cur.isWord("switch")) {
+    advance();
+    Type *Ty = nullptr;
+    Value *C = parseTypedOperand(&Ty);
+    if (!C || !expect(Token::Kind::Comma, "','"))
+      return nullptr;
+    BasicBlock *Default = parseLabelOperand();
+    if (!Default || !expect(Token::Kind::LBracket, "'['"))
+      return nullptr;
+    SwitchInst *SW = SwitchInst::create(C, Default, Ctx);
+    while (!Cur.is(Token::Kind::RBracket)) {
+      Value *CaseV = parseTypedOperand();
+      if (!CaseV || !expect(Token::Kind::Comma, "','"))
+        return nullptr;
+      auto *CI = dyn_cast<ConstantInt>(CaseV);
+      if (!CI) {
+        fail("switch case must be a constant integer");
+        return nullptr;
+      }
+      BasicBlock *Dest = parseLabelOperand();
+      if (!Dest)
+        return nullptr;
+      SW->addCase(CI, Dest);
+    }
+    advance(); // ]
+    return SW;
+  }
+
+  if (Cur.isWord("ret")) {
+    advance();
+    if (Cur.isWord("void")) {
+      advance();
+      return ReturnInst::createVoid(Ctx);
+    }
+    Value *V = parseTypedOperand();
+    if (!V)
+      return nullptr;
+    return ReturnInst::create(V, Ctx);
+  }
+
+  if (Cur.isWord("unreachable")) {
+    advance();
+    return UnreachableInst::create(Ctx);
+  }
+
+  fail("unknown instruction '" + Cur.Text + "'");
+  return nullptr;
+}
+
+} // namespace
+
+ParseResult frost::parseModule(const std::string &Text, Module &M) {
+  Parser P(Text, M);
+  return P.run();
+}

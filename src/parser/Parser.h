@@ -1,0 +1,36 @@
+//===- Parser.h - Textual IR parser -----------------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the LLVM-like textual syntax produced by the printer (globals,
+/// declarations, function definitions). Round-trips with ir/Printer.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_PARSER_PARSER_H
+#define FROST_PARSER_PARSER_H
+
+#include <string>
+
+namespace frost {
+
+class Module;
+
+/// Outcome of parsing; on failure, Error carries a line-tagged diagnostic.
+struct ParseResult {
+  bool Ok = false;
+  std::string Error;
+
+  explicit operator bool() const { return Ok; }
+};
+
+/// Parses \p Text into \p M (appending to its existing contents).
+ParseResult parseModule(const std::string &Text, Module &M);
+
+} // namespace frost
+
+#endif // FROST_PARSER_PARSER_H

@@ -1,0 +1,102 @@
+//===- Config.h - Selectable UB semantics -----------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 3 shows that different parts of LLVM assumed
+/// *different* semantics for deferred UB, and Section 4 proposes one fixed
+/// choice. SemanticsConfig makes each contested rule selectable so that every
+/// inconsistency can be demonstrated by executing the relevant pair of rules,
+/// and the proposed semantics is just one configuration point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SEM_CONFIG_H
+#define FROST_SEM_CONFIG_H
+
+namespace frost {
+namespace sem {
+
+/// How an instruction reacts to a poison condition / input.
+enum class PoisonBranchRule {
+  UB,     ///< Branching on poison is immediate UB (proposed semantics; the
+          ///< rule GVN needs, Section 3.3).
+  Nondet, ///< Branching on poison picks a successor nondeterministically
+          ///< (the rule legacy loop unswitching assumed, Section 3.3).
+};
+
+enum class SelectPoisonCondRule {
+  Poison, ///< Poison condition makes the select result poison (proposed,
+          ///< Figure 5).
+  UB,     ///< Select on poison is UB (the "select is a branch" reading).
+  Nondet, ///< Poison condition picks an arm nondeterministically.
+};
+
+/// One complete choice of deferred-UB semantics.
+struct SemanticsConfig {
+  /// Proposed semantics: treat the undef constant as poison ("remove undef
+  /// and use poison instead", Section 4). When false, undef exists and every
+  /// *use* may observe a different value (Section 3.1).
+  bool UndefIsPoison = true;
+
+  PoisonBranchRule BranchOnPoison = PoisonBranchRule::UB;
+  SelectPoisonCondRule SelectOnPoisonCond = SelectPoisonCondRule::Poison;
+
+  /// Proposed: select propagates poison only from the *chosen* arm
+  /// (matching phi, Figure 5). When false, poison in either arm poisons the
+  /// result (the LangRef reading of Section 3.4 that makes select algebraic).
+  bool SelectChosenArmOnly = true;
+
+  /// Legacy: a shift of >= bitwidth places evaluates to undef (Section 2.3);
+  /// proposed: poison.
+  bool OverShiftYieldsUndef = false;
+
+  /// Legacy: loading uninitialized memory yields undef; proposed: poison
+  /// (which is why bit-field stores need a freeze, Section 5.3).
+  bool LoadUninitYieldsUndef = false;
+
+  /// The paper's proposed semantics (Section 4).
+  static SemanticsConfig proposed() { return SemanticsConfig(); }
+
+  /// The legacy semantics as loop unswitching assumed it: undef exists,
+  /// branch on poison is a nondeterministic choice.
+  static SemanticsConfig legacyUnswitch() {
+    SemanticsConfig C;
+    C.UndefIsPoison = false;
+    C.BranchOnPoison = PoisonBranchRule::Nondet;
+    C.SelectOnPoisonCond = SelectPoisonCondRule::Nondet;
+    C.SelectChosenArmOnly = true;
+    C.OverShiftYieldsUndef = true;
+    C.LoadUninitYieldsUndef = true;
+    return C;
+  }
+
+  /// The legacy semantics as GVN assumed it: branch on poison is UB (so
+  /// observing a poison-feeding branch justifies replacing equals by
+  /// equals), but undef still exists.
+  static SemanticsConfig legacyGVN() {
+    SemanticsConfig C;
+    C.UndefIsPoison = false;
+    C.BranchOnPoison = PoisonBranchRule::UB;
+    C.SelectOnPoisonCond = SelectPoisonCondRule::UB;
+    C.OverShiftYieldsUndef = true;
+    C.LoadUninitYieldsUndef = true;
+    return C;
+  }
+
+  /// The LangRef reading of select (either-arm poison propagates), with the
+  /// rest as legacyUnswitch. Used to demonstrate the Section 3.4 tension.
+  static SemanticsConfig legacyLangRefSelect() {
+    SemanticsConfig C = legacyUnswitch();
+    C.SelectChosenArmOnly = false;
+    return C;
+  }
+};
+
+} // namespace sem
+} // namespace frost
+
+#endif // FROST_SEM_CONFIG_H

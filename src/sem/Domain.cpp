@@ -1,0 +1,52 @@
+//===- Domain.cpp - Semantic value domains ----------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/Domain.h"
+
+#include "ir/Type.h"
+#include "support/Casting.h"
+
+using namespace frost;
+using namespace frost::sem;
+
+std::string Lane::str() const {
+  switch (K) {
+  case Kind::Concrete:
+    return Bits.toSignedString();
+  case Kind::Undef:
+    return "undef";
+  case Kind::Poison:
+    return "poison";
+  }
+  return "?";
+}
+
+sem::Value sem::Value::poisonFor(const Type *Ty) {
+  unsigned N = 1;
+  if (const auto *VT = dyn_cast<VectorType>(Ty))
+    N = VT->count();
+  return Value(std::vector<Lane>(N, Lane::poison()));
+}
+
+sem::Value sem::Value::undefFor(const Type *Ty) {
+  unsigned N = 1;
+  if (const auto *VT = dyn_cast<VectorType>(Ty))
+    N = VT->count();
+  return Value(std::vector<Lane>(N, Lane::undef()));
+}
+
+std::string sem::Value::str() const {
+  if (isScalar())
+    return Lanes.front().str();
+  std::string S = "<";
+  for (unsigned I = 0; I != Lanes.size(); ++I) {
+    if (I)
+      S += ", ";
+    S += Lanes[I].str();
+  }
+  return S + ">";
+}

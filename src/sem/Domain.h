@@ -1,0 +1,125 @@
+//===- Domain.h - Semantic value domains ------------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime value domains for the paper's Figure 5 semantics. A scalar lane
+/// is either a concrete bit vector, the poison value, or (in the legacy
+/// semantics only) the undef value. Vector values are per-lane, which is the
+/// property that makes the Section 5.4 vector-load widening sound.
+///
+/// The refinement order used by translation validation is:
+///
+///     concrete c  ⊑  undef  ⊑  poison        (and c ⊑ c)
+///
+/// i.e. a transformation may replace poison with anything, undef with any
+/// concrete value (or undef), and a concrete value only with itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SEM_DOMAIN_H
+#define FROST_SEM_DOMAIN_H
+
+#include "support/BitVec.h"
+
+#include <string>
+#include <vector>
+
+namespace frost {
+
+class Type;
+
+namespace sem {
+
+/// One scalar slot of a runtime value.
+struct Lane {
+  enum class Kind { Concrete, Undef, Poison };
+
+  Kind K = Kind::Poison;
+  BitVec Bits; // Valid only when K == Concrete.
+
+  static Lane concrete(BitVec B) { return {Kind::Concrete, B}; }
+  static Lane poison() { return {Kind::Poison, BitVec()}; }
+  static Lane undef() { return {Kind::Undef, BitVec()}; }
+
+  bool isConcrete() const { return K == Kind::Concrete; }
+  bool isPoison() const { return K == Kind::Poison; }
+  bool isUndef() const { return K == Kind::Undef; }
+
+  bool operator==(const Lane &O) const {
+    return K == O.K && (!isConcrete() || Bits == O.Bits);
+  }
+
+  /// True iff this lane refines \p Src in the deferred-UB order.
+  bool refines(const Lane &Src) const {
+    if (Src.isPoison())
+      return true;
+    if (Src.isUndef())
+      return !isPoison();
+    return isConcrete() && Bits == Src.Bits;
+  }
+
+  std::string str() const;
+};
+
+/// A runtime value: one lane per vector element, a single lane for scalars.
+struct Value {
+  std::vector<Lane> Lanes;
+
+  Value() = default;
+  explicit Value(Lane L) : Lanes{L} {}
+  explicit Value(std::vector<Lane> Ls) : Lanes(std::move(Ls)) {}
+
+  static Value concrete(BitVec B) { return Value(Lane::concrete(B)); }
+  static Value poison() { return Value(Lane::poison()); }
+  static Value undef() { return Value(Lane::undef()); }
+  /// A poison/undef value shaped like \p Ty (per-lane for vectors).
+  static Value poisonFor(const Type *Ty);
+  static Value undefFor(const Type *Ty);
+
+  bool isScalar() const { return Lanes.size() == 1; }
+  const Lane &scalar() const {
+    assert(Lanes.size() == 1 && "not a scalar value");
+    return Lanes.front();
+  }
+  Lane &scalar() {
+    assert(Lanes.size() == 1 && "not a scalar value");
+    return Lanes.front();
+  }
+
+  bool anyPoison() const {
+    for (const Lane &L : Lanes)
+      if (L.isPoison())
+        return true;
+    return false;
+  }
+  bool anyUndef() const {
+    for (const Lane &L : Lanes)
+      if (L.isUndef())
+        return true;
+    return false;
+  }
+  bool allConcrete() const { return !anyPoison() && !anyUndef(); }
+
+  bool operator==(const Value &O) const { return Lanes == O.Lanes; }
+
+  /// Lane-wise refinement; requires equal lane counts.
+  bool refines(const Value &Src) const {
+    if (Lanes.size() != Src.Lanes.size())
+      return false;
+    for (unsigned I = 0; I != Lanes.size(); ++I)
+      if (!Lanes[I].refines(Src.Lanes[I]))
+        return false;
+    return true;
+  }
+
+  std::string str() const;
+};
+
+} // namespace sem
+} // namespace frost
+
+#endif // FROST_SEM_DOMAIN_H

@@ -1,0 +1,120 @@
+//===- Eval.cpp - Shared per-lane evaluation ----------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/Eval.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace frost;
+using namespace frost::sem;
+
+/// Figure 5 rules for binary arithmetic, one lane at a time. Undef lanes
+/// must have been materialised by the caller.
+FoldResult sem::foldBinLane(Opcode Op, ArithFlags F, const Lane &A, const Lane &B,
+                       const SemanticsConfig &Config) {
+  assert(!A.isUndef() && !B.isUndef() && "undef must be materialised first");
+
+  // Division: a poison or zero divisor is immediate UB (the operation could
+  // trap); a poison dividend defers.
+  if (Op == Opcode::UDiv || Op == Opcode::SDiv || Op == Opcode::URem ||
+      Op == Opcode::SRem) {
+    if (B.isPoison())
+      return FoldResult::ub("division by poison divisor");
+    if (B.Bits.isZero())
+      return FoldResult::ub("division by zero");
+    bool Signed = Op == Opcode::SDiv || Op == Opcode::SRem;
+    if (A.isPoison())
+      return FoldResult::val(Lane::poison());
+    if (Signed && A.Bits.sdivOverflows(B.Bits))
+      return FoldResult::ub("signed division overflow");
+    BitVec Quot = Signed ? A.Bits.sdiv(B.Bits) : A.Bits.udiv(B.Bits);
+    BitVec Rem = Signed ? A.Bits.srem(B.Bits) : A.Bits.urem(B.Bits);
+    if (Op == Opcode::URem || Op == Opcode::SRem)
+      return FoldResult::val(Lane::concrete(Rem));
+    if (F.Exact && !Rem.isZero())
+      return FoldResult::val(Lane::poison());
+    return FoldResult::val(Lane::concrete(Quot));
+  }
+
+  // Everything else defers poison.
+  if (A.isPoison() || B.isPoison())
+    return FoldResult::val(Lane::poison());
+
+  switch (Op) {
+  case Opcode::Add:
+    if ((F.NSW && A.Bits.saddOverflows(B.Bits)) ||
+        (F.NUW && A.Bits.uaddOverflows(B.Bits)))
+      return FoldResult::val(Lane::poison());
+    return FoldResult::val(Lane::concrete(A.Bits.add(B.Bits)));
+  case Opcode::Sub:
+    if ((F.NSW && A.Bits.ssubOverflows(B.Bits)) ||
+        (F.NUW && A.Bits.usubOverflows(B.Bits)))
+      return FoldResult::val(Lane::poison());
+    return FoldResult::val(Lane::concrete(A.Bits.sub(B.Bits)));
+  case Opcode::Mul:
+    if ((F.NSW && A.Bits.smulOverflows(B.Bits)) ||
+        (F.NUW && A.Bits.umulOverflows(B.Bits)))
+      return FoldResult::val(Lane::poison());
+    return FoldResult::val(Lane::concrete(A.Bits.mul(B.Bits)));
+  case Opcode::Shl:
+    if (B.Bits.shiftTooBig())
+      return FoldResult::val(Config.OverShiftYieldsUndef ? Lane::undef()
+                                                         : Lane::poison());
+    if ((F.NSW && A.Bits.shlSignedOverflows(B.Bits)) ||
+        (F.NUW && A.Bits.shlUnsignedOverflows(B.Bits)))
+      return FoldResult::val(Lane::poison());
+    return FoldResult::val(Lane::concrete(A.Bits.shl(B.Bits)));
+  case Opcode::LShr:
+  case Opcode::AShr: {
+    if (B.Bits.shiftTooBig())
+      return FoldResult::val(Config.OverShiftYieldsUndef ? Lane::undef()
+                                                         : Lane::poison());
+    BitVec R = Op == Opcode::LShr ? A.Bits.lshr(B.Bits) : A.Bits.ashr(B.Bits);
+    if (F.Exact) {
+      BitVec Back = R.shl(B.Bits);
+      if (Back != A.Bits)
+        return FoldResult::val(Lane::poison());
+    }
+    return FoldResult::val(Lane::concrete(R));
+  }
+  case Opcode::And:
+    return FoldResult::val(Lane::concrete(A.Bits.and_(B.Bits)));
+  case Opcode::Or:
+    return FoldResult::val(Lane::concrete(A.Bits.or_(B.Bits)));
+  case Opcode::Xor:
+    return FoldResult::val(Lane::concrete(A.Bits.xor_(B.Bits)));
+  default:
+    frost_unreachable("not a binary opcode");
+  }
+}
+
+bool sem::foldPred(ICmpPred P, const BitVec &A, const BitVec &B) {
+  switch (P) {
+  case ICmpPred::EQ:
+    return A.eq(B);
+  case ICmpPred::NE:
+    return !A.eq(B);
+  case ICmpPred::UGT:
+    return B.ult(A);
+  case ICmpPred::UGE:
+    return B.ule(A);
+  case ICmpPred::ULT:
+    return A.ult(B);
+  case ICmpPred::ULE:
+    return A.ule(B);
+  case ICmpPred::SGT:
+    return B.slt(A);
+  case ICmpPred::SGE:
+    return B.sle(A);
+  case ICmpPred::SLT:
+    return A.slt(B);
+  case ICmpPred::SLE:
+    return A.sle(B);
+  }
+  frost_unreachable("unknown icmp predicate");
+}
+

@@ -1,0 +1,46 @@
+//===- Eval.h - Shared per-lane evaluation ----------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-lane arithmetic rules of Figure 5, shared between the interpreter
+/// and the optimizer's constant folder so they can never diverge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SEM_EVAL_H
+#define FROST_SEM_EVAL_H
+
+#include "ir/Instruction.h"
+#include "sem/Config.h"
+#include "sem/Domain.h"
+
+namespace frost {
+namespace sem {
+
+/// Result of a per-lane computation that can also signal immediate UB.
+struct FoldResult {
+  bool UB = false;
+  const char *Reason = nullptr;
+  Lane L;
+
+  static FoldResult ub(const char *Why) { return {true, Why, Lane()}; }
+  static FoldResult val(Lane L) { return {false, nullptr, L}; }
+};
+
+/// Evaluates one lane of a binary operation under \p Config. Undef lanes
+/// must have been materialised by the caller (the constant folder simply
+/// refuses to fold undef operands of arithmetic).
+FoldResult foldBinLane(Opcode Op, ArithFlags F, const Lane &A, const Lane &B,
+                       const SemanticsConfig &Config);
+
+/// Evaluates an icmp predicate on concrete bits.
+bool foldPred(ICmpPred P, const BitVec &A, const BitVec &B);
+
+} // namespace sem
+} // namespace frost
+
+#endif // FROST_SEM_EVAL_H

@@ -1,0 +1,508 @@
+//===- Interp.cpp - Operational interpreter for frost IR ---------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/Interp.h"
+
+#include "sem/Eval.h"
+
+#include "ir/Context.h"
+#include "ir/Instructions.h"
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <set>
+
+using namespace frost;
+using namespace frost::sem;
+
+namespace {
+
+/// Lane width of a first-class type (element width for vectors).
+unsigned laneWidth(const Type *Ty) {
+  if (const auto *VT = dyn_cast<VectorType>(Ty))
+    return VT->element()->bitWidth();
+  return Ty->bitWidth();
+}
+
+/// Collects globals and callees reachable from \p F, depth-first.
+void collectGlobals(Function &F, std::set<Function *> &SeenFns,
+                    std::vector<const GlobalVariable *> &Globals) {
+  if (!SeenFns.insert(&F).second || F.isDeclaration())
+    return;
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      for (unsigned Op = 0, E = I->getNumOperands(); Op != E; ++Op) {
+        frost::Value *V = I->getOperand(Op);
+        if (auto *G = dyn_cast<GlobalVariable>(V)) {
+          if (std::find(Globals.begin(), Globals.end(), G) == Globals.end())
+            Globals.push_back(G);
+        } else if (auto *Callee = dyn_cast<Function>(V)) {
+          collectGlobals(*Callee, SeenFns, Globals);
+        }
+      }
+}
+
+} // namespace
+
+struct Interpreter::Frame {
+  std::map<frost::Value *, sem::Value> Regs;
+};
+
+Lane Interpreter::materialize(const Lane &L, unsigned Width) {
+  if (!L.isUndef())
+    return L;
+  return Lane::concrete(Oracle.chooseBits(Width));
+}
+
+sem::Value Interpreter::evalRaw(Frame &Fr, frost::Value *Op) {
+  switch (Op->getKind()) {
+  case frost::Value::Kind::ConstantInt:
+    return Value::concrete(cast<ConstantInt>(Op)->value());
+  case frost::Value::Kind::Poison:
+    return Value::poisonFor(Op->getType());
+  case frost::Value::Kind::Undef:
+    return Config.UndefIsPoison ? Value::poisonFor(Op->getType())
+                                : Value::undefFor(Op->getType());
+  case frost::Value::Kind::ConstantVector: {
+    const auto *CV = cast<ConstantVector>(Op);
+    std::vector<Lane> Lanes;
+    for (unsigned I = 0, E = CV->size(); I != E; ++I)
+      Lanes.push_back(evalRaw(Fr, CV->element(I)).scalar());
+    return Value(std::move(Lanes));
+  }
+  case frost::Value::Kind::GlobalVariable: {
+    const auto *G = cast<GlobalVariable>(Op);
+    auto It = GlobalAddrs.find(G);
+    assert(It != GlobalAddrs.end() && "global was not pre-allocated");
+    return Value::concrete(BitVec(PointerType::AddressBits, It->second));
+  }
+  case frost::Value::Kind::Argument:
+  case frost::Value::Kind::Instruction: {
+    auto It = Fr.Regs.find(Op);
+    assert(It != Fr.Regs.end() && "read of an unassigned register");
+    return It->second;
+  }
+  case frost::Value::Kind::BasicBlock:
+  case frost::Value::Kind::Function:
+  case frost::Value::Kind::Placeholder:
+    break;
+  }
+  frost_unreachable("operand kind cannot be evaluated");
+}
+
+sem::Value Interpreter::evalForCompute(Frame &Fr, frost::Value *Op) {
+  Value V = evalRaw(Fr, Op);
+  unsigned W = laneWidth(Op->getType());
+  for (Lane &L : V.Lanes)
+    L = materialize(L, W);
+  return V;
+}
+
+uint32_t Interpreter::globalAddress(const GlobalVariable *G) const {
+  auto It = GlobalAddrs.find(G);
+  return It == GlobalAddrs.end() ? 0 : It->second;
+}
+
+ExecResult Interpreter::run(Function &F, const std::vector<Value> &Args) {
+  GlobalAddrs.clear();
+  Mem = Memory();
+  std::set<Function *> SeenFns;
+  std::vector<const GlobalVariable *> Globals;
+  collectGlobals(F, SeenFns, Globals);
+  std::sort(Globals.begin(), Globals.end(),
+            [](const GlobalVariable *A, const GlobalVariable *B) {
+              return A->getName() < B->getName();
+            });
+  for (const GlobalVariable *G : Globals)
+    GlobalAddrs[G] = Mem.allocate(G->sizeBytes());
+
+  FuelLeft = Opts.Fuel;
+  std::vector<Value> Trace;
+  ExecResult R = callFunction(F, Args, 0, Trace);
+  R.Trace = std::move(Trace);
+  if (R.ok())
+    R.FinalMem = Mem.snapshot();
+  return R;
+}
+
+ExecResult Interpreter::callFunction(Function &F,
+                                     const std::vector<Value> &Args,
+                                     unsigned Depth,
+                                     std::vector<Value> &Trace) {
+  ExecResult R;
+  if (Depth > Opts.MaxCallDepth) {
+    R.St = ExecResult::Status::Fuel;
+    R.Reason = "call depth limit";
+    return R;
+  }
+  if (F.isDeclaration()) {
+    R.St = ExecResult::Status::Error;
+    R.Reason = "call to external function @" + F.getName();
+    return R;
+  }
+  assert(Args.size() == F.getNumArgs() && "argument count mismatch");
+
+  Frame Fr;
+  for (unsigned I = 0; I != Args.size(); ++I)
+    Fr.Regs[F.arg(I)] = Args[I];
+
+  BasicBlock *Cur = F.entry();
+  BasicBlock *Prev = nullptr;
+
+  auto UB = [&R](const std::string &Why) {
+    R.St = ExecResult::Status::UB;
+    R.Reason = Why;
+    return R;
+  };
+  auto Err = [&R](const std::string &Why) {
+    R.St = ExecResult::Status::Error;
+    R.Reason = Why;
+    return R;
+  };
+
+  while (true) {
+    // Phi nodes execute simultaneously on block entry.
+    if (Prev) {
+      std::vector<std::pair<PhiNode *, Value>> PhiVals;
+      for (PhiNode *P : Cur->phis())
+        PhiVals.push_back({P, evalRaw(Fr, P->getIncomingValueForBlock(Prev))});
+      for (auto &[P, V] : PhiVals)
+        Fr.Regs[P] = std::move(V);
+    }
+
+    BasicBlock *Next = nullptr;
+    for (Instruction *I : *Cur) {
+      if (isa<PhiNode>(I))
+        continue;
+      if (FuelLeft == 0) {
+        R.St = ExecResult::Status::Fuel;
+        R.Reason = "out of fuel";
+        return R;
+      }
+      --FuelLeft;
+
+      switch (I->getOpcode()) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::UDiv:
+      case Opcode::SDiv:
+      case Opcode::URem:
+      case Opcode::SRem:
+      case Opcode::Shl:
+      case Opcode::LShr:
+      case Opcode::AShr:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor: {
+        Value A = evalForCompute(Fr, I->getOperand(0));
+        Value B = evalForCompute(Fr, I->getOperand(1));
+        std::vector<Lane> Lanes;
+        for (unsigned L = 0; L != A.Lanes.size(); ++L) {
+          FoldResult LR = foldBinLane(I->getOpcode(), I->flags(), A.Lanes[L],
+                                      B.Lanes[L], Config);
+          if (LR.UB)
+            return UB(LR.Reason);
+          Lanes.push_back(LR.L);
+        }
+        Fr.Regs[I] = Value(std::move(Lanes));
+        break;
+      }
+      case Opcode::ICmp: {
+        const auto *C = cast<ICmpInst>(I);
+        Value A = evalForCompute(Fr, C->lhs());
+        Value B = evalForCompute(Fr, C->rhs());
+        std::vector<Lane> Lanes;
+        for (unsigned L = 0; L != A.Lanes.size(); ++L) {
+          if (A.Lanes[L].isPoison() || B.Lanes[L].isPoison())
+            Lanes.push_back(Lane::poison());
+          else
+            Lanes.push_back(Lane::concrete(BitVec(
+                1, foldPred(C->pred(), A.Lanes[L].Bits, B.Lanes[L].Bits))));
+        }
+        Fr.Regs[I] = Value(std::move(Lanes));
+        break;
+      }
+      case Opcode::Trunc:
+      case Opcode::ZExt:
+      case Opcode::SExt: {
+        Value V = evalForCompute(Fr, I->getOperand(0));
+        unsigned DstW = laneWidth(I->getType());
+        std::vector<Lane> Lanes;
+        for (Lane &L : V.Lanes) {
+          if (L.isPoison()) {
+            Lanes.push_back(Lane::poison());
+            continue;
+          }
+          BitVec B = L.Bits;
+          switch (I->getOpcode()) {
+          case Opcode::Trunc:
+            B = B.truncTo(DstW);
+            break;
+          case Opcode::ZExt:
+            B = B.zextTo(DstW);
+            break;
+          case Opcode::SExt:
+            B = B.sextTo(DstW);
+            break;
+          default:
+            frost_unreachable("not a cast");
+          }
+          Lanes.push_back(Lane::concrete(B));
+        }
+        Fr.Regs[I] = Value(std::move(Lanes));
+        break;
+      }
+      case Opcode::BitCast: {
+        // Figure 5: reinterpret through the bit representation.
+        Value V = evalRaw(Fr, I->getOperand(0));
+        std::vector<MemBit> Bits = lowerValue(V, I->getOperand(0)->getType());
+        Fr.Regs[I] = liftValue(Bits, I->getType(), Config);
+        break;
+      }
+      case Opcode::Select: {
+        const auto *S = cast<SelectInst>(I);
+        Value Cond = evalForCompute(Fr, S->condition());
+        const Lane &CL = Cond.scalar();
+        std::optional<bool> TakeTrue;
+        if (CL.isPoison()) {
+          switch (Config.SelectOnPoisonCond) {
+          case SelectPoisonCondRule::UB:
+            return UB("select on poison condition");
+          case SelectPoisonCondRule::Poison:
+            break; // Result is poison; leave TakeTrue unset.
+          case SelectPoisonCondRule::Nondet:
+            TakeTrue = Oracle.choose(2) == 0;
+            break;
+          }
+        } else {
+          TakeTrue = CL.Bits.isOne();
+        }
+        if (!TakeTrue) {
+          Fr.Regs[I] = Value::poisonFor(I->getType());
+          break;
+        }
+        Value Chosen =
+            evalRaw(Fr, *TakeTrue ? S->trueValue() : S->falseValue());
+        if (!Config.SelectChosenArmOnly) {
+          Value Other =
+              evalRaw(Fr, *TakeTrue ? S->falseValue() : S->trueValue());
+          for (unsigned L = 0; L != Chosen.Lanes.size(); ++L)
+            if (Other.Lanes[L].isPoison())
+              Chosen.Lanes[L] = Lane::poison();
+        }
+        Fr.Regs[I] = std::move(Chosen);
+        break;
+      }
+      case Opcode::Freeze: {
+        Value V = evalRaw(Fr, I->getOperand(0));
+        unsigned W = laneWidth(I->getType());
+        for (Lane &L : V.Lanes)
+          if (L.isPoison() || L.isUndef())
+            L = Lane::concrete(Oracle.chooseBits(W));
+        Fr.Regs[I] = std::move(V);
+        break;
+      }
+      case Opcode::ExtractElement: {
+        const auto *E = cast<ExtractElementInst>(I);
+        Value V = evalRaw(Fr, E->vector());
+        Fr.Regs[I] = Value(V.Lanes[E->index()]);
+        break;
+      }
+      case Opcode::InsertElement: {
+        const auto *Ins = cast<InsertElementInst>(I);
+        Value V = evalRaw(Fr, Ins->vector());
+        Value E = evalRaw(Fr, Ins->element());
+        V.Lanes[Ins->index()] = E.scalar();
+        Fr.Regs[I] = std::move(V);
+        break;
+      }
+      case Opcode::Alloca: {
+        const auto *A = cast<AllocaInst>(I);
+        unsigned Bytes = (A->allocatedType()->bitWidth() + 7) / 8;
+        uint32_t Addr = Mem.allocate(Bytes);
+        Fr.Regs[I] = Value::concrete(BitVec(PointerType::AddressBits, Addr));
+        break;
+      }
+      case Opcode::GEP: {
+        const auto *G = cast<GEPInst>(I);
+        Value Base = evalForCompute(Fr, G->base());
+        Value Idx = evalForCompute(Fr, G->index());
+        if (Base.scalar().isPoison() || Idx.scalar().isPoison()) {
+          Fr.Regs[I] = Value::poison();
+          break;
+        }
+        unsigned ElemBits = G->pointeeType()->bitWidth();
+        uint64_t ElemBytes = (ElemBits + 7) / 8;
+        int64_t Offset = Idx.scalar().Bits.sext() *
+                         static_cast<int64_t>(ElemBytes);
+        BitVec Addr = Base.scalar().Bits.add(
+            BitVec(PointerType::AddressBits, static_cast<uint64_t>(Offset)));
+        if (G->isInBounds() &&
+            !Mem.validRange(static_cast<uint32_t>(Addr.zext()), ElemBits)) {
+          Fr.Regs[I] = Value::poison();
+          break;
+        }
+        Fr.Regs[I] = Value::concrete(Addr);
+        break;
+      }
+      case Opcode::Load: {
+        Value P = evalForCompute(Fr, I->getOperand(0));
+        if (P.scalar().isPoison())
+          return UB("load from poison address");
+        uint32_t Addr = static_cast<uint32_t>(P.scalar().Bits.zext());
+        std::vector<MemBit> Bits;
+        if (!Mem.load(Addr, I->getType()->bitWidth(), Bits))
+          return UB("load from invalid address");
+        Fr.Regs[I] = liftValue(Bits, I->getType(), Config);
+        break;
+      }
+      case Opcode::Store: {
+        const auto *S = cast<StoreInst>(I);
+        Value V = evalRaw(Fr, S->value());
+        Value P = evalForCompute(Fr, S->pointer());
+        if (P.scalar().isPoison())
+          return UB("store to poison address");
+        uint32_t Addr = static_cast<uint32_t>(P.scalar().Bits.zext());
+        std::vector<MemBit> Bits = lowerValue(V, S->value()->getType());
+        if (!Mem.store(Addr, Bits))
+          return UB("store to invalid address");
+        break;
+      }
+      case Opcode::Call: {
+        const auto *C = cast<CallInst>(I);
+        Function *Callee = C->callee();
+        std::vector<Value> CallArgs;
+        for (unsigned A = 0, E = C->getNumArgs(); A != E; ++A)
+          CallArgs.push_back(evalRaw(Fr, C->getArg(A)));
+        if (Callee->isDeclaration() &&
+            Callee->getName().rfind("observe", 0) == 0) {
+          for (Value &V : CallArgs)
+            Trace.push_back(std::move(V));
+          if (!Callee->returnType()->isVoid())
+            Fr.Regs[I] = Value::poisonFor(Callee->returnType());
+          break;
+        }
+        ExecResult Sub = callFunction(*Callee, CallArgs, Depth + 1, Trace);
+        if (!Sub.ok()) {
+          R = std::move(Sub);
+          return R;
+        }
+        if (!Callee->returnType()->isVoid())
+          Fr.Regs[I] = *Sub.Ret;
+        break;
+      }
+      case Opcode::Br: {
+        const auto *B = cast<BranchInst>(I);
+        if (!B->isConditional()) {
+          Next = B->dest();
+          break;
+        }
+        Value Cond = evalForCompute(Fr, B->condition());
+        const Lane &CL = Cond.scalar();
+        if (CL.isPoison()) {
+          if (Config.BranchOnPoison == PoisonBranchRule::UB)
+            return UB("branch on poison");
+          Next = Oracle.choose(2) == 0 ? B->trueDest() : B->falseDest();
+        } else {
+          Next = CL.Bits.isOne() ? B->trueDest() : B->falseDest();
+        }
+        break;
+      }
+      case Opcode::Switch: {
+        const auto *S = cast<SwitchInst>(I);
+        Value Cond = evalForCompute(Fr, S->condition());
+        const Lane &CL = Cond.scalar();
+        if (CL.isPoison()) {
+          if (Config.BranchOnPoison == PoisonBranchRule::UB)
+            return UB("switch on poison");
+          uint64_t Pick = Oracle.choose(S->getNumCases() + 1);
+          Next = Pick == 0 ? S->defaultDest() : S->caseDest(Pick - 1);
+          break;
+        }
+        Next = S->defaultDest();
+        for (unsigned Cs = 0, E = S->getNumCases(); Cs != E; ++Cs)
+          if (S->caseValue(Cs)->value() == CL.Bits) {
+            Next = S->caseDest(Cs);
+            break;
+          }
+        break;
+      }
+      case Opcode::Ret: {
+        const auto *Rt = cast<ReturnInst>(I);
+        R.St = ExecResult::Status::Ok;
+        if (Rt->hasValue())
+          R.Ret = evalRaw(Fr, Rt->value());
+        return R;
+      }
+      case Opcode::Unreachable:
+        return UB("reached unreachable");
+      case Opcode::Phi:
+        frost_unreachable("phi handled at block entry");
+      }
+
+      if (Next)
+        break;
+    }
+
+    if (!Next)
+      return Err("block fell through without a terminator");
+    Prev = Cur;
+    Cur = Next;
+  }
+}
+
+std::string ExecResult::str() const {
+  std::string S;
+  switch (St) {
+  case Status::Ok:
+    S = "ok";
+    if (Ret)
+      S += " ret=" + Ret->str();
+    break;
+  case Status::UB:
+    S = "UB(" + Reason + ")";
+    break;
+  case Status::Fuel:
+    S = "fuel(" + Reason + ")";
+    break;
+  case Status::Error:
+    S = "error(" + Reason + ")";
+    break;
+  }
+  if (!Trace.empty()) {
+    S += " trace=[";
+    for (unsigned I = 0; I != Trace.size(); ++I)
+      S += (I ? ", " : "") + Trace[I].str();
+    S += "]";
+  }
+  return S;
+}
+
+uint64_t sem::runConcrete(Function &F, const std::vector<uint64_t> &Args) {
+  SemanticsConfig Config = SemanticsConfig::proposed();
+  DeterministicOracle Oracle;
+  InterpOptions Opts;
+  Opts.Fuel = 500u * 1000u * 1000u;
+  Interpreter I(Config, Oracle, Opts);
+  std::vector<Value> SemArgs;
+  for (unsigned A = 0; A != Args.size(); ++A)
+    SemArgs.push_back(Value::concrete(
+        BitVec(F.arg(A)->getType()->bitWidth(), Args[A])));
+  ExecResult R = I.run(F, SemArgs);
+  if (!R.ok()) {
+    std::fprintf(stderr, "runConcrete(@%s): %s\n", F.getName().c_str(),
+                 R.str().c_str());
+    frost_unreachable("runConcrete requires a normal termination");
+  }
+  if (!R.Ret)
+    return 0;
+  return R.Ret->scalar().isConcrete() ? R.Ret->scalar().Bits.zext() : 0;
+}

@@ -1,0 +1,120 @@
+//===- Interp.h - Operational interpreter for frost IR ----------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An executable rendering of the paper's Figure 5 operational semantics,
+/// parameterised by SemanticsConfig so the legacy rules of Section 3 are
+/// also runnable.
+///
+/// Undef ("each use may yield a different value", Section 3.1) is modelled
+/// operationally: registers and memory may hold symbolic undef lanes, and a
+/// lane is *materialised* into an arbitrary concrete value — one fresh
+/// oracle choice per use — whenever it flows into an instruction that
+/// computes with it (arithmetic, comparisons, casts, geps, branches).
+/// Value-moving operations (phi, select arms, return, store, call arguments)
+/// preserve the symbolic lane, so distinct later uses can still disagree.
+/// Freeze materialises and thereby pins the value, which is exactly its
+/// specified behaviour.
+///
+/// Observable behaviour of an execution = termination status + returned
+/// value + the sequence of values passed to `observe*` declarations + the
+/// final memory contents. The translation validator compares these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SEM_INTERP_H
+#define FROST_SEM_INTERP_H
+
+#include "sem/Config.h"
+#include "sem/Domain.h"
+#include "sem/Memory.h"
+#include "sem/Oracle.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace frost {
+
+class Function;
+class GlobalVariable;
+class Value;
+
+namespace sem {
+
+/// Outcome of one (fully deterministic, given the oracle) execution.
+struct ExecResult {
+  enum class Status {
+    Ok,    ///< Returned normally.
+    UB,    ///< Executed immediate undefined behaviour.
+    Fuel,  ///< Step budget exhausted (result unknown).
+    Error, ///< Malformed program (interpreter limitation, not UB).
+  };
+
+  Status St = Status::Error;
+  std::optional<Value> Ret;      ///< Set for non-void returns when Ok.
+  std::vector<Value> Trace;      ///< Values passed to observe*().
+  std::vector<MemBit> FinalMem;  ///< Memory snapshot when Ok.
+  std::string Reason;            ///< Explanation for UB / Error.
+
+  bool ok() const { return St == Status::Ok; }
+  bool ub() const { return St == Status::UB; }
+
+  /// Renders status/value/trace for diagnostics.
+  std::string str() const;
+};
+
+/// Execution limits.
+struct InterpOptions {
+  uint64_t Fuel = 200000;     ///< Maximum instructions executed.
+  unsigned MaxCallDepth = 64; ///< Maximum nested calls.
+};
+
+/// Interprets frost IR functions under a chosen UB semantics.
+class Interpreter {
+public:
+  Interpreter(const SemanticsConfig &Config, ChoiceOracle &Oracle,
+              InterpOptions Opts = InterpOptions())
+      : Config(Config), Oracle(Oracle), Opts(Opts) {}
+
+  /// Runs \p F on \p Args (one sem::Value per formal argument). Globals
+  /// transitively referenced by \p F are allocated (uninitialized) before
+  /// the run, in name order.
+  ExecResult run(Function &F, const std::vector<Value> &Args);
+
+  Memory &memory() { return Mem; }
+
+  /// Address bound to \p G during the last run (0 if untouched).
+  uint32_t globalAddress(const GlobalVariable *G) const;
+
+private:
+  struct Frame;
+
+  ExecResult callFunction(Function &F, const std::vector<Value> &Args,
+                          unsigned Depth, std::vector<Value> &Trace);
+
+  Value evalRaw(Frame &Fr, frost::Value *Op);
+  Value evalForCompute(Frame &Fr, frost::Value *Op);
+  Lane materialize(const Lane &L, unsigned Width);
+
+  const SemanticsConfig &Config;
+  ChoiceOracle &Oracle;
+  InterpOptions Opts;
+  Memory Mem;
+  std::map<const GlobalVariable *, uint32_t> GlobalAddrs;
+  uint64_t FuelLeft = 0;
+};
+
+/// Convenience driver for examples and benchmarks: runs \p F on concrete
+/// integer arguments with a deterministic oracle under the proposed
+/// semantics, returning the concrete scalar result. Aborts on UB.
+uint64_t runConcrete(Function &F, const std::vector<uint64_t> &Args);
+
+} // namespace sem
+} // namespace frost
+
+#endif // FROST_SEM_INTERP_H

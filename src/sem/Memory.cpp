@@ -1,0 +1,168 @@
+//===- Memory.cpp - Bitwise poison-aware memory ------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/Memory.h"
+
+#include "ir/Type.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+using namespace frost;
+using namespace frost::sem;
+
+uint32_t Memory::allocate(uint32_t SizeBytes) {
+  Block B;
+  B.Base = NextAddr;
+  B.Size = SizeBytes;
+  B.Bits.assign(static_cast<size_t>(SizeBytes) * 8, MemBit::Uninit);
+  // Pad between blocks so out-of-bounds accesses never alias a neighbour.
+  NextAddr += SizeBytes + 16;
+  Blocks.push_back(std::move(B));
+  return Blocks.back().Base;
+}
+
+const Memory::Block *Memory::findBlock(uint32_t Addr,
+                                       unsigned SizeBits) const {
+  uint32_t SizeBytes = (SizeBits + 7) / 8;
+  for (const Block &B : Blocks) {
+    if (Addr < B.Base)
+      continue;
+    uint64_t Off = Addr - B.Base;
+    if (Off + SizeBytes <= B.Size)
+      return &B;
+  }
+  return nullptr;
+}
+
+bool Memory::validRange(uint32_t Addr, unsigned SizeBits) const {
+  return findBlock(Addr, SizeBits) != nullptr;
+}
+
+bool Memory::load(uint32_t Addr, unsigned SizeBits,
+                  std::vector<MemBit> &Out) const {
+  Out.clear();
+  const Block *B = findBlock(Addr, SizeBits);
+  if (!B)
+    return false;
+  size_t BitOff = static_cast<size_t>(Addr - B->Base) * 8;
+  Out.assign(B->Bits.begin() + BitOff, B->Bits.begin() + BitOff + SizeBits);
+  return true;
+}
+
+bool Memory::store(uint32_t Addr, const std::vector<MemBit> &Bits) {
+  const Block *BC = findBlock(Addr, Bits.size());
+  if (!BC)
+    return false;
+  Block *B = const_cast<Block *>(BC);
+  size_t BitOff = static_cast<size_t>(Addr - B->Base) * 8;
+  for (size_t I = 0; I != Bits.size(); ++I)
+    B->Bits[BitOff + I] = Bits[I];
+  return true;
+}
+
+std::vector<MemBit> Memory::snapshot() const {
+  std::vector<MemBit> Out;
+  for (const Block &B : Blocks)
+    Out.insert(Out.end(), B.Bits.begin(), B.Bits.end());
+  return Out;
+}
+
+namespace {
+
+void lowerLane(const Lane &L, unsigned Width, std::vector<MemBit> &Out) {
+  for (unsigned I = 0; I != Width; ++I) {
+    switch (L.K) {
+    case Lane::Kind::Concrete:
+      Out.push_back(L.Bits.getBit(I) ? MemBit::One : MemBit::Zero);
+      break;
+    case Lane::Kind::Poison:
+      Out.push_back(MemBit::Poison);
+      break;
+    case Lane::Kind::Undef:
+      Out.push_back(MemBit::Undef);
+      break;
+    }
+  }
+}
+
+Lane liftLane(const std::vector<MemBit> &Bits, size_t Off, unsigned Width,
+              const SemanticsConfig &Config) {
+  bool AnyPoison = false, AnyUndef = false;
+  BitVec V(Width, 0);
+  for (unsigned I = 0; I != Width; ++I) {
+    switch (Bits[Off + I]) {
+    case MemBit::Zero:
+      break;
+    case MemBit::One:
+      V.setBit(I, true);
+      break;
+    case MemBit::Poison:
+      AnyPoison = true;
+      break;
+    case MemBit::Undef:
+      AnyUndef = true;
+      break;
+    case MemBit::Uninit:
+      if (Config.LoadUninitYieldsUndef)
+        AnyUndef = true;
+      else
+        AnyPoison = true;
+      break;
+    }
+  }
+  // Figure 5: a base-type value with any poison bit lifts to poison.
+  if (AnyPoison)
+    return Lane::poison();
+  if (AnyUndef)
+    return Lane::undef();
+  return Lane::concrete(V);
+}
+
+unsigned scalarWidth(const Type *Ty) {
+  assert((Ty->isInteger() || Ty->isPointer()) && "expected a scalar type");
+  return Ty->bitWidth();
+}
+
+} // namespace
+
+std::vector<MemBit> sem::lowerValue(const Value &V, const Type *Ty) {
+  std::vector<MemBit> Out;
+  if (const auto *VT = dyn_cast<VectorType>(Ty)) {
+    assert(V.Lanes.size() == VT->count() && "lane count mismatch");
+    unsigned W = scalarWidth(VT->element());
+    for (const Lane &L : V.Lanes)
+      lowerLane(L, W, Out);
+    return Out;
+  }
+  assert(V.isScalar() && "scalar type with multiple lanes");
+  lowerLane(V.scalar(), scalarWidth(Ty), Out);
+  return Out;
+}
+
+sem::Value sem::liftValue(const std::vector<MemBit> &Bits, const Type *Ty,
+                          const SemanticsConfig &Config) {
+  if (const auto *VT = dyn_cast<VectorType>(Ty)) {
+    unsigned W = scalarWidth(VT->element());
+    assert(Bits.size() == static_cast<size_t>(W) * VT->count() &&
+           "bit count mismatch");
+    std::vector<Lane> Lanes;
+    for (unsigned I = 0; I != VT->count(); ++I)
+      Lanes.push_back(liftLane(Bits, static_cast<size_t>(I) * W, W, Config));
+    return Value(std::move(Lanes));
+  }
+  unsigned W = scalarWidth(Ty);
+  assert(Bits.size() == W && "bit count mismatch");
+  return Value(liftLane(Bits, 0, W, Config));
+}
+
+bool sem::memBitRefines(MemBit Tgt, MemBit Src) {
+  if (Src == MemBit::Poison)
+    return true;
+  if (Src == MemBit::Undef || Src == MemBit::Uninit)
+    return Tgt != MemBit::Poison;
+  return Tgt == Src;
+}

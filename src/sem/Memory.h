@@ -1,0 +1,97 @@
+//===- Memory.h - Bitwise poison-aware memory -------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Figure 5 memory: a partial map from 32-bit addresses to
+/// *bitwise-defined* bytes, where each bit may individually be poison. This
+/// per-bit representation is what makes vector-based load widening sound
+/// (Section 5.4): a poison bit-field cannot contaminate adjacent fields.
+///
+/// The ty-down / ty-up meta operations of Figure 5 are implemented by
+/// lowerValue / liftValue: lowering poison produces all-poison bits, and
+/// lifting a base type with at least one poison bit produces poison, while
+/// vectors convert element-wise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SEM_MEMORY_H
+#define FROST_SEM_MEMORY_H
+
+#include "sem/Config.h"
+#include "sem/Domain.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace frost {
+
+class Type;
+
+namespace sem {
+
+/// State of one bit of memory.
+enum class MemBit : uint8_t {
+  Zero,
+  One,
+  Poison,
+  Undef,  ///< A deferred-undef bit (legacy semantics only).
+  Uninit, ///< Never written; reads as undef (legacy) or poison (proposed).
+};
+
+/// A block-structured 32-bit address space with per-bit deferred UB.
+class Memory {
+public:
+  /// Allocates \p SizeBytes of uninitialized memory; returns the base
+  /// address (never 0).
+  uint32_t allocate(uint32_t SizeBytes);
+
+  /// True iff [Addr, Addr + ceil(SizeBits/8)) lies within one live block.
+  bool validRange(uint32_t Addr, unsigned SizeBits) const;
+
+  /// Reads \p SizeBits bits at \p Addr. Returns false (and leaves \p Out
+  /// empty) when the range is invalid — immediate UB at the caller.
+  bool load(uint32_t Addr, unsigned SizeBits, std::vector<MemBit> &Out) const;
+
+  /// Writes \p Bits at \p Addr; false when the range is invalid.
+  bool store(uint32_t Addr, const std::vector<MemBit> &Bits);
+
+  /// All block contents in allocation order, for observational comparison
+  /// between executions.
+  std::vector<MemBit> snapshot() const;
+
+private:
+  struct Block {
+    uint32_t Base;
+    uint32_t Size; // Bytes.
+    std::vector<MemBit> Bits;
+  };
+
+  const Block *findBlock(uint32_t Addr, unsigned SizeBits) const;
+
+  std::vector<Block> Blocks;
+  uint32_t NextAddr = 0x1000;
+};
+
+/// Figure 5's ty-down: value to bit representation. \p Ty gives the shape
+/// (element widths for vectors).
+std::vector<MemBit> lowerValue(const Value &V, const Type *Ty);
+
+/// Figure 5's ty-up: bit representation to value. Uninit bits read as undef
+/// or poison depending on \p Config (Section 5.3).
+Value liftValue(const std::vector<MemBit> &Bits, const Type *Ty,
+                const SemanticsConfig &Config);
+
+/// Refinement on memory bits: poison refines to anything, undef to any
+/// defined bit, concrete only to itself. Uninit is treated like undef
+/// (legacy) — both sides of a validation run under one config, so the rule
+/// only needs to be consistent.
+bool memBitRefines(MemBit Tgt, MemBit Src);
+
+} // namespace sem
+} // namespace frost
+
+#endif // FROST_SEM_MEMORY_H

@@ -1,0 +1,92 @@
+//===- Oracle.cpp - Nondeterminism oracles -----------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/Oracle.h"
+
+using namespace frost;
+using namespace frost::sem;
+
+BitVec ChoiceOracle::chooseBits(unsigned Width) {
+  if (Width <= ExhaustiveWidthLimit)
+    return BitVec(Width, choose(uint64_t(1) << Width));
+
+  // Representative values for wide types; exhaustive enumeration is not
+  // claimed here (see the class comment).
+  static constexpr int NumReps = 6;
+  uint64_t Pick = choose(NumReps);
+  switch (Pick) {
+  case 0:
+    return BitVec(Width, 0);
+  case 1:
+    return BitVec(Width, 1);
+  case 2:
+    return BitVec::allOnes(Width);
+  case 3:
+    return BitVec::minSigned(Width);
+  case 4:
+    return BitVec::maxSigned(Width);
+  default:
+    return BitVec(Width, 0x5aa5f00du);
+  }
+}
+
+uint64_t DeterministicOracle::choose(uint64_t NumAlternatives) {
+  (void)NumAlternatives;
+  assert(NumAlternatives >= 1 && "no alternatives to choose from");
+  return 0;
+}
+
+uint64_t RandomOracle::choose(uint64_t NumAlternatives) {
+  assert(NumAlternatives >= 1 && "no alternatives to choose from");
+  // xorshift64*.
+  State ^= State >> 12;
+  State ^= State << 25;
+  State ^= State >> 27;
+  return (State * 0x2545F4914F6CDD1Dull) % NumAlternatives;
+}
+
+uint64_t EnumeratingOracle::choose(uint64_t NumAlternatives) {
+  assert(NumAlternatives >= 1 && "no alternatives to choose from");
+  if (Cursor == Path.size()) {
+    Path.push_back(0);
+    Limits.push_back(NumAlternatives);
+  } else {
+    // A re-executed prefix must present the same choice structure.
+    assert(Limits[Cursor] == NumAlternatives &&
+           "nondeterministic choice structure changed between replays");
+  }
+  return Path[Cursor++];
+}
+
+bool PathEnumerator::enumerate(
+    const std::function<bool(ChoiceOracle &)> &Body, uint64_t MaxPaths) {
+  EnumeratingOracle Oracle;
+  Paths = 0;
+  while (true) {
+    Oracle.Cursor = 0;
+    // Forget structure past the replayed prefix: the program may branch
+    // differently after an incremented choice.
+    ++Paths;
+    if (!Body(Oracle))
+      return true; // Early abort requested; not a budget failure.
+    if (Paths >= MaxPaths)
+      return false;
+
+    // Advance to the next path: increment the last choice, with carry.
+    // Choice points visited this run: Oracle.Cursor of them.
+    Oracle.Path.resize(Oracle.Cursor);
+    Oracle.Limits.resize(Oracle.Cursor);
+    while (!Oracle.Path.empty() &&
+           Oracle.Path.back() + 1 == Oracle.Limits.back()) {
+      Oracle.Path.pop_back();
+      Oracle.Limits.pop_back();
+    }
+    if (Oracle.Path.empty())
+      return true; // All paths explored.
+    ++Oracle.Path.back();
+  }
+}

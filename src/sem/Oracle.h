@@ -1,0 +1,98 @@
+//===- Oracle.h - Nondeterminism oracles ------------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter consumes non-deterministic choices (undef materialisation,
+/// freeze of poison, nondet branch on poison in legacy configurations) from a
+/// ChoiceOracle. The PathEnumerator drives repeated executions through an
+/// EnumeratingOracle to explore *every* choice path, which is what makes the
+/// translation validator exhaustive over small bit widths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SEM_ORACLE_H
+#define FROST_SEM_ORACLE_H
+
+#include "support/BitVec.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace frost {
+namespace sem {
+
+/// Source of nondeterministic choices for one execution.
+class ChoiceOracle {
+public:
+  virtual ~ChoiceOracle() = default;
+
+  /// Picks one of \p NumAlternatives (>= 1) alternatives.
+  virtual uint64_t choose(uint64_t NumAlternatives) = 0;
+
+  /// Picks an arbitrary value of the given width. For widths up to
+  /// ExhaustiveWidthLimit every value is reachable; for wider types a small
+  /// representative set is used (0, 1, all-ones, min-signed, max-signed),
+  /// since full enumeration of 2^64 alternatives is impossible. The
+  /// translation validator therefore only claims exhaustiveness for narrow
+  /// types, exactly like the paper's opt-fuzz experiments over i2.
+  BitVec chooseBits(unsigned Width);
+
+  /// Widths up to this limit are enumerated exhaustively by chooseBits.
+  static constexpr unsigned ExhaustiveWidthLimit = 6;
+};
+
+/// Always picks alternative 0 (and value 0). Gives one deterministic
+/// execution; used by example programs and the benchmark runner.
+class DeterministicOracle : public ChoiceOracle {
+public:
+  uint64_t choose(uint64_t NumAlternatives) override;
+};
+
+/// Pseudo-random choices from a seeded generator; used for sampled
+/// (non-exhaustive) validation of wide-typed programs.
+class RandomOracle : public ChoiceOracle {
+  uint64_t State;
+
+public:
+  explicit RandomOracle(uint64_t Seed) : State(Seed ? Seed : 1) {}
+  uint64_t choose(uint64_t NumAlternatives) override;
+};
+
+/// Replays a recorded choice path, defaulting to 0 past its end and
+/// recording the limit of every choice point. Driven by PathEnumerator.
+class EnumeratingOracle : public ChoiceOracle {
+public:
+  uint64_t choose(uint64_t NumAlternatives) override;
+
+private:
+  friend class PathEnumerator;
+  std::vector<uint64_t> Path;   // Choice taken at each choice point.
+  std::vector<uint64_t> Limits; // Number of alternatives at each point.
+  unsigned Cursor = 0;
+};
+
+/// Runs a callback once per distinct choice path, depth-first.
+class PathEnumerator {
+public:
+  /// \p Body executes one run against the oracle and returns true to keep
+  /// enumerating (false aborts early, e.g. once a counterexample is found).
+  /// Returns false if the path budget was exhausted before covering all
+  /// paths (results are then incomplete).
+  bool enumerate(const std::function<bool(ChoiceOracle &)> &Body,
+                 uint64_t MaxPaths = 1u << 20);
+
+  uint64_t pathsExplored() const { return Paths; }
+
+private:
+  uint64_t Paths = 0;
+};
+
+} // namespace sem
+} // namespace frost
+
+#endif // FROST_SEM_ORACLE_H

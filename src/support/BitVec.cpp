@@ -1,0 +1,141 @@
+//===- BitVec.cpp - Fixed-width two's-complement integers -----------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVec.h"
+
+using namespace frost;
+
+unsigned BitVec::countTrailingZeros() const {
+  if (Bits == 0)
+    return Width;
+  unsigned N = 0;
+  uint64_t V = Bits;
+  while ((V & 1) == 0) {
+    V >>= 1;
+    ++N;
+  }
+  return N;
+}
+
+unsigned BitVec::countLeadingZeros() const {
+  unsigned N = 0;
+  for (unsigned I = Width; I-- > 0;) {
+    if ((Bits >> I) & 1)
+      break;
+    ++N;
+  }
+  return N;
+}
+
+unsigned BitVec::popCount() const {
+  unsigned N = 0;
+  for (uint64_t V = Bits; V; V &= V - 1)
+    ++N;
+  return N;
+}
+
+BitVec BitVec::udiv(const BitVec &RHS) const {
+  assert(!RHS.isZero() && "udiv by zero is immediate UB, caller must check");
+  return bin(RHS, Bits / RHS.Bits);
+}
+
+BitVec BitVec::sdiv(const BitVec &RHS) const {
+  assert(!RHS.isZero() && "sdiv by zero is immediate UB, caller must check");
+  assert(!sdivOverflows(RHS) && "sdiv overflow is immediate UB");
+  return bin(RHS, static_cast<uint64_t>(sext() / RHS.sext()));
+}
+
+BitVec BitVec::urem(const BitVec &RHS) const {
+  assert(!RHS.isZero() && "urem by zero is immediate UB, caller must check");
+  return bin(RHS, Bits % RHS.Bits);
+}
+
+BitVec BitVec::srem(const BitVec &RHS) const {
+  assert(!RHS.isZero() && "srem by zero is immediate UB, caller must check");
+  assert(!sdivOverflows(RHS) && "srem overflow is immediate UB");
+  return bin(RHS, static_cast<uint64_t>(sext() % RHS.sext()));
+}
+
+BitVec BitVec::shl(const BitVec &RHS) const {
+  assert(!RHS.shiftTooBig() && "over-wide shift yields poison, caller checks");
+  return bin(RHS, Bits << RHS.Bits);
+}
+
+BitVec BitVec::lshr(const BitVec &RHS) const {
+  assert(!RHS.shiftTooBig() && "over-wide shift yields poison, caller checks");
+  return bin(RHS, Bits >> RHS.Bits);
+}
+
+BitVec BitVec::ashr(const BitVec &RHS) const {
+  assert(!RHS.shiftTooBig() && "over-wide shift yields poison, caller checks");
+  if (RHS.Bits == 0)
+    return *this;
+  int64_t S = sext() >> RHS.Bits;
+  return bin(RHS, static_cast<uint64_t>(S));
+}
+
+bool BitVec::uaddOverflows(const BitVec &RHS) const {
+  (void)same(RHS);
+  return add(RHS).Bits < Bits;
+}
+
+bool BitVec::saddOverflows(const BitVec &RHS) const {
+  (void)same(RHS);
+  int64_t R = sext() + RHS.sext();
+  return R != add(RHS).sext();
+}
+
+bool BitVec::usubOverflows(const BitVec &RHS) const {
+  (void)same(RHS);
+  return RHS.Bits > Bits;
+}
+
+bool BitVec::ssubOverflows(const BitVec &RHS) const {
+  (void)same(RHS);
+  int64_t R = sext() - RHS.sext();
+  return R != sub(RHS).sext();
+}
+
+bool BitVec::umulOverflows(const BitVec &RHS) const {
+  (void)same(RHS);
+  if (Width > 32) {
+    if (Bits == 0 || RHS.Bits == 0)
+      return false;
+    return mul(RHS).Bits / Bits != RHS.Bits;
+  }
+  uint64_t R = Bits * RHS.Bits;
+  return R != mul(RHS).Bits;
+}
+
+bool BitVec::smulOverflows(const BitVec &RHS) const {
+  (void)same(RHS);
+  if (Width > 32) {
+    // Use __int128 to detect 64-bit signed overflow exactly.
+    __int128 R = static_cast<__int128>(sext()) * RHS.sext();
+    return R != static_cast<__int128>(mul(RHS).sext());
+  }
+  int64_t R = sext() * RHS.sext();
+  return R != mul(RHS).sext();
+}
+
+bool BitVec::shlSignedOverflows(const BitVec &ShAmt) const {
+  if (ShAmt.shiftTooBig())
+    return true;
+  BitVec Shifted = shl(ShAmt);
+  return Shifted.ashr(ShAmt) != *this;
+}
+
+bool BitVec::shlUnsignedOverflows(const BitVec &ShAmt) const {
+  if (ShAmt.shiftTooBig())
+    return true;
+  BitVec Shifted = shl(ShAmt);
+  return Shifted.lshr(ShAmt) != *this;
+}
+
+std::string BitVec::toString() const { return std::to_string(Bits); }
+
+std::string BitVec::toSignedString() const { return std::to_string(sext()); }

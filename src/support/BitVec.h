@@ -1,0 +1,166 @@
+//===- BitVec.h - Fixed-width two's-complement integers ---------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines BitVec, an arbitrary-bit-width (1..64) two's-complement integer in
+/// the spirit of llvm::APInt. All arithmetic wraps modulo 2^width; the
+/// overflow predicates report when wrapping occurred, which is what the nsw /
+/// nuw poison rules of the paper's Figure 5 are defined in terms of.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SUPPORT_BITVEC_H
+#define FROST_SUPPORT_BITVEC_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace frost {
+
+/// A fixed-width integer value of 1 to 64 bits with wrapping arithmetic.
+class BitVec {
+  uint32_t Width = 1;
+  uint64_t Bits = 0; // Invariant: masked to the low Width bits.
+
+  uint64_t mask() const {
+    return Width == 64 ? ~uint64_t(0) : ((uint64_t(1) << Width) - 1);
+  }
+
+public:
+  BitVec() = default;
+  BitVec(unsigned Width, uint64_t Value) : Width(Width), Bits(Value & mask()) {
+    assert(Width >= 1 && Width <= 64 && "unsupported bit width");
+  }
+
+  static BitVec allOnes(unsigned Width) { return BitVec(Width, ~uint64_t(0)); }
+  static BitVec minSigned(unsigned Width) {
+    return BitVec(Width, uint64_t(1) << (Width - 1));
+  }
+  static BitVec maxSigned(unsigned Width) {
+    return BitVec(Width, (uint64_t(1) << (Width - 1)) - 1);
+  }
+
+  unsigned width() const { return Width; }
+
+  /// The value zero-extended to 64 bits.
+  uint64_t zext() const { return Bits; }
+
+  /// The value sign-extended to 64 bits.
+  int64_t sext() const {
+    if (Width == 64)
+      return static_cast<int64_t>(Bits);
+    uint64_t SignBit = uint64_t(1) << (Width - 1);
+    return static_cast<int64_t>((Bits ^ SignBit)) -
+           static_cast<int64_t>(SignBit);
+  }
+
+  bool isZero() const { return Bits == 0; }
+  bool isOne() const { return Bits == 1; }
+  bool isAllOnes() const { return Bits == mask(); }
+  bool isNegative() const { return (Bits >> (Width - 1)) & 1; }
+  bool isMinSigned() const { return Bits == (uint64_t(1) << (Width - 1)); }
+  bool isPowerOf2() const { return Bits != 0 && (Bits & (Bits - 1)) == 0; }
+
+  bool getBit(unsigned I) const {
+    assert(I < Width && "bit index out of range");
+    return (Bits >> I) & 1;
+  }
+  void setBit(unsigned I, bool V) {
+    assert(I < Width && "bit index out of range");
+    if (V)
+      Bits |= uint64_t(1) << I;
+    else
+      Bits &= ~(uint64_t(1) << I);
+  }
+
+  unsigned countTrailingZeros() const;
+  unsigned countLeadingZeros() const;
+  unsigned popCount() const;
+
+  // Wrapping arithmetic.
+  BitVec add(const BitVec &RHS) const { return bin(RHS, Bits + RHS.Bits); }
+  BitVec sub(const BitVec &RHS) const { return bin(RHS, Bits - RHS.Bits); }
+  BitVec mul(const BitVec &RHS) const { return bin(RHS, Bits * RHS.Bits); }
+  BitVec udiv(const BitVec &RHS) const; // Asserts RHS != 0.
+  BitVec sdiv(const BitVec &RHS) const; // Asserts RHS != 0, no overflow.
+  BitVec urem(const BitVec &RHS) const;
+  BitVec srem(const BitVec &RHS) const;
+  BitVec shl(const BitVec &RHS) const;  // Asserts in-range shift amount.
+  BitVec lshr(const BitVec &RHS) const; // Asserts in-range shift amount.
+  BitVec ashr(const BitVec &RHS) const; // Asserts in-range shift amount.
+  BitVec and_(const BitVec &RHS) const { return bin(RHS, Bits & RHS.Bits); }
+  BitVec or_(const BitVec &RHS) const { return bin(RHS, Bits | RHS.Bits); }
+  BitVec xor_(const BitVec &RHS) const { return bin(RHS, Bits ^ RHS.Bits); }
+  BitVec not_() const { return BitVec(Width, ~Bits); }
+  BitVec neg() const { return BitVec(Width, 0).sub(*this); }
+
+  // Overflow / exactness predicates for the nsw/nuw/exact poison rules.
+  bool uaddOverflows(const BitVec &RHS) const;
+  bool saddOverflows(const BitVec &RHS) const;
+  bool usubOverflows(const BitVec &RHS) const;
+  bool ssubOverflows(const BitVec &RHS) const;
+  bool umulOverflows(const BitVec &RHS) const;
+  bool smulOverflows(const BitVec &RHS) const;
+  /// True iff sdiv would overflow (INT_MIN / -1).
+  bool sdivOverflows(const BitVec &RHS) const {
+    return isMinSigned() && RHS.isAllOnes();
+  }
+  /// True iff a shift amount is >= the bit width (deferred UB in the IR).
+  bool shiftTooBig() const { return Bits >= Width; }
+  /// True iff shl discards bits that differ from the resulting sign bit.
+  bool shlSignedOverflows(const BitVec &ShAmt) const;
+  /// True iff shl discards non-zero bits.
+  bool shlUnsignedOverflows(const BitVec &ShAmt) const;
+
+  // Comparisons.
+  bool eq(const BitVec &RHS) const { return same(RHS) && Bits == RHS.Bits; }
+  bool ult(const BitVec &RHS) const { return same(RHS) && Bits < RHS.Bits; }
+  bool ule(const BitVec &RHS) const { return same(RHS) && Bits <= RHS.Bits; }
+  bool slt(const BitVec &RHS) const { return same(RHS) && sext() < RHS.sext(); }
+  bool sle(const BitVec &RHS) const {
+    return same(RHS) && sext() <= RHS.sext();
+  }
+
+  bool operator==(const BitVec &RHS) const {
+    return Width == RHS.Width && Bits == RHS.Bits;
+  }
+  bool operator!=(const BitVec &RHS) const { return !(*this == RHS); }
+
+  // Width changes.
+  BitVec truncTo(unsigned NewWidth) const {
+    assert(NewWidth <= Width && "trunc must narrow");
+    return BitVec(NewWidth, Bits);
+  }
+  BitVec zextTo(unsigned NewWidth) const {
+    assert(NewWidth >= Width && "zext must widen");
+    return BitVec(NewWidth, Bits);
+  }
+  BitVec sextTo(unsigned NewWidth) const {
+    assert(NewWidth >= Width && "sext must widen");
+    return BitVec(NewWidth, static_cast<uint64_t>(sext()));
+  }
+
+  /// Renders the value as an unsigned decimal string.
+  std::string toString() const;
+  /// Renders the value as a signed decimal string.
+  std::string toSignedString() const;
+
+private:
+  bool same(const BitVec &RHS) const {
+    assert(Width == RHS.Width && "width mismatch");
+    return true;
+  }
+  BitVec bin(const BitVec &RHS, uint64_t Raw) const {
+    (void)same(RHS);
+    return BitVec(Width, Raw);
+  }
+};
+
+} // namespace frost
+
+#endif // FROST_SUPPORT_BITVEC_H

@@ -1,0 +1,66 @@
+//===- Casting.h - isa/cast/dyn_cast templates ------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal re-implementation of LLVM's hand-rolled RTTI: isa<>, cast<> and
+/// dyn_cast<>, dispatching on a static classof(From*) predicate declared by
+/// each class in the hierarchy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SUPPORT_CASTING_H
+#define FROST_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace frost {
+
+/// True iff \p V points to an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa<> used on a null pointer");
+  return To::classof(V);
+}
+
+/// Checked downcast: asserts that \p V really is a \p To.
+template <typename To, typename From> To *cast(From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<To *>(V);
+}
+
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(V);
+}
+
+/// Reference forms of cast<>.
+template <typename To, typename From> To &cast(From &V) {
+  assert(isa<To>(&V) && "cast<> argument of incompatible type");
+  return static_cast<To &>(V);
+}
+
+template <typename To, typename From> const To &cast(const From &V) {
+  assert(isa<To>(&V) && "cast<> argument of incompatible type");
+  return static_cast<const To &>(V);
+}
+
+/// Checking downcast: returns null when \p V is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *V) {
+  return isa<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+/// Like dyn_cast, but tolerates a null argument.
+template <typename To, typename From> To *dyn_cast_or_null(From *V) {
+  return V ? dyn_cast<To>(V) : nullptr;
+}
+
+} // namespace frost
+
+#endif // FROST_SUPPORT_CASTING_H

@@ -1,0 +1,17 @@
+//===- ErrorHandling.cpp - Fatal error utilities --------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void frost::reportUnreachable(const char *Msg, const char *File,
+                              unsigned Line) {
+  std::fprintf(stderr, "frost fatal error at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

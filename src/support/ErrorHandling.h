@@ -1,0 +1,28 @@
+//===- ErrorHandling.h - Fatal error utilities ------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Provides frost_unreachable, the project's analogue of llvm_unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SUPPORT_ERRORHANDLING_H
+#define FROST_SUPPORT_ERRORHANDLING_H
+
+namespace frost {
+
+/// Reports a fatal internal error and aborts. Used to document control flow
+/// that must be impossible if the program's invariants hold.
+[[noreturn]] void reportUnreachable(const char *Msg, const char *File,
+                                    unsigned Line);
+
+} // namespace frost
+
+#define frost_unreachable(msg)                                                \
+  ::frost::reportUnreachable(msg, __FILE__, __LINE__)
+
+#endif // FROST_SUPPORT_ERRORHANDLING_H

@@ -1,0 +1,30 @@
+//===- MemStats.cpp - Compiler memory accounting --------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MemStats.h"
+
+#include <atomic>
+
+namespace {
+std::atomic<std::size_t> Live{0};
+std::atomic<std::size_t> Peak{0};
+} // namespace
+
+void frost::memstats::recordAlloc(std::size_t Bytes) {
+  std::size_t Now = Live.fetch_add(Bytes) + Bytes;
+  std::size_t Prev = Peak.load();
+  while (Now > Prev && !Peak.compare_exchange_weak(Prev, Now)) {
+  }
+}
+
+void frost::memstats::recordFree(std::size_t Bytes) { Live.fetch_sub(Bytes); }
+
+std::size_t frost::memstats::liveBytes() { return Live.load(); }
+
+std::size_t frost::memstats::peakBytes() { return Peak.load(); }
+
+void frost::memstats::resetPeak() { Peak.store(Live.load()); }

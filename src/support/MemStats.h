@@ -1,0 +1,41 @@
+//===- MemStats.h - Compiler memory accounting ------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight accounting of IR object allocations, used by the Section 7.2
+/// "peak memory consumption" benchmark. IR constructors report their sizes
+/// here; benchmarks sample the high-water mark around a compilation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SUPPORT_MEMSTATS_H
+#define FROST_SUPPORT_MEMSTATS_H
+
+#include <cstddef>
+
+namespace frost {
+namespace memstats {
+
+/// Records an allocation of \p Bytes attributed to compiler data structures.
+void recordAlloc(std::size_t Bytes);
+
+/// Records that \p Bytes previously recorded were released.
+void recordFree(std::size_t Bytes);
+
+/// Currently live recorded bytes.
+std::size_t liveBytes();
+
+/// Highest value liveBytes() has reached since the last resetPeak().
+std::size_t peakBytes();
+
+/// Resets the high-water mark to the current live figure.
+void resetPeak();
+
+} // namespace memstats
+} // namespace frost
+
+#endif // FROST_SUPPORT_MEMSTATS_H

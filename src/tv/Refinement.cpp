@@ -1,0 +1,271 @@
+//===- Refinement.cpp - Exhaustive translation validation --------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tv/Refinement.h"
+
+#include "ir/Function.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+
+using namespace frost;
+using namespace frost::tv;
+using namespace frost::sem;
+
+namespace {
+
+/// All argument values to try for a scalar of \p Width bits.
+std::vector<Lane> laneDomain(unsigned Width, const SemanticsConfig &Config,
+                             const TVOptions &Opts) {
+  std::vector<Lane> Dom;
+  if (Width <= ChoiceOracle::ExhaustiveWidthLimit) {
+    for (uint64_t V = 0; V != (uint64_t(1) << Width); ++V)
+      Dom.push_back(Lane::concrete(BitVec(Width, V)));
+  } else {
+    for (uint64_t V : {uint64_t(0), uint64_t(1), uint64_t(2)})
+      Dom.push_back(Lane::concrete(BitVec(Width, V)));
+    Dom.push_back(Lane::concrete(BitVec::allOnes(Width)));
+    Dom.push_back(Lane::concrete(BitVec::minSigned(Width)));
+    Dom.push_back(Lane::concrete(BitVec::maxSigned(Width)));
+  }
+  if (Opts.IncludePoisonInputs)
+    Dom.push_back(Lane::poison());
+  if (Opts.IncludeUndefInputs && !Config.UndefIsPoison)
+    Dom.push_back(Lane::undef());
+  return Dom;
+}
+
+/// Cartesian product of per-argument domains, capped at Opts.MaxInputs.
+bool enumerateArgTuples(Function &F, const SemanticsConfig &Config,
+                        const TVOptions &Opts,
+                        std::vector<std::vector<sem::Value>> &Out) {
+  std::vector<std::vector<sem::Value>> Domains;
+  for (unsigned A = 0; A != F.getNumArgs(); ++A) {
+    Type *Ty = F.arg(A)->getType();
+    std::vector<sem::Value> D;
+    if (Ty->isInteger()) {
+      for (const Lane &L : laneDomain(Ty->bitWidth(), Config, Opts))
+        D.push_back(sem::Value(L));
+    } else if (const auto *VT = dyn_cast<VectorType>(Ty)) {
+      // Per-lane product for short vectors; cap lane combinations.
+      std::vector<Lane> LD =
+          laneDomain(VT->element()->bitWidth(), Config, Opts);
+      std::vector<std::vector<Lane>> Tuples{{}};
+      for (unsigned I = 0; I != VT->count(); ++I) {
+        std::vector<std::vector<Lane>> NextTuples;
+        for (auto &T : Tuples)
+          for (const Lane &L : LD) {
+            auto NT = T;
+            NT.push_back(L);
+            NextTuples.push_back(std::move(NT));
+            if (NextTuples.size() > Opts.MaxInputs)
+              break;
+          }
+        Tuples = std::move(NextTuples);
+      }
+      for (auto &T : Tuples)
+        D.push_back(sem::Value(T));
+    } else {
+      return false; // Pointer / unsupported parameter.
+    }
+    Domains.push_back(std::move(D));
+  }
+
+  Out.push_back({});
+  for (auto &D : Domains) {
+    std::vector<std::vector<sem::Value>> Next;
+    for (auto &Tuple : Out)
+      for (auto &V : D) {
+        auto NT = Tuple;
+        NT.push_back(V);
+        Next.push_back(std::move(NT));
+        if (Next.size() > Opts.MaxInputs)
+          break;
+      }
+    Out = std::move(Next);
+  }
+  return true;
+}
+
+std::string encodeMem(const std::vector<MemBit> &Mem) {
+  std::string S;
+  S.reserve(Mem.size());
+  for (MemBit B : Mem) {
+    switch (B) {
+    case MemBit::Zero:
+      S += '0';
+      break;
+    case MemBit::One:
+      S += '1';
+      break;
+    case MemBit::Poison:
+      S += 'p';
+      break;
+    case MemBit::Undef:
+      S += 'u';
+      break;
+    case MemBit::Uninit:
+      S += '.';
+      break;
+    }
+  }
+  return S;
+}
+
+std::string encodeBehavior(const ExecResult &R, bool WithMem) {
+  std::string S = R.str();
+  if (WithMem && R.ok())
+    S += " mem=" + encodeMem(R.FinalMem);
+  return S;
+}
+
+/// All behaviours of one function on one input, deduplicated. Returns false
+/// if a Fuel/Error result or path-budget exhaustion makes the set
+/// unreliable.
+bool collectBehaviors(Function &F, const std::vector<sem::Value> &Args,
+                      const SemanticsConfig &Config, const TVOptions &Opts,
+                      std::vector<ExecResult> &Out, uint64_t &Paths,
+                      std::string &Why) {
+  Out.clear();
+  bool Reliable = true;
+  PathEnumerator E;
+  bool Complete = E.enumerate(
+      [&](ChoiceOracle &Oracle) {
+        InterpOptions IOpts;
+        IOpts.Fuel = Opts.Fuel;
+        Interpreter I(Config, Oracle, IOpts);
+        ExecResult R = I.run(F, Args);
+        if (R.St == ExecResult::Status::Fuel ||
+            R.St == ExecResult::Status::Error) {
+          Reliable = false;
+          Why = "execution did not finish: " + R.str();
+          return false;
+        }
+        Out.push_back(std::move(R));
+        return true;
+      },
+      Opts.MaxPathsPerRun);
+  Paths += E.pathsExplored();
+  if (!Complete) {
+    Why = "path budget exhausted";
+    return false;
+  }
+  return Reliable;
+}
+
+bool behaviorRefines(const ExecResult &Tgt, const ExecResult &Src,
+                     bool WithMem) {
+  if (Src.ub())
+    return true;
+  if (Tgt.ub())
+    return false;
+  // Returned value.
+  if (Src.Ret.has_value() != Tgt.Ret.has_value())
+    return false;
+  if (Src.Ret && !Tgt.Ret->refines(*Src.Ret))
+    return false;
+  // Observation trace: pointwise refinement, same length.
+  if (Src.Trace.size() != Tgt.Trace.size())
+    return false;
+  for (unsigned I = 0; I != Src.Trace.size(); ++I)
+    if (!Tgt.Trace[I].refines(Src.Trace[I]))
+      return false;
+  // Final memory, bitwise.
+  if (WithMem) {
+    if (Src.FinalMem.size() != Tgt.FinalMem.size())
+      return false;
+    for (unsigned I = 0; I != Src.FinalMem.size(); ++I)
+      if (!memBitRefines(Tgt.FinalMem[I], Src.FinalMem[I]))
+        return false;
+  }
+  return true;
+}
+
+std::string describeInput(const std::vector<sem::Value> &Args) {
+  std::string S = "(";
+  for (unsigned I = 0; I != Args.size(); ++I)
+    S += (I ? ", " : "") + Args[I].str();
+  return S + ")";
+}
+
+} // namespace
+
+TVResult tv::checkRefinement(Function &Src, Function &Tgt,
+                             const SemanticsConfig &Config,
+                             const TVOptions &Opts) {
+  TVResult Result;
+  if (Src.fnType() != Tgt.fnType()) {
+    Result.Message = "signature mismatch";
+    return Result;
+  }
+
+  std::vector<std::vector<sem::Value>> Inputs;
+  if (!enumerateArgTuples(Src, Config, Opts, Inputs)) {
+    Result.Message = "unsupported parameter type";
+    return Result;
+  }
+  if (Inputs.size() > Opts.MaxInputs)
+    Inputs.resize(Opts.MaxInputs);
+
+  for (const auto &Args : Inputs) {
+    std::vector<ExecResult> SrcB, TgtB;
+    std::string Why;
+    if (!collectBehaviors(Src, Args, Config, Opts, SrcB, Result.PathsExplored,
+                          Why) ||
+        !collectBehaviors(Tgt, Args, Config, Opts, TgtB, Result.PathsExplored,
+                          Why)) {
+      Result.St = TVResult::Status::Inconclusive;
+      Result.Message = "input " + describeInput(Args) + ": " + Why;
+      return Result;
+    }
+
+    // Source UB on this input permits any target behaviour.
+    bool SrcHasUB = std::any_of(SrcB.begin(), SrcB.end(),
+                                [](const ExecResult &R) { return R.ub(); });
+    for (const ExecResult &T : TgtB) {
+      if (SrcHasUB)
+        break;
+      bool Refined = std::any_of(SrcB.begin(), SrcB.end(),
+                                 [&](const ExecResult &S) {
+                                   return behaviorRefines(T, S,
+                                                          Opts.CompareMemory);
+                                 });
+      if (!Refined) {
+        Result.St = TVResult::Status::Invalid;
+        Result.Message = "input " + describeInput(Args) +
+                         ": target behaviour " +
+                         encodeBehavior(T, Opts.CompareMemory) +
+                         " refines no source behaviour; source has " +
+                         std::to_string(SrcB.size()) +
+                         " behaviour(s), e.g. " +
+                         encodeBehavior(SrcB.front(), Opts.CompareMemory);
+        return Result;
+      }
+    }
+    ++Result.InputsChecked;
+  }
+
+  Result.St = TVResult::Status::Valid;
+  return Result;
+}
+
+std::vector<std::string>
+tv::enumerateBehaviors(Function &F, const std::vector<sem::Value> &Args,
+                       const SemanticsConfig &Config, const TVOptions &Opts) {
+  std::vector<ExecResult> B;
+  uint64_t Paths = 0;
+  std::string Why;
+  collectBehaviors(F, Args, Config, Opts, B, Paths, Why);
+  std::vector<std::string> Out;
+  for (const ExecResult &R : B) {
+    std::string S = encodeBehavior(R, Opts.CompareMemory);
+    if (std::find(Out.begin(), Out.end(), S) == Out.end())
+      Out.push_back(S);
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}

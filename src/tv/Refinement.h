@@ -1,0 +1,81 @@
+//===- Refinement.h - Exhaustive translation validation ---------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The project's stand-in for Alive (Section 6, "Testing the prototype"):
+/// checks that a transformed function refines the original by exhaustively
+/// enumerating inputs (including poison, and undef under legacy configs) and
+/// all nondeterministic execution paths of both functions over small bit
+/// widths.
+///
+/// The refinement criterion matches Alive's: for every input, every
+/// behaviour of the target must refine some behaviour of the source, where
+/// source UB permits anything, poison may be refined to any value, and undef
+/// to any concrete value. Observations (observe* calls), the returned value,
+/// and final memory are all part of a behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_TV_REFINEMENT_H
+#define FROST_TV_REFINEMENT_H
+
+#include "sem/Interp.h"
+
+#include <cstdint>
+#include <string>
+
+namespace frost {
+
+class Function;
+
+namespace tv {
+
+/// Knobs for the exhaustive checker.
+struct TVOptions {
+  uint64_t MaxPathsPerRun = 1u << 14;  ///< Oracle paths per (fn, input).
+  uint64_t MaxInputs = 1u << 14;       ///< Input tuples to try.
+  uint64_t Fuel = 20000;               ///< Interpreter steps per execution.
+  bool IncludePoisonInputs = true;     ///< Feed poison as argument values.
+  bool IncludeUndefInputs = true;      ///< Feed undef (legacy configs only).
+  bool CompareMemory = true;           ///< Include final memory in behaviour.
+};
+
+/// Outcome of a validation.
+struct TVResult {
+  enum class Status {
+    Valid,        ///< Refinement holds on every checked input.
+    Invalid,      ///< A counterexample was found.
+    Inconclusive, ///< Budget exhausted or unsupported construct.
+  };
+
+  Status St = Status::Inconclusive;
+  std::string Message;      ///< Counterexample / reason, human-readable.
+  uint64_t InputsChecked = 0;
+  uint64_t PathsExplored = 0;
+
+  bool valid() const { return St == Status::Valid; }
+  bool invalid() const { return St == Status::Invalid; }
+};
+
+/// Checks that \p Tgt refines \p Src under \p Config. The functions must
+/// have identical signatures over integer (or integer-vector) parameters;
+/// pointer parameters are unsupported (use globals instead).
+TVResult checkRefinement(Function &Src, Function &Tgt,
+                         const sem::SemanticsConfig &Config,
+                         const TVOptions &Opts = TVOptions());
+
+/// Enumerates every behaviour of \p F on \p Args (all oracle paths), encoded
+/// as deduplicated strings for test assertions.
+std::vector<std::string> enumerateBehaviors(Function &F,
+                                            const std::vector<sem::Value> &Args,
+                                            const sem::SemanticsConfig &Config,
+                                            const TVOptions &Opts = TVOptions());
+
+} // namespace tv
+} // namespace frost
+
+#endif // FROST_TV_REFINEMENT_H

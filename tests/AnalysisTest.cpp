@@ -1,0 +1,210 @@
+//===- AnalysisTest.cpp - Dominators and loop info tests ----------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace frost;
+
+namespace {
+
+struct AnalysisTest : ::testing::Test {
+  IRContext Ctx;
+  Module M{Ctx, "test"};
+
+  /// entry -> (a | b) -> join -> exit diamond.
+  Function *makeDiamond() {
+    auto *I32 = Ctx.intTy(32);
+    Function *F = M.createFunction("diamond", Ctx.types().fnTy(I32, {I32}));
+    BasicBlock *Entry = F->addBlock("entry");
+    BasicBlock *A = F->addBlock("a");
+    BasicBlock *B2 = F->addBlock("b");
+    BasicBlock *Join = F->addBlock("join");
+    IRBuilder B(Ctx, Entry);
+    Value *C = B.icmp(ICmpPred::EQ, F->arg(0), Ctx.getInt(32, 0));
+    B.condBr(C, A, B2);
+    B.setInsertPoint(A);
+    B.br(Join);
+    B.setInsertPoint(B2);
+    B.br(Join);
+    B.setInsertPoint(Join);
+    B.ret(F->arg(0));
+    return F;
+  }
+
+  /// entry -> head <-> body, head -> exit counted loop.
+  Function *makeLoop() {
+    auto *I32 = Ctx.intTy(32);
+    Function *F = M.createFunction("loop", Ctx.types().fnTy(I32, {I32}));
+    BasicBlock *Entry = F->addBlock("entry");
+    BasicBlock *Head = F->addBlock("head");
+    BasicBlock *Body = F->addBlock("body");
+    BasicBlock *Exit = F->addBlock("exit");
+    IRBuilder B(Ctx, Entry);
+    B.br(Head);
+    B.setInsertPoint(Head);
+    PhiNode *I = B.phi(I32, "i");
+    Value *C = B.icmp(ICmpPred::SLT, I, F->arg(0), "c");
+    B.condBr(C, Body, Exit);
+    B.setInsertPoint(Body);
+    Value *I1 = B.addNSW(I, Ctx.getInt(32, 1), "i1");
+    B.br(Head);
+    I->addIncoming(Ctx.getInt(32, 0), Entry);
+    I->addIncoming(I1, Body);
+    B.setInsertPoint(Exit);
+    B.ret(I);
+    return F;
+  }
+
+  BasicBlock *block(Function *F, const std::string &Name) {
+    for (BasicBlock *BB : *F)
+      if (BB->getName() == Name)
+        return BB;
+    return nullptr;
+  }
+};
+
+TEST_F(AnalysisTest, DiamondDominators) {
+  Function *F = makeDiamond();
+  ASSERT_TRUE(verifyFunction(*F));
+  DominatorTree DT(*F);
+
+  BasicBlock *Entry = block(F, "entry"), *A = block(F, "a"),
+             *B2 = block(F, "b"), *Join = block(F, "join");
+  EXPECT_EQ(DT.idom(Entry), nullptr);
+  EXPECT_EQ(DT.idom(A), Entry);
+  EXPECT_EQ(DT.idom(B2), Entry);
+  EXPECT_EQ(DT.idom(Join), Entry);
+  EXPECT_TRUE(DT.dominates(Entry, Join));
+  EXPECT_FALSE(DT.dominates(A, Join));
+  EXPECT_TRUE(DT.dominates(A, A));
+  EXPECT_EQ(DT.rpo().front(), Entry);
+  EXPECT_EQ(DT.rpo().size(), 4u);
+}
+
+TEST_F(AnalysisTest, InstructionDominance) {
+  Function *F = makeLoop();
+  ASSERT_TRUE(verifyFunction(*F));
+  DominatorTree DT(*F);
+  BasicBlock *Head = block(F, "head"), *Body = block(F, "body");
+
+  Instruction *Phi = Head->front();
+  Instruction *Cmp = Phi->nextInst();
+  Instruction *Inc = Body->front();
+  // The phi dominates the cmp in the same block, and the body increment.
+  EXPECT_TRUE(DT.dominates(Phi, Cmp, 0));
+  EXPECT_TRUE(DT.dominates(Phi, Inc, 0));
+  EXPECT_FALSE(DT.dominates(Cmp, Phi, 0));
+  // The increment is used by the phi along the back edge: the use point is
+  // the end of the body block, which the increment dominates.
+  EXPECT_TRUE(DT.dominates(Inc, Phi, 2));
+}
+
+TEST_F(AnalysisTest, UnreachableBlocks) {
+  Function *F = makeDiamond();
+  BasicBlock *Dead = F->addBlock("dead");
+  IRBuilder B(Ctx, Dead);
+  B.br(block(F, "join"));
+  // "dead" jumps into the diamond but nothing reaches it.
+  DominatorTree DT(*F);
+  EXPECT_FALSE(DT.isReachable(Dead));
+  EXPECT_TRUE(DT.isReachable(block(F, "join")));
+  // Everything "dominates" an unreachable block by convention.
+  EXPECT_TRUE(DT.dominates(block(F, "join"), Dead));
+  EXPECT_FALSE(DT.dominates(Dead, block(F, "join")));
+}
+
+TEST_F(AnalysisTest, SimpleLoopDetection) {
+  Function *F = makeLoop();
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+
+  BasicBlock *Head = block(F, "head"), *Body = block(F, "body"),
+             *Entry = block(F, "entry"), *Exit = block(F, "exit");
+  ASSERT_EQ(LI.topLevel().size(), 1u);
+  Loop *L = LI.topLevel().front();
+  EXPECT_EQ(L->header(), Head);
+  EXPECT_TRUE(L->contains(Body));
+  EXPECT_FALSE(L->contains(Entry));
+  EXPECT_EQ(L->preheader(), Entry);
+  EXPECT_EQ(L->latches(), std::vector<BasicBlock *>{Body});
+  EXPECT_EQ(L->exitBlocks(), std::vector<BasicBlock *>{Exit});
+  EXPECT_EQ(LI.loopFor(Body), L);
+  EXPECT_EQ(LI.loopFor(Entry), nullptr);
+  EXPECT_EQ(L->depth(), 1u);
+}
+
+TEST_F(AnalysisTest, LoopInvariance) {
+  Function *F = makeLoop();
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  Loop *L = LI.topLevel().front();
+
+  BasicBlock *Head = block(F, "head");
+  Instruction *Phi = Head->front();
+  EXPECT_TRUE(L->isLoopInvariant(F->arg(0)));
+  EXPECT_TRUE(L->isLoopInvariant(Ctx.getInt(32, 1)));
+  EXPECT_FALSE(L->isLoopInvariant(Phi));
+}
+
+TEST_F(AnalysisTest, NestedLoops) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("nest", Ctx.types().fnTy(I32, {I32}));
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *OuterH = F->addBlock("outer");
+  BasicBlock *InnerH = F->addBlock("inner");
+  BasicBlock *InnerL = F->addBlock("inner.latch");
+  BasicBlock *OuterL = F->addBlock("outer.latch");
+  BasicBlock *Exit = F->addBlock("exit");
+
+  IRBuilder B(Ctx, Entry);
+  B.br(OuterH);
+  B.setInsertPoint(OuterH);
+  PhiNode *I = B.phi(I32, "i");
+  Value *CO = B.icmp(ICmpPred::SLT, I, F->arg(0), "co");
+  B.condBr(CO, InnerH, Exit);
+  B.setInsertPoint(InnerH);
+  PhiNode *J = B.phi(I32, "j");
+  Value *CI = B.icmp(ICmpPred::SLT, J, F->arg(0), "ci");
+  B.condBr(CI, InnerL, OuterL);
+  B.setInsertPoint(InnerL);
+  Value *J1 = B.addNSW(J, Ctx.getInt(32, 1), "j1");
+  B.br(InnerH);
+  B.setInsertPoint(OuterL);
+  Value *I1 = B.addNSW(I, Ctx.getInt(32, 1), "i1");
+  B.br(OuterH);
+  B.setInsertPoint(Exit);
+  B.ret(I);
+  I->addIncoming(Ctx.getInt(32, 0), Entry);
+  I->addIncoming(I1, OuterL);
+  J->addIncoming(Ctx.getInt(32, 0), OuterH);
+  J->addIncoming(J1, InnerL);
+  ASSERT_TRUE(verifyFunction(*F));
+
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.topLevel().size(), 1u);
+  Loop *Outer = LI.topLevel().front();
+  ASSERT_EQ(Outer->subLoops().size(), 1u);
+  Loop *Inner = Outer->subLoops().front();
+  EXPECT_EQ(Inner->header(), InnerH);
+  EXPECT_EQ(Inner->parent(), Outer);
+  EXPECT_EQ(Inner->depth(), 2u);
+  EXPECT_EQ(LI.loopFor(InnerL), Inner);
+  EXPECT_EQ(LI.loopFor(OuterL), Outer);
+
+  std::vector<Loop *> Ordered = LI.loopsInnermostFirst();
+  ASSERT_EQ(Ordered.size(), 2u);
+  EXPECT_EQ(Ordered.front(), Inner);
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+//===- BitVecTest.cpp - Unit tests for BitVec --------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVec.h"
+
+#include <gtest/gtest.h>
+
+using namespace frost;
+
+namespace {
+
+TEST(BitVecTest, ConstructionMasksToWidth) {
+  EXPECT_EQ(BitVec(4, 0x1F).zext(), 0xFu);
+  EXPECT_EQ(BitVec(8, 0x100).zext(), 0u);
+  EXPECT_EQ(BitVec(64, ~uint64_t(0)).zext(), ~uint64_t(0));
+}
+
+TEST(BitVecTest, SignExtension) {
+  EXPECT_EQ(BitVec(4, 0x8).sext(), -8);
+  EXPECT_EQ(BitVec(4, 0x7).sext(), 7);
+  EXPECT_EQ(BitVec(1, 1).sext(), -1);
+  EXPECT_EQ(BitVec(32, 0xFFFFFFFFu).sext(), -1);
+}
+
+TEST(BitVecTest, MinMaxSigned) {
+  EXPECT_EQ(BitVec::minSigned(8).sext(), -128);
+  EXPECT_EQ(BitVec::maxSigned(8).sext(), 127);
+  EXPECT_TRUE(BitVec::minSigned(8).isMinSigned());
+  EXPECT_TRUE(BitVec::allOnes(3).isAllOnes());
+}
+
+TEST(BitVecTest, WrappingArithmetic) {
+  BitVec A(8, 200), B(8, 100);
+  EXPECT_EQ(A.add(B).zext(), 44u); // 300 mod 256.
+  EXPECT_EQ(B.sub(A).zext(), 156u);
+  EXPECT_EQ(A.mul(B).zext(), (200u * 100u) & 0xFF);
+  EXPECT_EQ(A.neg().zext(), 56u);
+}
+
+TEST(BitVecTest, DivisionAndRemainder) {
+  EXPECT_EQ(BitVec(8, 200).udiv(BitVec(8, 3)).zext(), 66u);
+  EXPECT_EQ(BitVec(8, 200).urem(BitVec(8, 3)).zext(), 2u);
+  // -100 / 3 = -33 in C semantics (truncation toward zero).
+  EXPECT_EQ(BitVec(8, 156).sdiv(BitVec(8, 3)).sext(), -33);
+  EXPECT_EQ(BitVec(8, 156).srem(BitVec(8, 3)).sext(), -1);
+}
+
+TEST(BitVecTest, Shifts) {
+  EXPECT_EQ(BitVec(8, 0b1011).shl(BitVec(8, 2)).zext(), 0b101100u);
+  EXPECT_EQ(BitVec(8, 0b10110000).lshr(BitVec(8, 4)).zext(), 0b1011u);
+  EXPECT_EQ(BitVec(8, 0x80).ashr(BitVec(8, 7)).zext(), 0xFFu);
+  EXPECT_TRUE(BitVec(8, 8).shiftTooBig());
+  EXPECT_FALSE(BitVec(8, 7).shiftTooBig());
+}
+
+TEST(BitVecTest, Bitwise) {
+  BitVec A(4, 0b1100), B(4, 0b1010);
+  EXPECT_EQ(A.and_(B).zext(), 0b1000u);
+  EXPECT_EQ(A.or_(B).zext(), 0b1110u);
+  EXPECT_EQ(A.xor_(B).zext(), 0b0110u);
+  EXPECT_EQ(A.not_().zext(), 0b0011u);
+}
+
+TEST(BitVecTest, Comparisons) {
+  BitVec A(4, 0xF), B(4, 1); // A = -1 signed, 15 unsigned.
+  EXPECT_TRUE(B.ult(A));
+  EXPECT_TRUE(A.slt(B));
+  EXPECT_TRUE(A.sle(A));
+  EXPECT_TRUE(A.eq(A));
+  EXPECT_FALSE(A.eq(B));
+}
+
+TEST(BitVecTest, WidthChanges) {
+  EXPECT_EQ(BitVec(8, 0xAB).truncTo(4).zext(), 0xBu);
+  EXPECT_EQ(BitVec(4, 0xF).zextTo(8).zext(), 0x0Fu);
+  EXPECT_EQ(BitVec(4, 0xF).sextTo(8).zext(), 0xFFu);
+  EXPECT_EQ(BitVec(4, 0x7).sextTo(8).zext(), 0x07u);
+}
+
+TEST(BitVecTest, CountingOps) {
+  EXPECT_EQ(BitVec(8, 0b00110000).countTrailingZeros(), 4u);
+  EXPECT_EQ(BitVec(8, 0).countTrailingZeros(), 8u);
+  EXPECT_EQ(BitVec(8, 0b00110000).countLeadingZeros(), 2u);
+  EXPECT_EQ(BitVec(8, 0b00110001).popCount(), 3u);
+  EXPECT_TRUE(BitVec(8, 64).isPowerOf2());
+  EXPECT_FALSE(BitVec(8, 0).isPowerOf2());
+  EXPECT_FALSE(BitVec(8, 65).isPowerOf2());
+}
+
+TEST(BitVecTest, SDivOverflowPredicate) {
+  EXPECT_TRUE(BitVec::minSigned(8).sdivOverflows(BitVec::allOnes(8)));
+  EXPECT_FALSE(BitVec(8, 4).sdivOverflows(BitVec::allOnes(8)));
+  EXPECT_FALSE(BitVec::minSigned(8).sdivOverflows(BitVec(8, 2)));
+}
+
+// Exhaustive 4-bit validation of every overflow predicate against 64-bit
+// reference arithmetic: the nsw/nuw poison rules of Figure 5 are built on
+// these.
+class OverflowExhaustiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OverflowExhaustiveTest, PredicatesMatchWideArithmetic) {
+  const unsigned W = 4;
+  int AV = GetParam();
+  BitVec A(W, AV);
+  for (int BV = 0; BV < 16; ++BV) {
+    BitVec B(W, BV);
+    int64_t SA = A.sext(), SB = B.sext();
+    uint64_t UA = A.zext(), UB = B.zext();
+
+    EXPECT_EQ(A.saddOverflows(B), SA + SB > 7 || SA + SB < -8);
+    EXPECT_EQ(A.uaddOverflows(B), UA + UB > 15);
+    EXPECT_EQ(A.ssubOverflows(B), SA - SB > 7 || SA - SB < -8);
+    EXPECT_EQ(A.usubOverflows(B), UB > UA);
+    EXPECT_EQ(A.smulOverflows(B), SA * SB > 7 || SA * SB < -8);
+    EXPECT_EQ(A.umulOverflows(B), UA * UB > 15);
+
+    if (BV < 4) { // In-range shift amounts only.
+      int64_t Shifted = static_cast<int64_t>(UA << UB);
+      EXPECT_EQ(A.shlUnsignedOverflows(B), Shifted > 15);
+      int64_t SignedBack = BitVec(W, static_cast<uint64_t>(Shifted)).sext();
+      EXPECT_EQ(A.shlSignedOverflows(B), (SignedBack >> UB) != SA);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLHS, OverflowExhaustiveTest,
+                         ::testing::Range(0, 16));
+
+TEST(BitVecTest, Strings) {
+  EXPECT_EQ(BitVec(8, 255).toString(), "255");
+  EXPECT_EQ(BitVec(8, 255).toSignedString(), "-1");
+}
+
+} // namespace

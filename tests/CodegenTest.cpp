@@ -1,0 +1,402 @@
+//===- CodegenTest.cpp - Backend tests -----------------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backend correctness: every compiled kernel must compute the same result
+/// on the cycle simulator as the IR does on the reference interpreter, and
+/// the Section 6 lowering facts must hold structurally (freeze -> COPY,
+/// poison -> IMPLICIT_DEF, legalization of sub-word freezes).
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Codegen.h"
+#include "codegen/MachineSim.h"
+
+#include "fuzz/RandomProgram.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "opt/Pass.h"
+#include "parser/Parser.h"
+#include "sem/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace frost;
+using namespace frost::codegen;
+
+namespace {
+
+struct CodegenTest : ::testing::Test {
+  IRContext Ctx;
+  Module M{Ctx, "cg"};
+
+  Function *parse(const std::string &Text, const std::string &Name) {
+    ParseResult R = parseModule(Text, M);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    Function *F = M.getFunction(Name);
+    EXPECT_TRUE(F && verifyFunction(*F));
+    return F;
+  }
+
+  /// Interpreter result (reference) vs simulator result for the same args.
+  void expectMatch(Function *F, std::vector<uint32_t> Args) {
+    std::vector<uint64_t> WideArgs(Args.begin(), Args.end());
+    uint64_t Ref = sem::runConcrete(*F, WideArgs);
+    CompiledFunction CF = compileFunction(*F);
+    SimResult S = simulate(CF, Args);
+    ASSERT_TRUE(S.Ok) << S.Error << "\n" << CF.MF.str();
+    // Compare in the zero-extended representation of the return width.
+    unsigned W = F->returnType()->bitWidth();
+    uint32_t Mask = W >= 32 ? 0xFFFFFFFFu : ((1u << W) - 1);
+    EXPECT_EQ(S.ReturnValue & Mask, static_cast<uint32_t>(Ref) & Mask)
+        << CF.MF.str();
+    EXPECT_GT(S.Cycles, 0u);
+  }
+
+  unsigned countMOp(const CompiledFunction &CF, MOp Op) {
+    unsigned N = 0;
+    for (const auto &B : CF.MF.Blocks)
+      for (const MachineInst &I : B->Insts)
+        N += I.Op == Op;
+    return N;
+  }
+};
+
+TEST_F(CodegenTest, StraightLineArithmetic) {
+  Function *F = parse(R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %x = add i32 %a, %b
+  %y = mul i32 %x, 3
+  %z = sub i32 %y, %a
+  %w = xor i32 %z, %b
+  ret i32 %w
+}
+)",
+                      "f");
+  expectMatch(F, {10, 20});
+  expectMatch(F, {0xFFFFFFFFu, 1});
+}
+
+TEST_F(CodegenTest, DivisionAndShifts) {
+  Function *F = parse(R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %d = or i32 %b, 1
+  %q = udiv i32 %a, %d
+  %s = sdiv i32 %a, %d
+  %sh = lshr i32 %a, 3
+  %sa = ashr i32 %a, 3
+  %t1 = add i32 %q, %s
+  %t2 = add i32 %sh, %sa
+  %r = add i32 %t1, %t2
+  ret i32 %r
+}
+)",
+                      "f");
+  expectMatch(F, {100, 7});
+  expectMatch(F, {0x80000000u, 3});
+}
+
+TEST_F(CodegenTest, SubWordLegalization) {
+  // i8/i16 arithmetic must be legalized onto 32-bit registers with masks
+  // and sign-extensions in the right places.
+  Function *F = parse(R"(
+define i8 @f(i8 %a, i8 %b) {
+entry:
+  %s = add i8 %a, %b
+  %d = sdiv i8 %s, 3
+  %c = icmp slt i8 %d, %a
+  %z = zext i1 %c to i8
+  %m = mul i8 %z, 7
+  %r = add i8 %m, %d
+  ret i8 %r
+}
+)",
+                      "f");
+  expectMatch(F, {200, 100}); // Wraps in i8.
+  expectMatch(F, {127, 1});
+  expectMatch(F, {0x80, 0});
+
+  CompiledFunction CF = compileFunction(*F);
+  EXPECT_GT(CF.Stats.LegalizeNodes, 0u);
+}
+
+TEST_F(CodegenTest, ControlFlowAndPhis) {
+  Function *F = parse(R"(
+define i32 @collatzish(i32 %n) {
+entry:
+  br label %head
+
+head:
+  %x = phi i32 [ %n, %entry ], [ %next, %latch ]
+  %steps = phi i32 [ 0, %entry ], [ %steps1, %latch ]
+  %done = icmp ule i32 %x, 1
+  br i1 %done, label %exit, label %body
+
+body:
+  %isodd = and i32 %x, 1
+  %odd = icmp eq i32 %isodd, 1
+  br i1 %odd, label %oddcase, label %evencase
+
+oddcase:
+  %t1 = mul i32 %x, 3
+  %t2 = add i32 %t1, 1
+  br label %latch
+
+evencase:
+  %t3 = lshr i32 %x, 1
+  br label %latch
+
+latch:
+  %next = phi i32 [ %t2, %oddcase ], [ %t3, %evencase ]
+  %steps1 = add i32 %steps, 1
+  br label %head
+
+exit:
+  ret i32 %steps
+}
+)",
+                      "collatzish");
+  expectMatch(F, {27});
+  expectMatch(F, {1});
+  expectMatch(F, {1024});
+}
+
+TEST_F(CodegenTest, PhiSwapIsHandled) {
+  // Classic parallel-copy hazard: two phis exchanging values.
+  Function *F = parse(R"(
+define i32 @swap(i32 %n) {
+entry:
+  br label %head
+
+head:
+  %a = phi i32 [ 1, %entry ], [ %b, %body ]
+  %b = phi i32 [ 2, %entry ], [ %a, %body ]
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %exit
+
+body:
+  %i1 = add i32 %i, 1
+  br label %head
+
+exit:
+  %r = shl i32 %a, 4
+  %r2 = or i32 %r, %b
+  ret i32 %r2
+}
+)",
+                      "swap");
+  expectMatch(F, {0}); // (1,2).
+  expectMatch(F, {1}); // (2,1).
+  expectMatch(F, {5}); // Odd: (2,1).
+}
+
+TEST_F(CodegenTest, MemoryGlobalsAndGEP) {
+  Function *F = parse(R"(
+@tab = global i32, 32
+
+define i32 @f(i32 %n) {
+entry:
+  br label %head
+
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp ult i32 %i, 8
+  br i1 %c, label %body, label %sum
+
+body:
+  %p = gep i32* @tab, i32 %i
+  %sq = mul i32 %i, %i
+  store i32 %sq, i32* %p
+  %i1 = add i32 %i, 1
+  br label %head
+
+sum:
+  %j = phi i32 [ 0, %head ], [ %j1, %sumbody ]
+  %acc = phi i32 [ 0, %head ], [ %acc1, %sumbody ]
+  %c2 = icmp ult i32 %j, 8
+  br i1 %c2, label %sumbody, label %exit
+
+sumbody:
+  %p2 = gep i32* @tab, i32 %j
+  %v = load i32, i32* %p2
+  %acc1 = add i32 %acc, %v
+  %j1 = add i32 %j, 1
+  br label %sum
+
+exit:
+  ret i32 %acc
+}
+)",
+                      "f");
+  expectMatch(F, {0}); // Sum of squares 0..7 = 140.
+}
+
+TEST_F(CodegenTest, AllocaAndSubWordMemory) {
+  Function *F = parse(R"(
+define i16 @f(i16 %x) {
+entry:
+  %p = alloca i16
+  store i16 %x, i16* %p
+  %v = load i16, i16* %p
+  %r = add i16 %v, 1
+  ret i16 %r
+}
+)",
+                      "f");
+  expectMatch(F, {0xFFFF}); // Wraps to 0.
+  expectMatch(F, {41});
+}
+
+TEST_F(CodegenTest, FreezeLowersToCopy) {
+  Function *F = parse(R"(
+define i32 @f(i32 %x) {
+entry:
+  %fr = freeze i32 %x
+  %r = sub i32 %fr, %fr
+  ret i32 %r
+}
+)",
+                      "f");
+  CompiledFunction CF = compileFunction(*F, {/*RunRegAlloc=*/false});
+  EXPECT_EQ(CF.Stats.FreezeCopies, 1u) << CF.MF.str();
+  expectMatch(F, {12345});
+}
+
+TEST_F(CodegenTest, PoisonLowersToImplicitDef) {
+  Function *F = parse(R"(
+define i32 @f() {
+entry:
+  %fr = freeze i32 poison
+  %r = sub i32 %fr, %fr
+  ret i32 %r
+}
+)",
+                      "f");
+  CompiledFunction CF = compileFunction(*F);
+  EXPECT_EQ(CF.Stats.ImplicitDefs, 1u);
+  EXPECT_GE(CF.Stats.FreezeCopies, 1u);
+  // freeze pins the undef register: x - x over the copy is always 0.
+  SimResult S = simulate(CF, {});
+  ASSERT_TRUE(S.Ok) << S.Error;
+  EXPECT_EQ(S.ReturnValue, 0u);
+}
+
+TEST_F(CodegenTest, SubWordFreezeIsLegalized) {
+  // "We had to teach type legalization to handle freeze instructions with
+  // operands of illegal type" — an i2 freeze must compile and behave.
+  Function *F = parse(R"(
+define i2 @f(i2 %x) {
+entry:
+  %fr = freeze i2 %x
+  %r = add i2 %fr, 1
+  ret i2 %r
+}
+)",
+                      "f");
+  expectMatch(F, {3}); // 3 + 1 wraps to 0 in i2.
+  expectMatch(F, {1});
+}
+
+TEST_F(CodegenTest, SelectIsBranchless) {
+  Function *F = parse(R"(
+define i32 @max(i32 %a, i32 %b) {
+entry:
+  %c = icmp sgt i32 %a, %b
+  %m = select i1 %c, i32 %a, i32 %b
+  ret i32 %m
+}
+)",
+                      "max");
+  expectMatch(F, {3, 9});
+  expectMatch(F, {9, 3});
+  expectMatch(F, {0xFFFFFFFFu, 0}); // -1 vs 0 signed.
+  CompiledFunction CF = compileFunction(*F);
+  EXPECT_EQ(countMOp(CF, MOp::BNZ), 0u); // No branches for the select.
+}
+
+TEST_F(CodegenTest, SwitchLowering) {
+  Function *F = parse(R"(
+define i32 @classify(i32 %x) {
+entry:
+  switch i32 %x, label %other [ i32 0, label %zero i32 5, label %five ]
+
+zero:
+  ret i32 100
+
+five:
+  ret i32 500
+
+other:
+  ret i32 1
+}
+)",
+                      "classify");
+  expectMatch(F, {0});
+  expectMatch(F, {5});
+  expectMatch(F, {42});
+}
+
+TEST_F(CodegenTest, RegisterAllocationSpillsUnderPressure) {
+  // Build a function with more than 10 simultaneously live values. Loads
+  // are emitted in program order (they are DAG roots), so all 16 loaded
+  // values are live before the reduction starts.
+  std::string Src = "@buf = global i32, 64\n\n"
+                    "define i32 @pressure(i32 %a, i32 %b) {\nentry:\n";
+  for (int I = 0; I != 16; ++I) {
+    Src += "  %p" + std::to_string(I) + " = gep i32* @buf, i32 " +
+           std::to_string(I) + "\n";
+    Src += "  %v" + std::to_string(I) + " = load i32, i32* %p" +
+           std::to_string(I) + "\n";
+  }
+  Src += "  %s0 = add i32 %v0, %v1\n";
+  for (int I = 1; I != 15; ++I)
+    Src += "  %s" + std::to_string(I) + " = add i32 %s" +
+           std::to_string(I - 1) + ", %v" + std::to_string(I + 1) + "\n";
+  Src += "  ret i32 %s14\n}\n";
+  Function *F = parse(Src, "pressure");
+
+  CompiledFunction CF = compileFunction(*F);
+  EXPECT_GT(CF.Stats.Spills + CF.Stats.Reloads, 0u) << CF.MF.str();
+  expectMatch(F, {1000, 0});
+}
+
+TEST_F(CodegenTest, AsmPrinterOutput) {
+  Function *F = parse(R"(
+define i32 @f(i32 %x) {
+entry:
+  %fr = freeze i32 %x
+  ret i32 %fr
+}
+)",
+                      "f");
+  CompiledFunction CF = compileFunction(*F);
+  std::string Asm = CF.MF.str();
+  EXPECT_NE(Asm.find("f:"), std::string::npos);
+  EXPECT_NE(Asm.find("copy"), std::string::npos);
+  EXPECT_NE(Asm.find("ret"), std::string::npos);
+}
+
+TEST_F(CodegenTest, RandomKernelsMatchInterpreter) {
+  // Cross-validation: optimized random kernels, interpreter vs simulator.
+  for (uint64_t Seed = 40; Seed != 46; ++Seed) {
+    fuzz::RandomProgramOptions Opts;
+    Opts.Seed = Seed;
+    Function *F = fuzz::generateRandomFunction(
+        M, "k" + std::to_string(Seed), Opts);
+    PassManager PM(false);
+    buildStandardPipeline(PM, PipelineMode::Proposed);
+    PM.run(*F);
+    ASSERT_TRUE(verifyFunction(*F));
+    expectMatch(F, {static_cast<uint32_t>(Seed * 77), 13});
+  }
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+//===- FrontendTest.cpp - Bit-field lowering tests (Section 5.3) ---------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/BitFields.h"
+
+#include "ir/Context.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "sem/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace frost;
+using namespace frost::frontend;
+using frost::sem::DeterministicOracle;
+using frost::sem::ExecResult;
+using frost::sem::Interpreter;
+using frost::sem::SemanticsConfig;
+
+namespace {
+
+struct FrontendTest : ::testing::Test {
+  IRContext Ctx;
+  Module M{Ctx, "fe"};
+  RecordType Rec; // struct { unsigned lo:4; unsigned mid:12; unsigned hi:16; }
+
+  FrontendTest() {
+    Rec.WordBits = 32;
+    Rec.add("lo", 4).add("mid", 12).add("hi", 16);
+  }
+
+  /// Builds: alloca record; store Field = arg0; return field \p ReadBack.
+  Function *makeStoreThenLoad(const std::string &Name,
+                              const std::string &StoreField,
+                              const std::string &LoadField,
+                              BitFieldLowering Lowering,
+                              bool InitializeFirst) {
+    auto *I32 = Ctx.intTy(32);
+    Function *F = M.createFunction(Name, Ctx.types().fnTy(I32, {I32}));
+    IRBuilder B(Ctx, F->addBlock("entry"));
+    Value *P = B.alloca_(I32, "rec");
+    if (InitializeFirst)
+      B.store(Ctx.getInt(32, 0xABCD1234), P);
+    emitFieldStore(B, P, Rec, StoreField, F->arg(0), Lowering);
+    B.ret(emitFieldLoad(B, P, Rec, LoadField, Lowering));
+    EXPECT_TRUE(verifyFunction(*F));
+    return F;
+  }
+
+  ExecResult run(Function *F, uint64_t Arg) {
+    DeterministicOracle O;
+    Interpreter I(SemanticsConfig::proposed(), O);
+    return I.run(*F, {sem::Value::concrete(BitVec(32, Arg))});
+  }
+};
+
+TEST_F(FrontendTest, FieldRoundTripOnInitializedRecord) {
+  Function *F = makeStoreThenLoad("rt", "mid", "mid",
+                                  BitFieldLowering::Proposed, true);
+  ExecResult R = run(F, 0xFFF);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Ret->scalar().Bits.zext(), 0xFFFu);
+}
+
+TEST_F(FrontendTest, NeighbouringFieldsSurviveOnInitializedRecord) {
+  // Store to "mid" must not clobber "hi" (= 0xABCD from the init pattern).
+  Function *F = makeStoreThenLoad("nb", "mid", "hi",
+                                  BitFieldLowering::Proposed, true);
+  ExecResult R = run(F, 0x7);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Ret->scalar().Bits.zext(), 0xABCDu);
+}
+
+TEST_F(FrontendTest, LegacyLoweringPoisonsWholeRecordOnFirstStore) {
+  // The Section 5.3 problem: without freeze, the first store to an
+  // uninitialized record merges poison into every field.
+  Function *F = makeStoreThenLoad("legacy", "lo", "lo",
+                                  BitFieldLowering::Legacy, false);
+  ExecResult R = run(F, 0x5);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Ret->scalar().isPoison()) << R.str();
+}
+
+TEST_F(FrontendTest, ProposedLoweringFreezesTheFirstStore) {
+  // With the one-line fix, the stored field reads back exactly.
+  Function *F = makeStoreThenLoad("fixed", "lo", "lo",
+                                  BitFieldLowering::Proposed, false);
+  ExecResult R = run(F, 0x5);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Ret->scalar().Bits.zext(), 0x5u) << R.str();
+  // Exactly one freeze was emitted.
+  unsigned Freezes = 0;
+  for (BasicBlock *BB : *F)
+    for (Instruction *I : *BB)
+      Freezes += I->getOpcode() == Opcode::Freeze;
+  EXPECT_EQ(Freezes, 1u);
+}
+
+TEST_F(FrontendTest, ProposedLoweringNeighboursStayFrozenNotPoison) {
+  // After a first store to "lo", reading "hi" gives a frozen (arbitrary but
+  // defined) value, never poison.
+  Function *F = makeStoreThenLoad("fr.nb", "lo", "hi",
+                                  BitFieldLowering::Proposed, false);
+  ExecResult R = run(F, 0x5);
+  ASSERT_TRUE(R.ok());
+  EXPECT_FALSE(R.Ret->scalar().isPoison());
+}
+
+TEST_F(FrontendTest, VectorLoweringNeedsNoFreeze) {
+  // Section 5.3's superior alternative: per-lane poison confinement means
+  // the stored field reads back without any freeze.
+  Function *F = makeStoreThenLoad("vec", "lo", "lo",
+                                  BitFieldLowering::Vector, false);
+  ExecResult R = run(F, 0x5);
+  ASSERT_TRUE(R.ok()) << R.str();
+  EXPECT_EQ(R.Ret->scalar().Bits.zext(), 0x5u) << R.str();
+  unsigned Freezes = 0;
+  for (BasicBlock *BB : *F)
+    for (Instruction *I : *BB)
+      Freezes += I->getOpcode() == Opcode::Freeze;
+  EXPECT_EQ(Freezes, 0u);
+}
+
+TEST_F(FrontendTest, VectorLoweringPreservesNeighbours) {
+  Function *F = makeStoreThenLoad("vec.nb", "mid", "hi",
+                                  BitFieldLowering::Vector, true);
+  ExecResult R = run(F, 0x7);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Ret->scalar().Bits.zext(), 0xABCDu);
+}
+
+TEST_F(FrontendTest, AllThreeFieldsIndependentlyAddressable) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("all", Ctx.types().fnTy(I32, {I32}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *P = B.alloca_(I32, "rec");
+  emitFieldStore(B, P, Rec, "lo", Ctx.getInt(32, 0x9), // 4 bits.
+                 BitFieldLowering::Proposed);
+  emitFieldStore(B, P, Rec, "mid", Ctx.getInt(32, 0x123),
+                 BitFieldLowering::Proposed);
+  emitFieldStore(B, P, Rec, "hi", F->arg(0), BitFieldLowering::Proposed);
+  Value *Lo = emitFieldLoad(B, P, Rec, "lo");
+  Value *Mid = emitFieldLoad(B, P, Rec, "mid");
+  Value *Hi = emitFieldLoad(B, P, Rec, "hi");
+  Value *T = B.xor_(Lo, Mid);
+  B.ret(B.xor_(T, Hi));
+  ASSERT_TRUE(verifyFunction(*F));
+  ExecResult R = run(F, 0xBEEF);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Ret->scalar().Bits.zext(), 0x9u ^ 0x123u ^ 0xBEEFu);
+}
+
+} // namespace

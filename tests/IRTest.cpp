@@ -1,0 +1,354 @@
+//===- IRTest.cpp - Unit tests for the IR core -------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace frost;
+
+namespace {
+
+struct IRTest : ::testing::Test {
+  IRContext Ctx;
+  Module M{Ctx, "test"};
+};
+
+TEST_F(IRTest, TypeUniquing) {
+  EXPECT_EQ(Ctx.intTy(32), Ctx.intTy(32));
+  EXPECT_NE(Ctx.intTy(32), Ctx.intTy(16));
+  EXPECT_EQ(Ctx.ptrTy(Ctx.intTy(8)), Ctx.ptrTy(Ctx.intTy(8)));
+  EXPECT_EQ(Ctx.vecTy(Ctx.intTy(8), 4), Ctx.vecTy(Ctx.intTy(8), 4));
+  EXPECT_NE(Ctx.vecTy(Ctx.intTy(8), 4), Ctx.vecTy(Ctx.intTy(8), 2));
+}
+
+TEST_F(IRTest, TypeProperties) {
+  EXPECT_EQ(Ctx.intTy(32)->str(), "i32");
+  EXPECT_EQ(Ctx.ptrTy(Ctx.intTy(8))->str(), "i8*");
+  EXPECT_EQ(Ctx.vecTy(Ctx.intTy(1), 8)->str(), "<8 x i1>");
+  EXPECT_EQ(Ctx.intTy(32)->bitWidth(), 32u);
+  EXPECT_EQ(Ctx.ptrTy(Ctx.intTy(8))->bitWidth(), 32u);
+  EXPECT_EQ(Ctx.vecTy(Ctx.intTy(8), 4)->bitWidth(), 32u);
+  EXPECT_TRUE(Ctx.boolTy()->isBool());
+  EXPECT_FALSE(Ctx.intTy(2)->isBool());
+}
+
+TEST_F(IRTest, ConstantUniquing) {
+  EXPECT_EQ(Ctx.getInt(32, 42), Ctx.getInt(32, 42));
+  EXPECT_NE(Ctx.getInt(32, 42), Ctx.getInt(32, 43));
+  EXPECT_NE(Ctx.getInt(32, 42), Ctx.getInt(16, 42));
+  EXPECT_EQ(Ctx.getPoison(Ctx.intTy(8)), Ctx.getPoison(Ctx.intTy(8)));
+  EXPECT_EQ(Ctx.getUndef(Ctx.intTy(8)), Ctx.getUndef(Ctx.intTy(8)));
+  EXPECT_NE(static_cast<Value *>(Ctx.getPoison(Ctx.intTy(8))),
+            static_cast<Value *>(Ctx.getUndef(Ctx.intTy(8))));
+}
+
+TEST_F(IRTest, BuildSimpleFunction) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F =
+      M.createFunction("addsq", Ctx.types().fnTy(I32, {I32, I32}));
+  BasicBlock *Entry = F->addBlock("entry");
+  IRBuilder B(Ctx, Entry);
+  Value *Sum = B.addNSW(F->arg(0), F->arg(1), "sum");
+  Value *Sq = B.mul(Sum, Sum, {}, "sq");
+  B.ret(Sq);
+
+  EXPECT_EQ(F->instructionCount(), 3u);
+  EXPECT_TRUE(verifyFunction(*F));
+  EXPECT_EQ(M.getFunction("addsq"), F);
+  EXPECT_FALSE(F->isDeclaration());
+}
+
+TEST_F(IRTest, UseListsTrackOperands) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *A = F->arg(0);
+  Value *X = B.add(A, A);
+  Value *Y = B.mul(X, A);
+  B.ret(Y);
+
+  EXPECT_EQ(A->getNumUses(), 3u);
+  EXPECT_EQ(X->getNumUses(), 1u);
+  EXPECT_TRUE(Y->hasOneUse());
+}
+
+TEST_F(IRTest, ReplaceAllUsesWith) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32, I32}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *X = B.add(F->arg(0), Ctx.getInt(32, 0), {}, "x");
+  Value *Y = B.mul(X, X, {}, "y");
+  B.ret(Y);
+
+  X->replaceAllUsesWith(F->arg(0));
+  EXPECT_EQ(X->getNumUses(), 0u);
+  EXPECT_EQ(cast<Instruction>(Y)->getOperand(0), F->arg(0));
+  EXPECT_EQ(cast<Instruction>(Y)->getOperand(1), F->arg(0));
+  cast<Instruction>(X)->eraseFromParent();
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+TEST_F(IRTest, PhiNodeEdgeManagement) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32}));
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *L = F->addBlock("left");
+  BasicBlock *R = F->addBlock("right");
+  BasicBlock *Join = F->addBlock("join");
+
+  IRBuilder B(Ctx, Entry);
+  Value *C = B.icmp(ICmpPred::EQ, F->arg(0), Ctx.getInt(32, 0));
+  B.condBr(C, L, R);
+  B.setInsertPoint(L);
+  B.br(Join);
+  B.setInsertPoint(R);
+  B.br(Join);
+  B.setInsertPoint(Join);
+  PhiNode *P = B.phi(I32, "p");
+  P->addIncoming(Ctx.getInt(32, 1), L);
+  P->addIncoming(Ctx.getInt(32, 2), R);
+  B.ret(P);
+
+  EXPECT_TRUE(verifyFunction(*F));
+  EXPECT_EQ(P->getNumIncoming(), 2u);
+  EXPECT_EQ(P->getIncomingValueForBlock(L), Ctx.getInt(32, 1));
+  EXPECT_EQ(P->getBlockIndex(R), 1);
+
+  P->removeIncoming(0);
+  EXPECT_EQ(P->getNumIncoming(), 1u);
+  EXPECT_EQ(P->getIncomingBlock(0), R);
+}
+
+TEST_F(IRTest, PhiHasConstantValue) {
+  auto *I32 = Ctx.intTy(32);
+  PhiNode *P = PhiNode::create(I32);
+  BasicBlock *B1 = BasicBlock::create(Ctx, "a");
+  BasicBlock *B2 = BasicBlock::create(Ctx, "b");
+  P->addIncoming(Ctx.getInt(32, 7), B1);
+  P->addIncoming(Ctx.getInt(32, 7), B2);
+  EXPECT_EQ(P->hasConstantValue(), Ctx.getInt(32, 7));
+  P->setIncomingValue(1, Ctx.getInt(32, 8));
+  EXPECT_EQ(P->hasConstantValue(), nullptr);
+  P->dropAllReferences();
+  delete P;
+  delete B1;
+  delete B2;
+}
+
+TEST_F(IRTest, SuccessorsAndPredecessors) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32}));
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *A = F->addBlock("a");
+  BasicBlock *Join = F->addBlock("join");
+  IRBuilder B(Ctx, Entry);
+  Value *C = B.icmp(ICmpPred::EQ, F->arg(0), Ctx.getInt(32, 0));
+  B.condBr(C, A, Join);
+  B.setInsertPoint(A);
+  B.br(Join);
+  B.setInsertPoint(Join);
+  B.ret(Ctx.getInt(32, 0));
+
+  EXPECT_EQ(Entry->successors(), (std::vector<BasicBlock *>{A, Join}));
+  EXPECT_EQ(Join->uniquePredecessors().size(), 2u);
+  EXPECT_TRUE(A->hasSinglePredecessor());
+}
+
+TEST_F(IRTest, InstructionPredicates) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  auto *Add = cast<Instruction>(B.addNSW(F->arg(0), F->arg(0)));
+  auto *Div = cast<Instruction>(B.udiv(F->arg(0), F->arg(0)));
+  auto *Fr = cast<Instruction>(B.freeze(F->arg(0)));
+  auto *Ret = B.ret(Fr);
+
+  EXPECT_TRUE(Add->isBinaryOp());
+  EXPECT_TRUE(Add->isSpeculatable());
+  EXPECT_TRUE(Add->isCommutative());
+  EXPECT_TRUE(Add->hasNSW());
+  EXPECT_FALSE(Div->isSpeculatable());
+  EXPECT_TRUE(Div->mayTriggerImmediateUB());
+  EXPECT_TRUE(Fr->isSpeculatable());
+  EXPECT_FALSE(Fr->isDuplicatable());
+  EXPECT_TRUE(Ret->isTerminator());
+
+  Add->dropPoisonGeneratingFlags();
+  EXPECT_FALSE(Add->hasNSW());
+}
+
+TEST_F(IRTest, CloneCopiesOperandsAndFlags) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32, I32}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  auto *Add = cast<Instruction>(B.addNSW(F->arg(0), F->arg(1), "x"));
+  B.ret(Add);
+
+  Instruction *C = Add->clone();
+  EXPECT_EQ(C->getOpcode(), Opcode::Add);
+  EXPECT_TRUE(C->hasNSW());
+  EXPECT_EQ(C->getOperand(0), F->arg(0));
+  EXPECT_EQ(C->getOperand(1), F->arg(1));
+  C->dropAllReferences();
+  delete C;
+}
+
+TEST_F(IRTest, PrinterOutput) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32, I32}));
+  F->arg(0)->setName("a");
+  F->arg(1)->setName("b");
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *X = B.addNSW(F->arg(0), F->arg(1), "x");
+  Value *C = B.icmp(ICmpPred::SGT, X, F->arg(0), "c");
+  Value *S = B.select(C, X, Ctx.getInt(32, 0), "s");
+  Value *Fz = B.freeze(S, "fz");
+  B.ret(Fz);
+
+  std::string Text = F->str();
+  EXPECT_NE(Text.find("define i32 @f(i32 %a, i32 %b) {"), std::string::npos);
+  EXPECT_NE(Text.find("%x = add nsw i32 %a, %b"), std::string::npos);
+  EXPECT_NE(Text.find("%c = icmp sgt i32 %x, %a"), std::string::npos);
+  EXPECT_NE(Text.find("%s = select i1 %c, i32 %x, i32 0"), std::string::npos);
+  EXPECT_NE(Text.find("%fz = freeze i32 %s"), std::string::npos);
+  EXPECT_NE(Text.find("ret i32 %fz"), std::string::npos);
+}
+
+TEST_F(IRTest, PrinterPoisonAndUndefOperands) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *X = B.add(Ctx.getPoison(I32), Ctx.getUndef(I32), {}, "x");
+  B.ret(X);
+  std::string Text = F->str();
+  EXPECT_NE(Text.find("add i32 poison, undef"), std::string::npos);
+}
+
+TEST_F(IRTest, VerifierCatchesMissingTerminator) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  B.add(F->arg(0), F->arg(0));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("terminator"), std::string::npos);
+}
+
+TEST_F(IRTest, VerifierCatchesUseBeforeDef) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32}));
+  BasicBlock *Entry = F->addBlock("entry");
+  IRBuilder B(Ctx, Entry);
+  Value *X = B.add(F->arg(0), F->arg(0), {}, "x");
+  Value *Y = B.add(X, X, {}, "y");
+  B.ret(Y);
+  // Move %y before %x: now %y uses %x before its definition.
+  cast<Instruction>(Y)->moveBefore(cast<Instruction>(X));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+}
+
+TEST_F(IRTest, VerifierCatchesBadPhi) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32}));
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Next = F->addBlock("next");
+  IRBuilder B(Ctx, Entry);
+  B.br(Next);
+  B.setInsertPoint(Next);
+  PhiNode *P = B.phi(I32, "p");
+  // Missing the edge from entry.
+  B.ret(P);
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+}
+
+TEST_F(IRTest, SplitBlockKeepsCFGConsistent) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32}));
+  BasicBlock *Entry = F->addBlock("entry");
+  IRBuilder B(Ctx, Entry);
+  Value *X = B.add(F->arg(0), F->arg(0), {}, "x");
+  Value *Y = B.mul(X, X, {}, "y");
+  B.ret(Y);
+
+  BasicBlock *Tail = Entry->splitBefore(cast<Instruction>(Y), "tail");
+  EXPECT_EQ(F->size(), 2u);
+  EXPECT_EQ(Entry->successors(), std::vector<BasicBlock *>{Tail});
+  EXPECT_EQ(cast<Instruction>(Y)->getParent(), Tail);
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+TEST_F(IRTest, CallAndDeclaration) {
+  auto *I32 = Ctx.intTy(32);
+  Function *Callee = M.createFunction("g", Ctx.types().fnTy(I32, {I32}));
+  EXPECT_TRUE(Callee->isDeclaration());
+
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *R = B.call(Callee, {F->arg(0)}, "r");
+  B.ret(R);
+  EXPECT_TRUE(verifyFunction(*F));
+  EXPECT_EQ(cast<CallInst>(R)->callee(), Callee);
+  std::string Text = F->str();
+  EXPECT_NE(Text.find("call i32 @g(i32"), std::string::npos);
+}
+
+TEST_F(IRTest, GlobalVariables) {
+  auto *I32 = Ctx.intTy(32);
+  GlobalVariable *G = Ctx.getGlobal("counter", I32, 4);
+  EXPECT_EQ(G->sizeBytes(), 4u);
+  EXPECT_EQ(G->valueType(), I32);
+  EXPECT_EQ(Ctx.getGlobal("counter", I32, 4), G);
+
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *L = B.load(G, "v");
+  B.ret(L);
+  EXPECT_TRUE(verifyFunction(*F));
+  EXPECT_NE(F->str().find("load i32, i32* @counter"), std::string::npos);
+}
+
+TEST_F(IRTest, SwitchInstruction) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32}));
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *C0 = F->addBlock("c0");
+  BasicBlock *Def = F->addBlock("def");
+  IRBuilder B(Ctx, Entry);
+  SwitchInst *SW = B.switch_(F->arg(0), Def);
+  SW->addCase(Ctx.getInt(32, 0), C0);
+  B.setInsertPoint(C0);
+  B.ret(Ctx.getInt(32, 10));
+  B.setInsertPoint(Def);
+  B.ret(Ctx.getInt(32, 20));
+
+  EXPECT_TRUE(verifyFunction(*F));
+  EXPECT_EQ(SW->getNumCases(), 1u);
+  EXPECT_EQ(SW->caseDest(0), C0);
+  EXPECT_EQ(Entry->successors().size(), 2u);
+}
+
+TEST_F(IRTest, VectorInstructions) {
+  auto *V4 = Ctx.vecTy(Ctx.intTy(8), 4);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(Ctx.intTy(8), {V4}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *E = B.extractElement(F->arg(0), 2, "e");
+  Value *V2 = B.insertElement(F->arg(0), E, 0, "v2");
+  Value *E2 = B.extractElement(V2, 0, "e2");
+  B.ret(E2);
+  EXPECT_TRUE(verifyFunction(*F));
+  EXPECT_EQ(E->getType(), Ctx.intTy(8));
+  EXPECT_EQ(V2->getType(), V4);
+}
+
+} // namespace

@@ -1,0 +1,522 @@
+//===- InterpTest.cpp - Operational semantics tests (Figure 5) ----------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/Interp.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "tv/Refinement.h"
+
+#include <gtest/gtest.h>
+
+using namespace frost;
+using frost::sem::DeterministicOracle;
+using frost::sem::ExecResult;
+using frost::sem::Interpreter;
+using frost::sem::InterpOptions;
+using frost::sem::SemanticsConfig;
+using frost::sem::runConcrete;
+
+namespace {
+
+struct InterpTest : ::testing::Test {
+  IRContext Ctx;
+  Module M{Ctx, "test"};
+  SemanticsConfig Proposed = SemanticsConfig::proposed();
+  SemanticsConfig Legacy = SemanticsConfig::legacyUnswitch();
+
+  /// Runs F once with a deterministic oracle.
+  ExecResult runOnce(Function &F, const std::vector<sem::Value> &Args,
+                     const SemanticsConfig &C) {
+    DeterministicOracle O;
+    Interpreter I(C, O);
+    EXPECT_TRUE(verifyFunction(F));
+    return I.run(F, Args);
+  }
+
+  /// All deduplicated behaviours (status/ret/trace strings).
+  std::vector<std::string> behaviors(Function &F,
+                                     const std::vector<sem::Value> &Args,
+                                     const SemanticsConfig &C) {
+    tv::TVOptions Opts;
+    Opts.CompareMemory = false;
+    return tv::enumerateBehaviors(F, Args, C, Opts);
+  }
+
+  sem::Value iv(unsigned W, uint64_t V) {
+    return sem::Value::concrete(BitVec(W, V));
+  }
+};
+
+TEST_F(InterpTest, ConcreteArithmetic) {
+  auto *I8 = Ctx.intTy(8);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I8, {I8, I8}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  B.ret(B.add(F->arg(0), F->arg(1)));
+  ExecResult R = runOnce(*F, {iv(8, 200), iv(8, 100)}, Proposed);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Ret->scalar().Bits.zext(), 44u); // Wraps without nsw.
+}
+
+TEST_F(InterpTest, NSWOverflowIsPoison) {
+  auto *I8 = Ctx.intTy(8);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I8, {I8, I8}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  B.ret(B.addNSW(F->arg(0), F->arg(1)));
+  ExecResult R = runOnce(*F, {iv(8, 127), iv(8, 1)}, Proposed);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Ret->scalar().isPoison());
+
+  // No overflow: plain value.
+  R = runOnce(*F, {iv(8, 100), iv(8, 1)}, Proposed);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Ret->scalar().Bits.zext(), 101u);
+}
+
+TEST_F(InterpTest, PoisonPropagatesThroughArithmetic) {
+  auto *I8 = Ctx.intTy(8);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I8, {I8}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *X = B.add(F->arg(0), Ctx.getPoison(I8));
+  Value *Y = B.and_(X, Ctx.getInt(8, 0)); // Even and 0 stays poison.
+  B.ret(Y);
+  ExecResult R = runOnce(*F, {iv(8, 1)}, Proposed);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Ret->scalar().isPoison());
+}
+
+TEST_F(InterpTest, DivisionByZeroIsImmediateUB) {
+  auto *I8 = Ctx.intTy(8);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I8, {I8, I8}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  B.ret(B.udiv(F->arg(0), F->arg(1)));
+  EXPECT_TRUE(runOnce(*F, {iv(8, 4), iv(8, 0)}, Proposed).ub());
+  EXPECT_TRUE(
+      runOnce(*F, {iv(8, 4), sem::Value::poison()}, Proposed).ub());
+  // A poison dividend defers.
+  ExecResult R = runOnce(*F, {sem::Value::poison(), iv(8, 2)}, Proposed);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Ret->scalar().isPoison());
+}
+
+TEST_F(InterpTest, SignedDivisionOverflowIsUB) {
+  auto *I8 = Ctx.intTy(8);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I8, {I8, I8}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  B.ret(B.sdiv(F->arg(0), F->arg(1)));
+  EXPECT_TRUE(runOnce(*F, {iv(8, 0x80), iv(8, 0xFF)}, Proposed).ub());
+  ExecResult R = runOnce(*F, {iv(8, 0x80), iv(8, 2)}, Proposed);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Ret->scalar().Bits.sext(), -64);
+}
+
+TEST_F(InterpTest, ExactDivisionYieldsPoisonOnRemainder) {
+  auto *I8 = Ctx.intTy(8);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I8, {I8, I8}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  B.ret(B.binOp(Opcode::UDiv, F->arg(0), F->arg(1),
+                {false, false, /*Exact=*/true}));
+  ExecResult R = runOnce(*F, {iv(8, 7), iv(8, 2)}, Proposed);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Ret->scalar().isPoison());
+  R = runOnce(*F, {iv(8, 8), iv(8, 2)}, Proposed);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Ret->scalar().Bits.zext(), 4u);
+}
+
+TEST_F(InterpTest, OverShiftPoisonVsUndef) {
+  auto *I8 = Ctx.intTy(8);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I8, {I8}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  B.ret(B.shl(F->arg(0), Ctx.getInt(8, 9)));
+  // Proposed semantics: poison.
+  ExecResult R = runOnce(*F, {iv(8, 1)}, Proposed);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Ret->scalar().isPoison());
+  // Legacy semantics (Section 2.3): undef, i.e. any value of the type.
+  R = runOnce(*F, {iv(8, 1)}, Legacy);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Ret->scalar().isUndef());
+}
+
+TEST_F(InterpTest, ICmpOnPoisonIsPoison) {
+  auto *I8 = Ctx.intTy(8);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(Ctx.boolTy(), {I8}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  B.ret(B.icmp(ICmpPred::SLT, F->arg(0), Ctx.getInt(8, 3)));
+  ExecResult R = runOnce(*F, {sem::Value::poison()}, Proposed);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Ret->scalar().isPoison());
+  R = runOnce(*F, {iv(8, 1)}, Proposed);
+  EXPECT_EQ(R.Ret->scalar().Bits.zext(), 1u);
+}
+
+TEST_F(InterpTest, FreezeIsIdentityOnConcrete) {
+  auto *I8 = Ctx.intTy(8);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I8, {I8}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  B.ret(B.freeze(F->arg(0)));
+  ExecResult R = runOnce(*F, {iv(8, 42)}, Proposed);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Ret->scalar().Bits.zext(), 42u);
+}
+
+TEST_F(InterpTest, FreezeOfPoisonYieldsEveryValue) {
+  auto *I2 = Ctx.intTy(2);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I2, {}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  B.ret(B.freeze(Ctx.getPoison(I2)));
+  std::vector<std::string> Bs = behaviors(*F, {}, Proposed);
+  // Exactly the four concrete i2 values, never poison.
+  EXPECT_EQ(Bs.size(), 4u);
+  for (const std::string &S : Bs)
+    EXPECT_EQ(S.find("poison"), std::string::npos) << S;
+}
+
+TEST_F(InterpTest, FreezeValueIsConsistentAcrossUses) {
+  // y = freeze poison; ret y - y must be 0 on every path: all uses of one
+  // freeze agree (Section 4).
+  auto *I2 = Ctx.intTy(2);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I2, {}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *Y = B.freeze(Ctx.getPoison(I2));
+  B.ret(B.sub(Y, Y));
+  std::vector<std::string> Bs = behaviors(*F, {}, Proposed);
+  ASSERT_EQ(Bs.size(), 1u);
+  EXPECT_NE(Bs[0].find("ret=0"), std::string::npos) << Bs[0];
+}
+
+TEST_F(InterpTest, UndefEachUseMayDiffer) {
+  // x - x over an undef argument: under the legacy semantics each use
+  // materialises independently (Section 3.1), so the result is *any* value,
+  // not just 0.
+  auto *I2 = Ctx.intTy(2);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I2, {I2}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  B.ret(B.sub(F->arg(0), F->arg(0)));
+  std::vector<std::string> Bs = behaviors(*F, {sem::Value::undef()}, Legacy);
+  EXPECT_EQ(Bs.size(), 4u);
+}
+
+TEST_F(InterpTest, UndefIsPoisonUnderProposedSemantics) {
+  auto *I2 = Ctx.intTy(2);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I2, {}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  B.ret(B.add(Ctx.getUndef(I2), Ctx.getInt(2, 1)));
+  ExecResult R = runOnce(*F, {}, Proposed);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Ret->scalar().isPoison());
+}
+
+TEST_F(InterpTest, BranchOnPoisonRules) {
+  auto *I8 = Ctx.intTy(8);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I8, {Ctx.boolTy()}));
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *T = F->addBlock("t");
+  BasicBlock *E = F->addBlock("e");
+  IRBuilder B(Ctx, Entry);
+  B.condBr(F->arg(0), T, E);
+  B.setInsertPoint(T);
+  B.ret(Ctx.getInt(8, 1));
+  B.setInsertPoint(E);
+  B.ret(Ctx.getInt(8, 2));
+
+  // Proposed: immediate UB (Section 4).
+  EXPECT_TRUE(runOnce(*F, {sem::Value::poison()}, Proposed).ub());
+  // Legacy-unswitch: nondeterministic choice - both returns are possible.
+  std::vector<std::string> Bs = behaviors(*F, {sem::Value::poison()}, Legacy);
+  EXPECT_EQ(Bs.size(), 2u);
+}
+
+TEST_F(InterpTest, SelectPoisonConditionRules) {
+  auto *I8 = Ctx.intTy(8);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I8, {Ctx.boolTy()}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  B.ret(B.select(F->arg(0), Ctx.getInt(8, 1), Ctx.getInt(8, 2)));
+
+  // Proposed: poison condition -> poison result (Figure 5).
+  ExecResult R = runOnce(*F, {sem::Value::poison()}, Proposed);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Ret->scalar().isPoison());
+
+  // Select-is-UB reading (legacy GVN world).
+  EXPECT_TRUE(
+      runOnce(*F, {sem::Value::poison()}, SemanticsConfig::legacyGVN()).ub());
+
+  // Nondet reading: both arms possible.
+  std::vector<std::string> Bs = behaviors(*F, {sem::Value::poison()}, Legacy);
+  EXPECT_EQ(Bs.size(), 2u);
+}
+
+TEST_F(InterpTest, SelectPropagatesOnlyChosenArmPoison) {
+  auto *I8 = Ctx.intTy(8);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I8, {Ctx.boolTy()}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  B.ret(B.select(F->arg(0), Ctx.getInt(8, 1), Ctx.getPoison(I8)));
+
+  // Proposed (phi-like): choosing the non-poison arm gives a normal value.
+  ExecResult R = runOnce(*F, {iv(1, 1)}, Proposed);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Ret->scalar().Bits.zext(), 1u);
+  R = runOnce(*F, {iv(1, 0)}, Proposed);
+  EXPECT_TRUE(R.Ret->scalar().isPoison());
+
+  // LangRef reading: either arm poison poisons the result.
+  R = runOnce(*F, {iv(1, 1)}, SemanticsConfig::legacyLangRefSelect());
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Ret->scalar().isPoison());
+}
+
+TEST_F(InterpTest, PhiTakesEdgeValue) {
+  auto *I8 = Ctx.intTy(8);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I8, {Ctx.boolTy()}));
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *T = F->addBlock("t");
+  BasicBlock *Join = F->addBlock("join");
+  IRBuilder B(Ctx, Entry);
+  B.condBr(F->arg(0), T, Join);
+  B.setInsertPoint(T);
+  B.br(Join);
+  B.setInsertPoint(Join);
+  PhiNode *P = B.phi(I8);
+  P->addIncoming(Ctx.getInt(8, 10), T);
+  P->addIncoming(Ctx.getInt(8, 20), Entry);
+  B.ret(P);
+
+  EXPECT_EQ(runOnce(*F, {iv(1, 1)}, Proposed).Ret->scalar().Bits.zext(), 10u);
+  EXPECT_EQ(runOnce(*F, {iv(1, 0)}, Proposed).Ret->scalar().Bits.zext(), 20u);
+}
+
+TEST_F(InterpTest, LoopCountsWithPhis) {
+  // Sum 0..n-1 via a counted loop; exercises simultaneous phi update.
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("sum", Ctx.types().fnTy(I32, {I32}));
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Head = F->addBlock("head");
+  BasicBlock *Body = F->addBlock("body");
+  BasicBlock *Exit = F->addBlock("exit");
+  IRBuilder B(Ctx, Entry);
+  B.br(Head);
+  B.setInsertPoint(Head);
+  PhiNode *I = B.phi(I32, "i");
+  PhiNode *S = B.phi(I32, "s");
+  Value *C = B.icmp(ICmpPred::ULT, I, F->arg(0));
+  B.condBr(C, Body, Exit);
+  B.setInsertPoint(Body);
+  Value *S1 = B.add(S, I);
+  Value *I1 = B.add(I, Ctx.getInt(32, 1));
+  B.br(Head);
+  I->addIncoming(Ctx.getInt(32, 0), Entry);
+  I->addIncoming(I1, Body);
+  S->addIncoming(Ctx.getInt(32, 0), Entry);
+  S->addIncoming(S1, Body);
+  B.setInsertPoint(Exit);
+  B.ret(S);
+  ASSERT_TRUE(verifyFunction(*F));
+  EXPECT_EQ(runConcrete(*F, {10}), 45u);
+  EXPECT_EQ(runConcrete(*F, {0}), 0u);
+}
+
+TEST_F(InterpTest, MemoryRoundTrip) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *P = B.alloca_(I32);
+  B.store(F->arg(0), P);
+  B.ret(B.load(P));
+  EXPECT_EQ(runConcrete(*F, {0xDEADBEEF}), 0xDEADBEEFu);
+}
+
+TEST_F(InterpTest, LoadOfUninitializedMemory) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *P = B.alloca_(I32);
+  B.ret(B.load(P));
+  // Proposed: poison (the reason bit-field stores need freeze, Section 5.3).
+  ExecResult R = runOnce(*F, {}, Proposed);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Ret->scalar().isPoison());
+  // Legacy: undef.
+  R = runOnce(*F, {}, Legacy);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Ret->scalar().isUndef());
+}
+
+TEST_F(InterpTest, StoringPoisonPoisonsOnlyStoredBits) {
+  // Store a poison i8 into the middle of an i32: reloading the whole i32 is
+  // poison, but the vector view isolates lanes (Section 5.4).
+  auto *I8 = Ctx.intTy(8);
+  auto *V4 = Ctx.vecTy(I8, 4);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I8, {}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *P = B.alloca_(V4);
+  std::vector<Constant *> Elems(4, Ctx.getInt(8, 7));
+  B.store(Ctx.getVector(Elems), P);
+  Value *P8 = B.bitcast(P, Ctx.ptrTy(I8));
+  B.store(Ctx.getPoison(I8), P8); // Poison lane 0 only.
+  Value *V = B.load(P);
+  B.ret(B.extractElement(V, 2)); // Lane 2 unaffected.
+  ExecResult R = runOnce(*F, {}, Proposed);
+  ASSERT_TRUE(R.ok()) << R.str();
+  EXPECT_EQ(R.Ret->scalar().Bits.zext(), 7u);
+}
+
+TEST_F(InterpTest, LoadWholeWordWithPoisonBitIsPoison) {
+  auto *I8 = Ctx.intTy(8);
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *P = B.alloca_(I32);
+  B.store(Ctx.getInt(32, 0), P);
+  Value *P8 = B.bitcast(P, Ctx.ptrTy(I8));
+  B.store(Ctx.getPoison(I8), P8);
+  B.ret(B.load(P)); // Figure 5 ty-up: any poison bit -> poison.
+  ExecResult R = runOnce(*F, {}, Proposed);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Ret->scalar().isPoison());
+}
+
+TEST_F(InterpTest, LoadFromPoisonOrInvalidAddressIsUB) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  B.ret(B.load(Ctx.getPoison(Ctx.ptrTy(I32))));
+  EXPECT_TRUE(runOnce(*F, {}, Proposed).ub());
+
+  Function *G = M.createFunction("g", Ctx.types().fnTy(I32, {I32}));
+  IRBuilder B2(Ctx, G->addBlock("entry"));
+  Value *P = B2.alloca_(I32);
+  Value *Far = B2.gep(P, Ctx.getInt(32, 1000));
+  B2.ret(B2.load(Far));
+  EXPECT_TRUE(runOnce(*G, {iv(32, 0)}, Proposed).ub());
+}
+
+TEST_F(InterpTest, GEPInboundsOutOfObjectIsPoison) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(Ctx.ptrTy(I32), {}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *P = B.alloca_(I32);
+  B.ret(B.gep(P, Ctx.getInt(32, 1000), /*InBounds=*/true));
+  ExecResult R = runOnce(*F, {}, Proposed);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Ret->scalar().isPoison());
+}
+
+TEST_F(InterpTest, GEPAddressArithmetic) {
+  auto *I16 = Ctx.intTy(16);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I16, {}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  GlobalVariable *G = Ctx.getGlobal("arr", I16, 8);
+  B.store(Ctx.getInt(16, 111), B.gep(G, Ctx.getInt(32, 0)));
+  B.store(Ctx.getInt(16, 222), B.gep(G, Ctx.getInt(32, 1)));
+  B.store(Ctx.getInt(16, 333), B.gep(G, Ctx.getInt(32, 2)));
+  B.ret(B.load(B.gep(G, Ctx.getInt(32, 1))));
+  EXPECT_EQ(runConcrete(*F, {}), 222u);
+}
+
+TEST_F(InterpTest, CallsAndObservations) {
+  auto *I32 = Ctx.intTy(32);
+  Function *Obs =
+      M.createFunction("observe", Ctx.types().fnTy(Ctx.voidTy(), {I32}));
+  Function *Sq = M.createFunction("sq", Ctx.types().fnTy(I32, {I32}));
+  {
+    IRBuilder B(Ctx, Sq->addBlock("entry"));
+    B.ret(B.mul(Sq->arg(0), Sq->arg(0)));
+  }
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *R = B.call(Sq, {F->arg(0)});
+  B.call(Obs, {R});
+  B.ret(R);
+
+  ExecResult Res = runOnce(*F, {iv(32, 5)}, Proposed);
+  ASSERT_TRUE(Res.ok());
+  EXPECT_EQ(Res.Ret->scalar().Bits.zext(), 25u);
+  ASSERT_EQ(Res.Trace.size(), 1u);
+  EXPECT_EQ(Res.Trace[0].scalar().Bits.zext(), 25u);
+}
+
+TEST_F(InterpTest, CastsAndBitcast) {
+  auto *I8 = Ctx.intTy(8);
+  auto *I16 = Ctx.intTy(16);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I16, {I8}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  B.ret(B.sext(F->arg(0), I16));
+  EXPECT_EQ(runOnce(*F, {iv(8, 0xF0)}, Proposed).Ret->scalar().Bits.zext(),
+            0xFFF0u);
+
+  // bitcast <2 x i8> with one poison lane to i16 poisons everything
+  // (Figure 5 ty-up on a base type).
+  auto *V2 = Ctx.vecTy(I8, 2);
+  Function *G = M.createFunction("g", Ctx.types().fnTy(I16, {}));
+  IRBuilder B2(Ctx, G->addBlock("entry"));
+  Value *Vec = Ctx.getVector(
+      {Ctx.getInt(8, 1), cast<Constant>(Ctx.getPoison(I8))});
+  B2.ret(B2.bitcast(Vec, I16));
+  ExecResult R = runOnce(*G, {}, Proposed);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Ret->scalar().isPoison());
+
+  // The reverse direction: bitcasting a concrete i16 to a vector splits it.
+  Function *H = M.createFunction("h", Ctx.types().fnTy(I8, {I16}));
+  IRBuilder B3(Ctx, H->addBlock("entry"));
+  Value *AsVec = B3.bitcast(H->arg(0), V2);
+  B3.ret(B3.extractElement(AsVec, 1));
+  EXPECT_EQ(runOnce(*H, {iv(16, 0xAB07)}, Proposed).Ret->scalar().Bits.zext(),
+            0xABu);
+}
+
+TEST_F(InterpTest, SwitchDispatch) {
+  auto *I8 = Ctx.intTy(8);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I8, {I8}));
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *C1 = F->addBlock("c1");
+  BasicBlock *C2 = F->addBlock("c2");
+  BasicBlock *Def = F->addBlock("def");
+  IRBuilder B(Ctx, Entry);
+  SwitchInst *SW = B.switch_(F->arg(0), Def);
+  SW->addCase(Ctx.getInt(8, 1), C1);
+  SW->addCase(Ctx.getInt(8, 2), C2);
+  B.setInsertPoint(C1);
+  B.ret(Ctx.getInt(8, 10));
+  B.setInsertPoint(C2);
+  B.ret(Ctx.getInt(8, 20));
+  B.setInsertPoint(Def);
+  B.ret(Ctx.getInt(8, 30));
+
+  EXPECT_EQ(runConcrete(*F, {1}), 10u);
+  EXPECT_EQ(runConcrete(*F, {2}), 20u);
+  EXPECT_EQ(runConcrete(*F, {7}), 30u);
+  // Switch on poison is UB under the proposed semantics.
+  EXPECT_TRUE(runOnce(*F, {sem::Value::poison()}, Proposed).ub());
+}
+
+TEST_F(InterpTest, UnreachableIsUB) {
+  Function *F = M.createFunction("f", Ctx.types().fnTy(Ctx.voidTy(), {}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  B.unreachable();
+  EXPECT_TRUE(runOnce(*F, {}, Proposed).ub());
+}
+
+TEST_F(InterpTest, FuelLimitStopsInfiniteLoops) {
+  Function *F = M.createFunction("f", Ctx.types().fnTy(Ctx.voidTy(), {}));
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Spin = F->addBlock("spin");
+  IRBuilder B(Ctx, Entry);
+  B.br(Spin);
+  B.setInsertPoint(Spin);
+  B.br(Spin);
+  DeterministicOracle O;
+  InterpOptions Opts;
+  Opts.Fuel = 100;
+  Interpreter I(Proposed, O, Opts);
+  EXPECT_EQ(I.run(*F, {}).St, ExecResult::Status::Fuel);
+}
+
+} // namespace

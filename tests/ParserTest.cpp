@@ -1,0 +1,306 @@
+//===- ParserTest.cpp - Textual IR parser tests -------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include "ir/Context.h"
+#include "ir/Instructions.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "sem/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace frost;
+
+namespace {
+
+struct ParserTest : ::testing::Test {
+  IRContext Ctx;
+  Module M{Ctx, "parsed"};
+
+  Function *parse(const std::string &Text, const std::string &Name) {
+    ParseResult R = parseModule(Text, M);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    if (!R.Ok)
+      return nullptr;
+    Function *F = M.getFunction(Name);
+    EXPECT_NE(F, nullptr);
+    if (F) {
+      EXPECT_TRUE(verifyFunction(*F));
+    }
+    return F;
+  }
+
+  std::string expectError(const std::string &Text) {
+    ParseResult R = parseModule(Text, M);
+    EXPECT_FALSE(R.Ok);
+    return R.Error;
+  }
+};
+
+TEST_F(ParserTest, SimpleFunction) {
+  Function *F = parse(R"(
+define i32 @add3(i32 %a, i32 %b) {
+entry:
+  %x = add nsw i32 %a, %b
+  %y = add i32 %x, 3
+  ret i32 %y
+}
+)",
+                      "add3");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->instructionCount(), 3u);
+  EXPECT_EQ(F->getNumArgs(), 2u);
+  EXPECT_EQ(sem::runConcrete(*F, {10, 20}), 33u);
+  Instruction *First = F->entry()->front();
+  EXPECT_TRUE(First->hasNSW());
+  EXPECT_FALSE(First->hasNUW());
+}
+
+TEST_F(ParserTest, AllScalarInstructionKinds) {
+  Function *F = parse(R"(
+define i32 @kitchen(i32 %a, i32 %b, i1 %c) {
+entry:
+  %s = sub nuw i32 %a, %b
+  %m = mul i32 %s, 3
+  %d = udiv exact i32 %m, 2
+  %sh = shl nsw i32 %d, 1
+  %x = xor i32 %sh, -1
+  %o = or i32 %x, %a
+  %n = and i32 %o, %b
+  %cmp = icmp slt i32 %n, %a
+  %sel = select i1 %cmp, i32 %n, i32 %a
+  %f = freeze i32 %sel
+  %t = trunc i32 %f to i8
+  %z = zext i8 %t to i32
+  %se = sext i8 %t to i32
+  %bc = bitcast i32 %se to i32
+  br i1 %c, label %left, label %right
+
+left:
+  br label %merge
+
+right:
+  br label %merge
+
+merge:
+  %phi = phi i32 [ %z, %left ], [ %bc, %right ]
+  ret i32 %phi
+}
+)",
+                      "kitchen");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->size(), 4u);
+}
+
+TEST_F(ParserTest, PoisonUndefAndNegativeConstants) {
+  Function *F = parse(R"(
+define i8 @c() {
+entry:
+  %x = add i8 poison, -1
+  %y = add i8 undef, 127
+  %z = add i8 %x, %y
+  ret i8 %z
+}
+)",
+                      "c");
+  ASSERT_NE(F, nullptr);
+  auto It = F->entry()->begin();
+  EXPECT_TRUE(isa<PoisonValue>((*It)->getOperand(0)));
+  EXPECT_EQ(cast<ConstantInt>((*It)->getOperand(1))->value().sext(), -1);
+  ++It;
+  EXPECT_TRUE(isa<UndefValue>((*It)->getOperand(0)));
+}
+
+TEST_F(ParserTest, MemoryAndGlobals) {
+  Function *F = parse(R"(
+@counter = global i32, 4
+
+define i32 @bump() {
+entry:
+  %p = alloca i32
+  store i32 7, i32* %p
+  %v = load i32, i32* %p
+  %g = load i32, i32* @counter
+  %sum = add i32 %v, %g
+  store i32 %sum, i32* @counter
+  ret i32 %sum
+}
+)",
+                      "bump");
+  ASSERT_NE(F, nullptr);
+  EXPECT_NE(Ctx.findGlobal("counter"), nullptr);
+  EXPECT_EQ(Ctx.findGlobal("counter")->sizeBytes(), 4u);
+}
+
+TEST_F(ParserTest, GEPAndVectors) {
+  Function *F = parse(R"(
+@arr = global i16, 8
+
+define i16 @pick(<4 x i16> %v) {
+entry:
+  %p = gep inbounds i16* @arr, i32 2
+  %l = load i16, i16* %p
+  %e = extractelement <4 x i16> %v, 1
+  %v2 = insertelement <4 x i16> %v, i16 %l, 0
+  %e0 = extractelement <4 x i16> %v2, 0
+  %r = add i16 %e, %e0
+  ret i16 %r
+}
+)",
+                      "pick");
+  ASSERT_NE(F, nullptr);
+  auto *G = cast<GEPInst>(F->entry()->front());
+  EXPECT_TRUE(G->isInBounds());
+}
+
+TEST_F(ParserTest, ConstantVectorOperands) {
+  Function *F = parse(R"(
+define i8 @cv() {
+entry:
+  %e = extractelement <4 x i8> <i8 1, i8 2, i8 poison, i8 undef>, 1
+  ret i8 %e
+}
+)",
+                      "cv");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(sem::runConcrete(*F, {}), 2u);
+}
+
+TEST_F(ParserTest, PhiForwardReferences) {
+  // The phi references %i1, defined later in the body.
+  Function *F = parse(R"(
+define i32 @count(i32 %n) {
+entry:
+  br label %head
+
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %exit
+
+body:
+  %i1 = add i32 %i, 1
+  br label %head
+
+exit:
+  ret i32 %i
+}
+)",
+                      "count");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(sem::runConcrete(*F, {5}), 5u);
+}
+
+TEST_F(ParserTest, CallsAndDeclarations) {
+  Function *F = parse(R"(
+declare void @observe(i32)
+
+define i32 @twice(i32 %x) {
+entry:
+  %d = add i32 %x, %x
+  call void @observe(i32 %d)
+  ret i32 %d
+}
+)",
+                      "twice");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(M.getFunction("observe")->isDeclaration());
+}
+
+TEST_F(ParserTest, SwitchSyntax) {
+  Function *F = parse(R"(
+define i8 @classify(i8 %x) {
+entry:
+  switch i8 %x, label %other [ i8 0, label %zero i8 1, label %one ]
+
+zero:
+  ret i8 10
+
+one:
+  ret i8 20
+
+other:
+  ret i8 30
+}
+)",
+                      "classify");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(sem::runConcrete(*F, {0}), 10u);
+  EXPECT_EQ(sem::runConcrete(*F, {1}), 20u);
+  EXPECT_EQ(sem::runConcrete(*F, {9}), 30u);
+}
+
+TEST_F(ParserTest, CommentsAndWhitespace) {
+  Function *F = parse(R"(
+; leading comment
+define i32 @c(i32 %a) {   ; trailing comment
+entry:
+  ; a full-line comment
+  %x = add i32 %a, 1
+  ret i32 %x
+}
+)",
+                      "c");
+  ASSERT_NE(F, nullptr);
+}
+
+TEST_F(ParserTest, ErrorsAreDiagnosed) {
+  EXPECT_NE(expectError("define i32 @f() { entry: ret i32 %nope }").find(
+                "undefined value"),
+            std::string::npos);
+  EXPECT_NE(expectError("define i32 @f2(i32 %a) { entry: %x = frobnicate "
+                        "i32 %a ret i32 %x }")
+                .find("unknown instruction"),
+            std::string::npos);
+  EXPECT_NE(expectError("bogus").find("expected"), std::string::npos);
+  EXPECT_NE(expectError("define i32 @g() { entry: br label %nowhere }")
+                .find("undefined block"),
+            std::string::npos);
+  EXPECT_NE(expectError("define i999 @h() { entry: ret void }")
+                .find("unsupported integer width"),
+            std::string::npos);
+}
+
+TEST_F(ParserTest, RoundTripThroughPrinter) {
+  const char *Source = R"(
+@g = global i32, 4
+
+declare void @observe(i32)
+
+define i32 @roundtrip(i32 %a, i1 %c) {
+entry:
+  %x = add nsw i32 %a, 1
+  %f = freeze i32 %x
+  br i1 %c, label %then, label %merge
+
+then:
+  store i32 %f, i32* @g
+  call void @observe(i32 %f)
+  br label %merge
+
+merge:
+  %p = phi i32 [ %f, %then ], [ 0, %entry ]
+  %s = select i1 %c, i32 %p, i32 undef
+  ret i32 %s
+}
+)";
+  ASSERT_TRUE(parseModule(Source, M).Ok);
+  std::string Printed = printModule(M);
+
+  // Parse the printed form into a fresh module and print again: the two
+  // printed forms must be identical (fixpoint round-trip).
+  IRContext Ctx2;
+  Module M2(Ctx2, "again");
+  ParseResult R = parseModule(Printed, M2);
+  ASSERT_TRUE(R.Ok) << R.Error << "\n" << Printed;
+  EXPECT_EQ(printModule(M2), Printed);
+}
+
+} // namespace

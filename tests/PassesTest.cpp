@@ -1,0 +1,990 @@
+//===- PassesTest.cpp - Optimization pass tests -------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Each pass is tested two ways: structurally (did the expected rewrite
+/// happen) and semantically (the transformed function must refine the
+/// original under the proposed semantics, checked exhaustively by the
+/// translation validator — the Section 6 methodology, with opt-fuzz replaced
+/// by targeted inputs).
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+#include "opt/Passes.h"
+
+#include "analysis/ValueTracking.h"
+#include "ir/Cloning.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+#include "opt/Utils.h"
+#include "tv/Refinement.h"
+
+#include <gtest/gtest.h>
+
+using namespace frost;
+using frost::sem::SemanticsConfig;
+
+namespace {
+
+struct PassesTest : ::testing::Test {
+  IRContext Ctx;
+  Module M{Ctx, "passes"};
+
+  Function *parse(const std::string &Text, const std::string &Name) {
+    ParseResult R = parseModule(Text, M);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    Function *F = M.getFunction(Name);
+    EXPECT_NE(F, nullptr);
+    return F;
+  }
+
+  /// Clones F, runs the pass on F, verifies, and checks refinement of the
+  /// transformed F against the untouched clone.
+  ::testing::AssertionResult runAndValidate(
+      Function *F, std::unique_ptr<Pass> P,
+      SemanticsConfig Config = SemanticsConfig::proposed()) {
+    Function *Orig = cloneFunction(*F, M, F->getName() + ".orig");
+    P->runOnFunction(*F);
+    std::vector<std::string> Errors;
+    if (!verifyFunction(*F, &Errors))
+      return ::testing::AssertionFailure()
+             << "verifier: " << Errors.front() << "\n" << F->str();
+    tv::TVResult R = tv::checkRefinement(*Orig, *F, Config);
+    if (!R.valid())
+      return ::testing::AssertionFailure()
+             << "refinement: " << R.Message << "\ntransformed:\n" << F->str();
+    return ::testing::AssertionSuccess();
+  }
+
+  /// Counts instructions with the given opcode.
+  unsigned count(Function *F, Opcode Op) {
+    unsigned N = 0;
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB)
+        N += I->getOpcode() == Op;
+    return N;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// InstSimplify
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassesTest, InstSimplifyConstantFolding) {
+  Function *F = parse(R"(
+define i8 @f(i8 %x) {
+entry:
+  %a = add i8 3, 4
+  %b = mul i8 %a, 2
+  %c = add i8 %x, %b
+  ret i8 %c
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createInstSimplifyPass()));
+  // 3+4=7 and 7*2=14 fold; only the final add remains.
+  EXPECT_EQ(F->instructionCount(), 2u);
+}
+
+TEST_F(PassesTest, InstSimplifyIdentities) {
+  Function *F = parse(R"(
+define i8 @f(i8 %x) {
+entry:
+  %a = add i8 %x, 0
+  %b = mul i8 %a, 1
+  %c = or i8 %b, 0
+  %d = xor i8 %c, 0
+  %e = and i8 %d, -1
+  ret i8 %e
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createInstSimplifyPass()));
+  EXPECT_EQ(F->instructionCount(), 1u); // Just the ret.
+}
+
+TEST_F(PassesTest, InstSimplifySelfCancellation) {
+  Function *F = parse(R"(
+define i8 @f(i8 %x) {
+entry:
+  %a = sub i8 %x, %x
+  %b = xor i8 %x, %x
+  %c = add i8 %a, %b
+  ret i8 %c
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createInstSimplifyPass()));
+  EXPECT_EQ(F->instructionCount(), 1u);
+}
+
+TEST_F(PassesTest, InstSimplifyICmpIdentical) {
+  Function *F = parse(R"(
+define i1 @f(i8 %x) {
+entry:
+  %c = icmp ule i8 %x, %x
+  ret i1 %c
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createInstSimplifyPass()));
+  EXPECT_EQ(count(F, Opcode::ICmp), 0u);
+}
+
+TEST_F(PassesTest, InstSimplifySelect) {
+  Function *F = parse(R"(
+define i8 @f(i1 %c, i8 %x, i8 %y) {
+entry:
+  %a = select i1 true, i8 %x, i8 %y
+  %b = select i1 %c, i8 %a, i8 %a
+  ret i8 %b
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createInstSimplifyPass()));
+  EXPECT_EQ(count(F, Opcode::Select), 0u);
+}
+
+TEST_F(PassesTest, InstSimplifyFreezeOfNonPoison) {
+  Function *F = parse(R"(
+define i8 @f(i8 %x) {
+entry:
+  %f1 = freeze i8 %x
+  %f2 = freeze i8 %f1
+  %f3 = freeze i8 7
+  %s = add i8 %f2, %f3
+  ret i8 %s
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createInstSimplifyPass()));
+  // %f2 and %f3 fold away; %f1 must stay (%x may be poison).
+  EXPECT_EQ(count(F, Opcode::Freeze), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// InstCombine
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassesTest, InstCombineStrengthReduction) {
+  Function *F = parse(R"(
+define i8 @f(i8 %x, i8 %y) {
+entry:
+  %m = mul nsw i8 %x, 8
+  %d = udiv i8 %y, 4
+  %s = add i8 %m, %d
+  ret i8 %s
+}
+)",
+                      "f");
+  ASSERT_TRUE(
+      runAndValidate(F, createInstCombinePass(PipelineMode::Proposed)));
+  EXPECT_EQ(count(F, Opcode::Mul), 0u);
+  EXPECT_EQ(count(F, Opcode::UDiv), 0u);
+  EXPECT_EQ(count(F, Opcode::Shl), 1u);
+  EXPECT_EQ(count(F, Opcode::LShr), 1u);
+}
+
+TEST_F(PassesTest, InstCombineConstantChains) {
+  Function *F = parse(R"(
+define i8 @f(i8 %x) {
+entry:
+  %a = add i8 %x, 3
+  %b = add i8 %a, 4
+  %c = xor i8 %b, 5
+  %d = xor i8 %c, 6
+  ret i8 %d
+}
+)",
+                      "f");
+  ASSERT_TRUE(
+      runAndValidate(F, createInstCombinePass(PipelineMode::Proposed)));
+  EXPECT_EQ(count(F, Opcode::Add), 1u);
+  EXPECT_EQ(count(F, Opcode::Xor), 1u);
+}
+
+TEST_F(PassesTest, InstCombineAddNSWCmpFold) {
+  // The flagship fold: icmp sgt (add nsw a, b), a -> icmp sgt b, 0.
+  Function *F = parse(R"(
+define i1 @f(i4 %a, i4 %b) {
+entry:
+  %add = add nsw i4 %a, %b
+  %cmp = icmp sgt i4 %add, %a
+  ret i1 %cmp
+}
+)",
+                      "f");
+  ASSERT_TRUE(
+      runAndValidate(F, createInstCombinePass(PipelineMode::Proposed)));
+  // After DCE-able add remains but the cmp now compares %b against 0.
+  bool Found = false;
+  for (BasicBlock *BB : *F)
+    for (Instruction *I : *BB)
+      if (auto *C = dyn_cast<ICmpInst>(I))
+        Found |= C->lhs() == F->arg(1) && frost::opt::matchConstant(C->rhs(), 0);
+  EXPECT_TRUE(Found) << F->str();
+}
+
+TEST_F(PassesTest, InstCombineSelectToOrProposedInsertsFreeze) {
+  Function *F = parse(R"(
+define i1 @f(i1 %c, i1 %x) {
+entry:
+  %s = select i1 %c, i1 true, i1 %x
+  ret i1 %s
+}
+)",
+                      "f");
+  ASSERT_TRUE(
+      runAndValidate(F, createInstCombinePass(PipelineMode::Proposed)));
+  EXPECT_EQ(count(F, Opcode::Select), 0u);
+  EXPECT_EQ(count(F, Opcode::Or), 1u);
+  EXPECT_EQ(count(F, Opcode::Freeze), 1u) << F->str();
+}
+
+TEST_F(PassesTest, InstCombineSelectToOrLegacyIsUnsound) {
+  // The historical transformation without freeze: the validator must find
+  // the Section 3.4 counterexample (c = true, x = poison).
+  Function *F = parse(R"(
+define i1 @f(i1 %c, i1 %x) {
+entry:
+  %s = select i1 %c, i1 true, i1 %x
+  ret i1 %s
+}
+)",
+                      "f");
+  Function *Orig = cloneFunction(*F, M, "f.orig");
+  createInstCombinePass(PipelineMode::Legacy)->runOnFunction(*F);
+  EXPECT_EQ(count(F, Opcode::Freeze), 0u);
+  tv::TVResult R =
+      tv::checkRefinement(*Orig, *F, SemanticsConfig::proposed());
+  EXPECT_TRUE(R.invalid()) << R.Message;
+}
+
+TEST_F(PassesTest, InstCombineCastChains) {
+  Function *F = parse(R"(
+define i32 @f(i8 %x) {
+entry:
+  %a = zext i8 %x to i16
+  %b = zext i16 %a to i32
+  ret i32 %b
+}
+)",
+                      "f");
+  ASSERT_TRUE(
+      runAndValidate(F, createInstCombinePass(PipelineMode::Proposed)));
+  EXPECT_EQ(count(F, Opcode::ZExt), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// SimplifyCFG
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassesTest, SimplifyCFGConstantBranch) {
+  Function *F = parse(R"(
+define i8 @f(i8 %x) {
+entry:
+  br i1 true, label %live, label %dead
+
+live:
+  ret i8 %x
+
+dead:
+  ret i8 0
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createSimplifyCFGPass()));
+  EXPECT_EQ(F->size(), 1u);
+}
+
+TEST_F(PassesTest, SimplifyCFGMergesStraightLine) {
+  Function *F = parse(R"(
+define i8 @f(i8 %x) {
+entry:
+  %a = add i8 %x, 1
+  br label %next
+
+next:
+  %b = add i8 %a, 2
+  br label %last
+
+last:
+  ret i8 %b
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createSimplifyCFGPass()));
+  EXPECT_EQ(F->size(), 1u);
+}
+
+TEST_F(PassesTest, SimplifyCFGPhiToSelectDiamond) {
+  Function *F = parse(R"(
+define i8 @f(i1 %c, i8 %a, i8 %b) {
+entry:
+  br i1 %c, label %t, label %e
+
+t:
+  br label %m
+
+e:
+  br label %m
+
+m:
+  %p = phi i8 [ %a, %t ], [ %b, %e ]
+  ret i8 %p
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createSimplifyCFGPass()));
+  EXPECT_EQ(count(F, Opcode::Select), 1u);
+  EXPECT_EQ(count(F, Opcode::Phi), 0u);
+  EXPECT_EQ(F->size(), 1u) << F->str();
+}
+
+TEST_F(PassesTest, SimplifyCFGPhiToSelectTriangle) {
+  Function *F = parse(R"(
+define i8 @f(i1 %c, i8 %a) {
+entry:
+  br i1 %c, label %t, label %m
+
+t:
+  br label %m
+
+m:
+  %p = phi i8 [ 5, %t ], [ %a, %entry ]
+  ret i8 %p
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createSimplifyCFGPass()));
+  EXPECT_EQ(count(F, Opcode::Select), 1u);
+}
+
+TEST_F(PassesTest, SimplifyCFGRemovesUnreachable) {
+  Function *F = parse(R"(
+define i8 @f(i8 %x) {
+entry:
+  ret i8 %x
+
+island:
+  %a = add i8 %x, 1
+  br label %island2
+
+island2:
+  ret i8 %a
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createSimplifyCFGPass()));
+  EXPECT_EQ(F->size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// SCCP
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassesTest, SCCPPropagatesThroughControlFlow) {
+  Function *F = parse(R"(
+define i8 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+
+a:
+  br label %m
+
+b:
+  br label %m
+
+m:
+  %p = phi i8 [ 3, %a ], [ 3, %b ]
+  %q = add i8 %p, 4
+  ret i8 %q
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createSCCPPass()));
+  EXPECT_EQ(count(F, Opcode::Add), 0u) << F->str();
+}
+
+TEST_F(PassesTest, SCCPIgnoresDeadEdges) {
+  Function *F = parse(R"(
+define i8 @f(i8 %x) {
+entry:
+  br i1 false, label %dead, label %live
+
+dead:
+  br label %m
+
+live:
+  br label %m
+
+m:
+  %p = phi i8 [ 9, %dead ], [ 4, %live ]
+  ret i8 %p
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createSCCPPass()));
+  // Only the live edge contributes: %p is the constant 4.
+  EXPECT_EQ(count(F, Opcode::Phi), 0u) << F->str();
+}
+
+//===----------------------------------------------------------------------===//
+// GVN
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassesTest, GVNRemovesRedundantExpressions) {
+  Function *F = parse(R"(
+define i8 @f(i8 %x, i8 %y) {
+entry:
+  %a = add i8 %x, %y
+  %b = add i8 %y, %x
+  %c = sub i8 %a, %b
+  ret i8 %c
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createGVNPass()));
+  EXPECT_EQ(count(F, Opcode::Add), 1u) << F->str();
+}
+
+TEST_F(PassesTest, GVNDoesNotMergeFreezes) {
+  Function *F = parse(R"(
+define i8 @f(i8 %x) {
+entry:
+  %f1 = freeze i8 %x
+  %f2 = freeze i8 %x
+  %d = sub i8 %f1, %f2
+  ret i8 %d
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createGVNPass()));
+  // Merging would change the result from "any difference" to always-0 —
+  // wait, merging *shrinks* behaviours... but LLVM's rule (Section 6) is
+  // that it is sound only if ALL uses are replaced; our GVN stays
+  // conservative and keeps both.
+  EXPECT_EQ(count(F, Opcode::Freeze), 2u);
+}
+
+TEST_F(PassesTest, GVNPropagatesBranchEqualities) {
+  // The Section 3.3 GVN transformation.
+  Function *F = parse(R"(
+declare void @observe(i8)
+
+define void @f(i8 %x, i8 %y) {
+entry:
+  %t = add nsw i8 %x, 1
+  %c = icmp eq i8 %t, %y
+  br i1 %c, label %then, label %exit
+
+then:
+  call void @observe(i8 %t)
+  br label %exit
+
+exit:
+  ret void
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createGVNPass()));
+  // Inside %then, %t was replaced by %y.
+  bool UsesY = false;
+  for (BasicBlock *BB : *F)
+    if (BB->getName() == "then")
+      for (Instruction *I : *BB)
+        if (auto *C = dyn_cast<CallInst>(I))
+          UsesY = C->getArg(0) == F->arg(1);
+  EXPECT_TRUE(UsesY) << F->str();
+}
+
+//===----------------------------------------------------------------------===//
+// DCE
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassesTest, DCERemovesDeadChains) {
+  Function *F = parse(R"(
+define i8 @f(i8 %x) {
+entry:
+  %d1 = add i8 %x, 1
+  %d2 = mul i8 %d1, %d1
+  %d3 = freeze i8 %d2
+  ret i8 %x
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createDCEPass()));
+  EXPECT_EQ(F->instructionCount(), 1u);
+}
+
+TEST_F(PassesTest, DCEKeepsSideEffects) {
+  Function *F = parse(R"(
+@g = global i8, 1
+
+define void @f(i8 %x) {
+entry:
+  store i8 %x, i8* @g
+  %dead = udiv i8 1, %x
+  ret void
+}
+)",
+                      "f");
+  createDCEPass()->runOnFunction(*F);
+  // The store stays; the division stays too (it can trap: removing it would
+  // actually be sound — removing UB is refinement — but DCE is conservative
+  // about immediate-UB ops, matching LLVM).
+  EXPECT_EQ(count(F, Opcode::Store), 1u);
+  EXPECT_EQ(count(F, Opcode::UDiv), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// LICM (Figure 1)
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassesTest, LICMHoistsInvariantNSWAdd) {
+  // Figure 1: hoisting x+1 (nsw) out of the loop is exactly what deferred
+  // UB exists for.
+  Function *F = parse(R"(
+@a = global i8, 4
+
+define void @f(i2 %n, i8 %x) {
+entry:
+  br label %head
+
+head:
+  %i = phi i2 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp ult i2 %i, %n
+  br i1 %c, label %body, label %exit
+
+body:
+  %x1 = add nsw i8 %x, 1
+  %iw = zext i2 %i to i32
+  %ptr = gep i8* @a, i32 %iw
+  store i8 %x1, i8* %ptr
+  %i1 = add i2 %i, 1
+  br label %head
+
+exit:
+  ret void
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createLICMPass()));
+  // %x1 now lives in the entry block (the preheader).
+  bool Hoisted = false;
+  for (Instruction *I : *F->entry())
+    Hoisted |= I->getOpcode() == Opcode::Add && I->hasNSW();
+  EXPECT_TRUE(Hoisted) << F->str();
+}
+
+TEST_F(PassesTest, LICMNeverHoistsDivision) {
+  // Section 3.2 / PR21412: division must not move past control flow.
+  Function *F = parse(R"(
+declare void @observe(i8)
+
+define void @f(i2 %n, i8 %k) {
+entry:
+  %nz = icmp ne i8 %k, 0
+  br i1 %nz, label %guard, label %exit
+
+guard:
+  br label %head
+
+head:
+  %i = phi i2 [ 0, %guard ], [ %i1, %body ]
+  %c = icmp ult i2 %i, %n
+  br i1 %c, label %body, label %exit
+
+body:
+  %q = udiv i8 1, %k
+  call void @observe(i8 %q)
+  %i1 = add i2 %i, 1
+  br label %head
+
+exit:
+  ret void
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createLICMPass()));
+  // The division stays in the loop body.
+  bool DivInBody = false;
+  for (BasicBlock *BB : *F)
+    if (BB->getName() == "body")
+      for (Instruction *I : *BB)
+        DivInBody |= I->getOpcode() == Opcode::UDiv;
+  EXPECT_TRUE(DivInBody) << F->str();
+}
+
+//===----------------------------------------------------------------------===//
+// Loop unswitching (Sections 3.3 / 5.1)
+//===----------------------------------------------------------------------===//
+
+const char *UnswitchSource = R"(
+declare void @observe(i8)
+
+define void @f(i2 %n, i1 %c2) {
+entry:
+  br label %head
+
+head:
+  %i = phi i2 [ 0, %entry ], [ %i1, %latch ]
+  %c = icmp ult i2 %i, %n
+  br i1 %c, label %body, label %exit
+
+body:
+  br i1 %c2, label %foo, label %bar
+
+foo:
+  call void @observe(i8 1)
+  br label %latch
+
+bar:
+  call void @observe(i8 2)
+  br label %latch
+
+latch:
+  %i1 = add i2 %i, 1
+  br label %head
+
+exit:
+  ret void
+}
+)";
+
+TEST_F(PassesTest, LoopUnswitchProposedFreezesCondition) {
+  Function *F = parse(UnswitchSource, "f");
+  ASSERT_TRUE(
+      runAndValidate(F, createLoopUnswitchPass(PipelineMode::Proposed)));
+  EXPECT_EQ(count(F, Opcode::Freeze), 1u) << F->str();
+  // Two loop copies now exist: two phis.
+  EXPECT_EQ(count(F, Opcode::Phi), 2u);
+  // Each copy still carries both (now partly unreachable) arms until
+  // SimplifyCFG prunes them down to one observe call per copy.
+  EXPECT_EQ(count(F, Opcode::Call), 4u);
+  createSimplifyCFGPass()->runOnFunction(*F);
+  EXPECT_EQ(count(F, Opcode::Call), 2u) << F->str();
+}
+
+TEST_F(PassesTest, LoopUnswitchLegacyIsUnsoundUnderProposedSemantics) {
+  // The paper's end-to-end miscompilation: legacy unswitching (no freeze)
+  // branches on a potentially poison value that the original program never
+  // branched on when the loop is empty.
+  Function *F = parse(UnswitchSource, "f");
+  Function *Orig = cloneFunction(*F, M, "f.orig");
+  createLoopUnswitchPass(PipelineMode::Legacy)->runOnFunction(*F);
+  EXPECT_EQ(count(F, Opcode::Freeze), 0u);
+  ASSERT_TRUE(verifyFunction(*F));
+
+  tv::TVResult R =
+      tv::checkRefinement(*Orig, *F, SemanticsConfig::proposed());
+  EXPECT_TRUE(R.invalid()) << R.Message;
+
+  // ...but it validates under the nondet-branch semantics loop unswitching
+  // had assumed (Section 3.3). A poison trip count would make the nondet
+  // branch diverge (unboundedly many behaviours), so this check runs on
+  // concrete and undef inputs — undef c2 is the historically interesting
+  // case anyway.
+  tv::TVOptions NoPoison;
+  NoPoison.IncludePoisonInputs = false;
+  R = tv::checkRefinement(*Orig, *F, SemanticsConfig::legacyUnswitch(),
+                          NoPoison);
+  EXPECT_TRUE(R.valid()) << R.Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Induction variable widening (Figure 3)
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassesTest, IndVarWidenEliminatesSext) {
+  Function *F = parse(R"(
+define i8 @f(i3 %n) {
+entry:
+  br label %head
+
+head:
+  %i = phi i3 [ 0, %entry ], [ %i1, %body ]
+  %s = phi i8 [ 0, %entry ], [ %s1, %body ]
+  %c = icmp slt i3 %i, %n
+  br i1 %c, label %body, label %exit
+
+body:
+  %iext = sext i3 %i to i8
+  %s1 = add i8 %s, %iext
+  %i1 = add nsw i3 %i, 1
+  br label %head
+
+exit:
+  ret i8 %s
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createIndVarWidenPass(/*TargetWidth=*/8)));
+  EXPECT_EQ(count(F, Opcode::SExt), 0u) << F->str();
+  // A wide induction phi now exists alongside the narrow one.
+  EXPECT_EQ(count(F, Opcode::Phi), 3u);
+}
+
+TEST_F(PassesTest, IndVarWidenRequiresNSW) {
+  // Section 2.4: without nsw (wrapping step) widening is not performed.
+  Function *F = parse(R"(
+define i8 @f(i3 %n) {
+entry:
+  br label %head
+
+head:
+  %i = phi i3 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp slt i3 %i, %n
+  br i1 %c, label %body, label %exit
+
+body:
+  %iext = sext i3 %i to i8
+  %i1 = add i3 %i, 1
+  br label %head
+
+exit:
+  ret i8 0
+}
+)",
+                      "f");
+  createIndVarWidenPass(8)->runOnFunction(*F);
+  EXPECT_EQ(count(F, Opcode::SExt), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Reassociate (Section 10.2)
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassesTest, ReassociateCombinesConstants) {
+  Function *F = parse(R"(
+define i8 @f(i8 %x, i8 %y) {
+entry:
+  %a = add i8 %x, 3
+  %b = add i8 %a, %y
+  %c = add i8 %b, 4
+  ret i8 %c
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createReassociatePass()));
+  // The tree is rebuilt with 3+4 combined into a single constant 7.
+  bool HasSeven = false;
+  for (BasicBlock *BB : *F)
+    for (Instruction *I : *BB)
+      for (unsigned Op = 0; Op != I->getNumOperands(); ++Op)
+        HasSeven |= frost::opt::matchConstant(I->getOperand(Op), 7);
+  EXPECT_TRUE(HasSeven) << F->str();
+}
+
+TEST_F(PassesTest, ReassociateDropsNSW) {
+  Function *F = parse(R"(
+define i8 @f(i8 %x, i8 %y, i8 %z) {
+entry:
+  %a = add nsw i8 %z, %y
+  %b = add nsw i8 %a, %x
+  ret i8 %b
+}
+)",
+                      "f");
+  ASSERT_TRUE(runAndValidate(F, createReassociatePass()));
+  for (BasicBlock *BB : *F)
+    for (Instruction *I : *BB) {
+      if (I->getOpcode() == Opcode::Add) {
+        EXPECT_FALSE(I->hasNSW()) << F->str();
+      }
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// CodeGenPrepare (Section 6)
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassesTest, CGPPushesFreezeThroughICmp) {
+  Function *F = parse(R"(
+define i1 @f(i8 %x) {
+entry:
+  %c = icmp ult i8 %x, 10
+  %fc = freeze i1 %c
+  ret i1 %fc
+}
+)",
+                      "f");
+  ASSERT_TRUE(
+      runAndValidate(F, createCodeGenPreparePass(PipelineMode::Proposed)));
+  // The freeze now guards the operand, not the compare result.
+  auto *Ret = cast<ReturnInst>(F->entry()->terminator());
+  EXPECT_TRUE(isa<ICmpInst>(Ret->value())) << F->str();
+  EXPECT_EQ(count(F, Opcode::Freeze), 1u);
+}
+
+TEST_F(PassesTest, CGPSplitsBranchOnAnd) {
+  Function *F = parse(R"(
+define i8 @f(i1 %a, i1 %b) {
+entry:
+  %c = and i1 %a, %b
+  br i1 %c, label %t, label %e
+
+t:
+  ret i8 1
+
+e:
+  ret i8 2
+}
+)",
+                      "f");
+  ASSERT_TRUE(
+      runAndValidate(F, createCodeGenPreparePass(PipelineMode::Proposed)));
+  EXPECT_EQ(count(F, Opcode::And), 0u);
+  EXPECT_EQ(F->size(), 4u) << F->str(); // entry, check2, t, e.
+}
+
+TEST_F(PassesTest, CGPSplitsFrozenAndViaDistribution) {
+  // Section 6: the branch-split was blocked on freeze(and ...); the fix
+  // distributes the freeze first.
+  Function *F = parse(R"(
+define i8 @f(i1 %a, i1 %b) {
+entry:
+  %c = and i1 %a, %b
+  %fc = freeze i1 %c
+  br i1 %fc, label %t, label %e
+
+t:
+  ret i8 1
+
+e:
+  ret i8 2
+}
+)",
+                      "f");
+  ASSERT_TRUE(
+      runAndValidate(F, createCodeGenPreparePass(PipelineMode::Proposed)));
+  EXPECT_EQ(F->size(), 4u) << F->str();
+  EXPECT_EQ(count(F, Opcode::Freeze), 2u) << F->str();
+}
+
+//===----------------------------------------------------------------------===//
+// Full pipeline
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassesTest, StandardPipelineIsARefinement) {
+  Function *F = parse(R"(
+declare void @observe(i8)
+
+define i8 @f(i2 %n, i8 %x, i1 %c2) {
+entry:
+  br label %head
+
+head:
+  %i = phi i2 [ 0, %entry ], [ %i1, %latch ]
+  %acc = phi i8 [ 0, %entry ], [ %acc1, %latch ]
+  %c = icmp ult i2 %i, %n
+  br i1 %c, label %body, label %exit
+
+body:
+  %inv = add nsw i8 %x, 1
+  br i1 %c2, label %foo, label %bar
+
+foo:
+  br label %latch
+
+bar:
+  br label %latch
+
+latch:
+  %sel = phi i8 [ %inv, %foo ], [ 0, %bar ]
+  %acc1 = add i8 %acc, %sel
+  %i1 = add i2 %i, 1
+  br label %head
+
+exit:
+  %r = mul i8 %acc, 2
+  ret i8 %r
+}
+)",
+                      "f");
+  Function *Orig = cloneFunction(*F, M, "f.orig");
+  PassManager PM(/*VerifyAfterEachPass=*/true);
+  buildStandardPipeline(PM, PipelineMode::Proposed);
+  PM.run(*F);
+  ASSERT_TRUE(verifyFunction(*F));
+  tv::TVResult R =
+      tv::checkRefinement(*Orig, *F, SemanticsConfig::proposed());
+  EXPECT_TRUE(R.valid()) << R.Message << "\n" << F->str();
+}
+
+TEST_F(PassesTest, PipelineChangeCountsAreRecorded) {
+  Function *F = parse(R"(
+define i8 @f(i8 %x) {
+entry:
+  %a = add i8 %x, 0
+  %b = mul i8 %a, 4
+  ret i8 %b
+}
+)",
+                      "f");
+  PassManager PM;
+  buildStandardPipeline(PM, PipelineMode::Proposed);
+  EXPECT_TRUE(PM.run(*F));
+  bool AnyChange = false;
+  for (auto &[Name, N] : PM.changeCounts())
+    AnyChange |= N > 0;
+  EXPECT_TRUE(AnyChange);
+}
+
+//===----------------------------------------------------------------------===//
+// Value tracking (Section 5.6)
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassesTest, PowerOfTwoAnalysisIsUpToPoison) {
+  Function *F = parse(R"(
+define i8 @f(i8 %y) {
+entry:
+  %x = shl i8 1, %y
+  %fz = freeze i8 %x
+  ret i8 %x
+}
+)",
+                      "f");
+  Instruction *Shl = F->entry()->front();
+  Instruction *Fz = Shl->nextInst();
+  // "shl 1, %y" is a power of two up to poison...
+  EXPECT_TRUE(isKnownToBeAPowerOfTwo(Shl));
+  // ...but not after freezing: the materialised value is arbitrary.
+  EXPECT_FALSE(isKnownToBeAPowerOfTwo(Fz));
+  // And the shl itself may be poison, so hoisting a division guarded by
+  // this fact would be wrong (Section 5.6).
+  EXPECT_FALSE(isGuaranteedNotToBePoison(Shl));
+  EXPECT_TRUE(isGuaranteedNotToBePoison(Fz));
+}
+
+TEST_F(PassesTest, KnownBitsBasics) {
+  Function *F = parse(R"(
+define i8 @f(i8 %x) {
+entry:
+  %a = and i8 %x, 15
+  %b = or i8 %a, 128
+  %c = shl i8 %b, 1
+  ret i8 %c
+}
+)",
+                      "f");
+  auto It = F->entry()->begin();
+  Instruction *And = *It++;
+  Instruction *Or = *It++;
+  Instruction *Shl = *It++;
+  EXPECT_EQ(computeKnownBits(And).Zeros.zext(), 0xF0u);
+  EXPECT_EQ(computeKnownBits(Or).Ones.zext(), 0x80u);
+  EXPECT_EQ(computeKnownBits(Or).Zeros.zext(), 0x70u);
+  // After shl 1 the top bit is discarded; low bit known zero.
+  EXPECT_TRUE(computeKnownBits(Shl).Zeros.getBit(0));
+}
+
+} // namespace

@@ -1,0 +1,293 @@
+//===- PropertyTest.cpp - Parameterized property sweeps -------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-style sweeps over seeds, widths, and opcodes:
+///  - end-to-end: optimizer and backend preserve concrete results of random
+///    terminating programs;
+///  - freeze laws: identity on concrete values, refinement in general, and
+///    idempotence — for every small width;
+///  - the shared fold evaluator agrees with direct BitVec arithmetic on
+///    every operand pair of every binary opcode.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Codegen.h"
+#include "codegen/MachineSim.h"
+#include "fuzz/RandomProgram.h"
+#include "ir/Cloning.h"
+#include "ir/Context.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "opt/Pass.h"
+#include "sem/Eval.h"
+#include "sem/Interp.h"
+#include "tv/Refinement.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+using namespace frost;
+using frost::sem::SemanticsConfig;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Property: for every seed, the full pipeline (both modes) and the backend
+// preserve the concrete result of a random terminating program.
+//===----------------------------------------------------------------------===//
+
+class PipelinePreservesSemantics : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelinePreservesSemantics, OnRandomPrograms) {
+  IRContext Ctx;
+  Module M(Ctx, "prop");
+  fuzz::RandomProgramOptions Opts;
+  Opts.Seed = static_cast<uint64_t>(GetParam()) * 7727 + 3;
+  Opts.WithBitFieldOps = GetParam() % 2 == 0;
+  Function *F = fuzz::generateRandomFunction(M, "p", Opts);
+  ASSERT_TRUE(verifyFunction(*F));
+
+  const std::vector<std::pair<uint64_t, uint64_t>> Inputs = {
+      {0, 0}, {1, 2}, {0xFFFFFFFF, 7}, {12345, 54321}};
+
+  // Reference results. A random program is UB-free but may still *return*
+  // poison (e.g. a wrapping nsw add): any concrete result refines that, so
+  // such inputs only get a "runs successfully" check downstream.
+  auto Reference = [&](Function &Fn,
+                       std::pair<uint64_t, uint64_t> In)
+      -> std::optional<uint64_t> {
+    sem::DeterministicOracle O;
+    sem::InterpOptions IOpts;
+    IOpts.Fuel = 10u * 1000u * 1000u;
+    sem::Interpreter Interp(sem::SemanticsConfig::proposed(), O, IOpts);
+    sem::ExecResult R = Interp.run(
+        Fn, {sem::Value::concrete(BitVec(32, In.first)),
+             sem::Value::concrete(BitVec(32, In.second))});
+    EXPECT_TRUE(R.ok()) << R.str();
+    if (!R.ok() || !R.Ret->scalar().isConcrete())
+      return std::nullopt;
+    return R.Ret->scalar().Bits.zext();
+  };
+
+  std::vector<std::optional<uint64_t>> Expected;
+  for (auto &In : Inputs)
+    Expected.push_back(Reference(*F, In));
+
+  for (PipelineMode Mode : {PipelineMode::Legacy, PipelineMode::Proposed}) {
+    Function *C = cloneFunction(
+        *F, M, Mode == PipelineMode::Legacy ? "pl" : "pp");
+    PassManager PM(/*VerifyAfterEachPass=*/true);
+    buildStandardPipeline(PM, Mode);
+    PM.run(*C);
+    for (unsigned I = 0; I != Inputs.size(); ++I) {
+      if (!Expected[I])
+        continue; // Poison reference: anything refines it.
+      std::optional<uint64_t> Opt = Reference(*C, Inputs[I]);
+      // A concrete reference must stay concrete (a pass may drop poison,
+      // never introduce it).
+      ASSERT_TRUE(Opt.has_value());
+      EXPECT_EQ(*Opt, *Expected[I])
+          << "mode " << (Mode == PipelineMode::Legacy ? "legacy" : "frost")
+          << " input " << I;
+    }
+    // And through the backend on the simulator.
+    codegen::CompiledFunction CF = codegen::compileFunction(*C);
+    for (unsigned I = 0; I != Inputs.size(); ++I) {
+      codegen::SimResult S = codegen::simulate(
+          CF, {static_cast<uint32_t>(Inputs[I].first),
+               static_cast<uint32_t>(Inputs[I].second)});
+      ASSERT_TRUE(S.Ok) << S.Error;
+      if (Expected[I]) {
+        EXPECT_EQ(S.ReturnValue, static_cast<uint32_t>(*Expected[I]));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinePreservesSemantics,
+                         ::testing::Range(1, 21));
+
+//===----------------------------------------------------------------------===//
+// Property: freeze laws at every small width.
+//===----------------------------------------------------------------------===//
+
+class FreezeLaws : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FreezeLaws, IdentityRefinementIdempotence) {
+  unsigned W = GetParam();
+  IRContext Ctx;
+  Module M(Ctx, "fr");
+  auto *Ty = Ctx.intTy(W);
+  SemanticsConfig Proposed = SemanticsConfig::proposed();
+
+  Function *Id = M.createFunction("id", Ctx.types().fnTy(Ty, {Ty}));
+  {
+    IRBuilder B(Ctx, Id->addBlock("entry"));
+    B.ret(Id->arg(0));
+  }
+  Function *Fr = M.createFunction("fr", Ctx.types().fnTy(Ty, {Ty}));
+  {
+    IRBuilder B(Ctx, Fr->addBlock("entry"));
+    B.ret(B.freeze(Fr->arg(0)));
+  }
+  Function *FrFr = M.createFunction("frfr", Ctx.types().fnTy(Ty, {Ty}));
+  {
+    IRBuilder B(Ctx, FrFr->addBlock("entry"));
+    B.ret(B.freeze(B.freeze(FrFr->arg(0))));
+  }
+
+  // x -> freeze x is a refinement; the converse is not.
+  EXPECT_TRUE(tv::checkRefinement(*Id, *Fr, Proposed).valid());
+  EXPECT_TRUE(tv::checkRefinement(*Fr, *Id, Proposed).invalid());
+  // freeze(freeze x) <-> freeze x, both directions.
+  EXPECT_TRUE(tv::checkRefinement(*Fr, *FrFr, Proposed).valid());
+  EXPECT_TRUE(tv::checkRefinement(*FrFr, *Fr, Proposed).valid());
+
+  // Identity on every concrete value of the width.
+  for (uint64_t V = 0; V != (uint64_t(1) << W); ++V)
+    EXPECT_EQ(sem::runConcrete(*Fr, {V}), V);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FreezeLaws, ::testing::Values(1u, 2u, 3u,
+                                                               4u, 5u));
+
+//===----------------------------------------------------------------------===//
+// Property: the shared fold evaluator (used by interpreter AND optimizer)
+// agrees with direct two's-complement arithmetic for every i3 operand pair
+// of every binary opcode.
+//===----------------------------------------------------------------------===//
+
+class FoldAgreesWithArithmetic
+    : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(FoldAgreesWithArithmetic, ExhaustiveI3) {
+  Opcode Op = GetParam();
+  SemanticsConfig Config = SemanticsConfig::proposed();
+  const unsigned W = 3;
+  for (uint64_t A = 0; A != 8; ++A) {
+    for (uint64_t B = 0; B != 8; ++B) {
+      BitVec VA(W, A), VB(W, B);
+      sem::FoldResult R = sem::foldBinLane(
+          Op, ArithFlags{}, sem::Lane::concrete(VA), sem::Lane::concrete(VB),
+          Config);
+
+      bool DivByZero = (Op == Opcode::UDiv || Op == Opcode::SDiv ||
+                        Op == Opcode::URem || Op == Opcode::SRem) &&
+                       VB.isZero();
+      bool SDivOvf = (Op == Opcode::SDiv || Op == Opcode::SRem) &&
+                     VA.isMinSigned() && VB.isAllOnes();
+      bool OverShift = (Op == Opcode::Shl || Op == Opcode::LShr ||
+                        Op == Opcode::AShr) &&
+                       VB.zext() >= W;
+      if (DivByZero || SDivOvf) {
+        EXPECT_TRUE(R.UB) << opcodeName(Op) << " " << A << "," << B;
+        continue;
+      }
+      if (OverShift) {
+        EXPECT_TRUE(R.L.isPoison());
+        continue;
+      }
+      ASSERT_FALSE(R.UB);
+      ASSERT_TRUE(R.L.isConcrete());
+
+      int64_t SA = VA.sext(), SB = VB.sext();
+      uint64_t UA = A, UB = B;
+      uint64_t Want = 0;
+      switch (Op) {
+      case Opcode::Add:
+        Want = UA + UB;
+        break;
+      case Opcode::Sub:
+        Want = UA - UB;
+        break;
+      case Opcode::Mul:
+        Want = UA * UB;
+        break;
+      case Opcode::UDiv:
+        Want = UA / UB;
+        break;
+      case Opcode::SDiv:
+        Want = static_cast<uint64_t>(SA / SB);
+        break;
+      case Opcode::URem:
+        Want = UA % UB;
+        break;
+      case Opcode::SRem:
+        Want = static_cast<uint64_t>(SA % SB);
+        break;
+      case Opcode::Shl:
+        Want = UA << UB;
+        break;
+      case Opcode::LShr:
+        Want = UA >> UB;
+        break;
+      case Opcode::AShr:
+        Want = static_cast<uint64_t>(SA >> UB);
+        break;
+      case Opcode::And:
+        Want = UA & UB;
+        break;
+      case Opcode::Or:
+        Want = UA | UB;
+        break;
+      case Opcode::Xor:
+        Want = UA ^ UB;
+        break;
+      default:
+        FAIL() << "unexpected opcode";
+      }
+      EXPECT_EQ(R.L.Bits.zext(), Want & 0x7u)
+          << opcodeName(Op) << " " << A << "," << B;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBinOps, FoldAgreesWithArithmetic,
+    ::testing::Values(Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::UDiv,
+                      Opcode::SDiv, Opcode::URem, Opcode::SRem, Opcode::Shl,
+                      Opcode::LShr, Opcode::AShr, Opcode::And, Opcode::Or,
+                      Opcode::Xor));
+
+//===----------------------------------------------------------------------===//
+// Property: poison propagates through every binary opcode (Figure 5's
+// "all operations over poison unconditionally return poison", with the
+// divisor-UB exception).
+//===----------------------------------------------------------------------===//
+
+class PoisonPropagation : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(PoisonPropagation, PoisonInPoisonOut) {
+  Opcode Op = GetParam();
+  SemanticsConfig Config = SemanticsConfig::proposed();
+  sem::Lane P = sem::Lane::poison();
+  sem::Lane C = sem::Lane::concrete(BitVec(3, 2));
+
+  sem::FoldResult LHS = sem::foldBinLane(Op, {}, P, C, Config);
+  EXPECT_TRUE(LHS.UB || LHS.L.isPoison());
+
+  sem::FoldResult RHS = sem::foldBinLane(Op, {}, C, P, Config);
+  if (Op == Opcode::UDiv || Op == Opcode::SDiv || Op == Opcode::URem ||
+      Op == Opcode::SRem) {
+    // Poison divisor is immediate UB (it could be zero).
+    EXPECT_TRUE(RHS.UB);
+  } else {
+    EXPECT_TRUE(RHS.L.isPoison());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBinOps, PoisonPropagation,
+    ::testing::Values(Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::UDiv,
+                      Opcode::SDiv, Opcode::URem, Opcode::SRem, Opcode::Shl,
+                      Opcode::LShr, Opcode::AShr, Opcode::And, Opcode::Or,
+                      Opcode::Xor));
+
+} // namespace

@@ -1,0 +1,199 @@
+//===- ScalarEvolutionTest.cpp - SCEV and the Section 10.1 freeze gap ----------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ScalarEvolution.h"
+
+#include "ir/Context.h"
+#include "ir/Instructions.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace frost;
+
+namespace {
+
+struct SCEVTest : ::testing::Test {
+  IRContext Ctx;
+  Module M{Ctx, "scev"};
+
+  Function *parse(const std::string &Text, const std::string &Name) {
+    ParseResult R = parseModule(Text, M);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    Function *F = M.getFunction(Name);
+    EXPECT_TRUE(F && verifyFunction(*F));
+    return F;
+  }
+
+  Loop *onlyLoop([[maybe_unused]] Function *F,
+                 [[maybe_unused]] DominatorTree &DT, LoopInfo &LI) {
+    EXPECT_EQ(LI.topLevel().size(), 1u);
+    return LI.topLevel().front();
+  }
+};
+
+const char *CountedLoop = R"(
+define i32 @f(i32 %x) {
+entry:
+  br label %head
+
+head:
+  %i = phi i32 [ 2, %entry ], [ %i1, %body ]
+  %c = icmp slt i32 %i, 20
+  br i1 %c, label %body, label %exit
+
+body:
+  %i1 = add nsw i32 %i, 3
+  br label %head
+
+exit:
+  ret i32 %i
+}
+)";
+
+TEST_F(SCEVTest, RecognisesAffineAddRec) {
+  Function *F = parse(CountedLoop, "f");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  Loop *L = onlyLoop(F, DT, LI);
+  ScalarEvolution SE(*F, DT, LI);
+
+  PhiNode *IV = L->header()->phis().front();
+  auto Rec = SE.asAddRec(IV, *L);
+  ASSERT_TRUE(Rec.has_value());
+  EXPECT_EQ(Rec->Step.sext(), 3);
+  EXPECT_TRUE(Rec->NSW);
+  EXPECT_EQ(cast<ConstantInt>(Rec->Start)->value().zext(), 2u);
+
+  // Loop-invariant values classify as {v, +, 0}.
+  auto Inv = SE.asAddRec(F->arg(0), *L);
+  ASSERT_TRUE(Inv.has_value());
+  EXPECT_TRUE(Inv->Step.isZero());
+}
+
+TEST_F(SCEVTest, ConstantTripCount) {
+  Function *F = parse(CountedLoop, "f");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  Loop *L = onlyLoop(F, DT, LI);
+  ScalarEvolution SE(*F, DT, LI);
+  // i = 2, 5, 8, 11, 14, 17 then 20 fails slt: 6 iterations.
+  EXPECT_EQ(SE.constantTripCount(*L).value_or(0), 6u);
+}
+
+TEST_F(SCEVTest, FreezeBlocksAnalysisByDefault) {
+  // Section 10.1: "[scalar evolution] currently fails to analyze
+  // expressions involving freeze."
+  Function *F = parse(R"(
+define i32 @g(i32 %x) {
+entry:
+  br label %head
+
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %fi = freeze i32 %i
+  %c = icmp slt i32 %fi, 10
+  br i1 %c, label %body, label %exit
+
+body:
+  %i1 = add nsw i32 %i, 1
+  br label %head
+
+exit:
+  ret i32 %i
+}
+)",
+                      "g");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  Loop *L = onlyLoop(F, DT, LI);
+
+  ScalarEvolution Default(*F, DT, LI, /*FreezeAware=*/false);
+  EXPECT_FALSE(Default.constantTripCount(*L).has_value());
+
+  // The freeze-aware mode may NOT look through this freeze either: %i's
+  // recurrence includes an nsw add, which can produce poison, so the
+  // frozen value follows no recurrence. Being aware of freeze does not
+  // mean ignoring it.
+  ScalarEvolution Aware(*F, DT, LI, /*FreezeAware=*/true);
+  EXPECT_FALSE(Aware.asAddRec(L->header()->firstNonPhi(), *L).has_value());
+}
+
+TEST_F(SCEVTest, FreezeAwareSeesThroughProvablyNonPoisonFreeze) {
+  // freeze of a non-poison value is the identity; the aware analysis can
+  // exploit that (the Section 10.1 "must learn how to deal with freeze").
+  Function *F = parse(R"(
+define i32 @h(i32 %x) {
+entry:
+  br label %head
+
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp ult i32 %i, 8
+  br i1 %c, label %body, label %exit
+
+body:
+  %fr = freeze i32 7
+  %i1 = add nsw i32 %i, 1
+  br label %head
+
+exit:
+  ret i32 %i
+}
+)",
+                      "h");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  Loop *L = onlyLoop(F, DT, LI);
+  ScalarEvolution Aware(*F, DT, LI, /*FreezeAware=*/true);
+  EXPECT_EQ(Aware.constantTripCount(*L).value_or(0), 8u);
+
+  // The frozen constant itself classifies as an invariant add-rec when
+  // freeze-aware.
+  Instruction *Fr = nullptr;
+  for (BasicBlock *BB : *F)
+    for (Instruction *I : *BB)
+      if (I->getOpcode() == Opcode::Freeze)
+        Fr = I;
+  ASSERT_NE(Fr, nullptr);
+  auto Rec = Aware.asAddRec(Fr, *L);
+  ASSERT_TRUE(Rec.has_value());
+  EXPECT_TRUE(Rec->Step.isZero());
+}
+
+TEST_F(SCEVTest, NoTripCountForWrappingLoop) {
+  // An exit comparison that the induction never satisfies: wraps forever.
+  Function *F = parse(R"(
+define i32 @w(i32 %x) {
+entry:
+  br label %head
+
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp ne i32 %i, 7
+  br i1 %c, label %body, label %exit
+
+body:
+  %i1 = add i32 %i, 2
+  br label %head
+
+exit:
+  ret i32 %i
+}
+)",
+                      "w");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  Loop *L = onlyLoop(F, DT, LI);
+  ScalarEvolution SE(*F, DT, LI);
+  // i visits even numbers only; i != 7 never fails: no constant trip count.
+  EXPECT_FALSE(SE.constantTripCount(*L).has_value());
+}
+
+} // namespace

@@ -1,0 +1,233 @@
+//===- SemUnitTest.cpp - Oracle, memory, and domain unit tests -----------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include "sem/Memory.h"
+#include "sem/Oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace frost;
+using frost::sem::ChoiceOracle;
+using frost::sem::Lane;
+using frost::sem::MemBit;
+using frost::sem::Memory;
+using frost::sem::PathEnumerator;
+using frost::sem::RandomOracle;
+using frost::sem::SemanticsConfig;
+using frost::sem::liftValue;
+using frost::sem::lowerValue;
+using frost::sem::memBitRefines;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// PathEnumerator: the engine behind exhaustive validation.
+//===----------------------------------------------------------------------===//
+
+TEST(OracleTest, EnumeratesAllPathsOfFixedShape) {
+  // Two choice points of 3 and 2 alternatives: 6 paths.
+  PathEnumerator E;
+  std::set<std::pair<uint64_t, uint64_t>> Seen;
+  bool Complete = E.enumerate([&](ChoiceOracle &O) {
+    uint64_t A = O.choose(3), B = O.choose(2);
+    Seen.insert({A, B});
+    return true;
+  });
+  EXPECT_TRUE(Complete);
+  EXPECT_EQ(Seen.size(), 6u);
+  EXPECT_EQ(E.pathsExplored(), 6u);
+}
+
+TEST(OracleTest, EnumeratesDataDependentShapes) {
+  // The second choice point only exists on one branch of the first.
+  PathEnumerator E;
+  std::set<uint64_t> Outcomes;
+  E.enumerate([&](ChoiceOracle &O) {
+    uint64_t A = O.choose(2);
+    uint64_t V = A == 0 ? 100 + O.choose(3) : 200;
+    Outcomes.insert(V);
+    return true;
+  });
+  EXPECT_EQ(Outcomes, (std::set<uint64_t>{100, 101, 102, 200}));
+}
+
+TEST(OracleTest, BudgetExhaustionIsReported) {
+  PathEnumerator E;
+  bool Complete = E.enumerate(
+      [&](ChoiceOracle &O) {
+        O.choose(4);
+        O.choose(4);
+        O.choose(4);
+        return true;
+      },
+      /*MaxPaths=*/10);
+  EXPECT_FALSE(Complete); // 64 paths do not fit in a budget of 10.
+}
+
+TEST(OracleTest, EarlyAbortStopsEnumeration) {
+  PathEnumerator E;
+  unsigned Runs = 0;
+  bool Complete = E.enumerate([&](ChoiceOracle &O) {
+    O.choose(8);
+    return ++Runs < 3;
+  });
+  EXPECT_TRUE(Complete); // Abort is not a budget failure.
+  EXPECT_EQ(Runs, 3u);
+}
+
+TEST(OracleTest, ChooseBitsIsExhaustiveForNarrowWidths) {
+  PathEnumerator E;
+  std::set<uint64_t> Values;
+  E.enumerate([&](ChoiceOracle &O) {
+    Values.insert(O.chooseBits(3).zext());
+    return true;
+  });
+  EXPECT_EQ(Values.size(), 8u); // All of i3.
+}
+
+TEST(OracleTest, RandomOracleIsDeterministicPerSeed) {
+  RandomOracle A(42), B(42), C(43);
+  bool Differs = false;
+  for (int I = 0; I != 16; ++I) {
+    uint64_t VA = A.choose(1000), VB = B.choose(1000), VC = C.choose(1000);
+    EXPECT_EQ(VA, VB);
+    Differs |= VA != VC;
+  }
+  EXPECT_TRUE(Differs);
+}
+
+//===----------------------------------------------------------------------===//
+// Memory: Figure 5's bitwise-defined bytes.
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryTest, AllocateLoadStoreRoundTrip) {
+  Memory M;
+  uint32_t P = M.allocate(4);
+  EXPECT_TRUE(M.validRange(P, 32));
+  EXPECT_FALSE(M.validRange(P, 40));
+  EXPECT_FALSE(M.validRange(P + 4, 8));
+
+  std::vector<MemBit> Bits(8, MemBit::One);
+  Bits[0] = MemBit::Zero;
+  EXPECT_TRUE(M.store(P, Bits));
+  std::vector<MemBit> Out;
+  ASSERT_TRUE(M.load(P, 8, Out));
+  EXPECT_EQ(Out, Bits);
+}
+
+TEST(MemoryTest, FreshMemoryIsUninitialized) {
+  Memory M;
+  uint32_t P = M.allocate(1);
+  std::vector<MemBit> Out;
+  ASSERT_TRUE(M.load(P, 8, Out));
+  for (MemBit B : Out)
+    EXPECT_EQ(B, MemBit::Uninit);
+}
+
+TEST(MemoryTest, BlocksDoNotAlias) {
+  Memory M;
+  uint32_t A = M.allocate(4), B = M.allocate(4);
+  EXPECT_NE(A, B);
+  // The gap between blocks is invalid.
+  EXPECT_FALSE(M.validRange(A + 4, 8));
+  (void)B;
+}
+
+TEST(MemoryTest, LowerLiftRoundTripsScalars) {
+  IRContext Ctx;
+  SemanticsConfig Proposed = SemanticsConfig::proposed();
+  Type *I8 = Ctx.intTy(8);
+
+  sem::Value V = sem::Value::concrete(BitVec(8, 0xA5));
+  std::vector<MemBit> Bits = lowerValue(V, I8);
+  ASSERT_EQ(Bits.size(), 8u);
+  EXPECT_EQ(liftValue(Bits, I8, Proposed), V);
+
+  // Poison lowers to all-poison bits and lifts back to poison.
+  std::vector<MemBit> PBits = lowerValue(sem::Value::poison(), I8);
+  for (MemBit B : PBits)
+    EXPECT_EQ(B, MemBit::Poison);
+  EXPECT_TRUE(liftValue(PBits, I8, Proposed).scalar().isPoison());
+}
+
+TEST(MemoryTest, OnePoisonBitPoisonsTheScalarButNotTheVector) {
+  IRContext Ctx;
+  SemanticsConfig Proposed = SemanticsConfig::proposed();
+  Type *I8 = Ctx.intTy(8);
+  Type *V8 = Ctx.vecTy(Ctx.boolTy(), 8);
+
+  std::vector<MemBit> Bits(8, MemBit::Zero);
+  Bits[3] = MemBit::Poison;
+  // Figure 5 ty-up: a base type with any poison bit is poison...
+  EXPECT_TRUE(liftValue(Bits, I8, Proposed).scalar().isPoison());
+  // ...but the <8 x i1> view isolates the poison to one lane (the fact
+  // that makes Section 5.4 load widening sound).
+  sem::Value AsVec = liftValue(Bits, V8, Proposed);
+  unsigned PoisonLanes = 0;
+  for (const Lane &L : AsVec.Lanes)
+    PoisonLanes += L.isPoison();
+  EXPECT_EQ(PoisonLanes, 1u);
+}
+
+TEST(MemoryTest, UninitBitsFollowTheConfiguredSemantics) {
+  IRContext Ctx;
+  Type *I4 = Ctx.intTy(4);
+  std::vector<MemBit> Bits(4, MemBit::Uninit);
+  EXPECT_TRUE(liftValue(Bits, I4, SemanticsConfig::proposed())
+                  .scalar()
+                  .isPoison());
+  EXPECT_TRUE(liftValue(Bits, I4, SemanticsConfig::legacyUnswitch())
+                  .scalar()
+                  .isUndef());
+}
+
+TEST(MemoryTest, MemBitRefinementOrder) {
+  EXPECT_TRUE(memBitRefines(MemBit::Zero, MemBit::Poison));
+  EXPECT_TRUE(memBitRefines(MemBit::One, MemBit::Poison));
+  EXPECT_TRUE(memBitRefines(MemBit::Undef, MemBit::Poison));
+  EXPECT_TRUE(memBitRefines(MemBit::Zero, MemBit::Undef));
+  EXPECT_FALSE(memBitRefines(MemBit::Poison, MemBit::Undef));
+  EXPECT_FALSE(memBitRefines(MemBit::Poison, MemBit::Zero));
+  EXPECT_FALSE(memBitRefines(MemBit::One, MemBit::Zero));
+  EXPECT_TRUE(memBitRefines(MemBit::One, MemBit::One));
+}
+
+//===----------------------------------------------------------------------===//
+// Lane / value refinement order.
+//===----------------------------------------------------------------------===//
+
+TEST(DomainTest, LaneRefinementOrder) {
+  Lane C1 = Lane::concrete(BitVec(4, 1));
+  Lane C2 = Lane::concrete(BitVec(4, 2));
+  Lane U = Lane::undef(), P = Lane::poison();
+
+  // concrete <= undef <= poison.
+  EXPECT_TRUE(C1.refines(P));
+  EXPECT_TRUE(U.refines(P));
+  EXPECT_TRUE(P.refines(P));
+  EXPECT_TRUE(C1.refines(U));
+  EXPECT_TRUE(U.refines(U));
+  EXPECT_FALSE(P.refines(U));
+  EXPECT_TRUE(C1.refines(C1));
+  EXPECT_FALSE(C2.refines(C1));
+  EXPECT_FALSE(U.refines(C1));
+  EXPECT_FALSE(P.refines(C1));
+}
+
+TEST(DomainTest, VectorRefinementIsLaneWise) {
+  sem::Value A(
+      std::vector<Lane>{Lane::concrete(BitVec(4, 1)), Lane::poison()});
+  sem::Value B(std::vector<Lane>{Lane::concrete(BitVec(4, 1)),
+                                 Lane::concrete(BitVec(4, 9))});
+  EXPECT_TRUE(B.refines(A));  // Poison lane refined to a value.
+  EXPECT_FALSE(A.refines(B)); // Value lane cannot become poison.
+}
+
+} // namespace

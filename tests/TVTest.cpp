@@ -1,0 +1,619 @@
+//===- TVTest.cpp - Translation validation of the paper's examples ------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive refinement checks reproducing the paper's Section 2-5
+/// arguments: every transformation claimed sound validates, every claimed
+/// unsoundness yields a counterexample, under exactly the semantics the
+/// paper attributes to it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tv/Refinement.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace frost;
+using namespace frost::tv;
+using frost::sem::SelectPoisonCondRule;
+using frost::sem::SemanticsConfig;
+
+namespace {
+
+struct TVTest : ::testing::Test {
+  IRContext Ctx;
+  Module M{Ctx, "tv"};
+  SemanticsConfig Proposed = SemanticsConfig::proposed();
+  SemanticsConfig LegacyUnswitch = SemanticsConfig::legacyUnswitch();
+  SemanticsConfig LegacyGVN = SemanticsConfig::legacyGVN();
+
+  TVResult check(Function *Src, Function *Tgt, const SemanticsConfig &C) {
+    EXPECT_TRUE(verifyFunction(*Src));
+    EXPECT_TRUE(verifyFunction(*Tgt));
+    return checkRefinement(*Src, *Tgt, C);
+  }
+
+  Function *fn(const std::string &Name, Type *Ret, std::vector<Type *> Params) {
+    return M.createFunction(Name, Ctx.types().fnTy(Ret, std::move(Params)));
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Section 2.4: (a + b > a) -> (b > 0) needs nsw-poison, and plain wrapping
+// add makes it wrong.
+//===----------------------------------------------------------------------===//
+
+TEST_F(TVTest, AddCmpFoldRequiresNSW) {
+  auto *I3 = Ctx.intTy(3);
+  auto *I1 = Ctx.boolTy();
+
+  auto MakeSrc = [&](const std::string &Name, bool NSW) {
+    Function *F = fn(Name, I1, {I3, I3});
+    IRBuilder B(Ctx, F->addBlock("entry"));
+    Value *Add = B.add(F->arg(0), F->arg(1), {NSW, false, false});
+    B.ret(B.icmp(ICmpPred::SGT, Add, F->arg(0)));
+    return F;
+  };
+  Function *Tgt = fn("tgt", I1, {I3, I3});
+  {
+    IRBuilder B(Ctx, Tgt->addBlock("entry"));
+    B.ret(B.icmp(ICmpPred::SGT, Tgt->arg(1), Ctx.getInt(3, 0)));
+  }
+
+  // With a wrapping add the fold is wrong (a=MAX, b=1 flips the result).
+  TVResult R = check(MakeSrc("src_wrap", false), Tgt, Proposed);
+  EXPECT_TRUE(R.invalid()) << R.Message;
+
+  // With nsw, overflow is poison and the fold is a refinement.
+  R = check(MakeSrc("src_nsw", true), Tgt, Proposed);
+  EXPECT_TRUE(R.valid()) << R.Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Section 2.4: if signed overflow merely returned *undef*, the fold is
+// still wrong - undef cannot represent a value larger than INT_MAX. This is
+// the paper's argument for why poison must be stronger than undef.
+//===----------------------------------------------------------------------===//
+
+TEST_F(TVTest, UndefOverflowIsTooWeakForAddCmpFold) {
+  auto *I3 = Ctx.intTy(3);
+  auto *I1 = Ctx.boolTy();
+  // Simulate "add that overflows to undef" at a = MAX, b = 1 by feeding the
+  // comparison undef directly: src computes undef > a.
+  Function *Src = fn("src", I1, {I3});
+  {
+    IRBuilder B(Ctx, Src->addBlock("entry"));
+    B.ret(B.icmp(ICmpPred::SGT, Ctx.getUndef(I3), Src->arg(0)));
+  }
+  // Target is the folded form with b = 1: 1 > 0 == true.
+  Function *Tgt = fn("tgt", I1, {I3});
+  {
+    IRBuilder B(Ctx, Tgt->addBlock("entry"));
+    B.ret(Ctx.getTrue());
+  }
+  // At a = INT_MAX the source can only produce false; target produces true.
+  TVResult R = check(Src, Tgt, LegacyUnswitch);
+  EXPECT_TRUE(R.invalid()) << R.Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Section 3.1: rewriting 2*x as x+x duplicates an SSA use; wrong when the
+// value can be undef, fine once undef is gone.
+//===----------------------------------------------------------------------===//
+
+TEST_F(TVTest, MulTwoToAddSelfAndUndef) {
+  auto *I2 = Ctx.intTy(2);
+  Function *Src = fn("src", I2, {I2});
+  {
+    IRBuilder B(Ctx, Src->addBlock("entry"));
+    B.ret(B.mul(Src->arg(0), Ctx.getInt(2, 2)));
+  }
+  Function *Tgt = fn("tgt", I2, {I2});
+  {
+    IRBuilder B(Ctx, Tgt->addBlock("entry"));
+    B.ret(B.add(Tgt->arg(0), Tgt->arg(0)));
+  }
+
+  // Legacy semantics: x = undef makes 2*x even but x+x arbitrary.
+  TVResult R = check(Src, Tgt, LegacyUnswitch);
+  EXPECT_TRUE(R.invalid()) << R.Message;
+  EXPECT_NE(R.Message.find("undef"), std::string::npos) << R.Message;
+
+  // Proposed semantics (no undef): the rewrite is sound.
+  R = check(Src, Tgt, Proposed);
+  EXPECT_TRUE(R.valid()) << R.Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Section 3.2: hoisting 1/k past the k != 0 check is wrong under undef
+// because the two uses of k may disagree.
+//===----------------------------------------------------------------------===//
+
+TEST_F(TVTest, HoistingDivisionPastControlFlow) {
+  auto *I2 = Ctx.intTy(2);
+  auto *I1 = Ctx.boolTy();
+  Function *Obs =
+      M.createFunction("observe", Ctx.types().fnTy(Ctx.voidTy(), {I2}));
+
+  // src: if (k != 0) { if (c) observe(1 / k); }
+  Function *Src = fn("src", Ctx.voidTy(), {I2, I1});
+  {
+    BasicBlock *Entry = Src->addBlock("entry");
+    BasicBlock *NonZero = Src->addBlock("nonzero");
+    BasicBlock *Use = Src->addBlock("use");
+    BasicBlock *Exit = Src->addBlock("exit");
+    IRBuilder B(Ctx, Entry);
+    Value *K = Src->arg(0);
+    B.condBr(B.icmp(ICmpPred::NE, K, Ctx.getInt(2, 0)), NonZero, Exit);
+    B.setInsertPoint(NonZero);
+    B.condBr(Src->arg(1), Use, Exit);
+    B.setInsertPoint(Use);
+    B.call(Obs, {B.udiv(Ctx.getInt(2, 1), K)});
+    B.br(Exit);
+    B.setInsertPoint(Exit);
+    B.retVoid();
+  }
+  // tgt: if (k != 0) { t = 1 / k; if (c) observe(t); }
+  Function *Tgt = fn("tgt", Ctx.voidTy(), {I2, I1});
+  {
+    BasicBlock *Entry = Tgt->addBlock("entry");
+    BasicBlock *NonZero = Tgt->addBlock("nonzero");
+    BasicBlock *Use = Tgt->addBlock("use");
+    BasicBlock *Exit = Tgt->addBlock("exit");
+    IRBuilder B(Ctx, Entry);
+    Value *K = Tgt->arg(0);
+    B.condBr(B.icmp(ICmpPred::NE, K, Ctx.getInt(2, 0)), NonZero, Exit);
+    B.setInsertPoint(NonZero);
+    Value *T = B.udiv(Ctx.getInt(2, 1), K);
+    B.condBr(Tgt->arg(1), Use, Exit);
+    B.setInsertPoint(Use);
+    B.call(Obs, {T});
+    B.br(Exit);
+    B.setInsertPoint(Exit);
+    B.retVoid();
+  }
+
+  // Legacy: k = undef can pass the check yet divide by zero (PR21412).
+  TVResult R = check(Src, Tgt, LegacyUnswitch);
+  EXPECT_TRUE(R.invalid()) << R.Message;
+
+  // Proposed: k = poison makes the *source* branch UB, so anything goes;
+  // concrete k behaves identically. The hoist is sound again.
+  R = check(Src, Tgt, Proposed);
+  EXPECT_TRUE(R.valid()) << R.Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Section 3.3: loop unswitching vs GVN demand conflicting branch-on-poison
+// rules. We reproduce both directions.
+//===----------------------------------------------------------------------===//
+
+/// src: if (c) { if (c2) observe(1) else observe(2) }
+Function *buildUnswitchSrc(IRContext &Ctx, Module &M, Function *Obs,
+                           const std::string &Name) {
+  auto *I1 = Ctx.boolTy();
+  Function *F = M.createFunction(
+      Name, Ctx.types().fnTy(Ctx.voidTy(), {I1, I1}));
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Body = F->addBlock("body");
+  BasicBlock *Foo = F->addBlock("foo");
+  BasicBlock *Bar = F->addBlock("bar");
+  BasicBlock *Exit = F->addBlock("exit");
+  IRBuilder B(Ctx, Entry);
+  B.condBr(F->arg(0), Body, Exit);
+  B.setInsertPoint(Body);
+  B.condBr(F->arg(1), Foo, Bar);
+  B.setInsertPoint(Foo);
+  B.call(Obs, {Ctx.getInt(2, 1)});
+  B.br(Exit);
+  B.setInsertPoint(Bar);
+  B.call(Obs, {Ctx.getInt(2, 2)});
+  B.br(Exit);
+  B.setInsertPoint(Exit);
+  B.retVoid();
+  return F;
+}
+
+/// tgt: cond = maybe-freeze(c2); if (cond) { if (c) observe(1) }
+///      else { if (c) observe(2) }
+Function *buildUnswitchTgt(IRContext &Ctx, Module &M, Function *Obs,
+                           const std::string &Name, bool Freeze) {
+  auto *I1 = Ctx.boolTy();
+  Function *F = M.createFunction(
+      Name, Ctx.types().fnTy(Ctx.voidTy(), {I1, I1}));
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *TrueSide = F->addBlock("true.side");
+  BasicBlock *Foo = F->addBlock("foo");
+  BasicBlock *FalseSide = F->addBlock("false.side");
+  BasicBlock *Bar = F->addBlock("bar");
+  BasicBlock *Exit = F->addBlock("exit");
+  IRBuilder B(Ctx, Entry);
+  Value *C2 = F->arg(1);
+  if (Freeze)
+    C2 = B.freeze(C2);
+  B.condBr(C2, TrueSide, FalseSide);
+  B.setInsertPoint(TrueSide);
+  B.condBr(F->arg(0), Foo, Exit);
+  B.setInsertPoint(Foo);
+  B.call(Obs, {Ctx.getInt(2, 1)});
+  B.br(Exit);
+  B.setInsertPoint(FalseSide);
+  B.condBr(F->arg(0), Bar, Exit);
+  B.setInsertPoint(Bar);
+  B.call(Obs, {Ctx.getInt(2, 2)});
+  B.br(Exit);
+  B.setInsertPoint(Exit);
+  B.retVoid();
+  return F;
+}
+
+TEST_F(TVTest, LoopUnswitchingNeedsNondetBranchesOrFreeze) {
+  Function *Obs = M.createFunction(
+      "observe", Ctx.types().fnTy(Ctx.voidTy(), {Ctx.intTy(2)}));
+  Function *Src = buildUnswitchSrc(Ctx, M, Obs, "src");
+  Function *Tgt = buildUnswitchTgt(Ctx, M, Obs, "tgt", /*Freeze=*/false);
+  Function *TgtFrozen =
+      buildUnswitchTgt(Ctx, M, Obs, "tgt_frozen", /*Freeze=*/true);
+
+  // Under branch-on-poison-is-UB, unswitching without freeze introduces UB
+  // when c is false and c2 is poison.
+  TVResult R = check(Src, Tgt, Proposed);
+  EXPECT_TRUE(R.invalid()) << R.Message;
+
+  // Under the nondet rule that unswitching assumed, it validates.
+  R = check(Src, Tgt, LegacyUnswitch);
+  EXPECT_TRUE(R.valid()) << R.Message;
+
+  // The paper's fix: freeze the hoisted condition (Section 5.1).
+  R = check(Src, TgtFrozen, Proposed);
+  EXPECT_TRUE(R.valid()) << R.Message;
+}
+
+TEST_F(TVTest, GVNNeedsBranchOnPoisonUB) {
+  // src: t = x + 1; if (t == y) observe(t)
+  // tgt: t = x + 1; if (t == y) observe(y)   [GVN replaced t by y]
+  auto *I2 = Ctx.intTy(2);
+  Function *Obs =
+      M.createFunction("observe", Ctx.types().fnTy(Ctx.voidTy(), {I2}));
+  auto Make = [&](const std::string &Name, bool PassY) {
+    Function *F = M.createFunction(
+        Name, Ctx.types().fnTy(Ctx.voidTy(), {I2, I2}));
+    BasicBlock *Entry = F->addBlock("entry");
+    BasicBlock *Then = F->addBlock("then");
+    BasicBlock *Exit = F->addBlock("exit");
+    IRBuilder B(Ctx, Entry);
+    Value *T = B.addNSW(F->arg(0), Ctx.getInt(2, 1), "t");
+    B.condBr(B.icmp(ICmpPred::EQ, T, F->arg(1)), Then, Exit);
+    B.setInsertPoint(Then);
+    B.call(Obs, {PassY ? F->arg(1) : T});
+    B.br(Exit);
+    B.setInsertPoint(Exit);
+    B.retVoid();
+    return F;
+  };
+  Function *Src = Make("src", false);
+  Function *Tgt = Make("tgt", true);
+
+  // Proposed rule (branch on poison is UB): y poison means the source
+  // already executed UB at the branch, so GVN is fine.
+  TVResult R = check(Src, Tgt, Proposed);
+  EXPECT_TRUE(R.valid()) << R.Message;
+
+  // Loop unswitching's nondet rule breaks GVN: the source can pass a normal
+  // value while the target passes poison (Section 3.3's conflict).
+  R = check(Src, Tgt, LegacyUnswitch);
+  EXPECT_TRUE(R.invalid()) << R.Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Section 3.4: the select semantics tensions.
+//===----------------------------------------------------------------------===//
+
+TEST_F(TVTest, SimplifyCFGPhiToSelect) {
+  // src: br c ? merge(a) : merge(b); merge: x = phi [a], [b]; ret x
+  // tgt: x = select c, a, b; ret x
+  auto *I2 = Ctx.intTy(2);
+  auto *I1 = Ctx.boolTy();
+  Function *Src = fn("src", I2, {I1, I2, I2});
+  {
+    BasicBlock *Entry = Src->addBlock("entry");
+    BasicBlock *T = Src->addBlock("t");
+    BasicBlock *F2 = Src->addBlock("f");
+    BasicBlock *Merge = Src->addBlock("merge");
+    IRBuilder B(Ctx, Entry);
+    B.condBr(Src->arg(0), T, F2);
+    B.setInsertPoint(T);
+    B.br(Merge);
+    B.setInsertPoint(F2);
+    B.br(Merge);
+    B.setInsertPoint(Merge);
+    PhiNode *P = B.phi(I2);
+    P->addIncoming(Src->arg(1), T);
+    P->addIncoming(Src->arg(2), F2);
+    B.ret(P);
+  }
+  Function *Tgt = fn("tgt", I2, {I1, I2, I2});
+  {
+    IRBuilder B(Ctx, Tgt->addBlock("entry"));
+    B.ret(B.select(Tgt->arg(0), Tgt->arg(1), Tgt->arg(2)));
+  }
+
+  // Proposed semantics: select on poison yields poison, which refines the
+  // source's branch-on-poison UB; a poison unchosen arm is ignored exactly
+  // like the phi. Valid.
+  TVResult R = check(Src, Tgt, Proposed);
+  EXPECT_TRUE(R.valid()) << R.Message;
+
+  // If select-on-poison were UB *and* branches were nondet, the transform
+  // would introduce UB.
+  SemanticsConfig Mixed = LegacyUnswitch;
+  Mixed.SelectOnPoisonCond = SelectPoisonCondRule::UB;
+  R = check(Src, Tgt, Mixed);
+  EXPECT_TRUE(R.invalid()) << R.Message;
+}
+
+TEST_F(TVTest, SelectToBranchNeedsFreeze) {
+  // The reverse transformation (Section 5.2): select -> branches, with the
+  // condition frozen.
+  auto *I2 = Ctx.intTy(2);
+  auto *I1 = Ctx.boolTy();
+  Function *Src = fn("src", I2, {I1, I2, I2});
+  {
+    IRBuilder B(Ctx, Src->addBlock("entry"));
+    B.ret(B.select(Src->arg(0), Src->arg(1), Src->arg(2)));
+  }
+  auto MakeTgt = [&](const std::string &Name, bool Freeze) {
+    Function *F = fn(Name, I2, {I1, I2, I2});
+    BasicBlock *Entry = F->addBlock("entry");
+    BasicBlock *T = F->addBlock("t");
+    BasicBlock *F2 = F->addBlock("f");
+    BasicBlock *Merge = F->addBlock("merge");
+    IRBuilder B(Ctx, Entry);
+    Value *C = F->arg(0);
+    if (Freeze)
+      C = B.freeze(C);
+    B.condBr(C, T, F2);
+    B.setInsertPoint(T);
+    B.br(Merge);
+    B.setInsertPoint(F2);
+    B.br(Merge);
+    B.setInsertPoint(Merge);
+    PhiNode *P = B.phi(I2);
+    P->addIncoming(F->arg(1), T);
+    P->addIncoming(F->arg(2), F2);
+    B.ret(P);
+    return F;
+  };
+
+  // Without freeze: branching on the poison condition is new UB.
+  TVResult R = check(Src, MakeTgt("tgt_raw", false), Proposed);
+  EXPECT_TRUE(R.invalid()) << R.Message;
+  // With freeze: valid (Section 5.2).
+  R = check(Src, MakeTgt("tgt_frozen", true), Proposed);
+  EXPECT_TRUE(R.valid()) << R.Message;
+}
+
+TEST_F(TVTest, UDivToSelectRequiresNonUBSelect) {
+  // Section 3.4: udiv %a, C -> (a < C) ? 0 : 1 must be valid; it is not if
+  // select-on-poison is UB.
+  auto *I3 = Ctx.intTy(3);
+  const uint64_t C = 5; // Any constant with the top bit set (C >= 4 on i3).
+  Function *Src = fn("src", I3, {I3});
+  {
+    IRBuilder B(Ctx, Src->addBlock("entry"));
+    B.ret(B.udiv(Src->arg(0), Ctx.getInt(3, C)));
+  }
+  Function *Tgt = fn("tgt", I3, {I3});
+  {
+    IRBuilder B(Ctx, Tgt->addBlock("entry"));
+    Value *Cmp = B.icmp(ICmpPred::ULT, Tgt->arg(0), Ctx.getInt(3, C));
+    B.ret(B.select(Cmp, Ctx.getInt(3, 0), Ctx.getInt(3, 1)));
+  }
+
+  // Proposed semantics: valid (poison in -> poison out on both sides).
+  TVResult R = check(Src, Tgt, Proposed);
+  EXPECT_TRUE(R.valid()) << R.Message;
+
+  // Select-on-poison-is-UB (the GVN-friendly reading): invalid, because the
+  // source just returns poison while the target is UB.
+  R = check(Src, Tgt, LegacyGVN);
+  EXPECT_TRUE(R.invalid()) << R.Message;
+}
+
+TEST_F(TVTest, SelectTrueArmToOrConflictsWithChosenArmRule) {
+  // Section 3.4: select %c, true, %x -> or %c, %x. Sound only when poison
+  // in either arm poisons the select (the arithmetic reading); unsound
+  // under the proposed phi-like rule.
+  auto *I1 = Ctx.boolTy();
+  Function *Src = fn("src", I1, {I1, I1});
+  {
+    IRBuilder B(Ctx, Src->addBlock("entry"));
+    B.ret(B.select(Src->arg(0), Ctx.getTrue(), Src->arg(1)));
+  }
+  Function *Tgt = fn("tgt", I1, {I1, I1});
+  {
+    IRBuilder B(Ctx, Tgt->addBlock("entry"));
+    B.ret(B.or_(Tgt->arg(0), Tgt->arg(1)));
+  }
+
+  // Proposed: c = true, x = poison gives select = true but or = poison.
+  TVResult R = check(Src, Tgt, Proposed);
+  EXPECT_TRUE(R.invalid()) << R.Message;
+
+  // The full "select is arithmetic" reading (any poison input - condition
+  // or either arm - poisons the result): both sides agree; valid.
+  SemanticsConfig LangRef = SemanticsConfig::legacyLangRefSelect();
+  LangRef.UndefIsPoison = true; // Isolate the select rule from undef.
+  LangRef.SelectOnPoisonCond = SelectPoisonCondRule::Poison;
+  R = check(Src, Tgt, LangRef);
+  EXPECT_TRUE(R.valid()) << R.Message;
+
+  // Under the proposed semantics the fix freezes the not-always-chosen
+  // value operand %x. Freezing the *condition* instead (a literal reading
+  // of the paper's prose) does not help: %c = true with %x = poison still
+  // poisons the or.
+  Function *TgtFrX = fn("tgt_frx", I1, {I1, I1});
+  {
+    IRBuilder B(Ctx, TgtFrX->addBlock("entry"));
+    B.ret(B.or_(TgtFrX->arg(0), B.freeze(TgtFrX->arg(1))));
+  }
+  R = check(Src, TgtFrX, Proposed);
+  EXPECT_TRUE(R.valid()) << R.Message;
+
+  Function *TgtFrC = fn("tgt_frc", I1, {I1, I1});
+  {
+    IRBuilder B(Ctx, TgtFrC->addBlock("entry"));
+    B.ret(B.or_(B.freeze(TgtFrC->arg(0)), TgtFrC->arg(1)));
+  }
+  R = check(Src, TgtFrC, Proposed);
+  EXPECT_TRUE(R.invalid()) << R.Message;
+}
+
+TEST_F(TVTest, SelectWithUndefArmIsNotTheOtherArm) {
+  // Section 3.4's last pitfall: select %c, %x, undef -> %x is wrong
+  // because %x may be poison and poison is stronger than undef (PR31633).
+  auto *I2 = Ctx.intTy(2);
+  auto *I1 = Ctx.boolTy();
+  Function *Src = fn("src", I2, {I1, I2});
+  {
+    IRBuilder B(Ctx, Src->addBlock("entry"));
+    B.ret(B.select(Src->arg(0), Src->arg(1), Ctx.getUndef(I2)));
+  }
+  Function *Tgt = fn("tgt", I2, {I1, I2});
+  {
+    IRBuilder B(Ctx, Tgt->addBlock("entry"));
+    B.ret(Tgt->arg(1));
+  }
+  TVResult R = check(Src, Tgt, LegacyUnswitch);
+  EXPECT_TRUE(R.invalid()) << R.Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Section 5.5, pitfall 1: freeze must not be duplicated.
+//===----------------------------------------------------------------------===//
+
+TEST_F(TVTest, FreezeDuplicationIsUnsound) {
+  auto *I2 = Ctx.intTy(2);
+  Function *Obs =
+      M.createFunction("observe", Ctx.types().fnTy(Ctx.voidTy(), {I2}));
+  Function *Src = fn("src", Ctx.voidTy(), {I2});
+  {
+    IRBuilder B(Ctx, Src->addBlock("entry"));
+    Value *Y = B.freeze(Src->arg(0));
+    B.call(Obs, {Y});
+    B.call(Obs, {Y});
+    B.retVoid();
+  }
+  Function *Tgt = fn("tgt", Ctx.voidTy(), {I2});
+  {
+    IRBuilder B(Ctx, Tgt->addBlock("entry"));
+    B.call(Obs, {B.freeze(Tgt->arg(0))});
+    B.call(Obs, {B.freeze(Tgt->arg(0))});
+    B.retVoid();
+  }
+  // Source observes the same value twice; target may observe two different
+  // values when the argument is poison.
+  TVResult R = check(Src, Tgt, Proposed);
+  EXPECT_TRUE(R.invalid()) << R.Message;
+}
+
+TEST_F(TVTest, FreezeFoldings) {
+  auto *I2 = Ctx.intTy(2);
+  // freeze(freeze x) -> freeze x.
+  Function *Src = fn("src", I2, {I2});
+  {
+    IRBuilder B(Ctx, Src->addBlock("entry"));
+    B.ret(B.freeze(B.freeze(Src->arg(0))));
+  }
+  Function *Tgt = fn("tgt", I2, {I2});
+  {
+    IRBuilder B(Ctx, Tgt->addBlock("entry"));
+    B.ret(B.freeze(Tgt->arg(0)));
+  }
+  TVResult R = check(Src, Tgt, Proposed);
+  EXPECT_TRUE(R.valid()) << R.Message;
+
+  // freeze(const) -> const.
+  Function *Src2 = fn("src2", I2, {});
+  {
+    IRBuilder B(Ctx, Src2->addBlock("entry"));
+    B.ret(B.freeze(Ctx.getInt(2, 3)));
+  }
+  Function *Tgt2 = fn("tgt2", I2, {});
+  {
+    IRBuilder B(Ctx, Tgt2->addBlock("entry"));
+    B.ret(Ctx.getInt(2, 3));
+  }
+  R = check(Src2, Tgt2, Proposed);
+  EXPECT_TRUE(R.valid()) << R.Message;
+
+  // x -> freeze x is always a refinement (dropping poison possibilities).
+  Function *Src3 = fn("src3", I2, {I2});
+  {
+    IRBuilder B(Ctx, Src3->addBlock("entry"));
+    B.ret(Src3->arg(0));
+  }
+  Function *Tgt3 = fn("tgt3", I2, {I2});
+  {
+    IRBuilder B(Ctx, Tgt3->addBlock("entry"));
+    B.ret(B.freeze(Tgt3->arg(0)));
+  }
+  R = check(Src3, Tgt3, Proposed);
+  EXPECT_TRUE(R.valid()) << R.Message;
+
+  // The reverse, freeze x -> x, is NOT a refinement.
+  R = check(Tgt3, Src3, Proposed);
+  EXPECT_TRUE(R.invalid()) << R.Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Refinement machinery sanity.
+//===----------------------------------------------------------------------===//
+
+TEST_F(TVTest, IdentityIsValidAndConstantsCompare) {
+  auto *I3 = Ctx.intTy(3);
+  Function *Src = fn("src", I3, {I3});
+  {
+    IRBuilder B(Ctx, Src->addBlock("entry"));
+    B.ret(B.add(Src->arg(0), Ctx.getInt(3, 1)));
+  }
+  TVResult R = check(Src, Src, Proposed);
+  EXPECT_TRUE(R.valid());
+  EXPECT_GT(R.InputsChecked, 0u);
+
+  Function *Wrong = fn("wrong", I3, {I3});
+  {
+    IRBuilder B(Ctx, Wrong->addBlock("entry"));
+    B.ret(B.add(Wrong->arg(0), Ctx.getInt(3, 2)));
+  }
+  R = check(Src, Wrong, Proposed);
+  EXPECT_TRUE(R.invalid());
+}
+
+TEST_F(TVTest, MemoryIsObservable) {
+  // src stores 1 to a global; tgt stores 2. Must be caught via the final
+  // memory snapshot even though neither returns a value.
+  auto *I8 = Ctx.intTy(8);
+  GlobalVariable *G = Ctx.getGlobal("g", I8, 1);
+  auto Make = [&](const std::string &Name, uint64_t V) {
+    Function *F = fn(Name, Ctx.voidTy(), {});
+    IRBuilder B(Ctx, F->addBlock("entry"));
+    B.store(Ctx.getInt(8, V), G);
+    B.retVoid();
+    return F;
+  };
+  TVResult R = check(Make("src", 1), Make("tgt", 1 + 1), Proposed);
+  EXPECT_TRUE(R.invalid()) << R.Message;
+  R = check(Make("src2", 3), Make("tgt2", 3), Proposed);
+  EXPECT_TRUE(R.valid()) << R.Message;
+}
+
+} // namespace
