@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lnt.dir/LNTBench.cpp.o"
+  "CMakeFiles/bench_lnt.dir/LNTBench.cpp.o.d"
+  "bench_lnt"
+  "bench_lnt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lnt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_runtime_spec.dir/RuntimeSpec.cpp.o"
+  "CMakeFiles/bench_runtime_spec.dir/RuntimeSpec.cpp.o.d"
+  "bench_runtime_spec"
+  "bench_runtime_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

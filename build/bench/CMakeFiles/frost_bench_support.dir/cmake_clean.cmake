@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frost_bench_support.dir/Kernels.cpp.o"
+  "CMakeFiles/frost_bench_support.dir/Kernels.cpp.o.d"
+  "libfrost_bench_support.a"
+  "libfrost_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frost_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfrost_bench_support.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitfields.dir/bitfields.cpp.o"
+  "CMakeFiles/bitfields.dir/bitfields.cpp.o.d"
+  "bitfields"
+  "bitfields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitfields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

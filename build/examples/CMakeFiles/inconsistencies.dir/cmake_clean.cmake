@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inconsistencies.dir/inconsistencies.cpp.o"
+  "CMakeFiles/inconsistencies.dir/inconsistencies.cpp.o.d"
+  "inconsistencies"
+  "inconsistencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inconsistencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

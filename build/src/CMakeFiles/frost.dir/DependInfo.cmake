@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Dominators.cpp" "src/CMakeFiles/frost.dir/analysis/Dominators.cpp.o" "gcc" "src/CMakeFiles/frost.dir/analysis/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/LoopInfo.cpp" "src/CMakeFiles/frost.dir/analysis/LoopInfo.cpp.o" "gcc" "src/CMakeFiles/frost.dir/analysis/LoopInfo.cpp.o.d"
+  "/root/repo/src/analysis/ScalarEvolution.cpp" "src/CMakeFiles/frost.dir/analysis/ScalarEvolution.cpp.o" "gcc" "src/CMakeFiles/frost.dir/analysis/ScalarEvolution.cpp.o.d"
+  "/root/repo/src/analysis/ValueTracking.cpp" "src/CMakeFiles/frost.dir/analysis/ValueTracking.cpp.o" "gcc" "src/CMakeFiles/frost.dir/analysis/ValueTracking.cpp.o.d"
+  "/root/repo/src/codegen/Codegen.cpp" "src/CMakeFiles/frost.dir/codegen/Codegen.cpp.o" "gcc" "src/CMakeFiles/frost.dir/codegen/Codegen.cpp.o.d"
+  "/root/repo/src/codegen/MIR.cpp" "src/CMakeFiles/frost.dir/codegen/MIR.cpp.o" "gcc" "src/CMakeFiles/frost.dir/codegen/MIR.cpp.o.d"
+  "/root/repo/src/codegen/MachineSim.cpp" "src/CMakeFiles/frost.dir/codegen/MachineSim.cpp.o" "gcc" "src/CMakeFiles/frost.dir/codegen/MachineSim.cpp.o.d"
+  "/root/repo/src/codegen/RegAlloc.cpp" "src/CMakeFiles/frost.dir/codegen/RegAlloc.cpp.o" "gcc" "src/CMakeFiles/frost.dir/codegen/RegAlloc.cpp.o.d"
+  "/root/repo/src/frontend/BitFields.cpp" "src/CMakeFiles/frost.dir/frontend/BitFields.cpp.o" "gcc" "src/CMakeFiles/frost.dir/frontend/BitFields.cpp.o.d"
+  "/root/repo/src/fuzz/Enumerate.cpp" "src/CMakeFiles/frost.dir/fuzz/Enumerate.cpp.o" "gcc" "src/CMakeFiles/frost.dir/fuzz/Enumerate.cpp.o.d"
+  "/root/repo/src/fuzz/RandomProgram.cpp" "src/CMakeFiles/frost.dir/fuzz/RandomProgram.cpp.o" "gcc" "src/CMakeFiles/frost.dir/fuzz/RandomProgram.cpp.o.d"
+  "/root/repo/src/ir/BasicBlock.cpp" "src/CMakeFiles/frost.dir/ir/BasicBlock.cpp.o" "gcc" "src/CMakeFiles/frost.dir/ir/BasicBlock.cpp.o.d"
+  "/root/repo/src/ir/Cloning.cpp" "src/CMakeFiles/frost.dir/ir/Cloning.cpp.o" "gcc" "src/CMakeFiles/frost.dir/ir/Cloning.cpp.o.d"
+  "/root/repo/src/ir/Context.cpp" "src/CMakeFiles/frost.dir/ir/Context.cpp.o" "gcc" "src/CMakeFiles/frost.dir/ir/Context.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/CMakeFiles/frost.dir/ir/Function.cpp.o" "gcc" "src/CMakeFiles/frost.dir/ir/Function.cpp.o.d"
+  "/root/repo/src/ir/Instruction.cpp" "src/CMakeFiles/frost.dir/ir/Instruction.cpp.o" "gcc" "src/CMakeFiles/frost.dir/ir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/Instructions.cpp" "src/CMakeFiles/frost.dir/ir/Instructions.cpp.o" "gcc" "src/CMakeFiles/frost.dir/ir/Instructions.cpp.o.d"
+  "/root/repo/src/ir/Module.cpp" "src/CMakeFiles/frost.dir/ir/Module.cpp.o" "gcc" "src/CMakeFiles/frost.dir/ir/Module.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/CMakeFiles/frost.dir/ir/Printer.cpp.o" "gcc" "src/CMakeFiles/frost.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "src/CMakeFiles/frost.dir/ir/Type.cpp.o" "gcc" "src/CMakeFiles/frost.dir/ir/Type.cpp.o.d"
+  "/root/repo/src/ir/Value.cpp" "src/CMakeFiles/frost.dir/ir/Value.cpp.o" "gcc" "src/CMakeFiles/frost.dir/ir/Value.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/frost.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/frost.dir/ir/Verifier.cpp.o.d"
+  "/root/repo/src/opt/CodeGenPrepare.cpp" "src/CMakeFiles/frost.dir/opt/CodeGenPrepare.cpp.o" "gcc" "src/CMakeFiles/frost.dir/opt/CodeGenPrepare.cpp.o.d"
+  "/root/repo/src/opt/DCE.cpp" "src/CMakeFiles/frost.dir/opt/DCE.cpp.o" "gcc" "src/CMakeFiles/frost.dir/opt/DCE.cpp.o.d"
+  "/root/repo/src/opt/GVN.cpp" "src/CMakeFiles/frost.dir/opt/GVN.cpp.o" "gcc" "src/CMakeFiles/frost.dir/opt/GVN.cpp.o.d"
+  "/root/repo/src/opt/IndVarWiden.cpp" "src/CMakeFiles/frost.dir/opt/IndVarWiden.cpp.o" "gcc" "src/CMakeFiles/frost.dir/opt/IndVarWiden.cpp.o.d"
+  "/root/repo/src/opt/InstCombine.cpp" "src/CMakeFiles/frost.dir/opt/InstCombine.cpp.o" "gcc" "src/CMakeFiles/frost.dir/opt/InstCombine.cpp.o.d"
+  "/root/repo/src/opt/InstSimplify.cpp" "src/CMakeFiles/frost.dir/opt/InstSimplify.cpp.o" "gcc" "src/CMakeFiles/frost.dir/opt/InstSimplify.cpp.o.d"
+  "/root/repo/src/opt/LICM.cpp" "src/CMakeFiles/frost.dir/opt/LICM.cpp.o" "gcc" "src/CMakeFiles/frost.dir/opt/LICM.cpp.o.d"
+  "/root/repo/src/opt/LoopUnswitch.cpp" "src/CMakeFiles/frost.dir/opt/LoopUnswitch.cpp.o" "gcc" "src/CMakeFiles/frost.dir/opt/LoopUnswitch.cpp.o.d"
+  "/root/repo/src/opt/Pass.cpp" "src/CMakeFiles/frost.dir/opt/Pass.cpp.o" "gcc" "src/CMakeFiles/frost.dir/opt/Pass.cpp.o.d"
+  "/root/repo/src/opt/Reassociate.cpp" "src/CMakeFiles/frost.dir/opt/Reassociate.cpp.o" "gcc" "src/CMakeFiles/frost.dir/opt/Reassociate.cpp.o.d"
+  "/root/repo/src/opt/SCCP.cpp" "src/CMakeFiles/frost.dir/opt/SCCP.cpp.o" "gcc" "src/CMakeFiles/frost.dir/opt/SCCP.cpp.o.d"
+  "/root/repo/src/opt/SimplifyCFG.cpp" "src/CMakeFiles/frost.dir/opt/SimplifyCFG.cpp.o" "gcc" "src/CMakeFiles/frost.dir/opt/SimplifyCFG.cpp.o.d"
+  "/root/repo/src/opt/Utils.cpp" "src/CMakeFiles/frost.dir/opt/Utils.cpp.o" "gcc" "src/CMakeFiles/frost.dir/opt/Utils.cpp.o.d"
+  "/root/repo/src/parser/Lexer.cpp" "src/CMakeFiles/frost.dir/parser/Lexer.cpp.o" "gcc" "src/CMakeFiles/frost.dir/parser/Lexer.cpp.o.d"
+  "/root/repo/src/parser/Parser.cpp" "src/CMakeFiles/frost.dir/parser/Parser.cpp.o" "gcc" "src/CMakeFiles/frost.dir/parser/Parser.cpp.o.d"
+  "/root/repo/src/sem/Domain.cpp" "src/CMakeFiles/frost.dir/sem/Domain.cpp.o" "gcc" "src/CMakeFiles/frost.dir/sem/Domain.cpp.o.d"
+  "/root/repo/src/sem/Eval.cpp" "src/CMakeFiles/frost.dir/sem/Eval.cpp.o" "gcc" "src/CMakeFiles/frost.dir/sem/Eval.cpp.o.d"
+  "/root/repo/src/sem/Interp.cpp" "src/CMakeFiles/frost.dir/sem/Interp.cpp.o" "gcc" "src/CMakeFiles/frost.dir/sem/Interp.cpp.o.d"
+  "/root/repo/src/sem/Memory.cpp" "src/CMakeFiles/frost.dir/sem/Memory.cpp.o" "gcc" "src/CMakeFiles/frost.dir/sem/Memory.cpp.o.d"
+  "/root/repo/src/sem/Oracle.cpp" "src/CMakeFiles/frost.dir/sem/Oracle.cpp.o" "gcc" "src/CMakeFiles/frost.dir/sem/Oracle.cpp.o.d"
+  "/root/repo/src/support/BitVec.cpp" "src/CMakeFiles/frost.dir/support/BitVec.cpp.o" "gcc" "src/CMakeFiles/frost.dir/support/BitVec.cpp.o.d"
+  "/root/repo/src/support/ErrorHandling.cpp" "src/CMakeFiles/frost.dir/support/ErrorHandling.cpp.o" "gcc" "src/CMakeFiles/frost.dir/support/ErrorHandling.cpp.o.d"
+  "/root/repo/src/support/MemStats.cpp" "src/CMakeFiles/frost.dir/support/MemStats.cpp.o" "gcc" "src/CMakeFiles/frost.dir/support/MemStats.cpp.o.d"
+  "/root/repo/src/tv/Refinement.cpp" "src/CMakeFiles/frost.dir/tv/Refinement.cpp.o" "gcc" "src/CMakeFiles/frost.dir/tv/Refinement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for frost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scev_test.dir/ScalarEvolutionTest.cpp.o"
+  "CMakeFiles/scev_test.dir/ScalarEvolutionTest.cpp.o.d"
+  "scev_test"
+  "scev_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sem_unit_test.dir/SemUnitTest.cpp.o"
+  "CMakeFiles/sem_unit_test.dir/SemUnitTest.cpp.o.d"
+  "sem_unit_test"
+  "sem_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sem_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

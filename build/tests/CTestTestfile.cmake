@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bitvec_test "/root/repo/build/tests/bitvec_test")
+set_tests_properties(bitvec_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;frost_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ir_test "/root/repo/build/tests/ir_test")
+set_tests_properties(ir_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;frost_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(analysis_test "/root/repo/build/tests/analysis_test")
+set_tests_properties(analysis_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;frost_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(interp_test "/root/repo/build/tests/interp_test")
+set_tests_properties(interp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;frost_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tv_test "/root/repo/build/tests/tv_test")
+set_tests_properties(tv_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;frost_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(parser_test "/root/repo/build/tests/parser_test")
+set_tests_properties(parser_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;frost_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(passes_test "/root/repo/build/tests/passes_test")
+set_tests_properties(passes_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;frost_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fuzz_test "/root/repo/build/tests/fuzz_test")
+set_tests_properties(fuzz_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;frost_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(codegen_test "/root/repo/build/tests/codegen_test")
+set_tests_properties(codegen_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;frost_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(frontend_test "/root/repo/build/tests/frontend_test")
+set_tests_properties(frontend_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;frost_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(scev_test "/root/repo/build/tests/scev_test")
+set_tests_properties(scev_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;frost_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;frost_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sem_unit_test "/root/repo/build/tests/sem_unit_test")
+set_tests_properties(sem_unit_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;21;frost_add_test;/root/repo/tests/CMakeLists.txt;0;")
