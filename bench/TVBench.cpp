@@ -24,6 +24,8 @@
 #include "ir/Module.h"
 #include "opt/Pass.h"
 #include "opt/Passes.h"
+#include "support/ThreadPool.h"
+#include "tv/Campaign.h"
 #include "tv/Refinement.h"
 
 #include <benchmark/benchmark.h>
@@ -92,9 +94,63 @@ SweepResult sweepPipeline(unsigned NumInsts, bool WithSelect,
   return R;
 }
 
+/// The i2 2-instruction and i2 3-instruction enumeration campaigns, run
+/// through the parallel engine. Returns the campaign options so the same
+/// space is measured at every jobs count.
+tv::CampaignOptions campaignShape(unsigned NumInsts, uint64_t MaxFunctions) {
+  tv::CampaignOptions Opts;
+  Opts.Enum.NumInsts = NumInsts;
+  Opts.Enum.NumArgs = 1;
+  Opts.Enum.WithPoison = true;
+  Opts.Enum.WithFlags = true;
+  Opts.Enum.WithSelect = NumInsts >= 3;
+  Opts.Enum.Opcodes = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                       Opcode::And, Opcode::Xor, Opcode::Shl};
+  Opts.MaxFunctions = MaxFunctions;
+  Opts.TV.CompareMemory = false;
+  return Opts;
+}
+
+/// Measures the same campaign serially and at --jobs N; verifies the two
+/// reports are byte-identical (the determinism contract) and reports the
+/// throughput ratio. Returns false if determinism is violated.
+bool measureCampaignScaling(unsigned NumInsts, uint64_t MaxFunctions,
+                            unsigned Jobs) {
+  tv::CampaignOptions Opts = campaignShape(NumInsts, MaxFunctions);
+
+  Opts.Jobs = 1;
+  tv::CampaignResult Serial = tv::runCampaign(Opts);
+  Opts.Jobs = Jobs;
+  tv::CampaignResult Parallel = tv::runCampaign(Opts);
+
+  bool Deterministic = Serial.report() == Parallel.report();
+  double Speedup = Parallel.WallSeconds > 0
+                       ? Serial.WallSeconds / Parallel.WallSeconds
+                       : 0;
+  std::printf("%u-instruction campaign (%llu functions): "
+              "--jobs 1: %.2fs (%.0f checks/s), --jobs %u: %.2fs "
+              "(%.0f checks/s), speedup %.2fx, reports %s\n",
+              NumInsts, (unsigned long long)Serial.Functions,
+              Serial.WallSeconds, Serial.checksPerSecond(), Jobs,
+              Parallel.WallSeconds, Parallel.checksPerSecond(), Speedup,
+              Deterministic ? "byte-identical" : "DIVERGED");
+  unsigned HW = ThreadPool::defaultThreadCount();
+  if (HW < Jobs)
+    std::printf("  (note: only %u hardware thread(s); wall-clock speedup is "
+                "bounded by the hardware, not the engine)\n", HW);
+  return Deterministic;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  std::printf("\n=== Parallel campaign engine: scaling & determinism ===\n");
+  bool CampaignsDeterministic =
+      measureCampaignScaling(2, 20000, 4) && measureCampaignScaling(3, 6000, 4);
+  if (!CampaignsDeterministic) {
+    std::printf("CAMPAIGN FAILURE: --jobs 1 and --jobs 4 reports diverged\n");
+    return 1;
+  }
   std::printf("\n=== Section 6: exhaustive validation "
               "(opt-fuzz + Alive substitute) ===\n");
 
@@ -155,6 +211,17 @@ int main(int argc, char **argv) {
           benchmark::DoNotOptimize(R.Valid);
         }
       });
+  for (unsigned Jobs : {1u, 2u, 4u})
+    benchmark::RegisterBenchmark(
+        ("BM_campaign_2inst/jobs:" + std::to_string(Jobs)).c_str(),
+        [Jobs](benchmark::State &State) {
+          tv::CampaignOptions Opts = campaignShape(2, 2000);
+          Opts.Jobs = Jobs;
+          for (auto _ : State) {
+            tv::CampaignResult R = tv::runCampaign(Opts);
+            benchmark::DoNotOptimize(R.Valid);
+          }
+        });
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

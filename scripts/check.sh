@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Tier-1 verification for frost: configure, build, run the full test
+# suite, then a ~2-second smoke campaign that must still catch the
+# legacy select miscompiles (see docs/tv-campaigns.md).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== smoke campaign: proposed pipeline must validate clean =="
+./build/tools/frost-tv --insts 2 --width 2 --max-functions 4000 \
+    --jobs 2 --quiet
+
+echo "== smoke campaign: legacy pipeline must be caught =="
+if ./build/tools/frost-tv --insts 2 --width 1 --args 3 --opcodes none \
+    --pipeline legacy --jobs 2 --quiet; then
+  echo "check.sh: FAIL: legacy campaign found no miscompilation" >&2
+  exit 1
+fi
+
+echo "check.sh: all checks passed"

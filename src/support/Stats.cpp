@@ -1,0 +1,76 @@
+//===- Stats.cpp - Named atomic statistics counters -------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+using namespace frost;
+
+namespace {
+
+struct Registry {
+  std::mutex Mutex;
+  // unique_ptr keeps the atomic's address stable across map growth.
+  std::map<std::string, std::unique_ptr<std::atomic<uint64_t>>> Counters;
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+} // namespace
+
+std::atomic<uint64_t> &stats::counter(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  auto &Slot = R.Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<std::atomic<uint64_t>>(0);
+  return *Slot;
+}
+
+void stats::add(const std::string &Name, uint64_t Delta) {
+  counter(Name).fetch_add(Delta, std::memory_order_relaxed);
+}
+
+uint64_t stats::get(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  auto It = R.Counters.find(Name);
+  return It == R.Counters.end() ? 0 : It->second->load();
+}
+
+std::vector<std::pair<std::string, uint64_t>> stats::snapshot() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  Out.reserve(R.Counters.size());
+  for (const auto &[Name, Value] : R.Counters)
+    Out.emplace_back(Name, Value->load());
+  return Out;
+}
+
+void stats::reset() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (auto &[Name, Value] : R.Counters)
+    Value->store(0);
+}
+
+std::string stats::report(const std::string &Prefix) {
+  std::string Out;
+  for (const auto &[Name, Value] : snapshot()) {
+    if (Name.compare(0, Prefix.size(), Prefix) != 0)
+      continue;
+    Out += Name + " = " + std::to_string(Value) + "\n";
+  }
+  return Out;
+}

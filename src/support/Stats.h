@@ -1,0 +1,54 @@
+//===- Stats.h - Named atomic statistics counters ---------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MemStats-style global accounting, generalised to named counters. The
+/// campaign engine (tv/Campaign) publishes its progress here — functions
+/// checked, shard completions, poison/undef counterexample hits — so tools
+/// and benchmarks can report throughput without threading a stats object
+/// through every layer. Counters are process-global atomics: cheap enough
+/// to bump from every worker thread, and stable references so hot paths can
+/// look a counter up once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SUPPORT_STATS_H
+#define FROST_SUPPORT_STATS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace frost {
+namespace stats {
+
+/// Returns the counter registered under \p Name, creating it (at zero) on
+/// first use. The returned reference stays valid for the process lifetime.
+std::atomic<uint64_t> &counter(const std::string &Name);
+
+/// Convenience: counter(Name) += Delta.
+void add(const std::string &Name, uint64_t Delta = 1);
+
+/// Current value, 0 if the counter was never touched.
+uint64_t get(const std::string &Name);
+
+/// All registered counters, sorted by name.
+std::vector<std::pair<std::string, uint64_t>> snapshot();
+
+/// Zeroes every registered counter (the registry itself persists).
+void reset();
+
+/// Renders "name = value" lines for counters whose name starts with
+/// \p Prefix (empty prefix: all), sorted by name.
+std::string report(const std::string &Prefix = "");
+
+} // namespace stats
+} // namespace frost
+
+#endif // FROST_SUPPORT_STATS_H

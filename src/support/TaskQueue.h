@@ -1,0 +1,76 @@
+//===- TaskQueue.h - Work-stealing task deque -------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-worker deque underlying support/ThreadPool. The owning worker
+/// pushes and pops at the back (LIFO, keeping its cache warm on recursively
+/// submitted work); idle workers steal from the front (FIFO, taking the
+/// oldest — typically largest — task). Each queue is guarded by its own
+/// mutex, so contention is limited to steal attempts against one victim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SUPPORT_TASKQUEUE_H
+#define FROST_SUPPORT_TASKQUEUE_H
+
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace frost {
+
+class TaskQueue {
+public:
+  using Task = std::function<void()>;
+
+  /// Enqueues at the back (owner side).
+  void push(Task T) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Tasks.push_back(std::move(T));
+  }
+
+  /// Dequeues from the back; the owning worker's fast path.
+  std::optional<Task> pop() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Tasks.empty())
+      return std::nullopt;
+    Task T = std::move(Tasks.back());
+    Tasks.pop_back();
+    return T;
+  }
+
+  /// Dequeues from the front; used by other workers when their own queue
+  /// runs dry.
+  std::optional<Task> steal() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Tasks.empty())
+      return std::nullopt;
+    Task T = std::move(Tasks.front());
+    Tasks.pop_front();
+    return T;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Tasks.empty();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Tasks.size();
+  }
+
+private:
+  mutable std::mutex Mutex;
+  std::deque<Task> Tasks;
+};
+
+} // namespace frost
+
+#endif // FROST_SUPPORT_TASKQUEUE_H

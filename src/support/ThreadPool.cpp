@@ -1,0 +1,107 @@
+//===- ThreadPool.cpp - Work-stealing thread pool --------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace frost;
+
+unsigned ThreadPool::defaultThreadCount() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = defaultThreadCount();
+  Queues.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Queues.push_back(std::make_unique<TaskQueue>());
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this, I] { workerMain(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  // Drain: workers keep running until nothing is pending, so tasks submitted
+  // from inside tasks are also completed before shutdown.
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    IdleCV.wait(Lock, [this] { return Pending.load() == 0; });
+    Stopping.store(true);
+  }
+  WorkCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(TaskQueue::Task T) {
+  Pending.fetch_add(1);
+  unsigned Q = NextQueue.fetch_add(1, std::memory_order_relaxed) %
+               unsigned(Queues.size());
+  Queues[Q]->push(std::move(T));
+  SubmitSeq.fetch_add(1);
+  // Empty critical section: pairs with the predicate re-check inside
+  // WorkCV.wait so a worker cannot miss the wakeup between scanning the
+  // queues and blocking.
+  { std::lock_guard<std::mutex> Lock(Mutex); }
+  WorkCV.notify_all();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  IdleCV.wait(Lock, [this] { return Pending.load() == 0; });
+  if (FirstError) {
+    std::exception_ptr E = FirstError;
+    FirstError = nullptr;
+    std::rethrow_exception(E);
+  }
+}
+
+std::optional<TaskQueue::Task> ThreadPool::take(unsigned Self) {
+  if (auto T = Queues[Self]->pop())
+    return T;
+  // Steal round: start just past ourselves so victims are spread out.
+  for (unsigned I = 1, N = unsigned(Queues.size()); I != N; ++I)
+    if (auto T = Queues[(Self + I) % N]->steal())
+      return T;
+  return std::nullopt;
+}
+
+void ThreadPool::runTask(TaskQueue::Task &T) {
+  try {
+    T();
+  } catch (...) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!FirstError)
+      FirstError = std::current_exception();
+  }
+  if (Pending.fetch_sub(1) == 1) {
+    { std::lock_guard<std::mutex> Lock(Mutex); }
+    IdleCV.notify_all();
+  }
+}
+
+void ThreadPool::workerMain(unsigned Self) {
+  while (true) {
+    uint64_t Seen = SubmitSeq.load();
+    if (auto T = take(Self)) {
+      runTask(*T);
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(Mutex);
+    WorkCV.wait(Lock, [this, Seen] {
+      return Stopping.load() || SubmitSeq.load() != Seen;
+    });
+    if (Stopping.load()) {
+      // Finish any straggler work that raced with shutdown.
+      Lock.unlock();
+      while (auto T = take(Self))
+        runTask(*T);
+      return;
+    }
+  }
+}

@@ -1,0 +1,98 @@
+//===- ThreadPool.h - Work-stealing thread pool -----------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A work-stealing thread pool for the embarrassingly parallel workloads in
+/// frost: translation-validation campaigns (tv/Campaign) and fuzzing sweeps.
+/// Each worker owns a TaskQueue; submissions are distributed round-robin and
+/// idle workers steal from their siblings, so one oversized shard cannot
+/// leave the rest of the machine idle.
+///
+/// Error contract: tasks submitted via async() report exceptions through the
+/// returned future; tasks submitted via submit() have their first exception
+/// captured and rethrown from wait(). The destructor drains all remaining
+/// work (it never drops submitted tasks) and swallows captured exceptions —
+/// call wait() first if you care about them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SUPPORT_THREADPOOL_H
+#define FROST_SUPPORT_THREADPOOL_H
+
+#include "support/TaskQueue.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace frost {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers; 0 means defaultThreadCount().
+  explicit ThreadPool(unsigned NumThreads = 0);
+
+  /// Drains every submitted task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p T for execution. Safe to call from any thread, including
+  /// from inside a running task.
+  void submit(TaskQueue::Task T);
+
+  /// Enqueues a callable and returns a future for its result; exceptions
+  /// thrown by \p F surface from future::get().
+  template <typename Fn> auto async(Fn F) {
+    using R = std::invoke_result_t<Fn>;
+    auto Job = std::make_shared<std::packaged_task<R()>>(std::move(F));
+    std::future<R> Result = Job->get_future();
+    submit([Job] { (*Job)(); });
+    return Result;
+  }
+
+  /// Blocks until every task submitted so far (including tasks they spawned)
+  /// has finished, then rethrows the first exception captured from a
+  /// submit() task, if any.
+  void wait();
+
+  unsigned numThreads() const { return unsigned(Workers.size()); }
+
+  /// Hardware concurrency, with a floor of 1.
+  static unsigned defaultThreadCount();
+
+private:
+  void workerMain(unsigned Self);
+  std::optional<TaskQueue::Task> take(unsigned Self);
+  void runTask(TaskQueue::Task &T);
+
+  std::vector<std::unique_ptr<TaskQueue>> Queues;
+  std::vector<std::thread> Workers;
+
+  std::mutex Mutex;
+  std::condition_variable WorkCV; ///< Signalled on submit and shutdown.
+  std::condition_variable IdleCV; ///< Signalled when Pending hits zero.
+
+  std::atomic<uint64_t> Pending{0};     ///< Submitted but not yet finished.
+  std::atomic<uint64_t> SubmitSeq{0};   ///< Bumped per submit (wakeup token).
+  std::atomic<unsigned> NextQueue{0};   ///< Round-robin submission cursor.
+  std::atomic<bool> Stopping{false};
+
+  std::exception_ptr FirstError; ///< Guarded by Mutex.
+};
+
+} // namespace frost
+
+#endif // FROST_SUPPORT_THREADPOOL_H

@@ -1,0 +1,424 @@
+//===- Campaign.cpp - Parallel TV / fuzz campaign engine ---------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tv/Campaign.h"
+
+#include "ir/Cloning.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "parser/Parser.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+using namespace frost;
+using namespace frost::tv;
+
+uint64_t tv::fingerprintFailure(const std::string &Message) {
+  uint64_t H = 1469598103934665603ull; // FNV-1a offset basis.
+  for (unsigned char C : Message) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H ? H : 1; // 0 marks an empty cache slot.
+}
+
+//===----------------------------------------------------------------------===//
+// CounterexampleCache
+//===----------------------------------------------------------------------===//
+
+CounterexampleCache::CounterexampleCache(uint64_t Capacity) {
+  uint64_t N = 16;
+  while (N < Capacity)
+    N <<= 1;
+  Slots = std::vector<Slot>(N);
+  Mask = N - 1;
+}
+
+bool CounterexampleCache::record(uint64_t Fingerprint, uint64_t Index) {
+  assert(Fingerprint != 0 && "fingerprint 0 is reserved for empty slots");
+  for (uint64_t Probe = 0; Probe <= Mask; ++Probe) {
+    Slot &S = Slots[(Fingerprint + Probe) & Mask];
+    uint64_t Key = S.Key.load(std::memory_order_acquire);
+    if (Key == 0) {
+      uint64_t Expected = 0;
+      if (S.Key.compare_exchange_strong(Expected, Fingerprint,
+                                        std::memory_order_acq_rel)) {
+        Key = Fingerprint;
+        Distinct.fetch_add(1, std::memory_order_relaxed);
+        // CAS-min below publishes the witness; fall through as the inserter.
+        uint64_t Cur = S.MinIndex.load(std::memory_order_relaxed);
+        while (Index < Cur &&
+               !S.MinIndex.compare_exchange_weak(Cur, Index,
+                                                 std::memory_order_acq_rel)) {
+        }
+        return true;
+      }
+      Key = Expected; // Lost the race; Expected holds the winner's key.
+    }
+    if (Key == Fingerprint) {
+      uint64_t Cur = S.MinIndex.load(std::memory_order_relaxed);
+      while (Index < Cur &&
+             !S.MinIndex.compare_exchange_weak(Cur, Index,
+                                               std::memory_order_acq_rel)) {
+      }
+      return false;
+    }
+    // Different key: keep probing.
+  }
+  // Table full: treat as new so the failure is reported rather than lost.
+  return true;
+}
+
+const CounterexampleCache::Slot *
+CounterexampleCache::find(uint64_t Fingerprint) const {
+  for (uint64_t Probe = 0; Probe <= Mask; ++Probe) {
+    const Slot &S = Slots[(Fingerprint + Probe) & Mask];
+    uint64_t Key = S.Key.load(std::memory_order_acquire);
+    if (Key == 0)
+      return nullptr;
+    if (Key == Fingerprint)
+      return &S;
+  }
+  return nullptr;
+}
+
+uint64_t CounterexampleCache::minIndex(uint64_t Fingerprint) const {
+  const Slot *S = find(Fingerprint);
+  return S ? S->MinIndex.load(std::memory_order_acquire) : ~uint64_t(0);
+}
+
+//===----------------------------------------------------------------------===//
+// Campaign driver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One work unit: a contiguous slice of the campaign's function space.
+/// Exhaustive shards carry the functions as printed IR (produced by the
+/// enumerating thread, re-parsed by the checking worker into its own
+/// context); random shards carry only seed indices and regenerate.
+struct Shard {
+  uint64_t Id = 0;
+  uint64_t FirstIndex = 0;
+  std::vector<std::string> Texts; // Exhaustive source only.
+  uint64_t NumFunctions = 0;      // == Texts.size() for exhaustive.
+};
+
+/// Everything a shard reports back. Written by exactly one task.
+struct ShardResult {
+  uint64_t Id = 0;
+  uint64_t Functions = 0, Changed = 0;
+  uint64_t Valid = 0, Invalid = 0, Inconclusive = 0;
+  uint64_t InputsChecked = 0, PathsExplored = 0;
+  uint64_t Failures = 0;
+  std::vector<Counterexample> Counterexamples;
+};
+
+/// Runs the pipeline over \p F (defined in \p M) and validates the result
+/// against its original body. Exactly the per-function work the serial
+/// checker in bench/TVBench.cpp performs.
+void checkOne(Module &M, Function &F, uint64_t Index,
+              const CampaignOptions &Opts, CounterexampleCache &Cache,
+              ShardResult &Out) {
+  std::string SrcText = printFunction(F);
+  Function *Orig = cloneFunction(F, M, F.getName() + ".orig");
+  PassManager PM(/*VerifyAfterEachPass=*/false);
+  buildStandardPipeline(PM, Opts.Pipeline);
+  if (PM.run(F))
+    ++Out.Changed;
+  TVResult TR = checkRefinement(*Orig, F, Opts.Semantics, Opts.TV);
+  M.eraseFunction(Orig);
+
+  ++Out.Functions;
+  Out.InputsChecked += TR.InputsChecked;
+  Out.PathsExplored += TR.PathsExplored;
+  if (TR.valid()) {
+    ++Out.Valid;
+    return;
+  }
+  bool Inconclusive = !TR.invalid();
+  if (Inconclusive)
+    ++Out.Inconclusive;
+  else
+    ++Out.Invalid;
+  ++Out.Failures;
+
+  Counterexample CE;
+  CE.Index = Index;
+  CE.Inconclusive = Inconclusive;
+  CE.Function = std::move(SrcText);
+  CE.Message = TR.Message;
+  CE.Fingerprint = fingerprintFailure(
+      (Inconclusive ? std::string("inconclusive: ") : std::string("invalid: ")) +
+      TR.Message);
+  bool New = Cache.record(CE.Fingerprint, CE.Index);
+  // Keep any witness that may still be the canonical (lowest-index) one for
+  // its class; the merge step filters the losers deterministically.
+  if (Opts.KeepAllCounterexamples || New ||
+      Cache.minIndex(CE.Fingerprint) >= CE.Index)
+    Out.Counterexamples.push_back(std::move(CE));
+}
+
+void bumpStats(const ShardResult &R) {
+  stats::add("tv.campaign.functions", R.Functions);
+  stats::add("tv.campaign.changed", R.Changed);
+  stats::add("tv.campaign.valid", R.Valid);
+  stats::add("tv.campaign.invalid", R.Invalid);
+  stats::add("tv.campaign.inconclusive", R.Inconclusive);
+  stats::add("tv.campaign.inputs", R.InputsChecked);
+  stats::add("tv.campaign.paths", R.PathsExplored);
+  stats::add("tv.campaign.shards_done", 1);
+  uint64_t Poison = 0, Undef = 0;
+  for (const Counterexample &CE : R.Counterexamples) {
+    if (CE.Message.find("poison") != std::string::npos)
+      ++Poison;
+    if (CE.Message.find("undef") != std::string::npos)
+      ++Undef;
+  }
+  stats::add("tv.campaign.poison_hits", Poison);
+  stats::add("tv.campaign.undef_hits", Undef);
+}
+
+/// Checks every function of one shard inside a private context.
+ShardResult processShard(const Shard &S, const CampaignOptions &Opts,
+                         CounterexampleCache &Cache) {
+  ShardResult R;
+  R.Id = S.Id;
+  if (Opts.Source == CampaignSource::Exhaustive) {
+    for (uint64_t I = 0; I != S.Texts.size(); ++I) {
+      IRContext Ctx;
+      Module M(Ctx, "shard");
+      ParseResult P = parseModule(S.Texts[I], M);
+      assert(P && "enumerated function failed to re-parse");
+      (void)P;
+      Function *F = M.getFunction("fz");
+      assert(F && "enumerated function lost its name");
+      checkOne(M, *F, S.FirstIndex + I, Opts, Cache, R);
+    }
+  } else {
+    for (uint64_t I = 0; I != S.NumFunctions; ++I) {
+      uint64_t Index = S.FirstIndex + I;
+      IRContext Ctx;
+      Module M(Ctx, "shard");
+      fuzz::RandomProgramOptions RP = Opts.Random;
+      RP.Seed = Opts.Random.Seed + Index;
+      Function *F = fuzz::generateRandomFunction(
+          M, "rp" + std::to_string(Index), RP);
+      checkOne(M, *F, Index, Opts, Cache, R);
+    }
+  }
+  bumpStats(R);
+  return R;
+}
+
+std::string semanticsTag(const sem::SemanticsConfig &C) {
+  std::string S;
+  S += "undef_is_poison=";
+  S += C.UndefIsPoison ? '1' : '0';
+  S += " branch_on_poison=";
+  S += C.BranchOnPoison == sem::PoisonBranchRule::UB ? "ub" : "nondet";
+  S += " select_cond=";
+  switch (C.SelectOnPoisonCond) {
+  case sem::SelectPoisonCondRule::Poison:
+    S += "poison";
+    break;
+  case sem::SelectPoisonCondRule::UB:
+    S += "ub";
+    break;
+  case sem::SelectPoisonCondRule::Nondet:
+    S += "nondet";
+    break;
+  }
+  S += " chosen_arm_only=";
+  S += C.SelectChosenArmOnly ? '1' : '0';
+  S += " overshift_undef=";
+  S += C.OverShiftYieldsUndef ? '1' : '0';
+  S += " load_uninit_undef=";
+  S += C.LoadUninitYieldsUndef ? '1' : '0';
+  return S;
+}
+
+} // namespace
+
+std::string tv::describeCampaign(const CampaignOptions &Opts) {
+  std::string S;
+  if (Opts.Source == CampaignSource::Exhaustive) {
+    S += "source=exhaustive insts=" + std::to_string(Opts.Enum.NumInsts);
+    S += " width=" + std::to_string(Opts.Enum.Width);
+    S += " args=" + std::to_string(Opts.Enum.NumArgs);
+    S += " max_functions=" + std::to_string(Opts.MaxFunctions);
+  } else {
+    S += "source=random seed=" + std::to_string(Opts.Random.Seed);
+    S += " count=" + std::to_string(Opts.RandomFunctions);
+    S += " width=" + std::to_string(Opts.Random.Width);
+    S += " statements=" + std::to_string(Opts.Random.Statements);
+  }
+  S += " shard_size=" + std::to_string(Opts.ShardSize);
+  S += std::string(" pipeline=") +
+       (Opts.Pipeline == PipelineMode::Proposed ? "proposed" : "legacy");
+  S += "\nsemantics: " + semanticsTag(Opts.Semantics);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Result rendering
+//===----------------------------------------------------------------------===//
+
+std::string CampaignResult::report() const {
+  std::string S;
+  S += "functions=" + std::to_string(Functions);
+  S += " changed=" + std::to_string(Changed);
+  S += " valid=" + std::to_string(Valid);
+  S += " invalid=" + std::to_string(Invalid);
+  S += " inconclusive=" + std::to_string(Inconclusive);
+  S += "\ninputs=" + std::to_string(InputsChecked);
+  S += " paths=" + std::to_string(PathsExplored);
+  S += " distinct_failures=" + std::to_string(DistinctFailures);
+  S += " duplicate_failures=" + std::to_string(DuplicateFailures);
+  S += "\n";
+  for (const Counterexample &CE : Counterexamples) {
+    S += "== counterexample #" + std::to_string(CE.Index) +
+         (CE.Inconclusive ? " (inconclusive)\n" : " (invalid)\n");
+    S += CE.Function;
+    if (!S.empty() && S.back() != '\n')
+      S += '\n';
+    S += "! " + CE.Message + "\n";
+  }
+  return S;
+}
+
+std::string CampaignResult::summary() const {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "%llu functions in %.2fs wall / %.2fs cpu (%.1f checks/s, "
+                "%llu shards): %llu valid, %llu invalid, %llu inconclusive, "
+                "%llu distinct failure(s)",
+                (unsigned long long)Functions, WallSeconds, CpuSeconds,
+                checksPerSecond(), (unsigned long long)Shards,
+                (unsigned long long)Valid, (unsigned long long)Invalid,
+                (unsigned long long)Inconclusive,
+                (unsigned long long)DistinctFailures);
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// runCampaign
+//===----------------------------------------------------------------------===//
+
+CampaignResult tv::runCampaign(const CampaignOptions &Opts) {
+  assert(Opts.ShardSize > 0 && "shard size must be positive");
+  auto WallStart = std::chrono::steady_clock::now();
+  std::clock_t CpuStart = std::clock();
+
+  CounterexampleCache Cache(Opts.DedupCapacity);
+  std::vector<ShardResult> Results;
+  std::mutex ResultsMutex;
+  auto Commit = [&](ShardResult R) {
+    std::lock_guard<std::mutex> Lock(ResultsMutex);
+    Results.push_back(std::move(R));
+  };
+
+  unsigned Jobs = Opts.Jobs ? Opts.Jobs : ThreadPool::defaultThreadCount();
+  std::unique_ptr<ThreadPool> Pool;
+  if (Jobs > 1)
+    Pool = std::make_unique<ThreadPool>(Jobs);
+
+  uint64_t NumShards = 0;
+  auto Dispatch = [&](Shard S) {
+    S.Id = NumShards++;
+    stats::add("tv.campaign.shards_total", 1);
+    if (Pool) {
+      auto Work = std::make_shared<Shard>(std::move(S));
+      Pool->submit(
+          [&, Work] { Commit(processShard(*Work, Opts, Cache)); });
+    } else {
+      Commit(processShard(S, Opts, Cache));
+    }
+  };
+
+  if (Opts.Source == CampaignSource::Exhaustive) {
+    // The enumerating thread prints each function and batches shards; the
+    // expensive validation runs in the workers' own contexts.
+    IRContext Ctx;
+    Module M(Ctx, "campaign");
+    Shard Cur;
+    uint64_t Index = 0;
+    fuzz::enumerateFunctions(M, Opts.Enum, [&](Function &F) {
+      if (Index >= Opts.MaxFunctions)
+        return false;
+      if (Cur.Texts.empty())
+        Cur.FirstIndex = Index;
+      Cur.Texts.push_back(printFunction(F));
+      ++Index;
+      if (Cur.Texts.size() == Opts.ShardSize) {
+        Cur.NumFunctions = Cur.Texts.size();
+        Dispatch(std::move(Cur));
+        Cur = Shard();
+      }
+      return true;
+    });
+    if (!Cur.Texts.empty()) {
+      Cur.NumFunctions = Cur.Texts.size();
+      Dispatch(std::move(Cur));
+    }
+  } else {
+    for (uint64_t First = 0; First < Opts.RandomFunctions;
+         First += Opts.ShardSize) {
+      Shard S;
+      S.FirstIndex = First;
+      S.NumFunctions =
+          std::min<uint64_t>(Opts.ShardSize, Opts.RandomFunctions - First);
+      Dispatch(std::move(S));
+    }
+  }
+
+  if (Pool) {
+    Pool->wait();
+    Pool.reset();
+  }
+
+  CampaignResult R;
+  R.Shards = NumShards;
+  uint64_t TotalFailures = 0;
+  for (const ShardResult &S : Results) {
+    R.Functions += S.Functions;
+    R.Changed += S.Changed;
+    R.Valid += S.Valid;
+    R.Invalid += S.Invalid;
+    R.Inconclusive += S.Inconclusive;
+    R.InputsChecked += S.InputsChecked;
+    R.PathsExplored += S.PathsExplored;
+    TotalFailures += S.Failures;
+    for (const Counterexample &CE : S.Counterexamples) {
+      if (Opts.KeepAllCounterexamples ||
+          Cache.minIndex(CE.Fingerprint) == CE.Index)
+        R.Counterexamples.push_back(CE);
+    }
+  }
+  std::sort(R.Counterexamples.begin(), R.Counterexamples.end(),
+            [](const Counterexample &A, const Counterexample &B) {
+              return A.Index < B.Index;
+            });
+  R.DistinctFailures = Cache.distinct();
+  R.DuplicateFailures = TotalFailures - std::min(TotalFailures, R.DistinctFailures);
+  stats::add("tv.campaign.dup_failures", R.DuplicateFailures);
+
+  R.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    WallStart)
+          .count();
+  R.CpuSeconds = double(std::clock() - CpuStart) / CLOCKS_PER_SEC;
+  return R;
+}

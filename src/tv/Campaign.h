@@ -1,0 +1,165 @@
+//===- Campaign.h - Parallel TV / fuzz campaign engine ----------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The driver behind the Section 6 methodology at scale: run an optimization
+/// pipeline over an entire program space (exhaustively enumerated functions,
+/// opt-fuzz style, or a seeded random corpus) and validate every single
+/// transformation with the exhaustive refinement checker — in parallel.
+///
+/// The space is split into deterministic shards: shard k owns the functions
+/// with indices [k*ShardSize, (k+1)*ShardSize) in enumeration (or seed)
+/// order. Shards are independent work units executed on a work-stealing
+/// ThreadPool; each worker validates inside its own IRContext/Module, so no
+/// IR state is shared between threads. Counterexamples are deduplicated by a
+/// lock-free fingerprint cache (equivalent failures are reported once, with
+/// the lowest-index witness as the canonical one), and the final report is
+/// sorted by function index — the same campaign produces a byte-identical
+/// report whether it ran on 1 job or N.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_TV_CAMPAIGN_H
+#define FROST_TV_CAMPAIGN_H
+
+#include "fuzz/Enumerate.h"
+#include "fuzz/RandomProgram.h"
+#include "opt/Pass.h"
+#include "tv/Refinement.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace frost {
+namespace tv {
+
+/// Where the campaign's programs come from.
+enum class CampaignSource {
+  Exhaustive, ///< fuzz::enumerateFunctions over EnumOptions (opt-fuzz).
+  Random,     ///< fuzz::generateRandomFunction over consecutive seeds.
+};
+
+/// One full campaign configuration. The tuple (Source, Enum/Random shape,
+/// Pipeline, Semantics, TV, MaxFunctions, ShardSize) fully determines the
+/// work and its report; Jobs only determines how fast it runs.
+struct CampaignOptions {
+  CampaignSource Source = CampaignSource::Exhaustive;
+
+  unsigned Jobs = 1;         ///< Worker threads; 1 runs inline, serially.
+  uint64_t ShardSize = 64;   ///< Functions per shard (work-unit granularity).
+
+  PipelineMode Pipeline = PipelineMode::Proposed; ///< Pipeline under test.
+  sem::SemanticsConfig Semantics = sem::SemanticsConfig::proposed();
+  TVOptions TV; ///< Refinement-checker knobs (paths, inputs, fuel).
+
+  /// Exhaustive source: the enumerated space, capped at MaxFunctions.
+  fuzz::EnumOptions Enum;
+  uint64_t MaxFunctions = 1u << 20;
+
+  /// Random source: seeds [Random.Seed, Random.Seed + RandomFunctions).
+  fuzz::RandomProgramOptions Random;
+  uint64_t RandomFunctions = 128;
+
+  /// Keep every failing witness instead of one per equivalence class.
+  bool KeepAllCounterexamples = false;
+  /// Slots in the lock-free dedup cache (rounded up to a power of two).
+  uint64_t DedupCapacity = 1u << 16;
+};
+
+/// A failing (or inconclusive) validation, attributed to the function's
+/// deterministic index in the campaign space.
+struct Counterexample {
+  uint64_t Index = 0;        ///< Enumeration / seed-order index.
+  uint64_t Fingerprint = 0;  ///< Failure equivalence class.
+  bool Inconclusive = false; ///< Budget exhaustion rather than refutation.
+  std::string Function;      ///< Printed source function.
+  std::string Message;       ///< Refinement checker diagnostic.
+};
+
+/// Aggregated campaign outcome.
+struct CampaignResult {
+  uint64_t Functions = 0;     ///< Programs checked.
+  uint64_t Changed = 0;       ///< Programs the pipeline modified.
+  uint64_t Valid = 0;
+  uint64_t Invalid = 0;
+  uint64_t Inconclusive = 0;
+  uint64_t InputsChecked = 0; ///< Summed over all refinement checks.
+  uint64_t PathsExplored = 0;
+  uint64_t DistinctFailures = 0;  ///< Failure classes after dedup.
+  uint64_t DuplicateFailures = 0; ///< Failures suppressed as duplicates.
+  uint64_t Shards = 0;
+  double WallSeconds = 0;
+  double CpuSeconds = 0;
+
+  /// Counterexamples, sorted by Index; deduplicated unless the campaign ran
+  /// with KeepAllCounterexamples.
+  std::vector<Counterexample> Counterexamples;
+
+  double checksPerSecond() const {
+    return WallSeconds > 0 ? double(Functions) / WallSeconds : 0;
+  }
+
+  /// Canonical, timing-free rendering. Independent of Jobs: the same
+  /// campaign yields byte-identical reports at any parallelism.
+  std::string report() const;
+
+  /// Human-oriented one-screen summary including throughput and wall/CPU
+  /// time (not byte-stable; excluded from report()).
+  std::string summary() const;
+};
+
+/// Stable 64-bit fingerprint of a failure diagnostic (FNV-1a; never 0).
+uint64_t fingerprintFailure(const std::string &Message);
+
+/// One-line description of the campaign's space, pipeline, and semantics
+/// (Jobs-independent; suitable as a report header).
+std::string describeCampaign(const CampaignOptions &Opts);
+
+/// Lock-free fixed-capacity fingerprint -> minimum-witness-index map, used
+/// to report each failure equivalence class once. Open addressing with
+/// linear probing; insertion claims a slot with a key CAS and lowers the
+/// witness index with a CAS-min loop. If the table fills up, further
+/// fingerprints are treated as new (over-reporting, never dropping).
+class CounterexampleCache {
+public:
+  explicit CounterexampleCache(uint64_t Capacity);
+
+  /// Records a witness at \p Index. Returns true if the fingerprint was not
+  /// seen before (by any thread).
+  bool record(uint64_t Fingerprint, uint64_t Index);
+
+  /// Lowest witness index recorded for \p Fingerprint; UINT64_MAX if the
+  /// fingerprint is absent (or was dropped by a full table).
+  uint64_t minIndex(uint64_t Fingerprint) const;
+
+  uint64_t distinct() const { return Distinct.load(); }
+
+private:
+  struct Slot {
+    std::atomic<uint64_t> Key{0};
+    std::atomic<uint64_t> MinIndex{~uint64_t(0)};
+  };
+
+  const Slot *find(uint64_t Fingerprint) const;
+
+  std::vector<Slot> Slots; // Power-of-two size; key 0 marks an empty slot.
+  uint64_t Mask;
+  std::atomic<uint64_t> Distinct{0};
+};
+
+/// Runs the campaign described by \p Opts and returns its aggregated,
+/// deterministically ordered result. Also publishes progress to the
+/// "tv.campaign.*" counters in support/Stats.h.
+CampaignResult runCampaign(const CampaignOptions &Opts);
+
+} // namespace tv
+} // namespace frost
+
+#endif // FROST_TV_CAMPAIGN_H

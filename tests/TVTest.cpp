@@ -15,9 +15,11 @@
 
 #include "tv/Refinement.h"
 
+#include "ir/Cloning.h"
 #include "ir/IRBuilder.h"
 #include "ir/Module.h"
 #include "ir/Verifier.h"
+#include "tv/Campaign.h"
 
 #include <gtest/gtest.h>
 
@@ -596,6 +598,132 @@ TEST_F(TVTest, IdentityIsValidAndConstantsCompare) {
   }
   R = check(Src, Wrong, Proposed);
   EXPECT_TRUE(R.invalid());
+}
+
+//===----------------------------------------------------------------------===//
+// Campaign engine: sharded parallel validation must agree, bit for bit,
+// with the serial checker.
+//===----------------------------------------------------------------------===//
+
+/// A small space on which the legacy pipeline demonstrably miscompiles:
+/// icmp+select over i1 with three arguments, where the legacy
+/// `select c, true/false, x -> or/and` combines drop poison protection.
+tv::CampaignOptions miscompilingCampaign() {
+  tv::CampaignOptions Opts;
+  Opts.Source = tv::CampaignSource::Exhaustive;
+  Opts.Enum.NumInsts = 2;
+  Opts.Enum.Width = 1;
+  Opts.Enum.NumArgs = 3;
+  Opts.Enum.Opcodes = {}; // icmp/select/freeze only.
+  Opts.Pipeline = PipelineMode::Legacy;
+  Opts.TV.CompareMemory = false;
+  Opts.ShardSize = 16;
+  return Opts;
+}
+
+TEST_F(TVTest, CampaignSerialIsByteIdenticalToDirectChecker) {
+  // The pre-engine serial checker: enumerate, optimize, checkRefinement,
+  // one function at a time in one module (exactly bench/TVBench.cpp's loop).
+  tv::CampaignOptions Opts = miscompilingCampaign();
+  Opts.KeepAllCounterexamples = true;
+
+  std::vector<std::pair<uint64_t, std::string>> DirectFailures;
+  uint64_t DirectFunctions = 0, DirectValid = 0;
+  {
+    IRContext Ctx2;
+    Module M2(Ctx2, "direct");
+    uint64_t Index = 0;
+    fuzz::enumerateFunctions(M2, Opts.Enum, [&](Function &F) {
+      Function *Orig = cloneFunction(F, M2, "orig");
+      PassManager PM(false);
+      buildStandardPipeline(PM, Opts.Pipeline);
+      PM.run(F);
+      TVResult TR = checkRefinement(*Orig, F, Opts.Semantics, Opts.TV);
+      M2.eraseFunction(Orig);
+      ++DirectFunctions;
+      if (TR.valid())
+        ++DirectValid;
+      else
+        DirectFailures.push_back({Index, TR.Message});
+      ++Index;
+      return true;
+    });
+  }
+  ASSERT_GT(DirectFailures.size(), 0u)
+      << "space no longer exercises the legacy miscompiles";
+
+  Opts.Jobs = 1;
+  tv::CampaignResult R = tv::runCampaign(Opts);
+  EXPECT_EQ(R.Functions, DirectFunctions);
+  EXPECT_EQ(R.Valid, DirectValid);
+  ASSERT_EQ(R.Counterexamples.size(), DirectFailures.size());
+  for (size_t I = 0; I != DirectFailures.size(); ++I) {
+    EXPECT_EQ(R.Counterexamples[I].Index, DirectFailures[I].first);
+    // Byte-identical diagnostics: the engine's print/parse shard hand-off
+    // must not perturb the checker's output.
+    EXPECT_EQ(R.Counterexamples[I].Message, DirectFailures[I].second);
+  }
+}
+
+TEST_F(TVTest, CampaignParallelReportsIdenticalCounterexampleSet) {
+  tv::CampaignOptions Opts = miscompilingCampaign();
+  Opts.Jobs = 1;
+  tv::CampaignResult Serial = tv::runCampaign(Opts);
+  Opts.Jobs = 4;
+  tv::CampaignResult Parallel = tv::runCampaign(Opts);
+
+  ASSERT_GT(Serial.Invalid, 0u);
+  EXPECT_GT(Serial.DuplicateFailures, 0u); // Dedup did real work.
+  EXPECT_EQ(Serial.Invalid, Parallel.Invalid);
+  EXPECT_EQ(Serial.DistinctFailures, Parallel.DistinctFailures);
+  ASSERT_EQ(Serial.Counterexamples.size(), Parallel.Counterexamples.size());
+  for (size_t I = 0; I != Serial.Counterexamples.size(); ++I) {
+    EXPECT_EQ(Serial.Counterexamples[I].Index,
+              Parallel.Counterexamples[I].Index);
+    EXPECT_EQ(Serial.Counterexamples[I].Message,
+              Parallel.Counterexamples[I].Message);
+  }
+  // The full canonical report — counts, dedup stats, witnesses, function
+  // bodies — must match byte for byte.
+  EXPECT_EQ(Serial.report(), Parallel.report());
+}
+
+TEST_F(TVTest, CampaignRandomSourceIsDeterministicAcrossJobsAndRuns) {
+  tv::CampaignOptions Opts;
+  Opts.Source = tv::CampaignSource::Random;
+  Opts.Random.Seed = 42;
+  Opts.Random.Width = 8;
+  Opts.Random.Statements = 8;
+  Opts.Random.Loops = 1;
+  Opts.RandomFunctions = 24;
+  Opts.ShardSize = 4;
+  Opts.TV.CompareMemory = false;
+
+  Opts.Jobs = 1;
+  tv::CampaignResult A = tv::runCampaign(Opts);
+  Opts.Jobs = 3;
+  tv::CampaignResult B = tv::runCampaign(Opts);
+  EXPECT_EQ(A.Functions, 24u);
+  EXPECT_EQ(A.report(), B.report());
+
+  // Same seed, same campaign — a reproducibility contract across runs too.
+  tv::CampaignResult C = tv::runCampaign(Opts);
+  EXPECT_EQ(B.report(), C.report());
+}
+
+TEST_F(TVTest, CounterexampleCacheDeduplicatesAcrossThreads) {
+  tv::CounterexampleCache Cache(64);
+  uint64_t FP1 = tv::fingerprintFailure("input (poison): mismatch");
+  uint64_t FP2 = tv::fingerprintFailure("input (undef): mismatch");
+  EXPECT_NE(FP1, FP2);
+  EXPECT_TRUE(Cache.record(FP1, 10));
+  EXPECT_FALSE(Cache.record(FP1, 5)); // Same class, lower witness.
+  EXPECT_FALSE(Cache.record(FP1, 20));
+  EXPECT_TRUE(Cache.record(FP2, 7));
+  EXPECT_EQ(Cache.minIndex(FP1), 5u);
+  EXPECT_EQ(Cache.minIndex(FP2), 7u);
+  EXPECT_EQ(Cache.distinct(), 2u);
+  EXPECT_EQ(Cache.minIndex(tv::fingerprintFailure("absent")), ~uint64_t(0));
 }
 
 TEST_F(TVTest, MemoryIsObservable) {

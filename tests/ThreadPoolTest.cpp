@@ -1,0 +1,157 @@
+//===- ThreadPoolTest.cpp - Work-stealing thread pool tests -------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign engine's correctness rests on the pool: every submitted task
+/// runs exactly once, exceptions surface instead of vanishing, and shutdown
+/// never drops queued work. These tests pin those contracts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/TaskQueue.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+using namespace frost;
+
+namespace {
+
+TEST(TaskQueueTest, OwnerPopsLIFOThievesStealFIFO) {
+  TaskQueue Q;
+  std::vector<int> Order;
+  for (int I = 0; I != 3; ++I)
+    Q.push([&Order, I] { Order.push_back(I); });
+  EXPECT_EQ(Q.size(), 3u);
+
+  (*Q.steal())(); // Oldest task: 0.
+  (*Q.pop())();   // Newest task: 2.
+  (*Q.pop())();   // Remaining: 1.
+  EXPECT_TRUE(Q.empty());
+  EXPECT_EQ(Order, (std::vector<int>{0, 2, 1}));
+  EXPECT_FALSE(Q.pop().has_value());
+  EXPECT_FALSE(Q.steal().has_value());
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  std::vector<std::atomic<unsigned>> Runs(500);
+  {
+    ThreadPool Pool(4);
+    for (unsigned I = 0; I != Runs.size(); ++I)
+      Pool.submit([&Runs, I] { Runs[I].fetch_add(1); });
+    Pool.wait();
+  }
+  for (unsigned I = 0; I != Runs.size(); ++I)
+    EXPECT_EQ(Runs[I].load(), 1u) << "task " << I;
+}
+
+TEST(ThreadPoolTest, AsyncReturnsResultsInSubmissionOrder) {
+  ThreadPool Pool(4);
+  std::vector<std::future<int>> Futures;
+  for (int I = 0; I != 100; ++I)
+    Futures.push_back(Pool.async([I] { return I * I; }));
+  // Futures pair results with their submissions regardless of the order the
+  // workers actually ran them in.
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(Futures[I].get(), I * I);
+}
+
+TEST(ThreadPoolTest, AsyncPropagatesExceptions) {
+  ThreadPool Pool(2);
+  auto Ok = Pool.async([] { return 7; });
+  auto Bad = Pool.async(
+      []() -> int { throw std::runtime_error("poison leaked"); });
+  EXPECT_EQ(Ok.get(), 7);
+  try {
+    Bad.get();
+    FAIL() << "expected the task's exception";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "poison leaked");
+  }
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstSubmitException) {
+  ThreadPool Pool(2);
+  std::atomic<unsigned> Ran{0};
+  Pool.submit([&] { Ran.fetch_add(1); });
+  Pool.submit([] { throw std::logic_error("shard failed"); });
+  Pool.submit([&] { Ran.fetch_add(1); });
+  try {
+    Pool.wait();
+    FAIL() << "expected the captured exception";
+  } catch (const std::logic_error &E) {
+    EXPECT_STREQ(E.what(), "shard failed");
+  }
+  // The error is delivered once; the pool stays usable.
+  Pool.submit([&] { Ran.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 3u);
+}
+
+TEST(ThreadPoolTest, ShutdownUnderLoadCompletesAllTasks) {
+  std::atomic<unsigned> Done{0};
+  {
+    ThreadPool Pool(4);
+    // Many more tasks than workers; the destructor runs with queues full.
+    for (unsigned I = 0; I != 2000; ++I)
+      Pool.submit([&Done] { Done.fetch_add(1); });
+    // No wait(): destruction must drain, not drop.
+  }
+  EXPECT_EQ(Done.load(), 2000u);
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitMoreTasks) {
+  std::atomic<unsigned> Done{0};
+  {
+    ThreadPool Pool(3);
+    for (unsigned I = 0; I != 20; ++I)
+      Pool.submit([&] {
+        Done.fetch_add(1);
+        Pool.submit([&] { Done.fetch_add(1); });
+      });
+    Pool.wait();
+    EXPECT_EQ(Done.load(), 40u);
+  }
+}
+
+TEST(ThreadPoolTest, OneSlowTaskDoesNotBlockTheRest) {
+  ThreadPool Pool(4);
+  std::mutex Mutex;
+  std::condition_variable CV;
+  bool Release = false;
+
+  // Occupy one worker until explicitly released.
+  auto Slow = Pool.async([&] {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    CV.wait(Lock, [&] { return Release; });
+    return 1;
+  });
+  // The short tasks must complete while the slow one still holds a worker —
+  // they are distributed round-robin, so some land on the blocked worker's
+  // queue and must be stolen by its siblings.
+  std::vector<std::future<int>> Short;
+  for (int I = 0; I != 64; ++I)
+    Short.push_back(Pool.async([I] { return I; }));
+  for (int I = 0; I != 64; ++I)
+    EXPECT_EQ(Short[I].get(), I);
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Release = true;
+  }
+  CV.notify_all();
+  EXPECT_EQ(Slow.get(), 1);
+}
+
+} // namespace

@@ -1,0 +1,226 @@
+//===- FrostTV.cpp - frost-tv campaign driver ----------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line entry point for translation-validation campaigns: the
+/// Section 6 methodology (enumerate every small function, optimize it,
+/// check refinement) as a tool, with parallel sharded execution. See
+/// docs/tv-campaigns.md for the reproducibility contract and examples.
+///
+/// Exit status: 0 clean, 1 a miscompilation (invalid result) was found,
+/// 2 only inconclusive results, 3 usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+#include "tv/Campaign.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace frost;
+using frost::sem::SemanticsConfig;
+
+namespace {
+
+const char *Usage =
+    "usage: frost-tv [options]\n"
+    "\n"
+    "Campaign shape:\n"
+    "  --source exhaustive|random   program source (default exhaustive)\n"
+    "  --insts N                    instructions per enumerated fn (default 2)\n"
+    "  --width N                    integer width of the space (default 2)\n"
+    "  --args N                     formal parameters (default 1)\n"
+    "  --max-functions N            cap on enumerated functions (default 100000)\n"
+    "  --opcodes a,b,...            binary opcodes to enumerate (add,sub,mul,\n"
+    "                               and,or,xor,shl,lshr,ashr; 'none' for only\n"
+    "                               icmp/select/freeze)\n"
+    "  --seed N                     base seed, random source (default 1)\n"
+    "  --count N                    functions, random source (default 128)\n"
+    "  --statements N               statements per random fn (default 24)\n"
+    "  --random-width N             scalar width of random fns (default 8)\n"
+    "\n"
+    "Pipeline & semantics:\n"
+    "  --pipeline proposed|legacy   pipeline under test (default proposed)\n"
+    "  --sem proposed|legacy-unswitch|legacy-gvn|legacy-langref\n"
+    "                               checking semantics (default proposed)\n"
+    "\n"
+    "Execution:\n"
+    "  --jobs N                     worker threads; 1 = serial (default 1)\n"
+    "  --shard-size N               functions per shard (default 64)\n"
+    "  --keep-duplicates            report every witness, no dedup\n"
+    "  --stats                      print tv.campaign.* counters\n"
+    "  --quiet                      summary only, no counterexample report\n";
+
+uint64_t parseNum(const char *Flag, const char *S) {
+  char *End = nullptr;
+  uint64_t V = std::strtoull(S, &End, 10);
+  if (!End || *End) {
+    std::fprintf(stderr, "frost-tv: bad value for %s: '%s'\n%s", Flag, S,
+                 Usage);
+    std::exit(3);
+  }
+  return V;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  tv::CampaignOptions Opts;
+  Opts.Enum.NumInsts = 2;
+  Opts.Enum.NumArgs = 1;
+  Opts.Enum.WithPoison = true;
+  Opts.Enum.WithFlags = true;
+  Opts.MaxFunctions = 100000;
+  Opts.Random.Width = 8;
+  Opts.TV.CompareMemory = false;
+  bool ShowStats = false, Quiet = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "frost-tv: %s needs a value\n%s", A.c_str(),
+                     Usage);
+        std::exit(3);
+      }
+      return argv[++I];
+    };
+    if (A == "--source") {
+      std::string V = Next();
+      if (V == "exhaustive")
+        Opts.Source = tv::CampaignSource::Exhaustive;
+      else if (V == "random")
+        Opts.Source = tv::CampaignSource::Random;
+      else {
+        std::fprintf(stderr, "frost-tv: unknown source '%s'\n%s", V.c_str(),
+                     Usage);
+        return 3;
+      }
+    } else if (A == "--insts")
+      Opts.Enum.NumInsts = unsigned(parseNum("--insts", Next()));
+    else if (A == "--width")
+      Opts.Enum.Width = unsigned(parseNum("--width", Next()));
+    else if (A == "--args")
+      Opts.Enum.NumArgs = unsigned(parseNum("--args", Next()));
+    else if (A == "--max-functions")
+      Opts.MaxFunctions = parseNum("--max-functions", Next());
+    else if (A == "--opcodes") {
+      std::string V = Next();
+      Opts.Enum.Opcodes.clear();
+      size_t Pos = 0;
+      while (Pos < V.size() && V != "none") {
+        size_t Comma = V.find(',', Pos);
+        std::string Name = V.substr(Pos, Comma == std::string::npos
+                                             ? std::string::npos
+                                             : Comma - Pos);
+        Pos = Comma == std::string::npos ? V.size() : Comma + 1;
+        if (Name == "add")
+          Opts.Enum.Opcodes.push_back(Opcode::Add);
+        else if (Name == "sub")
+          Opts.Enum.Opcodes.push_back(Opcode::Sub);
+        else if (Name == "mul")
+          Opts.Enum.Opcodes.push_back(Opcode::Mul);
+        else if (Name == "and")
+          Opts.Enum.Opcodes.push_back(Opcode::And);
+        else if (Name == "or")
+          Opts.Enum.Opcodes.push_back(Opcode::Or);
+        else if (Name == "xor")
+          Opts.Enum.Opcodes.push_back(Opcode::Xor);
+        else if (Name == "shl")
+          Opts.Enum.Opcodes.push_back(Opcode::Shl);
+        else if (Name == "lshr")
+          Opts.Enum.Opcodes.push_back(Opcode::LShr);
+        else if (Name == "ashr")
+          Opts.Enum.Opcodes.push_back(Opcode::AShr);
+        else {
+          std::fprintf(stderr, "frost-tv: unknown opcode '%s'\n%s",
+                       Name.c_str(), Usage);
+          return 3;
+        }
+      }
+    }
+    else if (A == "--seed")
+      Opts.Random.Seed = parseNum("--seed", Next());
+    else if (A == "--count")
+      Opts.RandomFunctions = parseNum("--count", Next());
+    else if (A == "--statements")
+      Opts.Random.Statements = unsigned(parseNum("--statements", Next()));
+    else if (A == "--random-width")
+      Opts.Random.Width = unsigned(parseNum("--random-width", Next()));
+    else if (A == "--pipeline") {
+      std::string V = Next();
+      if (V == "proposed")
+        Opts.Pipeline = PipelineMode::Proposed;
+      else if (V == "legacy")
+        Opts.Pipeline = PipelineMode::Legacy;
+      else {
+        std::fprintf(stderr, "frost-tv: unknown pipeline '%s'\n%s", V.c_str(),
+                     Usage);
+        return 3;
+      }
+    } else if (A == "--sem") {
+      std::string V = Next();
+      if (V == "proposed")
+        Opts.Semantics = SemanticsConfig::proposed();
+      else if (V == "legacy-unswitch")
+        Opts.Semantics = SemanticsConfig::legacyUnswitch();
+      else if (V == "legacy-gvn")
+        Opts.Semantics = SemanticsConfig::legacyGVN();
+      else if (V == "legacy-langref")
+        Opts.Semantics = SemanticsConfig::legacyLangRefSelect();
+      else {
+        std::fprintf(stderr, "frost-tv: unknown semantics '%s'\n%s",
+                     V.c_str(), Usage);
+        return 3;
+      }
+    } else if (A == "--jobs")
+      Opts.Jobs = unsigned(parseNum("--jobs", Next()));
+    else if (A == "--shard-size")
+      Opts.ShardSize = parseNum("--shard-size", Next());
+    else if (A == "--keep-duplicates")
+      Opts.KeepAllCounterexamples = true;
+    else if (A == "--stats")
+      ShowStats = true;
+    else if (A == "--quiet")
+      Quiet = true;
+    else if (A == "--help" || A == "-h") {
+      std::fputs(Usage, stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "frost-tv: unknown option '%s'\n%s", A.c_str(),
+                   Usage);
+      return 3;
+    }
+  }
+  if (Opts.ShardSize == 0) {
+    std::fprintf(stderr, "frost-tv: --shard-size must be positive\n");
+    return 3;
+  }
+
+  std::printf("%s\n", tv::describeCampaign(Opts).c_str());
+  std::printf("jobs=%u (hardware threads: %u)\n",
+              Opts.Jobs ? Opts.Jobs : ThreadPool::defaultThreadCount(),
+              ThreadPool::defaultThreadCount());
+
+  tv::CampaignResult R = tv::runCampaign(Opts);
+
+  if (!Quiet)
+    std::fputs(R.report().c_str(), stdout);
+  std::printf("%s\n", R.summary().c_str());
+  if (ShowStats)
+    std::fputs(stats::report("tv.campaign.").c_str(), stdout);
+
+  if (R.Invalid)
+    return 1;
+  if (R.Inconclusive)
+    return 2;
+  return 0;
+}
