@@ -20,11 +20,14 @@
 #include "ir/Cloning.h"
 #include "ir/Context.h"
 #include "ir/Module.h"
+#include "ir/Printer.h"
 #include "opt/Pass.h"
+#include "support/Stats.h"
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cstdio>
 
@@ -103,6 +106,79 @@ int main(int argc, char **argv) {
   std::printf("mean change: %+.2f%%  outliers(>+5%%): %u  "
               "(paper: mostly within +/-1%%, one small-file outlier +19%%)\n",
               Sum / Rows.size(), Outliers);
+
+  // === Analysis caching: cached vs uncached pass manager ===
+  // Runs the full standard pipeline over the kernel suite twice — once with
+  // the analysis cache on, once clearing it after every pass (the
+  // pre-caching behaviour) — and compares DominatorTree constructions via
+  // the analysis.domtree.constructed counter. The cache must do strictly
+  // less work while producing byte-identical output IR.
+  {
+    struct CacheRun {
+      uint64_t DomTrees = 0, LoopInfos = 0;
+      double Seconds = 0;
+      std::vector<std::string> IR;
+    };
+    auto RunSuite = [&](bool UseCache) {
+      CacheRun Out;
+      uint64_t DT0 = stats::get("analysis.domtree.constructed");
+      uint64_t LI0 = stats::get("analysis.loopinfo.constructed");
+      auto T0 = std::chrono::steady_clock::now();
+      for (const KernelSpec &Spec : kernelSuite()) {
+        // Same suffix for both runs (each kernel is erased after printing):
+        // the printed IR must be byte-identical, names included.
+        Function *F = buildKernel(M, Spec.Name, "ac", PipelineMode::Proposed);
+        PassManager PM(/*VerifyAfterEachPass=*/false);
+        PM.setUseAnalysisCache(UseCache);
+        buildStandardPipeline(PM, PipelineMode::Proposed);
+        PM.run(*F);
+        Out.IR.push_back(printFunction(*F));
+        M.eraseFunction(F);
+      }
+      auto T1 = std::chrono::steady_clock::now();
+      Out.Seconds = std::chrono::duration<double>(T1 - T0).count();
+      Out.DomTrees = stats::get("analysis.domtree.constructed") - DT0;
+      Out.LoopInfos = stats::get("analysis.loopinfo.constructed") - LI0;
+      return Out;
+    };
+    CacheRun Uncached = RunSuite(false);
+    CacheRun Cached = RunSuite(true);
+
+    std::printf("\n=== analysis cache: standard pipeline over %zu kernels "
+                "===\n",
+                kernelSuite().size());
+    std::printf("%-10s %14s %14s %12s\n", "", "domtrees", "loopinfos",
+                "time(us)");
+    std::printf("%-10s %14llu %14llu %12.1f\n", "uncached",
+                (unsigned long long)Uncached.DomTrees,
+                (unsigned long long)Uncached.LoopInfos,
+                Uncached.Seconds * 1e6);
+    std::printf("%-10s %14llu %14llu %12.1f\n", "cached",
+                (unsigned long long)Cached.DomTrees,
+                (unsigned long long)Cached.LoopInfos, Cached.Seconds * 1e6);
+    for (size_t I = 0; I != Cached.IR.size(); ++I)
+      if (Cached.IR[I] != Uncached.IR[I]) {
+        std::fprintf(stderr, "kernel %s differs:\n--- uncached ---\n%s\n"
+                             "--- cached ---\n%s\n",
+                     kernelSuite()[I].Name.c_str(), Uncached.IR[I].c_str(),
+                     Cached.IR[I].c_str());
+        break;
+      }
+    // The acceptance bar: strictly fewer analysis constructions, same IR.
+    assert(Cached.DomTrees < Uncached.DomTrees &&
+           "analysis cache must save DominatorTree constructions");
+    assert(Cached.IR == Uncached.IR &&
+           "cached and uncached pipelines must agree on the output IR");
+    if (Cached.DomTrees >= Uncached.DomTrees || Cached.IR != Uncached.IR) {
+      std::fprintf(stderr, "FAIL: analysis cache regressed\n");
+      return 1;
+    }
+    std::printf("cache saved %llu of %llu DominatorTree builds; output IR "
+                "byte-identical\n",
+                (unsigned long long)(Uncached.DomTrees - Cached.DomTrees),
+                (unsigned long long)Uncached.DomTrees);
+    std::printf("%s", stats::report("am.").c_str());
+  }
 
   // google-benchmark: whole-suite compile throughput per mode.
   for (PipelineMode Mode : {PipelineMode::Legacy, PipelineMode::Proposed}) {

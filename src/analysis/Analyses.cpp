@@ -1,0 +1,57 @@
+//===- Analyses.cpp - AnalysisManager registrations --------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyses.h"
+
+using namespace frost;
+
+AnalysisKey *DominatorTreeAnalysis::key() {
+  static AnalysisKey K;
+  return &K;
+}
+
+DominatorTree DominatorTreeAnalysis::run(Function &F, AnalysisManager &) {
+  return DominatorTree(F);
+}
+
+AnalysisKey *LoopInfoAnalysis::key() {
+  static AnalysisKey K;
+  return &K;
+}
+
+std::vector<AnalysisKey *> LoopInfoAnalysis::dependencies() {
+  return {DominatorTreeAnalysis::key()};
+}
+
+LoopInfo LoopInfoAnalysis::run(Function &F, AnalysisManager &AM) {
+  return LoopInfo(F, AM.get<DominatorTreeAnalysis>(F));
+}
+
+AnalysisKey *ScalarEvolutionAnalysis::key() {
+  static AnalysisKey K;
+  return &K;
+}
+
+std::vector<AnalysisKey *> ScalarEvolutionAnalysis::dependencies() {
+  return {DominatorTreeAnalysis::key(), LoopInfoAnalysis::key()};
+}
+
+ScalarEvolution ScalarEvolutionAnalysis::run(Function &F,
+                                             AnalysisManager &AM) {
+  // The result keeps a reference to the cached LoopInfo; the dependency
+  // edge above guarantees it is evicted before (or with) the LoopInfo.
+  return ScalarEvolution(F, AM.get<DominatorTreeAnalysis>(F),
+                         AM.get<LoopInfoAnalysis>(F));
+}
+
+PreservedAnalyses frost::preservedCFGAnalyses() {
+  PreservedAnalyses PA;
+  PA.preserve<DominatorTreeAnalysis>();
+  PA.preserve<LoopInfoAnalysis>();
+  PA.preserve<ScalarEvolutionAnalysis>();
+  return PA;
+}

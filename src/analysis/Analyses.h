@@ -1,0 +1,66 @@
+//===- Analyses.h - AnalysisManager registrations ---------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis layer's AnalysisManager registrations: DominatorTree,
+/// LoopInfo, and ScalarEvolution behind the uniform AnalysisKey trait.
+/// Passes request results with AM.get<DominatorTreeAnalysis>(F) instead of
+/// constructing them, so a pipeline of CFG-preserving passes computes each
+/// analysis once.
+///
+/// The dependency edges matter for object lifetime, not just precision:
+/// ScalarEvolution holds a reference to the cached LoopInfo, and LoopInfo
+/// is built from (but does not retain) the DominatorTree. Invalidation of
+/// the dominator tree therefore cascades to both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_ANALYSIS_ANALYSES_H
+#define FROST_ANALYSIS_ANALYSES_H
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/ScalarEvolution.h"
+#include "opt/AnalysisManager.h"
+
+namespace frost {
+
+class DominatorTreeAnalysis {
+public:
+  using Result = DominatorTree;
+  static AnalysisKey *key();
+  static const char *name() { return "domtree"; }
+  static std::vector<AnalysisKey *> dependencies() { return {}; }
+  static Result run(Function &F, AnalysisManager &AM);
+};
+
+class LoopInfoAnalysis {
+public:
+  using Result = LoopInfo;
+  static AnalysisKey *key();
+  static const char *name() { return "loopinfo"; }
+  static std::vector<AnalysisKey *> dependencies();
+  static Result run(Function &F, AnalysisManager &AM);
+};
+
+class ScalarEvolutionAnalysis {
+public:
+  using Result = ScalarEvolution;
+  static AnalysisKey *key();
+  static const char *name() { return "scev"; }
+  static std::vector<AnalysisKey *> dependencies();
+  static Result run(Function &F, AnalysisManager &AM);
+};
+
+/// The preservation set of a pass that edited instructions but left the CFG
+/// (blocks and edges) intact: the dominator tree, loop structure, and
+/// scalar evolution all remain valid.
+PreservedAnalyses preservedCFGAnalyses();
+
+} // namespace frost
+
+#endif // FROST_ANALYSIS_ANALYSES_H

@@ -8,6 +8,7 @@
 #include "analysis/LoopInfo.h"
 
 #include "ir/Constants.h"
+#include "support/Stats.h"
 
 #include <algorithm>
 
@@ -41,7 +42,7 @@ std::vector<BasicBlock *> Loop::latches() const {
 
 std::vector<BasicBlock *> Loop::exitBlocks() const {
   std::vector<BasicBlock *> Result;
-  for (BasicBlock *BB : Blocks)
+  for (BasicBlock *BB : BlockList) // RPO: exit order is deterministic too.
     for (BasicBlock *Succ : BB->successors())
       if (!contains(Succ) &&
           std::find(Result.begin(), Result.end(), Succ) == Result.end())
@@ -58,6 +59,7 @@ bool Loop::isLoopInvariant(const Value *V) const {
 
 LoopInfo::LoopInfo([[maybe_unused]] Function &F, const DominatorTree &DT) {
   assert(&DT.function() == &F && "dominator tree is for another function");
+  stats::add("analysis.loopinfo.constructed");
   // Find back edges: Latch -> Header where Header dominates Latch.
   // Process headers in reverse RPO so inner loops are discovered after the
   // outer ones that contain them (we fix nesting afterwards regardless).
@@ -83,6 +85,11 @@ LoopInfo::LoopInfo([[maybe_unused]] Function &F, const DominatorTree &DT) {
         if (DT.isReachable(Pred) && Pred != Header)
           Work.push_back(Pred);
     }
+    // Deterministic iteration order: RPO, never pointer order (see
+    // Loop::blocks()).
+    for (BasicBlock *BB : DT.rpo())
+      if (L->Blocks.count(BB))
+        L->BlockList.push_back(BB);
     AllLoops.push_back(std::move(L));
   }
 

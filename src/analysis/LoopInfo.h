@@ -26,7 +26,12 @@ namespace frost {
 class Loop {
 public:
   BasicBlock *header() const { return Header; }
-  const std::set<BasicBlock *> &blocks() const { return Blocks; }
+
+  /// The loop's blocks in reverse post-order (header first). Deterministic
+  /// — iteration must not depend on BasicBlock addresses, or every loop
+  /// transform that clones or renumbers in blocks() order becomes
+  /// allocation-dependent.
+  const std::vector<BasicBlock *> &blocks() const { return BlockList; }
   bool contains(const BasicBlock *BB) const {
     return Blocks.count(const_cast<BasicBlock *>(BB)) != 0;
   }
@@ -60,7 +65,8 @@ public:
 private:
   friend class LoopInfo;
   BasicBlock *Header = nullptr;
-  std::set<BasicBlock *> Blocks;
+  std::set<BasicBlock *> Blocks;            // Membership queries.
+  std::vector<BasicBlock *> BlockList;      // RPO, for iteration.
   Loop *Parent = nullptr;
   std::vector<Loop *> SubLoops;
 };

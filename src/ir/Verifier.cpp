@@ -13,6 +13,7 @@
 #include "ir/Printer.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
 using namespace frost;
@@ -22,6 +23,7 @@ namespace {
 class FunctionVerifier {
   Function &F;
   std::vector<std::string> &Errors;
+  const DominatorTree *CachedDT;
 
   void report(const std::string &Msg) { Errors.push_back(Msg); }
   void report(const Instruction *I, const std::string &Msg) {
@@ -29,8 +31,9 @@ class FunctionVerifier {
   }
 
 public:
-  FunctionVerifier(Function &F, std::vector<std::string> &Errors)
-      : F(F), Errors(Errors) {}
+  FunctionVerifier(Function &F, std::vector<std::string> &Errors,
+                   const DominatorTree *CachedDT)
+      : F(F), Errors(Errors), CachedDT(CachedDT) {}
 
   bool run();
 
@@ -244,7 +247,12 @@ void FunctionVerifier::checkInstruction(Instruction *I) {
 }
 
 void FunctionVerifier::checkDominance() {
-  DominatorTree DT(F);
+  // Reuse the caller's (analysis-cache) dominator tree when provided; it is
+  // only trusted here because the structural checks above already passed.
+  std::unique_ptr<DominatorTree> Owned;
+  if (!CachedDT)
+    Owned = std::make_unique<DominatorTree>(F);
+  const DominatorTree &DT = CachedDT ? *CachedDT : *Owned;
   for (BasicBlock *BB : F) {
     if (!DT.isReachable(BB))
       continue;
@@ -266,9 +274,10 @@ void FunctionVerifier::checkDominance() {
 
 } // namespace
 
-bool frost::verifyFunction(Function &F, std::vector<std::string> *Errors) {
+bool frost::verifyFunction(Function &F, std::vector<std::string> *Errors,
+                           const DominatorTree *DT) {
   std::vector<std::string> Local;
-  FunctionVerifier V(F, Errors ? *Errors : Local);
+  FunctionVerifier V(F, Errors ? *Errors : Local, DT);
   return V.run();
 }
 

@@ -20,12 +20,17 @@
 
 namespace frost {
 
+class DominatorTree;
 class Function;
 class Module;
 
 /// Appends a diagnostic per violation to \p Errors; returns true if the
-/// function is well formed.
-bool verifyFunction(Function &F, std::vector<std::string> *Errors = nullptr);
+/// function is well formed. If \p DT is non-null and the structural checks
+/// pass, the SSA dominance check reuses it instead of building a fresh
+/// dominator tree — the PassManager hands in its cached analysis here, so
+/// per-pass verification rides the analysis cache.
+bool verifyFunction(Function &F, std::vector<std::string> *Errors = nullptr,
+                    const DominatorTree *DT = nullptr);
 
 /// Verifies every function in \p M.
 bool verifyModule(Module &M, std::vector<std::string> *Errors = nullptr);

@@ -1,0 +1,64 @@
+//===- AnalysisManager.cpp - Lazy analysis cache with invalidation -----------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/AnalysisManager.h"
+
+using namespace frost;
+
+bool AnalysisManager::isInvalidated(AnalysisKey *K,
+                                    const PreservedAnalyses &PA,
+                                    std::map<AnalysisKey *, bool> &Memo) const {
+  auto MemoIt = Memo.find(K);
+  if (MemoIt != Memo.end())
+    return MemoIt->second;
+  // Break cycles defensively (the three built-in analyses form a DAG, but a
+  // registration mistake should not hang the compiler).
+  Memo[K] = false;
+
+  bool Invalid = !PA.preserved(K);
+  if (!Invalid) {
+    auto RegIt = Registry.find(K);
+    if (RegIt != Registry.end())
+      for (AnalysisKey *Dep : RegIt->second.Dependencies)
+        if (isInvalidated(Dep, PA, Memo)) {
+          Invalid = true;
+          break;
+        }
+  }
+  Memo[K] = Invalid;
+  return Invalid;
+}
+
+void AnalysisManager::invalidate(Function &F, const PreservedAnalyses &PA,
+                                 std::vector<const char *> *Invalidated) {
+  if (PA.areAllPreserved())
+    return;
+
+  std::map<AnalysisKey *, bool> Memo;
+  auto It = Entries.lower_bound({&F, nullptr});
+  while (It != Entries.end() && It->first.first == &F) {
+    AnalysisKey *K = It->first.second;
+    if (!isInvalidated(K, PA, Memo)) {
+      ++It;
+      continue;
+    }
+    auto RegIt = Registry.find(K);
+    const char *Name = RegIt != Registry.end() ? RegIt->second.Name : "?";
+    stats::add(std::string("am.") + Name + ".invalidated");
+    if (Invalidated)
+      Invalidated->push_back(Name);
+    It = Entries.erase(It);
+  }
+}
+
+void AnalysisManager::clear(Function &F) {
+  auto It = Entries.lower_bound({&F, nullptr});
+  while (It != Entries.end() && It->first.first == &F)
+    It = Entries.erase(It);
+}
+
+void AnalysisManager::clear() { Entries.clear(); }

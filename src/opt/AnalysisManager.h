@@ -1,0 +1,197 @@
+//===- AnalysisManager.h - Lazy analysis cache with invalidation -*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An LLVM-new-PM-style function analysis manager: analyses are computed
+/// lazily on first request, cached per (function, analysis) pair, and
+/// invalidated after each pass according to the PreservedAnalyses set the
+/// pass returns. A CFG-preserving pass (Reassociate, DCE, GVN, ...) keeps
+/// the dominator tree cached across the whole pipeline instead of forcing
+/// every downstream pass to rebuild it.
+///
+/// An analysis is any type providing:
+///
+///   using Result = ...;                         // the cached object
+///   static AnalysisKey *key();                  // address identity
+///   static const char *name();                  // stats / diagnostics
+///   static std::vector<AnalysisKey *> dependencies();
+///   static Result run(Function &F, AnalysisManager &AM);
+///
+/// Dependencies are transitive invalidation edges: when an analysis is
+/// invalidated, everything registered as depending on it is evicted too,
+/// even if the pass claimed to preserve the dependent — a cached
+/// ScalarEvolution holds a reference into the cached LoopInfo, so it can
+/// never outlive it.
+///
+/// Cache behaviour is observable through the stats:: registry:
+/// "am.<name>.hits", "am.<name>.misses", and "am.<name>.invalidated".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_OPT_ANALYSISMANAGER_H
+#define FROST_OPT_ANALYSISMANAGER_H
+
+#include "support/Stats.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace frost {
+
+class Function;
+
+/// Opaque analysis identity: each analysis owns one static AnalysisKey and
+/// is identified by its address (the LLVM new-PM trick — no central enum to
+/// keep in sync).
+struct AnalysisKey {};
+
+/// The set of analyses a pass left intact. A pass returns all() exactly
+/// when it did not modify the IR; otherwise it returns the (possibly empty)
+/// set of analyses its edits cannot have perturbed.
+class PreservedAnalyses {
+public:
+  /// Nothing changed: every cached result stays valid.
+  static PreservedAnalyses all() {
+    PreservedAnalyses PA;
+    PA.All = true;
+    return PA;
+  }
+
+  /// Arbitrary changes: every cached result is suspect.
+  static PreservedAnalyses none() { return PreservedAnalyses(); }
+
+  template <typename AnalysisT> PreservedAnalyses &preserve() {
+    return preserve(AnalysisT::key());
+  }
+
+  PreservedAnalyses &preserve(AnalysisKey *K) {
+    if (!All)
+      Preserved.insert(K);
+    return *this;
+  }
+
+  bool preserved(AnalysisKey *K) const {
+    return All || Preserved.count(K) != 0;
+  }
+
+  bool areAllPreserved() const { return All; }
+
+  /// Narrows this set to what both runs preserved (used when composing the
+  /// results of several passes into one summary).
+  void intersect(const PreservedAnalyses &Other) {
+    if (Other.All)
+      return;
+    if (All) {
+      All = false;
+      Preserved = Other.Preserved;
+      return;
+    }
+    std::set<AnalysisKey *> Common;
+    for (AnalysisKey *K : Preserved)
+      if (Other.Preserved.count(K))
+        Common.insert(K);
+    Preserved = std::move(Common);
+  }
+
+private:
+  bool All = false;
+  std::set<AnalysisKey *> Preserved;
+};
+
+/// Per-function analysis cache. Not thread-safe: each campaign worker (and
+/// each PassManager::run without an explicit manager) uses its own.
+class AnalysisManager {
+public:
+  AnalysisManager() = default;
+  AnalysisManager(const AnalysisManager &) = delete;
+  AnalysisManager &operator=(const AnalysisManager &) = delete;
+
+  /// Returns the (computed-if-needed) result of analysis \p A on \p F.
+  /// References stay valid until the entry is invalidated or cleared.
+  template <typename A> typename A::Result &get(Function &F) {
+    AnalysisKey *K = registerAnalysis<A>();
+    auto It = Entries.find({&F, K});
+    if (It != Entries.end()) {
+      stats::add(std::string("am.") + A::name() + ".hits");
+      return static_cast<ResultModel<typename A::Result> *>(It->second.get())
+          ->Value;
+    }
+    stats::add(std::string("am.") + A::name() + ".misses");
+    // Compute before inserting: A::run may recursively request the
+    // analyses it depends on.
+    auto Model = std::make_unique<ResultModel<typename A::Result>>(
+        A::run(F, *this));
+    auto &Ref = Model->Value;
+    Entries[{&F, K}] = std::move(Model);
+    return Ref;
+  }
+
+  /// The cached result of \p A on \p F, or null — never computes.
+  template <typename A> typename A::Result *cached(Function &F) {
+    auto It = Entries.find({&F, A::key()});
+    if (It == Entries.end())
+      return nullptr;
+    return &static_cast<ResultModel<typename A::Result> *>(It->second.get())
+                ->Value;
+  }
+
+  template <typename A> bool isCached(Function &F) const {
+    return Entries.count({&F, A::key()}) != 0;
+  }
+
+  /// Evicts every result for \p F that \p PA does not preserve, plus (by
+  /// transitive dependency) everything built on top of an evicted result.
+  /// Appends the names of evicted analyses to \p Invalidated if non-null
+  /// (the PassManager feeds these to its after-invalidation hooks).
+  void invalidate(Function &F, const PreservedAnalyses &PA,
+                  std::vector<const char *> *Invalidated = nullptr);
+
+  /// Drops every cached result for \p F.
+  void clear(Function &F);
+
+  /// Drops the whole cache.
+  void clear();
+
+  size_t cachedResultCount() const { return Entries.size(); }
+
+private:
+  struct ResultConcept {
+    virtual ~ResultConcept() = default;
+  };
+  template <typename T> struct ResultModel final : ResultConcept {
+    explicit ResultModel(T &&V) : Value(std::move(V)) {}
+    T Value;
+  };
+
+  struct AnalysisInfo {
+    const char *Name = nullptr;
+    std::vector<AnalysisKey *> Dependencies;
+  };
+
+  template <typename A> AnalysisKey *registerAnalysis() {
+    AnalysisKey *K = A::key();
+    if (!Registry.count(K))
+      Registry[K] = {A::name(), A::dependencies()};
+    return K;
+  }
+
+  /// True if \p K is invalid under \p PA, directly or through a dependency.
+  bool isInvalidated(AnalysisKey *K, const PreservedAnalyses &PA,
+                     std::map<AnalysisKey *, bool> &Memo) const;
+
+  std::map<std::pair<Function *, AnalysisKey *>, std::unique_ptr<ResultConcept>>
+      Entries;
+  std::map<AnalysisKey *, AnalysisInfo> Registry;
+};
+
+} // namespace frost
+
+#endif // FROST_OPT_ANALYSISMANAGER_H

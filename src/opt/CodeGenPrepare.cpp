@@ -21,6 +21,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analyses.h"
 #include "ir/Context.h"
 #include "ir/Function.h"
 #include "ir/Instructions.h"
@@ -38,7 +39,12 @@ public:
 
   const char *name() const override { return "codegenprepare"; }
 
-  bool runOnFunction(Function &F) override {
+  std::string pipelineText() const override {
+    return Mode == PipelineMode::Legacy ? "codegenprepare<legacy>"
+                                        : "codegenprepare<proposed>";
+  }
+
+  PreservedAnalyses run(Function &F, AnalysisManager &) override {
     bool Changed = false;
     if (Mode == PipelineMode::Proposed) {
       Changed |= pushFreezeThroughICmp(F);
@@ -46,7 +52,8 @@ public:
     }
     Changed |= sinkCmpsToBranches(F);
     Changed |= splitLogicalBranches(F);
-    return Changed;
+    // splitLogicalBranches introduces new blocks, so nothing is safe.
+    return Changed ? PreservedAnalyses::none() : PreservedAnalyses::all();
   }
 
 private:

@@ -12,6 +12,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analyses.h"
 #include "ir/Function.h"
 #include "opt/Passes.h"
 #include "opt/Utils.h"
@@ -24,7 +25,10 @@ class DCE : public Pass {
 public:
   const char *name() const override { return "dce"; }
 
-  bool runOnFunction(Function &F) override { return opt::eraseDeadCode(F); }
+  PreservedAnalyses run(Function &F, AnalysisManager &) override {
+    return opt::eraseDeadCode(F) ? preservedCFGAnalyses()
+                                 : PreservedAnalyses::all();
+  }
 };
 
 } // namespace

@@ -21,6 +21,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analyses.h"
 #include "analysis/Dominators.h"
 #include "ir/Function.h"
 #include "ir/Instructions.h"
@@ -38,7 +39,7 @@ namespace {
 class GVN : public Pass {
 public:
   const char *name() const override { return "gvn"; }
-  bool runOnFunction(Function &F) override;
+  PreservedAnalyses run(Function &F, AnalysisManager &AM) override;
 
 private:
   /// Structural key for a pure expression; empty when not numberable.
@@ -193,18 +194,21 @@ bool GVN::propagateBranchEqualities(Function &F, const DominatorTree &DT) {
   return Changed;
 }
 
-bool GVN::runOnFunction(Function &F) {
+PreservedAnalyses GVN::run(Function &F, AnalysisManager &AM) {
+  // GVN rewrites values but never touches blocks or edges, so one
+  // dominator tree serves every round (dominates() walks instruction
+  // lists at query time and tolerates instruction-level churn).
+  const DominatorTree &DT = AM.get<DominatorTreeAnalysis>(F);
   bool Changed = false;
   bool LocalChange = true;
   // Bounded iteration: equality propagation could in principle ping-pong
   // between symmetric facts.
   for (unsigned Round = 0; LocalChange && Round != 8; ++Round) {
-    DominatorTree DT(F);
     LocalChange = numberValues(F, DT);
     LocalChange |= propagateBranchEqualities(F, DT);
     Changed |= LocalChange;
   }
-  return Changed;
+  return Changed ? preservedCFGAnalyses() : PreservedAnalyses::all();
 }
 
 } // namespace

@@ -16,6 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analyses.h"
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
 #include "ir/Context.h"
@@ -35,13 +36,13 @@ public:
 
   const char *name() const override { return "indvar-widen"; }
 
-  bool runOnFunction(Function &F) override {
-    DominatorTree DT(F);
-    LoopInfo LI(F, DT);
+  PreservedAnalyses run(Function &F, AnalysisManager &AM) override {
+    LoopInfo &LI = AM.get<LoopInfoAnalysis>(F);
     bool Changed = false;
     for (Loop *L : LI.loopsInnermostFirst())
       Changed |= widenLoop(*L);
-    return Changed;
+    // Widening adds a phi + add and rewrites sexts; no CFG edits.
+    return Changed ? preservedCFGAnalyses() : PreservedAnalyses::all();
   }
 
 private:

@@ -24,6 +24,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analyses.h"
 #include "analysis/ValueTracking.h"
 #include "ir/Context.h"
 #include "ir/Function.h"
@@ -263,7 +264,12 @@ public:
 
   const char *name() const override { return "instcombine"; }
 
-  bool runOnFunction(Function &F) override {
+  std::string pipelineText() const override {
+    return Mode == PipelineMode::Legacy ? "instcombine<legacy>"
+                                        : "instcombine<proposed>";
+  }
+
+  PreservedAnalyses run(Function &F, AnalysisManager &) override {
     IRContext &Ctx = F.context();
     bool Changed = false;
     bool LocalChange = true;
@@ -295,7 +301,8 @@ public:
       // Clean up operand chains orphaned by the rewrites.
       LocalChange |= eraseDeadCode(F);
     }
-    return Changed;
+    // Peepholes only: instructions are rewritten in place, the CFG is not.
+    return Changed ? preservedCFGAnalyses() : PreservedAnalyses::all();
   }
 
 private:

@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/ValueTracking.h"
+#include "analysis/Analyses.h"
 #include "ir/Context.h"
 #include "ir/Function.h"
 #include "opt/Passes.h"
@@ -28,7 +29,7 @@ namespace {
 class InstSimplify : public Pass {
 public:
   const char *name() const override { return "instsimplify"; }
-  bool runOnFunction(Function &F) override;
+  PreservedAnalyses run(Function &F, AnalysisManager &) override;
 
 private:
   /// Returns the replacement for \p I, or null if no simplification.
@@ -37,7 +38,7 @@ private:
   Value *simplifySelect(SelectInst *S, IRContext &Ctx);
 };
 
-bool InstSimplify::runOnFunction(Function &F) {
+PreservedAnalyses InstSimplify::run(Function &F, AnalysisManager &) {
   IRContext &Ctx = F.context();
   bool Changed = false;
   bool LocalChange = true;
@@ -55,7 +56,9 @@ bool InstSimplify::runOnFunction(Function &F) {
       }
     }
   }
-  return Changed;
+  // Simplification only replaces and erases instructions; blocks and edges
+  // are untouched.
+  return Changed ? preservedCFGAnalyses() : PreservedAnalyses::all();
 }
 
 Value *InstSimplify::simplify(Instruction *I, IRContext &Ctx) {

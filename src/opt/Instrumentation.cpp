@@ -1,0 +1,82 @@
+//===- Instrumentation.cpp - Pass instrumentation hooks ----------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Instrumentation.h"
+
+#include "opt/Pass.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+using namespace frost;
+
+void frost::attachTimePassesInstrumentation(PassInstrumentation &PI) {
+  PI.onAfterPass([](const Pass &P, const Function &,
+                    const PassInstrumentation::AfterPassInfo &Info) {
+    std::string Base = std::string("pm.pass.") + P.name();
+    stats::add(Base + ".runs");
+    if (Info.Changed)
+      stats::add(Base + ".changed");
+    stats::add(Base + ".time_ns", uint64_t(Info.Seconds * 1e9));
+    if (Info.InstsBefore > Info.InstsAfter)
+      stats::add(Base + ".insts_removed", Info.InstsBefore - Info.InstsAfter);
+    else
+      stats::add(Base + ".insts_added", Info.InstsAfter - Info.InstsBefore);
+  });
+}
+
+std::string frost::renderTimePassesReport() {
+  // Group the pm.pass.<name>.<field> counters back into rows.
+  struct Row {
+    uint64_t TimeNs = 0, Runs = 0, Changed = 0;
+    uint64_t Removed = 0, Added = 0;
+  };
+  std::map<std::string, Row> Rows;
+  for (const auto &[Name, Value] : stats::snapshot()) {
+    if (Name.rfind("pm.pass.", 0) != 0)
+      continue;
+    size_t Dot = Name.rfind('.');
+    std::string PassName = Name.substr(8, Dot - 8);
+    std::string Field = Name.substr(Dot + 1);
+    Row &R = Rows[PassName];
+    if (Field == "time_ns")
+      R.TimeNs = Value;
+    else if (Field == "runs")
+      R.Runs = Value;
+    else if (Field == "changed")
+      R.Changed = Value;
+    else if (Field == "insts_removed")
+      R.Removed = Value;
+    else if (Field == "insts_added")
+      R.Added = Value;
+  }
+
+  std::vector<std::pair<std::string, Row>> Sorted(Rows.begin(), Rows.end());
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const auto &A, const auto &B) {
+              if (A.second.TimeNs != B.second.TimeNs)
+                return A.second.TimeNs > B.second.TimeNs;
+              return A.first < B.first;
+            });
+
+  std::string Out =
+      "=== per-pass accounting (--time-passes) ===\n";
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf), "%-16s %12s %10s %10s %10s\n", "pass",
+                "time(ms)", "runs", "changed", "insts(+/-)");
+  Out += Buf;
+  for (const auto &[Name, R] : Sorted) {
+    std::snprintf(Buf, sizeof(Buf), "%-16s %12.3f %10llu %10llu %+5lld/%lld\n",
+                  Name.c_str(), double(R.TimeNs) / 1e6,
+                  (unsigned long long)R.Runs, (unsigned long long)R.Changed,
+                  (long long)R.Added, (long long)R.Removed);
+    Out += Buf;
+  }
+  return Out;
+}

@@ -1,0 +1,93 @@
+//===- Instrumentation.h - Pass instrumentation hooks -----------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Callback hooks fired by the PassManager around each pass execution:
+/// before a pass runs, after it runs (with wall time, change flag, and IR
+/// size delta), and after each analysis a pass invalidated is evicted from
+/// the AnalysisManager. The campaign engine uses the after-pass hook to
+/// attribute counterexamples to the pass that introduced them; the
+/// --time-passes machinery uses it for per-pass accounting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_OPT_INSTRUMENTATION_H
+#define FROST_OPT_INSTRUMENTATION_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace frost {
+
+class Function;
+class Pass;
+
+/// A registry of instrumentation callbacks. Every registered callback of a
+/// kind fires, in registration order.
+class PassInstrumentation {
+public:
+  /// Facts about one finished pass execution.
+  struct AfterPassInfo {
+    bool Changed = false;      ///< The pass reported an IR modification.
+    double Seconds = 0;        ///< Wall time of the run() call.
+    unsigned InstsBefore = 0;  ///< Function instruction count before.
+    unsigned InstsAfter = 0;   ///< ... and after.
+  };
+
+  using BeforePassFn = std::function<void(const Pass &, const Function &)>;
+  using AfterPassFn =
+      std::function<void(const Pass &, const Function &, const AfterPassInfo &)>;
+  using AfterInvalidationFn =
+      std::function<void(const Pass &, const Function &, const char *Analysis)>;
+
+  void onBeforePass(BeforePassFn Fn) {
+    BeforePass.push_back(std::move(Fn));
+  }
+  void onAfterPass(AfterPassFn Fn) { AfterPass.push_back(std::move(Fn)); }
+  void onAfterInvalidation(AfterInvalidationFn Fn) {
+    AfterInvalidation.push_back(std::move(Fn));
+  }
+
+  // Fired by the PassManager.
+  void fireBeforePass(const Pass &P, const Function &F) const {
+    for (const BeforePassFn &Fn : BeforePass)
+      Fn(P, F);
+  }
+  void fireAfterPass(const Pass &P, const Function &F,
+                     const AfterPassInfo &Info) const {
+    for (const AfterPassFn &Fn : AfterPass)
+      Fn(P, F, Info);
+  }
+  void fireAfterInvalidation(const Pass &P, const Function &F,
+                             const char *Analysis) const {
+    for (const AfterInvalidationFn &Fn : AfterInvalidation)
+      Fn(P, F, Analysis);
+  }
+
+private:
+  std::vector<BeforePassFn> BeforePass;
+  std::vector<AfterPassFn> AfterPass;
+  std::vector<AfterInvalidationFn> AfterInvalidation;
+};
+
+/// Registers callbacks that publish per-pass accounting to the process-wide
+/// stats:: registry (safe to use from campaign worker threads, which each
+/// run their own PassManager):
+///   pm.pass.<name>.runs        executions
+///   pm.pass.<name>.changed     executions that modified IR
+///   pm.pass.<name>.time_ns     summed wall time, nanoseconds
+///   pm.pass.<name>.insts_removed / insts_added   IR size deltas
+void attachTimePassesInstrumentation(PassInstrumentation &PI);
+
+/// Renders the --time-passes table from the pm.pass.* counters, sorted by
+/// total time descending.
+std::string renderTimePassesReport();
+
+} // namespace frost
+
+#endif // FROST_OPT_INSTRUMENTATION_H

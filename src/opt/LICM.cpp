@@ -18,6 +18,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analyses.h"
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
 #include "ir/Function.h"
@@ -34,13 +35,15 @@ class LICM : public Pass {
 public:
   const char *name() const override { return "licm"; }
 
-  bool runOnFunction(Function &F) override {
-    DominatorTree DT(F);
-    LoopInfo LI(F, DT);
+  PreservedAnalyses run(Function &F, AnalysisManager &AM) override {
+    const DominatorTree &DT = AM.get<DominatorTreeAnalysis>(F);
+    LoopInfo &LI = AM.get<LoopInfoAnalysis>(F);
     bool Changed = false;
     for (Loop *L : LI.loopsInnermostFirst())
       Changed |= hoistLoop(*L, DT);
-    return Changed;
+    // Hoisting moves instructions between existing blocks; the CFG and
+    // loop structure are untouched.
+    return Changed ? preservedCFGAnalyses() : PreservedAnalyses::all();
   }
 
 private:

@@ -17,6 +17,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analyses.h"
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
 #include "analysis/ValueTracking.h"
@@ -41,13 +42,18 @@ public:
 
   const char *name() const override { return "loop-unswitch"; }
 
-  bool runOnFunction(Function &F) override {
-    DominatorTree DT(F);
-    LoopInfo LI(F, DT);
+  std::string pipelineText() const override {
+    return Mode == PipelineMode::Legacy ? "loop-unswitch<legacy>"
+                                        : "loop-unswitch<proposed>";
+  }
+
+  PreservedAnalyses run(Function &F, AnalysisManager &AM) override {
+    LoopInfo &LI = AM.get<LoopInfoAnalysis>(F);
     bool Changed = false;
     for (Loop *L : LI.loopsInnermostFirst())
       Changed |= unswitchOnce(*L);
-    return Changed;
+    // Unswitching duplicates whole loop bodies: everything is stale.
+    return Changed ? PreservedAnalyses::none() : PreservedAnalyses::all();
   }
 
 private:

@@ -1,4 +1,4 @@
-//===- Pass.cpp - Pass manager -----------------------------------------------===//
+//===- Pass.cpp - Analysis-cached pass manager -------------------------------===//
 //
 // Part of the frost project: a reproduction of "Taming Undefined Behavior in
 // LLVM" (PLDI 2017).
@@ -7,34 +7,95 @@
 
 #include "opt/Pass.h"
 
+#include "analysis/Analyses.h"
 #include "ir/Module.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
-#include "opt/Passes.h"
+#include "opt/Pipeline.h"
 #include "support/ErrorHandling.h"
 
+#include <cassert>
+#include <chrono>
 #include <cstdio>
 
 using namespace frost;
 
 Pass::~Pass() = default;
 
-bool PassManager::run(Function &F) {
-  bool Changed = false;
-  if (Changes.empty())
-    for (const auto &P : Passes)
-      Changes.push_back({P->name(), 0});
+bool Pass::runOnFunction(Function &F) {
+  AnalysisManager AM;
+  return !run(F, AM).areAllPreserved();
+}
 
-  for (unsigned I = 0; I != Passes.size(); ++I) {
-    bool PassChanged = Passes[I]->runOnFunction(F);
-    Changed |= PassChanged;
-    if (PassChanged)
-      ++Changes[I].second;
-    if (Verify && PassChanged) {
+PassManager::PassManager(bool VerifyAfterEachPass)
+    : Verify(VerifyAfterEachPass) {
+  // Change-count bookkeeping rides on the same hooks external
+  // instrumentation uses; Changes is sized/reset by resetChangeCounts().
+  PI.onAfterPass([this](const Pass &P, const Function &,
+                        const PassInstrumentation::AfterPassInfo &Info) {
+    if (!Info.Changed)
+      return;
+    for (auto &[Name, N] : Changes)
+      if (Name == P.name()) {
+        ++N;
+        break;
+      }
+  });
+}
+
+void PassManager::add(std::unique_ptr<Pass> P) {
+  Passes.push_back(std::move(P));
+}
+
+void PassManager::resetChangeCounts() {
+  Changes.clear();
+  for (const auto &P : Passes)
+    Changes.push_back({P->name(), 0});
+}
+
+std::string PassManager::pipelineText() const {
+  std::string Text;
+  for (const auto &P : Passes) {
+    if (!Text.empty())
+      Text += ',';
+    Text += P->pipelineText();
+  }
+  return Text;
+}
+
+bool PassManager::runImpl(Function &F, AnalysisManager &AM) {
+  bool Changed = false;
+  for (const auto &P : Passes) {
+    PI.fireBeforePass(*P, F);
+
+    PassInstrumentation::AfterPassInfo Info;
+    Info.InstsBefore = F.instructionCount();
+    auto T0 = std::chrono::steady_clock::now();
+    PreservedAnalyses PA = P->run(F, AM);
+    auto T1 = std::chrono::steady_clock::now();
+    Info.Seconds = std::chrono::duration<double>(T1 - T0).count();
+    Info.InstsAfter = F.instructionCount();
+    Info.Changed = !PA.areAllPreserved();
+    Changed |= Info.Changed;
+
+    std::vector<const char *> Invalidated;
+    if (UseAnalysisCache)
+      AM.invalidate(F, PA, &Invalidated);
+    else
+      AM.clear(F);
+    for (const char *Name : Invalidated)
+      PI.fireAfterInvalidation(*P, F, Name);
+
+    PI.fireAfterPass(*P, F, Info);
+
+    if (Verify && Info.Changed) {
+      // Reuse the pipeline's dominator tree for the SSA dominance check
+      // when the pass preserved it; otherwise the verifier builds its own.
+      const DominatorTree *DT = AM.cached<DominatorTreeAnalysis>(F);
       std::vector<std::string> Errors;
-      if (!verifyFunction(F, &Errors)) {
-        std::fprintf(stderr, "verifier failed after %s on @%s:\n",
-                     Passes[I]->name(), F.getName().c_str());
+      if (!verifyFunction(F, &Errors, DT)) {
+        std::fprintf(stderr, "verifier failed after %s on @%s:\n", P->name(),
+                     F.getName().c_str());
         for (const std::string &E : Errors)
           std::fprintf(stderr, "  %s\n", E.c_str());
         std::fprintf(stderr, "%s", F.str().c_str());
@@ -45,31 +106,33 @@ bool PassManager::run(Function &F) {
   return Changed;
 }
 
-bool PassManager::run(Module &M) {
+bool PassManager::run(Function &F, AnalysisManager &AM) {
+  resetChangeCounts();
+  return runImpl(F, AM);
+}
+
+bool PassManager::run(Function &F) {
+  AnalysisManager AM;
+  return run(F, AM);
+}
+
+bool PassManager::run(Module &M, AnalysisManager &AM) {
+  resetChangeCounts();
   bool Changed = false;
   for (Function *F : M.functions())
     if (!F->isDeclaration())
-      Changed |= run(*F);
+      Changed |= runImpl(*F, AM);
   return Changed;
 }
 
+bool PassManager::run(Module &M) {
+  AnalysisManager AM;
+  return run(M, AM);
+}
+
 void frost::buildStandardPipeline(PassManager &PM, PipelineMode Mode) {
-  // Shaped like LLVM's -O2: early cleanup, scalar optimizations, loop
-  // optimizations, then late cleanup and lowering preparation.
-  PM.add(createInstSimplifyPass());
-  PM.add(createSimplifyCFGPass());
-  PM.add(createInstCombinePass(Mode));
-  PM.add(createSCCPPass());
-  PM.add(createSimplifyCFGPass());
-  PM.add(createGVNPass());
-  PM.add(createLICMPass());
-  PM.add(createLoopUnswitchPass(Mode));
-  PM.add(createIndVarWidenPass());
-  PM.add(createReassociatePass());
-  PM.add(createInstCombinePass(Mode));
-  PM.add(createGVNPass());
-  PM.add(createDCEPass());
-  PM.add(createSimplifyCFGPass());
-  PM.add(createCodeGenPreparePass(Mode));
-  PM.add(createDCEPass());
+  std::string Error;
+  bool OK = parsePassPipeline(PM, "default", Mode, &Error);
+  (void)OK;
+  assert(OK && "the default preset must always parse");
 }

@@ -6,15 +6,25 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Function-pass interface and a sequential pass manager with optional
-/// per-pass verification, mirroring the experimental methodology of
-/// Section 6: every pipeline can be run in "legacy" mode (the unsound
-/// transformations LLVM shipped) or "proposed" mode (freeze-based fixes).
+/// Function-pass interface and an analysis-cached sequential pass manager
+/// with optional per-pass verification, mirroring the experimental
+/// methodology of Section 6: every pipeline can be run in "legacy" mode
+/// (the unsound transformations LLVM shipped) or "proposed" mode
+/// (freeze-based fixes).
+///
+/// Passes run against an AnalysisManager and return a PreservedAnalyses
+/// set; the manager invalidates cached analyses accordingly, so a sequence
+/// of CFG-preserving passes shares one DominatorTree instead of rebuilding
+/// it per pass. PassInstrumentation hooks fire around every execution for
+/// timing, change accounting, and counterexample attribution.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef FROST_OPT_PASS_H
 #define FROST_OPT_PASS_H
+
+#include "opt/AnalysisManager.h"
+#include "opt/Instrumentation.h"
 
 #include <memory>
 #include <string>
@@ -40,37 +50,74 @@ public:
 
   virtual const char *name() const = 0;
 
-  /// Returns true if the function was modified.
-  virtual bool runOnFunction(Function &F) = 0;
+  /// The canonical textual form for pipeline printing: name(), plus a
+  /// `<legacy>`/`<proposed>` suffix for mode-dependent passes. The output
+  /// of PassManager::pipelineText() parses back to an identical pipeline.
+  virtual std::string pipelineText() const { return name(); }
+
+  /// Transforms \p F, requesting analyses from \p AM, and reports which
+  /// cached analyses survive. The contract is strict: return
+  /// PreservedAnalyses::all() if and only if the IR was not modified.
+  virtual PreservedAnalyses run(Function &F, AnalysisManager &AM) = 0;
+
+  /// Standalone convenience for tests and one-off rewrites: runs against a
+  /// throwaway AnalysisManager. Returns true if the function was modified.
+  bool runOnFunction(Function &F);
 };
 
-/// Runs passes in sequence over every function of a module.
+/// Runs passes in sequence over every function of a module, keeping
+/// analysis results cached across passes according to each pass's
+/// PreservedAnalyses.
 class PassManager {
 public:
-  explicit PassManager(bool VerifyAfterEachPass = true)
-      : Verify(VerifyAfterEachPass) {}
+  explicit PassManager(bool VerifyAfterEachPass = true);
 
-  void add(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
+  void add(std::unique_ptr<Pass> P);
+
+  size_t size() const { return Passes.size(); }
 
   /// Runs the whole pipeline once; returns true if anything changed.
   /// Aborts (via assert) if a pass breaks the verifier and verification is
-  /// enabled.
+  /// enabled. The overloads without an AnalysisManager use a private one
+  /// whose cache lives for this run only.
   bool run(Module &M);
   bool run(Function &F);
+  bool run(Module &M, AnalysisManager &AM);
+  bool run(Function &F, AnalysisManager &AM);
 
   /// Number of times each pass reported a change, in pipeline order.
+  /// Counts are per top-level run(): reused managers report each run's
+  /// counts, not a running total (fed by the instrumentation hooks).
   const std::vector<std::pair<std::string, unsigned>> &changeCounts() const {
     return Changes;
   }
 
+  /// Instrumentation hooks fired around every pass execution.
+  PassInstrumentation &instrumentation() { return PI; }
+
+  /// When disabled, the analysis cache is dropped after every pass — the
+  /// pre-caching behaviour, kept as the baseline for bench/CompileTime.
+  void setUseAnalysisCache(bool Use) { UseAnalysisCache = Use; }
+
+  /// Comma-joined pipelineText() of every pass; parsePassPipeline() on the
+  /// result reconstructs this pipeline.
+  std::string pipelineText() const;
+
 private:
+  bool runImpl(Function &F, AnalysisManager &AM);
+  void resetChangeCounts();
+
   bool Verify;
+  bool UseAnalysisCache = true;
   std::vector<std::unique_ptr<Pass>> Passes;
   std::vector<std::pair<std::string, unsigned>> Changes;
+  PassInstrumentation PI;
 };
 
 /// Appends the paper's evaluation pipeline (an -O2/-O3-shaped sequence) to
-/// \p PM. In Proposed mode the freeze-aware pass variants are used.
+/// \p PM: the "default" preset of the textual pipeline language
+/// (opt/Pipeline.h). In Proposed mode the freeze-aware pass variants are
+/// used.
 void buildStandardPipeline(PassManager &PM, PipelineMode Mode);
 
 } // namespace frost

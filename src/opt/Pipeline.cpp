@@ -1,0 +1,163 @@
+//===- Pipeline.cpp - Textual pass pipeline parser ----------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pipeline.h"
+
+#include "analysis/Analyses.h"
+#include "ir/Function.h"
+#include "ir/Verifier.h"
+#include "opt/Passes.h"
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+using namespace frost;
+
+namespace {
+
+class VerifierPass : public Pass {
+public:
+  const char *name() const override { return "verify"; }
+
+  PreservedAnalyses run(Function &F, AnalysisManager &AM) override {
+    const DominatorTree *DT = AM.cached<DominatorTreeAnalysis>(F);
+    std::vector<std::string> Errors;
+    if (!verifyFunction(F, &Errors, DT)) {
+      std::fprintf(stderr, "verify pass failed on @%s:\n",
+                   F.getName().c_str());
+      for (const std::string &E : Errors)
+        std::fprintf(stderr, "  %s\n", E.c_str());
+      frost_unreachable("verify pass found invalid IR");
+    }
+    return PreservedAnalyses::all();
+  }
+};
+
+struct PassEntry {
+  const char *Name;
+  bool ModeDependent; ///< Accepts (and canonically prints) <legacy|proposed>.
+  std::function<std::unique_ptr<Pass>(PipelineMode)> Create;
+};
+
+const std::vector<PassEntry> &passRegistry() {
+  static const std::vector<PassEntry> Registry = {
+      {"instsimplify", false, [](PipelineMode) { return createInstSimplifyPass(); }},
+      {"instcombine", true, [](PipelineMode M) { return createInstCombinePass(M); }},
+      {"simplifycfg", false, [](PipelineMode) { return createSimplifyCFGPass(); }},
+      {"sccp", false, [](PipelineMode) { return createSCCPPass(); }},
+      {"gvn", false, [](PipelineMode) { return createGVNPass(); }},
+      {"licm", false, [](PipelineMode) { return createLICMPass(); }},
+      {"loop-unswitch", true, [](PipelineMode M) { return createLoopUnswitchPass(M); }},
+      {"indvar-widen", false, [](PipelineMode) { return createIndVarWidenPass(); }},
+      {"reassociate", false, [](PipelineMode) { return createReassociatePass(); }},
+      {"dce", false, [](PipelineMode) { return createDCEPass(); }},
+      {"codegenprepare", true, [](PipelineMode M) { return createCodeGenPreparePass(M); }},
+      {"verify", false, [](PipelineMode) { return createVerifierPass(); }},
+  };
+  return Registry;
+}
+
+/// The Section 6 evaluation pipeline, shaped like LLVM's -O2: early
+/// cleanup, scalar optimizations, loop optimizations, then late cleanup and
+/// lowering preparation.
+const char *DefaultPreset =
+    "instsimplify,simplifycfg,instcombine,sccp,simplifycfg,gvn,licm,"
+    "loop-unswitch,indvar-widen,reassociate,instcombine,gvn,dce,"
+    "simplifycfg,codegenprepare,dce";
+
+bool fail(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message + "\nvalid pass names: " + availablePassNames();
+  return false;
+}
+
+/// Parses \p Text into \p Out. Kept separate from the public entry point so
+/// a failed parse never half-populates the PassManager.
+bool parseInto(std::vector<std::unique_ptr<Pass>> &Out,
+               const std::string &Text, PipelineMode DefaultMode,
+               std::string *Error) {
+  if (Text.empty())
+    return fail(Error, "empty pass pipeline");
+
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Comma = Text.find(',', Pos);
+    std::string Element = Text.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? Text.size() : Comma + 1;
+    if (Element.empty())
+      return fail(Error, "empty pipeline element (stray comma?)");
+
+    // Split an optional <variant> suffix.
+    std::string Name = Element;
+    PipelineMode Mode = DefaultMode;
+    bool HasVariant = false;
+    size_t Lt = Element.find('<');
+    if (Lt != std::string::npos) {
+      if (Element.back() != '>')
+        return fail(Error, "malformed variant suffix in '" + Element + "'");
+      Name = Element.substr(0, Lt);
+      std::string Variant = Element.substr(Lt + 1, Element.size() - Lt - 2);
+      if (Variant == "legacy")
+        Mode = PipelineMode::Legacy;
+      else if (Variant == "proposed")
+        Mode = PipelineMode::Proposed;
+      else
+        return fail(Error, "unknown variant '" + Variant + "' in '" +
+                               Element + "' (expected legacy or proposed)");
+      HasVariant = true;
+    }
+
+    if (Name == "default") {
+      if (!parseInto(Out, DefaultPreset, Mode, Error))
+        return false;
+      continue;
+    }
+
+    const PassEntry *Found = nullptr;
+    for (const PassEntry &E : passRegistry())
+      if (Name == E.Name) {
+        Found = &E;
+        break;
+      }
+    if (!Found)
+      return fail(Error, "unknown pass '" + Name + "'");
+    if (HasVariant && !Found->ModeDependent)
+      return fail(Error, "pass '" + Name + "' does not take a variant");
+    Out.push_back(Found->Create(Mode));
+  }
+  return true;
+}
+
+} // namespace
+
+std::string frost::availablePassNames() {
+  std::string Names = "default";
+  for (const PassEntry &E : passRegistry()) {
+    Names += ", ";
+    Names += E.Name;
+    if (E.ModeDependent)
+      Names += "[<legacy|proposed>]";
+  }
+  return Names;
+}
+
+std::unique_ptr<Pass> frost::createVerifierPass() {
+  return std::make_unique<VerifierPass>();
+}
+
+bool frost::parsePassPipeline(PassManager &PM, const std::string &Text,
+                              PipelineMode DefaultMode, std::string *Error) {
+  std::vector<std::unique_ptr<Pass>> Parsed;
+  if (!parseInto(Parsed, Text, DefaultMode, Error))
+    return false;
+  for (std::unique_ptr<Pass> &P : Parsed)
+    PM.add(std::move(P));
+  return true;
+}

@@ -1,0 +1,51 @@
+//===- Pipeline.h - Textual pass pipeline parser ----------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A textual pipeline language in the spirit of LLVM's
+/// -passes='instcombine,gvn,...':
+///
+///   pipeline ::= element (',' element)*
+///   element  ::= passname ('<' variant '>')?  |  'default' ('<' variant '>')?
+///   variant  ::= 'legacy' | 'proposed'
+///
+/// A variant suffix selects the UB semantics for mode-dependent passes
+/// (instcombine, loop-unswitch, codegenprepare); elements without a suffix
+/// use the parse's default mode. The 'default' preset expands to the
+/// Section 6 evaluation pipeline (buildStandardPipeline). Pipelines print
+/// canonically via PassManager::pipelineText() and round-trip through this
+/// parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_OPT_PIPELINE_H
+#define FROST_OPT_PIPELINE_H
+
+#include "opt/Pass.h"
+
+#include <string>
+
+namespace frost {
+
+/// Parses \p Text and appends the passes to \p PM. On a parse error,
+/// returns false and sets \p Error (if non-null) to a diagnostic that
+/// lists every valid pass name.
+bool parsePassPipeline(PassManager &PM, const std::string &Text,
+                       PipelineMode DefaultMode = PipelineMode::Proposed,
+                       std::string *Error = nullptr);
+
+/// All recognised pass names, comma-separated (for --help and errors).
+std::string availablePassNames();
+
+/// The IR verifier as a pipeline element ("verify"): aborts the process on
+/// malformed IR, reusing the pipeline's cached dominator tree for the SSA
+/// dominance check. Never modifies the function.
+std::unique_ptr<Pass> createVerifierPass();
+
+} // namespace frost
+
+#endif // FROST_OPT_PIPELINE_H

@@ -15,6 +15,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analyses.h"
 #include "ir/Context.h"
 #include "ir/Function.h"
 #include "ir/Instructions.h"
@@ -37,7 +38,7 @@ bool isAssociative(Opcode Op) {
 class Reassociate : public Pass {
 public:
   const char *name() const override { return "reassociate"; }
-  bool runOnFunction(Function &F) override;
+  PreservedAnalyses run(Function &F, AnalysisManager &) override;
 
 private:
   std::map<Value *, unsigned> Ranks;
@@ -148,7 +149,7 @@ bool Reassociate::rewriteTree(BinaryOperator *Root, IRContext &Ctx) {
   return true;
 }
 
-bool Reassociate::runOnFunction(Function &F) {
+PreservedAnalyses Reassociate::run(Function &F, AnalysisManager &) {
   IRContext &Ctx = F.context();
   // Rank values by definition order (arguments first).
   Ranks.clear();
@@ -183,7 +184,8 @@ bool Reassociate::runOnFunction(Function &F) {
   }
   if (Changed)
     eraseDeadCode(F);
-  return Changed;
+  // Trees are rewritten in place; the CFG never changes.
+  return Changed ? preservedCFGAnalyses() : PreservedAnalyses::all();
 }
 
 } // namespace

@@ -15,6 +15,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analyses.h"
 #include "ir/Context.h"
 #include "ir/Function.h"
 #include "ir/Instructions.h"
@@ -42,7 +43,7 @@ struct LatticeValue {
 class SCCP : public Pass {
 public:
   const char *name() const override { return "sccp"; }
-  bool runOnFunction(Function &F) override;
+  PreservedAnalyses run(Function &F, AnalysisManager &) override;
 
 private:
   std::map<Value *, LatticeValue> Values;
@@ -236,7 +237,7 @@ void SCCP::visit(Instruction *I) {
     markOverdefined(I);
 }
 
-bool SCCP::runOnFunction(Function &F) {
+PreservedAnalyses SCCP::run(Function &F, AnalysisManager &) {
   Values.clear();
   Executable.clear();
   ExecutableEdges.clear();
@@ -274,7 +275,9 @@ bool SCCP::runOnFunction(Function &F) {
       Changed = true;
     }
   }
-  return Changed;
+  // Constants are substituted for instructions; branch folding is left to
+  // SimplifyCFG, so blocks and edges survive.
+  return Changed ? preservedCFGAnalyses() : PreservedAnalyses::all();
 }
 
 } // namespace

@@ -15,6 +15,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analyses.h"
 #include "ir/Context.h"
 #include "ir/Function.h"
 #include "ir/Instructions.h"
@@ -32,7 +33,7 @@ namespace {
 class SimplifyCFG : public Pass {
 public:
   const char *name() const override { return "simplifycfg"; }
-  bool runOnFunction(Function &F) override;
+  PreservedAnalyses run(Function &F, AnalysisManager &) override;
 
 private:
   bool removeUnreachableBlocks(Function &F);
@@ -42,7 +43,7 @@ private:
   bool convertPhisToSelects(Function &F);
 };
 
-bool SimplifyCFG::runOnFunction(Function &F) {
+PreservedAnalyses SimplifyCFG::run(Function &F, AnalysisManager &) {
   bool Changed = false;
   bool LocalChange = true;
   while (LocalChange) {
@@ -54,7 +55,8 @@ bool SimplifyCFG::runOnFunction(Function &F) {
     LocalChange |= convertPhisToSelects(F);
     Changed |= LocalChange;
   }
-  return Changed;
+  // Every transformation here rewires blocks and edges.
+  return Changed ? PreservedAnalyses::none() : PreservedAnalyses::all();
 }
 
 /// br true/false -> unconditional; conditional branch with equal

@@ -11,6 +11,7 @@
 #include "ir/Context.h"
 #include "ir/Module.h"
 #include "ir/Printer.h"
+#include "opt/Pipeline.h"
 #include "parser/Parser.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
@@ -126,6 +127,45 @@ struct ShardResult {
   std::vector<Counterexample> Counterexamples;
 };
 
+/// Appends the campaign's pipeline to \p PM: the textual Opts.Passes when
+/// set (validated by the driver), otherwise the standard preset.
+void buildCampaignPipeline(PassManager &PM, const CampaignOptions &Opts) {
+  if (Opts.Passes.empty()) {
+    buildStandardPipeline(PM, Opts.Pipeline);
+    return;
+  }
+  std::string Error;
+  bool OK = parsePassPipeline(PM, Opts.Passes, Opts.Pipeline, &Error);
+  assert(OK && "campaign pipeline must be validated before launching");
+  (void)OK;
+}
+
+/// Replays the pipeline pass by pass on a fresh clone of \p Orig and
+/// returns the pipelineText() of the first pass whose output no longer
+/// refines \p Orig — the pass that introduced the failure. Runs the
+/// refinement checker after every IR-changing pass via the after-pass
+/// instrumentation hook. Deterministic per function, so blame attribution
+/// is identical at any parallelism.
+std::string blameFirstFailingPass(Module &M, Function &Orig,
+                                  const CampaignOptions &Opts) {
+  Function *Replay = cloneFunction(Orig, M, Orig.getName() + ".blame");
+  PassManager PM(/*VerifyAfterEachPass=*/false);
+  buildCampaignPipeline(PM, Opts);
+  std::string Blamed;
+  PM.instrumentation().onAfterPass(
+      [&](const Pass &P, const Function &,
+          const PassInstrumentation::AfterPassInfo &Info) {
+        if (!Blamed.empty() || !Info.Changed)
+          return;
+        TVResult TR = checkRefinement(Orig, *Replay, Opts.Semantics, Opts.TV);
+        if (!TR.valid())
+          Blamed = P.pipelineText();
+      });
+  PM.run(*Replay);
+  M.eraseFunction(Replay);
+  return Blamed;
+}
+
 /// Runs the pipeline over \p F (defined in \p M) and validates the result
 /// against its original body. Exactly the per-function work the serial
 /// checker in bench/TVBench.cpp performs.
@@ -135,16 +175,19 @@ void checkOne(Module &M, Function &F, uint64_t Index,
   std::string SrcText = printFunction(F);
   Function *Orig = cloneFunction(F, M, F.getName() + ".orig");
   PassManager PM(/*VerifyAfterEachPass=*/false);
-  buildStandardPipeline(PM, Opts.Pipeline);
-  if (PM.run(F))
+  buildCampaignPipeline(PM, Opts);
+  if (Opts.TimePasses)
+    attachTimePassesInstrumentation(PM.instrumentation());
+  AnalysisManager AM;
+  if (PM.run(F, AM))
     ++Out.Changed;
   TVResult TR = checkRefinement(*Orig, F, Opts.Semantics, Opts.TV);
-  M.eraseFunction(Orig);
 
   ++Out.Functions;
   Out.InputsChecked += TR.InputsChecked;
   Out.PathsExplored += TR.PathsExplored;
   if (TR.valid()) {
+    M.eraseFunction(Orig);
     ++Out.Valid;
     return;
   }
@@ -160,6 +203,8 @@ void checkOne(Module &M, Function &F, uint64_t Index,
   CE.Inconclusive = Inconclusive;
   CE.Function = std::move(SrcText);
   CE.Message = TR.Message;
+  CE.BlamedPass = blameFirstFailingPass(M, *Orig, Opts);
+  M.eraseFunction(Orig);
   CE.Fingerprint = fingerprintFailure(
       (Inconclusive ? std::string("inconclusive: ") : std::string("invalid: ")) +
       TR.Message);
@@ -268,6 +313,8 @@ std::string tv::describeCampaign(const CampaignOptions &Opts) {
   S += " shard_size=" + std::to_string(Opts.ShardSize);
   S += std::string(" pipeline=") +
        (Opts.Pipeline == PipelineMode::Proposed ? "proposed" : "legacy");
+  if (!Opts.Passes.empty())
+    S += " passes=" + Opts.Passes;
   S += "\nsemantics: " + semanticsTag(Opts.Semantics);
   return S;
 }
@@ -295,6 +342,8 @@ std::string CampaignResult::report() const {
     if (!S.empty() && S.back() != '\n')
       S += '\n';
     S += "! " + CE.Message + "\n";
+    if (!CE.BlamedPass.empty())
+      S += "! introduced by: " + CE.BlamedPass + "\n";
   }
   return S;
 }

@@ -56,6 +56,17 @@ struct CampaignOptions {
   uint64_t ShardSize = 64;   ///< Functions per shard (work-unit granularity).
 
   PipelineMode Pipeline = PipelineMode::Proposed; ///< Pipeline under test.
+
+  /// Textual pass pipeline (opt/Pipeline.h grammar), e.g. "gvn,licm".
+  /// Empty runs the standard "default" preset. Mode-dependent passes
+  /// without an explicit <variant> suffix follow Pipeline. Must parse;
+  /// drivers validate with parsePassPipeline() before launching.
+  std::string Passes;
+
+  /// Publish per-pass wall time / change accounting to the pm.pass.*
+  /// stats counters (rendered by renderTimePassesReport()).
+  bool TimePasses = false;
+
   sem::SemanticsConfig Semantics = sem::SemanticsConfig::proposed();
   TVOptions TV; ///< Refinement-checker knobs (paths, inputs, fuel).
 
@@ -81,6 +92,12 @@ struct Counterexample {
   bool Inconclusive = false; ///< Budget exhaustion rather than refutation.
   std::string Function;      ///< Printed source function.
   std::string Message;       ///< Refinement checker diagnostic.
+  /// pipelineText() of the first pass whose output failed refinement
+  /// against the source, found by replaying the pipeline pass by pass
+  /// (after-pass instrumentation). Empty when no single pass could be
+  /// blamed. Deterministic per function, so it survives the byte-identical
+  /// report guarantee.
+  std::string BlamedPass;
 };
 
 /// Aggregated campaign outcome.

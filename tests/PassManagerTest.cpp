@@ -1,0 +1,309 @@
+//===- PassManagerTest.cpp - Analysis cache & pipeline parser tests ------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the analysis-cached pass manager's contract: cached results are
+/// reused across CFG-preserving passes, invalidated (with dependency
+/// cascade) when a pass edits the CFG, and PreservedAnalyses::all() is a
+/// true no-op for the cache. Also pins the textual pipeline language:
+/// parse/print round-trips and unknown names are rejected with a diagnostic
+/// listing the valid ones.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyses.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "opt/Pass.h"
+#include "opt/Passes.h"
+#include "opt/Pipeline.h"
+#include "parser/Parser.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace frost;
+
+namespace {
+
+struct PassManagerTest : ::testing::Test {
+  IRContext Ctx;
+  Module M{Ctx, "pm"};
+
+  Function *parse(const std::string &Text, const std::string &Name) {
+    ParseResult R = parseModule(Text, M);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    Function *F = M.getFunction(Name);
+    EXPECT_NE(F, nullptr);
+    return F;
+  }
+
+  /// A single natural loop; every analysis has something to say about it.
+  Function *parseLoop(const std::string &Name = "loop") {
+    return parse("define i8 @" + Name + R"((i8 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i8 [ 0, %entry ], [ %i.next, %body ]
+  %cmp = icmp ult i8 %i, %n
+  br i1 %cmp, label %body, label %exit
+body:
+  %i.next = add nsw i8 %i, 1
+  br label %header
+exit:
+  ret i8 %i
+}
+)",
+                 Name);
+  }
+};
+
+/// A test-only pass: runs a callback, reports what it claims to preserve.
+class LambdaPass : public Pass {
+public:
+  using Body = std::function<PreservedAnalyses(Function &, AnalysisManager &)>;
+  LambdaPass(const char *Name, Body Fn) : Name(Name), Fn(std::move(Fn)) {}
+  const char *name() const override { return Name; }
+  PreservedAnalyses run(Function &F, AnalysisManager &AM) override {
+    return Fn(F, AM);
+  }
+
+private:
+  const char *Name;
+  Body Fn;
+};
+
+//===----------------------------------------------------------------------===//
+// Caching
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassManagerTest, SecondRequestIsACacheHit) {
+  Function *F = parseLoop();
+  AnalysisManager AM;
+  uint64_t Misses0 = stats::get("am.domtree.misses");
+  uint64_t Hits0 = stats::get("am.domtree.hits");
+
+  DominatorTree &DT1 = AM.get<DominatorTreeAnalysis>(*F);
+  DominatorTree &DT2 = AM.get<DominatorTreeAnalysis>(*F);
+
+  EXPECT_EQ(&DT1, &DT2); // Same cached object, not a rebuild.
+  EXPECT_EQ(stats::get("am.domtree.misses"), Misses0 + 1);
+  EXPECT_EQ(stats::get("am.domtree.hits"), Hits0 + 1);
+}
+
+TEST_F(PassManagerTest, CacheSurvivesCFGPreservingPipeline) {
+  // gvn,licm over an unchanged CFG: the dominator tree is built once and
+  // both passes (plus LoopInfo's construction) reuse it.
+  Function *F = parseLoop();
+  PassManager PM(/*VerifyAfterEachPass=*/false);
+  std::string Error;
+  ASSERT_TRUE(parsePassPipeline(PM, "gvn,licm", PipelineMode::Proposed,
+                                &Error))
+      << Error;
+
+  uint64_t Built0 = stats::get("analysis.domtree.constructed");
+  AnalysisManager AM;
+  PM.run(*F, AM);
+  EXPECT_EQ(stats::get("analysis.domtree.constructed"), Built0 + 1);
+  EXPECT_TRUE(AM.isCached<DominatorTreeAnalysis>(*F));
+}
+
+TEST_F(PassManagerTest, PreservedAllLeavesCacheIntact) {
+  Function *F = parseLoop();
+  AnalysisManager AM;
+  AM.get<DominatorTreeAnalysis>(*F);
+  AM.get<LoopInfoAnalysis>(*F);
+  size_t Cached = AM.cachedResultCount();
+
+  PassManager PM(/*VerifyAfterEachPass=*/false);
+  PM.add(std::make_unique<LambdaPass>(
+      "noop", [](Function &, AnalysisManager &) {
+        return PreservedAnalyses::all();
+      }));
+  EXPECT_FALSE(PM.run(*F, AM)); // all() <=> nothing changed.
+  EXPECT_EQ(AM.cachedResultCount(), Cached);
+  EXPECT_TRUE(AM.isCached<DominatorTreeAnalysis>(*F));
+  EXPECT_TRUE(AM.isCached<LoopInfoAnalysis>(*F));
+}
+
+TEST_F(PassManagerTest, SimplifyCFGEditInvalidatesAnalyses) {
+  // A constant branch SimplifyCFG will fold, changing the CFG.
+  Function *F = parse(R"(
+define i8 @g(i8 %x) {
+entry:
+  br i1 true, label %a, label %b
+a:
+  ret i8 %x
+b:
+  ret i8 0
+}
+)",
+                      "g");
+  AnalysisManager AM;
+  AM.get<DominatorTreeAnalysis>(*F);
+  AM.get<LoopInfoAnalysis>(*F);
+  uint64_t Inv0 = stats::get("am.domtree.invalidated");
+
+  PassManager PM(/*VerifyAfterEachPass=*/false);
+  PM.add(createSimplifyCFGPass());
+  EXPECT_TRUE(PM.run(*F, AM));
+
+  EXPECT_FALSE(AM.isCached<DominatorTreeAnalysis>(*F));
+  EXPECT_FALSE(AM.isCached<LoopInfoAnalysis>(*F));
+  EXPECT_EQ(stats::get("am.domtree.invalidated"), Inv0 + 1);
+}
+
+TEST_F(PassManagerTest, DependencyCascadeEvictsDependents) {
+  // A pass claiming to preserve ScalarEvolution but not LoopInfo still
+  // evicts ScalarEvolution: the cached SCEV holds a reference into the
+  // cached LoopInfo and must not outlive it.
+  Function *F = parseLoop();
+  AnalysisManager AM;
+  AM.get<ScalarEvolutionAnalysis>(*F); // Pulls in DT and LI too.
+  ASSERT_TRUE(AM.isCached<LoopInfoAnalysis>(*F));
+  ASSERT_TRUE(AM.isCached<ScalarEvolutionAnalysis>(*F));
+
+  PreservedAnalyses PA = PreservedAnalyses::none();
+  PA.preserve<ScalarEvolutionAnalysis>();
+  AM.invalidate(*F, PA);
+
+  EXPECT_FALSE(AM.isCached<LoopInfoAnalysis>(*F));
+  EXPECT_FALSE(AM.isCached<ScalarEvolutionAnalysis>(*F));
+}
+
+TEST_F(PassManagerTest, PreservedAnalysesSetSemantics) {
+  EXPECT_TRUE(PreservedAnalyses::all().areAllPreserved());
+  EXPECT_FALSE(PreservedAnalyses::none().areAllPreserved());
+  EXPECT_TRUE(
+      PreservedAnalyses::all().preserved(DominatorTreeAnalysis::key()));
+  EXPECT_FALSE(
+      PreservedAnalyses::none().preserved(DominatorTreeAnalysis::key()));
+
+  PreservedAnalyses PA = PreservedAnalyses::none();
+  PA.preserve<DominatorTreeAnalysis>();
+  EXPECT_TRUE(PA.preserved(DominatorTreeAnalysis::key()));
+  EXPECT_FALSE(PA.preserved(LoopInfoAnalysis::key()));
+
+  PreservedAnalyses Both = PreservedAnalyses::all();
+  Both.intersect(PA);
+  EXPECT_FALSE(Both.areAllPreserved());
+  EXPECT_TRUE(Both.preserved(DominatorTreeAnalysis::key()));
+  EXPECT_FALSE(Both.preserved(LoopInfoAnalysis::key()));
+}
+
+//===----------------------------------------------------------------------===//
+// Change accounting
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassManagerTest, ChangeCountsAreRestartedPerRun) {
+  // First run removes the dead add; the second has nothing left to do. A
+  // reused manager must report 0 changes for the second run, not an
+  // accumulated total.
+  Function *F = parse(R"(
+define i8 @h(i8 %x) {
+entry:
+  %dead = add i8 %x, 1
+  ret i8 %x
+}
+)",
+                      "h");
+  PassManager PM(/*VerifyAfterEachPass=*/false);
+  PM.add(createDCEPass());
+
+  EXPECT_TRUE(PM.run(*F));
+  ASSERT_EQ(PM.changeCounts().size(), 1u);
+  EXPECT_EQ(PM.changeCounts()[0].first, "dce");
+  EXPECT_EQ(PM.changeCounts()[0].second, 1u);
+
+  EXPECT_FALSE(PM.run(*F));
+  ASSERT_EQ(PM.changeCounts().size(), 1u);
+  EXPECT_EQ(PM.changeCounts()[0].second, 0u);
+}
+
+TEST_F(PassManagerTest, InstrumentationSeesEveryExecution) {
+  Function *F = parseLoop();
+  PassManager PM(/*VerifyAfterEachPass=*/false);
+  PM.add(createDCEPass());
+  PM.add(createGVNPass());
+
+  std::vector<std::string> Before, After;
+  PM.instrumentation().onBeforePass(
+      [&](const Pass &P, const Function &) { Before.push_back(P.name()); });
+  PM.instrumentation().onAfterPass(
+      [&](const Pass &P, const Function &,
+          const PassInstrumentation::AfterPassInfo &Info) {
+        After.push_back(P.name());
+        EXPECT_GE(Info.Seconds, 0.0);
+      });
+
+  PM.run(*F);
+  EXPECT_EQ(Before, (std::vector<std::string>{"dce", "gvn"}));
+  EXPECT_EQ(After, Before);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline parser
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassManagerTest, PipelineParsePrintRoundTrip) {
+  PassManager PM(/*VerifyAfterEachPass=*/false);
+  std::string Error;
+  ASSERT_TRUE(parsePassPipeline(
+      PM, "instcombine<legacy>,gvn,licm,verify", PipelineMode::Proposed,
+      &Error))
+      << Error;
+  EXPECT_EQ(PM.pipelineText(), "instcombine<legacy>,gvn,licm,verify");
+
+  // The canonical text parses back to an identical pipeline.
+  PassManager PM2(/*VerifyAfterEachPass=*/false);
+  ASSERT_TRUE(parsePassPipeline(PM2, PM.pipelineText(),
+                                PipelineMode::Proposed, &Error))
+      << Error;
+  EXPECT_EQ(PM2.pipelineText(), PM.pipelineText());
+}
+
+TEST_F(PassManagerTest, DefaultPresetMatchesStandardPipeline) {
+  PassManager Preset(/*VerifyAfterEachPass=*/false);
+  std::string Error;
+  ASSERT_TRUE(
+      parsePassPipeline(Preset, "default", PipelineMode::Legacy, &Error))
+      << Error;
+
+  PassManager Standard(/*VerifyAfterEachPass=*/false);
+  buildStandardPipeline(Standard, PipelineMode::Legacy);
+
+  EXPECT_GT(Preset.size(), 10u);
+  EXPECT_EQ(Preset.pipelineText(), Standard.pipelineText());
+  // Mode-dependent passes carry their variant in the canonical text.
+  EXPECT_NE(Preset.pipelineText().find("instcombine<legacy>"),
+            std::string::npos);
+}
+
+TEST_F(PassManagerTest, UnknownPassNameIsRejectedWithTheValidList) {
+  PassManager PM(/*VerifyAfterEachPass=*/false);
+  std::string Error;
+  EXPECT_FALSE(
+      parsePassPipeline(PM, "gvn,nosuchpass", PipelineMode::Proposed, &Error));
+  EXPECT_NE(Error.find("nosuchpass"), std::string::npos);
+  EXPECT_NE(Error.find(availablePassNames()), std::string::npos);
+  EXPECT_EQ(PM.size(), 0u) << "a failed parse must not half-populate the PM";
+}
+
+TEST_F(PassManagerTest, BadVariantsAreRejected) {
+  std::string Error;
+  PassManager PM(/*VerifyAfterEachPass=*/false);
+  // gvn is not mode-dependent; a variant suffix is meaningless on it.
+  EXPECT_FALSE(
+      parsePassPipeline(PM, "gvn<legacy>", PipelineMode::Proposed, &Error));
+  EXPECT_FALSE(parsePassPipeline(PM, "instcombine<frozen>",
+                                 PipelineMode::Proposed, &Error));
+  EXPECT_FALSE(parsePassPipeline(PM, "gvn,,dce", PipelineMode::Proposed,
+                                 &Error));
+}
+
+} // namespace

@@ -16,6 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "opt/Pipeline.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 #include "tv/Campaign.h"
@@ -49,6 +50,11 @@ const char *Usage =
     "\n"
     "Pipeline & semantics:\n"
     "  --pipeline proposed|legacy   pipeline under test (default proposed)\n"
+    "  --passes p1,p2,...           textual pass pipeline to run instead of\n"
+    "                               the standard preset, e.g. gvn,licm or\n"
+    "                               instcombine<legacy>,dce ('default' expands\n"
+    "                               to the preset; variants follow --pipeline\n"
+    "                               when omitted)\n"
     "  --sem proposed|legacy-unswitch|legacy-gvn|legacy-langref\n"
     "                               checking semantics (default proposed)\n"
     "\n"
@@ -57,6 +63,7 @@ const char *Usage =
     "  --shard-size N               functions per shard (default 64)\n"
     "  --keep-duplicates            report every witness, no dedup\n"
     "  --stats                      print tv.campaign.* counters\n"
+    "  --time-passes                print per-pass wall time / change table\n"
     "  --quiet                      summary only, no counterexample report\n";
 
 uint64_t parseNum(const char *Flag, const char *S) {
@@ -181,7 +188,9 @@ int main(int argc, char **argv) {
                      V.c_str(), Usage);
         return 3;
       }
-    } else if (A == "--jobs")
+    } else if (A == "--passes")
+      Opts.Passes = Next();
+    else if (A == "--jobs")
       Opts.Jobs = unsigned(parseNum("--jobs", Next()));
     else if (A == "--shard-size")
       Opts.ShardSize = parseNum("--shard-size", Next());
@@ -189,6 +198,8 @@ int main(int argc, char **argv) {
       Opts.KeepAllCounterexamples = true;
     else if (A == "--stats")
       ShowStats = true;
+    else if (A == "--time-passes")
+      Opts.TimePasses = true;
     else if (A == "--quiet")
       Quiet = true;
     else if (A == "--help" || A == "-h") {
@@ -204,6 +215,17 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "frost-tv: --shard-size must be positive\n");
     return 3;
   }
+  if (!Opts.Passes.empty()) {
+    // Validate up front so workers can assume the pipeline parses. The
+    // parser's diagnostic lists the valid pass names.
+    PassManager Probe(/*VerifyAfterEachPass=*/false);
+    std::string Error;
+    if (!parsePassPipeline(Probe, Opts.Passes, Opts.Pipeline, &Error)) {
+      std::fprintf(stderr, "frost-tv: bad --passes pipeline: %s\n",
+                   Error.c_str());
+      return 3;
+    }
+  }
 
   std::printf("%s\n", tv::describeCampaign(Opts).c_str());
   std::printf("jobs=%u (hardware threads: %u)\n",
@@ -215,6 +237,8 @@ int main(int argc, char **argv) {
   if (!Quiet)
     std::fputs(R.report().c_str(), stdout);
   std::printf("%s\n", R.summary().c_str());
+  if (Opts.TimePasses)
+    std::fputs(renderTimePassesReport().c_str(), stdout);
   if (ShowStats)
     std::fputs(stats::report("tv.campaign.").c_str(), stdout);
 
