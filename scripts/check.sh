@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Tier-1 verification for frost: configure, build, run the full test
-# suite, then a ~2-second smoke campaign that must still catch the
-# legacy select miscompiles (see docs/tv-campaigns.md).
+# suite, re-run the golden IR suite with its per-test report
+# (see docs/testing.md), then a ~2-second smoke campaign that must
+# still catch the legacy select miscompiles (see docs/tv-campaigns.md).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -9,6 +10,9 @@ cd "$(dirname "$0")/.."
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== golden IR suite (frost-lit, per-test report) =="
+./build/tools/frost-lit tests/ir
 
 echo "== smoke campaign: proposed pipeline must validate clean =="
 ./build/tools/frost-tv --insts 2 --width 2 --max-functions 4000 \

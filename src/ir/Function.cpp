@@ -11,6 +11,7 @@
 #include "ir/Printer.h"
 
 #include <algorithm>
+#include <set>
 
 using namespace frost;
 
@@ -71,34 +72,50 @@ unsigned Function::instructionCount() const {
 
 void Function::nameValues() {
   // Collect names already in use so we never collide with them.
-  std::vector<std::string> Taken;
+  std::set<std::string> Taken;
   for (auto &A : Args)
     if (A->hasName())
-      Taken.push_back(A->getName());
+      Taken.insert(A->getName());
   for (BasicBlock *BB : Blocks) {
     if (BB->hasName())
-      Taken.push_back(BB->getName());
+      Taken.insert(BB->getName());
     for (Instruction *I : *BB)
       if (I->hasName())
-        Taken.push_back(I->getName());
+        Taken.insert(I->getName());
   }
   unsigned Next = 0;
   auto Fresh = [&] {
     std::string Name;
     do {
       Name = std::to_string(Next++);
-    } while (std::find(Taken.begin(), Taken.end(), Name) != Taken.end());
+    } while (Taken.count(Name));
+    Taken.insert(Name);
     return Name;
   };
+  // In-memory values are identified by pointer, so duplicate names are
+  // legal here — but the printed form identifies values by name, so the
+  // second and later holders of a name must be renamed or the output
+  // would not parse back (print(parse(print(F))) == print(F) is pinned
+  // by tests/RoundTripTest.cpp). First occurrence keeps the name.
+  std::set<std::string> Seen;
+  auto Unique = [&](const std::string &Name) {
+    // A rename must dodge both earlier-visited values (Seen) and the
+    // original names of values not visited yet (Taken).
+    std::string Candidate = Name;
+    for (unsigned N = 1; Seen.count(Candidate) ||
+                         (Candidate != Name && Taken.count(Candidate));
+         ++N)
+      Candidate = Name + "." + std::to_string(N);
+    Seen.insert(Candidate);
+    return Candidate;
+  };
   for (auto &A : Args)
-    if (!A->hasName())
-      A->setName(Fresh());
+    A->setName(Unique(A->hasName() ? A->getName() : Fresh()));
   for (BasicBlock *BB : Blocks) {
-    if (!BB->hasName())
-      BB->setName(Fresh());
+    BB->setName(Unique(BB->hasName() ? BB->getName() : Fresh()));
     for (Instruction *I : *BB)
-      if (!I->hasName() && !I->getType()->isVoid())
-        I->setName(Fresh());
+      if (!I->getType()->isVoid())
+        I->setName(Unique(I->hasName() ? I->getName() : Fresh()));
   }
 }
 

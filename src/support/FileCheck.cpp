@@ -1,0 +1,553 @@
+//===- FileCheck.cpp - Golden-output directive matcher -------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileCheck.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <vector>
+
+using namespace frost;
+using namespace frost::filecheck;
+
+namespace {
+
+enum class DirKind { Check, Next, Not, Label, Dag };
+
+const char *dirName(DirKind K, const std::string &Prefix, std::string &Buf) {
+  switch (K) {
+  case DirKind::Check:
+    Buf = Prefix + ":";
+    break;
+  case DirKind::Next:
+    Buf = Prefix + "-NEXT:";
+    break;
+  case DirKind::Not:
+    Buf = Prefix + "-NOT:";
+    break;
+  case DirKind::Label:
+    Buf = Prefix + "-LABEL:";
+    break;
+  case DirKind::Dag:
+    Buf = Prefix + "-DAG:";
+    break;
+  }
+  return Buf.c_str();
+}
+
+/// One piece of a directive pattern.
+struct Segment {
+  enum Kind { Lit, Re, VarDef, VarUse } K;
+  std::string Text; ///< Literal text or regex fragment.
+  std::string Var;  ///< Variable name for VarDef/VarUse.
+};
+
+struct Directive {
+  DirKind Kind;
+  std::vector<Segment> Segs;
+  unsigned CheckLine = 0; ///< 1-based line in the check file.
+  unsigned CheckCol = 0;  ///< 1-based column where the pattern starts.
+  std::string RawLine;    ///< Full check-file line, for diagnostics.
+  std::string Pattern;    ///< Raw pattern text, for diagnostics.
+};
+
+std::string escapeRegex(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (std::string("\\^$.|?*+()[]{}").find(C) != std::string::npos)
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+/// Number of capturing groups a user regex fragment introduces (so variable
+/// definitions after it index the right std::smatch slot).
+unsigned countCaptureGroups(const std::string &Re) {
+  unsigned N = 0;
+  for (size_t I = 0; I < Re.size(); ++I) {
+    if (Re[I] == '\\') {
+      ++I;
+      continue;
+    }
+    if (Re[I] == '(' && (I + 1 >= Re.size() || Re[I + 1] != '?'))
+      ++N;
+  }
+  return N;
+}
+
+struct MatchResult {
+  size_t Pos = 0, Len = 0;
+  std::vector<std::pair<std::string, std::string>> NewBindings;
+};
+
+/// Why a pattern failed to even compile (bad regex, undefined variable).
+struct PatternError {
+  std::string Why;
+};
+
+using Bindings = std::map<std::string, std::string>;
+
+/// Tries \p D against one input line under the current \p Binds.
+/// Returns the match, std::nullopt on no-match, or a PatternError.
+std::optional<MatchResult> matchLine(const Directive &D, const Bindings &Binds,
+                                     const std::string &Line,
+                                     std::optional<PatternError> &Err) {
+  std::string Re;
+  unsigned NextGroup = 1;
+  // Variables defined earlier in this same pattern resolve to
+  // backreferences so "[[X:%[a-z]+]] = add ... [[X]]" works in one line.
+  std::map<std::string, unsigned> LocalGroups;
+  std::vector<std::pair<std::string, unsigned>> Defs; // var -> group
+  for (const Segment &S : D.Segs) {
+    switch (S.K) {
+    case Segment::Lit:
+      Re += escapeRegex(S.Text);
+      break;
+    case Segment::Re:
+      Re += "(?:" + S.Text + ")";
+      NextGroup += countCaptureGroups(S.Text);
+      break;
+    case Segment::VarDef:
+      Re += "(" + S.Text + ")";
+      Defs.push_back({S.Var, NextGroup});
+      LocalGroups[S.Var] = NextGroup;
+      ++NextGroup;
+      NextGroup += countCaptureGroups(S.Text);
+      break;
+    case Segment::VarUse: {
+      auto Local = LocalGroups.find(S.Var);
+      if (Local != LocalGroups.end()) {
+        Re += "\\" + std::to_string(Local->second);
+        break;
+      }
+      auto Bound = Binds.find(S.Var);
+      if (Bound == Binds.end()) {
+        Err = PatternError{"use of undefined variable '" + S.Var + "'"};
+        return std::nullopt;
+      }
+      Re += escapeRegex(Bound->second);
+      break;
+    }
+    }
+  }
+  try {
+    std::regex Compiled(Re, std::regex::ECMAScript);
+    std::smatch M;
+    if (!std::regex_search(Line, M, Compiled))
+      return std::nullopt;
+    MatchResult R;
+    R.Pos = size_t(M.position(0));
+    R.Len = size_t(M.length(0));
+    for (const auto &[Var, Group] : Defs)
+      R.NewBindings.push_back({Var, M[Group].str()});
+    return R;
+  } catch (const std::regex_error &E) {
+    Err = PatternError{std::string("invalid regular expression: ") + E.what()};
+    return std::nullopt;
+  }
+}
+
+/// Renders "file:line:col: error: ..." with the source line and a caret.
+void renderLoc(std::ostringstream &OS, const std::string &File, unsigned Line,
+               unsigned Col, const char *Severity, const std::string &Msg,
+               const std::string &SrcLine) {
+  OS << File << ":" << Line << ":" << Col << ": " << Severity << ": " << Msg
+     << "\n";
+  OS << SrcLine << "\n";
+  for (unsigned I = 1; I < Col; ++I)
+    OS << (I - 1 < SrcLine.size() && SrcLine[I - 1] == '\t' ? '\t' : ' ');
+  OS << "^\n";
+}
+
+class Checker {
+public:
+  Checker(const FileCheckOptions &Opts, const std::string &CheckText,
+          const std::string &Input)
+      : Opts(Opts) {
+    splitLines(Input, InputLines);
+    parseDirectives(CheckText);
+  }
+
+  FileCheckResult run();
+
+private:
+  void splitLines(const std::string &Text, std::vector<std::string> &Out) {
+    size_t Pos = 0;
+    while (Pos <= Text.size()) {
+      size_t NL = Text.find('\n', Pos);
+      if (NL == std::string::npos) {
+        if (Pos < Text.size())
+          Out.push_back(Text.substr(Pos));
+        break;
+      }
+      Out.push_back(Text.substr(Pos, NL - Pos));
+      Pos = NL + 1;
+    }
+  }
+
+  void parseDirectives(const std::string &CheckText);
+  void parsePattern(const std::string &Text, Directive &D);
+
+  /// Diagnostic helpers; each returns a failed FileCheckResult.
+  FileCheckResult failAt(const Directive &D, const std::string &Msg,
+                         std::optional<size_t> InputLine,
+                         const std::string &InputNote, size_t InputCol = 0);
+
+  FileCheckResult runBlock(size_t DirBegin, size_t DirEnd, size_t LineBegin,
+                           size_t LineEnd, bool Anchored, Bindings &Binds);
+
+  const FileCheckOptions &Opts;
+  std::vector<std::string> InputLines;
+  std::vector<Directive> Directives;
+  std::optional<FileCheckResult> ParseError;
+  std::string ScratchBuf; ///< Backing store for dirName().
+};
+
+void Checker::parsePattern(const std::string &Text, Directive &D) {
+  size_t Pos = 0;
+  std::string Lit;
+  auto FlushLit = [&] {
+    if (!Lit.empty()) {
+      D.Segs.push_back({Segment::Lit, Lit, ""});
+      Lit.clear();
+    }
+  };
+  while (Pos < Text.size()) {
+    if (Text.compare(Pos, 2, "{{") == 0) {
+      size_t End = Text.find("}}", Pos + 2);
+      if (End == std::string::npos) {
+        Lit += Text.substr(Pos);
+        break;
+      }
+      FlushLit();
+      D.Segs.push_back({Segment::Re, Text.substr(Pos + 2, End - Pos - 2), ""});
+      Pos = End + 2;
+      continue;
+    }
+    if (Text.compare(Pos, 2, "[[") == 0) {
+      size_t End = Text.find("]]", Pos + 2);
+      if (End != std::string::npos) {
+        std::string Inner = Text.substr(Pos + 2, End - Pos - 2);
+        size_t Colon = Inner.find(':');
+        std::string Name = Colon == std::string::npos
+                               ? Inner
+                               : Inner.substr(0, Colon);
+        bool ValidName = !Name.empty();
+        for (char C : Name)
+          if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_')
+            ValidName = false;
+        if (ValidName) {
+          FlushLit();
+          if (Colon == std::string::npos)
+            D.Segs.push_back({Segment::VarUse, "", Name});
+          else
+            D.Segs.push_back(
+                {Segment::VarDef, Inner.substr(Colon + 1), Name});
+          Pos = End + 2;
+          continue;
+        }
+      }
+      // Not a variable block: fall through as literal text.
+    }
+    Lit += Text[Pos++];
+  }
+  FlushLit();
+}
+
+void Checker::parseDirectives(const std::string &CheckText) {
+  std::vector<std::string> CheckLines;
+  splitLines(CheckText, CheckLines);
+
+  const std::string &P = Opts.Prefix;
+  const std::vector<std::pair<std::string, DirKind>> Suffixes = {
+      {"-NEXT:", DirKind::Next},
+      {"-NOT:", DirKind::Not},
+      {"-LABEL:", DirKind::Label},
+      {"-DAG:", DirKind::Dag},
+      {":", DirKind::Check},
+  };
+
+  for (size_t LineNo = 0; LineNo < CheckLines.size(); ++LineNo) {
+    const std::string &Line = CheckLines[LineNo];
+    for (size_t From = 0;
+         (From = Line.find(P, From)) != std::string::npos; ++From) {
+      // Require a directive boundary: the prefix must not be glued to a
+      // preceding identifier character ("MYCHECK:" is not a directive).
+      if (From > 0 &&
+          (std::isalnum(static_cast<unsigned char>(Line[From - 1])) ||
+           Line[From - 1] == '_'))
+        continue;
+      const std::pair<std::string, DirKind> *Hit = nullptr;
+      for (const auto &S : Suffixes)
+        if (Line.compare(From + P.size(), S.first.size(), S.first) == 0) {
+          Hit = &S;
+          break;
+        }
+      if (!Hit)
+        continue;
+      Directive D;
+      D.Kind = Hit->second;
+      D.CheckLine = unsigned(LineNo + 1);
+      D.RawLine = Line;
+      size_t PatStart = From + P.size() + Hit->first.size();
+      while (PatStart < Line.size() &&
+             (Line[PatStart] == ' ' || Line[PatStart] == '\t'))
+        ++PatStart;
+      size_t PatEnd = Line.size();
+      while (PatEnd > PatStart && (Line[PatEnd - 1] == ' ' ||
+                                   Line[PatEnd - 1] == '\t' ||
+                                   Line[PatEnd - 1] == '\r'))
+        --PatEnd;
+      D.Pattern = Line.substr(PatStart, PatEnd - PatStart);
+      D.CheckCol = unsigned(PatStart + 1);
+      if (D.Pattern.empty()) {
+        std::ostringstream OS;
+        renderLoc(OS, Opts.CheckFileName, D.CheckLine,
+                  unsigned(From + 1), "error",
+                  std::string(dirName(D.Kind, P, ScratchBuf)) +
+                      " directive has an empty pattern",
+                  Line);
+        ParseError = FileCheckResult{false, OS.str()};
+        return;
+      }
+      parsePattern(D.Pattern, D);
+      Directives.push_back(std::move(D));
+      break; // One directive per check line.
+    }
+  }
+}
+
+FileCheckResult Checker::failAt(const Directive &D, const std::string &Msg,
+                                std::optional<size_t> InputLine,
+                                const std::string &InputNote,
+                                size_t InputCol) {
+  std::ostringstream OS;
+  renderLoc(OS, Opts.CheckFileName, D.CheckLine, D.CheckCol, "error",
+            std::string(dirName(D.Kind, Opts.Prefix, ScratchBuf)) + " " + Msg,
+            D.RawLine);
+  if (InputLine) {
+    size_t L = *InputLine;
+    if (L < InputLines.size())
+      renderLoc(OS, Opts.InputFileName, unsigned(L + 1),
+                unsigned(InputCol + 1), "note", InputNote, InputLines[L]);
+    else
+      OS << Opts.InputFileName << ":" << (InputLines.size() + 1)
+         << ":1: note: " << InputNote << " (at end of input)\n";
+  }
+  return FileCheckResult{false, OS.str()};
+}
+
+FileCheckResult Checker::runBlock(size_t DirBegin, size_t DirEnd,
+                                  size_t LineBegin, size_t LineEnd,
+                                  bool Anchored, Bindings &Binds) {
+  size_t Pos = LineBegin;      // Next input line eligible for a match.
+  size_t NotStart = LineBegin; // Window start for pending CHECK-NOTs.
+  std::vector<const Directive *> PendingNots;
+  std::vector<const Directive *> DagGroup;
+
+  auto Bind = [&](const MatchResult &M) {
+    for (const auto &[Var, Val] : M.NewBindings)
+      Binds[Var] = Val;
+  };
+
+  // Verifies every pending CHECK-NOT is absent from [NotStart, To).
+  auto CheckNots = [&](size_t To) -> std::optional<FileCheckResult> {
+    for (const Directive *N : PendingNots)
+      for (size_t L = NotStart; L < To && L < LineEnd; ++L) {
+        std::optional<PatternError> Err;
+        if (auto M = matchLine(*N, Binds, InputLines[L], Err))
+          return failAt(*N, "excluded string found in input", L,
+                        "found here", M->Pos);
+        if (Err)
+          return failAt(*N, Err->Why, std::nullopt, "");
+      }
+    PendingNots.clear();
+    return std::nullopt;
+  };
+
+  // Matches a run of consecutive CHECK-DAG directives, order-free.
+  auto FlushDags = [&]() -> std::optional<FileCheckResult> {
+    if (DagGroup.empty())
+      return std::nullopt;
+    std::set<size_t> Claimed;
+    size_t MinLine = LineEnd, MaxLine = Pos;
+    for (const Directive *D : DagGroup) {
+      bool Found = false;
+      for (size_t L = Pos; L < LineEnd; ++L) {
+        if (Claimed.count(L))
+          continue;
+        std::optional<PatternError> Err;
+        if (auto M = matchLine(*D, Binds, InputLines[L], Err)) {
+          Claimed.insert(L);
+          Bind(*M);
+          MinLine = std::min(MinLine, L);
+          MaxLine = std::max(MaxLine, L + 1);
+          Found = true;
+          break;
+        }
+        if (Err)
+          return failAt(*D, Err->Why, std::nullopt, "");
+      }
+      if (!Found)
+        return failAt(*D, "expected string not found in input (DAG group)",
+                      Pos < LineEnd ? std::optional<size_t>(Pos)
+                                    : std::nullopt,
+                      "scanning from here");
+    }
+    if (auto F = CheckNots(MinLine))
+      return F;
+    DagGroup.clear();
+    Pos = MaxLine;
+    NotStart = Pos;
+    Anchored = true;
+    return std::nullopt;
+  };
+
+  for (size_t I = DirBegin; I < DirEnd; ++I) {
+    const Directive &D = Directives[I];
+    switch (D.Kind) {
+    case DirKind::Label:
+      // Labels are resolved by the caller; they delimit blocks.
+      break;
+    case DirKind::Not:
+      if (auto F = FlushDags())
+        return *F;
+      PendingNots.push_back(&D);
+      break;
+    case DirKind::Dag:
+      DagGroup.push_back(&D);
+      break;
+    case DirKind::Check: {
+      if (auto F = FlushDags())
+        return *F;
+      std::optional<size_t> Found;
+      std::optional<MatchResult> FoundM;
+      for (size_t L = Pos; L < LineEnd; ++L) {
+        std::optional<PatternError> Err;
+        if ((FoundM = matchLine(D, Binds, InputLines[L], Err))) {
+          Found = L;
+          break;
+        }
+        if (Err)
+          return failAt(D, Err->Why, std::nullopt, "");
+      }
+      if (!Found)
+        return failAt(D, "expected string not found in input",
+                      Pos < LineEnd ? std::optional<size_t>(Pos)
+                                    : std::optional<size_t>(InputLines.size()),
+                      "scanning from here");
+      if (auto F = CheckNots(*Found))
+        return *F;
+      Bind(*FoundM);
+      Pos = *Found + 1;
+      NotStart = Pos;
+      Anchored = true;
+      break;
+    }
+    case DirKind::Next: {
+      if (auto F = FlushDags())
+        return *F;
+      if (!Anchored)
+        return failAt(D,
+                      "directive without a preceding match in this block",
+                      std::nullopt, "");
+      if (Pos >= LineEnd)
+        return failAt(D, "expected string not found: input ended",
+                      std::optional<size_t>(LineEnd), "block ends here");
+      std::optional<PatternError> Err;
+      auto M = matchLine(D, Binds, InputLines[Pos], Err);
+      if (Err)
+        return failAt(D, Err->Why, std::nullopt, "");
+      if (!M)
+        return failAt(D, "expected string not found on the next line", Pos,
+                      "next line is here");
+      if (auto F = CheckNots(Pos))
+        return *F;
+      Bind(*M);
+      ++Pos;
+      NotStart = Pos;
+      break;
+    }
+    }
+  }
+  if (auto F = FlushDags())
+    return *F;
+  if (auto F = CheckNots(LineEnd))
+    return *F;
+  return FileCheckResult{};
+}
+
+FileCheckResult Checker::run() {
+  if (ParseError)
+    return *ParseError;
+  if (Directives.empty())
+    return FileCheckResult{
+        false, "error: no check directives found with prefix '" +
+                   Opts.Prefix + ":' in " + Opts.CheckFileName + "\n"};
+
+  Bindings Binds;
+
+  // Pass 1: resolve every CHECK-LABEL to an input line, in order. Labels
+  // partition the input; no other directive may match across them.
+  std::vector<size_t> LabelDirs, LabelLines;
+  for (size_t I = 0; I < Directives.size(); ++I)
+    if (Directives[I].Kind == DirKind::Label)
+      LabelDirs.push_back(I);
+  size_t Scan = 0;
+  for (size_t LI : LabelDirs) {
+    const Directive &D = Directives[LI];
+    std::optional<size_t> Found;
+    for (size_t L = Scan; L < InputLines.size(); ++L) {
+      std::optional<PatternError> Err;
+      if (matchLine(D, Binds, InputLines[L], Err)) {
+        Found = L;
+        break;
+      }
+      if (Err)
+        return failAt(D, Err->Why, std::nullopt, "");
+    }
+    if (!Found)
+      return failAt(D, "expected string not found in input",
+                    Scan < InputLines.size()
+                        ? std::optional<size_t>(Scan)
+                        : std::optional<size_t>(InputLines.size()),
+                    "scanning from here");
+    LabelLines.push_back(*Found);
+    Scan = *Found + 1;
+  }
+
+  // Pass 2: run each block's directives inside its input window.
+  size_t DirFrom = 0, LineFrom = 0;
+  bool Anchored = false;
+  for (size_t K = 0; K < LabelDirs.size(); ++K) {
+    if (auto R = runBlock(DirFrom, LabelDirs[K], LineFrom, LabelLines[K],
+                          Anchored, Binds);
+        !R.Ok)
+      return R;
+    DirFrom = LabelDirs[K] + 1;
+    LineFrom = LabelLines[K] + 1;
+    Anchored = true; // The label itself is the block's anchor.
+  }
+  return runBlock(DirFrom, Directives.size(), LineFrom, InputLines.size(),
+                  Anchored, Binds);
+}
+
+} // namespace
+
+FileCheckResult frost::filecheck::checkInput(const std::string &CheckText,
+                                             const std::string &Input,
+                                             const FileCheckOptions &Opts) {
+  Checker C(Opts, CheckText, Input);
+  return C.run();
+}

@@ -1,0 +1,73 @@
+//===- FileCheck.h - Golden-output directive matcher ------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FileCheck-style matcher: a check file annotates expected output with
+/// directives, and checkInput() verifies a candidate input against them.
+/// This is what every golden IR test under tests/ir/ runs through (via the
+/// frost-filecheck tool and the frost-lit runner); see docs/testing.md for
+/// the directive dialect and examples.
+///
+/// Supported directives (with the default CHECK prefix):
+///
+///   CHECK:       match a line at or after the current position
+///   CHECK-NEXT:  match exactly the next line
+///   CHECK-NOT:   pattern must NOT occur before the next positive match
+///   CHECK-LABEL: partition the input; later directives cannot match
+///                across the next label's line
+///   CHECK-DAG:   a run of consecutive DAG directives may match their
+///                lines in any order
+///
+/// Patterns are literal text, with two escapes:
+///
+///   {{regex}}       an ECMAScript regular-expression fragment
+///   [[VAR:regex]]   match the fragment and bind it to VAR
+///   [[VAR]]         match the current binding of VAR (rebindable)
+///
+/// Failures render a two-location caret diagnostic: the first failing
+/// directive in the check file, and the input position where the search
+/// gave up (the "scanning from here" window).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SUPPORT_FILECHECK_H
+#define FROST_SUPPORT_FILECHECK_H
+
+#include <string>
+
+namespace frost {
+namespace filecheck {
+
+struct FileCheckOptions {
+  /// Directive prefix; "CHECK" unless a test wants a private dialect.
+  std::string Prefix = "CHECK";
+  /// Names used in diagnostics.
+  std::string CheckFileName = "<check>";
+  std::string InputFileName = "<input>";
+};
+
+/// Outcome of one check-file / input pair.
+struct FileCheckResult {
+  bool Ok = true;
+  /// On failure: a multi-line caret diagnostic naming the first failing
+  /// directive and the search window. Empty on success.
+  std::string Message;
+
+  explicit operator bool() const { return Ok; }
+};
+
+/// Verifies \p Input against the directives embedded in \p CheckText.
+/// A check file with no directives at all is an error (it would
+/// vacuously pass otherwise).
+FileCheckResult checkInput(const std::string &CheckText,
+                           const std::string &Input,
+                           const FileCheckOptions &Opts = FileCheckOptions());
+
+} // namespace filecheck
+} // namespace frost
+
+#endif // FROST_SUPPORT_FILECHECK_H

@@ -1,0 +1,209 @@
+//===- FileCheckTest.cpp - Self-tests for the directive matcher ----------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The golden harness's own golden tests: a table of (input, directives,
+/// expected outcome, expected diagnostic substring) driven through
+/// support/FileCheck.h, so a matcher regression cannot silently green the
+/// whole tests/ir suite. Covers every directive kind, CHECK-DAG
+/// reordering, variable rebinding, and the caret-diagnostic contract.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FileCheck.h"
+
+#include <gtest/gtest.h>
+
+using frost::filecheck::checkInput;
+using frost::filecheck::FileCheckOptions;
+using frost::filecheck::FileCheckResult;
+
+namespace {
+
+struct Case {
+  const char *Name;
+  const char *Checks;
+  const char *Input;
+  bool ExpectOk;
+  const char *DiagSubstr; ///< Required in Message when !ExpectOk.
+};
+
+const Case Table[] = {
+    {"plain-match",
+     "CHECK: add i32 %a, %b\n",
+     "  %x = add i32 %a, %b\n", true, ""},
+
+    {"plain-miss",
+     "CHECK: sub i32\n",
+     "  %x = add i32 %a, %b\n", false,
+     "CHECK: expected string not found in input"},
+
+    {"order-is-enforced",
+     "CHECK: second\nCHECK: first\n",
+     "first\nsecond\n", false, "expected string not found"},
+
+    {"next-adjacent",
+     "CHECK: one\nCHECK-NEXT: two\n",
+     "one\ntwo\n", true, ""},
+
+    {"next-with-gap-fails",
+     "CHECK: one\nCHECK-NEXT: two\n",
+     "one\ngap\ntwo\n", false,
+     "CHECK-NEXT: expected string not found on the next line"},
+
+    {"next-without-anchor-fails",
+     "CHECK-NEXT: two\n",
+     "one\ntwo\n", false, "without a preceding match"},
+
+    {"not-absent-passes",
+     "CHECK: one\nCHECK-NOT: forbidden\nCHECK: three\n",
+     "one\ntwo\nthree\n", true, ""},
+
+    {"not-present-fails",
+     "CHECK: one\nCHECK-NOT: two\nCHECK: three\n",
+     "one\ntwo\nthree\n", false,
+     "CHECK-NOT: excluded string found in input"},
+
+    {"trailing-not-scans-to-end",
+     "CHECK: one\nCHECK-NOT: two\n",
+     "one\ntwo\n", false, "excluded string found"},
+
+    {"label-partitions-blocks",
+     // The second block's CHECK must not match text from the first.
+     "CHECK-LABEL: @first\nCHECK: ret i32 1\n"
+     "CHECK-LABEL: @second\nCHECK: ret i32 2\n",
+     "define @first {\n  ret i32 1\n}\ndefine @second {\n  ret i32 2\n}\n",
+     true, ""},
+
+    {"label-blocks-cross-match",
+     // "ret i32 1" only exists in the first block: matching it from the
+     // second block's window must fail.
+     "CHECK-LABEL: @second\nCHECK: ret i32 1\n",
+     "define @first {\n  ret i32 1\n}\ndefine @second {\n  ret i32 2\n}\n",
+     false, "CHECK: expected string not found"},
+
+    {"dag-reorders",
+     "CHECK-DAG: bravo\nCHECK-DAG: alpha\nCHECK: charlie\n",
+     "alpha\nbravo\ncharlie\n", true, ""},
+
+    {"dag-missing-fails",
+     "CHECK-DAG: bravo\nCHECK-DAG: missing\n",
+     "alpha\nbravo\ncharlie\n", false,
+     "CHECK-DAG: expected string not found"},
+
+    {"dag-lines-not-shared",
+     // Both DAGs would match the same single line; claiming is exclusive.
+     "CHECK-DAG: alpha\nCHECK-DAG: alpha\n",
+     "alpha\nbeta\n", false, "CHECK-DAG: expected string not found"},
+
+    {"regex-block",
+     "CHECK: %{{[a-z]+[0-9]*}} = add\n",
+     "  %tmp3 = add i8 %a, 1\n", true, ""},
+
+    {"invalid-regex-diagnosed",
+     "CHECK: {{[unclosed}}\n",
+     "anything\n", false, "invalid regular expression"},
+
+    {"var-def-then-use-next-line",
+     "CHECK: [[F:%[a-z.]+]] = freeze i1 %x\nCHECK-NEXT: or i1 %c, [[F]]\n",
+     "  %x.fr = freeze i1 %x\n  %s = or i1 %c, %x.fr\n", true, ""},
+
+    {"var-use-mismatch-fails",
+     "CHECK: [[F:%[a-z.]+]] = freeze i1 %x\nCHECK-NEXT: or i1 %c, [[F]]\n",
+     "  %x.fr = freeze i1 %x\n  %s = or i1 %c, %other\n", false,
+     "expected string not found on the next line"},
+
+    {"var-rebinding-takes-latest",
+     // V binds to %a, then rebinds to %b; the final use must see %b.
+     "CHECK: [[V:%[a-z]+]] = one\nCHECK: [[V:%[a-z]+]] = two\n"
+     "CHECK: use [[V]]\n",
+     "%a = one\n%b = two\nuse %b\n", true, ""},
+
+    {"var-rebinding-stale-use-fails",
+     "CHECK: [[V:%[a-z]+]] = one\nCHECK: [[V:%[a-z]+]] = two\n"
+     "CHECK: use [[V]]\n",
+     "%a = one\n%b = two\nuse %a\n", false, "expected string not found"},
+
+    {"undefined-var-fails",
+     "CHECK: use [[NEVERDEFINED]]\n",
+     "use %a\n", false, "undefined variable 'NEVERDEFINED'"},
+
+    {"no-directives-is-an-error",
+     "just a comment\n",
+     "anything\n", false, "no check directives found"},
+
+    {"empty-pattern-is-an-error",
+     "CHECK:    \n",
+     "anything\n", false, "empty pattern"},
+
+    {"custom-prefix",
+     "MYPREFIX: alpha\nCHECK: not-a-directive-now\n",
+     "alpha\n", true, ""}, // Prefix set to MYPREFIX in the test body.
+};
+
+class FileCheckTable : public ::testing::TestWithParam<Case> {};
+
+TEST_P(FileCheckTable, Behaves) {
+  const Case &C = GetParam();
+  FileCheckOptions Opts;
+  if (std::string(C.Name) == "custom-prefix")
+    Opts.Prefix = "MYPREFIX";
+  FileCheckResult R = checkInput(C.Checks, C.Input, Opts);
+  EXPECT_EQ(R.Ok, C.ExpectOk) << C.Name << "\n" << R.Message;
+  if (!C.ExpectOk && C.DiagSubstr[0])
+    EXPECT_NE(R.Message.find(C.DiagSubstr), std::string::npos)
+        << C.Name << ": diagnostic was:\n" << R.Message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table, FileCheckTable, ::testing::ValuesIn(Table),
+                         [](const auto &Info) {
+                           std::string N = Info.param.Name;
+                           for (char &C : N)
+                             if (!std::isalnum(static_cast<unsigned char>(C)))
+                               C = '_';
+                           return N;
+                         });
+
+//===----------------------------------------------------------------------===//
+// Non-table cases: same-line backreferences and the diagnostic shape.
+//===----------------------------------------------------------------------===//
+
+TEST(FileCheck, SameLineBackreferenceMatches) {
+  // [[X]] after [[X:...]] in one pattern compiles to a backreference.
+  FileCheckResult R = checkInput("CHECK: [[X:%[a-z]+]] = add i8 [[X]], 1\n",
+                                 "  %acc = add i8 %acc, 1\n");
+  EXPECT_TRUE(R.Ok) << R.Message;
+  R = checkInput("CHECK: [[X:%[a-z]+]] = add i8 [[X]], 1\n",
+                 "  %acc = add i8 %other, 1\n");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(FileCheck, CaretDiagnosticNamesDirectiveAndWindow) {
+  FileCheckOptions Opts;
+  Opts.CheckFileName = "golden.fr";
+  Opts.InputFileName = "opt-output";
+  FileCheckResult R = checkInput("CHECK: one\nCHECK-NEXT: three\n",
+                                 "one\ntwo\nthree\n", Opts);
+  ASSERT_FALSE(R.Ok);
+  // First failing directive: file, 1-based line, caret line.
+  EXPECT_NE(R.Message.find("golden.fr:2:"), std::string::npos) << R.Message;
+  EXPECT_NE(R.Message.find("CHECK-NEXT:"), std::string::npos);
+  EXPECT_NE(R.Message.find("^"), std::string::npos);
+  // The search window: the input line the scan gave up on.
+  EXPECT_NE(R.Message.find("opt-output:2:"), std::string::npos) << R.Message;
+  EXPECT_NE(R.Message.find("next line is here"), std::string::npos);
+}
+
+TEST(FileCheck, LabelDiagnosticReportsScanStart) {
+  FileCheckResult R =
+      checkInput("CHECK-LABEL: @missing\n", "define @other {\n}\n");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Message.find("CHECK-LABEL:"), std::string::npos);
+  EXPECT_NE(R.Message.find("scanning from here"), std::string::npos);
+}
+
+} // namespace

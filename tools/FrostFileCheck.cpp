@@ -1,0 +1,92 @@
+//===- FrostFileCheck.cpp - frost-filecheck directive matcher CLI --------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin CLI over support/FileCheck.h, used at the end of RUN-line pipes:
+///
+///   frost-opt test.fr --passes=gvn | frost-filecheck test.fr
+///
+/// Reads the candidate input from stdin and the CHECK directives from the
+/// named check file. Exit status: 0 all directives satisfied, 1 a
+/// directive failed (the caret diagnostic goes to stderr), 2 usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FileCheck.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+const char *Usage =
+    "usage: frost-filecheck [options] <check-file>\n"
+    "\n"
+    "Matches stdin against the CHECK directives in <check-file>.\n"
+    "\n"
+    "Options:\n"
+    "  --check-prefix=<prefix>  directive prefix (default CHECK)\n"
+    "  -h, --help               show this message\n"
+    "\n"
+    "Exit status: 0 matched, 1 a directive failed, 2 usage error.\n";
+
+[[noreturn]] void usageError(const std::string &Msg) {
+  std::fprintf(stderr, "frost-filecheck: %s\n%s", Msg.c_str(), Usage);
+  std::exit(2);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string CheckFile;
+  frost::filecheck::FileCheckOptions Opts;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--help" || A == "-h") {
+      std::fputs(Usage, stdout);
+      return 0;
+    } else if (A.rfind("--check-prefix=", 0) == 0) {
+      Opts.Prefix = A.substr(15);
+      if (Opts.Prefix.empty())
+        usageError("--check-prefix needs a non-empty value");
+    } else if (!A.empty() && A[0] == '-' && A != "-") {
+      usageError("unknown option '" + A + "'");
+    } else if (CheckFile.empty()) {
+      CheckFile = A;
+    } else {
+      usageError("more than one check file");
+    }
+  }
+  if (CheckFile.empty())
+    usageError("missing check file");
+
+  std::ifstream In(CheckFile);
+  if (!In) {
+    std::fprintf(stderr, "frost-filecheck: cannot open '%s'\n",
+                 CheckFile.c_str());
+    return 2;
+  }
+  std::ostringstream CheckSS;
+  CheckSS << In.rdbuf();
+
+  std::ostringstream InputSS;
+  InputSS << std::cin.rdbuf();
+
+  Opts.CheckFileName = CheckFile;
+  Opts.InputFileName = "<stdin>";
+  frost::filecheck::FileCheckResult R =
+      frost::filecheck::checkInput(CheckSS.str(), InputSS.str(), Opts);
+  if (!R) {
+    std::fputs(R.Message.c_str(), stderr);
+    return 1;
+  }
+  return 0;
+}

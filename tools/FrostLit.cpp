@@ -1,0 +1,339 @@
+//===- FrostLit.cpp - frost-lit golden test runner -----------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lit-style runner for the golden IR suite: discovers `*.fr` files under
+/// the given paths, executes each file's `; RUN:` lines through the shell
+/// (so pipes work), and reports PASS/FAIL/XFAIL/XPASS per test plus one
+/// summary line. Tests run in parallel on the work-stealing ThreadPool;
+/// the report is printed in discovery order, so it is byte-identical at
+/// any --jobs value.
+///
+/// RUN lines support the substitutions %s (the test file), %frost-opt,
+/// %frost-tv, %filecheck (sibling tool binaries by default), and %% (a
+/// literal %). A test passes when every RUN line exits 0; a `; XFAIL`
+/// annotation inverts that. See docs/testing.md.
+///
+/// Exit status: 0 all green, 1 failures (or XPASS), 2 usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const char *Usage =
+    "usage: frost-lit [options] <file-or-dir>...\n"
+    "\n"
+    "Runs every *.fr golden test found under the given paths.\n"
+    "\n"
+    "Options:\n"
+    "  --filter=<regex>     run only tests whose path matches <regex>\n"
+    "  --jobs=N             worker threads (default: hardware threads)\n"
+    "  --frost-opt=<path>   frost-opt binary (default: next to frost-lit)\n"
+    "  --frost-tv=<path>    frost-tv binary (default: next to frost-lit)\n"
+    "  --filecheck=<path>   frost-filecheck binary (default: next to\n"
+    "                       frost-lit)\n"
+    "  -v, --verbose        print every RUN line as it executes\n"
+    "  -h, --help           show this message\n"
+    "\n"
+    "Exit status: 0 all tests passed (xfails count as passing), 1 any\n"
+    "FAIL or XPASS, 2 usage error.\n";
+
+[[noreturn]] void usageError(const std::string &Msg) {
+  std::fprintf(stderr, "frost-lit: %s\n%s", Msg.c_str(), Usage);
+  std::exit(2);
+}
+
+struct TestFile {
+  fs::path Path;
+  std::string Display; ///< Path relative to the root it was found under.
+};
+
+enum class Outcome { Pass, Fail, XFail, XPass, Broken };
+
+struct TestResult {
+  Outcome O = Outcome::Broken;
+  std::string Detail; ///< Failing RUN line + captured output.
+};
+
+struct Substitutions {
+  std::string TestPath, FrostOpt, FrostTV, FileCheck;
+};
+
+std::string substitute(const std::string &Line, const Substitutions &S) {
+  std::string Out;
+  size_t I = 0;
+  auto Starts = [&](const char *Tok) {
+    return Line.compare(I, std::strlen(Tok), Tok) == 0;
+  };
+  while (I < Line.size()) {
+    if (Line[I] != '%') {
+      Out += Line[I++];
+      continue;
+    }
+    if (Starts("%%")) {
+      Out += '%';
+      I += 2;
+    } else if (Starts("%frost-opt")) {
+      Out += S.FrostOpt;
+      I += 10;
+    } else if (Starts("%frost-tv")) {
+      Out += S.FrostTV;
+      I += 9;
+    } else if (Starts("%filecheck")) {
+      Out += S.FileCheck;
+      I += 10;
+    } else if (Starts("%s")) {
+      Out += S.TestPath;
+      I += 2;
+    } else {
+      Out += Line[I++];
+    }
+  }
+  return Out;
+}
+
+/// Runs one shell command, capturing combined stdout+stderr.
+/// Returns the exit status (or -1 if the command could not run).
+int runCommand(const std::string &Cmd, std::string &Output) {
+  std::string Wrapped = "( " + Cmd + " ) 2>&1";
+  FILE *P = popen(Wrapped.c_str(), "r");
+  if (!P)
+    return -1;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Output.append(Buf, N);
+  int St = pclose(P);
+  if (St == -1)
+    return -1;
+  if (WIFEXITED(St))
+    return WEXITSTATUS(St);
+  return 128; // Killed by a signal.
+}
+
+std::string indent(const std::string &Text, const char *Prefix) {
+  std::istringstream In(Text);
+  std::ostringstream Out;
+  std::string Line;
+  while (std::getline(In, Line))
+    Out << Prefix << Line << "\n";
+  return Out.str();
+}
+
+TestResult runTest(const TestFile &T, const Substitutions &Tools,
+                   bool Verbose) {
+  std::ifstream In(T.Path);
+  if (!In)
+    return {Outcome::Broken, "  cannot open test file\n"};
+  std::vector<std::string> RunLines;
+  bool XFail = false;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t C = Line.find_first_not_of(" \t");
+    if (C == std::string::npos || Line[C] != ';')
+      continue;
+    size_t After = Line.find_first_not_of(" \t", C + 1);
+    if (After == std::string::npos)
+      continue;
+    if (Line.compare(After, 4, "RUN:") == 0) {
+      std::string Cmd = Line.substr(After + 4);
+      size_t S = Cmd.find_first_not_of(" \t");
+      RunLines.push_back(S == std::string::npos ? "" : Cmd.substr(S));
+    } else if (Line.compare(After, 5, "XFAIL") == 0) {
+      XFail = true;
+    }
+  }
+  if (RunLines.empty())
+    return {Outcome::Broken, "  no RUN lines in test file\n"};
+
+  Substitutions Subs = Tools;
+  Subs.TestPath = T.Path.string();
+  for (const std::string &Raw : RunLines) {
+    std::string Cmd = substitute(Raw, Subs);
+    if (Verbose)
+      std::fprintf(stderr, "frost-lit: RUN[%s]: %s\n", T.Display.c_str(),
+                   Cmd.c_str());
+    std::string Output;
+    int St = runCommand(Cmd, Output);
+    if (St != 0) {
+      if (XFail)
+        return {Outcome::XFail, ""};
+      std::ostringstream D;
+      D << "  RUN: " << Cmd << "\n  exit status " << St << "; output:\n"
+        << indent(Output, "    ");
+      return {Outcome::Fail, D.str()};
+    }
+  }
+  return XFail ? TestResult{Outcome::XPass,
+                            "  every RUN line passed but the test is "
+                            "marked XFAIL\n"}
+               : TestResult{Outcome::Pass, ""};
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Roots;
+  std::string Filter;
+  unsigned Jobs = 0;
+  bool Verbose = false;
+  Substitutions Tools;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--help" || A == "-h") {
+      std::fputs(Usage, stdout);
+      return 0;
+    } else if (A == "--verbose" || A == "-v") {
+      Verbose = true;
+    } else if (A.rfind("--filter=", 0) == 0) {
+      Filter = A.substr(9);
+    } else if (A.rfind("--jobs=", 0) == 0) {
+      char *End = nullptr;
+      Jobs = unsigned(std::strtoul(A.c_str() + 7, &End, 10));
+      if (!End || *End)
+        usageError("bad value for --jobs");
+    } else if (A.rfind("--frost-opt=", 0) == 0) {
+      Tools.FrostOpt = A.substr(12);
+    } else if (A.rfind("--frost-tv=", 0) == 0) {
+      Tools.FrostTV = A.substr(11);
+    } else if (A.rfind("--filecheck=", 0) == 0) {
+      Tools.FileCheck = A.substr(12);
+    } else if (!A.empty() && A[0] == '-') {
+      usageError("unknown option '" + A + "'");
+    } else {
+      Roots.push_back(A);
+    }
+  }
+  if (Roots.empty())
+    usageError("no test files or directories given");
+
+  // Sibling binaries are the default tool set, so `frost-lit tests/ir`
+  // works from a build tree without flags.
+  fs::path SelfDir = fs::path(argv[0]).parent_path();
+  auto Sibling = [&](const char *Name) {
+    return SelfDir.empty() ? std::string(Name)
+                           : (SelfDir / Name).string();
+  };
+  if (Tools.FrostOpt.empty())
+    Tools.FrostOpt = Sibling("frost-opt");
+  if (Tools.FrostTV.empty())
+    Tools.FrostTV = Sibling("frost-tv");
+  if (Tools.FileCheck.empty())
+    Tools.FileCheck = Sibling("frost-filecheck");
+
+  std::regex FilterRe;
+  if (!Filter.empty()) {
+    try {
+      FilterRe = std::regex(Filter);
+    } catch (const std::regex_error &E) {
+      usageError(std::string("bad --filter regex: ") + E.what());
+    }
+  }
+
+  // Discovery: every *.fr under each root, sorted per root so the report
+  // order is stable across filesystems and --jobs values.
+  std::vector<TestFile> Tests;
+  for (const std::string &Root : Roots) {
+    fs::path R(Root);
+    std::error_code EC;
+    if (fs::is_directory(R, EC)) {
+      std::vector<fs::path> Found;
+      for (auto It = fs::recursive_directory_iterator(R, EC);
+           It != fs::recursive_directory_iterator(); It.increment(EC)) {
+        if (EC)
+          break;
+        if (It->is_regular_file() && It->path().extension() == ".fr")
+          Found.push_back(It->path());
+      }
+      std::sort(Found.begin(), Found.end());
+      for (const fs::path &P : Found)
+        Tests.push_back({P, fs::relative(P, R, EC).string()});
+    } else if (fs::is_regular_file(R, EC)) {
+      Tests.push_back({R, R.filename().string()});
+    } else {
+      std::fprintf(stderr, "frost-lit: no such file or directory: '%s'\n",
+                   Root.c_str());
+      return 2;
+    }
+  }
+  if (!Filter.empty()) {
+    Tests.erase(std::remove_if(Tests.begin(), Tests.end(),
+                               [&](const TestFile &T) {
+                                 return !std::regex_search(T.Display,
+                                                           FilterRe);
+                               }),
+                Tests.end());
+  }
+  if (Tests.empty()) {
+    std::fprintf(stderr, "frost-lit: no tests found\n");
+    return 2;
+  }
+
+  // Parallel execution, deterministic report: every worker writes only its
+  // own slot, and the report is emitted afterwards in discovery order.
+  std::vector<TestResult> Results(Tests.size());
+  {
+    frost::ThreadPool Pool(Jobs);
+    for (size_t I = 0; I < Tests.size(); ++I)
+      Pool.submit([&, I] { Results[I] = runTest(Tests[I], Tools, Verbose); });
+    Pool.wait();
+  }
+
+  unsigned NPass = 0, NFail = 0, NXFail = 0, NXPass = 0;
+  for (size_t I = 0; I < Tests.size(); ++I) {
+    const TestResult &R = Results[I];
+    const char *Tag = nullptr;
+    switch (R.O) {
+    case Outcome::Pass:
+      Tag = "PASS";
+      ++NPass;
+      break;
+    case Outcome::XFail:
+      Tag = "XFAIL";
+      ++NXFail;
+      break;
+    case Outcome::Fail:
+      Tag = "FAIL";
+      ++NFail;
+      break;
+    case Outcome::XPass:
+      Tag = "XPASS";
+      ++NXPass;
+      break;
+    case Outcome::Broken:
+      Tag = "FAIL";
+      ++NFail;
+      break;
+    }
+    std::printf("%s: %s\n", Tag, Tests[I].Display.c_str());
+    if (R.O == Outcome::Fail || R.O == Outcome::XPass ||
+        R.O == Outcome::Broken)
+      std::fputs(R.Detail.c_str(), stdout);
+  }
+  std::printf(
+      "frost-lit: %zu tests: %u passed, %u failed, %u xfail, %u xpass\n",
+      Tests.size(), NPass, NFail, NXFail, NXPass);
+  return (NFail || NXPass) ? 1 : 0;
+}

@@ -1,0 +1,172 @@
+//===- FrostOpt.cpp - frost-opt IR-to-IR pipeline driver -----------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The golden-test workhorse, shaped like LLVM's `opt`: parse textual IR
+/// from a file or stdin, run a `--passes` pipeline over it, and print the
+/// resulting module to stdout. Every test under tests/ir/ drives its RUN
+/// lines through this tool (see docs/testing.md).
+///
+/// Exit status: 0 success, 1 parse/pipeline/verifier error, 2 usage error
+/// (unknown flag, bad flag value, missing input).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "opt/Pipeline.h"
+#include "parser/Parser.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace frost;
+
+namespace {
+
+const char *Usage =
+    "usage: frost-opt [options] [input.fr]\n"
+    "\n"
+    "Parses textual frost IR (from the input file, or stdin when the file\n"
+    "is omitted or '-'), optionally runs a pass pipeline, and prints the\n"
+    "resulting module to stdout.\n"
+    "\n"
+    "Options:\n"
+    "  --passes=<pipeline>          textual pipeline, e.g. instcombine,gvn\n"
+    "                               or default<legacy>; see --print-passes\n"
+    "  --semantics=legacy|proposed  default variant for mode-dependent\n"
+    "                               passes without an explicit <...> suffix\n"
+    "                               (default proposed)\n"
+    "  --verify                     verify every function after parsing and\n"
+    "                               after every pass\n"
+    "  --print-passes               list the valid pass names and exit\n"
+    "  -h, --help                   show this message\n"
+    "\n"
+    "Exit status: 0 success, 1 parse/pipeline/verifier error, 2 usage\n"
+    "error.\n";
+
+[[noreturn]] void usageError(const std::string &Msg) {
+  std::fprintf(stderr, "frost-opt: %s\n%s", Msg.c_str(), Usage);
+  std::exit(2);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string InputFile;
+  std::string Passes;
+  PipelineMode Mode = PipelineMode::Proposed;
+  bool Verify = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Value = [&](const std::string &Flag) -> std::string {
+      // Accept both --flag=value and --flag value.
+      if (A.size() > Flag.size() && A[Flag.size()] == '=')
+        return A.substr(Flag.size() + 1);
+      if (I + 1 >= argc)
+        usageError(Flag + " needs a value");
+      return argv[++I];
+    };
+    if (A == "--help" || A == "-h") {
+      std::fputs(Usage, stdout);
+      return 0;
+    } else if (A == "--print-passes") {
+      std::printf("%s\n", availablePassNames().c_str());
+      return 0;
+    } else if (A == "--verify") {
+      Verify = true;
+    } else if (A.rfind("--passes", 0) == 0 &&
+               (A.size() == 8 || A[8] == '=')) {
+      Passes = Value("--passes");
+    } else if (A.rfind("--semantics", 0) == 0 &&
+               (A.size() == 11 || A[11] == '=')) {
+      std::string V = Value("--semantics");
+      if (V == "legacy")
+        Mode = PipelineMode::Legacy;
+      else if (V == "proposed")
+        Mode = PipelineMode::Proposed;
+      else
+        usageError("unknown --semantics value '" + V +
+                   "' (expected legacy or proposed)");
+    } else if (A == "-") {
+      InputFile = "-";
+    } else if (!A.empty() && A[0] == '-') {
+      usageError("unknown option '" + A + "'");
+    } else if (InputFile.empty()) {
+      InputFile = A;
+    } else {
+      usageError("more than one input file ('" + InputFile + "' and '" + A +
+                 "')");
+    }
+  }
+
+  // Read the whole input up front; the parser wants one buffer.
+  std::string Text;
+  std::string InputName = InputFile.empty() ? "-" : InputFile;
+  if (InputName == "-") {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Text = SS.str();
+    InputName = "<stdin>";
+  } else {
+    std::ifstream In(InputFile);
+    if (!In) {
+      std::fprintf(stderr, "frost-opt: cannot open '%s'\n",
+                   InputFile.c_str());
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Text = SS.str();
+  }
+
+  IRContext Ctx;
+  Module M(Ctx, InputName);
+  if (ParseResult R = parseModule(Text, M); !R) {
+    std::fprintf(stderr, "frost-opt: %s: %s\n", InputName.c_str(),
+                 R.Error.c_str());
+    return 1;
+  }
+
+  if (Verify) {
+    bool Bad = false;
+    for (Function *F : M.functions()) {
+      if (F->isDeclaration())
+        continue;
+      std::vector<std::string> Errors;
+      if (!verifyFunction(*F, &Errors)) {
+        Bad = true;
+        std::fprintf(stderr, "frost-opt: verifier failed on @%s:\n",
+                     F->getName().c_str());
+        for (const std::string &E : Errors)
+          std::fprintf(stderr, "  %s\n", E.c_str());
+      }
+    }
+    if (Bad)
+      return 1;
+  }
+
+  if (!Passes.empty()) {
+    PassManager PM(/*VerifyAfterEachPass=*/Verify);
+    std::string Error;
+    if (!parsePassPipeline(PM, Passes, Mode, &Error)) {
+      std::fprintf(stderr, "frost-opt: bad --passes pipeline: %s\n",
+                   Error.c_str());
+      return 2;
+    }
+    PM.run(M);
+  }
+
+  std::fputs(printModule(M).c_str(), stdout);
+  return 0;
+}

@@ -12,7 +12,8 @@
 /// docs/tv-campaigns.md for the reproducibility contract and examples.
 ///
 /// Exit status: 0 clean, 1 a miscompilation (invalid result) was found,
-/// 2 only inconclusive results, 3 usage error.
+/// 2 only inconclusive results or an unknown flag (with a usage message),
+/// 3 other usage errors (bad flag values).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -206,9 +207,11 @@ int main(int argc, char **argv) {
       std::fputs(Usage, stdout);
       return 0;
     } else {
+      // Unknown flags are a hard error (exit 2), never silently ignored:
+      // a typo like --pipeline must not validate the wrong pipeline.
       std::fprintf(stderr, "frost-tv: unknown option '%s'\n%s", A.c_str(),
                    Usage);
-      return 3;
+      return 2;
     }
   }
   if (Opts.ShardSize == 0) {
