@@ -25,4 +25,16 @@ if ./build/tools/frost-tv --insts 2 --width 1 --args 3 --opcodes none \
   exit 1
 fi
 
+echo "== smoke campaign: backend must refine proposed semantics =="
+./build/tools/frost-tv --end-to-end --insts 2 --width 2 \
+    --max-functions 4000 --jobs 2 --quiet
+
+echo "== smoke campaign: legacy select lowering must be caught =="
+if ./build/tools/frost-tv --end-to-end --poison-cond \
+    --sem legacy-unswitch --insts 2 --width 2 --opcodes none \
+    --max-functions 4000 --jobs 2 --quiet; then
+  echo "check.sh: FAIL: end-to-end campaign missed the legacy select bug" >&2
+  exit 1
+fi
+
 echo "check.sh: all checks passed"

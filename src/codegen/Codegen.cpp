@@ -43,6 +43,11 @@ bool isSignSensitive(const SDNode *N) {
 
 /// Operations whose 32-bit result can have garbage above the semantic
 /// width, requiring a MaskTo to restore the zero-extended representation.
+/// Freeze is on this list because its operand may be a sub-word undef
+/// register (IMPLICIT_DEF), whose garbage is *not* in zero-extended form;
+/// the frozen result must be a value the i<W> type can actually hold, or
+/// downstream ops that rely on the representation invariant (e.g. lshr)
+/// compute results no IR-level choice of the frozen value can produce.
 bool needsResultMask(SDKind K) {
   switch (K) {
   case SDKind::Add:
@@ -52,6 +57,7 @@ bool needsResultMask(SDKind K) {
   case SDKind::SDiv:
   case SDKind::SRem:
   case SDKind::AShr:
+  case SDKind::Freeze:
     return true;
   default:
     return false;
@@ -80,9 +86,11 @@ unsigned codegen::legalizeDAG(BlockDAG &DAG,
         ++Inserted;
       }
     }
-    // Freeze needs nothing: a register copy of the promoted representation
-    // is still a correct freeze — this is the "teach type legalization
-    // about freeze" change reduced to its essence.
+    // Sub-word results that may violate the zero-extended representation
+    // invariant get re-masked. This includes freeze — the "teach type
+    // legalization about freeze" change reduced to its essence: the COPY
+    // pins whatever bits the source register holds, and the mask folds
+    // that pinned value into the i<W> domain.
     if (N->Width < 32 && needsResultMask(N->K) && producesValue(N->K)) {
       SDNode *Mask = DAG.node(SDKind::MaskTo, {N});
       Mask->Imm = N->Width;

@@ -14,6 +14,20 @@ using namespace frost::codegen;
 
 namespace {
 
+/// Register file size for \p MF: physical registers, or one past the
+/// largest virtual register mentioned when regalloc has not run yet. The
+/// end-to-end validator simulates vreg MIR to tell an isel bug from a
+/// regalloc bug.
+unsigned regFileSize(const MachineFunction &MF) {
+  unsigned Max = NumPhysRegs;
+  for (const auto &BB : MF.Blocks)
+    for (const MachineInst &I : BB->Insts)
+      for (const MOperand &O : I.Ops)
+        if (O.isReg() && O.Reg + 1 > Max)
+          Max = O.Reg + 1;
+  return Max;
+}
+
 struct Machine {
   const CompiledFunction &CF;
   std::vector<uint32_t> Regs;
@@ -22,7 +36,7 @@ struct Machine {
   SimResult R;
 
   explicit Machine(const CompiledFunction &CF)
-      : CF(CF), Regs(NumPhysRegs, 0) {
+      : CF(CF), Regs(regFileSize(CF.MF), 0) {
     // Memory: [0, MemoryEnd) globals, then the frame slots.
     FrameBase = CF.MemoryEnd;
     uint32_t FrameBytes = 0;
@@ -83,6 +97,14 @@ uint64_t opCycles(MOp Op, bool Taken) {
 SimResult codegen::simulate(const CompiledFunction &CF,
                             const std::vector<uint32_t> &Args,
                             uint64_t MaxSteps) {
+  SimOptions Opts;
+  Opts.MaxSteps = MaxSteps;
+  return simulate(CF, Args, Opts);
+}
+
+SimResult codegen::simulate(const CompiledFunction &CF,
+                            const std::vector<uint32_t> &Args,
+                            const SimOptions &Opts) {
   Machine M(CF);
   SimResult &R = M.R;
 
@@ -114,7 +136,7 @@ SimResult codegen::simulate(const CompiledFunction &CF,
   };
 
   while (true) {
-    if (R.Instructions++ >= MaxSteps) {
+    if (R.Instructions++ >= Opts.MaxSteps) {
       R.Error = "step limit exceeded";
       return R;
     }
@@ -253,9 +275,13 @@ SimResult codegen::simulate(const CompiledFunction &CF,
       break;
     case MOp::IMPLICIT_DEF:
       // An undef register: the simulator picks a recognizable garbage
-      // value. A correct compilation never lets this influence defined
-      // results.
-      M.Regs[I.Ops[0].Reg] = 0xBAADF00Du;
+      // value (configurable, optionally varying per execution so distinct
+      // undef registers read differently). A correct compilation never
+      // lets the choice influence defined results.
+      M.Regs[I.Ops[0].Reg] =
+          Opts.UndefFill +
+          static_cast<uint32_t>(R.ImplicitDefsExecuted) * Opts.UndefStep;
+      ++R.ImplicitDefsExecuted;
       break;
     case MOp::FRAMEADDR:
       M.Regs[I.Ops[0].Reg] = M.frameAddr(I.Ops[1].Frame);

@@ -34,11 +34,36 @@ struct SimResult {
   uint32_t ReturnValue = 0;
   uint64_t Cycles = 0;
   uint64_t Instructions = 0;
+  /// Dynamic executions of IMPLICIT_DEF (undef-register definitions). The
+  /// end-to-end validator uses this to decide whether a function has any
+  /// machine-level nondeterminism worth re-running under other fills.
+  uint64_t ImplicitDefsExecuted = 0;
   std::string Error;
 };
 
+/// Knobs for one simulated run.
+struct SimOptions {
+  uint64_t MaxSteps = 50u * 1000u * 1000u; ///< Bounds runaway loops.
+  /// Value the first executed IMPLICIT_DEF writes. An undef register may
+  /// hold *anything*; a correct compilation never lets the choice influence
+  /// defined results, so the validator sweeps several fills.
+  uint32_t UndefFill = 0xBAADF00Du;
+  /// Added to the fill after every executed IMPLICIT_DEF, so successive
+  /// undef registers (e.g. per loop iteration) read differently. A nonzero
+  /// step catches code that re-materialises an undef register where a
+  /// frozen (pinned) value was required.
+  uint32_t UndefStep = 0;
+};
+
 /// Runs \p CF on \p Args (masked to the declared argument widths). Globals
-/// start zero-initialised. \p MaxSteps bounds runaway loops.
+/// start zero-initialised. Works on both fully allocated machine code and
+/// virtual-register MIR (CodegenOptions::RunRegAlloc = false), which is how
+/// the end-to-end validator attributes a failure to isel vs regalloc.
+SimResult simulate(const CompiledFunction &CF,
+                   const std::vector<uint32_t> &Args,
+                   const SimOptions &Opts);
+
+/// Convenience overload with default fills.
 SimResult simulate(const CompiledFunction &CF,
                    const std::vector<uint32_t> &Args,
                    uint64_t MaxSteps = 50u * 1000u * 1000u);

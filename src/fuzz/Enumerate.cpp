@@ -92,7 +92,10 @@ void Enumerator::generate(std::vector<Plan> Planned) {
   }
 
   unsigned WidePool = numBaseOperands() + wideProducers(Planned).size();
-  unsigned BoolPool = boolProducers(Planned).size();
+  // Bool operand 0 is the literal `i1 poison` when enabled; icmp results
+  // follow (matching the BoolVals layout in materialize()).
+  unsigned BoolPool =
+      (Opts.WithPoisonCond ? 1 : 0) + boolProducers(Planned).size();
 
   auto TryBinary = [&](Opcode Op, bool NSW) {
     for (unsigned A = 0; A != WidePool && !Stop; ++A)
@@ -154,6 +157,8 @@ void Enumerator::materialize(const std::vector<Plan> &Planned) {
     WideVals.push_back(Ctx.getUndef(WideTy));
 
   std::vector<Value *> BoolVals;
+  if (Opts.WithPoisonCond)
+    BoolVals.push_back(Ctx.getPoison(Ctx.intTy(1)));
   Value *Last = nullptr;
   for (const Plan &P : Planned) {
     switch (P.Op) {

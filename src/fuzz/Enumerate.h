@@ -42,6 +42,12 @@ struct EnumOptions {
   bool WithFlags = false;     ///< Also enumerate the nsw variant of add/sub/mul.
   bool WithFreeze = true;     ///< Include the new freeze instruction.
   bool WithSelect = true;     ///< Include select fed by enumerated icmps.
+  /// Also offer the literal `i1 poison` as a select condition (in addition
+  /// to enumerated icmp results). Off by default: it grows the select space
+  /// and is mainly interesting for backend (end-to-end) validation, where a
+  /// poison condition reaching a branchless select lowering is the classic
+  /// divergence between the legacy select readings and the machine.
+  bool WithPoisonCond = false;
   /// Opcodes to draw from (subset of binary arithmetic); icmp is always
   /// included when WithSelect is set.
   std::vector<Opcode> Opcodes = {Opcode::Add, Opcode::Sub, Opcode::Mul,

@@ -164,6 +164,11 @@ void FunctionVerifier::checkInstruction(Instruction *I) {
     break;
   }
   case Opcode::Phi:
+    // A phi with no edges has no value to produce — it slips through the
+    // edge/predecessor cross-check in blocks with no predecessors
+    // (unreachable code), so reject it explicitly.
+    if (cast<PhiNode>(I)->getNumIncoming() == 0)
+      report(I, "phi has no incoming edges");
     for (unsigned J = 0, E = cast<PhiNode>(I)->getNumIncoming(); J != E; ++J)
       if (cast<PhiNode>(I)->getIncomingValue(J)->getType() != I->getType())
         report(I, "phi incoming value type mismatch");

@@ -15,13 +15,16 @@
 #include "parser/Parser.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
+#include "tv/EndToEnd.h"
 
 #include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstdio>
 #include <ctime>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 
 using namespace frost;
 using namespace frost::tv;
@@ -166,28 +169,15 @@ std::string blameFirstFailingPass(Module &M, Function &Orig,
   return Blamed;
 }
 
-/// Runs the pipeline over \p F (defined in \p M) and validates the result
-/// against its original body. Exactly the per-function work the serial
-/// checker in bench/TVBench.cpp performs.
-void checkOne(Module &M, Function &F, uint64_t Index,
-              const CampaignOptions &Opts, CounterexampleCache &Cache,
-              ShardResult &Out) {
-  std::string SrcText = printFunction(F);
-  Function *Orig = cloneFunction(F, M, F.getName() + ".orig");
-  PassManager PM(/*VerifyAfterEachPass=*/false);
-  buildCampaignPipeline(PM, Opts);
-  if (Opts.TimePasses)
-    attachTimePassesInstrumentation(PM.instrumentation());
-  AnalysisManager AM;
-  if (PM.run(F, AM))
-    ++Out.Changed;
-  TVResult TR = checkRefinement(*Orig, F, Opts.Semantics, Opts.TV);
-
+/// Books a finished validation of function \p Index into \p Out, recording
+/// a counterexample (with \p Blamed as the culprit line) when it failed.
+void bookResult(const TVResult &TR, std::string SrcText, std::string Blamed,
+                uint64_t Index, const CampaignOptions &Opts,
+                CounterexampleCache &Cache, ShardResult &Out) {
   ++Out.Functions;
   Out.InputsChecked += TR.InputsChecked;
   Out.PathsExplored += TR.PathsExplored;
   if (TR.valid()) {
-    M.eraseFunction(Orig);
     ++Out.Valid;
     return;
   }
@@ -203,8 +193,7 @@ void checkOne(Module &M, Function &F, uint64_t Index,
   CE.Inconclusive = Inconclusive;
   CE.Function = std::move(SrcText);
   CE.Message = TR.Message;
-  CE.BlamedPass = blameFirstFailingPass(M, *Orig, Opts);
-  M.eraseFunction(Orig);
+  CE.BlamedPass = std::move(Blamed);
   CE.Fingerprint = fingerprintFailure(
       (Inconclusive ? std::string("inconclusive: ") : std::string("invalid: ")) +
       TR.Message);
@@ -214,6 +203,41 @@ void checkOne(Module &M, Function &F, uint64_t Index,
   if (Opts.KeepAllCounterexamples || New ||
       Cache.minIndex(CE.Fingerprint) >= CE.Index)
     Out.Counterexamples.push_back(std::move(CE));
+}
+
+/// Runs the pipeline over \p F (defined in \p M) and validates the result
+/// against its original body (IRPipeline campaigns) or compiles \p F and
+/// validates the machine code against the IR semantics (EndToEnd
+/// campaigns). The IR path is exactly the per-function work the serial
+/// checker in bench/TVBench.cpp performs.
+void checkOne(Module &M, Function &F, uint64_t Index,
+              const CampaignOptions &Opts, CounterexampleCache &Cache,
+              ShardResult &Out) {
+  std::string SrcText = printFunction(F);
+
+  if (Opts.Kind == CampaignKind::EndToEnd) {
+    E2EResult ER = checkEndToEnd(F, Opts.Semantics, Opts.TV);
+    bookResult(ER.TV, std::move(SrcText), std::move(ER.BlamedStage), Index,
+               Opts, Cache, Out);
+    return;
+  }
+
+  Function *Orig = cloneFunction(F, M, F.getName() + ".orig");
+  PassManager PM(/*VerifyAfterEachPass=*/false);
+  buildCampaignPipeline(PM, Opts);
+  if (Opts.TimePasses)
+    attachTimePassesInstrumentation(PM.instrumentation());
+  AnalysisManager AM;
+  if (PM.run(F, AM))
+    ++Out.Changed;
+  TVResult TR = checkRefinement(*Orig, F, Opts.Semantics, Opts.TV);
+
+  std::string Blamed;
+  if (!TR.valid())
+    Blamed = blameFirstFailingPass(M, *Orig, Opts);
+  M.eraseFunction(Orig);
+  bookResult(TR, std::move(SrcText), std::move(Blamed), Index, Opts, Cache,
+             Out);
 }
 
 void bumpStats(const ShardResult &R) {
@@ -241,16 +265,17 @@ ShardResult processShard(const Shard &S, const CampaignOptions &Opts,
                          CounterexampleCache &Cache) {
   ShardResult R;
   R.Id = S.Id;
-  if (Opts.Source == CampaignSource::Exhaustive) {
+  if (Opts.Source != CampaignSource::Random) {
+    // Exhaustive and File shards both carry per-function printed IR.
     for (uint64_t I = 0; I != S.Texts.size(); ++I) {
       IRContext Ctx;
       Module M(Ctx, "shard");
       ParseResult P = parseModule(S.Texts[I], M);
-      assert(P && "enumerated function failed to re-parse");
+      assert(P && "shard function failed to re-parse");
       (void)P;
-      Function *F = M.getFunction("fz");
-      assert(F && "enumerated function lost its name");
-      checkOne(M, *F, S.FirstIndex + I, Opts, Cache, R);
+      std::vector<Function *> Fns = M.functions();
+      assert(Fns.size() == 1 && "shard entry must hold exactly one function");
+      checkOne(M, *Fns.front(), S.FirstIndex + I, Opts, Cache, R);
     }
   } else {
     for (uint64_t I = 0; I != S.NumFunctions; ++I) {
@@ -304,6 +329,9 @@ std::string tv::describeCampaign(const CampaignOptions &Opts) {
     S += " width=" + std::to_string(Opts.Enum.Width);
     S += " args=" + std::to_string(Opts.Enum.NumArgs);
     S += " max_functions=" + std::to_string(Opts.MaxFunctions);
+  } else if (Opts.Source == CampaignSource::File) {
+    S += "source=file path=" + Opts.FilePath;
+    S += " max_functions=" + std::to_string(Opts.MaxFunctions);
   } else {
     S += "source=random seed=" + std::to_string(Opts.Random.Seed);
     S += " count=" + std::to_string(Opts.RandomFunctions);
@@ -311,10 +339,14 @@ std::string tv::describeCampaign(const CampaignOptions &Opts) {
     S += " statements=" + std::to_string(Opts.Random.Statements);
   }
   S += " shard_size=" + std::to_string(Opts.ShardSize);
-  S += std::string(" pipeline=") +
-       (Opts.Pipeline == PipelineMode::Proposed ? "proposed" : "legacy");
-  if (!Opts.Passes.empty())
-    S += " passes=" + Opts.Passes;
+  if (Opts.Kind == CampaignKind::EndToEnd) {
+    S += " target=end-to-end (codegen+regalloc+machine)";
+  } else {
+    S += std::string(" pipeline=") +
+         (Opts.Pipeline == PipelineMode::Proposed ? "proposed" : "legacy");
+    if (!Opts.Passes.empty())
+      S += " passes=" + Opts.Passes;
+  }
   S += "\nsemantics: " + semanticsTag(Opts.Semantics);
   return S;
 }
@@ -418,6 +450,38 @@ CampaignResult tv::runCampaign(const CampaignOptions &Opts) {
       }
       return true;
     });
+    if (!Cur.Texts.empty()) {
+      Cur.NumFunctions = Cur.Texts.size();
+      Dispatch(std::move(Cur));
+    }
+  } else if (Opts.Source == CampaignSource::File) {
+    // Each function of the module is one entry, in module order. Functions
+    // are re-printed standalone, so the module must be self-contained per
+    // function (no globals or cross-function calls); drivers validate the
+    // file before launching.
+    std::ifstream In(Opts.FilePath);
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    IRContext Ctx;
+    Module M(Ctx, "campaign");
+    ParseResult P = parseModule(Buf.str(), M);
+    assert(P && "campaign file must be validated before launching");
+    (void)P;
+    Shard Cur;
+    uint64_t Index = 0;
+    for (Function *F : M.functions()) {
+      if (F->isDeclaration() || Index >= Opts.MaxFunctions)
+        continue;
+      if (Cur.Texts.empty())
+        Cur.FirstIndex = Index;
+      Cur.Texts.push_back(printFunction(*F));
+      ++Index;
+      if (Cur.Texts.size() == Opts.ShardSize) {
+        Cur.NumFunctions = Cur.Texts.size();
+        Dispatch(std::move(Cur));
+        Cur = Shard();
+      }
+    }
     if (!Cur.Texts.empty()) {
       Cur.NumFunctions = Cur.Texts.size();
       Dispatch(std::move(Cur));

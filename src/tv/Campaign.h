@@ -44,6 +44,16 @@ namespace tv {
 enum class CampaignSource {
   Exhaustive, ///< fuzz::enumerateFunctions over EnumOptions (opt-fuzz).
   Random,     ///< fuzz::generateRandomFunction over consecutive seeds.
+  File,       ///< Each function of a parsed .fr module, in module order.
+};
+
+/// What each function is validated against.
+enum class CampaignKind {
+  IRPipeline, ///< Run the pass pipeline, check output refines input.
+  EndToEnd,   ///< Compile through the backend, check the machine refines
+              ///< the IR semantics (tv/EndToEnd.h). Pipeline options are
+              ///< ignored; counterexamples blame a backend stage instead
+              ///< of a pass.
 };
 
 /// One full campaign configuration. The tuple (Source, Enum/Random shape,
@@ -51,6 +61,12 @@ enum class CampaignSource {
 /// work and its report; Jobs only determines how fast it runs.
 struct CampaignOptions {
   CampaignSource Source = CampaignSource::Exhaustive;
+  CampaignKind Kind = CampaignKind::IRPipeline;
+
+  /// File source: path of the .fr module whose functions form the space.
+  /// Functions are validated standalone (per-function text), so they must
+  /// not reference globals or call each other.
+  std::string FilePath;
 
   unsigned Jobs = 1;         ///< Worker threads; 1 runs inline, serially.
   uint64_t ShardSize = 64;   ///< Functions per shard (work-unit granularity).
@@ -94,9 +110,10 @@ struct Counterexample {
   std::string Message;       ///< Refinement checker diagnostic.
   /// pipelineText() of the first pass whose output failed refinement
   /// against the source, found by replaying the pipeline pass by pass
-  /// (after-pass instrumentation). Empty when no single pass could be
-  /// blamed. Deterministic per function, so it survives the byte-identical
-  /// report guarantee.
+  /// (after-pass instrumentation). For end-to-end campaigns, the blamed
+  /// backend stage ("isel" / "regalloc" / "sim") instead. Empty when no
+  /// single culprit could be identified. Deterministic per function, so it
+  /// survives the byte-identical report guarantee.
   std::string BlamedPass;
 };
 

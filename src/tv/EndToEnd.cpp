@@ -1,0 +1,275 @@
+//===- EndToEnd.cpp - Translation validation through the backend --------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tv/EndToEnd.h"
+
+#include "codegen/Codegen.h"
+#include "codegen/MachineSim.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "ir/Type.h"
+#include "support/Casting.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace frost;
+using namespace frost::tv;
+using namespace frost::sem;
+
+namespace {
+
+bool scalarIntOk(const Type *Ty) {
+  return Ty->isInteger() && Ty->bitWidth() <= 32;
+}
+
+/// Memory accesses of 17–24 bit types need 3-byte transfers, which
+/// frost-risc does not have.
+bool accessWidthOk(const Type *Ty) {
+  return (Ty->bitWidth() + 7) / 8 != 3;
+}
+
+std::string hex32(uint32_t V) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "0x%08x", V);
+  return Buf;
+}
+
+/// Concrete machine bit patterns standing in for a poison/undef argument
+/// lane of \p Width bits: exhaustive when small, boundary values otherwise
+/// (mirroring laneDomain's concrete part).
+std::vector<uint32_t> concreteCandidates(unsigned Width) {
+  std::vector<uint32_t> Out;
+  if (Width <= 3) {
+    for (uint32_t V = 0; V != (1u << Width); ++V)
+      Out.push_back(V);
+    return Out;
+  }
+  uint32_t Mask = Width >= 32 ? 0xFFFFFFFFu : ((1u << Width) - 1);
+  Out = {0, 1, Mask, 1u << (Width - 1), Mask >> 1};
+  return Out;
+}
+
+/// Cartesian product of machine instantiations of one IR input tuple:
+/// concrete lanes map to their bits, poison/undef lanes to every candidate
+/// pattern. Capped (deterministically, by truncation) at 256 tuples.
+std::vector<std::vector<uint32_t>>
+machineInstantiations(Function &F, const std::vector<sem::Value> &Args) {
+  std::vector<std::vector<uint32_t>> Out{{}};
+  for (unsigned A = 0; A != Args.size(); ++A) {
+    std::vector<uint32_t> Cands;
+    const Lane &L = Args[A].scalar();
+    if (L.isConcrete())
+      Cands.push_back(static_cast<uint32_t>(L.Bits.zext()));
+    else
+      Cands = concreteCandidates(F.arg(A)->getType()->bitWidth());
+    std::vector<std::vector<uint32_t>> Next;
+    for (const auto &T : Out)
+      for (uint32_t C : Cands) {
+        if (Next.size() >= 256)
+          break;
+        auto NT = T;
+        NT.push_back(C);
+        Next.push_back(std::move(NT));
+      }
+    Out = std::move(Next);
+  }
+  return Out;
+}
+
+std::string describeMachineArgs(const std::vector<uint32_t> &MA) {
+  std::string S = "(";
+  for (unsigned I = 0; I != MA.size(); ++I)
+    S += (I ? ", " : "") + std::to_string(MA[I]);
+  return S + ")";
+}
+
+/// Undef-register fills swept per run. The first is the classic marker; the
+/// last *varies per IMPLICIT_DEF execution*, so a freeze result that is
+/// re-materialised instead of pinned reads differently at each use. Small
+/// values (1, 3) matter for sub-word blends where huge garbage happens to
+/// cancel modulo 2^W.
+struct UndefFill {
+  uint32_t Value;
+  uint32_t Step;
+};
+const UndefFill Fills[] = {
+    {0xBAADF00Du, 0}, {0u, 0},          {0xFFFFFFFFu, 0},
+    {1u, 0},          {3u, 0},          {0xDEADBEEFu, 0x9E3779B9u},
+};
+
+} // namespace
+
+bool tv::supportedForCodegen(Function &F, std::string &Why) {
+  if (F.isDeclaration()) {
+    Why = "declaration";
+    return false;
+  }
+  if (!scalarIntOk(F.returnType())) {
+    Why = "return type outside the frost-risc subset";
+    return false;
+  }
+  for (unsigned A = 0; A != F.getNumArgs(); ++A)
+    if (!scalarIntOk(F.arg(A)->getType())) {
+      Why = "argument type outside the frost-risc subset";
+      return false;
+    }
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB) {
+      switch (I->getOpcode()) {
+      case Opcode::Call:
+        Why = "calls are not supported by frost-risc";
+        return false;
+      case Opcode::ExtractElement:
+      case Opcode::InsertElement:
+        Why = "vector operations are not supported by frost-risc";
+        return false;
+      case Opcode::Load:
+        if (!accessWidthOk(I->getType())) {
+          Why = "3-byte load width";
+          return false;
+        }
+        break;
+      case Opcode::Store:
+        if (!accessWidthOk(I->getOperand(0)->getType())) {
+          Why = "3-byte store width";
+          return false;
+        }
+        break;
+      default:
+        break;
+      }
+      if (I->getType()->isVector() ||
+          (I->getType()->isInteger() && I->getType()->bitWidth() > 32)) {
+        Why = "value type outside the frost-risc subset";
+        return false;
+      }
+      for (unsigned Op = 0, E = I->getNumOperands(); Op != E; ++Op) {
+        const Type *OTy = I->getOperand(Op)->getType();
+        if (OTy->isVector() || (OTy->isInteger() && OTy->bitWidth() > 32)) {
+          Why = "operand type outside the frost-risc subset";
+          return false;
+        }
+      }
+    }
+  return true;
+}
+
+E2EResult tv::checkEndToEnd(Function &F, const SemanticsConfig &Config,
+                            const TVOptions &Opts) {
+  E2EResult R;
+  std::string Why;
+  if (!supportedForCodegen(F, Why)) {
+    R.TV.Message = "unsupported for codegen: " + Why;
+    return R; // Inconclusive.
+  }
+
+  // Compile once with and once without register allocation: the second
+  // (virtual-register) form is replayed on failures to decide whether the
+  // divergence was introduced by isel or by the allocator.
+  codegen::CodegenOptions WithRA;
+  codegen::CodegenOptions NoRA;
+  NoRA.RunRegAlloc = false;
+  codegen::CompiledFunction RA = codegen::compileFunction(F, WithRA);
+  codegen::CompiledFunction VReg = codegen::compileFunction(F, NoRA);
+
+  stats::add("e2e.checked");
+  stats::add("cg.freeze_copies", RA.Stats.FreezeCopies);
+  stats::add("cg.spills", RA.Stats.Spills);
+
+  std::vector<std::vector<sem::Value>> Inputs;
+  if (!enumerateInputTuples(F, Config, Opts, Inputs)) {
+    R.TV.Message = "unsupported parameter type";
+    return R;
+  }
+
+  const unsigned RetW = F.returnType()->bitWidth();
+  const uint32_t RetMask = RetW >= 32 ? 0xFFFFFFFFu : ((1u << RetW) - 1);
+
+  for (const auto &Args : Inputs) {
+    std::vector<ExecResult> SrcB;
+    std::string CWhy;
+    if (!collectBehaviors(F, Args, Config, Opts, SrcB, R.TV.PathsExplored,
+                          CWhy)) {
+      R.TV.St = TVResult::Status::Inconclusive;
+      R.TV.Message = "input " + describeInput(Args) + ": " + CWhy;
+      return R;
+    }
+    // Source UB on this input permits any machine behaviour.
+    if (std::any_of(SrcB.begin(), SrcB.end(),
+                    [](const ExecResult &B) { return B.ub(); })) {
+      ++R.TV.InputsChecked;
+      continue;
+    }
+
+    // Verdict for one machine run: 0 = refines, 1 = counterexample,
+    // 2 = budget (step limit).
+    auto Verdict = [&](const codegen::SimResult &S, std::string &Detail) {
+      if (!S.Ok) {
+        if (S.Error == "step limit exceeded")
+          return 2;
+        Detail = "machine error: " + S.Error;
+        return 1;
+      }
+      sem::Value MV(Lane::concrete(BitVec(RetW, S.ReturnValue & RetMask)));
+      for (const ExecResult &Src : SrcB)
+        if (Src.ok() && Src.Ret && MV.refines(*Src.Ret))
+          return 0;
+      Detail = "machine returned " +
+               std::to_string(S.ReturnValue & RetMask);
+      return 1;
+    };
+
+    codegen::SimOptions SO;
+    SO.MaxSteps = Opts.Fuel * 16;
+
+    for (const auto &MA : machineInstantiations(F, Args)) {
+      for (const UndefFill &Fill : Fills) {
+        SO.UndefFill = Fill.Value;
+        SO.UndefStep = Fill.Step;
+        codegen::SimResult S = codegen::simulate(RA, MA, SO);
+        std::string Detail;
+        int V = Verdict(S, Detail);
+        if (V == 2) {
+          R.TV.St = TVResult::Status::Inconclusive;
+          R.TV.Message =
+              "input " + describeInput(Args) + ": machine step limit";
+          return R;
+        }
+        if (V == 1) {
+          // Replay on virtual-register MIR to blame the stage.
+          codegen::SimResult SV = codegen::simulate(VReg, MA, SO);
+          std::string VDetail;
+          int VV = Verdict(SV, VDetail);
+          if (VV == 1)
+            R.BlamedStage = (!S.Ok && !SV.Ok) ? "sim" : "isel";
+          else
+            R.BlamedStage = "regalloc";
+          stats::add("e2e.failed");
+          R.TV.St = TVResult::Status::Invalid;
+          R.TV.Message =
+              "input " + describeInput(Args) + " as machine args " +
+              describeMachineArgs(MA) + ", undef fill " + hex32(Fill.Value) +
+              (Fill.Step ? "+k*" + hex32(Fill.Step) : std::string()) + ": " +
+              Detail + " refines no source behaviour; source has " +
+              std::to_string(SrcB.size()) + " behaviour(s), e.g. " +
+              SrcB.front().str();
+          return R;
+        }
+        // Deterministic code: one fill decides them all.
+        if (S.ImplicitDefsExecuted == 0)
+          break;
+      }
+    }
+    ++R.TV.InputsChecked;
+  }
+
+  R.TV.St = TVResult::Status::Valid;
+  return R;
+}

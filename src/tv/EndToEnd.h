@@ -1,0 +1,69 @@
+//===- EndToEnd.h - Translation validation through the backend --*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end refinement checking: the IR interpreter (`sem::Interp`) is the
+/// source and the full backend — Codegen (SelectionDAG + type legalization +
+/// isel) → RegAlloc → MachineSim — is the target. The paper's §7 pushes
+/// freeze through exactly these stages ("we had to teach type legalization
+/// and selection-DAG building about freeze"); this mode makes that path a
+/// *checked* component instead of trusted demo code.
+///
+/// The check mirrors `checkRefinement`: over the same exhaustive input
+/// domains (including poison/undef argument lanes), every machine behaviour
+/// must refine some IR behaviour. Machine nondeterminism comes from undef
+/// registers (IMPLICIT_DEF): each input is re-run under several undef-fill
+/// patterns, including one that varies per IMPLICIT_DEF execution so a
+/// freeze COPY that fails to pin a single concrete value is caught.
+/// Poison/undef argument lanes are instantiated with every small concrete
+/// bit pattern on the machine side, since a compiled function physically
+/// receives *some* bits for them.
+///
+/// Scope: the frost-risc codegen subset (scalar integers ≤ 32 bits, no
+/// calls or vectors). Memory effects are executed but not compared — the
+/// refinement obligation covers the returned value and UB only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_TV_ENDTOEND_H
+#define FROST_TV_ENDTOEND_H
+
+#include "tv/Refinement.h"
+
+namespace frost {
+
+class Function;
+
+namespace tv {
+
+/// Outcome of validating one function through the backend.
+struct E2EResult {
+  TVResult TV;
+  /// For an Invalid result, the backend stage the counterexample is blamed
+  /// on — "isel" (divergence already present in virtual-register MIR),
+  /// "regalloc" (virtual-register MIR is fine, allocated code diverges), or
+  /// "sim" (both forms fail to execute: a machine-model gap). Empty
+  /// otherwise. Campaign reports render this like a blamed pass.
+  std::string BlamedStage;
+};
+
+/// True iff \p F is within the frost-risc codegen subset (scalar integer
+/// arguments and return ≤ 32 bits, no calls/vectors, no 3-byte memory
+/// access widths). On false, \p Why names the offending construct.
+/// `compileFunction` aborts on unsupported input, so callers must screen.
+bool supportedForCodegen(Function &F, std::string &Why);
+
+/// Checks that the compiled form of \p F refines its IR semantics under
+/// \p Config on every enumerated input. Unsupported functions and budget
+/// exhaustion yield Inconclusive, never abort.
+E2EResult checkEndToEnd(Function &F, const sem::SemanticsConfig &Config,
+                        const TVOptions &Opts = TVOptions());
+
+} // namespace tv
+} // namespace frost
+
+#endif // FROST_TV_ENDTOEND_H

@@ -123,13 +123,65 @@ std::string encodeBehavior(const ExecResult &R, bool WithMem) {
   return S;
 }
 
+} // namespace
+
+/// Cartesian product with the MaxInputs cap, plus truncation-proof coverage
+/// of the per-argument poison/undef lanes (see header).
+bool tv::enumerateInputTuples(Function &F, const SemanticsConfig &Config,
+                              const TVOptions &Opts,
+                              std::vector<std::vector<sem::Value>> &Out) {
+  Out.clear();
+  if (!enumerateArgTuples(F, Config, Opts, Out))
+    return false;
+  if (Out.size() <= Opts.MaxInputs || Out.empty())
+    return true;
+  Out.resize(Opts.MaxInputs);
+
+  // The product varies the first argument slowest and laneDomain appends
+  // the poison/undef lanes last, so truncation starves the *early*
+  // arguments of their special lanes first. Re-inject one tuple per missing
+  // (argument, special-lane) pair — the argument gets the special lane, all
+  // others the first (concrete) value of their domain, i.e. the values of
+  // the untruncated first tuple — overwriting tuples from the tail, the
+  // most redundant region of the truncated product.
+  std::vector<std::vector<sem::Value>> Repair;
+  for (unsigned A = 0; A != F.getNumArgs(); ++A) {
+    if (!F.arg(A)->getType()->isInteger())
+      continue; // Vector lanes are covered by the per-lane product above.
+    auto Missing = [&](Lane::Kind K) {
+      for (const auto &Tuple : Out)
+        if (Tuple[A].isScalar() && Tuple[A].scalar().K == K)
+          return false;
+      return true;
+    };
+    auto MakeTuple = [&](Lane L) {
+      auto T = Out.front();
+      T[A] = sem::Value(L);
+      return T;
+    };
+    if (Opts.IncludePoisonInputs && Missing(Lane::Kind::Poison))
+      Repair.push_back(MakeTuple(Lane::poison()));
+    if (Opts.IncludeUndefInputs && !Config.UndefIsPoison &&
+        Missing(Lane::Kind::Undef))
+      Repair.push_back(MakeTuple(Lane::undef()));
+  }
+  size_t Slot = Out.size();
+  for (auto &T : Repair) {
+    if (Slot > 1)
+      Out[--Slot] = std::move(T); // Keep slot 0: it seeds the repairs.
+    else
+      Out.push_back(std::move(T));
+  }
+  return true;
+}
+
 /// All behaviours of one function on one input, deduplicated. Returns false
 /// if a Fuel/Error result or path-budget exhaustion makes the set
 /// unreliable.
-bool collectBehaviors(Function &F, const std::vector<sem::Value> &Args,
-                      const SemanticsConfig &Config, const TVOptions &Opts,
-                      std::vector<ExecResult> &Out, uint64_t &Paths,
-                      std::string &Why) {
+bool tv::collectBehaviors(Function &F, const std::vector<sem::Value> &Args,
+                          const SemanticsConfig &Config, const TVOptions &Opts,
+                          std::vector<ExecResult> &Out, uint64_t &Paths,
+                          std::string &Why) {
   Out.clear();
   bool Reliable = true;
   PathEnumerator E;
@@ -157,8 +209,8 @@ bool collectBehaviors(Function &F, const std::vector<sem::Value> &Args,
   return Reliable;
 }
 
-bool behaviorRefines(const ExecResult &Tgt, const ExecResult &Src,
-                     bool WithMem) {
+bool tv::behaviorRefines(const ExecResult &Tgt, const ExecResult &Src,
+                         bool WithMem) {
   if (Src.ub())
     return true;
   if (Tgt.ub())
@@ -185,14 +237,12 @@ bool behaviorRefines(const ExecResult &Tgt, const ExecResult &Src,
   return true;
 }
 
-std::string describeInput(const std::vector<sem::Value> &Args) {
+std::string tv::describeInput(const std::vector<sem::Value> &Args) {
   std::string S = "(";
   for (unsigned I = 0; I != Args.size(); ++I)
     S += (I ? ", " : "") + Args[I].str();
   return S + ")";
 }
-
-} // namespace
 
 TVResult tv::checkRefinement(Function &Src, Function &Tgt,
                              const SemanticsConfig &Config,
@@ -204,12 +254,10 @@ TVResult tv::checkRefinement(Function &Src, Function &Tgt,
   }
 
   std::vector<std::vector<sem::Value>> Inputs;
-  if (!enumerateArgTuples(Src, Config, Opts, Inputs)) {
+  if (!enumerateInputTuples(Src, Config, Opts, Inputs)) {
     Result.Message = "unsupported parameter type";
     return Result;
   }
-  if (Inputs.size() > Opts.MaxInputs)
-    Inputs.resize(Opts.MaxInputs);
 
   for (const auto &Args : Inputs) {
     std::vector<ExecResult> SrcB, TgtB;

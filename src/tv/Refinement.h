@@ -75,6 +75,43 @@ std::vector<std::string> enumerateBehaviors(Function &F,
                                             const sem::SemanticsConfig &Config,
                                             const TVOptions &Opts = TVOptions());
 
+//===----------------------------------------------------------------------===//
+// Building blocks shared with the end-to-end (backend) validator
+//===----------------------------------------------------------------------===//
+
+/// Enumerates the cartesian product of per-argument input domains for \p F
+/// (exhaustive or boundary concrete values, plus poison/undef lanes per
+/// \p Opts), capped at Opts.MaxInputs. When the cap truncates the product,
+/// per-argument special-lane coverage is preserved: every scalar integer
+/// argument still gets at least one tuple where it alone is poison (and one
+/// where it is undef, when the config distinguishes undef), so truncation
+/// can never starve a whole argument of its poison lane. Returns false for
+/// unsupported (pointer) parameter types.
+bool enumerateInputTuples(Function &F, const sem::SemanticsConfig &Config,
+                          const TVOptions &Opts,
+                          std::vector<std::vector<sem::Value>> &Out);
+
+/// Collects every behaviour of \p F on \p Args across all oracle paths into
+/// \p Out (not deduplicated). Returns false — with \p Why set — when the
+/// set is unreliable: an execution ran out of fuel, hit an interpreter
+/// error, or the path budget was exhausted. \p Paths accumulates the number
+/// of explored paths.
+bool collectBehaviors(Function &F, const std::vector<sem::Value> &Args,
+                      const sem::SemanticsConfig &Config, const TVOptions &Opts,
+                      std::vector<sem::ExecResult> &Out, uint64_t &Paths,
+                      std::string &Why);
+
+/// True iff target behaviour \p Tgt refines source behaviour \p Src: source
+/// UB permits anything; otherwise the return value, observation trace, and
+/// (when \p WithMem) final memory must refine pointwise in the deferred-UB
+/// order (concrete ⊑ undef ⊑ poison).
+bool behaviorRefines(const sem::ExecResult &Tgt, const sem::ExecResult &Src,
+                     bool WithMem);
+
+/// Human-readable "(v0, v1, ...)" rendering of an argument tuple, used in
+/// counterexample messages.
+std::string describeInput(const std::vector<sem::Value> &Args);
+
 } // namespace tv
 } // namespace frost
 

@@ -368,6 +368,49 @@ TEST_F(CodegenTest, RegisterAllocationSpillsUnderPressure) {
   expectMatch(F, {1000, 0});
 }
 
+TEST_F(CodegenTest, SpilledFreezeStaysPinned) {
+  // freeze of poison lowers to IMPLICIT_DEF + COPY, and the COPY's result
+  // here stays live across a 16-load high-pressure region, so the allocator
+  // has to spill and reload around it. The reload must hand back the value
+  // the COPY pinned, never a fresh materialisation of the undef register.
+  // Simulating with a varying undef fill (UndefStep != 0) makes any re-run
+  // IMPLICIT_DEF produce a different value, which the sum-cancellation
+  // below would expose as a non-zero return.
+  std::string Src = "@buf = global i32, 64\n\n"
+                    "define i32 @pin() {\nentry:\n"
+                    "  %fr = freeze i32 poison\n";
+  for (int I = 0; I != 16; ++I) {
+    Src += "  %p" + std::to_string(I) + " = gep i32* @buf, i32 " +
+           std::to_string(I) + "\n";
+    Src += "  %v" + std::to_string(I) + " = load i32, i32* %p" +
+           std::to_string(I) + "\n";
+  }
+  Src += "  %s0 = add i32 %v0, %fr\n"; // Early use of %fr.
+  for (int I = 1; I != 16; ++I)
+    Src += "  %s" + std::to_string(I) + " = add i32 %s" +
+           std::to_string(I - 1) + ", %v" + std::to_string(I) + "\n";
+  Src += "  %r = sub i32 %s15, %fr\n"; // Late use: cancels iff pinned.
+  Src += "  ret i32 %r\n}\n";
+  Function *F = parse(Src, "pin");
+
+  CompiledFunction CF = compileFunction(*F);
+  EXPECT_EQ(CF.Stats.ImplicitDefs, 1u);
+  EXPECT_GE(CF.Stats.FreezeCopies, 1u);
+  EXPECT_GT(CF.Stats.Spills + CF.Stats.Reloads, 0u) << CF.MF.str();
+
+  for (uint32_t Fill : {0xBAADF00Du, 0u, 0xFFFFFFFFu, 0x1357BEEFu}) {
+    SimOptions Opts;
+    Opts.UndefFill = Fill;
+    Opts.UndefStep = 0x9E3779B9u;
+    SimResult S = simulate(CF, {}, Opts);
+    ASSERT_TRUE(S.Ok) << S.Error << "\n" << CF.MF.str();
+    EXPECT_EQ(S.ImplicitDefsExecuted, 1u) << CF.MF.str();
+    // @buf is zero-initialised, so the load sum is 0 and the two %fr uses
+    // cancel exactly when freeze pinned a single value.
+    EXPECT_EQ(S.ReturnValue, 0u) << "fill=" << Fill << "\n" << CF.MF.str();
+  }
+}
+
 TEST_F(CodegenTest, AsmPrinterOutput) {
   Function *F = parse(R"(
 define i32 @f(i32 %x) {

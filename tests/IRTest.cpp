@@ -272,6 +272,79 @@ TEST_F(IRTest, VerifierCatchesBadPhi) {
   EXPECT_FALSE(verifyFunction(*F, &Errors));
 }
 
+// The parser type-checks operands, so an ill-typed freeze or phi can only be
+// built programmatically (e.g. by a buggy pass calling setOperand) — the
+// verifier is the last line of defense for the backend, which trusts these
+// type invariants when assigning register widths.
+
+TEST_F(IRTest, VerifierCatchesIllTypedFreeze) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *Fr = B.freeze(F->arg(0), "fr");
+  B.ret(Fr);
+  cast<Instruction>(Fr)->setOperand(0, Ctx.getInt(16, 0));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("freeze type mismatch"), std::string::npos);
+}
+
+TEST_F(IRTest, VerifierCatchesIllTypedVectorFreeze) {
+  auto *V4 = Ctx.vecTy(Ctx.intTy(8), 4);
+  auto *V2 = Ctx.vecTy(Ctx.intTy(8), 2);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(V4, {V4}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *Fr = B.freeze(F->arg(0), "fr");
+  B.ret(Fr);
+  // Same element type, different lane count: still a mismatch.
+  cast<Instruction>(Fr)->setOperand(0, Ctx.getPoison(V2));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("freeze type mismatch"), std::string::npos);
+}
+
+TEST_F(IRTest, VerifierCatchesIllTypedPhiIncoming) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32}));
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Next = F->addBlock("next");
+  IRBuilder B(Ctx, Entry);
+  B.br(Next);
+  B.setInsertPoint(Next);
+  PhiNode *P = B.phi(I32, "p");
+  // addIncoming itself asserts type equality, so build the edge well-typed
+  // and corrupt the value slot afterwards — the route a buggy pass that
+  // RAUWs across types would take.
+  P->addIncoming(Ctx.getInt(32, 7), Entry);
+  P->setIncomingValue(0, Ctx.getInt(16, 7)); // i16 into an i32 phi.
+  B.ret(P);
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("phi incoming value type mismatch"),
+            std::string::npos);
+}
+
+TEST_F(IRTest, VerifierCatchesPhiWithNoEdges) {
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  B.ret(F->arg(0));
+  // A phi in an unreachable block has no predecessors, so the
+  // edge/predecessor cross-check is vacuous — the explicit no-edges check
+  // must fire instead.
+  BasicBlock *Dead = F->addBlock("dead");
+  B.setInsertPoint(Dead);
+  PhiNode *P = B.phi(I32, "p");
+  B.ret(P);
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("phi has no incoming edges"), std::string::npos);
+}
+
 TEST_F(IRTest, SplitBlockKeepsCFGConsistent) {
   auto *I32 = Ctx.intTy(32);
   Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32}));

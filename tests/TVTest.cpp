@@ -20,6 +20,7 @@
 #include "ir/Module.h"
 #include "ir/Verifier.h"
 #include "tv/Campaign.h"
+#include "tv/EndToEnd.h"
 
 #include <gtest/gtest.h>
 
@@ -709,6 +710,117 @@ TEST_F(TVTest, CampaignRandomSourceIsDeterministicAcrossJobsAndRuns) {
   // Same seed, same campaign — a reproducibility contract across runs too.
   tv::CampaignResult C = tv::runCampaign(Opts);
   EXPECT_EQ(B.report(), C.report());
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end mode: the machine (codegen + regalloc + simulator) must refine
+// the IR semantics. The legacy branchless select lowering assumes the
+// condition register holds 0 or 1, which a poison condition violates.
+//===----------------------------------------------------------------------===//
+
+TEST_F(TVTest, EndToEndSelectOnPoisonCondDivergesUnderLegacy) {
+  auto *I2 = Ctx.intTy(2);
+  Function *F = fn("sel", I2, {I2, I2});
+  {
+    IRBuilder B(Ctx, F->addBlock("entry"));
+    B.ret(B.select(Ctx.getPoison(Ctx.boolTy()), F->arg(0), F->arg(1)));
+  }
+  ASSERT_TRUE(verifyFunction(*F));
+
+  // Legacy: select on poison nondeterministically picks an arm, but the
+  // branchless blend mixes bits of both arms when the condition register
+  // holds garbage — the machine returns neither arm. The divergence is in
+  // instruction selection, so the vreg replay fails too.
+  tv::E2EResult Legacy = tv::checkEndToEnd(*F, LegacyUnswitch);
+  EXPECT_TRUE(Legacy.TV.invalid()) << Legacy.TV.Message;
+  EXPECT_EQ(Legacy.BlamedStage, "isel") << Legacy.TV.Message;
+
+  // Proposed: the select itself is poison, which any machine value refines.
+  tv::E2EResult Prop = tv::checkEndToEnd(*F, Proposed);
+  EXPECT_TRUE(Prop.TV.valid()) << Prop.TV.Message;
+}
+
+tv::CampaignOptions endToEndCampaign() {
+  tv::CampaignOptions Opts;
+  Opts.Source = tv::CampaignSource::Exhaustive;
+  Opts.Kind = tv::CampaignKind::EndToEnd;
+  Opts.Enum.NumInsts = 2;
+  Opts.Enum.Width = 2;
+  Opts.Enum.NumArgs = 2;
+  Opts.Enum.Opcodes = {}; // icmp/select/freeze only.
+  Opts.MaxFunctions = 1500;
+  Opts.TV.CompareMemory = false;
+  Opts.ShardSize = 64;
+  return Opts;
+}
+
+TEST_F(TVTest, EndToEndCampaignProposedBackendIsClean) {
+  tv::CampaignOptions Opts = endToEndCampaign();
+  Opts.Jobs = 4;
+  tv::CampaignResult R = tv::runCampaign(Opts);
+  EXPECT_GT(R.Functions, 0u);
+  EXPECT_EQ(R.Invalid, 0u) << R.report();
+  EXPECT_EQ(R.Inconclusive, 0u) << R.report();
+}
+
+TEST_F(TVTest, EndToEndCampaignBlamesIselForLegacySelects) {
+  // Widening the space with literal `i1 poison` select conditions puts the
+  // legacy lowering bug inside the enumerated programs; every resulting
+  // counterexample must carry a backend-stage blame, and the report must be
+  // byte-identical at any parallelism.
+  tv::CampaignOptions Opts = endToEndCampaign();
+  Opts.Enum.WithPoisonCond = true;
+  Opts.Semantics = LegacyUnswitch;
+
+  Opts.Jobs = 1;
+  tv::CampaignResult Serial = tv::runCampaign(Opts);
+  ASSERT_GT(Serial.Invalid, 0u) << Serial.report();
+  for (const tv::Counterexample &C : Serial.Counterexamples) {
+    if (C.Inconclusive)
+      continue;
+    EXPECT_EQ(C.BlamedPass, "isel") << C.Message;
+  }
+
+  Opts.Jobs = 4;
+  tv::CampaignResult Parallel = tv::runCampaign(Opts);
+  EXPECT_EQ(Serial.report(), Parallel.report());
+}
+
+//===----------------------------------------------------------------------===//
+// MaxInputs truncation must never starve an argument of its special lanes.
+//===----------------------------------------------------------------------===//
+
+TEST_F(TVTest, TruncatedInputEnumerationKeepsPoisonLanes) {
+  auto *I8 = Ctx.intTy(8);
+  // With two i8 arguments the concrete boundary domain alone exceeds a tiny
+  // MaxInputs cap, so a naive resize would drop every tuple containing a
+  // special lane — and only a poison argument distinguishes these two.
+  Function *Src = fn("src", I8, {I8, I8});
+  {
+    IRBuilder B(Ctx, Src->addBlock("entry"));
+    B.ret(B.freeze(Src->arg(0)));
+  }
+  Function *Tgt = fn("tgt", I8, {I8, I8});
+  {
+    IRBuilder B(Ctx, Tgt->addBlock("entry"));
+    B.ret(Tgt->arg(0));
+  }
+  TVOptions Opts;
+  Opts.MaxInputs = 8;
+  TVResult R = checkRefinement(*Src, *Tgt, Proposed, Opts);
+  EXPECT_TRUE(R.invalid()) << R.Message;
+
+  // The guarantee, stated directly: under the cap every argument still owns
+  // at least one tuple where it is poison.
+  std::vector<std::vector<sem::Value>> Tuples;
+  ASSERT_TRUE(tv::enumerateInputTuples(*Src, Proposed, Opts, Tuples));
+  EXPECT_LE(Tuples.size(), Opts.MaxInputs + 2);
+  for (unsigned A = 0; A != 2; ++A) {
+    bool Found = false;
+    for (const std::vector<sem::Value> &T : Tuples)
+      Found |= T[A].isScalar() && T[A].scalar().isPoison();
+    EXPECT_TRUE(Found) << "argument " << A << " lost its poison lane";
+  }
 }
 
 TEST_F(TVTest, CounterexampleCacheDeduplicatesAcrossThreads) {

@@ -17,7 +17,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "ir/Context.h"
+#include "ir/Module.h"
 #include "opt/Pipeline.h"
+#include "parser/Parser.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 #include "tv/Campaign.h"
@@ -25,6 +28,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 using namespace frost;
@@ -36,7 +41,18 @@ const char *Usage =
     "usage: frost-tv [options]\n"
     "\n"
     "Campaign shape:\n"
-    "  --source exhaustive|random   program source (default exhaustive)\n"
+    "  --source exhaustive|random|file\n"
+    "                               program source (default exhaustive)\n"
+    "  --file PATH                  .fr module for the file source (implies\n"
+    "                               --source file); each function is one\n"
+    "                               campaign entry, in module order\n"
+    "  --end-to-end                 validate the backend instead of an IR\n"
+    "                               pipeline: compile each function through\n"
+    "                               codegen + regalloc and check the machine\n"
+    "                               refines the IR semantics; failures blame\n"
+    "                               the stage (isel/regalloc/sim)\n"
+    "  --poison-cond                also enumerate `i1 poison` as a select\n"
+    "                               condition (exhaustive source)\n"
     "  --insts N                    instructions per enumerated fn (default 2)\n"
     "  --width N                    integer width of the space (default 2)\n"
     "  --args N                     formal parameters (default 1)\n"
@@ -107,12 +123,21 @@ int main(int argc, char **argv) {
         Opts.Source = tv::CampaignSource::Exhaustive;
       else if (V == "random")
         Opts.Source = tv::CampaignSource::Random;
+      else if (V == "file")
+        Opts.Source = tv::CampaignSource::File;
       else {
         std::fprintf(stderr, "frost-tv: unknown source '%s'\n%s", V.c_str(),
                      Usage);
         return 3;
       }
-    } else if (A == "--insts")
+    } else if (A == "--file") {
+      Opts.FilePath = Next();
+      Opts.Source = tv::CampaignSource::File;
+    } else if (A == "--end-to-end")
+      Opts.Kind = tv::CampaignKind::EndToEnd;
+    else if (A == "--poison-cond")
+      Opts.Enum.WithPoisonCond = true;
+    else if (A == "--insts")
       Opts.Enum.NumInsts = unsigned(parseNum("--insts", Next()));
     else if (A == "--width")
       Opts.Enum.Width = unsigned(parseNum("--width", Next()));
@@ -229,6 +254,29 @@ int main(int argc, char **argv) {
       return 3;
     }
   }
+  if (Opts.Source == tv::CampaignSource::File) {
+    // Validate the module up front so the campaign can assume it parses.
+    if (Opts.FilePath.empty()) {
+      std::fprintf(stderr, "frost-tv: --source file needs --file PATH\n");
+      return 3;
+    }
+    std::ifstream In(Opts.FilePath);
+    if (!In) {
+      std::fprintf(stderr, "frost-tv: cannot read '%s'\n",
+                   Opts.FilePath.c_str());
+      return 3;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    IRContext Ctx;
+    Module M(Ctx, "probe");
+    ParseResult P = parseModule(Buf.str(), M);
+    if (!P) {
+      std::fprintf(stderr, "frost-tv: %s: %s\n", Opts.FilePath.c_str(),
+                   P.Error.c_str());
+      return 3;
+    }
+  }
 
   std::printf("%s\n", tv::describeCampaign(Opts).c_str());
   std::printf("jobs=%u (hardware threads: %u)\n",
@@ -242,8 +290,13 @@ int main(int argc, char **argv) {
   std::printf("%s\n", R.summary().c_str());
   if (Opts.TimePasses)
     std::fputs(renderTimePassesReport().c_str(), stdout);
-  if (ShowStats)
+  if (ShowStats) {
     std::fputs(stats::report("tv.campaign.").c_str(), stdout);
+    if (Opts.Kind == tv::CampaignKind::EndToEnd) {
+      std::fputs(stats::report("e2e.").c_str(), stdout);
+      std::fputs(stats::report("cg.").c_str(), stdout);
+    }
+  }
 
   if (R.Invalid)
     return 1;
