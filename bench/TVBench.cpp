@@ -32,6 +32,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 using namespace frost;
 using frost::sem::SemanticsConfig;
@@ -141,9 +145,211 @@ bool measureCampaignScaling(unsigned NumInsts, uint64_t MaxFunctions,
   return Deterministic;
 }
 
+//===----------------------------------------------------------------------===//
+// Bit-sliced engine sweep -> BENCH_TV.json
+//===----------------------------------------------------------------------===//
+
+/// One engine's measurement of one campaign shape.
+struct EngineRun {
+  double WallSeconds = 0;
+  uint64_t Functions = 0;
+  uint64_t Inputs = 0;
+  uint64_t Batches = 0;
+  uint64_t Fallbacks = 0;
+  std::string Report; // Canonical report (timing-free, jobs-independent).
+};
+
+/// One width of the i1-i4 sweep, both engines.
+struct WidthRun {
+  unsigned Width = 0;
+  EngineRun Scalar, Sliced;
+  bool Parity = false; // Byte-identical reports (incl. a --jobs 2 rerun).
+};
+
+/// The campaign shape of the perf sweep: every 2-instruction, 3-argument
+/// function over width-W arithmetic (plus icmp/select/freeze), with poison
+/// inputs. Three arguments make the input product large enough that
+/// refinement checking — not enumeration/printing/pipeline overhead —
+/// dominates the wall time, which is the regime the bit-sliced engine
+/// targets (see docs/performance.md).
+tv::CampaignOptions sweepShape(unsigned Width, uint64_t MaxFunctions) {
+  tv::CampaignOptions Opts;
+  Opts.Enum.NumInsts = 2;
+  Opts.Enum.NumArgs = 3;
+  Opts.Enum.Width = Width;
+  Opts.Enum.WithPoison = true;
+  Opts.Enum.WithFlags = true;
+  Opts.Enum.WithSelect = true;
+  Opts.Enum.Opcodes = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                       Opcode::And, Opcode::Xor, Opcode::Shl};
+  Opts.MaxFunctions = MaxFunctions;
+  Opts.TV.CompareMemory = false;
+  return Opts;
+}
+
+EngineRun runEngine(tv::CampaignOptions Opts, tv::TVEngine Engine,
+                    unsigned Jobs) {
+  Opts.TV.Engine = Engine;
+  Opts.Jobs = Jobs;
+  tv::CampaignResult R = tv::runCampaign(Opts);
+  EngineRun E;
+  E.WallSeconds = R.WallSeconds;
+  E.Functions = R.Functions;
+  E.Inputs = R.InputsChecked;
+  E.Batches = R.BitslicedBatches;
+  E.Fallbacks = R.ScalarFallbacks;
+  E.Report = R.report();
+  return E;
+}
+
+double tuplesPerSec(const EngineRun &E) {
+  return E.WallSeconds > 0 ? double(E.Inputs) / E.WallSeconds : 0;
+}
+
+/// Runs the i1-i4 dual-engine sweep and writes the BENCH_TV.json perf
+/// record to \p JsonPath. Returns false when any width's reports diverge
+/// between engines (verdict parity is part of the record, but a divergence
+/// is also a hard failure).
+bool runEngineSweep(const std::string &JsonPath, uint64_t Scale) {
+  // Function counts per width, sized so the scalar side of the full sweep
+  // runs in ~10s; --scale N divides them for smoke runs.
+  const uint64_t Counts[4] = {3000, 2000, 1000, 500};
+  std::vector<WidthRun> Runs;
+  bool AllParity = true;
+
+  std::printf("\n=== Bit-sliced engine: i1-i4 dual-engine sweep ===\n");
+  for (unsigned W = 1; W <= 4; ++W) {
+    tv::CampaignOptions Opts =
+        sweepShape(W, std::max<uint64_t>(1, Counts[W - 1] / Scale));
+    WidthRun R;
+    R.Width = W;
+    R.Scalar = runEngine(Opts, tv::TVEngine::Scalar, 1);
+    R.Sliced = runEngine(Opts, tv::TVEngine::BitSliced, 1);
+    // The parity contract covers any --jobs; spot-check a parallel rerun of
+    // the cheap engine.
+    EngineRun SlicedJ2 = runEngine(Opts, tv::TVEngine::BitSliced, 2);
+    R.Parity = R.Scalar.Report == R.Sliced.Report &&
+               R.Scalar.Report == SlicedJ2.Report;
+    AllParity &= R.Parity;
+    double Speedup = R.Sliced.WallSeconds > 0
+                         ? R.Scalar.WallSeconds / R.Sliced.WallSeconds
+                         : 0;
+    std::printf("i%u: %llu fns, %llu inputs | scalar %.2fs (%.0f tuples/s) | "
+                "bitsliced %.3fs (%.0f tuples/s, %llu batches, %llu "
+                "fallbacks) | speedup %.1fx, reports %s\n",
+                W, (unsigned long long)R.Scalar.Functions,
+                (unsigned long long)R.Scalar.Inputs, R.Scalar.WallSeconds,
+                tuplesPerSec(R.Scalar), R.Sliced.WallSeconds,
+                tuplesPerSec(R.Sliced), (unsigned long long)R.Sliced.Batches,
+                (unsigned long long)R.Sliced.Fallbacks, Speedup,
+                R.Parity ? "byte-identical" : "DIVERGED");
+    Runs.push_back(std::move(R));
+  }
+
+  double ScalarWall = 0, SlicedWall = 0;
+  uint64_t Inputs = 0;
+  std::string AllReports;
+  for (const WidthRun &R : Runs) {
+    ScalarWall += R.Scalar.WallSeconds;
+    SlicedWall += R.Sliced.WallSeconds;
+    Inputs += R.Scalar.Inputs;
+    AllReports += R.Scalar.Report;
+  }
+  double Speedup = SlicedWall > 0 ? ScalarWall / SlicedWall : 0;
+  // Fingerprint of the concatenated canonical reports: equal-verdict runs
+  // (any engine, any jobs, any machine) produce the same hash.
+  uint64_t ReportHash = tv::fingerprintFailure(AllReports);
+  std::printf("sweep total: %llu inputs | scalar %.2fs | bitsliced %.2fs | "
+              "speedup %.1fx | verdict parity %s | report hash %016llx\n",
+              (unsigned long long)Inputs, ScalarWall, SlicedWall, Speedup,
+              AllParity ? "yes" : "NO",
+              (unsigned long long)ReportHash);
+
+  std::ofstream Out(JsonPath);
+  if (!Out) {
+    std::printf("cannot write %s\n", JsonPath.c_str());
+    return false;
+  }
+  char Buf[512];
+  Out << "{\n  \"schema\": \"frost-bench-tv/v1\",\n";
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"campaign\": {\"source\": \"exhaustive\", \"insts\": 2, "
+                "\"args\": 3, \"widths\": [1, 2, 3, 4], \"opcodes\": "
+                "\"add,sub,mul,and,xor,shl\", \"select\": true, \"flags\": "
+                "true, \"poison_inputs\": true, \"pipeline\": \"proposed\", "
+                "\"scale\": %llu},\n",
+                (unsigned long long)Scale);
+  Out << Buf << "  \"per_width\": [\n";
+  for (unsigned I = 0; I != Runs.size(); ++I) {
+    const WidthRun &R = Runs[I];
+    double S = R.Sliced.WallSeconds > 0
+                   ? R.Scalar.WallSeconds / R.Sliced.WallSeconds
+                   : 0;
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\"width\": %u, \"functions\": %llu, \"inputs\": "
+                  "%llu,\n     \"scalar\": {\"wall_s\": %.4f, "
+                  "\"tuples_per_s\": %.0f},\n     \"bitsliced\": {\"wall_s\": "
+                  "%.4f, \"tuples_per_s\": %.0f, \"batches\": %llu, "
+                  "\"scalar_fallbacks\": %llu},\n     \"speedup\": %.2f, "
+                  "\"verdict_parity\": %s}%s\n",
+                  R.Width, (unsigned long long)R.Scalar.Functions,
+                  (unsigned long long)R.Scalar.Inputs, R.Scalar.WallSeconds,
+                  tuplesPerSec(R.Scalar), R.Sliced.WallSeconds,
+                  tuplesPerSec(R.Sliced), (unsigned long long)R.Sliced.Batches,
+                  (unsigned long long)R.Sliced.Fallbacks, S,
+                  R.Parity ? "true" : "false",
+                  I + 1 != Runs.size() ? "," : "");
+    Out << Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                "  ],\n  \"total\": {\"inputs\": %llu, \"scalar_wall_s\": "
+                "%.4f, \"bitsliced_wall_s\": %.4f, \"speedup\": %.2f, "
+                "\"scalar_tuples_per_s\": %.0f, \"bitsliced_tuples_per_s\": "
+                "%.0f, \"verdict_parity\": %s, \"report_hash\": "
+                "\"%016llx\"}\n}\n",
+                (unsigned long long)Inputs, ScalarWall, SlicedWall, Speedup,
+                ScalarWall > 0 ? double(Inputs) / ScalarWall : 0,
+                SlicedWall > 0 ? double(Inputs) / SlicedWall : 0,
+                AllParity ? "true" : "false",
+                (unsigned long long)ReportHash);
+  Out << Buf;
+  std::printf("wrote %s\n", JsonPath.c_str());
+  return AllParity;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  // Sweep flags (consumed here, invisible to google-benchmark):
+  //   --json PATH    where to write BENCH_TV.json (default ./BENCH_TV.json)
+  //   --scale N      divide sweep function counts by N (CI smoke runs)
+  //   --sweep-only   run only the dual-engine sweep, skip everything else
+  std::string JsonPath = "BENCH_TV.json";
+  uint64_t Scale = 1;
+  bool SweepOnly = false;
+  {
+    int W = 1;
+    for (int I = 1; I < argc; ++I) {
+      if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
+        JsonPath = argv[++I];
+      else if (!std::strcmp(argv[I], "--scale") && I + 1 < argc)
+        Scale = std::max(1l, std::atol(argv[++I]));
+      else if (!std::strcmp(argv[I], "--sweep-only"))
+        SweepOnly = true;
+      else
+        argv[W++] = argv[I];
+    }
+    argc = W;
+  }
+
+  bool SweepParity = runEngineSweep(JsonPath, Scale);
+  if (!SweepParity) {
+    std::printf("SWEEP FAILURE: scalar and bitsliced reports diverged\n");
+    return 1;
+  }
+  if (SweepOnly)
+    return 0;
+
   std::printf("\n=== Parallel campaign engine: scaling & determinism ===\n");
   bool CampaignsDeterministic =
       measureCampaignScaling(2, 20000, 4) && measureCampaignScaling(3, 6000, 4);

@@ -25,6 +25,17 @@ if ./build/tools/frost-tv --insts 2 --width 1 --args 3 --opcodes none \
   exit 1
 fi
 
+echo "== smoke campaign: bitsliced engine, proposed must validate clean =="
+./build/tools/frost-tv --insts 2 --width 2 --max-functions 4000 \
+    --engine bitsliced --jobs 2 --quiet
+
+echo "== smoke campaign: bitsliced engine must catch the legacy bugs =="
+if ./build/tools/frost-tv --insts 2 --width 1 --args 3 --opcodes none \
+    --pipeline legacy --engine bitsliced --jobs 2 --quiet; then
+  echo "check.sh: FAIL: bitsliced legacy campaign found no miscompilation" >&2
+  exit 1
+fi
+
 echo "== smoke campaign: backend must refine proposed semantics =="
 ./build/tools/frost-tv --end-to-end --insts 2 --width 2 \
     --max-functions 4000 --jobs 2 --quiet

@@ -1,0 +1,656 @@
+//===- BitSliced.cpp - Bit-parallel batch evaluation --------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Plane algebra: every helper below operates on arrays of 64-bit words where
+// word i holds bit i of all 64 lanes ("planes"). A ripple-carry adder over W
+// planes performs 64 W-bit additions in ~5*W word operations; the same
+// transposition turns nsw/nuw overflow, comparisons, shifts, and select
+// muxing into a handful of ANDs and XORs per batch. Rare/awkward operations
+// (division, flagged multiplies and shifts) gather each lane back to a
+// BitVec and reuse sem::foldBinLane, so the sliced engine can never diverge
+// from the Figure 5 rules the scalar interpreter implements.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/BitSliced.h"
+
+#include "ir/Constants.h"
+#include "ir/Function.h"
+#include "ir/Instructions.h"
+#include "sem/Eval.h"
+#include "support/ErrorHandling.h"
+
+using namespace frost;
+using namespace frost::sem;
+
+//===----------------------------------------------------------------------===//
+// SlicedValue lane packing
+//===----------------------------------------------------------------------===//
+
+void SlicedValue::setLane(unsigned J, const Lane &L) {
+  uint64_t Bit = uint64_t(1) << J;
+  if (L.isPoison()) {
+    Poison |= Bit;
+    return;
+  }
+  if (L.isUndef()) {
+    Undef |= Bit;
+    return;
+  }
+  uint64_t V = L.Bits.zext();
+  for (unsigned I = 0; I != Width; ++I)
+    if ((V >> I) & 1)
+      Planes[I] |= Bit;
+}
+
+Lane SlicedValue::getLane(unsigned J) const {
+  if ((Poison >> J) & 1)
+    return Lane::poison();
+  if ((Undef >> J) & 1)
+    return Lane::undef();
+  uint64_t V = 0;
+  for (unsigned I = 0; I != Width; ++I)
+    V |= ((Planes[I] >> J) & 1) << I;
+  return Lane::concrete(BitVec(Width, V));
+}
+
+//===----------------------------------------------------------------------===//
+// Plane algebra
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr unsigned MaxW = SlicedValue::MaxWidth;
+
+/// O = the constant \p V broadcast to every lane.
+void constPlanes(uint64_t V, unsigned W, uint64_t *O) {
+  for (unsigned I = 0; I != W; ++I)
+    O[I] = ((V >> I) & 1) ? ~uint64_t(0) : 0;
+}
+
+/// O = A + B (ripple carry); returns the carry-out plane. In-place safe
+/// (O may alias A or B): operands are read before the plane is written.
+uint64_t addPlanes(const uint64_t *A, const uint64_t *B, unsigned W,
+                   uint64_t *O) {
+  uint64_t C = 0;
+  for (unsigned I = 0; I != W; ++I) {
+    uint64_t AI = A[I], BI = B[I];
+    uint64_t X = AI ^ BI;
+    O[I] = X ^ C;
+    C = (AI & BI) | (C & X);
+  }
+  return C;
+}
+
+/// O = A - B (ripple borrow); returns the borrow-out plane (lanes A < B).
+/// In-place safe like addPlanes.
+uint64_t subPlanes(const uint64_t *A, const uint64_t *B, unsigned W,
+                   uint64_t *O) {
+  uint64_t Bor = 0;
+  for (unsigned I = 0; I != W; ++I) {
+    uint64_t AI = A[I], BI = B[I];
+    uint64_t X = AI ^ BI;
+    O[I] = X ^ Bor;
+    Bor = (~AI & BI) | (~X & Bor);
+  }
+  return Bor;
+}
+
+/// Lanes where A != B.
+uint64_t nePlanes(const uint64_t *A, const uint64_t *B, unsigned W) {
+  uint64_t NE = 0;
+  for (unsigned I = 0; I != W; ++I)
+    NE |= A[I] ^ B[I];
+  return NE;
+}
+
+/// Lanes where A < B, unsigned: the borrow of A - B.
+uint64_t ultPlanes(const uint64_t *A, const uint64_t *B, unsigned W) {
+  uint64_t Bor = 0;
+  for (unsigned I = 0; I != W; ++I) {
+    uint64_t X = A[I] ^ B[I];
+    Bor = (~A[I] & B[I]) | (~X & Bor);
+  }
+  return Bor;
+}
+
+/// Lanes where A < B, signed: unsigned compare with the sign planes flipped.
+uint64_t sltPlanes(const uint64_t *A, const uint64_t *B, unsigned W) {
+  uint64_t Bor = 0;
+  for (unsigned I = 0; I != W; ++I) {
+    uint64_t AI = I + 1 == W ? ~A[I] : A[I];
+    uint64_t BI = I + 1 == W ? ~B[I] : B[I];
+    uint64_t X = AI ^ BI;
+    Bor = (~AI & BI) | (~X & Bor);
+  }
+  return Bor;
+}
+
+/// O = A << K (planes move up, zero fill). In-place safe when O == A.
+void shiftUpConst(const uint64_t *A, unsigned W, unsigned K, uint64_t *O) {
+  for (unsigned I = W; I-- > 0;)
+    O[I] = I >= K ? A[I - K] : 0;
+}
+
+/// O = A >> K with \p Fill shifted into the top planes (0 for lshr, the
+/// sign plane for ashr). In-place safe when O == A.
+void shiftDownConst(const uint64_t *A, unsigned W, unsigned K, uint64_t Fill,
+                    uint64_t *O) {
+  for (unsigned I = 0; I != W; ++I)
+    O[I] = I + K < W ? A[I + K] : Fill;
+}
+
+/// Barrel shifter: O = A shifted by the per-lane amount in Amt. Lanes whose
+/// amount is >= W produce garbage; callers mask them via the over-shift
+/// plane. \p Dir: 0 shl, 1 lshr, 2 ashr.
+void barrelShift(const uint64_t *A, const uint64_t *Amt, unsigned W, int Dir,
+                 uint64_t *O) {
+  for (unsigned I = 0; I != W; ++I)
+    O[I] = A[I];
+  uint64_t T[MaxW];
+  for (unsigned S = 0; (1u << S) < W; ++S) {
+    uint64_t Sel = Amt[S];
+    if (Dir == 0)
+      shiftUpConst(O, W, 1u << S, T);
+    else
+      shiftDownConst(O, W, 1u << S, Dir == 2 ? O[W - 1] : 0, T);
+    for (unsigned I = 0; I != W; ++I)
+      O[I] = (Sel & T[I]) | (~Sel & O[I]);
+  }
+}
+
+/// O = A * B modulo 2^W (shift-and-add over planes).
+void mulPlanes(const uint64_t *A, const uint64_t *B, unsigned W, uint64_t *O) {
+  uint64_t Acc[MaxW] = {};
+  uint64_t Part[MaxW];
+  for (unsigned I = 0; I != W; ++I) {
+    uint64_t Sel = B[I];
+    if (!Sel)
+      continue;
+    for (unsigned K = 0; K != W; ++K)
+      Part[K] = K >= I ? A[K - I] & Sel : 0;
+    addPlanes(Acc, Part, W, Acc);
+  }
+  for (unsigned I = 0; I != W; ++I)
+    O[I] = Acc[I];
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Compilation
+//===----------------------------------------------------------------------===//
+
+std::optional<SlicedFunction>
+SlicedFunction::compile(Function &F, const SemanticsConfig &Cfg,
+                        std::string *Why) {
+  auto Reject = [&](const char *Reason) -> std::optional<SlicedFunction> {
+    if (Why)
+      *Why = Reason;
+    return std::nullopt;
+  };
+
+  if (F.isDeclaration())
+    return Reject("function has no body");
+  unsigned NumBlocks = 0;
+  for (BasicBlock *BB : F) {
+    (void)BB;
+    ++NumBlocks;
+  }
+  if (NumBlocks != 1)
+    return Reject("control flow (multiple blocks)");
+
+  SlicedFunction SF;
+  SF.Config = Cfg;
+
+  auto ScalarWidth = [](const Type *Ty, unsigned &W) {
+    if (!Ty->isInteger())
+      return false;
+    W = Ty->bitWidth();
+    return W <= SlicedValue::MaxWidth;
+  };
+
+  std::vector<std::pair<const frost::Value *, uint16_t>> Slots;
+  auto SlotOf = [&](const frost::Value *V) -> int {
+    for (const auto &[Val, S] : Slots)
+      if (Val == V)
+        return S;
+    return -1;
+  };
+
+  SF.NumArgs = F.getNumArgs();
+  for (unsigned A = 0; A != F.getNumArgs(); ++A) {
+    unsigned W;
+    if (!ScalarWidth(F.arg(A)->getType(), W))
+      return Reject("non-scalar or wide parameter");
+    SF.ArgWidths.push_back(W);
+    Slots.push_back({F.arg(A), uint16_t(Slots.size())});
+  }
+
+  // Converts an operand; returns false for anything outside the subset.
+  auto Operand = [&](frost::Value *V, SOperand &O) {
+    switch (V->getKind()) {
+    case frost::Value::Kind::ConstantInt:
+      O.K = SOperand::Kind::Const;
+      O.Const = cast<ConstantInt>(V)->value().zext();
+      return true;
+    case frost::Value::Kind::Poison:
+      O.K = SOperand::Kind::Poison;
+      return true;
+    case frost::Value::Kind::Undef:
+      O.K = Cfg.UndefIsPoison ? SOperand::Kind::Poison : SOperand::Kind::Undef;
+      return true;
+    case frost::Value::Kind::Argument:
+    case frost::Value::Kind::Instruction: {
+      int S = SlotOf(V);
+      if (S < 0)
+        return false;
+      O.K = SOperand::Kind::Slot;
+      O.Slot = uint16_t(S);
+      return true;
+    }
+    default:
+      return false;
+    }
+  };
+
+  for (Instruction *I : *F.entry()) {
+    SInst SI;
+    SI.Op = I->getOpcode();
+    SI.Flags = I->flags();
+
+    if (SI.Op == Opcode::Ret) {
+      const auto *Rt = cast<ReturnInst>(I);
+      if (Rt->hasValue()) {
+        unsigned W;
+        if (!ScalarWidth(Rt->value()->getType(), W))
+          return Reject("non-scalar or wide return");
+        if (!Operand(Rt->value(), SF.RetOp))
+          return Reject("unsupported return operand");
+        SF.HasRet = true;
+        SF.RetWidth = W;
+      }
+      continue; // Single block: nothing executes after ret.
+    }
+
+    unsigned W;
+    switch (SI.Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::UDiv:
+    case Opcode::SDiv:
+    case Opcode::URem:
+    case Opcode::SRem:
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+      if (!ScalarWidth(I->getType(), W))
+        return Reject("non-scalar or wide instruction");
+      SI.Width = SI.SrcWidth = W;
+      if (!Operand(I->getOperand(0), SI.A) || !Operand(I->getOperand(1), SI.B))
+        return Reject("unsupported operand");
+      break;
+    case Opcode::ICmp: {
+      const auto *C = cast<ICmpInst>(I);
+      if (!ScalarWidth(C->lhs()->getType(), W))
+        return Reject("non-scalar or wide icmp operand");
+      SI.Width = 1;
+      SI.SrcWidth = W;
+      SI.Pred = C->pred();
+      if (!Operand(C->lhs(), SI.A) || !Operand(C->rhs(), SI.B))
+        return Reject("unsupported operand");
+      break;
+    }
+    case Opcode::Trunc:
+    case Opcode::ZExt:
+    case Opcode::SExt: {
+      unsigned SrcW;
+      if (!ScalarWidth(I->getType(), W) ||
+          !ScalarWidth(I->getOperand(0)->getType(), SrcW))
+        return Reject("non-scalar or wide cast");
+      SI.Width = W;
+      SI.SrcWidth = SrcW;
+      if (!Operand(I->getOperand(0), SI.A))
+        return Reject("unsupported operand");
+      break;
+    }
+    case Opcode::Select: {
+      const auto *S = cast<SelectInst>(I);
+      if (!ScalarWidth(I->getType(), W))
+        return Reject("non-scalar or wide select");
+      SI.Width = W;
+      SI.SrcWidth = 1;
+      if (!Operand(S->condition(), SI.A) || !Operand(S->trueValue(), SI.B) ||
+          !Operand(S->falseValue(), SI.C))
+        return Reject("unsupported operand");
+      break;
+    }
+    case Opcode::Freeze:
+      if (!ScalarWidth(I->getType(), W))
+        return Reject("non-scalar or wide freeze");
+      SI.Width = SI.SrcWidth = W;
+      if (!Operand(I->getOperand(0), SI.A))
+        return Reject("unsupported operand");
+      break;
+    default:
+      return Reject("instruction outside the sliced subset");
+    }
+
+    SI.Dest = uint16_t(Slots.size());
+    Slots.push_back({I, SI.Dest});
+    SF.Insts.push_back(SI);
+  }
+
+  SF.NumSlots = unsigned(Slots.size());
+  return SF;
+}
+
+//===----------------------------------------------------------------------===//
+// Batch execution
+//===----------------------------------------------------------------------===//
+
+SlicedResult SlicedFunction::run(const SlicedValue *Args,
+                                 uint64_t ActiveMask) const {
+  SlicedValue Stack[64];
+  std::vector<SlicedValue> Heap;
+  SlicedValue *Slots = Stack;
+  if (NumSlots > 64) {
+    Heap.resize(NumSlots);
+    Slots = Heap.data();
+  }
+  for (unsigned A = 0; A != NumArgs; ++A)
+    Slots[A] = Args[A];
+
+  SlicedResult R;
+
+  auto Fetch = [&](const SOperand &O, unsigned W,
+                   SlicedValue &Tmp) -> const SlicedValue * {
+    switch (O.K) {
+    case SOperand::Kind::Slot:
+      return &Slots[O.Slot];
+    case SOperand::Kind::Const:
+      Tmp = SlicedValue();
+      Tmp.Width = W;
+      constPlanes(O.Const, W, Tmp.Planes);
+      return &Tmp;
+    case SOperand::Kind::Poison:
+      Tmp = SlicedValue();
+      Tmp.Width = W;
+      Tmp.Poison = ~uint64_t(0);
+      return &Tmp;
+    case SOperand::Kind::Undef:
+      Tmp = SlicedValue();
+      Tmp.Width = W;
+      Tmp.Undef = ~uint64_t(0);
+      return &Tmp;
+    }
+    return &Tmp;
+  };
+
+  /// Per-lane gather/fold/scatter path for operations whose plane form is
+  /// not worth the complexity (division, flagged mul/shift). Semantics come
+  /// from sem::foldBinLane, so this path cannot drift from the interpreter.
+  auto PerLaneFold = [&](const SInst &I, const SlicedValue &A,
+                         const SlicedValue &B, uint64_t Act, SlicedValue &O) {
+    for (uint64_t M = Act; M;) {
+      unsigned J = unsigned(__builtin_ctzll(M));
+      M &= M - 1;
+      FoldResult FR = foldBinLane(I.Op, I.Flags, A.getLane(J), B.getLane(J),
+                                  Config);
+      if (FR.UB)
+        R.UB |= uint64_t(1) << J;
+      else
+        O.setLane(J, FR.L);
+    }
+  };
+
+  for (const SInst &I : Insts) {
+    uint64_t Act = ActiveMask & ~R.UB & ~R.NeedScalar;
+    if (!Act)
+      break;
+
+    SlicedValue TmpA, TmpB, TmpC;
+    SlicedValue Out;
+    Out.Width = I.Width;
+
+    switch (I.Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr:
+    case Opcode::UDiv:
+    case Opcode::SDiv:
+    case Opcode::URem:
+    case Opcode::SRem: {
+      const SlicedValue &A = *Fetch(I.A, I.SrcWidth, TmpA);
+      const SlicedValue &B = *Fetch(I.B, I.SrcWidth, TmpB);
+      // Compute uses materialise undef (one oracle choice per use): those
+      // lanes leave the batch.
+      uint64_t NS = (A.Undef | B.Undef) & Act;
+      R.NeedScalar |= NS;
+      Act &= ~NS;
+      unsigned W = I.Width;
+
+      bool IsDiv = I.Op == Opcode::UDiv || I.Op == Opcode::SDiv ||
+                   I.Op == Opcode::URem || I.Op == Opcode::SRem;
+      if (IsDiv || (I.Op == Opcode::Mul && I.Flags.any()) ||
+          ((I.Op == Opcode::Shl || I.Op == Opcode::LShr ||
+            I.Op == Opcode::AShr) &&
+           I.Flags.any())) {
+        PerLaneFold(I, A, B, Act, Out);
+        break;
+      }
+
+      // Deferred poison propagates plane-parallel.
+      uint64_t PoisonIn = (A.Poison | B.Poison) & Act;
+      Out.Poison = PoisonIn;
+      uint64_t Conc = Act & ~PoisonIn;
+
+      switch (I.Op) {
+      case Opcode::And:
+        for (unsigned K = 0; K != W; ++K)
+          Out.Planes[K] = A.Planes[K] & B.Planes[K];
+        break;
+      case Opcode::Or:
+        for (unsigned K = 0; K != W; ++K)
+          Out.Planes[K] = A.Planes[K] | B.Planes[K];
+        break;
+      case Opcode::Xor:
+        for (unsigned K = 0; K != W; ++K)
+          Out.Planes[K] = A.Planes[K] ^ B.Planes[K];
+        break;
+      case Opcode::Add: {
+        uint64_t Carry = addPlanes(A.Planes, B.Planes, W, Out.Planes);
+        uint64_t Ovf = 0;
+        if (I.Flags.NSW) {
+          uint64_t AS = A.Planes[W - 1], BS = B.Planes[W - 1],
+                   OS = Out.Planes[W - 1];
+          Ovf |= ~(AS ^ BS) & (OS ^ AS);
+        }
+        if (I.Flags.NUW)
+          Ovf |= Carry;
+        Out.Poison |= Ovf & Conc;
+        break;
+      }
+      case Opcode::Sub: {
+        uint64_t Borrow = subPlanes(A.Planes, B.Planes, W, Out.Planes);
+        uint64_t Ovf = 0;
+        if (I.Flags.NSW) {
+          uint64_t AS = A.Planes[W - 1], BS = B.Planes[W - 1],
+                   OS = Out.Planes[W - 1];
+          Ovf |= (AS ^ BS) & (OS ^ AS);
+        }
+        if (I.Flags.NUW)
+          Ovf |= Borrow;
+        Out.Poison |= Ovf & Conc;
+        break;
+      }
+      case Opcode::Mul:
+        mulPlanes(A.Planes, B.Planes, W, Out.Planes);
+        break;
+      case Opcode::Shl:
+      case Opcode::LShr:
+      case Opcode::AShr: {
+        // Over-shift first: amount >= W yields undef (legacy) or poison.
+        uint64_t WConst[MaxW];
+        constPlanes(W, W, WConst);
+        uint64_t Over = ~ultPlanes(B.Planes, WConst, W) & Conc;
+        if (Config.OverShiftYieldsUndef)
+          Out.Undef |= Over;
+        else
+          Out.Poison |= Over;
+        int Dir = I.Op == Opcode::Shl ? 0 : (I.Op == Opcode::LShr ? 1 : 2);
+        barrelShift(A.Planes, B.Planes, W, Dir, Out.Planes);
+        break;
+      }
+      default:
+        break;
+      }
+      break;
+    }
+
+    case Opcode::ICmp: {
+      const SlicedValue &A = *Fetch(I.A, I.SrcWidth, TmpA);
+      const SlicedValue &B = *Fetch(I.B, I.SrcWidth, TmpB);
+      uint64_t NS = (A.Undef | B.Undef) & Act;
+      R.NeedScalar |= NS;
+      Act &= ~NS;
+      Out.Poison = (A.Poison | B.Poison) & Act;
+      unsigned W = I.SrcWidth;
+      uint64_t P = 0;
+      switch (I.Pred) {
+      case ICmpPred::EQ:
+        P = ~nePlanes(A.Planes, B.Planes, W);
+        break;
+      case ICmpPred::NE:
+        P = nePlanes(A.Planes, B.Planes, W);
+        break;
+      case ICmpPred::ULT:
+        P = ultPlanes(A.Planes, B.Planes, W);
+        break;
+      case ICmpPred::ULE:
+        P = ~ultPlanes(B.Planes, A.Planes, W);
+        break;
+      case ICmpPred::UGT:
+        P = ultPlanes(B.Planes, A.Planes, W);
+        break;
+      case ICmpPred::UGE:
+        P = ~ultPlanes(A.Planes, B.Planes, W);
+        break;
+      case ICmpPred::SLT:
+        P = sltPlanes(A.Planes, B.Planes, W);
+        break;
+      case ICmpPred::SLE:
+        P = ~sltPlanes(B.Planes, A.Planes, W);
+        break;
+      case ICmpPred::SGT:
+        P = sltPlanes(B.Planes, A.Planes, W);
+        break;
+      case ICmpPred::SGE:
+        P = ~sltPlanes(A.Planes, B.Planes, W);
+        break;
+      }
+      Out.Planes[0] = P;
+      break;
+    }
+
+    case Opcode::Trunc:
+    case Opcode::ZExt:
+    case Opcode::SExt: {
+      const SlicedValue &A = *Fetch(I.A, I.SrcWidth, TmpA);
+      uint64_t NS = A.Undef & Act;
+      R.NeedScalar |= NS;
+      Act &= ~NS;
+      Out.Poison = A.Poison & Act;
+      unsigned Low = I.Op == Opcode::Trunc ? I.Width : I.SrcWidth;
+      for (unsigned K = 0; K != Low; ++K)
+        Out.Planes[K] = A.Planes[K];
+      if (I.Op == Opcode::SExt)
+        for (unsigned K = Low; K != I.Width; ++K)
+          Out.Planes[K] = A.Planes[Low - 1];
+      break;
+    }
+
+    case Opcode::Select: {
+      const SlicedValue &C = *Fetch(I.A, 1, TmpA);
+      const SlicedValue &T = *Fetch(I.B, I.Width, TmpB);
+      const SlicedValue &F = *Fetch(I.C, I.Width, TmpC);
+      // The condition is a compute use; the arms are not.
+      uint64_t NS = C.Undef & Act;
+      R.NeedScalar |= NS;
+      Act &= ~NS;
+      uint64_t CondPoison = C.Poison & Act;
+      switch (Config.SelectOnPoisonCond) {
+      case SelectPoisonCondRule::UB:
+        R.UB |= CondPoison;
+        Act &= ~CondPoison;
+        CondPoison = 0;
+        break;
+      case SelectPoisonCondRule::Nondet:
+        R.NeedScalar |= CondPoison;
+        Act &= ~CondPoison;
+        CondPoison = 0;
+        break;
+      case SelectPoisonCondRule::Poison:
+        break; // Result is poison on those lanes.
+      }
+      uint64_t Take = C.Planes[0];
+      for (unsigned K = 0; K != I.Width; ++K)
+        Out.Planes[K] = (Take & T.Planes[K]) | (~Take & F.Planes[K]);
+      Out.Poison = ((Take & T.Poison) | (~Take & F.Poison)) & Act;
+      Out.Undef = ((Take & T.Undef) | (~Take & F.Undef)) & Act;
+      if (!Config.SelectChosenArmOnly)
+        Out.Poison |= ((Take & F.Poison) | (~Take & T.Poison)) & Act;
+      Out.Poison |= CondPoison;
+      Out.Undef &= ~Out.Poison;
+      break;
+    }
+
+    case Opcode::Freeze: {
+      const SlicedValue &A = *Fetch(I.A, I.Width, TmpA);
+      // Freezing poison/undef picks an arbitrary value: an oracle choice.
+      uint64_t NS = (A.Poison | A.Undef) & Act;
+      R.NeedScalar |= NS;
+      Act &= ~NS;
+      for (unsigned K = 0; K != I.Width; ++K)
+        Out.Planes[K] = A.Planes[K];
+      break;
+    }
+
+    default:
+      frost_unreachable("opcode outside the compiled subset");
+    }
+
+    // Keep masks clean outside live lanes: dead-lane planes are garbage and
+    // must not read as poison/undef when a later batch consumer inspects
+    // them.
+    Out.Poison &= Act;
+    Out.Undef &= Act;
+    Slots[I.Dest] = Out;
+  }
+
+  if (HasRet) {
+    SlicedValue Tmp;
+    R.Ret = *Fetch(RetOp, RetWidth, Tmp);
+    R.HasRet = true;
+    uint64_t Live = ActiveMask & ~R.UB & ~R.NeedScalar;
+    R.Ret.Poison &= Live;
+    R.Ret.Undef &= Live;
+  }
+  R.UB &= ActiveMask;
+  R.NeedScalar &= ActiveMask;
+  return R;
+}

@@ -1,0 +1,143 @@
+//===- BitSliced.h - Bit-parallel batch evaluation --------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bit-sliced (bit-parallel) evaluation of straight-line integer functions:
+/// up to 64 input tuples are packed into lane-transposed registers and every
+/// instruction is stepped once per batch instead of once per tuple. Over the
+/// i1-i4 domains the exhaustive checker sweeps, this turns the inner loop of
+/// a translation-validation campaign from "64 interpreter runs" into "one
+/// pass over the instruction list using word-wide ANDs/XORs/adders".
+///
+/// Representation ("lane-transposed"): a batch value of width W is W 64-bit
+/// planes; bit j of plane i is bit i of lane j's value. Deferred UB travels
+/// as two lane masks per value — a poison mask and (legacy configs only) an
+/// undef mask — mirroring the Figure 5 semantics exactly: arithmetic
+/// propagates the poison mask plane-parallel, nsw/nuw/over-shift conditions
+/// are computed as planes, and immediate UB (division corner cases) sets a
+/// per-lane UB mask instead of aborting the batch.
+///
+/// Nondeterminism cannot be batched: a lane whose execution would consume a
+/// ChoiceOracle decision in the scalar interpreter (materialising an undef
+/// operand at a compute use, freezing a poison/undef lane, a nondet select
+/// on a poison condition) is flagged in `NeedScalar` and the caller re-runs
+/// just that tuple through the scalar path enumerator. Deterministic lanes
+/// have exactly one behaviour, which is what makes the batch verdict exact.
+///
+/// The sliced subset is a single basic block of scalar-integer instructions
+/// (binary arithmetic, icmp, trunc/zext/sext, select, freeze, ret) with all
+/// widths <= MaxWidth. `compile` rejects anything else, and the caller falls
+/// back to the scalar engine for the whole function — the fallback is a
+/// performance event, never a semantic one. See docs/performance.md for the
+/// cost model and the measured speedups.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SEM_BITSLICED_H
+#define FROST_SEM_BITSLICED_H
+
+#include "ir/Instruction.h"
+#include "sem/Config.h"
+#include "sem/Domain.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace frost {
+
+class Function;
+
+namespace sem {
+
+/// A batch of up to 64 scalar values of one width, lane-transposed: bit j of
+/// Planes[i] is bit i of lane j. Poison/Undef are per-lane masks; a lane
+/// flagged there carries no meaningful bits in the planes.
+struct SlicedValue {
+  /// Widest type the sliced engine evaluates. The checker's exhaustive
+  /// domains live at i1-i4; 8 leaves room for zext/sext chains above them.
+  static constexpr unsigned MaxWidth = 8;
+
+  unsigned Width = 1;
+  uint64_t Planes[MaxWidth] = {};
+  uint64_t Poison = 0;
+  uint64_t Undef = 0;
+
+  /// Packs one scalar lane (concrete/poison/undef) into bit position \p J.
+  void setLane(unsigned J, const Lane &L);
+
+  /// Reads lane \p J back out as a scalar Lane.
+  Lane getLane(unsigned J) const;
+};
+
+/// Outcome of one batch execution.
+struct SlicedResult {
+  uint64_t UB = 0;         ///< Lanes whose execution is immediate UB.
+  uint64_t NeedScalar = 0; ///< Lanes that hit a nondeterministic choice.
+  bool HasRet = false;     ///< False for void returns.
+  SlicedValue Ret;         ///< Meaningful only for lanes clear in UB and
+                           ///< NeedScalar.
+};
+
+/// A function compiled to a slot-indexed instruction list the bit-sliced
+/// evaluator can step. Compile once per (function, config), run once per
+/// 64-tuple batch.
+class SlicedFunction {
+public:
+  static constexpr unsigned MaxLanes = 64;
+
+  /// Compiles \p F for batch evaluation under \p Config. Returns nullopt —
+  /// with \p Why naming the construct — when F is outside the sliced subset
+  /// (multiple blocks, memory/calls/vectors/pointers, widths > MaxWidth).
+  static std::optional<SlicedFunction> compile(Function &F,
+                                               const SemanticsConfig &Config,
+                                               std::string *Why = nullptr);
+
+  unsigned numArgs() const { return NumArgs; }
+  unsigned argWidth(unsigned A) const { return ArgWidths[A]; }
+  /// Instructions executed per lane (the scalar interpreter's fuel cost).
+  uint64_t instructionCount() const { return Insts.size() + 1; }
+
+  /// Evaluates the batch: Args[a] holds the packed tuples for argument a,
+  /// \p ActiveMask selects the populated lanes (bit j = tuple j present).
+  SlicedResult run(const SlicedValue *Args, uint64_t ActiveMask) const;
+
+private:
+  /// One evaluated operand: a register slot, or an immediate constant /
+  /// poison / undef of the instruction's operand width.
+  struct SOperand {
+    enum class Kind : uint8_t { Slot, Const, Poison, Undef };
+    Kind K = Kind::Poison;
+    uint16_t Slot = 0;
+    uint64_t Const = 0;
+  };
+
+  struct SInst {
+    Opcode Op;
+    ArithFlags Flags;
+    ICmpPred Pred = ICmpPred::EQ;
+    uint16_t Dest = 0;
+    unsigned Width = 1;    ///< Result width.
+    unsigned SrcWidth = 1; ///< Operand width (casts, icmp).
+    SOperand A, B, C;      ///< C: select false arm.
+  };
+
+  SOperand RetOp;      ///< Valid when HasRet.
+  bool HasRet = false;
+  unsigned RetWidth = 1;
+  unsigned NumArgs = 0;
+  std::vector<unsigned> ArgWidths;
+  std::vector<SInst> Insts;
+  unsigned NumSlots = 0;
+  SemanticsConfig Config;
+};
+
+} // namespace sem
+} // namespace frost
+
+#endif // FROST_SEM_BITSLICED_H

@@ -381,7 +381,7 @@ std::string CampaignResult::report() const {
 }
 
 std::string CampaignResult::summary() const {
-  char Buf[256];
+  char Buf[384];
   std::snprintf(Buf, sizeof(Buf),
                 "%llu functions in %.2fs wall / %.2fs cpu (%.1f checks/s, "
                 "%llu shards): %llu valid, %llu invalid, %llu inconclusive, "
@@ -391,7 +391,15 @@ std::string CampaignResult::summary() const {
                 (unsigned long long)Valid, (unsigned long long)Invalid,
                 (unsigned long long)Inconclusive,
                 (unsigned long long)DistinctFailures);
-  return Buf;
+  std::string S = Buf;
+  if (BitslicedBatches || ScalarFallbacks) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "\nbitsliced: %llu batch(es), %llu scalar fallback(s)",
+                  (unsigned long long)BitslicedBatches,
+                  (unsigned long long)ScalarFallbacks);
+    S += Buf;
+  }
+  return S;
 }
 
 //===----------------------------------------------------------------------===//
@@ -402,6 +410,11 @@ CampaignResult tv::runCampaign(const CampaignOptions &Opts) {
   assert(Opts.ShardSize > 0 && "shard size must be positive");
   auto WallStart = std::chrono::steady_clock::now();
   std::clock_t CpuStart = std::clock();
+
+  // Engine counters are process-global; delta them across the campaign so
+  // the result reflects this run only.
+  uint64_t BatchesBefore = stats::get("tv.bitsliced_batches");
+  uint64_t FallbacksBefore = stats::get("tv.scalar_fallbacks");
 
   CounterexampleCache Cache(Opts.DedupCapacity);
   std::vector<ShardResult> Results;
@@ -524,6 +537,8 @@ CampaignResult tv::runCampaign(const CampaignOptions &Opts) {
             [](const Counterexample &A, const Counterexample &B) {
               return A.Index < B.Index;
             });
+  R.BitslicedBatches = stats::get("tv.bitsliced_batches") - BatchesBefore;
+  R.ScalarFallbacks = stats::get("tv.scalar_fallbacks") - FallbacksBefore;
   R.DistinctFailures = Cache.distinct();
   R.DuplicateFailures = TotalFailures - std::min(TotalFailures, R.DistinctFailures);
   stats::add("tv.campaign.dup_failures", R.DuplicateFailures);

@@ -129,6 +129,13 @@ struct CampaignResult {
   uint64_t DistinctFailures = 0;  ///< Failure classes after dedup.
   uint64_t DuplicateFailures = 0; ///< Failures suppressed as duplicates.
   uint64_t Shards = 0;
+  /// Engine accounting (deltas of the tv.bitsliced_batches /
+  /// tv.scalar_fallbacks counters across this campaign): 64-lane batches
+  /// evaluated, and lanes or whole functions that fell back to the scalar
+  /// path. Both zero for Engine == TVEngine::Scalar. Timing-adjacent
+  /// diagnostics: surfaced by summary(), excluded from report().
+  uint64_t BitslicedBatches = 0;
+  uint64_t ScalarFallbacks = 0;
   double WallSeconds = 0;
   double CpuSeconds = 0;
 

@@ -164,6 +164,11 @@ bool tv::supportedForCodegen(Function &F, std::string &Why) {
 E2EResult tv::checkEndToEnd(Function &F, const SemanticsConfig &Config,
                             const TVOptions &Opts) {
   E2EResult R;
+  // End-to-end checking always runs the scalar path: the machine side needs
+  // per-execution undef register fills the batch representation cannot
+  // express. Account the fallback so bitsliced campaigns stay honest.
+  if (Opts.Engine == TVEngine::BitSliced)
+    stats::add("tv.scalar_fallbacks");
   std::string Why;
   if (!supportedForCodegen(F, Why)) {
     R.TV.Message = "unsupported for codegen: " + Why;

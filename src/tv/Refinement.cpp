@@ -8,9 +8,13 @@
 #include "tv/Refinement.h"
 
 #include "ir/Function.h"
+#include "sem/BitSliced.h"
 #include "support/Casting.h"
+#include "support/Stats.h"
 
 #include <algorithm>
+#include <cassert>
+#include <optional>
 
 using namespace frost;
 using namespace frost::tv;
@@ -125,12 +129,107 @@ std::string encodeBehavior(const ExecResult &R, bool WithMem) {
 
 } // namespace
 
+/// Flat-matrix twin of enumerateArgTuples + the repair step below, for
+/// all-scalar-integer signatures. Every quirk is mirrored deliberately: the
+/// cap check runs after each append and breaks only the inner domain loop,
+/// truncation keeps the first MaxInputs rows, and repair overwrites tail
+/// rows (never row 0). Cross-engine parity tests pin this equivalence.
+bool tv::enumerateInputLanes(Function &F, const SemanticsConfig &Config,
+                             const TVOptions &Opts,
+                             std::vector<sem::Lane> &Flat, unsigned &NumArgs) {
+  Flat.clear();
+  NumArgs = F.getNumArgs();
+  std::vector<std::vector<Lane>> Domains;
+  for (unsigned A = 0; A != NumArgs; ++A) {
+    Type *Ty = F.arg(A)->getType();
+    if (!Ty->isInteger())
+      return false;
+    Domains.push_back(laneDomain(Ty->bitWidth(), Config, Opts));
+  }
+
+  // Cartesian product, row-major, first argument varying slowest. Rows
+  // counts tuples; the matrix for a prefix of A arguments has stride A.
+  size_t Rows = 1;
+  for (unsigned A = 0; A != NumArgs; ++A) {
+    const std::vector<Lane> &D = Domains[A];
+    std::vector<Lane> Next;
+    Next.reserve(std::min<size_t>(Rows * D.size(), Opts.MaxInputs + 1) *
+                 (A + 1));
+    size_t NewRows = 0;
+    for (size_t R = 0; R != Rows; ++R) {
+      for (const Lane &L : D) {
+        Next.insert(Next.end(), Flat.begin() + R * A, Flat.begin() + R * A + A);
+        Next.push_back(L);
+        if (++NewRows > Opts.MaxInputs)
+          break; // Matches enumerateArgTuples: inner loop only.
+      }
+    }
+    Flat = std::move(Next);
+    Rows = NewRows;
+  }
+
+  if (Rows <= Opts.MaxInputs || NumArgs == 0)
+    return true;
+  Rows = Opts.MaxInputs;
+  Flat.resize(Rows * NumArgs);
+
+  // Special-lane repair, mirroring enumerateInputTuples (see comment there).
+  std::vector<std::pair<unsigned, Lane>> Repair;
+  for (unsigned A = 0; A != NumArgs; ++A) {
+    auto Missing = [&](Lane::Kind K) {
+      for (size_t R = 0; R != Rows; ++R)
+        if (Flat[R * NumArgs + A].K == K)
+          return false;
+      return true;
+    };
+    if (Opts.IncludePoisonInputs && Missing(Lane::Kind::Poison))
+      Repair.push_back({A, Lane::poison()});
+    if (Opts.IncludeUndefInputs && !Config.UndefIsPoison &&
+        Missing(Lane::Kind::Undef))
+      Repair.push_back({A, Lane::undef()});
+  }
+  size_t Slot = Rows;
+  for (auto &[A, L] : Repair) {
+    size_t R;
+    if (Slot > 1) {
+      R = --Slot; // Keep row 0: it seeds the repairs.
+    } else {
+      R = Rows++;
+      Flat.resize(Rows * NumArgs);
+    }
+    for (unsigned I = 0; I != NumArgs; ++I)
+      Flat[R * NumArgs + I] = Flat[I]; // Row 0's lanes.
+    Flat[R * NumArgs + A] = L;
+  }
+  return true;
+}
+
 /// Cartesian product with the MaxInputs cap, plus truncation-proof coverage
 /// of the per-argument poison/undef lanes (see header).
 bool tv::enumerateInputTuples(Function &F, const SemanticsConfig &Config,
                               const TVOptions &Opts,
                               std::vector<std::vector<sem::Value>> &Out) {
   Out.clear();
+
+  // All-scalar signatures (the overwhelmingly common case) go through the
+  // flat-lane core so both engines consume one enumeration order.
+  {
+    std::vector<Lane> Flat;
+    unsigned NumArgs;
+    if (enumerateInputLanes(F, Config, Opts, Flat, NumArgs)) {
+      size_t Rows = NumArgs ? Flat.size() / NumArgs : 1;
+      Out.reserve(Rows);
+      for (size_t R = 0; R != Rows; ++R) {
+        std::vector<sem::Value> Tuple;
+        Tuple.reserve(NumArgs);
+        for (unsigned A = 0; A != NumArgs; ++A)
+          Tuple.push_back(sem::Value(Flat[R * NumArgs + A]));
+        Out.push_back(std::move(Tuple));
+      }
+      return true;
+    }
+  }
+
   if (!enumerateArgTuples(F, Config, Opts, Out))
     return false;
   if (Out.size() <= Opts.MaxInputs || Out.empty())
@@ -244,6 +343,174 @@ std::string tv::describeInput(const std::vector<sem::Value> &Args) {
   return S + ")";
 }
 
+namespace {
+
+enum class OneInputStatus { Pass, Fail, Inconclusive };
+
+/// The scalar engine's per-input loop body, shared verbatim by both engines
+/// so their messages and counters cannot drift. On Pass, Result is
+/// untouched except PathsExplored (the caller bumps InputsChecked); on
+/// Fail/Inconclusive, Result carries the final status and message.
+OneInputStatus checkOneInput(Function &Src, Function &Tgt,
+                             const std::vector<sem::Value> &Args,
+                             const SemanticsConfig &Config,
+                             const TVOptions &Opts, TVResult &Result) {
+  std::vector<ExecResult> SrcB, TgtB;
+  std::string Why;
+  if (!tv::collectBehaviors(Src, Args, Config, Opts, SrcB,
+                            Result.PathsExplored, Why) ||
+      !tv::collectBehaviors(Tgt, Args, Config, Opts, TgtB,
+                            Result.PathsExplored, Why)) {
+    Result.St = TVResult::Status::Inconclusive;
+    Result.Message = "input " + tv::describeInput(Args) + ": " + Why;
+    return OneInputStatus::Inconclusive;
+  }
+
+  // Source UB on this input permits any target behaviour.
+  bool SrcHasUB = std::any_of(SrcB.begin(), SrcB.end(),
+                              [](const ExecResult &R) { return R.ub(); });
+  for (const ExecResult &T : TgtB) {
+    if (SrcHasUB)
+      break;
+    bool Refined = std::any_of(SrcB.begin(), SrcB.end(),
+                               [&](const ExecResult &S) {
+                                 return tv::behaviorRefines(
+                                     T, S, Opts.CompareMemory);
+                               });
+    if (!Refined) {
+      Result.St = TVResult::Status::Invalid;
+      Result.Message = "input " + tv::describeInput(Args) +
+                       ": target behaviour " +
+                       encodeBehavior(T, Opts.CompareMemory) +
+                       " refines no source behaviour; source has " +
+                       std::to_string(SrcB.size()) +
+                       " behaviour(s), e.g. " +
+                       encodeBehavior(SrcB.front(), Opts.CompareMemory);
+      return OneInputStatus::Fail;
+    }
+  }
+  return OneInputStatus::Pass;
+}
+
+/// Lanes (within \p Clean) where the target batch result fails to refine
+/// the source batch result. Plane bits of poison/undef/UB lanes are garbage,
+/// so every term is masked down to the lanes where it is meaningful.
+uint64_t failMask(const SlicedResult &S, const SlicedResult &T,
+                  uint64_t Clean) {
+  // Target UB refines nothing but source UB; source UB permits anything.
+  uint64_t Fail = T.UB & ~S.UB;
+  uint64_t BothOk = Clean & ~S.UB & ~T.UB;
+  if (S.HasRet) {
+    uint64_t NE = 0;
+    for (unsigned I = 0; I != S.Ret.Width; ++I)
+      NE |= S.Ret.Planes[I] ^ T.Ret.Planes[I];
+    uint64_t SP = S.Ret.Poison, SU = S.Ret.Undef;
+    uint64_t TP = T.Ret.Poison, TU = T.Ret.Undef;
+    // concrete ⊑ undef ⊑ poison: a concrete source demands equal concrete
+    // bits; an undef source forbids only poison; a poison source permits
+    // anything.
+    uint64_t Mismatch = (~SP & ~SU & (TP | TU | NE)) | (SU & TP);
+    Fail |= Mismatch & BothOk;
+  }
+  return Fail & Clean;
+}
+
+/// The bit-sliced engine. Returns nullopt when the function pair is outside
+/// the sliced subset (the caller falls back to the scalar loop and accounts
+/// the fallback). The deterministic-lane fast path asserts the scalar
+/// invariant it relies on: one oracle path per run, so a clean lane
+/// contributes exactly 2 to PathsExplored and 1 to InputsChecked; lanes
+/// flagged NeedScalar or failing re-run through checkOneInput, which makes
+/// counters and messages scalar-identical by construction.
+std::optional<TVResult> checkBitSliced(Function &Src, Function &Tgt,
+                                       const SemanticsConfig &Config,
+                                       const TVOptions &Opts) {
+  std::string Why;
+  std::optional<SlicedFunction> SF = SlicedFunction::compile(Src, Config, &Why);
+  if (!SF)
+    return std::nullopt;
+  std::optional<SlicedFunction> TF = SlicedFunction::compile(Tgt, Config, &Why);
+  if (!TF)
+    return std::nullopt;
+  // The scalar engine would burn fuel / path budget on these; keep that
+  // observable behaviour by deferring to it.
+  if (SF->instructionCount() > Opts.Fuel ||
+      TF->instructionCount() > Opts.Fuel || Opts.MaxPathsPerRun < 1)
+    return std::nullopt;
+
+  std::vector<Lane> Flat;
+  unsigned NumArgs;
+  if (!tv::enumerateInputLanes(Src, Config, Opts, Flat, NumArgs))
+    return std::nullopt; // Unreachable post-compile; belt and braces.
+  size_t Rows = NumArgs ? Flat.size() / NumArgs : 1;
+
+  TVResult Result;
+  std::vector<SlicedValue> Packed(NumArgs);
+  auto MakeArgs = [&](size_t Row) {
+    std::vector<sem::Value> Args;
+    Args.reserve(NumArgs);
+    for (unsigned A = 0; A != NumArgs; ++A)
+      Args.push_back(sem::Value(Flat[Row * NumArgs + A]));
+    return Args;
+  };
+
+  for (size_t Base = 0; Base < Rows; Base += SlicedFunction::MaxLanes) {
+    unsigned N = unsigned(std::min<size_t>(SlicedFunction::MaxLanes,
+                                           Rows - Base));
+    uint64_t Active = N == 64 ? ~uint64_t(0) : ((uint64_t(1) << N) - 1);
+    for (unsigned A = 0; A != NumArgs; ++A) {
+      Packed[A] = SlicedValue();
+      Packed[A].Width = SF->argWidth(A);
+      for (unsigned J = 0; J != N; ++J)
+        Packed[A].setLane(J, Flat[(Base + J) * NumArgs + A]);
+    }
+    SlicedResult SR = SF->run(Packed.data(), Active);
+    SlicedResult TR = TF->run(Packed.data(), Active);
+    stats::add("tv.bitsliced_batches");
+
+    uint64_t Fallback = (SR.NeedScalar | TR.NeedScalar) & Active;
+    uint64_t Fail = failMask(SR, TR, Active & ~Fallback);
+    if (!(Fallback | Fail)) {
+      // Whole batch clean and deterministic: 2 runs of 1 path per tuple.
+      Result.InputsChecked += N;
+      Result.PathsExplored += 2 * uint64_t(N);
+      continue;
+    }
+    // Walk lanes in enumeration order so the first failing input matches
+    // the scalar engine's.
+    for (unsigned J = 0; J != N; ++J) {
+      uint64_t Bit = uint64_t(1) << J;
+      if (Fallback & Bit) {
+        stats::add("tv.scalar_fallbacks");
+        OneInputStatus S =
+            checkOneInput(Src, Tgt, MakeArgs(Base + J), Config, Opts, Result);
+        if (S != OneInputStatus::Pass)
+          return Result;
+        ++Result.InputsChecked;
+      } else if (Fail & Bit) {
+        OneInputStatus S =
+            checkOneInput(Src, Tgt, MakeArgs(Base + J), Config, Opts, Result);
+        // A lane the batch flags as failing must fail the scalar check too;
+        // anything else is an engine bug. Degrade to the scalar verdict so
+        // a hypothetical mask bug could only cost time, never correctness.
+        assert(S != OneInputStatus::Pass &&
+               "bit-sliced failure not reproduced by the scalar engine");
+        if (S != OneInputStatus::Pass)
+          return Result;
+        ++Result.InputsChecked;
+      } else {
+        Result.InputsChecked += 1;
+        Result.PathsExplored += 2;
+      }
+    }
+  }
+
+  Result.St = TVResult::Status::Valid;
+  return Result;
+}
+
+} // namespace
+
 TVResult tv::checkRefinement(Function &Src, Function &Tgt,
                              const SemanticsConfig &Config,
                              const TVOptions &Opts) {
@@ -253,6 +520,13 @@ TVResult tv::checkRefinement(Function &Src, Function &Tgt,
     return Result;
   }
 
+  if (Opts.Engine == TVEngine::BitSliced) {
+    if (std::optional<TVResult> R = checkBitSliced(Src, Tgt, Config, Opts))
+      return *R;
+    // Outside the sliced subset: the whole pair runs scalar.
+    stats::add("tv.scalar_fallbacks");
+  }
+
   std::vector<std::vector<sem::Value>> Inputs;
   if (!enumerateInputTuples(Src, Config, Opts, Inputs)) {
     Result.Message = "unsupported parameter type";
@@ -260,40 +534,9 @@ TVResult tv::checkRefinement(Function &Src, Function &Tgt,
   }
 
   for (const auto &Args : Inputs) {
-    std::vector<ExecResult> SrcB, TgtB;
-    std::string Why;
-    if (!collectBehaviors(Src, Args, Config, Opts, SrcB, Result.PathsExplored,
-                          Why) ||
-        !collectBehaviors(Tgt, Args, Config, Opts, TgtB, Result.PathsExplored,
-                          Why)) {
-      Result.St = TVResult::Status::Inconclusive;
-      Result.Message = "input " + describeInput(Args) + ": " + Why;
+    OneInputStatus S = checkOneInput(Src, Tgt, Args, Config, Opts, Result);
+    if (S != OneInputStatus::Pass)
       return Result;
-    }
-
-    // Source UB on this input permits any target behaviour.
-    bool SrcHasUB = std::any_of(SrcB.begin(), SrcB.end(),
-                                [](const ExecResult &R) { return R.ub(); });
-    for (const ExecResult &T : TgtB) {
-      if (SrcHasUB)
-        break;
-      bool Refined = std::any_of(SrcB.begin(), SrcB.end(),
-                                 [&](const ExecResult &S) {
-                                   return behaviorRefines(T, S,
-                                                          Opts.CompareMemory);
-                                 });
-      if (!Refined) {
-        Result.St = TVResult::Status::Invalid;
-        Result.Message = "input " + describeInput(Args) +
-                         ": target behaviour " +
-                         encodeBehavior(T, Opts.CompareMemory) +
-                         " refines no source behaviour; source has " +
-                         std::to_string(SrcB.size()) +
-                         " behaviour(s), e.g. " +
-                         encodeBehavior(SrcB.front(), Opts.CompareMemory);
-        return Result;
-      }
-    }
     ++Result.InputsChecked;
   }
 

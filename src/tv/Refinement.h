@@ -34,6 +34,18 @@ class Function;
 
 namespace tv {
 
+/// Which evaluation engine drives checkRefinement.
+enum class TVEngine {
+  Scalar,    ///< One interpreter run per (function, input, oracle path).
+  BitSliced, ///< Batch 64 input tuples per instruction step
+             ///< (sem/BitSliced.h). Falls back to the scalar path per lane
+             ///< for nondeterministic lanes and per function for constructs
+             ///< outside the sliced subset; the verdict, the counterexample
+             ///< message, and the InputsChecked/PathsExplored counters are
+             ///< identical to the scalar engine's by construction. See
+             ///< docs/performance.md.
+};
+
 /// Knobs for the exhaustive checker.
 struct TVOptions {
   uint64_t MaxPathsPerRun = 1u << 14;  ///< Oracle paths per (fn, input).
@@ -42,6 +54,7 @@ struct TVOptions {
   bool IncludePoisonInputs = true;     ///< Feed poison as argument values.
   bool IncludeUndefInputs = true;      ///< Feed undef (legacy configs only).
   bool CompareMemory = true;           ///< Include final memory in behaviour.
+  TVEngine Engine = TVEngine::Scalar;  ///< Evaluation engine.
 };
 
 /// Outcome of a validation.
@@ -90,6 +103,17 @@ std::vector<std::string> enumerateBehaviors(Function &F,
 bool enumerateInputTuples(Function &F, const sem::SemanticsConfig &Config,
                           const TVOptions &Opts,
                           std::vector<std::vector<sem::Value>> &Out);
+
+/// The scalar-argument core of enumerateInputTuples: identical tuple order,
+/// cap behaviour, and special-lane repair, but emitted as one flat row-major
+/// lane matrix (\p NumArgs lanes per tuple) with no per-tuple heap values —
+/// the form the bit-sliced engine packs from. enumerateInputTuples delegates
+/// here whenever every parameter is a scalar integer, which is what makes
+/// cross-engine input-order parity hold by construction. Returns false when
+/// any parameter is not a scalar integer (vector/pointer).
+bool enumerateInputLanes(Function &F, const sem::SemanticsConfig &Config,
+                         const TVOptions &Opts, std::vector<sem::Lane> &Flat,
+                         unsigned &NumArgs);
 
 /// Collects every behaviour of \p F on \p Args across all oracle paths into
 /// \p Out (not deduplicated). Returns false — with \p Why set — when the

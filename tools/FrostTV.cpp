@@ -76,10 +76,16 @@ const char *Usage =
     "                               checking semantics (default proposed)\n"
     "\n"
     "Execution:\n"
+    "  --engine scalar|bitsliced    evaluation engine (default scalar);\n"
+    "                               bitsliced batches 64 input tuples per\n"
+    "                               instruction step and falls back to the\n"
+    "                               scalar path for nondeterministic lanes —\n"
+    "                               verdicts and reports are byte-identical\n"
+    "                               either way (see docs/performance.md)\n"
     "  --jobs N                     worker threads; 1 = serial (default 1)\n"
     "  --shard-size N               functions per shard (default 64)\n"
     "  --keep-duplicates            report every witness, no dedup\n"
-    "  --stats                      print tv.campaign.* counters\n"
+    "  --stats                      print tv.* counters\n"
     "  --time-passes                print per-pass wall time / change table\n"
     "  --quiet                      summary only, no counterexample report\n";
 
@@ -214,6 +220,17 @@ int main(int argc, char **argv) {
                      V.c_str(), Usage);
         return 3;
       }
+    } else if (A == "--engine") {
+      std::string V = Next();
+      if (V == "scalar")
+        Opts.TV.Engine = tv::TVEngine::Scalar;
+      else if (V == "bitsliced")
+        Opts.TV.Engine = tv::TVEngine::BitSliced;
+      else {
+        std::fprintf(stderr, "frost-tv: unknown engine '%s'\n%s", V.c_str(),
+                     Usage);
+        return 3;
+      }
     } else if (A == "--passes")
       Opts.Passes = Next();
     else if (A == "--jobs")
@@ -279,7 +296,9 @@ int main(int argc, char **argv) {
   }
 
   std::printf("%s\n", tv::describeCampaign(Opts).c_str());
-  std::printf("jobs=%u (hardware threads: %u)\n",
+  std::printf("engine=%s jobs=%u (hardware threads: %u)\n",
+              Opts.TV.Engine == tv::TVEngine::BitSliced ? "bitsliced"
+                                                        : "scalar",
               Opts.Jobs ? Opts.Jobs : ThreadPool::defaultThreadCount(),
               ThreadPool::defaultThreadCount());
 
@@ -291,7 +310,9 @@ int main(int argc, char **argv) {
   if (Opts.TimePasses)
     std::fputs(renderTimePassesReport().c_str(), stdout);
   if (ShowStats) {
-    std::fputs(stats::report("tv.campaign.").c_str(), stdout);
+    // "tv." covers the campaign counters plus the engine counters
+    // (tv.bitsliced_batches, tv.scalar_fallbacks).
+    std::fputs(stats::report("tv.").c_str(), stdout);
     if (Opts.Kind == tv::CampaignKind::EndToEnd) {
       std::fputs(stats::report("e2e.").c_str(), stdout);
       std::fputs(stats::report("cg.").c_str(), stdout);
