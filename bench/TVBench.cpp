@@ -210,7 +210,8 @@ double tuplesPerSec(const EngineRun &E) {
 /// record to \p JsonPath. Returns false when any width's reports diverge
 /// between engines (verdict parity is part of the record, but a divergence
 /// is also a hard failure).
-bool runEngineSweep(const std::string &JsonPath, uint64_t Scale) {
+bool runEngineSweep(const std::string &JsonPath, uint64_t Scale,
+                    const std::string &MemoryJson) {
   // Function counts per width, sized so the scalar side of the full sweep
   // runs in ~10s; --scale N divides them for smoke runs.
   const uint64_t Counts[4] = {3000, 2000, 1000, 500};
@@ -271,7 +272,9 @@ bool runEngineSweep(const std::string &JsonPath, uint64_t Scale) {
     return false;
   }
   char Buf[512];
-  Out << "{\n  \"schema\": \"frost-bench-tv/v1\",\n";
+  // v2 adds the "memory" section; every v1 key is unchanged, so v1
+  // consumers keep working.
+  Out << "{\n  \"schema\": \"frost-bench-tv/v2\",\n";
   std::snprintf(Buf, sizeof(Buf),
                 "  \"campaign\": {\"source\": \"exhaustive\", \"insts\": 2, "
                 "\"args\": 3, \"widths\": [1, 2, 3, 4], \"opcodes\": "
@@ -301,8 +304,9 @@ bool runEngineSweep(const std::string &JsonPath, uint64_t Scale) {
                   I + 1 != Runs.size() ? "," : "");
     Out << Buf;
   }
+  Out << "  ],\n" << MemoryJson;
   std::snprintf(Buf, sizeof(Buf),
-                "  ],\n  \"total\": {\"inputs\": %llu, \"scalar_wall_s\": "
+                "  \"total\": {\"inputs\": %llu, \"scalar_wall_s\": "
                 "%.4f, \"bitsliced_wall_s\": %.4f, \"speedup\": %.2f, "
                 "\"scalar_tuples_per_s\": %.0f, \"bitsliced_tuples_per_s\": "
                 "%.0f, \"verdict_parity\": %s, \"report_hash\": "
@@ -315,6 +319,116 @@ bool runEngineSweep(const std::string &JsonPath, uint64_t Scale) {
   Out << Buf;
   std::printf("wrote %s\n", JsonPath.c_str());
   return AllParity;
+}
+
+//===----------------------------------------------------------------------===//
+// Memory-campaign sweep -> the "memory" section of BENCH_TV.json
+//===----------------------------------------------------------------------===//
+
+/// Outcome of the memory sweep: the proposed memory pipeline over the
+/// exhaustive 1-byte space (must be clean), the legacy DSE campaign over
+/// the identical space (must find the folklore store-undef bug and blame
+/// dse<legacy>), and the determinism spot-check.
+struct MemorySweep {
+  tv::CampaignResult Proposed, Legacy;
+  bool Deterministic = false;
+  bool LegacyBlamesDSE = false;
+  std::string Json; // The "memory" object for BENCH_TV.json.
+};
+
+/// The exhaustive memory space matching the docs/memory.md smoke command:
+/// every 2-instruction function over i2 with loads/stores over one byte of
+/// global memory (plus the alloca cell), undef and poison operands
+/// included, validated with final-memory comparison over the
+/// initial-memory sweep.
+tv::CampaignOptions memoryShape(uint64_t MaxFunctions) {
+  tv::CampaignOptions Opts;
+  Opts.Enum.NumInsts = 2;
+  Opts.Enum.NumArgs = 1;
+  Opts.Enum.WithPoison = true;
+  Opts.Enum.WithUndef = true;
+  Opts.Enum.WithMemory = true;
+  Opts.Enum.MemBytes = 1;
+  Opts.Enum.Opcodes = {}; // icmp/select/freeze + load/store only.
+  Opts.MaxFunctions = MaxFunctions;
+  Opts.TV.CompareMemory = true;
+  Opts.TV.EnumerateMemory = true;
+  return Opts;
+}
+
+MemorySweep runMemorySweep(uint64_t Scale) {
+  const uint64_t MaxFunctions = std::max<uint64_t>(1, 4000 / Scale);
+  MemorySweep S;
+
+  std::printf("\n=== Memory campaigns: final-memory TV over initial-memory "
+              "sweeps ===\n");
+  tv::CampaignOptions Prop = memoryShape(MaxFunctions);
+  Prop.Passes = "dse,gvn,licm";
+  Prop.Jobs = 1;
+  S.Proposed = tv::runCampaign(Prop);
+  std::printf("proposed dse,gvn,licm: %llu fns in %.2fs | %llu swept over "
+              "%llu initial memories, %llu alias queries | %llu INVALID\n",
+              (unsigned long long)S.Proposed.Functions,
+              S.Proposed.WallSeconds,
+              (unsigned long long)S.Proposed.MemFunctions,
+              (unsigned long long)S.Proposed.MemConfigs,
+              (unsigned long long)S.Proposed.AliasQueries,
+              (unsigned long long)S.Proposed.Invalid);
+
+  tv::CampaignOptions Leg = memoryShape(MaxFunctions);
+  Leg.Passes = "dse";
+  Leg.Pipeline = PipelineMode::Legacy;
+  Leg.Semantics = SemanticsConfig::legacyGVN();
+  Leg.Jobs = 1;
+  S.Legacy = tv::runCampaign(Leg);
+  S.LegacyBlamesDSE = S.Legacy.Invalid > 0;
+  for (const tv::Counterexample &CE : S.Legacy.Counterexamples)
+    S.LegacyBlamesDSE &= CE.BlamedPass == "dse<legacy>";
+  Leg.Jobs = 2;
+  tv::CampaignResult LegacyJ2 = tv::runCampaign(Leg);
+  S.Deterministic = S.Legacy.report() == LegacyJ2.report();
+  std::printf("legacy dse: %llu fns in %.2fs | %llu INVALID (%llu distinct "
+              "classes), blame %s | --jobs 2 report %s\n",
+              (unsigned long long)S.Legacy.Functions, S.Legacy.WallSeconds,
+              (unsigned long long)S.Legacy.Invalid,
+              (unsigned long long)S.Legacy.DistinctFailures,
+              S.LegacyBlamesDSE ? "dse<legacy> (all)" : "WRONG",
+              S.Deterministic ? "byte-identical" : "DIVERGED");
+
+  char Buf[512];
+  std::string J;
+  J += "  \"memory\": {\n";
+  std::snprintf(Buf, sizeof(Buf),
+                "    \"campaign\": {\"source\": \"exhaustive\", \"insts\": 2, "
+                "\"args\": 1, \"width\": 2, \"mem_bytes\": 1, \"undef\": "
+                "true, \"mem_configs\": 8, \"max_functions\": %llu},\n",
+                (unsigned long long)MaxFunctions);
+  J += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "    \"proposed\": {\"passes\": \"dse,gvn,licm\", "
+                "\"functions\": %llu, \"invalid\": %llu, \"mem_functions\": "
+                "%llu, \"mem_configs\": %llu, \"alias_queries\": %llu, "
+                "\"wall_s\": %.4f},\n",
+                (unsigned long long)S.Proposed.Functions,
+                (unsigned long long)S.Proposed.Invalid,
+                (unsigned long long)S.Proposed.MemFunctions,
+                (unsigned long long)S.Proposed.MemConfigs,
+                (unsigned long long)S.Proposed.AliasQueries, S.Proposed.WallSeconds);
+  J += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "    \"legacy_dse\": {\"passes\": \"dse\", \"functions\": "
+                "%llu, \"invalid\": %llu, \"distinct_failures\": %llu, "
+                "\"blames_dse\": %s, \"wall_s\": %.4f},\n",
+                (unsigned long long)S.Legacy.Functions,
+                (unsigned long long)S.Legacy.Invalid,
+                (unsigned long long)S.Legacy.DistinctFailures,
+                S.LegacyBlamesDSE ? "true" : "false", S.Legacy.WallSeconds);
+  J += Buf;
+  std::snprintf(Buf, sizeof(Buf), "    \"deterministic\": %s\n  },\n",
+                S.Deterministic ? "true" : "false");
+  J += Buf;
+  S.Json = J;
+  return S;
 }
 
 } // namespace
@@ -342,7 +456,24 @@ int main(int argc, char **argv) {
     argc = W;
   }
 
-  bool SweepParity = runEngineSweep(JsonPath, Scale);
+  MemorySweep Mem = runMemorySweep(Scale);
+  if (Mem.Proposed.Invalid || Mem.Proposed.Inconclusive) {
+    std::printf("MEMORY FAILURE: the proposed memory pipeline did not "
+                "validate clean\n");
+    return 1;
+  }
+  if (!Mem.LegacyBlamesDSE) {
+    std::printf("MEMORY FAILURE: legacy dse campaign found nothing (or "
+                "misattributed blame)\n");
+    return 1;
+  }
+  if (!Mem.Deterministic) {
+    std::printf("MEMORY FAILURE: --jobs 1 and --jobs 2 memory reports "
+                "diverged\n");
+    return 1;
+  }
+
+  bool SweepParity = runEngineSweep(JsonPath, Scale, Mem.Json);
   if (!SweepParity) {
     std::printf("SWEEP FAILURE: scalar and bitsliced reports diverged\n");
     return 1;

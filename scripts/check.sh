@@ -36,6 +36,27 @@ if ./build/tools/frost-tv --insts 2 --width 1 --args 3 --opcodes none \
   exit 1
 fi
 
+echo "== memory smoke: proposed pipeline over memory programs must be clean =="
+./build/tools/frost-tv --opcodes none --mem-bytes 1 --with-undef \
+    --passes dse,gvn,licm --jobs 2 --quiet --stats | grep -E "memory:|aa\.|tv\.mem_" || true
+./build/tools/frost-tv --opcodes none --mem-bytes 1 --with-undef \
+    --passes dse,gvn,licm --jobs 2 --quiet >/dev/null
+
+echo "== memory smoke: legacy DSE must be caught by the initial-memory sweep =="
+if ./build/tools/frost-tv --opcodes none --mem-bytes 1 --with-undef \
+    --pipeline legacy --sem legacy-gvn --passes dse --jobs 2 --quiet; then
+  echo "check.sh: FAIL: legacy memory campaign found no miscompilation" >&2
+  exit 1
+fi
+
+echo "== memory smoke: the three legacy memory bugs must each be blamed =="
+if ./build/tools/frost-tv --file tests/ir/mem/campaign-legacy-memory.fr \
+    --compare-memory --sem legacy-gvn --jobs 1 --quiet \
+    --passes 'gvn<legacy>,instcombine<legacy>,dse<legacy>,licm<legacy>'; then
+  echo "check.sh: FAIL: legacy memory triple campaign came back clean" >&2
+  exit 1
+fi
+
 echo "== smoke campaign: backend must refine proposed semantics =="
 ./build/tools/frost-tv --end-to-end --insts 2 --width 2 \
     --max-functions 4000 --jobs 2 --quiet

@@ -1,0 +1,131 @@
+//===- AliasAnalysis.cpp - Must/may/no-alias queries --------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AliasAnalysis.h"
+
+#include "ir/Constants.h"
+#include "ir/Instructions.h"
+#include "opt/AnalysisManager.h"
+#include "support/Stats.h"
+
+using namespace frost;
+
+const char *frost::aliasResultName(AliasResult R) {
+  switch (R) {
+  case AliasResult::NoAlias:
+    return "noalias";
+  case AliasResult::MayAlias:
+    return "mayalias";
+  case AliasResult::MustAlias:
+    return "mustalias";
+  }
+  return "mayalias";
+}
+
+PointerOffset AliasAnalysis::decompose(const Value *Ptr) {
+  PointerOffset R;
+  const Value *V = Ptr;
+  for (;;) {
+    if (const auto *G = dyn_cast<GEPInst>(V)) {
+      if (const auto *Idx = dyn_cast<ConstantInt>(G->index())) {
+        uint64_t ElemBytes = (G->pointeeType()->bitWidth() + 7) / 8;
+        R.OffsetBytes +=
+            Idx->value().sext() * static_cast<int64_t>(ElemBytes);
+      } else {
+        R.HasConstOffset = false;
+      }
+      V = G->base();
+      continue;
+    }
+    // An access through freeze(p) is an access through p: freeze of a
+    // non-poison pointer is a nop, and a poison pointer makes the access UB.
+    if (const auto *Fr = dyn_cast<FreezeInst>(V)) {
+      V = Fr->src();
+      continue;
+    }
+    break;
+  }
+  R.Base = V;
+  return R;
+}
+
+bool AliasAnalysis::isIdentifiedObject(const Value *V) {
+  return isa<GlobalVariable>(V) || isa<AllocaInst>(V);
+}
+
+std::optional<uint64_t> AliasAnalysis::objectSizeBytes(const Value *Base) {
+  if (const auto *G = dyn_cast<GlobalVariable>(Base))
+    return G->sizeBytes();
+  if (const auto *A = dyn_cast<AllocaInst>(Base))
+    return (A->allocatedType()->bitWidth() + 7) / 8;
+  return std::nullopt;
+}
+
+/// True when a constant-offset access provably stays inside its base object,
+/// so its concrete address range cannot reach any other allocation.
+static bool accessInObject(const PointerOffset &P, uint64_t AccessBytes) {
+  if (!P.HasConstOffset || P.OffsetBytes < 0)
+    return false;
+  std::optional<uint64_t> Size = AliasAnalysis::objectSizeBytes(P.Base);
+  if (!Size)
+    return false;
+  return static_cast<uint64_t>(P.OffsetBytes) + AccessBytes <= *Size;
+}
+
+AliasResult AliasAnalysis::alias(const Value *P1, unsigned Bits1,
+                                 const Value *P2, unsigned Bits2) const {
+  stats::add("aa.queries");
+  uint64_t Bytes1 = (Bits1 + 7) / 8;
+  uint64_t Bytes2 = (Bits2 + 7) / 8;
+
+  AliasResult R = AliasResult::MayAlias;
+  if (P1 == P2) {
+    R = Bytes1 == Bytes2 ? AliasResult::MustAlias : AliasResult::MayAlias;
+  } else {
+    PointerOffset D1 = decompose(P1);
+    PointerOffset D2 = decompose(P2);
+    if (D1.Base == D2.Base) {
+      if (D1.HasConstOffset && D2.HasConstOffset) {
+        if (D1.OffsetBytes == D2.OffsetBytes && Bytes1 == Bytes2)
+          R = AliasResult::MustAlias;
+        else if (D1.OffsetBytes + static_cast<int64_t>(Bytes1) <=
+                     D2.OffsetBytes ||
+                 D2.OffsetBytes + static_cast<int64_t>(Bytes2) <=
+                     D1.OffsetBytes)
+          R = AliasResult::NoAlias;
+      }
+    } else if (isIdentifiedObject(D1.Base) && isIdentifiedObject(D2.Base)) {
+      // Distinct objects are disjoint, but the interpreter's address
+      // arithmetic is raw: only accesses pinned inside their own object by a
+      // constant offset are guaranteed not to land in the neighbour.
+      if (accessInObject(D1, Bytes1) && accessInObject(D2, Bytes2))
+        R = AliasResult::NoAlias;
+    }
+  }
+
+  switch (R) {
+  case AliasResult::NoAlias:
+    stats::add("aa.no_alias");
+    break;
+  case AliasResult::MayAlias:
+    stats::add("aa.may_alias");
+    break;
+  case AliasResult::MustAlias:
+    stats::add("aa.must_alias");
+    break;
+  }
+  return R;
+}
+
+AnalysisKey *AAAnalysis::key() {
+  static AnalysisKey K;
+  return &K;
+}
+
+AliasAnalysis AAAnalysis::run(Function &F, AnalysisManager &) {
+  return AliasAnalysis(F);
+}

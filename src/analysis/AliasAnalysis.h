@@ -1,0 +1,94 @@
+//===- AliasAnalysis.h - Must/may/no-alias queries --------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A basic alias analysis over the frost memory model: pointers are
+/// decomposed into (underlying object, byte offset) by walking GEP chains,
+/// and two accesses are compared by interval reasoning over their offsets.
+///
+/// Soundness is calibrated to the Figure 5 interpreter, which is *looser*
+/// than LLVM's based-on rules: a non-inbounds GEP can carry an address from
+/// one global into a neighbouring allocation, and even an inbounds GEP only
+/// guarantees the address lands in *some* valid block (otherwise it is
+/// poison and the access is UB). Distinct underlying objects therefore
+/// justify NoAlias only when both offsets are compile-time constants that
+/// provably stay inside their own objects.
+///
+/// Query volume and verdicts are observable through the stats:: registry:
+/// "aa.queries", "aa.no_alias", "aa.may_alias", "aa.must_alias".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_ANALYSIS_ALIASANALYSIS_H
+#define FROST_ANALYSIS_ALIASANALYSIS_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace frost {
+
+class AnalysisKey;
+class AnalysisManager;
+
+enum class AliasResult { NoAlias, MayAlias, MustAlias };
+
+const char *aliasResultName(AliasResult R);
+
+/// A pointer decomposed into its underlying object plus a byte offset.
+/// Offset tracking stops (HasConstOffset goes false) at the first
+/// variable-index GEP; the base keeps accumulating through the whole chain.
+struct PointerOffset {
+  const Value *Base = nullptr;
+  bool HasConstOffset = true;
+  int64_t OffsetBytes = 0;
+};
+
+/// Stateless per-function alias oracle. Queries walk the IR as it stands at
+/// call time, so the result object survives instruction edits (only CFG
+/// surgery that deletes pointer values would leave dangling queries, and
+/// those invalidate the whole cache anyway).
+class AliasAnalysis {
+public:
+  explicit AliasAnalysis(Function &F) : F(&F) {}
+
+  Function &function() const { return *F; }
+
+  /// Strips GEPs (and freezes) off \p Ptr, accumulating constant offsets.
+  static PointerOffset decompose(const Value *Ptr);
+
+  /// True for values whose address is distinct from every other identified
+  /// object: named globals and allocas.
+  static bool isIdentifiedObject(const Value *V);
+
+  /// Allocation size of an identified object, if known.
+  static std::optional<uint64_t> objectSizeBytes(const Value *Base);
+
+  /// Relation between an access of \p Bits1 bits at \p P1 and one of
+  /// \p Bits2 bits at \p P2. MustAlias means identical address *and*
+  /// identical extent.
+  AliasResult alias(const Value *P1, unsigned Bits1, const Value *P2,
+                    unsigned Bits2) const;
+
+private:
+  Function *F;
+};
+
+/// AnalysisManager registration for AliasAnalysis.
+class AAAnalysis {
+public:
+  using Result = AliasAnalysis;
+  static AnalysisKey *key();
+  static const char *name() { return "aa"; }
+  static std::vector<AnalysisKey *> dependencies() { return {}; }
+  static Result run(Function &F, AnalysisManager &AM);
+};
+
+} // namespace frost
+
+#endif // FROST_ANALYSIS_ALIASANALYSIS_H

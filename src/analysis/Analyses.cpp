@@ -53,5 +53,6 @@ PreservedAnalyses frost::preservedCFGAnalyses() {
   PA.preserve<DominatorTreeAnalysis>();
   PA.preserve<LoopInfoAnalysis>();
   PA.preserve<ScalarEvolutionAnalysis>();
+  PA.preserve<AAAnalysis>();
   return PA;
 }

@@ -22,8 +22,10 @@
 #ifndef FROST_ANALYSIS_ANALYSES_H
 #define FROST_ANALYSIS_ANALYSES_H
 
+#include "analysis/AliasAnalysis.h"
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
+#include "analysis/MemorySSA.h"
 #include "analysis/ScalarEvolution.h"
 #include "opt/AnalysisManager.h"
 
@@ -58,7 +60,9 @@ public:
 
 /// The preservation set of a pass that edited instructions but left the CFG
 /// (blocks and edges) intact: the dominator tree, loop structure, and
-/// scalar evolution all remain valid.
+/// scalar evolution all remain valid. AliasAnalysis is preserved too (it is
+/// a stateless oracle over the live IR), but MemorySSA deliberately is not:
+/// instruction edits may have added or removed memory defs.
 PreservedAnalyses preservedCFGAnalyses();
 
 } // namespace frost

@@ -1,0 +1,111 @@
+//===- MemorySSA.cpp - Per-block memory def/use chains ------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MemorySSA.h"
+
+#include "analysis/Analyses.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+
+#include <cassert>
+
+using namespace frost;
+
+MemorySSA::MemorySSA(Function &F, const DominatorTree &DT) : F(&F) {
+  // A function with no memory defs has version-0 memory everywhere, even
+  // around loops; only when defs exist do joins need phi versions.
+  bool HasDefs = false;
+  for (BasicBlock *BB : DT.rpo())
+    for (Instruction *I : *BB)
+      if (I->mayWriteMemory())
+        HasDefs = true;
+
+  std::map<const BasicBlock *, bool> Processed;
+  for (BasicBlock *BB : DT.rpo()) {
+    uint64_t In = 0;
+    if (BB != DT.rpo().front() && HasDefs) {
+      bool AllKnown = true, First = true, Agree = true;
+      uint64_t Seen = 0;
+      for (BasicBlock *Pred : BB->uniquePredecessors()) {
+        if (!Processed.count(Pred)) {
+          AllKnown = false; // back edge (or unreachable pred)
+          continue;
+        }
+        uint64_t V = ExitVersion.at(Pred);
+        if (First) {
+          Seen = V;
+          First = false;
+        } else if (V != Seen) {
+          Agree = false;
+        }
+      }
+      if (AllKnown && !First && Agree)
+        In = Seen;
+      else
+        In = NextVersion++; // phi version
+    }
+    EntryVersion[BB] = In;
+
+    uint64_t Cur = In;
+    std::vector<MemoryAccess> &List = Accesses[BB];
+    for (Instruction *I : *BB) {
+      bool Def = I->mayWriteMemory();
+      bool Use = I->mayReadMemory();
+      if (!Def && !Use)
+        continue;
+      MemoryAccess A;
+      A.I = I;
+      A.IsDef = Def;
+      A.IsUse = Use;
+      A.VersionBefore = Cur;
+      if (Def)
+        Cur = NextVersion++;
+      A.VersionAfter = Cur;
+      VersionBeforeInst[I] = A.VersionBefore;
+      List.push_back(A);
+    }
+    ExitVersion[BB] = Cur;
+    Processed[BB] = true;
+  }
+}
+
+uint64_t MemorySSA::entryVersion(const BasicBlock *BB) const {
+  auto It = EntryVersion.find(BB);
+  return It == EntryVersion.end() ? 0 : It->second;
+}
+
+uint64_t MemorySSA::exitVersion(const BasicBlock *BB) const {
+  auto It = ExitVersion.find(BB);
+  return It == ExitVersion.end() ? 0 : It->second;
+}
+
+const std::vector<MemoryAccess> &
+MemorySSA::accesses(const BasicBlock *BB) const {
+  static const std::vector<MemoryAccess> Empty;
+  auto It = Accesses.find(BB);
+  return It == Accesses.end() ? Empty : It->second;
+}
+
+uint64_t MemorySSA::versionBefore(const Instruction *I) const {
+  auto It = VersionBeforeInst.find(I);
+  assert(It != VersionBeforeInst.end() &&
+         "instruction does not touch memory (or is unreachable)");
+  return It->second;
+}
+
+AnalysisKey *MemorySSAAnalysis::key() {
+  static AnalysisKey K;
+  return &K;
+}
+
+std::vector<AnalysisKey *> MemorySSAAnalysis::dependencies() {
+  return {DominatorTreeAnalysis::key()};
+}
+
+MemorySSA MemorySSAAnalysis::run(Function &F, AnalysisManager &AM) {
+  return MemorySSA(F, AM.get<DominatorTreeAnalysis>(F));
+}

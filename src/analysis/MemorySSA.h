@@ -1,0 +1,90 @@
+//===- MemorySSA.h - Per-block memory def/use chains ------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A MemorySSA-lite: the whole memory state is one SSA-like value, each
+/// store (or call) produces a fresh *version* of it, and each load (or
+/// call) records the version it observes. Versions merge at control-flow
+/// joins into a fresh phi version. There is no per-location precision —
+/// that is AliasAnalysis's job; together they give passes
+/// "same version + must-alias pointer => same bytes".
+///
+/// Version 0 is live-on-entry memory. The structure is a snapshot: any pass
+/// that adds, removes, or moves a load/store/call must invalidate it
+/// (removing pure *uses* keeps the remaining numbering valid, which is why
+/// GVN can keep one instance across its forwarding and numbering rounds).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_ANALYSIS_MEMORYSSA_H
+#define FROST_ANALYSIS_MEMORYSSA_H
+
+#include "analysis/Dominators.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace frost {
+
+class AnalysisKey;
+class AnalysisManager;
+
+/// One memory-touching instruction in program order within its block.
+struct MemoryAccess {
+  Instruction *I = nullptr;
+  bool IsDef = false; // store/call: produces a new memory version
+  bool IsUse = false; // load/call: observes a memory version
+  uint64_t VersionBefore = 0;
+  uint64_t VersionAfter = 0; // == VersionBefore for pure uses
+};
+
+class MemorySSA {
+public:
+  MemorySSA(Function &F, const DominatorTree &DT);
+
+  Function &function() const { return *F; }
+
+  /// Memory version on entry to / exit from \p BB. Entry of the function's
+  /// entry block is version 0 (live-on-entry); joins with disagreeing
+  /// predecessors (or back edges) get a fresh phi version.
+  uint64_t entryVersion(const BasicBlock *BB) const;
+  uint64_t exitVersion(const BasicBlock *BB) const;
+
+  /// The block's memory accesses in program order (empty for blocks with no
+  /// loads/stores/calls, and for unreachable blocks).
+  const std::vector<MemoryAccess> &accesses(const BasicBlock *BB) const;
+
+  /// The version observed by (use) or live before (def) instruction \p I,
+  /// which must read or write memory.
+  uint64_t versionBefore(const Instruction *I) const;
+
+  /// Total number of versions created (including live-on-entry and phis).
+  uint64_t numVersions() const { return NextVersion; }
+
+private:
+  Function *F;
+  uint64_t NextVersion = 1; // 0 is live-on-entry
+  std::map<const BasicBlock *, uint64_t> EntryVersion;
+  std::map<const BasicBlock *, uint64_t> ExitVersion;
+  std::map<const BasicBlock *, std::vector<MemoryAccess>> Accesses;
+  std::map<const Instruction *, uint64_t> VersionBeforeInst;
+};
+
+/// AnalysisManager registration for MemorySSA.
+class MemorySSAAnalysis {
+public:
+  using Result = MemorySSA;
+  static AnalysisKey *key();
+  static const char *name() { return "memssa"; }
+  static std::vector<AnalysisKey *> dependencies();
+  static Result run(Function &F, AnalysisManager &AM);
+};
+
+} // namespace frost
+
+#endif // FROST_ANALYSIS_MEMORYSSA_H

@@ -7,6 +7,7 @@
 
 #include "fuzz/Enumerate.h"
 
+#include "ir/Constants.h"
 #include "ir/Context.h"
 #include "ir/IRBuilder.h"
 #include "ir/Module.h"
@@ -55,11 +56,12 @@ private:
   void materialize(const std::vector<Plan> &Planned);
 
   /// iW operand pool size before instruction \p Slot given how many of the
-  /// earlier instructions produce iW.
+  /// earlier instructions produce iW. ICmp produces i1 and Store produces
+  /// nothing; everything else (including Load) feeds the wide pool.
   std::vector<unsigned> wideProducers(const std::vector<Plan> &Planned) const {
     std::vector<unsigned> Out;
     for (unsigned I = 0; I != Planned.size(); ++I)
-      if (Planned[I].Op != Opcode::ICmp)
+      if (Planned[I].Op != Opcode::ICmp && Planned[I].Op != Opcode::Store)
         Out.push_back(I);
     return Out;
   }
@@ -70,6 +72,15 @@ private:
         Out.push_back(I);
     return Out;
   }
+
+  /// Addressable cells inside the `@m` global: MemBytes split into wide
+  /// cells (at least one, even when MemBytes is smaller than a cell).
+  unsigned numGlobalCells() const {
+    unsigned CellBytes = (Opts.Width + 7) / 8;
+    return Opts.MemBytes >= CellBytes ? Opts.MemBytes / CellBytes : 1;
+  }
+  /// Global cells plus the function-local alloca cell (the last index).
+  unsigned numCells() const { return numGlobalCells() + 1; }
 
   unsigned numBaseOperands() const {
     unsigned N = Opts.NumArgs;
@@ -131,6 +142,20 @@ void Enumerator::generate(std::vector<Plan> Planned) {
       Planned.pop_back();
     }
   }
+  if (Opts.WithMemory) {
+    // Load: A = cell index. Store: A = wide value, B = cell index.
+    for (unsigned A = 0; A != numCells() && !Stop; ++A) {
+      Planned.push_back({Opcode::Load, A, 0, 0, false});
+      generate(Planned);
+      Planned.pop_back();
+    }
+    for (unsigned A = 0; A != WidePool && !Stop; ++A)
+      for (unsigned Cell = 0; Cell != numCells() && !Stop; ++Cell) {
+        Planned.push_back({Opcode::Store, A, Cell, 0, false});
+        generate(Planned);
+        Planned.pop_back();
+      }
+  }
 }
 
 void Enumerator::materialize(const std::vector<Plan> &Planned) {
@@ -159,6 +184,31 @@ void Enumerator::materialize(const std::vector<Plan> &Planned) {
   std::vector<Value *> BoolVals;
   if (Opts.WithPoisonCond)
     BoolVals.push_back(Ctx.getPoison(Ctx.intTy(1)));
+
+  // Memory cells, materialised at the point of first use: cell 0 is the
+  // shared `@m` global itself, later global cells are constant inbounds
+  // geps off it, and the final index is a fresh alloca of the wide type.
+  GlobalVariable *MemG = nullptr;
+  std::vector<Value *> CellPtrs(Opts.WithMemory ? numCells() : 0, nullptr);
+  auto cellPtr = [&](unsigned Cell) -> Value * {
+    if (CellPtrs[Cell])
+      return CellPtrs[Cell];
+    Value *P;
+    if (Cell == numGlobalCells()) {
+      P = B.alloca_(WideTy, "sl");
+    } else {
+      if (!MemG) {
+        MemG = Ctx.findGlobal("m");
+        if (!MemG)
+          MemG = Ctx.getGlobal("m", WideTy, Opts.MemBytes);
+      }
+      P = Cell == 0 ? static_cast<Value *>(MemG)
+                    : B.gep(MemG, Ctx.getInt(32, Cell), /*InBounds=*/true,
+                            "p" + std::to_string(Cell));
+    }
+    return CellPtrs[Cell] = P;
+  };
+
   Value *Last = nullptr;
   for (const Plan &P : Planned) {
     switch (P.Op) {
@@ -174,6 +224,13 @@ void Enumerator::materialize(const std::vector<Plan> &Planned) {
       Last = B.freeze(WideVals[P.A]);
       WideVals.push_back(Last);
       break;
+    case Opcode::Load:
+      Last = B.load(cellPtr(P.A), "ld");
+      WideVals.push_back(Last);
+      break;
+    case Opcode::Store:
+      B.store(WideVals[P.A], cellPtr(P.B));
+      break;
     default:
       Last = B.binOp(P.Op, WideVals[P.A], WideVals[P.B],
                      {P.NSW, false, false});
@@ -181,6 +238,13 @@ void Enumerator::materialize(const std::vector<Plan> &Planned) {
       break;
     }
   }
+  // A trailing store is observable through final memory but produces no
+  // value; return the newest wide value instead (Last may even be an i1
+  // icmp feeding nothing when stores follow it).
+  if (!Planned.empty() && Planned.back().Op == Opcode::Store)
+    Last = WideVals.empty()
+               ? static_cast<Value *>(Ctx.getInt(Opts.Width, 0))
+               : WideVals.back();
   B.ret(Last);
 
   ++Count;

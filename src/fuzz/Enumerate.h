@@ -48,6 +48,22 @@ struct EnumOptions {
   /// poison condition reaching a branchless select lowering is the classic
   /// divergence between the legacy select readings and the machine.
   bool WithPoisonCond = false;
+  /// Also enumerate memory traffic: loads and stores over a small
+  /// addressable space — a module global `@m` of MemBytes bytes, split
+  /// into cells of the wide type (cell 0 is `@m` itself, later cells are
+  /// constant inbounds geps), plus one function-local alloca cell of the
+  /// same type. Stores draw their value from the full wide pool, so
+  /// WithUndef / WithPoison also yield stores of literal undef / poison —
+  /// the shapes whose forwarding and deletion differ between the legacy
+  /// and proposed semantics. A function may end in a store (its effect is
+  /// observable through final memory); the return value then falls back to
+  /// the newest wide value. Memory-sweeping TV campaigns pair this with
+  /// TVOptions::EnumerateMemory.
+  bool WithMemory = false;
+  /// Bytes of global memory when WithMemory is set. 1-4 keeps the
+  /// initial-memory sweep tractable; values below one wide cell still get
+  /// a single cell.
+  unsigned MemBytes = 2;
   /// Opcodes to draw from (subset of binary arithmetic); icmp is always
   /// included when WithSelect is set.
   std::vector<Opcode> Opcodes = {Opcode::Add, Opcode::Sub, Opcode::Mul,

@@ -56,6 +56,7 @@ private:
   IRBuilder B;
   Function *F = nullptr;
   GlobalVariable *Arr = nullptr;
+  Value *Slot = nullptr; ///< Function-local alloca scratch cell.
   std::vector<Value *> Pool;
 
   unsigned wordBytes() const { return (Opts.Width + 7) / 8; }
@@ -120,7 +121,10 @@ void ProgramBuilder::emitArithmetic() {
 }
 
 void ProgramBuilder::emitMemoryOp() {
-  Value *Ptr = arrayLocation(pick());
+  // A quarter of memory traffic goes through the alloca scratch cell, so
+  // stack promotion (SROA-style load/store forwarding, LICM promotion over
+  // an identified local object) gets exercised alongside the global array.
+  Value *Ptr = R.below(4) == 0 ? Slot : arrayLocation(pick());
   if (R.flip()) {
     B.store(pick(), Ptr);
   } else {
@@ -245,9 +249,12 @@ Function *ProgramBuilder::build() {
   B.setInsertPoint(F->addBlock("entry"));
   Pool = {F->arg(0), F->arg(1), constant(1), constant(0x2B)};
 
-  // Initialise the scratch array so loads are never uninitialized.
+  // Initialise the scratch array and the local cell so loads are never
+  // uninitialized.
   for (unsigned I = 0; I != Opts.GlobalWords; ++I)
     B.store(constant(R.next() & 0xFF), B.gep(Arr, constant(I), true));
+  Slot = B.alloca_(wordTy(), "slot");
+  B.store(constant(R.next() & 0xFF), Slot);
 
   unsigned LoopsLeft = Opts.Loops;
   // Roughly a quarter of generated programs contain a construct whose

@@ -160,7 +160,32 @@ std::string frost::printInstruction(const Instruction &I) {
   return OS.str();
 }
 
-std::string frost::printFunction(Function &F) {
+namespace {
+
+/// Appends the globals referenced by \p F's body to \p Globals in first-use
+/// order, skipping ones already present.
+void collectReferencedGlobals(Function &F,
+                              std::vector<GlobalVariable *> &Globals) {
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      for (unsigned Op = 0, E = I->getNumOperands(); Op != E; ++Op)
+        if (auto *G = dyn_cast<GlobalVariable>(I->getOperand(Op)))
+          if (std::find(Globals.begin(), Globals.end(), G) == Globals.end())
+            Globals.push_back(G);
+}
+
+void printGlobals(std::ostringstream &OS,
+                  const std::vector<GlobalVariable *> &Globals) {
+  for (const GlobalVariable *G : Globals)
+    OS << "@" << G->getName() << " = global " << G->valueType()->str()
+       << ", " << G->sizeBytes() << "\n";
+  if (!Globals.empty())
+    OS << "\n";
+}
+
+/// The function definition alone, without the global declarations that make
+/// it standalone-parseable (printModule emits those once per module).
+std::string printFunctionBody(Function &F) {
   F.nameValues();
   std::ostringstream OS;
   if (F.isDeclaration()) {
@@ -187,30 +212,34 @@ std::string frost::printFunction(Function &F) {
   return OS.str();
 }
 
+} // namespace
+
+std::string frost::printFunction(Function &F) {
+  // Lead with the globals the body references so the text is standalone:
+  // campaign shards and counterexample reports re-parse single functions.
+  std::vector<GlobalVariable *> Globals;
+  collectReferencedGlobals(F, Globals);
+  std::ostringstream OS;
+  printGlobals(OS, Globals);
+  OS << printFunctionBody(F);
+  return OS.str();
+}
+
 std::string frost::printModule(Module &M) {
   std::ostringstream OS;
   // Emit any globals referenced by the module first, so a round-trip
   // through the parser can re-register them with the right sizes.
   std::vector<GlobalVariable *> Globals;
   for (Function *F : M.functions())
-    for (BasicBlock *BB : *F)
-      for (Instruction *I : *BB)
-        for (unsigned Op = 0, E = I->getNumOperands(); Op != E; ++Op)
-          if (auto *G = dyn_cast<GlobalVariable>(I->getOperand(Op)))
-            if (std::find(Globals.begin(), Globals.end(), G) == Globals.end())
-              Globals.push_back(G);
-  for (const GlobalVariable *G : Globals)
-    OS << "@" << G->getName() << " = global " << G->valueType()->str()
-       << ", " << G->sizeBytes() << "\n";
-  if (!Globals.empty())
-    OS << "\n";
+    collectReferencedGlobals(*F, Globals);
+  printGlobals(OS, Globals);
 
   bool First = true;
   for (Function *F : M.functions()) {
     if (!First)
       OS << "\n";
     First = false;
-    OS << printFunction(*F);
+    OS << printFunctionBody(*F);
   }
   return OS.str();
 }

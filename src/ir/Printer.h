@@ -26,7 +26,9 @@ class Module;
 /// call Function::nameValues() first for machine-generated IR.
 std::string printInstruction(const Instruction &I);
 
-/// Renders a full function definition (names unnamed values first).
+/// Renders a full function definition (names unnamed values first),
+/// preceded by declarations of any globals its body references — the text
+/// is standalone: it re-parses with parseModule without further context.
 std::string printFunction(Function &F);
 
 /// Renders every function in the module.

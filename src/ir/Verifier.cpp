@@ -187,6 +187,9 @@ void FunctionVerifier::checkInstruction(Instruction *I) {
       report(I, "store to non-pointer");
     else if (PT->pointee() != I->getOperand(0)->getType())
       report(I, "stored type does not match pointee type");
+    // Stores produce no value; a use of one would read garbage.
+    if (I->hasUses())
+      report(I, "store result has uses");
     break;
   }
   case Opcode::GEP:

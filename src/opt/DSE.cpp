@@ -1,0 +1,137 @@
+//===- DSE.cpp - Dead store elimination ----------------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-local dead store elimination over the MemorySSA access chains: a
+/// store is dead when a later store in the same block fully overwrites the
+/// same location (AliasAnalysis MustAlias: same address, same extent) with
+/// no intervening read or call that may observe the bytes. Memory is
+/// observable at every block exit (the refinement verdict compares final
+/// memory), so nothing is removed across block boundaries.
+///
+/// Removing an overwritten store is a refinement under *both* semantics —
+/// the overwriting store reproduces the final bytes exactly. The Legacy
+/// variant additionally performs the historical folklore "storing undef is
+/// a no-op" deletion, which is unsound in the paper's per-bit model: the
+/// deleted store resurrects whatever the bytes held before, and if that was
+/// poison the target's final memory is strictly more poisonous than the
+/// source's undef bytes (memBitRefines(Poison, Undef) fails). The proposed
+/// semantics removes the rule along with undef itself.
+///
+/// Counters: "dse.dead_stores", "dse.undef_stores" (legacy folklore only).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyses.h"
+#include "ir/Constants.h"
+#include "ir/Function.h"
+#include "ir/Instructions.h"
+#include "opt/Passes.h"
+#include "support/Stats.h"
+
+#include <set>
+
+using namespace frost;
+
+namespace {
+
+class DSE : public Pass {
+public:
+  explicit DSE(PipelineMode Mode) : Mode(Mode) {}
+
+  const char *name() const override { return "dse"; }
+
+  std::string pipelineText() const override {
+    return Mode == PipelineMode::Legacy ? "dse<legacy>" : "dse<proposed>";
+  }
+
+  PreservedAnalyses run(Function &F, AnalysisManager &AM) override {
+    bool Changed = false;
+
+    // Legacy folklore first, so a store of undef never "justifies" keeping
+    // an earlier store it was about to overwrite.
+    if (Mode == PipelineMode::Legacy)
+      Changed |= eraseUndefStores(F);
+    if (Changed)
+      // The sweep removed memory defs; drop the stale MemorySSA before
+      // requesting a fresh one (CFG-level analyses survive).
+      AM.invalidate(F, preservedCFGAnalyses());
+
+    AliasAnalysis &AA = AM.get<AAAnalysis>(F);
+    const MemorySSA &MSSA = AM.get<MemorySSAAnalysis>(F);
+
+    for (BasicBlock *BB : F)
+      Changed |= eliminateOverwritten(*BB, MSSA, AA);
+
+    return Changed ? preservedCFGAnalyses() : PreservedAnalyses::all();
+  }
+
+private:
+  PipelineMode Mode;
+
+  bool eraseUndefStores(Function &F) {
+    bool Changed = false;
+    for (BasicBlock *BB : F) {
+      std::vector<Instruction *> Insts(BB->begin(), BB->end());
+      for (Instruction *I : Insts) {
+        auto *S = dyn_cast<StoreInst>(I);
+        if (!S || !isa<UndefValue>(S->value()))
+          continue;
+        BB->erase(S);
+        stats::add("dse.undef_stores");
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  bool eliminateOverwritten(BasicBlock &BB, const MemorySSA &MSSA,
+                            AliasAnalysis &AA) {
+    const std::vector<MemoryAccess> &List = MSSA.accesses(&BB);
+    std::set<Instruction *> Dead;
+    for (size_t I = 0; I != List.size(); ++I) {
+      auto *S = dyn_cast<StoreInst>(List[I].I);
+      if (!S)
+        continue;
+      unsigned Bits = S->value()->getType()->bitWidth();
+      for (size_t J = I + 1; J != List.size(); ++J) {
+        Instruction *A = List[J].I;
+        if (Dead.count(A))
+          continue;
+        if (isa<CallInst>(A))
+          break; // The callee may read the bytes.
+        if (auto *Ld = dyn_cast<LoadInst>(A)) {
+          if (AA.alias(S->pointer(), Bits, Ld->pointer(),
+                       Ld->getType()->bitWidth()) != AliasResult::NoAlias)
+            break; // A read of (possibly) these bytes: the store is live.
+          continue;
+        }
+        auto *S2 = cast<StoreInst>(A);
+        AliasResult R =
+            AA.alias(S->pointer(), Bits, S2->pointer(),
+                     S2->value()->getType()->bitWidth());
+        if (R == AliasResult::MustAlias) {
+          Dead.insert(S); // Fully overwritten before any read.
+          break;
+        }
+        // NoAlias or a partial MayAlias overwrite: neither reads the bytes,
+        // so keep scanning for a full overwrite.
+      }
+    }
+    for (Instruction *S : Dead) {
+      S->getParent()->erase(S);
+      stats::add("dse.dead_stores");
+    }
+    return !Dead.empty();
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> frost::createDSEPass(PipelineMode Mode) {
+  return std::make_unique<DSE>(Mode);
+}

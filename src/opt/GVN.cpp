@@ -19,16 +19,31 @@
 /// operand may yield different values (Section 6, "opportunities for
 /// improvement").
 ///
+/// Memory awareness comes from two analyses. MemorySSA gives every load a
+/// memory *version*; loads of the same pointer at the same version read the
+/// same bytes and value-number together. AliasAnalysis powers block-local
+/// store-to-load forwarding: a load whose nearest non-NoAlias memory def is
+/// a MustAlias store of the same type takes the stored value directly.
+/// Forwarding a literal undef differs between the variants (Section 3.1):
+/// the Legacy variant substitutes the raw undef constant — individually a
+/// refinement, but it hands downstream folds the literal the legacy
+/// "shl undef, C -> undef" rule miscompiles on — while the Proposed variant
+/// freezes forwarded undef/poison literals, pinning one concrete value just
+/// as the loaded bytes would have.
+///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analyses.h"
 #include "analysis/Dominators.h"
+#include "ir/Constants.h"
 #include "ir/Function.h"
 #include "ir/Instructions.h"
 #include "opt/Passes.h"
 #include "opt/Utils.h"
+#include "support/Stats.h"
 
 #include <map>
+#include <set>
 #include <sstream>
 
 using namespace frost;
@@ -38,20 +53,31 @@ namespace {
 
 class GVN : public Pass {
 public:
+  explicit GVN(PipelineMode Mode) : Mode(Mode) {}
+
   const char *name() const override { return "gvn"; }
+
+  std::string pipelineText() const override {
+    return Mode == PipelineMode::Legacy ? "gvn<legacy>" : "gvn<proposed>";
+  }
+
   PreservedAnalyses run(Function &F, AnalysisManager &AM) override;
 
 private:
-  /// Structural key for a pure expression; empty when not numberable.
-  std::string expressionKey(Instruction *I);
+  PipelineMode Mode;
 
-  bool numberValues(Function &F, const DominatorTree &DT);
+  /// Structural key for a pure expression; empty when not numberable.
+  std::string expressionKey(Instruction *I, const MemorySSA &MSSA);
+
+  bool forwardStores(Function &F, const DominatorTree &DT,
+                     const MemorySSA &MSSA, AliasAnalysis &AA);
+  bool numberValues(Function &F, const DominatorTree &DT,
+                    const MemorySSA &MSSA);
   bool propagateBranchEqualities(Function &F, const DominatorTree &DT);
 };
 
-std::string GVN::expressionKey(Instruction *I) {
+std::string GVN::expressionKey(Instruction *I, const MemorySSA &MSSA) {
   switch (I->getOpcode()) {
-  case Opcode::Load:
   case Opcode::Store:
   case Opcode::Call:
   case Opcode::Alloca:
@@ -66,6 +92,12 @@ std::string GVN::expressionKey(Instruction *I) {
 
   std::ostringstream OS;
   OS << I->getOpcodeName();
+  // Loads are numberable once tagged with the memory version they observe:
+  // equal pointer + equal version means equal bytes. (Merging two loads of
+  // undef bytes is sound in both variants: every *use* of the merged value
+  // still materializes independently, exactly as two separate loads would.)
+  if (isa<LoadInst>(I))
+    OS << ".v" << MSSA.versionBefore(I);
   if (auto *C = dyn_cast<ICmpInst>(I))
     OS << "." << predName(C->pred());
   if (auto *E = dyn_cast<ExtractElementInst>(I))
@@ -93,7 +125,58 @@ std::string GVN::expressionKey(Instruction *I) {
   return OS.str();
 }
 
-bool GVN::numberValues([[maybe_unused]] Function &F, const DominatorTree &DT) {
+/// Block-local store-to-load forwarding: walk each block's MemorySSA access
+/// chain; a load whose nearest preceding non-NoAlias def is a MustAlias
+/// store of the same type takes the stored value.
+bool GVN::forwardStores([[maybe_unused]] Function &F, const DominatorTree &DT,
+                        const MemorySSA &MSSA, AliasAnalysis &AA) {
+  bool Changed = false;
+  for (BasicBlock *BB : DT.rpo()) {
+    const std::vector<MemoryAccess> &List = MSSA.accesses(BB);
+    std::set<Instruction *> Erased;
+    for (size_t I = 0; I != List.size(); ++I) {
+      auto *L = dyn_cast<LoadInst>(List[I].I);
+      if (!L || Erased.count(L))
+        continue;
+      for (size_t J = I; J-- != 0;) {
+        Instruction *A = List[J].I;
+        if (Erased.count(A))
+          continue;
+        if (!List[J].IsDef)
+          continue; // Earlier loads don't clobber.
+        auto *S = dyn_cast<StoreInst>(A);
+        if (!S)
+          break; // Call: unknown clobber.
+        AliasResult R =
+            AA.alias(S->pointer(), S->value()->getType()->bitWidth(),
+                     L->pointer(), L->getType()->bitWidth());
+        if (R == AliasResult::NoAlias)
+          continue;
+        if (R != AliasResult::MustAlias ||
+            S->value()->getType() != L->getType())
+          break; // Possible or partial clobber: give up on this load.
+        Value *V = S->value();
+        if (Mode == PipelineMode::Proposed &&
+            (isa<UndefValue>(V) || isa<PoisonValue>(V))) {
+          // The loaded bytes would have pinned nothing; freeze the literal
+          // so downstream folds see one stable value (Section 3.1).
+          auto *Fr = FreezeInst::create(V, L->getName() + ".fr");
+          BB->insertBefore(L, Fr);
+          V = Fr;
+        }
+        replaceAndErase(L, V);
+        Erased.insert(L);
+        stats::add("gvn.s2l_forwarded");
+        Changed = true;
+        break;
+      }
+    }
+  }
+  return Changed;
+}
+
+bool GVN::numberValues([[maybe_unused]] Function &F, const DominatorTree &DT,
+                       const MemorySSA &MSSA) {
   bool Changed = false;
   std::map<std::string, Instruction *> Leaders;
   // RPO guarantees leaders are seen before dominated duplicates in
@@ -102,7 +185,7 @@ bool GVN::numberValues([[maybe_unused]] Function &F, const DominatorTree &DT) {
   for (BasicBlock *BB : DT.rpo()) {
     std::vector<Instruction *> Insts(BB->begin(), BB->end());
     for (Instruction *I : Insts) {
-      std::string Key = expressionKey(I);
+      std::string Key = expressionKey(I, MSSA);
       if (Key.empty())
         continue;
       auto It = Leaders.find(Key);
@@ -197,14 +280,19 @@ bool GVN::propagateBranchEqualities(Function &F, const DominatorTree &DT) {
 PreservedAnalyses GVN::run(Function &F, AnalysisManager &AM) {
   // GVN rewrites values but never touches blocks or edges, so one
   // dominator tree serves every round (dominates() walks instruction
-  // lists at query time and tolerates instruction-level churn).
+  // lists at query time and tolerates instruction-level churn). The
+  // MemorySSA snapshot likewise serves the whole run: GVN only ever
+  // removes pure memory *uses* (loads), which leaves the version numbering
+  // of every surviving instruction intact.
   const DominatorTree &DT = AM.get<DominatorTreeAnalysis>(F);
-  bool Changed = false;
+  AliasAnalysis &AA = AM.get<AAAnalysis>(F);
+  const MemorySSA &MSSA = AM.get<MemorySSAAnalysis>(F);
+  bool Changed = forwardStores(F, DT, MSSA, AA);
   bool LocalChange = true;
   // Bounded iteration: equality propagation could in principle ping-pong
   // between symmetric facts.
   for (unsigned Round = 0; LocalChange && Round != 8; ++Round) {
-    LocalChange = numberValues(F, DT);
+    LocalChange = numberValues(F, DT, MSSA);
     LocalChange |= propagateBranchEqualities(F, DT);
     Changed |= LocalChange;
   }
@@ -213,6 +301,6 @@ PreservedAnalyses GVN::run(Function &F, AnalysisManager &AM) {
 
 } // namespace
 
-std::unique_ptr<Pass> frost::createGVNPass() {
-  return std::make_unique<GVN>();
+std::unique_ptr<Pass> frost::createGVNPass(PipelineMode Mode) {
+  return std::make_unique<GVN>(Mode);
 }

@@ -54,11 +54,27 @@ public:
 };
 
 Value *combineBinOp(Instruction *I, PipelineMode Mode, IRBuilderLiteImpl &B) {
-  (void)Mode;
   IRContext &Ctx = B.Ctx;
   Opcode Op = I->getOpcode();
   Value *L = I->getOperand(0), *R = I->getOperand(1);
   const BitVec *RC = constantValue(R);
+
+  // Shifts of a literal deferred-UB value by a constant — the fold the
+  // paper's Section 3.1 opens with. Poison is strict through every binary
+  // operation in Figure 5, so shl poison, C -> poison is sound under both
+  // semantics. The legacy "shl undef, C -> undef" folklore is *unsound*:
+  // every value "undef << 1" can take is even, while the replacement undef
+  // can be observed odd. The proposed semantics erases the distinction
+  // (undef is poison), making the corrected fold sound again.
+  if (I->isShift() && isa<ConstantInt>(R)) {
+    if (isa<PoisonValue>(L))
+      return Ctx.getPoison(I->getType());
+    if (isa<UndefValue>(L)) {
+      if (Mode == PipelineMode::Legacy)
+        return Ctx.getUndef(I->getType());
+      return Ctx.getPoison(I->getType());
+    }
+  }
 
   switch (Op) {
   case Opcode::Mul:

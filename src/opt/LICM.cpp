@@ -16,37 +16,73 @@
 /// this optimization"). Freeze hoists too: executing one freeze in the
 /// preheader refines a per-iteration freeze of an invariant operand.
 ///
+/// Scalar promotion rewrites every loop access to one provably-valid
+/// location into a register carried by a header phi: a preheader load seeds
+/// it, stores become register updates, and each exit block writes the
+/// register back. Promotion is exact — and therefore sound in both
+/// semantics — only when some store is executed on every path the exit
+/// store can observe. The Proposed variant enforces that (a store must
+/// dominate every latch, plus either every exiting block or a proven
+/// constant trip count >= 1 from ScalarEvolution) and freezes the preheader
+/// load so a duplicated undef/poison observation can never leak through the
+/// phi (the Section 5.5 duplication pitfall). The Legacy variant performs
+/// the historical unguarded promotion: when the loop exits before storing,
+/// the exit store writes back the *round-tripped* preheader load, and under
+/// the Figure 5 per-bit model lifting a byte with any poison bit poisons
+/// the whole register — the write-back smears poison over bits that were
+/// concrete, which memBitRefines rejects. TV campaigns over per-bit-poison
+/// initial memories catch exactly this.
+///
+/// Counters: "licm.promoted" per promoted location.
+///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analyses.h"
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
+#include "ir/Context.h"
 #include "ir/Function.h"
 #include "ir/Instructions.h"
 #include "opt/Passes.h"
+#include "opt/Utils.h"
+#include "support/Stats.h"
 
+#include <map>
 #include <set>
 
 using namespace frost;
+using namespace frost::opt;
 
 namespace {
 
 class LICM : public Pass {
 public:
+  explicit LICM(PipelineMode Mode) : Mode(Mode) {}
+
   const char *name() const override { return "licm"; }
+
+  std::string pipelineText() const override {
+    return Mode == PipelineMode::Legacy ? "licm<legacy>" : "licm<proposed>";
+  }
 
   PreservedAnalyses run(Function &F, AnalysisManager &AM) override {
     const DominatorTree &DT = AM.get<DominatorTreeAnalysis>(F);
     LoopInfo &LI = AM.get<LoopInfoAnalysis>(F);
+    ScalarEvolution &SE = AM.get<ScalarEvolutionAnalysis>(F);
+    AliasAnalysis &AA = AM.get<AAAnalysis>(F);
     bool Changed = false;
-    for (Loop *L : LI.loopsInnermostFirst())
+    for (Loop *L : LI.loopsInnermostFirst()) {
+      Changed |= promoteLoop(*L, DT, SE, AA, F.context());
       Changed |= hoistLoop(*L, DT);
-    // Hoisting moves instructions between existing blocks; the CFG and
-    // loop structure are untouched.
+    }
+    // Hoisting and promotion move/rewrite instructions between existing
+    // blocks; the CFG and loop structure are untouched.
     return Changed ? preservedCFGAnalyses() : PreservedAnalyses::all();
   }
 
 private:
+  PipelineMode Mode;
+
   bool hoistLoop(Loop &L, const DominatorTree &DT) {
     BasicBlock *Preheader = L.preheader();
     if (!Preheader)
@@ -86,10 +122,177 @@ private:
     }
     return Changed;
   }
+
+  bool promoteLoop(Loop &L, const DominatorTree &DT, ScalarEvolution &SE,
+                   AliasAnalysis &AA, IRContext &Ctx) {
+    BasicBlock *Preheader = L.preheader();
+    if (!Preheader)
+      return false;
+    std::vector<BasicBlock *> Latches = L.latches();
+    if (Latches.size() != 1)
+      return false;
+    BasicBlock *Latch = Latches.front();
+    BasicBlock *Header = L.header();
+
+    // Candidate location: the first store in loop RPO. Calls make the whole
+    // loop's memory opaque.
+    StoreInst *Candidate = nullptr;
+    for (BasicBlock *BB : L.blocks())
+      for (Instruction *I : *BB) {
+        if (isa<CallInst>(I))
+          return false;
+        if (auto *S = dyn_cast<StoreInst>(I))
+          if (!Candidate)
+            Candidate = S;
+      }
+    if (!Candidate)
+      return false;
+    Value *Ptr = Candidate->pointer();
+    Type *Ty = Candidate->value()->getType();
+    unsigned Bits = Ty->bitWidth();
+
+    // The address must be materializable in the preheader...
+    if (auto *PI = dyn_cast<Instruction>(Ptr))
+      if (L.contains(PI) || !DT.dominates(PI->getParent(), Preheader))
+        return false;
+    // ... and provably in bounds of one identified object, so the hoisted
+    // load can never introduce UB the source lacked.
+    PointerOffset PO = AliasAnalysis::decompose(Ptr);
+    if (!AliasAnalysis::isIdentifiedObject(PO.Base) || !PO.HasConstOffset ||
+        PO.OffsetBytes < 0)
+      return false;
+    std::optional<uint64_t> Size = AliasAnalysis::objectSizeBytes(PO.Base);
+    uint64_t Bytes = (Bits + 7) / 8;
+    if (!Size || static_cast<uint64_t>(PO.OffsetBytes) + Bytes > *Size)
+      return false;
+    if (auto *AI = dyn_cast<AllocaInst>(PO.Base))
+      if (L.contains(AI))
+        return false;
+
+    // Every access in the loop must target exactly this location (same
+    // address, same type) or provably miss it.
+    std::set<Instruction *> PromLoads, PromStores;
+    for (BasicBlock *BB : L.blocks())
+      for (Instruction *I : *BB) {
+        if (auto *Ld = dyn_cast<LoadInst>(I)) {
+          AliasResult R =
+              AA.alias(Ptr, Bits, Ld->pointer(), Ld->getType()->bitWidth());
+          if (R == AliasResult::NoAlias)
+            continue;
+          if (R != AliasResult::MustAlias || Ld->getType() != Ty)
+            return false;
+          PromLoads.insert(Ld);
+        } else if (auto *S = dyn_cast<StoreInst>(I)) {
+          AliasResult R = AA.alias(Ptr, Bits, S->pointer(),
+                                   S->value()->getType()->bitWidth());
+          if (R == AliasResult::NoAlias)
+            continue;
+          if (R != AliasResult::MustAlias || S->value()->getType() != Ty)
+            return false;
+          PromStores.insert(S);
+        }
+      }
+
+    // Exit blocks must belong to this loop alone so the write-back store
+    // has an unambiguous home.
+    std::vector<BasicBlock *> Exits;
+    for (BasicBlock *E : L.exitBlocks()) {
+      if (std::find(Exits.begin(), Exits.end(), E) != Exits.end())
+        continue;
+      std::vector<BasicBlock *> Preds = E->uniquePredecessors();
+      if (Preds.size() != 1 || !L.contains(Preds.front()))
+        return false;
+      Exits.push_back(E);
+    }
+
+    // In-loop SSA reconstruction stays phi-free outside the header: every
+    // non-header loop block takes its value from a single, already-visited
+    // predecessor.
+    std::set<BasicBlock *> Visited;
+    for (BasicBlock *BB : L.blocks()) {
+      if (BB != Header) {
+        std::vector<BasicBlock *> Preds = BB->uniquePredecessors();
+        if (Preds.size() != 1 || !Visited.count(Preds.front()))
+          return false;
+      }
+      Visited.insert(BB);
+    }
+
+    if (Mode == PipelineMode::Proposed) {
+      // Exactness guard: some store must execute on every path the exit
+      // store can observe.
+      std::vector<BasicBlock *> Exiting;
+      for (BasicBlock *BB : L.blocks())
+        for (BasicBlock *Succ : BB->successors())
+          if (!L.contains(Succ)) {
+            Exiting.push_back(BB);
+            break;
+          }
+      bool Guarded = false;
+      for (Instruction *SI : PromStores) {
+        BasicBlock *SB = SI->getParent();
+        if (!DT.dominates(SB, Latch))
+          continue;
+        bool DomExiting = true;
+        for (BasicBlock *EB : Exiting)
+          DomExiting &= DT.dominates(SB, EB);
+        if (DomExiting) {
+          Guarded = true;
+          break;
+        }
+        std::optional<uint64_t> TC = SE.constantTripCount(L);
+        if (TC && *TC >= 1) {
+          Guarded = true;
+          break;
+        }
+      }
+      if (!Guarded)
+        return false;
+    }
+
+    // All checks passed: rewrite.
+    auto *PreLoad = LoadInst::create(Ptr, Ty, "promo.pre");
+    Preheader->insertBefore(Preheader->terminator(), PreLoad);
+    Value *Init = PreLoad;
+    if (Mode == PipelineMode::Proposed) {
+      auto *Fr = FreezeInst::create(PreLoad, "promo.fr");
+      Preheader->insertBefore(Preheader->terminator(), Fr);
+      Init = Fr;
+    }
+    auto *Phi = PhiNode::create(Ty, "promo");
+    Header->insertBefore(Header->front(), Phi);
+
+    std::map<BasicBlock *, Value *> OutVal;
+    for (BasicBlock *BB : L.blocks()) {
+      Value *Cur = BB == Header
+                       ? static_cast<Value *>(Phi)
+                       : OutVal.at(BB->uniquePredecessors().front());
+      std::vector<Instruction *> Insts(BB->begin(), BB->end());
+      for (Instruction *I : Insts) {
+        if (PromLoads.count(I)) {
+          replaceAndErase(I, Cur);
+        } else if (PromStores.count(I)) {
+          Cur = cast<StoreInst>(I)->value();
+          BB->erase(I);
+        }
+      }
+      OutVal[BB] = Cur;
+    }
+    Phi->addIncoming(Init, Preheader);
+    Phi->addIncoming(OutVal.at(Latch), Latch);
+    for (BasicBlock *E : Exits) {
+      auto *WB =
+          StoreInst::create(OutVal.at(E->uniquePredecessors().front()), Ptr,
+                            Ctx);
+      E->insertBefore(E->firstNonPhi(), WB);
+    }
+    stats::add("licm.promoted");
+    return true;
+  }
 };
 
 } // namespace
 
-std::unique_ptr<Pass> frost::createLICMPass() {
-  return std::make_unique<LICM>();
+std::unique_ptr<Pass> frost::createLICMPass(PipelineMode Mode) {
+  return std::make_unique<LICM>(Mode);
 }

@@ -35,14 +35,26 @@ std::unique_ptr<Pass> createSimplifyCFGPass();
 /// Sparse conditional constant propagation.
 std::unique_ptr<Pass> createSCCPPass();
 
-/// Global value numbering. Sound only when branch-on-poison is UB
-/// (Section 3.3); under the proposed semantics this holds. Freeze
-/// instructions are never value-numbered (Section 6, "opportunities").
-std::unique_ptr<Pass> createGVNPass();
+/// Global value numbering, memory-aware: loads number by MemorySSA version
+/// and a block-local store-to-load forwarding stage runs first. Equality
+/// propagation is sound only when branch-on-poison is UB (Section 3.3).
+/// Forwarding a stored undef/poison literal differs between variants
+/// (Section 3.1): Legacy substitutes the raw literal, Proposed freezes it.
+/// Freeze instructions are never value-numbered (Section 6).
+std::unique_ptr<Pass> createGVNPass(PipelineMode Mode);
 
-/// Loop-invariant code motion of speculatable instructions. Division is
-/// never hoisted past control flow (Sections 3.2 / 5.6).
-std::unique_ptr<Pass> createLICMPass();
+/// Dead store elimination: block-local overwrite elimination (sound in both
+/// variants) plus, in Legacy mode only, the unsound folklore "storing undef
+/// is a no-op" deletion the per-bit memory model refutes.
+std::unique_ptr<Pass> createDSEPass(PipelineMode Mode);
+
+/// Loop-invariant code motion of speculatable instructions plus scalar
+/// promotion of provably-valid loop memory traffic. Division is never
+/// hoisted past control flow (Sections 3.2 / 5.6). Proposed-mode promotion
+/// requires a store on every observable path and freezes the preheader
+/// load; Legacy mode promotes unguarded, which smears poison over concrete
+/// bytes on zero-trip paths.
+std::unique_ptr<Pass> createLICMPass(PipelineMode Mode);
 
 /// Loop unswitching. Proposed mode freezes the hoisted condition
 /// (Section 5.1); Legacy mode performs the historical, unsound hoist.

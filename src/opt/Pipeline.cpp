@@ -51,8 +51,9 @@ const std::vector<PassEntry> &passRegistry() {
       {"instcombine", true, [](PipelineMode M) { return createInstCombinePass(M); }},
       {"simplifycfg", false, [](PipelineMode) { return createSimplifyCFGPass(); }},
       {"sccp", false, [](PipelineMode) { return createSCCPPass(); }},
-      {"gvn", false, [](PipelineMode) { return createGVNPass(); }},
-      {"licm", false, [](PipelineMode) { return createLICMPass(); }},
+      {"gvn", true, [](PipelineMode M) { return createGVNPass(M); }},
+      {"dse", true, [](PipelineMode M) { return createDSEPass(M); }},
+      {"licm", true, [](PipelineMode M) { return createLICMPass(M); }},
       {"loop-unswitch", true, [](PipelineMode M) { return createLoopUnswitchPass(M); }},
       {"indvar-widen", false, [](PipelineMode) { return createIndVarWidenPass(); }},
       {"reassociate", false, [](PipelineMode) { return createReassociatePass(); }},
@@ -68,7 +69,7 @@ const std::vector<PassEntry> &passRegistry() {
 /// lowering preparation.
 const char *DefaultPreset =
     "instsimplify,simplifycfg,instcombine,sccp,simplifycfg,gvn,licm,"
-    "loop-unswitch,indvar-widen,reassociate,instcombine,gvn,dce,"
+    "loop-unswitch,indvar-widen,reassociate,instcombine,gvn,dse,dce,"
     "simplifycfg,codegenprepare,dce";
 
 bool fail(std::string *Error, const std::string &Message) {

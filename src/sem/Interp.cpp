@@ -116,19 +116,57 @@ ExecResult Interpreter::run(Function &F, const std::vector<Value> &Args) {
   std::set<Function *> SeenFns;
   std::vector<const GlobalVariable *> Globals;
   collectGlobals(F, SeenFns, Globals);
+  // A pinned MemLayout may list globals F no longer references; allocate
+  // the union (in name order, so addresses stay deterministic) but run the
+  // memory window — InitialMem install and FinalMem snapshot — over the
+  // pinned list alone.
+  if (Opts.MemLayout)
+    for (const GlobalVariable *G : *Opts.MemLayout)
+      if (std::find(Globals.begin(), Globals.end(), G) == Globals.end())
+        Globals.push_back(G);
   std::sort(Globals.begin(), Globals.end(),
             [](const GlobalVariable *A, const GlobalVariable *B) {
               return A->getName() < B->getName();
             });
   for (const GlobalVariable *G : Globals)
     GlobalAddrs[G] = Mem.allocate(G->sizeBytes());
+  const std::vector<const GlobalVariable *> &Window =
+      Opts.MemLayout ? *Opts.MemLayout : Globals;
+
+  if (Opts.InitialMem) {
+    // The window is in name order (callers pin name-ordered lists), so the
+    // flat bit vector maps onto it in the same order.
+    size_t Pos = 0;
+    for (const GlobalVariable *G : Window) {
+      size_t Bits = size_t(G->sizeBytes()) * 8;
+      std::vector<MemBit> Slice;
+      Slice.reserve(Bits);
+      for (size_t I = 0; I != Bits; ++I)
+        Slice.push_back(Pos < Opts.InitialMem->size()
+                            ? (*Opts.InitialMem)[Pos++]
+                            : MemBit::Uninit);
+      Mem.store(GlobalAddrs[G], Slice);
+    }
+  }
 
   FuelLeft = Opts.Fuel;
   std::vector<Value> Trace;
   ExecResult R = callFunction(F, Args, 0, Trace);
   R.Trace = std::move(Trace);
-  if (R.ok())
-    R.FinalMem = Mem.snapshot();
+  if (R.ok()) {
+    // Observable memory is *global* memory, concatenated in window order —
+    // the same layout InitialMem uses. Alloca blocks die at return and are
+    // excluded: a pass that deletes a dead alloca (or promotes one to a
+    // register) must not perturb the observable snapshot.
+    R.FinalMem.clear();
+    for (const GlobalVariable *G : Window) {
+      std::vector<MemBit> Bits;
+      bool OK = Mem.load(GlobalAddrs[G], G->sizeBytes() * 8, Bits);
+      assert(OK && "global block vanished during the run");
+      (void)OK;
+      R.FinalMem.insert(R.FinalMem.end(), Bits.begin(), Bits.end());
+    }
+  }
   return R;
 }
 
@@ -484,6 +522,24 @@ std::string ExecResult::str() const {
     S += "]";
   }
   return S;
+}
+
+uint64_t sem::globalMemoryBits(Function &F) {
+  uint64_t Bits = 0;
+  for (const GlobalVariable *G : referencedGlobals(F))
+    Bits += uint64_t(G->sizeBytes()) * 8;
+  return Bits;
+}
+
+std::vector<const GlobalVariable *> sem::referencedGlobals(Function &F) {
+  std::set<Function *> SeenFns;
+  std::vector<const GlobalVariable *> Globals;
+  collectGlobals(F, SeenFns, Globals);
+  std::sort(Globals.begin(), Globals.end(),
+            [](const GlobalVariable *A, const GlobalVariable *B) {
+              return A->getName() < B->getName();
+            });
+  return Globals;
 }
 
 uint64_t sem::runConcrete(Function &F, const std::vector<uint64_t> &Args) {

@@ -58,7 +58,7 @@ struct ExecResult {
   Status St = Status::Error;
   std::optional<Value> Ret;      ///< Set for non-void returns when Ok.
   std::vector<Value> Trace;      ///< Values passed to observe*().
-  std::vector<MemBit> FinalMem;  ///< Memory snapshot when Ok.
+  std::vector<MemBit> FinalMem;  ///< Global memory (name order) when Ok.
   std::string Reason;            ///< Explanation for UB / Error.
 
   bool ok() const { return St == Status::Ok; }
@@ -68,10 +68,29 @@ struct ExecResult {
   std::string str() const;
 };
 
-/// Execution limits.
+/// Execution limits and initial state.
 struct InterpOptions {
   uint64_t Fuel = 200000;     ///< Maximum instructions executed.
   unsigned MaxCallDepth = 64; ///< Maximum nested calls.
+
+  /// Initial contents of global memory: bits for all transitively
+  /// referenced globals, concatenated in name order (8 bits per byte,
+  /// LSB first — the lowerValue layout). Shorter vectors leave the tail
+  /// uninitialized; null means all memory starts Uninit. The vector must
+  /// outlive the run. TV campaigns enumerate initial memories through
+  /// this knob to catch passes that are only sound for *some* prior
+  /// contents (e.g. legacy DSE's "storing undef is a no-op").
+  const std::vector<MemBit> *InitialMem = nullptr;
+
+  /// When set, pins the observable-memory window: InitialMem installs
+  /// into and FinalMem snapshots exactly these globals, in this order,
+  /// whether or not the executed function references them (unreferenced
+  /// ones are still allocated so their initial bits survive into the
+  /// snapshot). Null: the globals the function references, in name order.
+  /// The TV checker pins the SOURCE function's window for both runs, so a
+  /// pass that deletes the last reference to a global can neither shift
+  /// the InitialMem layout nor shrink the snapshot it is judged on.
+  const std::vector<const GlobalVariable *> *MemLayout = nullptr;
 };
 
 /// Interprets frost IR functions under a chosen UB semantics.
@@ -113,6 +132,16 @@ private:
 /// integer arguments with a deterministic oracle under the proposed
 /// semantics, returning the concrete scalar result. Aborts on UB.
 uint64_t runConcrete(Function &F, const std::vector<uint64_t> &Args);
+
+/// Total bits of global memory transitively referenced by \p F — the length
+/// of an InterpOptions::InitialMem vector that covers it fully (and of the
+/// FinalMem snapshot of a run that allocates nothing else). Zero for
+/// functions that touch no globals.
+uint64_t globalMemoryBits(Function &F);
+
+/// The globals \p F transitively references, in name order — the default
+/// memory window of a run, suitable as an InterpOptions::MemLayout pin.
+std::vector<const GlobalVariable *> referencedGlobals(Function &F);
 
 } // namespace sem
 } // namespace frost

@@ -328,6 +328,8 @@ std::string tv::describeCampaign(const CampaignOptions &Opts) {
     S += "source=exhaustive insts=" + std::to_string(Opts.Enum.NumInsts);
     S += " width=" + std::to_string(Opts.Enum.Width);
     S += " args=" + std::to_string(Opts.Enum.NumArgs);
+    if (Opts.Enum.WithMemory)
+      S += " mem_bytes=" + std::to_string(Opts.Enum.MemBytes);
     S += " max_functions=" + std::to_string(Opts.MaxFunctions);
   } else if (Opts.Source == CampaignSource::File) {
     S += "source=file path=" + Opts.FilePath;
@@ -347,6 +349,8 @@ std::string tv::describeCampaign(const CampaignOptions &Opts) {
     if (!Opts.Passes.empty())
       S += " passes=" + Opts.Passes;
   }
+  if (Opts.TV.EnumerateMemory)
+    S += " mem_configs=" + std::to_string(Opts.TV.MaxMemConfigs);
   S += "\nsemantics: " + semanticsTag(Opts.Semantics);
   return S;
 }
@@ -399,6 +403,16 @@ std::string CampaignResult::summary() const {
                   (unsigned long long)ScalarFallbacks);
     S += Buf;
   }
+  if (MemFunctions || MemConfigs || AliasQueries) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "\nmemory: %llu function(s) swept over %llu initial-memory "
+                  "config(s), %llu alias quer%s",
+                  (unsigned long long)MemFunctions,
+                  (unsigned long long)MemConfigs,
+                  (unsigned long long)AliasQueries,
+                  AliasQueries == 1 ? "y" : "ies");
+    S += Buf;
+  }
   return S;
 }
 
@@ -415,6 +429,9 @@ CampaignResult tv::runCampaign(const CampaignOptions &Opts) {
   // the result reflects this run only.
   uint64_t BatchesBefore = stats::get("tv.bitsliced_batches");
   uint64_t FallbacksBefore = stats::get("tv.scalar_fallbacks");
+  uint64_t MemFnsBefore = stats::get("tv.mem_functions");
+  uint64_t MemCfgsBefore = stats::get("tv.mem_configs");
+  uint64_t AABefore = stats::get("aa.queries");
 
   CounterexampleCache Cache(Opts.DedupCapacity);
   std::vector<ShardResult> Results;
@@ -469,9 +486,9 @@ CampaignResult tv::runCampaign(const CampaignOptions &Opts) {
     }
   } else if (Opts.Source == CampaignSource::File) {
     // Each function of the module is one entry, in module order. Functions
-    // are re-printed standalone, so the module must be self-contained per
-    // function (no globals or cross-function calls); drivers validate the
-    // file before launching.
+    // are re-printed standalone (printFunction re-emits any globals they
+    // reference), so global memory is fine but cross-function calls are
+    // not; drivers validate the file before launching.
     std::ifstream In(Opts.FilePath);
     std::stringstream Buf;
     Buf << In.rdbuf();
@@ -539,6 +556,9 @@ CampaignResult tv::runCampaign(const CampaignOptions &Opts) {
             });
   R.BitslicedBatches = stats::get("tv.bitsliced_batches") - BatchesBefore;
   R.ScalarFallbacks = stats::get("tv.scalar_fallbacks") - FallbacksBefore;
+  R.MemFunctions = stats::get("tv.mem_functions") - MemFnsBefore;
+  R.MemConfigs = stats::get("tv.mem_configs") - MemCfgsBefore;
+  R.AliasQueries = stats::get("aa.queries") - AABefore;
   R.DistinctFailures = Cache.distinct();
   R.DuplicateFailures = TotalFailures - std::min(TotalFailures, R.DistinctFailures);
   stats::add("tv.campaign.dup_failures", R.DuplicateFailures);

@@ -64,8 +64,9 @@ struct CampaignOptions {
   CampaignKind Kind = CampaignKind::IRPipeline;
 
   /// File source: path of the .fr module whose functions form the space.
-  /// Functions are validated standalone (per-function text), so they must
-  /// not reference globals or call each other.
+  /// Functions are validated standalone (per-function text, with any
+  /// globals they reference re-emitted alongside), so they may use global
+  /// memory freely but must not call each other.
   std::string FilePath;
 
   unsigned Jobs = 1;         ///< Worker threads; 1 runs inline, serially.
@@ -136,6 +137,15 @@ struct CampaignResult {
   /// diagnostics: surfaced by summary(), excluded from report().
   uint64_t BitslicedBatches = 0;
   uint64_t ScalarFallbacks = 0;
+  /// Memory-enumeration accounting (deltas of tv.mem_functions /
+  /// tv.mem_configs and the aa.* counters across this campaign): functions
+  /// validated under an initial-memory sweep, total memory configurations
+  /// executed, and alias queries the pipeline issued. Zero unless
+  /// TV.EnumerateMemory is on and the space contains memory programs.
+  /// Surfaced by summary(), excluded from report().
+  uint64_t MemFunctions = 0;
+  uint64_t MemConfigs = 0;
+  uint64_t AliasQueries = 0;
   double WallSeconds = 0;
   double CpuSeconds = 0;
 

@@ -288,6 +288,8 @@ bool tv::collectBehaviors(Function &F, const std::vector<sem::Value> &Args,
       [&](ChoiceOracle &Oracle) {
         InterpOptions IOpts;
         IOpts.Fuel = Opts.Fuel;
+        IOpts.InitialMem = Opts.InitialMem;
+        IOpts.MemLayout = Opts.MemLayout;
         Interpreter I(Config, Oracle, IOpts);
         ExecResult R = I.run(F, Args);
         if (R.St == ExecResult::Status::Fuel ||
@@ -511,18 +513,22 @@ std::optional<TVResult> checkBitSliced(Function &Src, Function &Tgt,
 
 } // namespace
 
-TVResult tv::checkRefinement(Function &Src, Function &Tgt,
-                             const SemanticsConfig &Config,
-                             const TVOptions &Opts) {
-  TVResult Result;
-  if (Src.fnType() != Tgt.fnType()) {
-    Result.Message = "signature mismatch";
-    return Result;
-  }
+namespace {
 
+/// One validation under a single (fixed or Uninit) initial memory.
+TVResult checkRefinementFixedMem(Function &Src, Function &Tgt,
+                                 const SemanticsConfig &Config,
+                                 const TVOptions &Opts) {
+  TVResult Result;
+
+  // Memory-carrying runs never reach the bit-sliced engine (it models
+  // registers only); keep its fallback accounting identical to any other
+  // out-of-subset pair.
   if (Opts.Engine == TVEngine::BitSliced) {
-    if (std::optional<TVResult> R = checkBitSliced(Src, Tgt, Config, Opts))
-      return *R;
+    if (!Opts.InitialMem) {
+      if (std::optional<TVResult> R = checkBitSliced(Src, Tgt, Config, Opts))
+        return *R;
+    }
     // Outside the sliced subset: the whole pair runs scalar.
     stats::add("tv.scalar_fallbacks");
   }
@@ -542,6 +548,97 @@ TVResult tv::checkRefinement(Function &Src, Function &Tgt,
 
   Result.St = TVResult::Status::Valid;
   return Result;
+}
+
+/// The initial-memory sweep: all-Uninit first (so reports with memory
+/// enumeration disabled stay byte-identical to reports where the function
+/// simply touches no globals), then uniform patterns, then per-byte mixed
+/// poison — the configuration that distinguishes "smears poison over the
+/// whole byte" bugs from benign all-poison inputs. Empty vector = Uninit.
+std::vector<std::vector<MemBit>> memoryConfigs(uint64_t Bits,
+                                               const SemanticsConfig &Config,
+                                               uint64_t Cap) {
+  std::vector<std::vector<MemBit>> Configs;
+  Configs.push_back({}); // All-Uninit (the no-InitialMem run).
+  Configs.push_back(std::vector<MemBit>(Bits, MemBit::Zero));
+  Configs.push_back(std::vector<MemBit>(Bits, MemBit::One));
+  Configs.push_back(std::vector<MemBit>(Bits, MemBit::Poison));
+  if (!Config.UndefIsPoison)
+    Configs.push_back(std::vector<MemBit>(Bits, MemBit::Undef));
+  // One poison bit per byte, the rest concrete zero: catches rewrites that
+  // round-trip bytes through a register, which poisons *every* bit of a
+  // byte holding any poison (Figure 5's ty-up).
+  {
+    std::vector<MemBit> Mixed(Bits, MemBit::Zero);
+    for (uint64_t B = 0; B < Bits; B += 8)
+      Mixed[B] = MemBit::Poison;
+    Configs.push_back(std::move(Mixed));
+  }
+  // The same pattern over undef bits, for legacy configs.
+  if (!Config.UndefIsPoison) {
+    std::vector<MemBit> Mixed(Bits, MemBit::Zero);
+    for (uint64_t B = 0; B < Bits; B += 8)
+      Mixed[B] = MemBit::Undef;
+    Configs.push_back(std::move(Mixed));
+  }
+  if (Configs.size() > Cap)
+    Configs.resize(std::max<uint64_t>(Cap, 1));
+  return Configs;
+}
+
+} // namespace
+
+TVResult tv::checkRefinement(Function &Src, Function &Tgt,
+                             const SemanticsConfig &Config,
+                             const TVOptions &Opts) {
+  TVResult Result;
+  if (Src.fnType() != Tgt.fnType()) {
+    Result.Message = "signature mismatch";
+    return Result;
+  }
+
+  // Pin the observable-memory window to the SOURCE's globals for both
+  // runs: a pass that deletes the target's last reference to a global
+  // must neither shift the InitialMem layout nor shrink the snapshot the
+  // comparison is judged on (the bits would misalign and flag a sound
+  // transformation — or worse, install different initial memories).
+  TVOptions Pinned = Opts;
+  std::vector<const GlobalVariable *> Layout;
+  if (Opts.CompareMemory && !Opts.MemLayout) {
+    Layout = sem::referencedGlobals(Src);
+    if (!Layout.empty())
+      Pinned.MemLayout = &Layout;
+  }
+
+  uint64_t MemBits =
+      Opts.EnumerateMemory && !Opts.InitialMem ? globalMemoryBits(Src) : 0;
+  if (MemBits == 0)
+    return checkRefinementFixedMem(Src, Tgt, Config, Pinned);
+
+  stats::add("tv.mem_functions");
+  std::vector<std::vector<MemBit>> Configs =
+      memoryConfigs(MemBits, Config, Opts.MaxMemConfigs);
+  TVResult Agg;
+  for (const std::vector<MemBit> &Mem : Configs) {
+    stats::add("tv.mem_configs");
+    TVOptions O = Pinned;
+    O.InitialMem = Mem.empty() ? nullptr : &Mem;
+    TVResult R = checkRefinementFixedMem(Src, Tgt, Config, O);
+    Agg.InputsChecked += R.InputsChecked;
+    Agg.PathsExplored += R.PathsExplored;
+    if (!R.valid()) {
+      R.InputsChecked = Agg.InputsChecked;
+      R.PathsExplored = Agg.PathsExplored;
+      // Tag the counterexample with the initial memory only when one was
+      // installed: the Uninit config's report stays byte-identical to a
+      // memoryless validation.
+      if (!Mem.empty())
+        R.Message = "initmem=" + encodeMem(Mem) + " " + R.Message;
+      return R;
+    }
+  }
+  Agg.St = TVResult::Status::Valid;
+  return Agg;
 }
 
 std::vector<std::string>

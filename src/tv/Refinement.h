@@ -31,6 +31,7 @@
 namespace frost {
 
 class Function;
+class GlobalVariable;
 
 namespace tv {
 
@@ -55,6 +56,29 @@ struct TVOptions {
   bool IncludeUndefInputs = true;      ///< Feed undef (legacy configs only).
   bool CompareMemory = true;           ///< Include final memory in behaviour.
   TVEngine Engine = TVEngine::Scalar;  ///< Evaluation engine.
+
+  /// Fixed initial global-memory contents for every execution (see
+  /// InterpOptions::InitialMem). Null means all-Uninit. Must outlive the
+  /// validation.
+  const std::vector<sem::MemBit> *InitialMem = nullptr;
+
+  /// When the function references globals, validate under a sweep of
+  /// initial memory contents (all-Uninit first, then all-zeros, all-ones,
+  /// all-poison, all-undef under legacy configs, and per-byte mixed-poison
+  /// patterns), up to MaxMemConfigs configurations. Catches passes whose
+  /// rewrite is only a refinement for *some* prior memory — e.g. deleting a
+  /// store of undef resurrects whatever the bytes held before, which is
+  /// fine over zeros but not over poison. Ignored when InitialMem is set.
+  bool EnumerateMemory = false;
+  uint64_t MaxMemConfigs = 8;          ///< Cap on enumerated memories.
+
+  /// Internal plumbing, set by checkRefinement: pins every execution's
+  /// observable-memory window to the SOURCE function's globals (see
+  /// InterpOptions::MemLayout), so a pass that deletes the target's last
+  /// reference to a global cannot shift the InitialMem layout or shrink
+  /// the FinalMem snapshot. Leave null; must outlive the validation when
+  /// set by hand.
+  const std::vector<const GlobalVariable *> *MemLayout = nullptr;
 };
 
 /// Outcome of a validation.

@@ -5,8 +5,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analyses.h"
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
+#include "ir/Constants.h"
 #include "ir/IRBuilder.h"
 #include "ir/Module.h"
 #include "ir/Verifier.h"
@@ -205,6 +207,231 @@ TEST_F(AnalysisTest, NestedLoops) {
   std::vector<Loop *> Ordered = LI.loopsInnermostFirst();
   ASSERT_EQ(Ordered.size(), 2u);
   EXPECT_EQ(Ordered.front(), Inner);
+}
+
+TEST_F(AnalysisTest, AliasDecompose) {
+  auto *I8 = Ctx.intTy(8);
+  GlobalVariable *G = Ctx.getGlobal("g", I8, 8);
+  Function *F =
+      M.createFunction("decomp", Ctx.types().fnTy(I8, {Ctx.intTy(32)}));
+  BasicBlock *Entry = F->addBlock("entry");
+  IRBuilder B(Ctx, Entry);
+  Value *P1 = B.gep(G, Ctx.getInt(32, 2), /*InBounds=*/true, "p1");
+  Value *P2 = B.gep(P1, Ctx.getInt(32, 3), /*InBounds=*/true, "p2");
+  Value *PF = B.freeze(P2, "pf");
+  Value *PV = B.gep(G, F->arg(0), /*InBounds=*/false, "pv");
+  Value *L = B.load(PF, "l");
+  B.ret(L);
+
+  // Constant indices accumulate through the chain, scaled by the pointee
+  // size (i8 here), and freeze is transparent.
+  PointerOffset D = AliasAnalysis::decompose(PF);
+  EXPECT_EQ(D.Base, G);
+  EXPECT_TRUE(D.HasConstOffset);
+  EXPECT_EQ(D.OffsetBytes, 5);
+
+  // A variable index keeps the base but loses the offset.
+  PointerOffset DV = AliasAnalysis::decompose(PV);
+  EXPECT_EQ(DV.Base, G);
+  EXPECT_FALSE(DV.HasConstOffset);
+
+  EXPECT_TRUE(AliasAnalysis::isIdentifiedObject(G));
+  EXPECT_FALSE(AliasAnalysis::isIdentifiedObject(PF));
+  EXPECT_EQ(AliasAnalysis::objectSizeBytes(G), std::optional<uint64_t>(8));
+}
+
+TEST_F(AnalysisTest, AliasSameObject) {
+  auto *I8 = Ctx.intTy(8);
+  GlobalVariable *G = Ctx.getGlobal("g", I8, 4);
+  Function *F = M.createFunction("same", Ctx.types().fnTy(I8, {}));
+  BasicBlock *Entry = F->addBlock("entry");
+  IRBuilder B(Ctx, Entry);
+  Value *P1 = B.gep(G, Ctx.getInt(32, 1), /*InBounds=*/true, "p1");
+  Value *P2 = B.gep(G, Ctx.getInt(32, 2), /*InBounds=*/true, "p2");
+  B.ret(B.load(P1, "l"));
+
+  AliasAnalysis AA(*F);
+  // Identical pointer: MustAlias only with identical extent.
+  EXPECT_EQ(AA.alias(G, 8, G, 8), AliasResult::MustAlias);
+  EXPECT_EQ(AA.alias(G, 8, G, 16), AliasResult::MayAlias);
+  // Same address through distinct GEPs of the same offset.
+  Value *P1b = B.gep(G, Ctx.getInt(32, 1), /*InBounds=*/true, "p1b");
+  EXPECT_EQ(AA.alias(P1, 8, P1b, 8), AliasResult::MustAlias);
+  // Disjoint byte intervals within one object.
+  EXPECT_EQ(AA.alias(G, 8, P2, 8), AliasResult::NoAlias);
+  EXPECT_EQ(AA.alias(G, 16, P2, 8), AliasResult::NoAlias);
+  // Overlapping intervals: a 2-byte access at 0 reaches byte 1.
+  EXPECT_EQ(AA.alias(G, 16, P1, 8), AliasResult::MayAlias);
+}
+
+TEST_F(AnalysisTest, AliasDistinctObjects) {
+  auto *I8 = Ctx.intTy(8);
+  GlobalVariable *GA = Ctx.getGlobal("a", I8, 1);
+  GlobalVariable *GB = Ctx.getGlobal("b", I8, 1);
+  Function *F =
+      M.createFunction("distinct", Ctx.types().fnTy(I8, {Ctx.intTy(32)}));
+  BasicBlock *Entry = F->addBlock("entry");
+  IRBuilder B(Ctx, Entry);
+  Value *Slot = B.alloca_(I8, "slot");
+  Value *POut = B.gep(GA, Ctx.getInt(32, 1), /*InBounds=*/false, "pout");
+  Value *PVar = B.gep(GA, F->arg(0), /*InBounds=*/false, "pvar");
+  B.ret(B.load(Slot, "l"));
+
+  AliasAnalysis AA(*F);
+  // Both accesses pinned inside their own objects: provably disjoint.
+  EXPECT_EQ(AA.alias(GA, 8, GB, 8), AliasResult::NoAlias);
+  EXPECT_EQ(AA.alias(Slot, 8, GA, 8), AliasResult::NoAlias);
+  // The Figure 5 interpreter's addresses are raw, so an access that steps
+  // past the end of its object may land in the neighbour: only in-object
+  // constant offsets justify NoAlias across distinct bases.
+  EXPECT_EQ(AA.alias(POut, 8, GB, 8), AliasResult::MayAlias);
+  EXPECT_EQ(AA.alias(PVar, 8, GB, 8), AliasResult::MayAlias);
+}
+
+TEST_F(AnalysisTest, MemorySSAStraightLine) {
+  auto *I8 = Ctx.intTy(8);
+  GlobalVariable *G = Ctx.getGlobal("g", I8, 1);
+  Function *F = M.createFunction("straight", Ctx.types().fnTy(I8, {}));
+  BasicBlock *Entry = F->addBlock("entry");
+  IRBuilder B(Ctx, Entry);
+  Value *L1 = B.load(G, "l1");
+  B.store(Ctx.getInt(8, 1), G);
+  Value *L2 = B.load(G, "l2");
+  B.store(L2, G);
+  B.ret(L1);
+  ASSERT_TRUE(verifyFunction(*F));
+
+  DominatorTree DT(*F);
+  MemorySSA MSSA(*F, DT);
+  EXPECT_EQ(MSSA.entryVersion(Entry), 0u); // live-on-entry
+  EXPECT_EQ(MSSA.exitVersion(Entry), 2u);  // two stores, two fresh versions
+  EXPECT_EQ(MSSA.numVersions(), 3u);
+
+  const std::vector<MemoryAccess> &Acc = MSSA.accesses(Entry);
+  ASSERT_EQ(Acc.size(), 4u);
+  EXPECT_TRUE(Acc[0].IsUse);
+  EXPECT_FALSE(Acc[0].IsDef);
+  EXPECT_EQ(Acc[0].VersionBefore, 0u);
+  EXPECT_EQ(Acc[0].VersionAfter, 0u); // loads preserve the version
+  EXPECT_TRUE(Acc[1].IsDef);
+  EXPECT_EQ(Acc[1].VersionBefore, 0u);
+  EXPECT_EQ(Acc[1].VersionAfter, 1u);
+  EXPECT_EQ(Acc[2].VersionBefore, 1u);
+  EXPECT_EQ(Acc[3].VersionAfter, 2u);
+  EXPECT_EQ(MSSA.versionBefore(static_cast<Instruction *>(L2)), 1u);
+}
+
+TEST_F(AnalysisTest, MemorySSADiamondPhi) {
+  auto *I8 = Ctx.intTy(8);
+  GlobalVariable *G = Ctx.getGlobal("g", I8, 1);
+  Function *F =
+      M.createFunction("dmem", Ctx.types().fnTy(I8, {Ctx.intTy(32)}));
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *A = F->addBlock("a");
+  BasicBlock *B2 = F->addBlock("b");
+  BasicBlock *Join = F->addBlock("join");
+  IRBuilder B(Ctx, Entry);
+  B.store(Ctx.getInt(8, 1), G);
+  Value *C = B.icmp(ICmpPred::EQ, F->arg(0), Ctx.getInt(32, 0), "c");
+  B.condBr(C, A, B2);
+  B.setInsertPoint(A);
+  B.store(Ctx.getInt(8, 2), G);
+  B.br(Join);
+  B.setInsertPoint(B2);
+  B.br(Join);
+  B.setInsertPoint(Join);
+  Value *L = B.load(G, "l");
+  B.ret(L);
+  ASSERT_TRUE(verifyFunction(*F));
+
+  DominatorTree DT(*F);
+  MemorySSA MSSA(*F, DT);
+  uint64_t AfterEntry = MSSA.exitVersion(Entry);
+  EXPECT_EQ(AfterEntry, 1u);
+  // Both arms inherit the entry store's version; only `a` defines a new one.
+  EXPECT_EQ(MSSA.entryVersion(A), AfterEntry);
+  EXPECT_EQ(MSSA.entryVersion(B2), AfterEntry);
+  EXPECT_EQ(MSSA.exitVersion(B2), AfterEntry);
+  uint64_t AfterA = MSSA.exitVersion(A);
+  EXPECT_NE(AfterA, AfterEntry);
+  // Disagreeing predecessors merge into a fresh phi version at the join.
+  uint64_t JoinV = MSSA.entryVersion(Join);
+  EXPECT_NE(JoinV, AfterEntry);
+  EXPECT_NE(JoinV, AfterA);
+  EXPECT_EQ(MSSA.versionBefore(static_cast<Instruction *>(L)), JoinV);
+  EXPECT_EQ(MSSA.exitVersion(Join), JoinV); // the load preserves it
+}
+
+TEST_F(AnalysisTest, MemorySSALoopBackEdge) {
+  auto *I8 = Ctx.intTy(8);
+  GlobalVariable *G = Ctx.getGlobal("g", I8, 1);
+  Function *F =
+      M.createFunction("lmem", Ctx.types().fnTy(I8, {Ctx.intTy(8)}));
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Head = F->addBlock("head");
+  BasicBlock *Body = F->addBlock("body");
+  BasicBlock *Exit = F->addBlock("exit");
+  IRBuilder B(Ctx, Entry);
+  B.br(Head);
+  B.setInsertPoint(Head);
+  PhiNode *I = B.phi(I8, "i");
+  Value *C = B.icmp(ICmpPred::ULT, I, F->arg(0), "c");
+  B.condBr(C, Body, Exit);
+  B.setInsertPoint(Body);
+  Value *V = B.load(G, "v");
+  Value *V1 = B.add(V, I, {}, "v1");
+  B.store(V1, G);
+  Value *I1 = B.add(I, Ctx.getInt(8, 1), {}, "i1");
+  B.br(Head);
+  I->addIncoming(Ctx.getInt(8, 0), Entry);
+  I->addIncoming(I1, Body);
+  B.setInsertPoint(Exit);
+  B.ret(Ctx.getInt(8, 0));
+  ASSERT_TRUE(verifyFunction(*F));
+
+  DominatorTree DT(*F);
+  MemorySSA MSSA(*F, DT);
+  // The back edge carries the body's store into the header, so the header
+  // cannot reuse live-on-entry: it gets a fresh phi version.
+  uint64_t HeadV = MSSA.entryVersion(Head);
+  EXPECT_NE(HeadV, 0u);
+  EXPECT_NE(HeadV, MSSA.exitVersion(Body));
+  // The loop load observes the header phi, not live-on-entry memory.
+  EXPECT_EQ(MSSA.versionBefore(static_cast<Instruction *>(V)), HeadV);
+  EXPECT_EQ(MSSA.entryVersion(Exit), HeadV);
+}
+
+TEST_F(AnalysisTest, AnalysisManagerMemoryInvalidation) {
+  auto *I8 = Ctx.intTy(8);
+  GlobalVariable *G = Ctx.getGlobal("g", I8, 1);
+  Function *F = M.createFunction("inval", Ctx.types().fnTy(I8, {}));
+  BasicBlock *Entry = F->addBlock("entry");
+  IRBuilder B(Ctx, Entry);
+  B.store(Ctx.getInt(8, 7), G);
+  B.ret(B.load(G, "l"));
+  ASSERT_TRUE(verifyFunction(*F));
+
+  AnalysisManager AM;
+  AM.get<AAAnalysis>(*F);
+  AM.get<MemorySSAAnalysis>(*F);
+  EXPECT_TRUE(AM.isCached<AAAnalysis>(*F));
+  EXPECT_TRUE(AM.isCached<MemorySSAAnalysis>(*F));
+  // MemorySSA pulls in the dominator tree it is built from.
+  EXPECT_TRUE(AM.isCached<DominatorTreeAnalysis>(*F));
+
+  // An instruction-editing, CFG-preserving pass keeps the stateless alias
+  // oracle (and the domtree) but must drop the MemorySSA snapshot: its
+  // edits may have added or removed memory defs.
+  AM.invalidate(*F, preservedCFGAnalyses());
+  EXPECT_TRUE(AM.isCached<AAAnalysis>(*F));
+  EXPECT_TRUE(AM.isCached<DominatorTreeAnalysis>(*F));
+  EXPECT_FALSE(AM.isCached<MemorySSAAnalysis>(*F));
+
+  AM.get<MemorySSAAnalysis>(*F);
+  AM.invalidate(*F, PreservedAnalyses::none());
+  EXPECT_FALSE(AM.isCached<AAAnalysis>(*F));
+  EXPECT_FALSE(AM.isCached<MemorySSAAnalysis>(*F));
+  EXPECT_FALSE(AM.isCached<DominatorTreeAnalysis>(*F));
 }
 
 } // namespace

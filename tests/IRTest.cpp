@@ -345,6 +345,25 @@ TEST_F(IRTest, VerifierCatchesPhiWithNoEdges) {
   EXPECT_NE(Errors[0].find("phi has no incoming edges"), std::string::npos);
 }
 
+TEST_F(IRTest, VerifierCatchesStoreResultUse) {
+  // The parser has no syntax for naming a store's "result", so a use of one
+  // can only be built programmatically — e.g. a buggy pass RAUWing a load
+  // with the wrong instruction. The backend assigns no register to a store,
+  // so such a use would read garbage.
+  auto *I32 = Ctx.intTy(32);
+  Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32}));
+  IRBuilder B(Ctx, F->addBlock("entry"));
+  Value *P = B.alloca_(I32, "p");
+  Value *S = B.store(F->arg(0), P);
+  Value *V = B.load(P, "v");
+  B.ret(V);
+  cast<Instruction>(V)->getParent()->terminator()->setOperand(0, S);
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("store result has uses"), std::string::npos);
+}
+
 TEST_F(IRTest, SplitBlockKeepsCFGConsistent) {
   auto *I32 = Ctx.intTy(32);
   Function *F = M.createFunction("f", Ctx.types().fnTy(I32, {I32}));

@@ -229,7 +229,7 @@ TEST_F(PassManagerTest, InstrumentationSeesEveryExecution) {
   Function *F = parseLoop();
   PassManager PM(/*VerifyAfterEachPass=*/false);
   PM.add(createDCEPass());
-  PM.add(createGVNPass());
+  PM.add(createGVNPass(PipelineMode::Proposed));
 
   std::vector<std::string> Before, After;
   PM.instrumentation().onBeforePass(
@@ -257,7 +257,10 @@ TEST_F(PassManagerTest, PipelineParsePrintRoundTrip) {
       PM, "instcombine<legacy>,gvn,licm,verify", PipelineMode::Proposed,
       &Error))
       << Error;
-  EXPECT_EQ(PM.pipelineText(), "instcombine<legacy>,gvn,licm,verify");
+  // gvn/licm are mode-dependent: the canonical text pins the default mode
+  // they were instantiated with.
+  EXPECT_EQ(PM.pipelineText(),
+            "instcombine<legacy>,gvn<proposed>,licm<proposed>,verify");
 
   // The canonical text parses back to an identical pipeline.
   PassManager PM2(/*VerifyAfterEachPass=*/false);
@@ -297,9 +300,9 @@ TEST_F(PassManagerTest, UnknownPassNameIsRejectedWithTheValidList) {
 TEST_F(PassManagerTest, BadVariantsAreRejected) {
   std::string Error;
   PassManager PM(/*VerifyAfterEachPass=*/false);
-  // gvn is not mode-dependent; a variant suffix is meaningless on it.
+  // sccp is not mode-dependent; a variant suffix is meaningless on it.
   EXPECT_FALSE(
-      parsePassPipeline(PM, "gvn<legacy>", PipelineMode::Proposed, &Error));
+      parsePassPipeline(PM, "sccp<legacy>", PipelineMode::Proposed, &Error));
   EXPECT_FALSE(parsePassPipeline(PM, "instcombine<frozen>",
                                  PipelineMode::Proposed, &Error));
   EXPECT_FALSE(parsePassPipeline(PM, "gvn,,dce", PipelineMode::Proposed,

@@ -452,7 +452,7 @@ entry:
 }
 )",
                       "f");
-  ASSERT_TRUE(runAndValidate(F, createGVNPass()));
+  ASSERT_TRUE(runAndValidate(F, createGVNPass(PipelineMode::Proposed)));
   EXPECT_EQ(count(F, Opcode::Add), 1u) << F->str();
 }
 
@@ -467,7 +467,7 @@ entry:
 }
 )",
                       "f");
-  ASSERT_TRUE(runAndValidate(F, createGVNPass()));
+  ASSERT_TRUE(runAndValidate(F, createGVNPass(PipelineMode::Proposed)));
   // Merging would change the result from "any difference" to always-0 —
   // wait, merging *shrinks* behaviours... but LLVM's rule (Section 6) is
   // that it is sound only if ALL uses are replaced; our GVN stays
@@ -495,7 +495,7 @@ exit:
 }
 )",
                       "f");
-  ASSERT_TRUE(runAndValidate(F, createGVNPass()));
+  ASSERT_TRUE(runAndValidate(F, createGVNPass(PipelineMode::Proposed)));
   // Inside %then, %t was replaced by %y.
   bool UsesY = false;
   for (BasicBlock *BB : *F)
@@ -577,7 +577,7 @@ exit:
 }
 )",
                       "f");
-  ASSERT_TRUE(runAndValidate(F, createLICMPass()));
+  ASSERT_TRUE(runAndValidate(F, createLICMPass(PipelineMode::Proposed)));
   // %x1 now lives in the entry block (the preheader).
   bool Hoisted = false;
   for (Instruction *I : *F->entry())
@@ -614,7 +614,7 @@ exit:
 }
 )",
                       "f");
-  ASSERT_TRUE(runAndValidate(F, createLICMPass()));
+  ASSERT_TRUE(runAndValidate(F, createLICMPass(PipelineMode::Proposed)));
   // The division stays in the loop body.
   bool DivInBody = false;
   for (BasicBlock *BB : *F)

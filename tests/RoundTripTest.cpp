@@ -66,6 +66,43 @@ TEST(RoundTrip, EveryEnumeratedFunctionIsStable) {
   EXPECT_GT(Checked, 1000u) << "enumeration space unexpectedly small";
 }
 
+TEST(RoundTrip, EveryMemoryEnumeratedFunctionIsStable) {
+  // The memory-enumerator space: loads and stores over the @m global, its
+  // constant-gep cells, and the alloca scratch slot, with undef/poison
+  // store operands. printFunction emits the referenced globals ahead of
+  // the body, so each function's text must be standalone-parseable — this
+  // is exactly what campaign shards rely on when they re-parse per-function
+  // counterexamples in worker threads.
+  fuzz::EnumOptions Opts;
+  Opts.NumInsts = 2;
+  Opts.Width = 8;
+  Opts.NumArgs = 1;
+  Opts.WithPoison = true;
+  Opts.WithUndef = true;
+  Opts.WithMemory = true;
+  Opts.MemBytes = 2;
+
+  IRContext Ctx;
+  Module M(Ctx, "enum-mem");
+  uint64_t Checked = 0, Budget = 20000;
+  bool SawLoad = false, SawStore = false, SawGep = false, SawAlloca = false;
+  fuzz::enumerateFunctions(M, Opts, [&](Function &F) {
+    std::string Once = printFunction(F);
+    SawLoad |= Once.find("load") != std::string::npos;
+    SawStore |= Once.find("store") != std::string::npos;
+    SawGep |= Once.find("gep inbounds") != std::string::npos;
+    SawAlloca |= Once.find("alloca") != std::string::npos;
+    std::string Twice = reprint(Once);
+    EXPECT_EQ(Once, Twice);
+    return ++Checked < Budget && !::testing::Test::HasFailure();
+  });
+  EXPECT_GT(Checked, 1000u) << "memory enumeration space unexpectedly small";
+  EXPECT_TRUE(SawLoad && SawStore && SawGep && SawAlloca)
+      << "memory shapes missing from the enumerated space: load=" << SawLoad
+      << " store=" << SawStore << " gep=" << SawGep
+      << " alloca=" << SawAlloca;
+}
+
 TEST(RoundTrip, RandomProgramsWithLoopsAndMemoryAreStable) {
   // Random programs add the module-level features the enumerator never
   // emits: globals, gep/load/store, counted loops, wide types, and the

@@ -856,4 +856,138 @@ TEST_F(TVTest, MemoryIsObservable) {
   EXPECT_TRUE(R.valid()) << R.Message;
 }
 
+TEST_F(TVTest, InitialMemorySweepCatchesDeletedUndefStore) {
+  // dse<legacy>'s folklore rule deletes `store undef` as a no-op. Over
+  // uninitialized memory that IS a refinement (the target's Uninit bytes
+  // refine the source's Undef), so the fixed-memory check accepts it; only
+  // sweeping initial memory contents — in particular all-poison — exposes
+  // the resurrection of whatever the bytes held before.
+  //
+  // This pair is also the MemLayout regression: the target references no
+  // global at all, so without pinning the window to the SOURCE's globals
+  // the final-memory snapshots would have different sizes and the valid
+  // fixed-memory verdict below would come out spuriously invalid.
+  auto *I8 = Ctx.intTy(8);
+  GlobalVariable *G = Ctx.getGlobal("g", I8, 1);
+  Function *Src = fn("src", Ctx.voidTy(), {});
+  {
+    IRBuilder B(Ctx, Src->addBlock("entry"));
+    B.store(Ctx.getUndef(I8), G);
+    B.retVoid();
+  }
+  Function *Tgt = fn("tgt", Ctx.voidTy(), {});
+  {
+    IRBuilder B(Ctx, Tgt->addBlock("entry"));
+    B.retVoid();
+  }
+  ASSERT_TRUE(verifyFunction(*Src));
+  ASSERT_TRUE(verifyFunction(*Tgt));
+
+  TVOptions Opts;
+  Opts.CompareMemory = true;
+  TVResult R = checkRefinement(*Src, *Tgt, LegacyGVN, Opts);
+  EXPECT_TRUE(R.valid()) << R.Message;
+
+  Opts.EnumerateMemory = true;
+  R = checkRefinement(*Src, *Tgt, LegacyGVN, Opts);
+  EXPECT_TRUE(R.invalid()) << R.Message;
+  // The counterexample names the initial-memory configuration it needed.
+  EXPECT_NE(R.Message.find("initmem="), std::string::npos) << R.Message;
+}
+
+TEST_F(TVTest, FixedInitialMemoryIsRespected) {
+  // InitialMem pins every execution's starting contents: a function that
+  // just loads the global must return exactly those bytes.
+  auto *I8 = Ctx.intTy(8);
+  GlobalVariable *G = Ctx.getGlobal("g", I8, 1);
+  auto MakeLoad = [&](const std::string &Name) {
+    Function *F = fn(Name, I8, {});
+    IRBuilder B(Ctx, F->addBlock("entry"));
+    B.ret(B.load(G, "v"));
+    return F;
+  };
+  Function *Src = MakeLoad("src");
+  Function *TgtConst = fn("tgtc", I8, {});
+  {
+    IRBuilder B(Ctx, TgtConst->addBlock("entry"));
+    B.ret(Ctx.getInt(8, 0x5a));
+  }
+  ASSERT_TRUE(verifyFunction(*Src));
+  ASSERT_TRUE(verifyFunction(*TgtConst));
+
+  std::vector<sem::MemBit> Bits(8, sem::MemBit::Zero);
+  for (unsigned I : {1u, 3u, 4u, 6u}) // 0x5a, LSB first
+    Bits[I] = sem::MemBit::One;
+  TVOptions Opts;
+  Opts.CompareMemory = true;
+  Opts.InitialMem = &Bits;
+  TVResult R = checkRefinement(*Src, *TgtConst, Proposed, Opts);
+  EXPECT_TRUE(R.valid()) << R.Message;
+
+  // Any other constant is refuted under the same initial memory.
+  Function *TgtWrong = fn("tgtw", I8, {});
+  {
+    IRBuilder B(Ctx, TgtWrong->addBlock("entry"));
+    B.ret(Ctx.getInt(8, 0x5b));
+  }
+  ASSERT_TRUE(verifyFunction(*TgtWrong));
+  R = checkRefinement(*Src, *TgtWrong, Proposed, Opts);
+  EXPECT_TRUE(R.invalid()) << R.Message;
+}
+
+TEST_F(TVTest, MemoryCampaignLegacyDSEFailsProposedCleanDeterministic) {
+  // The issue's acceptance shape as a unit test: an exhaustive memory
+  // campaign over 1-byte programs with undef/poison stores. dse<legacy>
+  // miscompiles (every counterexample blames it, and at least one needs a
+  // non-default initial memory), the proposed dse over the identical space
+  // is clean, and the report is byte-identical at any parallelism.
+  tv::CampaignOptions Opts;
+  Opts.Source = tv::CampaignSource::Exhaustive;
+  Opts.Enum.NumInsts = 2;
+  Opts.Enum.Width = 2;
+  Opts.Enum.NumArgs = 1;
+  Opts.Enum.Opcodes = {};
+  Opts.Enum.WithSelect = false;
+  Opts.Enum.WithFreeze = false;
+  Opts.Enum.WithPoison = true;
+  Opts.Enum.WithUndef = true;
+  Opts.Enum.WithMemory = true;
+  Opts.Enum.MemBytes = 1;
+  Opts.Passes = "dse";
+  Opts.Pipeline = PipelineMode::Legacy;
+  Opts.Semantics = LegacyGVN;
+  Opts.TV.CompareMemory = true;
+  Opts.TV.EnumerateMemory = true;
+  Opts.ShardSize = 16;
+
+  Opts.Jobs = 1;
+  tv::CampaignResult Serial = tv::runCampaign(Opts);
+  EXPECT_GT(Serial.Functions, 100u);
+  EXPECT_GT(Serial.Invalid, 0u);
+  EXPECT_EQ(Serial.Inconclusive, 0u);
+  EXPECT_GT(Serial.MemFunctions, 0u); // the sweep actually ran
+  EXPECT_GT(Serial.MemConfigs, Serial.MemFunctions);
+  ASSERT_GT(Serial.Counterexamples.size(), 0u);
+  bool SawInitMemWitness = false;
+  for (const tv::Counterexample &CE : Serial.Counterexamples) {
+    EXPECT_EQ(CE.BlamedPass, "dse<legacy>") << CE.Message;
+    SawInitMemWitness |= CE.Message.find("initmem=") != std::string::npos;
+  }
+  // At least one failure (e.g. a lone deleted `store undef`) reproduces
+  // only under a swept initial memory, not over Uninit.
+  EXPECT_TRUE(SawInitMemWitness);
+
+  Opts.Jobs = 2;
+  tv::CampaignResult Parallel = tv::runCampaign(Opts);
+  EXPECT_EQ(Serial.report(), Parallel.report());
+
+  Opts.Jobs = 1;
+  Opts.Pipeline = PipelineMode::Proposed;
+  Opts.Semantics = Proposed;
+  tv::CampaignResult Clean = tv::runCampaign(Opts);
+  EXPECT_GT(Clean.Functions, 100u);
+  EXPECT_EQ(Clean.Invalid, 0u);
+  EXPECT_EQ(Clean.Inconclusive, 0u);
+}
+
 } // namespace

@@ -53,6 +53,10 @@ const char *Usage =
     "                               the stage (isel/regalloc/sim)\n"
     "  --poison-cond                also enumerate `i1 poison` as a select\n"
     "                               condition (exhaustive source)\n"
+    "  --with-undef                 also enumerate a literal undef operand\n"
+    "                               (exhaustive source); with --mem-bytes this\n"
+    "                               includes `store undef`, the shape whose\n"
+    "                               deletion/forwarding splits the semantics\n"
     "  --insts N                    instructions per enumerated fn (default 2)\n"
     "  --width N                    integer width of the space (default 2)\n"
     "  --args N                     formal parameters (default 1)\n"
@@ -60,6 +64,10 @@ const char *Usage =
     "  --opcodes a,b,...            binary opcodes to enumerate (add,sub,mul,\n"
     "                               and,or,xor,shl,lshr,ashr; 'none' for only\n"
     "                               icmp/select/freeze)\n"
+    "  --mem-bytes N                enumerate load/store/gep programs over a\n"
+    "                               global of N bytes plus one alloca cell\n"
+    "                               (exhaustive source); implies\n"
+    "                               --compare-memory\n"
     "  --seed N                     base seed, random source (default 1)\n"
     "  --count N                    functions, random source (default 128)\n"
     "  --statements N               statements per random fn (default 24)\n"
@@ -74,6 +82,13 @@ const char *Usage =
     "                               when omitted)\n"
     "  --sem proposed|legacy-unswitch|legacy-gvn|legacy-langref\n"
     "                               checking semantics (default proposed)\n"
+    "  --compare-memory             include final global memory in the\n"
+    "                               observable behaviour and sweep initial\n"
+    "                               memory contents (all-zeros, all-poison,\n"
+    "                               per-byte poison bits, ...) for every\n"
+    "                               function that touches globals\n"
+    "  --mem-configs N              cap on initial-memory configurations per\n"
+    "                               function (default 8)\n"
     "\n"
     "Execution:\n"
     "  --engine scalar|bitsliced    evaluation engine (default scalar);\n"
@@ -143,6 +158,8 @@ int main(int argc, char **argv) {
       Opts.Kind = tv::CampaignKind::EndToEnd;
     else if (A == "--poison-cond")
       Opts.Enum.WithPoisonCond = true;
+    else if (A == "--with-undef")
+      Opts.Enum.WithUndef = true;
     else if (A == "--insts")
       Opts.Enum.NumInsts = unsigned(parseNum("--insts", Next()));
     else if (A == "--width")
@@ -186,6 +203,16 @@ int main(int argc, char **argv) {
         }
       }
     }
+    else if (A == "--mem-bytes") {
+      Opts.Enum.WithMemory = true;
+      Opts.Enum.MemBytes = unsigned(parseNum("--mem-bytes", Next()));
+      Opts.TV.CompareMemory = true;
+      Opts.TV.EnumerateMemory = true;
+    } else if (A == "--compare-memory") {
+      Opts.TV.CompareMemory = true;
+      Opts.TV.EnumerateMemory = true;
+    } else if (A == "--mem-configs")
+      Opts.TV.MaxMemConfigs = parseNum("--mem-configs", Next());
     else if (A == "--seed")
       Opts.Random.Seed = parseNum("--seed", Next());
     else if (A == "--count")
@@ -258,6 +285,11 @@ int main(int argc, char **argv) {
   }
   if (Opts.ShardSize == 0) {
     std::fprintf(stderr, "frost-tv: --shard-size must be positive\n");
+    return 3;
+  }
+  if (Opts.Enum.WithMemory &&
+      (Opts.Enum.MemBytes == 0 || Opts.Enum.MemBytes > 8)) {
+    std::fprintf(stderr, "frost-tv: --mem-bytes must be in 1..8\n");
     return 3;
   }
   if (!Opts.Passes.empty()) {
