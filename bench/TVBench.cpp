@@ -27,6 +27,7 @@
 #include "support/ThreadPool.h"
 #include "tv/Campaign.h"
 #include "tv/Refinement.h"
+#include "tv/VerdictCache.h"
 
 #include <benchmark/benchmark.h>
 
@@ -272,9 +273,9 @@ bool runEngineSweep(const std::string &JsonPath, uint64_t Scale,
     return false;
   }
   char Buf[512];
-  // v2 adds the "memory" section; every v1 key is unchanged, so v1
-  // consumers keep working.
-  Out << "{\n  \"schema\": \"frost-bench-tv/v2\",\n";
+  // v2 added the "memory" section, v3 adds "verdict_cache"; every v1/v2
+  // key is unchanged, so older consumers keep working.
+  Out << "{\n  \"schema\": \"frost-bench-tv/v3\",\n";
   std::snprintf(Buf, sizeof(Buf),
                 "  \"campaign\": {\"source\": \"exhaustive\", \"insts\": 2, "
                 "\"args\": 3, \"widths\": [1, 2, 3, 4], \"opcodes\": "
@@ -431,6 +432,223 @@ MemorySweep runMemorySweep(uint64_t Scale) {
   return S;
 }
 
+//===----------------------------------------------------------------------===//
+// Verdict-cache sweep -> the "verdict_cache" section of BENCH_TV.json
+//===----------------------------------------------------------------------===//
+
+/// One leg of a cache measurement: the campaign's wall time plus the
+/// verdict-cache counter deltas it produced.
+struct CacheLeg {
+  double WallSeconds = 0;
+  uint64_t Hits = 0, Misses = 0, Skips = 0, Collisions = 0;
+};
+
+/// One campaign measured three ways: with verdict reuse disabled entirely,
+/// cold against an empty cache (so every saving comes from intra-campaign
+/// isomorphism dedup alone), and warm from a cache file saved by the cold
+/// run (every class replays from disk — what a CI rerun of an unchanged
+/// configuration sees). The warm leg round-trips through the on-disk
+/// format, and a --jobs 2 cached rerun guards the any-jobs report
+/// contract.
+struct CacheCampaign {
+  uint64_t Functions = 0;
+  CacheLeg NoCache, Cold, Warm;
+  bool Parity = false; ///< nocache/cold/warm/jobs-2 reports byte-identical.
+  bool DiskOK = false; ///< save() then load() of the cold cache succeeded.
+};
+
+CacheLeg legOf(const tv::CampaignResult &R) {
+  CacheLeg L;
+  L.WallSeconds = R.WallSeconds;
+  L.Hits = R.CacheHits;
+  L.Misses = R.CacheMisses;
+  L.Skips = R.IsomorphicSkips;
+  L.Collisions = R.CacheCollisions;
+  return L;
+}
+
+CacheCampaign runCacheCampaign(tv::CampaignOptions Opts,
+                               const std::string &CachePath) {
+  CacheCampaign C;
+  Opts.Jobs = 1;
+
+  Opts.UseVerdictCache = false;
+  tv::CampaignResult NoCache = tv::runCampaign(Opts);
+  C.Functions = NoCache.Functions;
+  C.NoCache = legOf(NoCache);
+
+  Opts.UseVerdictCache = true;
+  tv::VerdictCache ColdCache;
+  Opts.Cache = &ColdCache;
+  tv::CampaignResult Cold = tv::runCampaign(Opts);
+  C.Cold = legOf(Cold);
+
+  tv::VerdictCache WarmCache;
+  std::string Error;
+  C.DiskOK = ColdCache.save(CachePath, &Error) &&
+             WarmCache.load(CachePath, &Error);
+  if (!C.DiskOK)
+    std::printf("verdict-cache round trip FAILED: %s\n", Error.c_str());
+  Opts.Cache = &WarmCache;
+  tv::CampaignResult Warm = tv::runCampaign(Opts);
+  C.Warm = legOf(Warm);
+
+  Opts.Jobs = 2;
+  tv::CampaignResult WarmJ2 = tv::runCampaign(Opts);
+  std::remove(CachePath.c_str());
+
+  C.Parity = NoCache.report() == Cold.report() &&
+             NoCache.report() == Warm.report() &&
+             NoCache.report() == WarmJ2.report();
+  return C;
+}
+
+double speedupOf(const CacheLeg &Base, const CacheLeg &Fast) {
+  return Fast.WallSeconds > 0 ? Base.WallSeconds / Fast.WallSeconds : 0;
+}
+
+/// Outcome of the three-campaign cache sweep.
+struct CacheSweep {
+  bool Parity = false;    ///< Every campaign's four reports agreed.
+  bool WarmClean = false; ///< Every warm leg replayed with zero misses.
+  std::string Json;       ///< The "verdict_cache" object for BENCH_TV.json.
+};
+
+void printCacheCampaign(const char *Name, const CacheCampaign &C) {
+  std::printf("%s: %llu fns | nocache %.2fs | cold %.2fs (%llu skips, "
+              "%.0f%% hit rate, %.2fx) | warm %.2fs (%llu hits, %llu "
+              "misses, %.1fx) | reports %s\n",
+              Name, (unsigned long long)C.Functions, C.NoCache.WallSeconds,
+              C.Cold.WallSeconds, (unsigned long long)C.Cold.Skips,
+              C.Functions ? 100.0 * C.Cold.Hits / C.Functions : 0,
+              speedupOf(C.NoCache, C.Cold), C.Warm.WallSeconds,
+              (unsigned long long)C.Warm.Hits,
+              (unsigned long long)C.Warm.Misses, speedupOf(C.NoCache, C.Warm),
+              C.Parity ? "byte-identical" : "DIVERGED");
+}
+
+std::string cacheCampaignJson(const char *Name, const char *Shape,
+                              const CacheCampaign &C, bool Last) {
+  char Buf[768];
+  std::string J;
+  std::snprintf(Buf, sizeof(Buf), "    \"%s\": {\n      \"campaign\": %s,\n",
+                Name, Shape);
+  J += Buf;
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "      \"functions\": %llu, \"nocache\": {\"wall_s\": %.4f},\n"
+      "      \"cold\": {\"wall_s\": %.4f, \"hits\": %llu, "
+      "\"isomorphic_skips\": %llu, \"misses\": %llu, \"collisions\": %llu, "
+      "\"hit_rate\": %.4f},\n"
+      "      \"warm\": {\"wall_s\": %.4f, \"hits\": %llu, \"misses\": "
+      "%llu},\n",
+      (unsigned long long)C.Functions, C.NoCache.WallSeconds,
+      C.Cold.WallSeconds, (unsigned long long)C.Cold.Hits,
+      (unsigned long long)C.Cold.Skips, (unsigned long long)C.Cold.Misses,
+      (unsigned long long)C.Cold.Collisions,
+      C.Functions ? double(C.Cold.Hits) / C.Functions : 0,
+      C.Warm.WallSeconds, (unsigned long long)C.Warm.Hits,
+      (unsigned long long)C.Warm.Misses);
+  J += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "      \"cold_speedup\": %.2f, \"warm_speedup\": %.2f, "
+                "\"verdict_parity\": %s}%s\n",
+                speedupOf(C.NoCache, C.Cold), speedupOf(C.NoCache, C.Warm),
+                C.Parity ? "true" : "false", Last ? "" : ",");
+  J += Buf;
+  return J;
+}
+
+/// Runs the register, memory, and end-to-end cache campaigns. Shapes are
+/// sized so per-function verification (not enumeration/printing/pipeline)
+/// dominates and the spaces are dense in commutative-operand isomorphs:
+/// that is the regime the cache targets, and the regime where the ≥2x-cold
+/// / ≥10x-warm acceptance numbers are measured.
+CacheSweep runCacheSweep(const std::string &JsonPath, uint64_t Scale) {
+  std::printf("\n=== Verdict cache: nocache/cold/warm sweep ===\n");
+  CacheSweep S;
+
+  // Register: the full 2-instruction add/and space over i3 with three
+  // arguments (12544 functions) — exhaustive, so both instructions'
+  // commutative operand orders appear and dedupe.
+  tv::CampaignOptions Reg;
+  Reg.Enum.NumInsts = 2;
+  Reg.Enum.NumArgs = 3;
+  Reg.Enum.Width = 3;
+  Reg.Enum.WithPoison = true;
+  Reg.Enum.WithFlags = true;
+  Reg.Enum.Opcodes = {Opcode::Add, Opcode::And};
+  Reg.MaxFunctions = std::max<uint64_t>(1, 13000 / Scale);
+  Reg.TV.CompareMemory = false;
+  CacheCampaign Register =
+      runCacheCampaign(Reg, JsonPath + ".register.cache.tmp");
+  printCacheCampaign("register i3", Register);
+
+  // Memory: i4 arithmetic feeding loads/stores over one global byte plus
+  // the alloca cell, with undef operands and final-memory comparison over
+  // the initial-memory sweep.
+  tv::CampaignOptions MemC;
+  MemC.Enum.NumInsts = 2;
+  MemC.Enum.NumArgs = 2;
+  MemC.Enum.Width = 4;
+  MemC.Enum.WithPoison = true;
+  MemC.Enum.WithFlags = true;
+  MemC.Enum.WithUndef = true;
+  MemC.Enum.WithMemory = true;
+  MemC.Enum.MemBytes = 1;
+  MemC.Enum.Opcodes = {Opcode::Add, Opcode::And, Opcode::Or, Opcode::Xor};
+  MemC.MaxFunctions = std::max<uint64_t>(1, 20000 / Scale);
+  MemC.TV.CompareMemory = true;
+  MemC.TV.EnumerateMemory = true;
+  CacheCampaign Memory = runCacheCampaign(MemC, JsonPath + ".memory.cache.tmp");
+  printCacheCampaign("memory i4", Memory);
+
+  // End-to-end: the same arithmetic shapes through codegen + regalloc +
+  // machine simulation; a cache hit skips the whole backend run.
+  tv::CampaignOptions E2E;
+  E2E.Kind = tv::CampaignKind::EndToEnd;
+  E2E.Enum.NumInsts = 2;
+  E2E.Enum.NumArgs = 2;
+  E2E.Enum.Width = 3;
+  E2E.Enum.WithPoison = true;
+  E2E.Enum.WithFlags = true;
+  E2E.Enum.Opcodes = {Opcode::Add, Opcode::And, Opcode::Or, Opcode::Xor};
+  E2E.MaxFunctions = std::max<uint64_t>(1, 6000 / Scale);
+  E2E.TV.CompareMemory = false;
+  CacheCampaign EndToEnd =
+      runCacheCampaign(E2E, JsonPath + ".e2e.cache.tmp");
+  printCacheCampaign("end-to-end i3", EndToEnd);
+
+  S.Parity = Register.Parity && Memory.Parity && EndToEnd.Parity &&
+             Register.DiskOK && Memory.DiskOK && EndToEnd.DiskOK;
+  S.WarmClean = Register.Warm.Misses == 0 && Memory.Warm.Misses == 0 &&
+                EndToEnd.Warm.Misses == 0 && Register.Cold.Skips > 0 &&
+                Memory.Cold.Skips > 0 && EndToEnd.Cold.Skips > 0;
+
+  S.Json = "  \"verdict_cache\": {\n";
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"source\": \"exhaustive\", \"insts\": 2, \"args\": 3, "
+                "\"width\": 3, \"opcodes\": \"add,and\", \"max_functions\": "
+                "%llu}",
+                (unsigned long long)Reg.MaxFunctions);
+  S.Json += cacheCampaignJson("register", Buf, Register, false);
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"source\": \"exhaustive\", \"insts\": 2, \"args\": 2, "
+                "\"width\": 4, \"mem_bytes\": 1, \"undef\": true, "
+                "\"opcodes\": \"add,and,or,xor\", \"max_functions\": %llu}",
+                (unsigned long long)MemC.MaxFunctions);
+  S.Json += cacheCampaignJson("memory", Buf, Memory, false);
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"source\": \"exhaustive\", \"kind\": \"end-to-end\", "
+                "\"insts\": 2, \"args\": 2, \"width\": 3, \"opcodes\": "
+                "\"add,and,or,xor\", \"max_functions\": %llu}",
+                (unsigned long long)E2E.MaxFunctions);
+  S.Json += cacheCampaignJson("end_to_end", Buf, EndToEnd, true);
+  S.Json += "  },\n";
+  return S;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -473,7 +691,19 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  bool SweepParity = runEngineSweep(JsonPath, Scale, Mem.Json);
+  CacheSweep Cache = runCacheSweep(JsonPath, Scale);
+  if (!Cache.Parity) {
+    std::printf("CACHE FAILURE: cached and uncached reports diverged (or "
+                "the on-disk round trip failed)\n");
+    return 1;
+  }
+  if (!Cache.WarmClean) {
+    std::printf("CACHE FAILURE: a cold run found no isomorphs or a warm "
+                "run missed\n");
+    return 1;
+  }
+
+  bool SweepParity = runEngineSweep(JsonPath, Scale, Mem.Json + Cache.Json);
   if (!SweepParity) {
     std::printf("SWEEP FAILURE: scalar and bitsliced reports diverged\n");
     return 1;

@@ -57,6 +57,21 @@ if ./build/tools/frost-tv --file tests/ir/mem/campaign-legacy-memory.fr \
   exit 1
 fi
 
+echo "== cache smoke: warm rerun must hit and replay byte-identically =="
+CACHE=$(mktemp)
+rm -f "$CACHE"
+./build/tools/frost-tv --insts 2 --width 2 --args 2 --max-functions 4000 \
+    --cache-file "$CACHE" --quiet --stats > /tmp/frost-cache-cold.txt
+./build/tools/frost-tv --insts 2 --width 2 --args 2 --max-functions 4000 \
+    --cache-file "$CACHE" --quiet --stats > /tmp/frost-cache-warm.txt
+rm -f "$CACHE"
+grep -q "tv.cache_hits = [1-9]" /tmp/frost-cache-warm.txt || {
+  echo "check.sh: FAIL: warm cache rerun recorded no hits" >&2; exit 1; }
+COLD_HASH=$(grep "^report-hash=" /tmp/frost-cache-cold.txt)
+WARM_HASH=$(grep "^report-hash=" /tmp/frost-cache-warm.txt)
+[ -n "$COLD_HASH" ] && [ "$COLD_HASH" = "$WARM_HASH" ] || {
+  echo "check.sh: FAIL: cold and warm report hashes differ" >&2; exit 1; }
+
 echo "== smoke campaign: backend must refine proposed semantics =="
 ./build/tools/frost-tv --end-to-end --insts 2 --width 2 \
     --max-functions 4000 --jobs 2 --quiet

@@ -1,0 +1,285 @@
+//===- StructuralHash.cpp - Canonical-form function hashing -------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/StructuralHash.h"
+
+#include "ir/Constants.h"
+#include "ir/Function.h"
+#include "ir/Instructions.h"
+#include "ir/Module.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace frost;
+
+//===----------------------------------------------------------------------===//
+// StructuralHash
+//===----------------------------------------------------------------------===//
+
+std::string StructuralHash::str() const {
+  char Buf[33];
+  std::snprintf(Buf, sizeof(Buf), "%016llx%016llx", (unsigned long long)Hi,
+                (unsigned long long)Lo);
+  return Buf;
+}
+
+bool StructuralHash::fromString(const std::string &S, StructuralHash &Out) {
+  if (S.size() != 32)
+    return false;
+  uint64_t Parts[2] = {0, 0};
+  for (unsigned P = 0; P != 2; ++P) {
+    for (unsigned I = 0; I != 16; ++I) {
+      char C = S[P * 16 + I];
+      uint64_t Digit;
+      if (C >= '0' && C <= '9')
+        Digit = C - '0';
+      else if (C >= 'a' && C <= 'f')
+        Digit = 10 + (C - 'a');
+      else
+        return false;
+      Parts[P] = (Parts[P] << 4) | Digit;
+    }
+  }
+  Out.Hi = Parts[0];
+  Out.Lo = Parts[1];
+  return true;
+}
+
+StructuralHash frost::hashCanonicalText(const std::string &Canon) {
+  // Two independent mixers over the same bytes: FNV-1a for the low lane, a
+  // multiply-xorshift (splitmix-style) accumulator for the high lane. The
+  // length is folded into both so prefix texts cannot alias.
+  uint64_t Lo = 14695981039346656037ull;
+  uint64_t Hi = 0x9e3779b97f4a7c15ull;
+  for (unsigned char C : Canon) {
+    Lo = (Lo ^ C) * 1099511628211ull;
+    Hi = (Hi + C) * 0xff51afd7ed558ccdull;
+    Hi ^= Hi >> 33;
+  }
+  Lo ^= Canon.size();
+  Hi = (Hi ^ Canon.size()) * 0xc4ceb9fe1a85ec53ull;
+  Hi ^= Hi >> 29;
+  return {Hi, Lo};
+}
+
+//===----------------------------------------------------------------------===//
+// Canonicalizer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Canonical indices for every value a body can reference: blocks in
+/// canonical (RPO-first) order, instructions in canonical block order,
+/// arguments by position.
+struct CanonIds {
+  std::map<const BasicBlock *, unsigned> Block;
+  std::map<const Instruction *, unsigned> Inst;
+};
+
+/// Canonical block order: reverse post-order from the entry with successors
+/// visited in terminator operand order (so the order is a function of the
+/// CFG, not of the block list), followed by any unreachable blocks in their
+/// original list order (their content still participates in the form).
+std::vector<const BasicBlock *> canonicalBlockOrder(const Function &F) {
+  std::set<const BasicBlock *> Visited;
+  std::vector<const BasicBlock *> PostOrder;
+  // Iterative DFS; the frame remembers which successor to visit next.
+  struct Frame {
+    const BasicBlock *BB;
+    std::vector<BasicBlock *> Succs;
+    size_t Next = 0;
+  };
+  std::vector<Frame> Stack;
+  const BasicBlock *Entry = F.entry();
+  Visited.insert(Entry);
+  Stack.push_back({Entry, Entry->successors(), 0});
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (Top.Next < Top.Succs.size()) {
+      BasicBlock *S = Top.Succs[Top.Next++];
+      if (Visited.insert(S).second)
+        Stack.push_back({S, S->successors(), 0});
+      continue;
+    }
+    PostOrder.push_back(Top.BB);
+    Stack.pop_back();
+  }
+  std::vector<const BasicBlock *> Order(PostOrder.rbegin(), PostOrder.rend());
+  for (const BasicBlock *BB : F)
+    if (!Visited.count(BB))
+      Order.push_back(BB);
+  return Order;
+}
+
+/// Renders one operand as "type:ref" with canonical references.
+std::string operandRef(const Value *V, const CanonIds &Ids) {
+  std::string Ty = V->getType()->str();
+  switch (V->getKind()) {
+  case Value::Kind::Argument:
+    return Ty + ":a" + std::to_string(cast<Argument>(V)->index());
+  case Value::Kind::Instruction: {
+    auto It = Ids.Inst.find(cast<Instruction>(V));
+    // Operands always resolve: ids are assigned to every instruction (even
+    // in unreachable blocks) before rendering.
+    return Ty + ":v" + (It != Ids.Inst.end() ? std::to_string(It->second)
+                                             : std::string("?"));
+  }
+  case Value::Kind::BasicBlock: {
+    auto It = Ids.Block.find(cast<BasicBlock>(V));
+    return "b" + (It != Ids.Block.end() ? std::to_string(It->second)
+                                        : std::string("?"));
+  }
+  case Value::Kind::ConstantInt:
+    return Ty + ":" + cast<ConstantInt>(V)->value().toSignedString();
+  case Value::Kind::Poison:
+    return Ty + ":poison";
+  case Value::Kind::Undef:
+    return Ty + ":undef";
+  case Value::Kind::GlobalVariable: {
+    const auto *G = cast<GlobalVariable>(V);
+    return Ty + ":@" + G->getName() + "/" +
+           std::to_string(G->sizeBytes());
+  }
+  case Value::Kind::Function:
+    return Ty + ":@" + V->getName();
+  case Value::Kind::ConstantVector: {
+    const auto *CV = cast<ConstantVector>(V);
+    std::string S = Ty + ":<";
+    for (unsigned I = 0, E = CV->size(); I != E; ++I) {
+      if (I)
+        S += ",";
+      S += operandRef(CV->element(I), Ids);
+    }
+    return S + ">";
+  }
+  case Value::Kind::Placeholder:
+    break;
+  }
+  return Ty + ":?";
+}
+
+/// Renders one instruction in canonical form (without its "vN = " prefix).
+std::string canonicalInst(const Instruction &I, const CanonIds &Ids) {
+  std::string S = I.getOpcodeName();
+  ArithFlags Flags = I.flags();
+  if (Flags.NSW)
+    S += " nsw";
+  if (Flags.NUW)
+    S += " nuw";
+  if (Flags.Exact)
+    S += " exact";
+
+  if (const auto *Phi = dyn_cast<PhiNode>(&I)) {
+    // Incoming edges sorted by canonical block index so predecessor order
+    // (an artifact of block layout) cannot leak into the form.
+    std::vector<std::pair<std::string, std::string>> Edges;
+    for (unsigned E = 0; E != Phi->getNumIncoming(); ++E)
+      Edges.emplace_back(operandRef(Phi->getIncomingBlock(E), Ids),
+                         operandRef(Phi->getIncomingValue(E), Ids));
+    std::sort(Edges.begin(), Edges.end());
+    S += " " + I.getType()->str();
+    for (const auto &[B, V] : Edges)
+      S += " [" + B + "," + V + "]";
+    return S;
+  }
+
+  if (const auto *Cmp = dyn_cast<ICmpInst>(&I)) {
+    // Canonical orientation: put the lexicographically smaller operand
+    // first and swap the predicate to compensate. icmp p a,b and
+    // icmp swapped(p) b,a are the same comparison, so this dedups eq/ne
+    // operand swaps and the ult/ugt-style mirror pairs in one rule.
+    std::string L = operandRef(Cmp->lhs(), Ids);
+    std::string R = operandRef(Cmp->rhs(), Ids);
+    ICmpPred P = Cmp->pred();
+    if (R < L) {
+      std::swap(L, R);
+      P = swappedPred(P);
+    }
+    return S + " " + predName(P) + " " + L + ", " + R;
+  }
+
+  if (I.isBinaryOp() && I.isCommutative()) {
+    std::string L = operandRef(I.getOperand(0), Ids);
+    std::string R = operandRef(I.getOperand(1), Ids);
+    if (R < L)
+      std::swap(L, R);
+    return S + " " + L + ", " + R;
+  }
+
+  // Opcode-specific payloads that live outside the operand list.
+  if (const auto *A = dyn_cast<AllocaInst>(&I))
+    S += " " + A->allocatedType()->str();
+  if (const auto *G = dyn_cast<GEPInst>(&I))
+    if (G->isInBounds())
+      S += " inbounds";
+  if (const auto *EE = dyn_cast<ExtractElementInst>(&I))
+    S += " #" + std::to_string(EE->index());
+  if (const auto *IE = dyn_cast<InsertElementInst>(&I))
+    S += " #" + std::to_string(IE->index());
+  if (!I.getType()->isVoid())
+    S += " " + I.getType()->str();
+
+  for (unsigned Op = 0, E = I.getNumOperands(); Op != E; ++Op)
+    S += (Op ? ", " : " ") + operandRef(I.getOperand(Op), Ids);
+  return S;
+}
+
+} // namespace
+
+std::string frost::canonicalForm(const Function &F) {
+  std::string S = "fn " + F.fnType()->returnType()->str() + " (";
+  for (unsigned A = 0, E = F.getNumArgs(); A != E; ++A)
+    S += (A ? "," : "") + F.arg(A)->getType()->str();
+  S += ")\n";
+  if (F.isDeclaration())
+    return S + "declare\n";
+
+  std::vector<const BasicBlock *> Order = canonicalBlockOrder(F);
+  CanonIds Ids;
+  unsigned NextInst = 0;
+  for (unsigned B = 0; B != Order.size(); ++B) {
+    Ids.Block[Order[B]] = B;
+    for (const Instruction *I : *Order[B])
+      Ids.Inst[I] = NextInst++;
+  }
+
+  // Referenced globals, sorted by name — the same order
+  // sem::referencedGlobals uses for the memory layout, so two functions
+  // with equal forms see byte-identical memory windows.
+  std::map<std::string, const GlobalVariable *> Globals;
+  for (const BasicBlock *BB : Order)
+    for (const Instruction *I : *BB)
+      for (unsigned Op = 0, E = I->getNumOperands(); Op != E; ++Op)
+        if (const auto *G = dyn_cast<GlobalVariable>(I->getOperand(Op)))
+          Globals.emplace(G->getName(), G);
+  for (const auto &[Name, G] : Globals)
+    S += "g @" + Name + "/" + std::to_string(G->sizeBytes()) + " " +
+         G->valueType()->str() + "\n";
+
+  for (const BasicBlock *BB : Order) {
+    S += "b" + std::to_string(Ids.Block.at(BB)) + ":\n";
+    for (const Instruction *I : *BB) {
+      if (!I->getType()->isVoid())
+        S += "v" + std::to_string(Ids.Inst.at(I)) + " = ";
+      S += canonicalInst(*I, Ids) + "\n";
+    }
+  }
+  return S;
+}
+
+StructuralHash frost::structuralHash(const Function &F) {
+  return hashCanonicalText(canonicalForm(F));
+}
+
+bool frost::structurallyEqual(const Function &F, const Function &G) {
+  return &F == &G || canonicalForm(F) == canonicalForm(G);
+}

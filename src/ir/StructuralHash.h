@@ -1,0 +1,75 @@
+//===- StructuralHash.h - Canonical-form function hashing -------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical-form hashing for functions: a canonicalizer that renders a
+/// function into a text form invariant under
+///
+///   - value renaming (arguments, instructions, and blocks are referred to
+///     by canonical indices, never by name),
+///   - basic-block reordering (blocks are visited in reverse post-order
+///     from the entry, with deterministic successor order),
+///   - commutative operand order (add/mul/and/or/xor operands are sorted;
+///     icmp operands are sorted with the predicate swapped to compensate,
+///     which covers eq/ne and the ult/ugt-style mirror pairs), and
+///   - phi incoming-edge order (edges are sorted by canonical block index),
+///
+/// plus a 128-bit hash of that form and an exact equality check. Two
+/// functions with equal canonical forms have identical behaviour on every
+/// input — the canonicalizer never merges forms that could diverge (no
+/// instruction reordering, no algebraic identities beyond commutativity) —
+/// which is what lets the TV verdict cache (tv/VerdictCache.h) replay one
+/// function's verdict for its isomorphs.
+///
+/// Hash collisions across *different* canonical forms are possible in
+/// principle (128 bits of FNV-style mixing), so consumers must confirm a
+/// hash hit with structurallyEqual / the canonical text before trusting it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_IR_STRUCTURALHASH_H
+#define FROST_IR_STRUCTURALHASH_H
+
+#include <cstdint>
+#include <string>
+
+namespace frost {
+
+class Function;
+
+/// A 128-bit structural hash (two independently mixed 64-bit lanes).
+struct StructuralHash {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  bool operator==(const StructuralHash &) const = default;
+
+  /// 32 lowercase hex characters, Hi first.
+  std::string str() const;
+
+  /// Parses the str() rendering; returns false on malformed input.
+  static bool fromString(const std::string &S, StructuralHash &Out);
+};
+
+/// Renders \p F in the canonical form described above. Declarations
+/// canonicalize to their signature. The function name never appears: the
+/// form describes structure only.
+std::string canonicalForm(const Function &F);
+
+/// Hashes an already-computed canonical form (or any other key text).
+StructuralHash hashCanonicalText(const std::string &Canon);
+
+/// hashCanonicalText(canonicalForm(F)).
+StructuralHash structuralHash(const Function &F);
+
+/// Exact structural isomorphism: equal canonical forms. Use to confirm a
+/// hash hit before trusting it.
+bool structurallyEqual(const Function &F, const Function &G);
+
+} // namespace frost
+
+#endif // FROST_IR_STRUCTURALHASH_H

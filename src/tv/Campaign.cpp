@@ -9,10 +9,13 @@
 
 #include "ir/Cloning.h"
 #include "ir/Context.h"
+#include "ir/Instructions.h"
 #include "ir/Module.h"
 #include "ir/Printer.h"
+#include "ir/StructuralHash.h"
 #include "opt/Pipeline.h"
 #include "parser/Parser.h"
+#include "support/Casting.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 #include "tv/EndToEnd.h"
@@ -82,6 +85,8 @@ bool CounterexampleCache::record(uint64_t Fingerprint, uint64_t Index) {
     // Different key: keep probing.
   }
   // Table full: treat as new so the failure is reported rather than lost.
+  // The campaign surfaces the eviction count and warns in its summary.
+  stats::add("tv.dedup_evictions");
   return true;
 }
 
@@ -205,18 +210,98 @@ void bookResult(const TVResult &TR, std::string SrcText, std::string Blamed,
     Out.Counterexamples.push_back(std::move(CE));
 }
 
+/// The verdict-reuse hookup for one campaign: the shared cache (campaign-
+/// local or the driver's persistent one) plus the precomputed half of every
+/// key that does not depend on the function.
+struct CacheContext {
+  VerdictCache *VC = nullptr; ///< Null disables verdict reuse.
+  uint64_t ConfigFP = 0;
+};
+
+/// Whether a cached verdict for \p F would be safe to replay anywhere the
+/// same canonical form appears. Calls into *defined* functions are the one
+/// escape hatch: the canonical form names the callee but not its body, so
+/// two modules could bind the same name to different code. Campaign spaces
+/// only call observe-style declarations, so in practice everything caches.
+bool cacheableFunction(const Function &F) {
+  for (const BasicBlock *BB : F)
+    for (const Instruction *I : *BB)
+      if (const auto *Call = dyn_cast<CallInst>(I))
+        if (Function *Callee = Call->callee())
+          if (!Callee->isDeclaration())
+            return false;
+  return true;
+}
+
+/// Rebuilds the TVResult a verification of this member would have produced
+/// from its class's cached verdict.
+TVResult rehydrate(const CachedVerdict &CV) {
+  TVResult TR;
+  TR.St = CV.St == CachedVerdict::Valid     ? TVResult::Status::Valid
+          : CV.St == CachedVerdict::Invalid ? TVResult::Status::Invalid
+                                            : TVResult::Status::Inconclusive;
+  TR.Message = CV.Message;
+  TR.InputsChecked = CV.InputsChecked;
+  TR.PathsExplored = CV.PathsExplored;
+  return TR;
+}
+
+/// Publishes a freshly verified function's verdict to the campaign cache.
+void publishVerdict(const CacheContext &CC, const VerdictKey &Key,
+                    std::string Canon, const TVResult &TR, bool Changed,
+                    const std::string &Blamed) {
+  CachedVerdict CV;
+  CV.St = TR.valid()     ? CachedVerdict::Valid
+          : TR.invalid() ? CachedVerdict::Invalid
+                         : CachedVerdict::Inconclusive;
+  CV.Changed = Changed;
+  CV.InputsChecked = TR.InputsChecked;
+  CV.PathsExplored = TR.PathsExplored;
+  CV.Message = TR.Message;
+  CV.BlamedPass = Blamed;
+  CV.CanonText = std::move(Canon);
+  CC.VC->insert(Key, std::move(CV));
+}
+
 /// Runs the pipeline over \p F (defined in \p M) and validates the result
 /// against its original body (IRPipeline campaigns) or compiles \p F and
 /// validates the machine code against the IR semantics (EndToEnd
 /// campaigns). The IR path is exactly the per-function work the serial
-/// checker in bench/TVBench.cpp performs.
+/// checker in bench/TVBench.cpp performs. With a CacheContext attached,
+/// the function is hashed first and a confirmed hit replays the cached
+/// verdict under this Index. For IR campaigns a hit still runs the (cheap)
+/// pipeline: the Changed flag in report() is per-*member* — a pass may
+/// canonicalize one commutative operand order and leave the other alone —
+/// so replaying an isomorph's flag would make the changed count depend on
+/// which member won the verification race. Only the expensive work
+/// (exhaustive refinement + pass blame) is skipped.
 void checkOne(Module &M, Function &F, uint64_t Index,
-              const CampaignOptions &Opts, CounterexampleCache &Cache,
-              ShardResult &Out) {
+              const CampaignOptions &Opts, const CacheContext &CC,
+              CounterexampleCache &Cache, ShardResult &Out) {
   std::string SrcText = printFunction(F);
 
+  std::string Canon;
+  VerdictKey Key;
+  bool Cacheable = CC.VC && cacheableFunction(F);
+  CachedVerdict CV;
+  bool Hit = false;
+  if (Cacheable) {
+    Canon = canonicalForm(F);
+    Key.Hash = hashCanonicalText(Canon);
+    Key.ConfigFP = CC.ConfigFP;
+    Hit = CC.VC->lookup(Key, Canon, CV);
+  }
+
   if (Opts.Kind == CampaignKind::EndToEnd) {
+    if (Hit) {
+      bookResult(rehydrate(CV), std::move(SrcText), std::move(CV.BlamedPass),
+                 Index, Opts, Cache, Out);
+      return;
+    }
     E2EResult ER = checkEndToEnd(F, Opts.Semantics, Opts.TV);
+    if (Cacheable)
+      publishVerdict(CC, Key, std::move(Canon), ER.TV, /*Changed=*/false,
+                     ER.BlamedStage);
     bookResult(ER.TV, std::move(SrcText), std::move(ER.BlamedStage), Index,
                Opts, Cache, Out);
     return;
@@ -228,14 +313,23 @@ void checkOne(Module &M, Function &F, uint64_t Index,
   if (Opts.TimePasses)
     attachTimePassesInstrumentation(PM.instrumentation());
   AnalysisManager AM;
-  if (PM.run(F, AM))
+  bool PipelineChanged = PM.run(F, AM);
+  if (PipelineChanged)
     ++Out.Changed;
-  TVResult TR = checkRefinement(*Orig, F, Opts.Semantics, Opts.TV);
+  if (Hit) {
+    M.eraseFunction(Orig);
+    bookResult(rehydrate(CV), std::move(SrcText), std::move(CV.BlamedPass),
+               Index, Opts, Cache, Out);
+    return;
+  }
 
+  TVResult TR = checkRefinement(*Orig, F, Opts.Semantics, Opts.TV);
   std::string Blamed;
   if (!TR.valid())
     Blamed = blameFirstFailingPass(M, *Orig, Opts);
   M.eraseFunction(Orig);
+  if (Cacheable)
+    publishVerdict(CC, Key, std::move(Canon), TR, PipelineChanged, Blamed);
   bookResult(TR, std::move(SrcText), std::move(Blamed), Index, Opts, Cache,
              Out);
 }
@@ -262,7 +356,7 @@ void bumpStats(const ShardResult &R) {
 
 /// Checks every function of one shard inside a private context.
 ShardResult processShard(const Shard &S, const CampaignOptions &Opts,
-                         CounterexampleCache &Cache) {
+                         const CacheContext &CC, CounterexampleCache &Cache) {
   ShardResult R;
   R.Id = S.Id;
   if (Opts.Source != CampaignSource::Random) {
@@ -275,7 +369,7 @@ ShardResult processShard(const Shard &S, const CampaignOptions &Opts,
       (void)P;
       std::vector<Function *> Fns = M.functions();
       assert(Fns.size() == 1 && "shard entry must hold exactly one function");
-      checkOne(M, *Fns.front(), S.FirstIndex + I, Opts, Cache, R);
+      checkOne(M, *Fns.front(), S.FirstIndex + I, Opts, CC, Cache, R);
     }
   } else {
     for (uint64_t I = 0; I != S.NumFunctions; ++I) {
@@ -286,7 +380,7 @@ ShardResult processShard(const Shard &S, const CampaignOptions &Opts,
       RP.Seed = Opts.Random.Seed + Index;
       Function *F = fuzz::generateRandomFunction(
           M, "rp" + std::to_string(Index), RP);
-      checkOne(M, *F, Index, Opts, Cache, R);
+      checkOne(M, *F, Index, Opts, CC, Cache, R);
     }
   }
   bumpStats(R);
@@ -355,6 +449,35 @@ std::string tv::describeCampaign(const CampaignOptions &Opts) {
   return S;
 }
 
+uint64_t tv::campaignConfigFingerprint(const CampaignOptions &Opts) {
+  // Everything verdict-affecting, rendered as text and FNV-hashed. Jobs,
+  // ShardSize, and Engine are deliberately absent (see the declaration);
+  // so are the space options (the function itself is the other key half).
+  std::string S;
+  S += Opts.Kind == CampaignKind::EndToEnd ? "kind=e2e" : "kind=ir";
+  if (Opts.Kind != CampaignKind::EndToEnd) {
+    S += std::string(" pipeline=") +
+         (Opts.Pipeline == PipelineMode::Proposed ? "proposed" : "legacy");
+    S += " passes=" + (Opts.Passes.empty() ? "default" : Opts.Passes);
+  }
+  S += "\nsemantics: " + semanticsTag(Opts.Semantics);
+  const TVOptions &TV = Opts.TV;
+  S += "\ntv: max_paths=" + std::to_string(TV.MaxPathsPerRun);
+  S += " max_inputs=" + std::to_string(TV.MaxInputs);
+  S += " fuel=" + std::to_string(TV.Fuel);
+  S += " poison_inputs=" + std::to_string(TV.IncludePoisonInputs);
+  S += " undef_inputs=" + std::to_string(TV.IncludeUndefInputs);
+  S += " compare_memory=" + std::to_string(TV.CompareMemory);
+  S += " enum_memory=" + std::to_string(TV.EnumerateMemory);
+  S += " max_mem_configs=" + std::to_string(TV.MaxMemConfigs);
+  if (TV.InitialMem) {
+    S += " initmem=";
+    for (sem::MemBit B : *TV.InitialMem)
+      S += std::to_string((int)B) + ",";
+  }
+  return fingerprintFailure(S);
+}
+
 //===----------------------------------------------------------------------===//
 // Result rendering
 //===----------------------------------------------------------------------===//
@@ -413,6 +536,24 @@ std::string CampaignResult::summary() const {
                   AliasQueries == 1 ? "y" : "ies");
     S += Buf;
   }
+  if (CacheHits || CacheMisses) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "\nverdict cache: %llu hit(s) (%llu isomorphic skip(s)), "
+                  "%llu miss(es), %llu collision(s)",
+                  (unsigned long long)CacheHits,
+                  (unsigned long long)IsomorphicSkips,
+                  (unsigned long long)CacheMisses,
+                  (unsigned long long)CacheCollisions);
+    S += Buf;
+  }
+  if (DedupEvictions) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "\nwarning: counterexample dedup table saturated (%llu "
+                  "eviction(s)); duplicate failures may be over-reported — "
+                  "raise DedupCapacity",
+                  (unsigned long long)DedupEvictions);
+    S += Buf;
+  }
   return S;
 }
 
@@ -432,6 +573,27 @@ CampaignResult tv::runCampaign(const CampaignOptions &Opts) {
   uint64_t MemFnsBefore = stats::get("tv.mem_functions");
   uint64_t MemCfgsBefore = stats::get("tv.mem_configs");
   uint64_t AABefore = stats::get("aa.queries");
+  uint64_t HitsBefore = stats::get("tv.cache_hits");
+  uint64_t MissesBefore = stats::get("tv.cache_misses");
+  uint64_t SkipsBefore = stats::get("tv.isomorphic_skips");
+  uint64_t CollisionsBefore = stats::get("tv.cache_collisions");
+  uint64_t EvictionsBefore = stats::get("tv.dedup_evictions");
+
+  // Verdict reuse: an external cache when the driver passed one (warm
+  // cross-run reuse), otherwise a campaign-private cache so isomorphs are
+  // still deduplicated within the run. A hand-pinned memory layout is not
+  // part of the cache key, so it disables reuse entirely.
+  std::unique_ptr<VerdictCache> LocalCache;
+  CacheContext CC;
+  if (Opts.UseVerdictCache && !Opts.TV.MemLayout) {
+    if (Opts.Cache) {
+      CC.VC = Opts.Cache;
+    } else {
+      LocalCache = std::make_unique<VerdictCache>();
+      CC.VC = LocalCache.get();
+    }
+    CC.ConfigFP = campaignConfigFingerprint(Opts);
+  }
 
   CounterexampleCache Cache(Opts.DedupCapacity);
   std::vector<ShardResult> Results;
@@ -453,9 +615,9 @@ CampaignResult tv::runCampaign(const CampaignOptions &Opts) {
     if (Pool) {
       auto Work = std::make_shared<Shard>(std::move(S));
       Pool->submit(
-          [&, Work] { Commit(processShard(*Work, Opts, Cache)); });
+          [&, Work] { Commit(processShard(*Work, Opts, CC, Cache)); });
     } else {
-      Commit(processShard(S, Opts, Cache));
+      Commit(processShard(S, Opts, CC, Cache));
     }
   };
 
@@ -545,8 +707,11 @@ CampaignResult tv::runCampaign(const CampaignOptions &Opts) {
     R.PathsExplored += S.PathsExplored;
     TotalFailures += S.Failures;
     for (const Counterexample &CE : S.Counterexamples) {
-      if (Opts.KeepAllCounterexamples ||
-          Cache.minIndex(CE.Fingerprint) == CE.Index)
+      uint64_t Min = Cache.minIndex(CE.Fingerprint);
+      // Min == UINT64_MAX: the saturated dedup table never tracked this
+      // class — keep the witness (over-report, never drop).
+      if (Opts.KeepAllCounterexamples || Min == CE.Index ||
+          Min == ~uint64_t(0))
         R.Counterexamples.push_back(CE);
     }
   }
@@ -559,6 +724,11 @@ CampaignResult tv::runCampaign(const CampaignOptions &Opts) {
   R.MemFunctions = stats::get("tv.mem_functions") - MemFnsBefore;
   R.MemConfigs = stats::get("tv.mem_configs") - MemCfgsBefore;
   R.AliasQueries = stats::get("aa.queries") - AABefore;
+  R.CacheHits = stats::get("tv.cache_hits") - HitsBefore;
+  R.CacheMisses = stats::get("tv.cache_misses") - MissesBefore;
+  R.IsomorphicSkips = stats::get("tv.isomorphic_skips") - SkipsBefore;
+  R.CacheCollisions = stats::get("tv.cache_collisions") - CollisionsBefore;
+  R.DedupEvictions = stats::get("tv.dedup_evictions") - EvictionsBefore;
   R.DistinctFailures = Cache.distinct();
   R.DuplicateFailures = TotalFailures - std::min(TotalFailures, R.DistinctFailures);
   stats::add("tv.campaign.dup_failures", R.DuplicateFailures);

@@ -30,6 +30,7 @@
 #include "fuzz/RandomProgram.h"
 #include "opt/Pass.h"
 #include "tv/Refinement.h"
+#include "tv/VerdictCache.h"
 
 #include <atomic>
 #include <cstdint>
@@ -99,6 +100,23 @@ struct CampaignOptions {
   bool KeepAllCounterexamples = false;
   /// Slots in the lock-free dedup cache (rounded up to a power of two).
   uint64_t DedupCapacity = 1u << 16;
+
+  /// Verdict reuse (ir/StructuralHash.h + tv/VerdictCache.h): hash each
+  /// function's canonical form before checking it; structurally isomorphic
+  /// later occurrences replay the first occurrence's verdict under their
+  /// own index instead of re-running exhaustive refinement and pass blame.
+  /// IR campaigns still run the (cheap) pipeline on every member — the
+  /// Changed flag is per-member, not per-class. Replayed verdicts are
+  /// member-independent (checker messages never mention value names), so
+  /// reports stay byte-identical with the cache on or off, at any Jobs.
+  /// Disabled automatically when TV.MemLayout is pinned by hand (the
+  /// layout is not part of the cache key).
+  bool UseVerdictCache = true;
+  /// External cache to reuse verdicts across campaigns/processes (frost-tv
+  /// --cache-file). Null gives the campaign a private in-memory cache, so
+  /// UseVerdictCache still dedups isomorphs within the run. Must outlive
+  /// runCampaign.
+  VerdictCache *Cache = nullptr;
 };
 
 /// A failing (or inconclusive) validation, attributed to the function's
@@ -146,6 +164,21 @@ struct CampaignResult {
   uint64_t MemFunctions = 0;
   uint64_t MemConfigs = 0;
   uint64_t AliasQueries = 0;
+  /// Verdict-cache accounting (deltas of the tv.cache_* /
+  /// tv.isomorphic_skips counters across this campaign). Hits split into
+  /// isomorphic skips (first occurrence verified during this run) and
+  /// warm hits from a preloaded --cache-file; collisions are same-key
+  /// entries rejected by canonical-text confirmation. Jobs-dependent in
+  /// the saturated-racy sense (two workers can both miss the same class),
+  /// so surfaced by summary() and excluded from report().
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t IsomorphicSkips = 0;
+  uint64_t CacheCollisions = 0;
+  /// Fingerprints the saturated counterexample dedup table could not track
+  /// (delta of tv.dedup_evictions). Non-zero means duplicate failures may
+  /// be over-reported; summary() prints a warning. Excluded from report().
+  uint64_t DedupEvictions = 0;
   double WallSeconds = 0;
   double CpuSeconds = 0;
 
@@ -172,6 +205,15 @@ uint64_t fingerprintFailure(const std::string &Message);
 /// One-line description of the campaign's space, pipeline, and semantics
 /// (Jobs-independent; suitable as a report header).
 std::string describeCampaign(const CampaignOptions &Opts);
+
+/// Stable fingerprint of everything that can change a verdict: campaign
+/// kind, pipeline mode and pass text, semantics configuration, and the
+/// verdict-affecting TVOptions (paths/inputs/fuel budgets, input classes,
+/// memory comparison and enumeration). Excludes Jobs, ShardSize, and
+/// Engine (the bit-sliced engine is verdict-identical by construction), so
+/// cached verdicts survive re-runs at different parallelism or engine.
+/// Half of the VerdictCache key; the structural hash is the other half.
+uint64_t campaignConfigFingerprint(const CampaignOptions &Opts);
 
 /// Lock-free fixed-capacity fingerprint -> minimum-witness-index map, used
 /// to report each failure equivalence class once. Open addressing with

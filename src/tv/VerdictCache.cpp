@@ -1,0 +1,215 @@
+//===- VerdictCache.cpp - Incremental TV verdict cache --------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tv/VerdictCache.h"
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace frost;
+using namespace frost::tv;
+
+VerdictCache::VerdictCache(unsigned ShardCount)
+    : Shards(ShardCount ? ShardCount : 1) {}
+
+bool VerdictCache::lookup(const VerdictKey &K, const std::string &CanonText,
+                          CachedVerdict &Out) const {
+  uint64_t Mixed = mix(K);
+  Shard &S = shardFor(Mixed);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Map.find(Mixed);
+  if (It != S.Map.end()) {
+    for (const Entry &E : It->second) {
+      if (!(E.Key == K))
+        continue;
+      if (E.V.CanonText != CanonText) {
+        // Same 128-bit hash + config, different canonical text: a true
+        // structural-hash collision. Never trust it.
+        stats::add("tv.cache_collisions");
+        continue;
+      }
+      Out = E.V;
+      stats::add("tv.cache_hits");
+      if (!E.V.FromDisk)
+        stats::add("tv.isomorphic_skips");
+      return true;
+    }
+  }
+  stats::add("tv.cache_misses");
+  return false;
+}
+
+void VerdictCache::insert(const VerdictKey &K, CachedVerdict V) {
+  uint64_t Mixed = mix(K);
+  Shard &S = shardFor(Mixed);
+  std::lock_guard<std::mutex> Lock(S.M);
+  std::vector<Entry> &Bucket = S.Map[Mixed];
+  for (const Entry &E : Bucket)
+    if (E.Key == K && E.V.CanonText == V.CanonText)
+      return; // First writer wins; duplicates carry identical verdicts.
+  Bucket.push_back({K, std::move(V)});
+}
+
+uint64_t VerdictCache::size() const {
+  uint64_t N = 0;
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    for (const auto &[Mixed, Bucket] : S.Map)
+      N += Bucket.size();
+  }
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// On-disk format
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void setError(std::string *Error, std::string Msg) {
+  if (Error)
+    *Error = std::move(Msg);
+}
+
+/// Reads exactly \p Len bytes followed by a newline separator.
+bool readBlob(std::istream &In, size_t Len, std::string &Out) {
+  Out.resize(Len);
+  if (Len && !In.read(Out.data(), (std::streamsize)Len))
+    return false;
+  return In.get() == '\n';
+}
+
+} // namespace
+
+bool VerdictCache::load(const std::string &Path, std::string *Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    setError(Error, "cannot open cache file '" + Path + "'");
+    return false;
+  }
+
+  std::string Magic;
+  std::string Version;
+  if (!(In >> Magic >> Version) || Magic != FileMagic) {
+    setError(Error, "'" + Path + "' is not a frost verdict cache");
+    return false;
+  }
+  if (Version != "v" + std::to_string(FileVersion)) {
+    setError(Error, "cache file '" + Path + "' has version " + Version +
+                        ", expected v" + std::to_string(FileVersion));
+    return false;
+  }
+  uint64_t Count = 0;
+  if (!(In >> Count)) {
+    setError(Error, "cache file '" + Path + "': missing entry count");
+    return false;
+  }
+
+  // Parse everything into a staging list first so a corrupt tail cannot
+  // leave the cache half-merged.
+  std::vector<Entry> Staged;
+  Staged.reserve(Count);
+  for (uint64_t I = 0; I != Count; ++I) {
+    std::string Tag, HashHex;
+    uint64_t ConfigFP, Status, Changed, Inputs, Paths;
+    uint64_t CanonLen, MsgLen, BlameLen;
+    if (!(In >> Tag >> std::hex >> ConfigFP >> std::dec >> HashHex >>
+          Status >> Changed >> Inputs >> Paths >> CanonLen >> MsgLen >>
+          BlameLen) ||
+        Tag != "entry" || Status > CachedVerdict::Inconclusive ||
+        Changed > 1) {
+      setError(Error, "cache file '" + Path + "': corrupt entry " +
+                          std::to_string(I) + " header");
+      return false;
+    }
+    Entry E;
+    if (!StructuralHash::fromString(HashHex, E.Key.Hash)) {
+      setError(Error, "cache file '" + Path + "': corrupt hash in entry " +
+                          std::to_string(I));
+      return false;
+    }
+    E.Key.ConfigFP = ConfigFP;
+    E.V.St = (CachedVerdict::Status)Status;
+    E.V.Changed = Changed != 0;
+    E.V.InputsChecked = Inputs;
+    E.V.PathsExplored = Paths;
+    E.V.FromDisk = true;
+    // The header line ends with a newline before the first blob.
+    if (In.get() != '\n' || !readBlob(In, CanonLen, E.V.CanonText) ||
+        !readBlob(In, MsgLen, E.V.Message) ||
+        !readBlob(In, BlameLen, E.V.BlamedPass)) {
+      setError(Error, "cache file '" + Path + "': truncated entry " +
+                          std::to_string(I));
+      return false;
+    }
+    Staged.push_back(std::move(E));
+  }
+
+  for (Entry &E : Staged)
+    insert(E.Key, std::move(E.V));
+  return true;
+}
+
+bool VerdictCache::save(const std::string &Path, std::string *Error) const {
+  // Snapshot and sort so the file is deterministic regardless of insertion
+  // order or shard layout.
+  std::vector<const Entry *> All;
+  std::vector<std::unique_lock<std::mutex>> Locks;
+  Locks.reserve(Shards.size());
+  for (Shard &S : Shards)
+    Locks.emplace_back(S.M);
+  for (Shard &S : Shards)
+    for (const auto &[Mixed, Bucket] : S.Map)
+      for (const Entry &E : Bucket)
+        All.push_back(&E);
+  std::sort(All.begin(), All.end(), [](const Entry *A, const Entry *B) {
+    if (A->Key.ConfigFP != B->Key.ConfigFP)
+      return A->Key.ConfigFP < B->Key.ConfigFP;
+    if (!(A->Key.Hash == B->Key.Hash))
+      return A->Key.Hash.str() < B->Key.Hash.str();
+    return A->V.CanonText < B->V.CanonText;
+  });
+
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      setError(Error, "cannot write cache file '" + Tmp + "'");
+      return false;
+    }
+    Out << FileMagic << " v" << FileVersion << "\n" << All.size() << "\n";
+    char FP[17];
+    for (const Entry *E : All) {
+      std::snprintf(FP, sizeof(FP), "%016llx",
+                    (unsigned long long)E->Key.ConfigFP);
+      Out << "entry " << FP << " " << E->Key.Hash.str() << " "
+          << (unsigned)E->V.St << " " << (E->V.Changed ? 1 : 0) << " "
+          << E->V.InputsChecked << " " << E->V.PathsExplored << " "
+          << E->V.CanonText.size() << " " << E->V.Message.size() << " "
+          << E->V.BlamedPass.size() << "\n"
+          << E->V.CanonText << "\n"
+          << E->V.Message << "\n"
+          << E->V.BlamedPass << "\n";
+    }
+    Out.flush();
+    if (!Out) {
+      setError(Error, "write to cache file '" + Tmp + "' failed");
+      std::remove(Tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    setError(Error, "cannot rename '" + Tmp + "' to '" + Path + "'");
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}

@@ -13,10 +13,11 @@
 /// the report is printed in discovery order, so it is byte-identical at
 /// any --jobs value.
 ///
-/// RUN lines support the substitutions %s (the test file), %frost-opt,
-/// %frost-tv, %filecheck (sibling tool binaries by default), and %% (a
-/// literal %). A test passes when every RUN line exits 0; a `; XFAIL`
-/// annotation inverts that. See docs/testing.md.
+/// RUN lines support the substitutions %s (the test file), %t (a per-test
+/// temporary path, shared by all RUN lines of one test and deleted before
+/// they start), %frost-opt, %frost-tv, %filecheck (sibling tool binaries
+/// by default), and %% (a literal %). A test passes when every RUN line
+/// exits 0; a `; XFAIL` annotation inverts that. See docs/testing.md.
 ///
 /// Exit status: 0 all green, 1 failures (or XPASS), 2 usage error.
 ///
@@ -77,7 +78,7 @@ struct TestResult {
 };
 
 struct Substitutions {
-  std::string TestPath, FrostOpt, FrostTV, FileCheck;
+  std::string TestPath, TempPath, FrostOpt, FrostTV, FileCheck;
 };
 
 std::string substitute(const std::string &Line, const Substitutions &S) {
@@ -105,6 +106,9 @@ std::string substitute(const std::string &Line, const Substitutions &S) {
       I += 10;
     } else if (Starts("%s")) {
       Out += S.TestPath;
+      I += 2;
+    } else if (Starts("%t")) {
+      Out += S.TempPath;
       I += 2;
     } else {
       Out += Line[I++];
@@ -169,6 +173,18 @@ TestResult runTest(const TestFile &T, const Substitutions &Tools,
 
   Substitutions Subs = Tools;
   Subs.TestPath = T.Path.string();
+  // One temp path per test, stable across its RUN lines (so a later RUN
+  // can consume what an earlier one produced) and distinct across tests
+  // running in parallel. Any stale file from a previous run is removed.
+  std::string TempName = T.Display;
+  for (char &C : TempName)
+    if (C == '/' || C == '\\')
+      C = '_';
+  Subs.TempPath =
+      (fs::temp_directory_path() / ("frost-lit-" + TempName + ".tmp"))
+          .string();
+  std::error_code TmpEC;
+  fs::remove(Subs.TempPath, TmpEC);
   for (const std::string &Raw : RunLines) {
     std::string Cmd = substitute(Raw, Subs);
     if (Verbose)

@@ -100,6 +100,13 @@ const char *Usage =
     "  --jobs N                     worker threads; 1 = serial (default 1)\n"
     "  --shard-size N               functions per shard (default 64)\n"
     "  --keep-duplicates            report every witness, no dedup\n"
+    "  --cache-file PATH            persistent verdict cache: load on start\n"
+    "                               (a corrupt or version-mismatched file is\n"
+    "                               a hard error), save atomically on exit;\n"
+    "                               warm reruns of unchanged configurations\n"
+    "                               replay verdicts instead of re-verifying\n"
+    "  --no-verdict-cache           disable verdict reuse entirely, including\n"
+    "                               intra-campaign isomorphism dedup\n"
     "  --stats                      print tv.* counters\n"
     "  --time-passes                print per-pass wall time / change table\n"
     "  --quiet                      summary only, no counterexample report\n";
@@ -127,6 +134,7 @@ int main(int argc, char **argv) {
   Opts.Random.Width = 8;
   Opts.TV.CompareMemory = false;
   bool ShowStats = false, Quiet = false;
+  std::string CacheFile;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -266,6 +274,10 @@ int main(int argc, char **argv) {
       Opts.ShardSize = parseNum("--shard-size", Next());
     else if (A == "--keep-duplicates")
       Opts.KeepAllCounterexamples = true;
+    else if (A == "--cache-file")
+      CacheFile = Next();
+    else if (A == "--no-verdict-cache")
+      Opts.UseVerdictCache = false;
     else if (A == "--stats")
       ShowStats = true;
     else if (A == "--time-passes")
@@ -285,6 +297,11 @@ int main(int argc, char **argv) {
   }
   if (Opts.ShardSize == 0) {
     std::fprintf(stderr, "frost-tv: --shard-size must be positive\n");
+    return 3;
+  }
+  if (!CacheFile.empty() && !Opts.UseVerdictCache) {
+    std::fprintf(stderr,
+                 "frost-tv: --cache-file conflicts with --no-verdict-cache\n");
     return 3;
   }
   if (Opts.Enum.WithMemory &&
@@ -327,6 +344,28 @@ int main(int argc, char **argv) {
     }
   }
 
+  // A persistent cache loads before the campaign and saves (atomically)
+  // after. A missing file is a cold start; a file that exists but cannot be
+  // parsed — wrong magic, wrong version, corrupt entries — is a hard usage
+  // error (exit 2): silently verifying without the requested cache would
+  // hide the misconfiguration.
+  tv::VerdictCache PersistentCache;
+  if (!CacheFile.empty()) {
+    std::ifstream Probe(CacheFile);
+    if (Probe) {
+      Probe.close();
+      std::string Error;
+      if (!PersistentCache.load(CacheFile, &Error)) {
+        std::fprintf(stderr, "frost-tv: %s\n", Error.c_str());
+        return 2;
+      }
+    }
+    Opts.Cache = &PersistentCache;
+    std::printf("verdict-cache: %llu entr%s loaded from %s\n",
+                (unsigned long long)PersistentCache.size(),
+                PersistentCache.size() == 1 ? "y" : "ies", CacheFile.c_str());
+  }
+
   std::printf("%s\n", tv::describeCampaign(Opts).c_str());
   std::printf("engine=%s jobs=%u (hardware threads: %u)\n",
               Opts.TV.Engine == tv::TVEngine::BitSliced ? "bitsliced"
@@ -338,7 +377,25 @@ int main(int argc, char **argv) {
 
   if (!Quiet)
     std::fputs(R.report().c_str(), stdout);
+  // Stable fingerprint of the full (byte-identical at any --jobs) report,
+  // so cold-vs-warm and cached-vs-uncached parity is a one-line diff.
+  std::printf("report-hash=%016llx\n",
+              (unsigned long long)tv::fingerprintFailure(R.report()));
   std::printf("%s\n", R.summary().c_str());
+
+  if (!CacheFile.empty()) {
+    std::string Error;
+    if (!PersistentCache.save(CacheFile, &Error)) {
+      std::fprintf(stderr, "frost-tv: %s\n", Error.c_str());
+      if (!R.Invalid && !R.Inconclusive)
+        return 3;
+    } else {
+      std::printf("verdict-cache: %llu entr%s saved to %s\n",
+                  (unsigned long long)PersistentCache.size(),
+                  PersistentCache.size() == 1 ? "y" : "ies",
+                  CacheFile.c_str());
+    }
+  }
   if (Opts.TimePasses)
     std::fputs(renderTimePassesReport().c_str(), stdout);
   if (ShowStats) {
