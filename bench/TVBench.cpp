@@ -273,9 +273,10 @@ bool runEngineSweep(const std::string &JsonPath, uint64_t Scale,
     return false;
   }
   char Buf[512];
-  // v2 added the "memory" section, v3 adds "verdict_cache"; every v1/v2
-  // key is unchanged, so older consumers keep working.
-  Out << "{\n  \"schema\": \"frost-bench-tv/v3\",\n";
+  // v2 added the "memory" section, v3 added "verdict_cache", v4 adds
+  // "sanitizer"; every v1-v3 key is unchanged, so older consumers keep
+  // working.
+  Out << "{\n  \"schema\": \"frost-bench-tv/v4\",\n";
   std::snprintf(Buf, sizeof(Buf),
                 "  \"campaign\": {\"source\": \"exhaustive\", \"insts\": 2, "
                 "\"args\": 3, \"widths\": [1, 2, 3, 4], \"opcodes\": "
@@ -424,6 +425,114 @@ MemorySweep runMemorySweep(uint64_t Scale) {
                 (unsigned long long)S.Legacy.Invalid,
                 (unsigned long long)S.Legacy.DistinctFailures,
                 S.LegacyBlamesDSE ? "true" : "false", S.Legacy.WallSeconds);
+  J += Buf;
+  std::snprintf(Buf, sizeof(Buf), "    \"deterministic\": %s\n  },\n",
+                S.Deterministic ? "true" : "false");
+  J += Buf;
+  S.Json = J;
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Sanitizer sweep -> the "sanitizer" section of BENCH_TV.json
+//===----------------------------------------------------------------------===//
+
+/// Outcome of the sanitizer sweep (CampaignKind::Sanitizer, tv/Sanitizer.h):
+/// the proposed instrumentation over an exhaustive undef+memory space must
+/// be flawless (zero false negatives / false positives against the
+/// SanOracle ground truth), the naive legacy variant must be flagged for
+/// its seeded blind spots (undef uses and uninitialized loads go
+/// unchecked), and reports must be jobs-independent.
+struct SanitizerSweep {
+  tv::CampaignResult Proposed, Legacy;
+  bool Deterministic = false;
+  std::string Json; // The "sanitizer" object for BENCH_TV.json.
+};
+
+/// The sanitizer space: arithmetic with flags and shifts (nsw/nuw/exact and
+/// overshift trips), poison and undef literals (taint trips), and one byte
+/// of global memory plus the alloca cell (bounds and uninit trips).
+tv::CampaignOptions sanitizerShape(uint64_t MaxFunctions) {
+  tv::CampaignOptions Opts;
+  Opts.Kind = tv::CampaignKind::Sanitizer;
+  Opts.Enum.NumInsts = 2;
+  Opts.Enum.NumArgs = 1;
+  Opts.Enum.WithPoison = true;
+  Opts.Enum.WithUndef = true;
+  Opts.Enum.WithFlags = true;
+  Opts.Enum.WithMemory = true;
+  Opts.Enum.MemBytes = 1;
+  Opts.Enum.Opcodes = {Opcode::Add, Opcode::Mul, Opcode::Shl};
+  Opts.MaxFunctions = MaxFunctions;
+  Opts.TV.CompareMemory = true;
+  return Opts;
+}
+
+SanitizerSweep runSanitizerSweep(uint64_t Scale) {
+  SanitizerSweep S;
+  std::printf("\n=== Sanitizer campaigns: differential validation of the "
+              "sanitize pass ===\n");
+
+  tv::CampaignOptions Prop = sanitizerShape(std::max<uint64_t>(1, 8000 / Scale));
+  Prop.Jobs = 1;
+  S.Proposed = tv::runCampaign(Prop);
+  std::printf("proposed sanitize: %llu fns in %.2fs | %llu checks inserted, "
+              "%llu true trips | %llu false negatives, %llu false positives, "
+              "%llu INVALID\n",
+              (unsigned long long)S.Proposed.Functions,
+              S.Proposed.WallSeconds,
+              (unsigned long long)S.Proposed.SanChecksInserted,
+              (unsigned long long)S.Proposed.SanTrueTrips,
+              (unsigned long long)S.Proposed.SanFalseNegatives,
+              (unsigned long long)S.Proposed.SanFalsePositives,
+              (unsigned long long)S.Proposed.Invalid);
+
+  tv::CampaignOptions Leg = sanitizerShape(std::max<uint64_t>(1, 4000 / Scale));
+  Leg.Pipeline = PipelineMode::Legacy;
+  Leg.Jobs = 1;
+  S.Legacy = tv::runCampaign(Leg);
+  Leg.Jobs = 2;
+  tv::CampaignResult LegacyJ2 = tv::runCampaign(Leg);
+  S.Deterministic = S.Legacy.report() == LegacyJ2.report();
+  std::printf("legacy sanitize: %llu fns in %.2fs | %llu INVALID (%llu "
+              "distinct classes), %llu false negatives | --jobs 2 report "
+              "%s\n",
+              (unsigned long long)S.Legacy.Functions, S.Legacy.WallSeconds,
+              (unsigned long long)S.Legacy.Invalid,
+              (unsigned long long)S.Legacy.DistinctFailures,
+              (unsigned long long)S.Legacy.SanFalseNegatives,
+              S.Deterministic ? "byte-identical" : "DIVERGED");
+
+  char Buf[512];
+  std::string J;
+  J += "  \"sanitizer\": {\n";
+  std::snprintf(Buf, sizeof(Buf),
+                "    \"campaign\": {\"source\": \"exhaustive\", \"insts\": 2, "
+                "\"args\": 1, \"width\": 2, \"mem_bytes\": 1, \"undef\": "
+                "true, \"opcodes\": \"add,mul,shl\"},\n");
+  J += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "    \"proposed\": {\"functions\": %llu, \"invalid\": %llu, "
+                "\"checks_inserted\": %llu, \"true_trips\": %llu, "
+                "\"false_negatives\": %llu, \"false_positives\": %llu, "
+                "\"wall_s\": %.4f},\n",
+                (unsigned long long)S.Proposed.Functions,
+                (unsigned long long)S.Proposed.Invalid,
+                (unsigned long long)S.Proposed.SanChecksInserted,
+                (unsigned long long)S.Proposed.SanTrueTrips,
+                (unsigned long long)S.Proposed.SanFalseNegatives,
+                (unsigned long long)S.Proposed.SanFalsePositives,
+                S.Proposed.WallSeconds);
+  J += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "    \"legacy\": {\"functions\": %llu, \"invalid\": %llu, "
+                "\"distinct_failures\": %llu, \"false_negatives\": %llu, "
+                "\"wall_s\": %.4f},\n",
+                (unsigned long long)S.Legacy.Functions,
+                (unsigned long long)S.Legacy.Invalid,
+                (unsigned long long)S.Legacy.DistinctFailures,
+                (unsigned long long)S.Legacy.SanFalseNegatives,
+                S.Legacy.WallSeconds);
   J += Buf;
   std::snprintf(Buf, sizeof(Buf), "    \"deterministic\": %s\n  },\n",
                 S.Deterministic ? "true" : "false");
@@ -703,7 +812,26 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  bool SweepParity = runEngineSweep(JsonPath, Scale, Mem.Json + Cache.Json);
+  SanitizerSweep San = runSanitizerSweep(Scale);
+  if (San.Proposed.Invalid || San.Proposed.Inconclusive ||
+      San.Proposed.SanFalseNegatives || San.Proposed.SanFalsePositives) {
+    std::printf("SANITIZER FAILURE: the proposed sanitizer did not validate "
+                "clean\n");
+    return 1;
+  }
+  if (!San.Legacy.Invalid) {
+    std::printf("SANITIZER FAILURE: the seeded-naive legacy sanitizer was "
+                "not flagged\n");
+    return 1;
+  }
+  if (!San.Deterministic) {
+    std::printf("SANITIZER FAILURE: --jobs 1 and --jobs 2 sanitizer reports "
+                "diverged\n");
+    return 1;
+  }
+
+  bool SweepParity =
+      runEngineSweep(JsonPath, Scale, Mem.Json + Cache.Json + San.Json);
   if (!SweepParity) {
     std::printf("SWEEP FAILURE: scalar and bitsliced reports diverged\n");
     return 1;

@@ -72,6 +72,17 @@ WARM_HASH=$(grep "^report-hash=" /tmp/frost-cache-warm.txt)
 [ -n "$COLD_HASH" ] && [ "$COLD_HASH" = "$WARM_HASH" ] || {
   echo "check.sh: FAIL: cold and warm report hashes differ" >&2; exit 1; }
 
+echo "== sanitizer smoke: sanitize<proposed> must be flawless (0 FN / 0 FP) =="
+./build/tools/frost-tv --sanitize --insts 2 --width 2 --opcodes add,shl \
+    --max-functions 4000 --jobs 2 --quiet
+
+echo "== sanitizer smoke: the seeded-naive sanitize<legacy> must be flagged =="
+if ./build/tools/frost-tv --sanitize --pipeline legacy --opcodes none \
+    --mem-bytes 1 --with-undef --max-functions 2000 --jobs 2 --quiet; then
+  echo "check.sh: FAIL: sanitizer campaign missed the legacy blind spots" >&2
+  exit 1
+fi
+
 echo "== smoke campaign: backend must refine proposed semantics =="
 ./build/tools/frost-tv --end-to-end --insts 2 --width 2 \
     --max-functions 4000 --jobs 2 --quiet

@@ -714,6 +714,12 @@ void FunctionLowering::emitPhiCopiesAndTerminator(BasicBlock *BB,
     }
     break;
   }
+  case Opcode::Trap: {
+    // Defined behaviour: the machine stops with the trap id.
+    MBB->push(MOp::TRAP,
+              {MOperand::imm(int64_t(cast<TrapInst>(T)->id()))});
+    break;
+  }
   default:
     frost_unreachable("unknown terminator");
   }

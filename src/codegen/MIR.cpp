@@ -94,6 +94,8 @@ const char *codegen::mopName(MOp Op) {
     return "bnz";
   case MOp::RET:
     return "ret";
+  case MOp::TRAP:
+    return "trap";
   }
   frost_unreachable("unknown machine opcode");
 }
@@ -106,6 +108,7 @@ int MachineInst::defIndex() const {
   case MOp::JMP:
   case MOp::BNZ:
   case MOp::RET:
+  case MOp::TRAP:
     return -1;
   default:
     return 0;

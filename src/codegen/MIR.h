@@ -73,6 +73,7 @@ enum class MOp {
   JMP,  // label.
   BNZ,  // rc, label: branch if rc != 0.
   RET,  // optional value reg.
+  TRAP, // imm trap id: stops the machine with a sanitizer report.
 };
 
 const char *mopName(MOp Op);
@@ -132,7 +133,8 @@ struct MachineInst {
   /// Index of the defined register operand, or -1 (stores, branches, ret).
   int defIndex() const;
   bool isTerminator() const {
-    return Op == MOp::JMP || Op == MOp::BNZ || Op == MOp::RET;
+    return Op == MOp::JMP || Op == MOp::BNZ || Op == MOp::RET ||
+           Op == MOp::TRAP;
   }
 
   std::string str() const;

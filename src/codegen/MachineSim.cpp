@@ -332,6 +332,11 @@ SimResult codegen::simulate(const CompiledFunction &CF,
       R.Ok = true;
       R.ReturnValue = I.Ops.empty() ? 0 : M.Regs[I.Ops[0].Reg];
       return R;
+    case MOp::TRAP:
+      R.Cycles += 1;
+      R.Trapped = true;
+      R.TrapId = int(I.Ops[0].Imm);
+      return R;
     }
 
     R.Cycles += opCycles(I.Op, Taken);

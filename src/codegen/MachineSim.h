@@ -38,6 +38,11 @@ struct SimResult {
   /// end-to-end validator uses this to decide whether a function has any
   /// machine-level nondeterminism worth re-running under other fills.
   uint64_t ImplicitDefsExecuted = 0;
+  /// Set when the run executed a TRAP (a defined stop, not an error): the
+  /// machine analogue of the IR `trap <id>` terminator. Ok stays false and
+  /// TrapId carries the sanitizer check kind.
+  bool Trapped = false;
+  int TrapId = -1;
   std::string Error;
 };
 

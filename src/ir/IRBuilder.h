@@ -175,6 +175,7 @@ public:
   UnreachableInst *unreachable() {
     return insert(UnreachableInst::create(Ctx));
   }
+  TrapInst *trap(unsigned Id) { return insert(TrapInst::create(Ctx, Id)); }
 };
 
 } // namespace frost

@@ -83,6 +83,8 @@ const char *frost::opcodeName(Opcode Op) {
     return "ret";
   case Opcode::Unreachable:
     return "unreachable";
+  case Opcode::Trap:
+    return "trap";
   }
   frost_unreachable("unknown opcode");
 }
@@ -309,6 +311,10 @@ Instruction *Instruction::clone() const {
   }
   case Opcode::Unreachable:
     New = UnreachableInst::create(getFunction()->context());
+    break;
+  case Opcode::Trap:
+    New = TrapInst::create(getFunction()->context(),
+                           cast<TrapInst>(this)->id());
     break;
   }
   assert(New && "clone not implemented for opcode");

@@ -65,6 +65,7 @@ enum class Opcode {
   Switch,
   Ret,
   Unreachable,
+  Trap,
 };
 
 /// Returns the mnemonic for \p Op ("add", "icmp", ...).
@@ -110,7 +111,7 @@ public:
 
   bool isTerminator() const {
     return Op == Opcode::Br || Op == Opcode::Switch || Op == Opcode::Ret ||
-           Op == Opcode::Unreachable;
+           Op == Opcode::Unreachable || Op == Opcode::Trap;
   }
   bool isBinaryOp() const {
     return Op >= Opcode::Add && Op <= Opcode::Xor;

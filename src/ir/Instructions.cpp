@@ -169,3 +169,6 @@ ReturnInst::ReturnInst(Value *RetVal, IRContext &Ctx)
 
 UnreachableInst::UnreachableInst(IRContext &Ctx)
     : Instruction(Opcode::Unreachable, Ctx.voidTy()) {}
+
+TrapInst::TrapInst(IRContext &Ctx, unsigned Id)
+    : Instruction(Opcode::Trap, Ctx.voidTy()), Id(Id) {}

@@ -458,6 +458,31 @@ public:
   }
 };
 
+/// Terminates execution with a sanitizer trap report. Unlike unreachable,
+/// executing a trap is *defined* behaviour: the program stops and the trap
+/// id (the check kind that fired, see docs/sanitizer.md) becomes the
+/// observable outcome. Emitted by the sanitize pass (opt/Sanitize.*).
+class TrapInst : public Instruction {
+  unsigned Id;
+
+  TrapInst(IRContext &Ctx, unsigned Id);
+
+public:
+  static TrapInst *create(IRContext &Ctx, unsigned Id) {
+    return new TrapInst(Ctx, Id);
+  }
+
+  /// The check kind that fired (1 = tainted operand, 2 = nsw/nuw/exact,
+  /// 3 = overshift, 4 = division, 5 = out-of-bounds, 6 = uninitialized
+  /// load, 7 = reached unreachable).
+  unsigned id() const { return Id; }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Trap;
+  }
+};
+
 } // namespace frost
 
 #endif // FROST_IR_INSTRUCTIONS_H

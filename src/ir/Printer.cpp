@@ -156,6 +156,9 @@ std::string frost::printInstruction(const Instruction &I) {
   case Opcode::Unreachable:
     OS << "unreachable";
     break;
+  case Opcode::Trap:
+    OS << "trap " << cast<TrapInst>(I).id();
+    break;
   }
   return OS.str();
 }

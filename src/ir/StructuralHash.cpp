@@ -225,6 +225,8 @@ std::string canonicalInst(const Instruction &I, const CanonIds &Ids) {
     S += " #" + std::to_string(EE->index());
   if (const auto *IE = dyn_cast<InsertElementInst>(&I))
     S += " #" + std::to_string(IE->index());
+  if (const auto *TR = dyn_cast<TrapInst>(&I))
+    S += " #" + std::to_string(TR->id());
   if (!I.getType()->isVoid())
     S += " " + I.getType()->str();
 

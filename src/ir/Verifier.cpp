@@ -250,6 +250,7 @@ void FunctionVerifier::checkInstruction(Instruction *I) {
   case Opcode::Alloca:
   case Opcode::Switch:
   case Opcode::Unreachable:
+  case Opcode::Trap:
     break;
   }
 }

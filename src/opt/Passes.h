@@ -71,6 +71,12 @@ std::unique_ptr<Pass> createReassociatePass();
 /// Dead code elimination.
 std::unique_ptr<Pass> createDCEPass();
 
+/// Dynamic UB sanitizer instrumentation (opt/Sanitize.h): eager checks for
+/// every dynamic-UB event, lowered to guards branching to `trap <id>`
+/// blocks. Proposed mode implements the full check catalogue; Legacy mode
+/// is the historically naive variant that believes undef is harmless.
+std::unique_ptr<Pass> createSanitizePass(PipelineMode Mode);
+
 /// Late lowering tweaks from Section 6: sinks "freeze(icmp x, C)" to
 /// "icmp (freeze x), C" so the backend can keep compare and branch
 /// adjacent, and treats freeze as free when duplicating compares.

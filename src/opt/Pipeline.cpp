@@ -59,6 +59,7 @@ const std::vector<PassEntry> &passRegistry() {
       {"reassociate", false, [](PipelineMode) { return createReassociatePass(); }},
       {"dce", false, [](PipelineMode) { return createDCEPass(); }},
       {"codegenprepare", true, [](PipelineMode M) { return createCodeGenPreparePass(M); }},
+      {"sanitize", true, [](PipelineMode M) { return createSanitizePass(M); }},
       {"verify", false, [](PipelineMode) { return createVerifierPass(); }},
   };
   return Registry;

@@ -181,6 +181,7 @@ void SCCP::visit(Instruction *I) {
   }
   case Opcode::Ret:
   case Opcode::Unreachable:
+  case Opcode::Trap:
   case Opcode::Store:
     return;
   default:

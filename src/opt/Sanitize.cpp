@@ -1,0 +1,782 @@
+//===- Sanitize.cpp - Dynamic UB sanitizer instrumentation ---------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inserts eager dynamic UB checks (see Sanitize.h for the catalogue). Every
+/// check is the same shape: a guard chain of conditional branches placed
+/// immediately before the guarded instruction, each jumping to a shared
+/// per-kind `trap <id>` block. Statically decidable checks (a literal poison
+/// operand, a constant out-of-bounds gep) use a literal `true` condition, so
+/// static and dynamic checks share one verifier-safe form and the check
+/// order always matches the interpreter's SanOracle event order:
+///
+///   kind 1 before everything; 3 before 2 on shifts; 4 before 2 (exact) on
+///   divisions; 5 before 6 on loads; 5 at gep creation for inbounds geps.
+///
+/// Uninitialized-memory tracking (kind 6) is bit-exact at cell granularity:
+/// every shadowed object gets a twin of the same value type (`@g.shadow`
+/// globals, a twin alloca per alloca), holding zero where the data cell has
+/// been stored and a nonzero marker where it has not. Because a gep never
+/// changes the pointee type, every access through a resolved chain moves
+/// whole cells, so mirroring stores cell-for-cell loses nothing. Globals
+/// are assumed fully initialized at function entry (the campaign installs a
+/// concrete initial memory); alloca shadows start at the all-ones marker.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Constants.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "ir/Instructions.h"
+#include "opt/Passes.h"
+#include "opt/Sanitize.h"
+#include "sem/Eval.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace frost;
+
+namespace {
+
+/// One pending check for one instruction: the trap kind and a builder for
+/// the "trap now?" condition. A null builder is a statically-known trip
+/// (lowered to a literal `true` condition).
+struct Guard {
+  unsigned Kind;
+  std::function<Value *(IRBuilder &)> Build;
+};
+
+/// Offset of a gep chain from its base object, split into a compile-time
+/// part and the dynamic index terms. All arithmetic is modulo 2^32 (the
+/// address width), matching the interpreter's wrapping address math.
+struct ChainOffset {
+  int64_t Const = 0;
+  std::vector<std::pair<Value *, uint64_t>> Dyn; ///< (index, elem bytes)
+};
+
+unsigned bytesOf(const Type *Ty) { return (Ty->bitWidth() + 7) / 8; }
+
+class Instrumenter {
+public:
+  Instrumenter(Function &F, bool Legacy)
+      : F(F), Ctx(F.context()), Legacy(Legacy) {}
+
+  bool run();
+
+  uint64_t Inserted = 0;
+  uint64_t Skipped = 0;
+
+private:
+  Function &F;
+  IRContext &Ctx;
+  bool Legacy;
+  bool Changed = false;
+  unsigned NameCounter = 0;
+  BasicBlock *TrapBB[8] = {};
+  std::vector<GlobalVariable *> ShadowedGlobals; // preamble order
+  std::set<const GlobalVariable *> ShadowedGlobalSet;
+  std::set<const AllocaInst *> ShadowedAllocas;
+  std::map<const AllocaInst *, AllocaInst *> AllocaShadow;
+
+  std::string freshName(const char *Stem) {
+    return std::string(Stem) + std::to_string(NameCounter++);
+  }
+
+  BasicBlock *trapBlock(unsigned Kind);
+  bool taintedValue(const Value *V) const;
+  bool taintedConstant(const Constant *C) const;
+
+  Value *resolveChain(Value *P, std::vector<GEPInst *> &Chain) const;
+  int64_t objectSizeBytes(const Value *Base) const;
+  ChainOffset chainOffset(const std::vector<GEPInst *> &Chain) const;
+  Value *buildOffset(IRBuilder &B, const ChainOffset &CO) const;
+  Value *shadowBase(Value *Base);
+
+  void scanForShadows();
+  void instrumentAlloca(AllocaInst *A);
+  void emitGuards(Instruction *I, std::vector<Guard> Guards);
+  void emitShadowGlobalPreamble();
+  void mirrorStore(StoreInst *S, Value *Base,
+                   const std::vector<GEPInst *> &Chain);
+
+  std::vector<Guard> binOpGuards(BinaryOperator *BO);
+  std::vector<Guard> gepGuards(GEPInst *G);
+  std::vector<Guard> accessGuards(Value *Ptr, unsigned AccessBytes,
+                                  bool *Resolved, Value **BaseOut,
+                                  std::vector<GEPInst *> *ChainOut);
+};
+
+BasicBlock *Instrumenter::trapBlock(unsigned Kind) {
+  assert(Kind < 8 && "unknown check kind");
+  if (!TrapBB[Kind]) {
+    TrapBB[Kind] = F.addBlock("san.trap" + std::to_string(Kind));
+    IRBuilder B(Ctx, TrapBB[Kind]);
+    B.trap(Kind);
+    Changed = true;
+  }
+  return TrapBB[Kind];
+}
+
+bool Instrumenter::taintedConstant(const Constant *C) const {
+  if (isa<PoisonValue>(C))
+    return true;
+  // The legacy variant encodes the pre-paper folklore "undef is harmless":
+  // literal undef operands are not treated as taint.
+  if (!Legacy && isa<UndefValue>(C))
+    return true;
+  if (const auto *CV = dyn_cast<ConstantVector>(C))
+    for (unsigned I = 0, E = CV->size(); I != E; ++I)
+      if (taintedConstant(CV->element(I)))
+        return true;
+  return false;
+}
+
+/// Is \p V statically known to carry poison/undef when read? Under the
+/// eager-trap invariant these are the only taint sources an instrumented
+/// function can see: literals, and observe-call results (the interpreter
+/// defines a non-void observe declaration to return poison).
+bool Instrumenter::taintedValue(const Value *V) const {
+  if (const auto *C = dyn_cast<Constant>(V))
+    return taintedConstant(C);
+  if (const auto *Call = dyn_cast<CallInst>(V)) {
+    const Function *Callee = Call->callee();
+    if (Callee->isDeclaration() &&
+        Callee->getName().rfind("observe", 0) == 0 &&
+        !Callee->returnType()->isVoid())
+      return true;
+  }
+  return false;
+}
+
+/// Walks \p P through its gep chain (outermost last in \p Chain after the
+/// walk reverses it) to a base object. Returns the base when it is a
+/// global or an alloca, null otherwise (argument pointers, phis, selects,
+/// bitcasts — chains the static resolver cannot size).
+Value *Instrumenter::resolveChain(Value *P,
+                                  std::vector<GEPInst *> &Chain) const {
+  while (auto *G = dyn_cast<GEPInst>(P)) {
+    Chain.push_back(G);
+    P = G->base();
+  }
+  std::reverse(Chain.begin(), Chain.end());
+  if (isa<GlobalVariable>(P) || isa<AllocaInst>(P))
+    return P;
+  return nullptr;
+}
+
+int64_t Instrumenter::objectSizeBytes(const Value *Base) const {
+  if (const auto *G = dyn_cast<GlobalVariable>(Base))
+    return G->sizeBytes();
+  return bytesOf(cast<AllocaInst>(Base)->allocatedType());
+}
+
+ChainOffset
+Instrumenter::chainOffset(const std::vector<GEPInst *> &Chain) const {
+  ChainOffset CO;
+  for (GEPInst *G : Chain) {
+    uint64_t ElemBytes = bytesOf(G->pointeeType());
+    if (auto *CI = dyn_cast<ConstantInt>(G->index()))
+      CO.Const += CI->value().sext() * static_cast<int64_t>(ElemBytes);
+    else
+      CO.Dyn.push_back({G->index(), ElemBytes});
+  }
+  return CO;
+}
+
+/// Materializes the chain offset as an i32 value (modulo-2^32 arithmetic,
+/// exactly the interpreter's address math). Only called when Dyn is
+/// non-empty.
+Value *Instrumenter::buildOffset(IRBuilder &B, const ChainOffset &CO) const {
+  Type *I32 = Ctx.intTy(32);
+  Value *Acc = nullptr;
+  for (const auto &[Idx, ElemBytes] : CO.Dyn) {
+    Value *V = Idx;
+    unsigned W = V->getType()->bitWidth();
+    if (W < 32)
+      V = B.sext(V, I32);
+    else if (W > 32)
+      V = B.trunc(V, I32);
+    Value *Term = B.mul(V, B.getInt(32, ElemBytes));
+    Acc = Acc ? B.add(Acc, Term) : Term;
+  }
+  if (CO.Const != 0)
+    Acc = B.add(Acc, B.getInt(32, static_cast<uint64_t>(CO.Const)));
+  return Acc;
+}
+
+Value *Instrumenter::shadowBase(Value *Base) {
+  if (auto *G = dyn_cast<GlobalVariable>(Base))
+    return Ctx.getGlobal(G->getName() + ".shadow", G->valueType(),
+                         G->sizeBytes());
+  return AllocaShadow.at(cast<AllocaInst>(Base));
+}
+
+/// Decides which objects need shadow memory: every global/alloca that is
+/// the resolved base of at least one load chain and whose cell type is a
+/// plain integer. Stores through chains into these objects are mirrored;
+/// loads from them are guarded with kind 6.
+void Instrumenter::scanForShadows() {
+  if (Legacy)
+    return; // The legacy variant does no uninit tracking at all.
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB) {
+      if (I->getOpcode() != Opcode::Load)
+        continue;
+      std::vector<GEPInst *> Chain;
+      Value *Base = resolveChain(I->getOperand(0), Chain);
+      if (!Base)
+        continue;
+      Type *CellTy = isa<GlobalVariable>(Base)
+                         ? cast<GlobalVariable>(Base)->valueType()
+                         : cast<AllocaInst>(Base)->allocatedType();
+      if (!CellTy->isInteger()) {
+        ++Skipped; // Uninit tracking unsupported for this cell type.
+        continue;
+      }
+      if (auto *G = dyn_cast<GlobalVariable>(Base)) {
+        if (ShadowedGlobalSet.insert(G).second)
+          ShadowedGlobals.push_back(G);
+      } else {
+        ShadowedAllocas.insert(cast<AllocaInst>(Base));
+      }
+    }
+}
+
+/// A shadowed alloca gets its twin plus an all-ones "everything uninit"
+/// marker store, placed directly before it (the twin exists and is marked
+/// each time the data alloca re-executes, so loop-local cells reset).
+void Instrumenter::instrumentAlloca(AllocaInst *A) {
+  if (!ShadowedAllocas.count(A))
+    return;
+  Type *Ty = A->allocatedType();
+  auto *SA = cast<AllocaInst>(
+      AllocaInst::create(Ctx, Ty, A->getName() + ".shadow"));
+  BasicBlock *BB = A->getParent();
+  BB->insertBefore(A, SA);
+  BB->insertBefore(A, StoreInst::create(Ctx.getInt(Ty->bitWidth(), ~0ull),
+                                        SA, Ctx));
+  AllocaShadow[A] = SA;
+  Changed = true;
+}
+
+/// Splits the block before \p I and threads the guard chain in front of it:
+/// each guard computes its condition in its own block and branches to the
+/// shared trap block or onward. A null (static) guard ends the chain — the
+/// code past a literal-true trap branch is unreachable anyway.
+void Instrumenter::emitGuards(Instruction *I, std::vector<Guard> Guards) {
+  if (Guards.empty())
+    return;
+  for (unsigned N = 0; N != Guards.size(); ++N)
+    if (!Guards[N].Build) {
+      Guards.resize(N + 1);
+      break;
+    }
+  BasicBlock *BB = I->getParent();
+  BasicBlock *Cont = BB->splitBefore(I, freshName("san.cont"));
+  BB->erase(BB->terminator());
+  BasicBlock *Cur = BB;
+  for (unsigned N = 0, E = Guards.size(); N != E; ++N) {
+    IRBuilder B(Ctx, Cur);
+    Value *Cond = Guards[N].Build ? Guards[N].Build(B) : Ctx.getTrue();
+    BasicBlock *Next = Cont;
+    if (N + 1 != E) {
+      Next = F.addBlock(freshName("san.chk"));
+      F.moveBlockAfter(Next, Cur);
+    }
+    B.condBr(Cond, trapBlock(Guards[N].Kind), Next);
+    Cur = Next;
+  }
+  Inserted += Guards.size();
+  Changed = true;
+}
+
+/// Entry preamble: mark every shadowed global fully initialized (the
+/// sanitizer's contract is C-like — globals have initial values; the
+/// campaigns install a concrete initial memory to match). Only whole cells
+/// are marked: a partial tail cell cannot be reached by an in-bounds
+/// access of the cell type anyway.
+void Instrumenter::emitShadowGlobalPreamble() {
+  if (ShadowedGlobals.empty())
+    return;
+  BasicBlock *Entry = F.entry();
+  Instruction *Pos = Entry->front();
+  for (GlobalVariable *G : ShadowedGlobals) {
+    Value *SG = shadowBase(G);
+    unsigned CellBytes = bytesOf(G->valueType());
+    unsigned Cells = CellBytes ? G->sizeBytes() / CellBytes : 0;
+    for (unsigned C = 0; C != Cells; ++C) {
+      Value *Ptr = SG;
+      if (C != 0) {
+        auto *Gep = GEPInst::create(SG, Ctx.getInt(32, C), /*InBounds=*/false,
+                                    freshName("san.sgp"));
+        Entry->insertBefore(Pos, cast<Instruction>(Gep));
+        Ptr = Gep;
+      }
+      Entry->insertBefore(
+          Pos, StoreInst::create(Ctx.getInt(G->valueType()->bitWidth(), 0),
+                                 Ptr, Ctx));
+    }
+  }
+  Changed = true;
+}
+
+/// Mirrors a store: the twin chain gets a zero ("initialized") store right
+/// before the data store. Placed after the store's guards, so the shadow
+/// access is as in-bounds as the data access.
+void Instrumenter::mirrorStore(StoreInst *S, Value *Base,
+                               const std::vector<GEPInst *> &Chain) {
+  BasicBlock *BB = S->getParent();
+  Value *SP = shadowBase(Base);
+  for (GEPInst *G : Chain) {
+    auto *Gep = GEPInst::create(SP, G->index(), /*InBounds=*/false,
+                                freshName("san.sp"));
+    BB->insertBefore(S, cast<Instruction>(Gep));
+    SP = Gep;
+  }
+  unsigned W = S->value()->getType()->bitWidth();
+  BB->insertBefore(S, StoreInst::create(Ctx.getInt(W, 0), SP, Ctx));
+  Changed = true;
+}
+
+std::vector<Guard> Instrumenter::binOpGuards(BinaryOperator *BO) {
+  Opcode Op = BO->getOpcode();
+  ArithFlags Fl = BO->flags();
+  bool IsDiv = Op == Opcode::UDiv || Op == Opcode::SDiv ||
+               Op == Opcode::URem || Op == Opcode::SRem;
+  bool IsShift = BO->isShift();
+  if (!IsDiv && !IsShift && !Fl.any())
+    return {};
+  Type *Ty = BO->getType();
+  if (!Ty->isInteger()) {
+    ++Skipped; // Vector flag/shift/div checks are not instrumented.
+    return {};
+  }
+  unsigned W = Ty->bitWidth();
+  Value *A = BO->lhs(), *B = BO->rhs();
+  const auto *CA = dyn_cast<ConstantInt>(A);
+  const auto *CB = dyn_cast<ConstantInt>(B);
+
+  // Fully constant operands: decide the event statically with the same
+  // lane folder the interpreter uses, so the static verdict and the
+  // SanOracle agree bit for bit.
+  if (CA && CB) {
+    if (IsShift && CB->value().zext() >= W)
+      return {{static_cast<unsigned>(SanCheckKind::OverShift), nullptr}};
+    sem::FoldResult R =
+        sem::foldBinLane(Op, Fl, sem::Lane::concrete(CA->value()),
+                         sem::Lane::concrete(CB->value()),
+                         sem::SemanticsConfig::proposed());
+    if (R.UB)
+      return {{static_cast<unsigned>(SanCheckKind::DivisionUB), nullptr}};
+    if (R.L.isPoison() || R.L.isUndef())
+      return {{static_cast<unsigned>(SanCheckKind::FlagViolation), nullptr}};
+    return {};
+  }
+
+  std::vector<Guard> Gs;
+  auto Kind = [](SanCheckKind K) { return static_cast<unsigned>(K); };
+
+  if (IsShift) {
+    // Kind 3 before kind 2, matching the oracle.
+    if (CB) {
+      if (CB->value().zext() >= W)
+        return {{Kind(SanCheckKind::OverShift), nullptr}};
+    } else {
+      Gs.push_back({Kind(SanCheckKind::OverShift), [=](IRBuilder &Bld) {
+                      return Bld.icmp(ICmpPred::UGE, B, Bld.getInt(W, W));
+                    }});
+    }
+  }
+
+  if (IsDiv) {
+    // Kind 4: divisor zero, then INT_MIN / -1 for the signed forms.
+    if (CB) {
+      if (CB->isZero())
+        return {{Kind(SanCheckKind::DivisionUB), nullptr}};
+    } else {
+      Gs.push_back({Kind(SanCheckKind::DivisionUB), [=](IRBuilder &Bld) {
+                      return Bld.icmp(ICmpPred::EQ, B, Bld.getInt(W, 0));
+                    }});
+    }
+    if (Op == Opcode::SDiv || Op == Opcode::SRem) {
+      uint64_t SMin = 1ull << (W - 1);
+      bool AMayMin = !CA || CA->value() == Ctx.getInt(W, SMin)->value();
+      bool BMayM1 = !CB || CB->value() == Ctx.getInt(W, ~0ull)->value();
+      if (AMayMin && BMayM1) {
+        Gs.push_back({Kind(SanCheckKind::DivisionUB), [=](IRBuilder &Bld) {
+                        Value *AMin = CA ? static_cast<Value *>(Bld.getBool(true))
+                                         : Bld.icmp(ICmpPred::EQ, A,
+                                                    Bld.getInt(W, SMin));
+                        Value *BM1 = CB ? static_cast<Value *>(Bld.getBool(true))
+                                        : Bld.icmp(ICmpPred::EQ, B,
+                                                   Bld.getInt(W, ~0ull));
+                        return Bld.and_(AMin, BM1);
+                      }});
+      }
+    }
+  }
+
+  // Kind 2: nsw/nuw/exact. Evaluated on concrete operands only — earlier
+  // guards already exclude overshift and division UB, so the recomputation
+  // in the guard block is itself well-defined.
+  auto FlagGuard = [&](std::function<Value *(IRBuilder &)> Build) {
+    Gs.push_back({Kind(SanCheckKind::FlagViolation), std::move(Build)});
+  };
+  switch (Op) {
+  case Opcode::Add:
+    if (Fl.NSW)
+      FlagGuard([=](IRBuilder &Bld) {
+        Value *R = Bld.add(A, B);
+        Value *X = Bld.and_(Bld.xor_(A, R), Bld.xor_(B, R));
+        return Bld.icmp(ICmpPred::SLT, X, Bld.getInt(W, 0));
+      });
+    if (Fl.NUW)
+      FlagGuard([=](IRBuilder &Bld) {
+        return Bld.icmp(ICmpPred::ULT, Bld.add(A, B), A);
+      });
+    break;
+  case Opcode::Sub:
+    if (Fl.NSW)
+      FlagGuard([=](IRBuilder &Bld) {
+        Value *X = Bld.and_(Bld.xor_(A, B), Bld.xor_(A, Bld.sub(A, B)));
+        return Bld.icmp(ICmpPred::SLT, X, Bld.getInt(W, 0));
+      });
+    if (Fl.NUW)
+      FlagGuard(
+          [=](IRBuilder &Bld) { return Bld.icmp(ICmpPred::ULT, A, B); });
+    break;
+  case Opcode::Mul: {
+    if (!Fl.NSW && !Fl.NUW)
+      break;
+    if (2 * W > 64) {
+      ++Skipped; // No wide type to check the product in.
+      break;
+    }
+    Type *WideTy = Ctx.intTy(2 * W);
+    if (Fl.NSW)
+      FlagGuard([=](IRBuilder &Bld) {
+        Value *P = Bld.mul(Bld.sext(A, WideTy), Bld.sext(B, WideTy));
+        Value *Back = Bld.sext(Bld.trunc(P, Ty), WideTy);
+        return Bld.icmp(ICmpPred::NE, P, Back);
+      });
+    if (Fl.NUW)
+      FlagGuard([=](IRBuilder &Bld) {
+        Value *P = Bld.mul(Bld.zext(A, WideTy), Bld.zext(B, WideTy));
+        Value *Hi = Bld.lshr(P, Bld.getInt(2 * W, W));
+        return Bld.icmp(ICmpPred::NE, Hi, Bld.getInt(2 * W, 0));
+      });
+    break;
+  }
+  case Opcode::Shl:
+    if (Fl.NSW)
+      FlagGuard([=](IRBuilder &Bld) {
+        Value *Back = Bld.ashr(Bld.shl(A, B), B);
+        return Bld.icmp(ICmpPred::NE, Back, A);
+      });
+    if (Fl.NUW)
+      FlagGuard([=](IRBuilder &Bld) {
+        Value *Back = Bld.lshr(Bld.shl(A, B), B);
+        return Bld.icmp(ICmpPred::NE, Back, A);
+      });
+    break;
+  case Opcode::LShr:
+  case Opcode::AShr:
+    if (Fl.Exact)
+      FlagGuard([=](IRBuilder &Bld) {
+        Value *R = Op == Opcode::LShr ? Bld.lshr(A, B) : Bld.ashr(A, B);
+        return Bld.icmp(ICmpPred::NE, Bld.shl(R, B), A);
+      });
+    break;
+  case Opcode::UDiv:
+  case Opcode::SDiv:
+    if (Fl.Exact)
+      FlagGuard([=](IRBuilder &Bld) {
+        Value *R = Bld.binOp(
+            Op == Opcode::UDiv ? Opcode::URem : Opcode::SRem, A, B);
+        return Bld.icmp(ICmpPred::NE, R, Bld.getInt(W, 0));
+      });
+    break;
+  default:
+    break; // urem/srem ignore exact; and/or/xor carry no flags.
+  }
+  return Gs;
+}
+
+/// Kind 5 at gep creation: an inbounds gep whose address leaves its object
+/// is an event the moment it executes (poison-at-gep semantics), even if
+/// never dereferenced.
+std::vector<Guard> Instrumenter::gepGuards(GEPInst *G) {
+  if (!G->isInBounds())
+    return {};
+  std::vector<GEPInst *> Chain;
+  Value *Base = resolveChain(G, Chain);
+  if (!Base) {
+    ++Skipped;
+    return {};
+  }
+  ChainOffset CO = chainOffset(Chain);
+  int64_t Bound = objectSizeBytes(Base) -
+                  static_cast<int64_t>(bytesOf(G->pointeeType()));
+  unsigned Kind = static_cast<unsigned>(SanCheckKind::OutOfBounds);
+  if (CO.Dyn.empty()) {
+    uint32_t Off = static_cast<uint32_t>(CO.Const);
+    bool Valid = Bound >= 0 && Off <= static_cast<uint32_t>(Bound);
+    if (Valid)
+      return {};
+    return {{Kind, nullptr}};
+  }
+  if (Bound < 0)
+    return {{Kind, nullptr}};
+  ChainOffset COCopy = CO;
+  return {{Kind, [this, COCopy, Bound](IRBuilder &Bld) {
+             Value *Off = buildOffset(Bld, COCopy);
+             return Bld.icmp(ICmpPred::UGT, Off,
+                             Bld.getInt(32, static_cast<uint64_t>(Bound)));
+           }}};
+}
+
+/// Kind 5 at an access: only needed when the pointer is not an inbounds
+/// gep (those were validated at creation for exactly this address and
+/// width — the pointee type never changes along a chain) and not a bare
+/// base hitting offset zero of a large-enough object.
+std::vector<Guard>
+Instrumenter::accessGuards(Value *Ptr, unsigned AccessBytes, bool *Resolved,
+                           Value **BaseOut, std::vector<GEPInst *> *ChainOut) {
+  *Resolved = false;
+  std::vector<GEPInst *> Chain;
+  Value *Base = resolveChain(Ptr, Chain);
+  if (BaseOut)
+    *BaseOut = Base;
+  if (ChainOut)
+    *ChainOut = Chain;
+  if (!Base) {
+    ++Skipped;
+    return {};
+  }
+  *Resolved = true;
+  if (auto *G = dyn_cast<GEPInst>(Ptr))
+    if (G->isInBounds())
+      return {}; // Covered by the creation check.
+  ChainOffset CO = chainOffset(Chain);
+  int64_t Bound =
+      objectSizeBytes(Base) - static_cast<int64_t>(AccessBytes);
+  unsigned Kind = static_cast<unsigned>(SanCheckKind::OutOfBounds);
+  if (CO.Dyn.empty()) {
+    uint32_t Off = static_cast<uint32_t>(CO.Const);
+    bool Valid = Bound >= 0 && Off <= static_cast<uint32_t>(Bound);
+    if (Valid)
+      return {};
+    return {{Kind, nullptr}};
+  }
+  if (Bound < 0)
+    return {{Kind, nullptr}};
+  ChainOffset COCopy = CO;
+  return {{Kind, [this, COCopy, Bound](IRBuilder &Bld) {
+             Value *Off = buildOffset(Bld, COCopy);
+             return Bld.icmp(ICmpPred::UGT, Off,
+                             Bld.getInt(32, static_cast<uint64_t>(Bound)));
+           }}};
+}
+
+bool Instrumenter::run() {
+  if (F.isDeclaration())
+    return false;
+
+  scanForShadows();
+
+  // Snapshot the CFG: instrumentation splits blocks and appends new ones,
+  // none of which must be revisited.
+  std::vector<BasicBlock *> Blocks(F.begin(), F.end());
+
+  // Kind 1 across phi edges: a literal poison/undef flowing into a phi is
+  // an event on that edge, before any phi assignment. Split by retargeting
+  // the whole predecessor edge into the shared trap block.
+  for (BasicBlock *BB : Blocks) {
+    std::vector<PhiNode *> Phis = BB->phis();
+    if (Phis.empty())
+      continue;
+    for (BasicBlock *Pred : BB->uniquePredecessors()) {
+      bool Tainted = false;
+      for (PhiNode *P : Phis)
+        for (unsigned I = 0, E = P->getNumIncoming(); I != E && !Tainted; ++I)
+          if (P->getIncomingBlock(I) == Pred &&
+              taintedValue(P->getIncomingValue(I)))
+            Tainted = true;
+      if (!Tainted)
+        continue;
+      BasicBlock *TB =
+          trapBlock(static_cast<unsigned>(SanCheckKind::TaintedOperand));
+      Instruction *T = Pred->terminator();
+      for (unsigned Op = 0, E = T->getNumOperands(); Op != E; ++Op)
+        if (T->getOperand(Op) == BB)
+          T->setOperand(Op, TB);
+      BB->removePredecessor(Pred);
+      ++Inserted;
+      Changed = true;
+    }
+  }
+
+  for (BasicBlock *BB : Blocks) {
+    std::vector<Instruction *> Insts(BB->begin(), BB->end());
+    for (Instruction *I : Insts) {
+      Opcode Op = I->getOpcode();
+      if (isa<PhiNode>(I) || Op == Opcode::Freeze || Op == Opcode::Trap)
+        continue;
+      if (Op == Opcode::Unreachable) {
+        // Kind 7: reaching unreachable is itself the event.
+        BasicBlock *Parent = I->getParent();
+        Parent->insertBefore(I, TrapInst::create(Ctx, 7));
+        Parent->erase(I);
+        ++Inserted;
+        Changed = true;
+        continue;
+      }
+
+      // Kind 1: any non-freeze instruction with a statically tainted
+      // operand trips before its own semantics apply. Eager trapping keeps
+      // every register concrete, so the static sources are the only ones.
+      bool Tainted = false;
+      for (unsigned N = 0, E = I->getNumOperands(); N != E; ++N) {
+        Value *V = I->getOperand(N);
+        if (isa<BasicBlock>(V) || isa<Function>(V))
+          continue;
+        if (taintedValue(V)) {
+          Tainted = true;
+          break;
+        }
+      }
+      if (Tainted) {
+        emitGuards(
+            I, {{static_cast<unsigned>(SanCheckKind::TaintedOperand),
+                 nullptr}});
+        continue;
+      }
+      if (auto *Call = dyn_cast<CallInst>(I)) {
+        // Results of defined callees are not tracked (the campaigns never
+        // generate cross-calls); note the blind spot.
+        if (!Call->callee()->isDeclaration())
+          ++Skipped;
+        continue;
+      }
+
+      switch (Op) {
+      case Opcode::Alloca:
+        instrumentAlloca(cast<AllocaInst>(I));
+        break;
+      case Opcode::GEP:
+        emitGuards(I, gepGuards(cast<GEPInst>(I)));
+        break;
+      case Opcode::Load: {
+        bool Resolved = false;
+        Value *Base = nullptr;
+        std::vector<GEPInst *> Chain;
+        std::vector<Guard> Gs =
+            accessGuards(I->getOperand(0), bytesOf(I->getType()), &Resolved,
+                         &Base, &Chain);
+        bool Shadowed =
+            Resolved && Base &&
+            (ShadowedGlobalSet.count(dyn_cast<GlobalVariable>(Base)) ||
+             ShadowedAllocas.count(dyn_cast<AllocaInst>(Base)));
+        if (Shadowed && (Gs.empty() || Gs.back().Build)) {
+          // Kind 6 after kind 5: the shadow access reuses the (now known
+          // in-bounds) chain shape one-for-one.
+          std::vector<GEPInst *> ChainCopy = Chain;
+          Value *BaseCopy = Base;
+          unsigned CellW = isa<GlobalVariable>(Base)
+                               ? cast<GlobalVariable>(Base)
+                                     ->valueType()
+                                     ->bitWidth()
+                               : cast<AllocaInst>(Base)
+                                     ->allocatedType()
+                                     ->bitWidth();
+          Gs.push_back({static_cast<unsigned>(SanCheckKind::UninitLoad),
+                        [this, BaseCopy, ChainCopy, CellW](IRBuilder &Bld) {
+                          Value *SP = shadowBase(BaseCopy);
+                          for (GEPInst *G : ChainCopy)
+                            SP = Bld.gep(SP, G->index(), /*InBounds=*/false,
+                                         freshName("san.sp"));
+                          Value *SV = Bld.load(SP, freshName("san.sv"));
+                          return Bld.icmp(ICmpPred::NE, SV,
+                                          Bld.getInt(CellW, 0));
+                        }});
+        } else if (Resolved && !Shadowed && !Legacy) {
+          ++Skipped; // Load with no shadow for its base object.
+        }
+        emitGuards(I, std::move(Gs));
+        break;
+      }
+      case Opcode::Store: {
+        auto *S = cast<StoreInst>(I);
+        bool Resolved = false;
+        Value *Base = nullptr;
+        std::vector<GEPInst *> Chain;
+        std::vector<Guard> Gs =
+            accessGuards(S->pointer(), bytesOf(S->value()->getType()),
+                         &Resolved, &Base, &Chain);
+        bool Static = !Gs.empty() && !Gs.back().Build;
+        emitGuards(I, std::move(Gs));
+        bool Shadowed =
+            Resolved && Base &&
+            (ShadowedGlobalSet.count(dyn_cast<GlobalVariable>(Base)) ||
+             ShadowedAllocas.count(dyn_cast<AllocaInst>(Base)));
+        if (Shadowed && !Static)
+          mirrorStore(S, Base, Chain);
+        break;
+      }
+      default: {
+        if (auto *BO = dyn_cast<BinaryOperator>(I))
+          emitGuards(I, binOpGuards(BO));
+        break;
+      }
+      }
+    }
+  }
+
+  emitShadowGlobalPreamble();
+
+  if (Changed)
+    F.nameValues();
+  return Changed;
+}
+
+class Sanitize : public Pass {
+public:
+  explicit Sanitize(PipelineMode Mode) : Mode(Mode) {}
+
+  const char *name() const override { return "sanitize"; }
+
+  std::string pipelineText() const override {
+    return Mode == PipelineMode::Legacy ? "sanitize<legacy>"
+                                        : "sanitize<proposed>";
+  }
+
+  PreservedAnalyses run(Function &F, AnalysisManager &) override {
+    Instrumenter Ins(F, Mode == PipelineMode::Legacy);
+    bool Changed = Ins.run();
+    if (Ins.Inserted)
+      stats::add("san.checks_inserted", Ins.Inserted);
+    if (Ins.Skipped)
+      stats::add("san.checks_skipped", Ins.Skipped);
+    return Changed ? PreservedAnalyses::none() : PreservedAnalyses::all();
+  }
+
+private:
+  PipelineMode Mode;
+};
+
+} // namespace
+
+std::unique_ptr<Pass> frost::createSanitizePass(PipelineMode Mode) {
+  return std::make_unique<Sanitize>(Mode);
+}

@@ -1,0 +1,72 @@
+//===- Sanitize.h - Dynamic UB sanitizer instrumentation --------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `sanitize` instrumentation pass: inserts eager dynamic checks for
+/// every deferred- and immediate-UB event of the frost semantics, lowering
+/// each to ordinary IR guards that branch to a shared `trap <id>` block.
+/// Because every check fires *before* the offending instruction executes,
+/// an instrumented program whose checks all pass computes only concrete
+/// values — poison and undef never reach a live register. That eager-trap
+/// invariant is what makes the UBfuzz-style differential campaigns of
+/// CampaignKind::Sanitizer decidable: the interpreter's SanOracle event
+/// mode (sem/Interp.h) is the ground truth the instrumented program is
+/// compared against, input by input. See docs/sanitizer.md for the check
+/// catalogue and the oracle definitions.
+///
+/// Check kinds (the `trap <id>` values; SanCheckKind below):
+///   1 tainted operand  - a non-freeze instruction executing with a
+///                        poison/undef operand (literal, via a phi edge, or
+///                        an observe-call result)
+///   2 flag violation   - nsw/nuw/exact would poison the result
+///   3 overshift        - shift amount >= bit width
+///   4 division UB      - divisor zero, or INT_MIN / -1 signed overflow
+///   5 out of bounds    - inbounds gep leaving its object (checked at gep
+///                        creation) or an access outside the object
+///   6 uninit load      - load of never-stored memory (bit-exact shadow
+///                        memory: a twin shadow object per global/alloca)
+///   7 unreachable      - control reached `unreachable`
+///
+/// The two variants mirror the repo-wide legacy/proposed split:
+/// `sanitize<proposed>` implements the full catalogue; `sanitize<legacy>`
+/// is the historically naive checker built on the pre-paper folklore that
+/// "undef is harmless": it does not treat literal undef as a kind-1 taint
+/// and performs no kind-6 uninit tracking at all. The sanitizer campaign's
+/// must-flag smoke test pins those false negatives down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_OPT_SANITIZE_H
+#define FROST_OPT_SANITIZE_H
+
+#include "opt/Pass.h"
+
+#include <memory>
+
+namespace frost {
+
+/// The dynamic check kinds, numerically equal to the `trap <id>` the
+/// instrumentation branches to (and to the SanOracle event ids).
+enum class SanCheckKind : unsigned {
+  TaintedOperand = 1,
+  FlagViolation = 2,
+  OverShift = 3,
+  DivisionUB = 4,
+  OutOfBounds = 5,
+  UninitLoad = 6,
+  Unreachable = 7,
+};
+
+/// Creates the sanitizer instrumentation pass. Increments
+/// `san.checks_inserted` per emitted check and `san.checks_skipped` for
+/// sites it must conservatively leave unchecked (unresolvable pointer
+/// chains, vector arithmetic flags, defined-function call results).
+std::unique_ptr<Pass> createSanitizePass(PipelineMode Mode);
+
+} // namespace frost
+
+#endif // FROST_OPT_SANITIZE_H

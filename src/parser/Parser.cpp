@@ -758,6 +758,17 @@ Instruction *Parser::parseInstruction() {
     return UnreachableInst::create(Ctx);
   }
 
+  if (Cur.isWord("trap")) {
+    advance();
+    if (!Cur.is(Token::Kind::Integer) || Cur.Int < 0) {
+      fail("expected non-negative trap id");
+      return nullptr;
+    }
+    unsigned Id = unsigned(Cur.Int);
+    advance();
+    return TrapInst::create(Ctx, Id);
+  }
+
   fail("unknown instruction '" + Cur.Text + "'");
   return nullptr;
 }

@@ -204,6 +204,18 @@ ExecResult Interpreter::callFunction(Function &F,
     R.Reason = Why;
     return R;
   };
+  auto Trap = [&R](unsigned Id, const std::string &Why) {
+    R.St = ExecResult::Status::Trap;
+    R.TrapId = int(Id);
+    R.Reason = Why;
+    return R;
+  };
+  auto hasTaint = [](const Value &V) {
+    for (const Lane &L : V.Lanes)
+      if (!L.isConcrete())
+        return true;
+    return false;
+  };
 
   while (true) {
     // Phi nodes execute simultaneously on block entry.
@@ -211,6 +223,13 @@ ExecResult Interpreter::callFunction(Function &F,
       std::vector<std::pair<PhiNode *, Value>> PhiVals;
       for (PhiNode *P : Cur->phis())
         PhiVals.push_back({P, evalRaw(Fr, P->getIncomingValueForBlock(Prev))});
+      // Event mode: a poison/undef value flowing across a phi edge is a
+      // kind-1 event (the sanitizer instruments it by splitting the edge),
+      // checked before any phi assignment takes effect.
+      if (Opts.SanOracle)
+        for (auto &[P, V] : PhiVals)
+          if (hasTaint(V))
+            return Trap(1, "tainted phi edge");
       for (auto &[P, V] : PhiVals)
         Fr.Regs[P] = std::move(V);
     }
@@ -225,6 +244,21 @@ ExecResult Interpreter::callFunction(Function &F,
         return R;
       }
       --FuelLeft;
+
+      // Event mode, check kind 1: any non-freeze instruction executing with
+      // a poison/undef operand (raw, pre-materialisation) is an event. This
+      // covers select arms, store values, return values, branch and switch
+      // conditions, and call arguments uniformly, and consumes no oracle
+      // choices — instrumented and oracle runs stay choice-aligned.
+      if (Opts.SanOracle && I->getOpcode() != Opcode::Freeze)
+        for (unsigned Op = 0, E = I->getNumOperands(); Op != E; ++Op) {
+          frost::Value *V = I->getOperand(Op);
+          if (isa<BasicBlock>(V) || isa<Function>(V))
+            continue;
+          if (hasTaint(evalRaw(Fr, V)))
+            return Trap(1, std::string("tainted operand of ") +
+                               I->getOpcodeName());
+        }
 
       switch (I->getOpcode()) {
       case Opcode::Add:
@@ -242,6 +276,23 @@ ExecResult Interpreter::callFunction(Function &F,
       case Opcode::Xor: {
         Value A = evalForCompute(Fr, I->getOperand(0));
         Value B = evalForCompute(Fr, I->getOperand(1));
+        // Event mode: operands are concrete here (kind 1 fired otherwise).
+        // Overshift (kind 3) is checked before flag violations (kind 2),
+        // matching the instrumented check order; division events are kind 4.
+        if (Opts.SanOracle) {
+          unsigned W = laneWidth(I->getType());
+          for (unsigned L = 0; L != A.Lanes.size(); ++L) {
+            if (I->isShift() && B.Lanes[L].Bits.zext() >= W)
+              return Trap(3, "overshift");
+            FoldResult LR = foldBinLane(I->getOpcode(), I->flags(),
+                                        A.Lanes[L], B.Lanes[L], Config);
+            if (LR.UB)
+              return Trap(4, LR.Reason);
+            if (LR.L.isPoison() || LR.L.isUndef())
+              return Trap(2, std::string("flag violation on ") +
+                                 I->getOpcodeName());
+          }
+        }
         std::vector<Lane> Lanes;
         for (unsigned L = 0; L != A.Lanes.size(); ++L) {
           FoldResult LR = foldBinLane(I->getOpcode(), I->flags(), A.Lanes[L],
@@ -385,6 +436,11 @@ ExecResult Interpreter::callFunction(Function &F,
             BitVec(PointerType::AddressBits, static_cast<uint64_t>(Offset)));
         if (G->isInBounds() &&
             !Mem.validRange(static_cast<uint32_t>(Addr.zext()), ElemBits)) {
+          // Event mode, kind 5: an out-of-bounds inbounds gep is an event at
+          // gep *creation* (matching the poison-at-gep semantics), even if
+          // the address is never dereferenced.
+          if (Opts.SanOracle)
+            return Trap(5, "out-of-bounds inbounds gep");
           Fr.Regs[I] = Value::poison();
           break;
         }
@@ -397,8 +453,17 @@ ExecResult Interpreter::callFunction(Function &F,
           return UB("load from poison address");
         uint32_t Addr = static_cast<uint32_t>(P.scalar().Bits.zext());
         std::vector<MemBit> Bits;
-        if (!Mem.load(Addr, I->getType()->bitWidth(), Bits))
+        if (!Mem.load(Addr, I->getType()->bitWidth(), Bits)) {
+          // Event mode, kind 5: out-of-bounds access (checked before the
+          // kind-6 uninit check, matching the instrumented check order).
+          if (Opts.SanOracle)
+            return Trap(5, "out-of-bounds load");
           return UB("load from invalid address");
+        }
+        if (Opts.SanOracle)
+          for (MemBit Bit : Bits)
+            if (Bit == MemBit::Uninit)
+              return Trap(6, "load of uninitialized memory");
         Fr.Regs[I] = liftValue(Bits, I->getType(), Config);
         break;
       }
@@ -410,8 +475,11 @@ ExecResult Interpreter::callFunction(Function &F,
           return UB("store to poison address");
         uint32_t Addr = static_cast<uint32_t>(P.scalar().Bits.zext());
         std::vector<MemBit> Bits = lowerValue(V, S->value()->getType());
-        if (!Mem.store(Addr, Bits))
+        if (!Mem.store(Addr, Bits)) {
+          if (Opts.SanOracle)
+            return Trap(5, "out-of-bounds store");
           return UB("store to invalid address");
+        }
         break;
       }
       case Opcode::Call: {
@@ -481,7 +549,13 @@ ExecResult Interpreter::callFunction(Function &F,
         return R;
       }
       case Opcode::Unreachable:
+        if (Opts.SanOracle)
+          return Trap(7, "reached unreachable");
         return UB("reached unreachable");
+      case Opcode::Trap:
+        // Defined behaviour in every mode: execution stops, the trap id is
+        // the observable outcome.
+        return Trap(cast<TrapInst>(I)->id(), "trap");
       case Opcode::Phi:
         frost_unreachable("phi handled at block entry");
       }
@@ -507,6 +581,11 @@ std::string ExecResult::str() const {
     break;
   case Status::UB:
     S = "UB(" + Reason + ")";
+    break;
+  case Status::Trap:
+    // Only the id is observable (the reason strings differ between the
+    // oracle's event mode and an instrumented `trap` execution).
+    S = "trap(" + std::to_string(TrapId) + ")";
     break;
   case Status::Fuel:
     S = "fuel(" + Reason + ")";

@@ -51,6 +51,8 @@ struct ExecResult {
   enum class Status {
     Ok,    ///< Returned normally.
     UB,    ///< Executed immediate undefined behaviour.
+    Trap,  ///< Executed a `trap <id>` terminator (defined behaviour) or,
+           ///< in SanOracle mode, hit a dynamic-UB event.
     Fuel,  ///< Step budget exhausted (result unknown).
     Error, ///< Malformed program (interpreter limitation, not UB).
   };
@@ -59,10 +61,12 @@ struct ExecResult {
   std::optional<Value> Ret;      ///< Set for non-void returns when Ok.
   std::vector<Value> Trace;      ///< Values passed to observe*().
   std::vector<MemBit> FinalMem;  ///< Global memory (name order) when Ok.
-  std::string Reason;            ///< Explanation for UB / Error.
+  std::string Reason;            ///< Explanation for UB / Error / Trap.
+  int TrapId = -1;               ///< Check kind for Trap, else -1.
 
   bool ok() const { return St == Status::Ok; }
   bool ub() const { return St == Status::UB; }
+  bool trapped() const { return St == Status::Trap; }
 
   /// Renders status/value/trace for diagnostics.
   std::string str() const;
@@ -91,6 +95,14 @@ struct InterpOptions {
   /// pass that deletes the last reference to a global can neither shift
   /// the InitialMem layout nor shrink the snapshot it is judged on.
   const std::vector<const GlobalVariable *> *MemLayout = nullptr;
+
+  /// Sanitizer-oracle event mode: every dynamic-UB event the sanitize pass
+  /// instruments for (docs/sanitizer.md) stops execution with Status::Trap
+  /// and the event's check kind, *before* the offending instruction's
+  /// normal semantics (poison result / UB / nondet choice) apply. This is
+  /// the ground truth the CampaignKind::Sanitizer differential oracles
+  /// compare instrumented programs against.
+  bool SanOracle = false;
 };
 
 /// Interprets frost IR functions under a chosen UB semantics.

@@ -13,8 +13,10 @@
 #include "ir/Module.h"
 #include "ir/Printer.h"
 #include "ir/StructuralHash.h"
+#include "opt/Passes.h"
 #include "opt/Pipeline.h"
 #include "parser/Parser.h"
+#include "tv/Sanitizer.h"
 #include "support/Casting.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
@@ -132,6 +134,7 @@ struct ShardResult {
   uint64_t Valid = 0, Invalid = 0, Inconclusive = 0;
   uint64_t InputsChecked = 0, PathsExplored = 0;
   uint64_t Failures = 0;
+  uint64_t SanTrueTrips = 0, SanFalseNegatives = 0, SanFalsePositives = 0;
   std::vector<Counterexample> Counterexamples;
 };
 
@@ -307,6 +310,38 @@ void checkOne(Module &M, Function &F, uint64_t Index,
     return;
   }
 
+  if (Opts.Kind == CampaignKind::Sanitizer) {
+    // Instrument a clone on every member — hit or miss — so the changed
+    // count and the san.checks_inserted counter stay per-member (and thus
+    // byte-identical between cold and warm runs). Only the differential
+    // oracles are skipped on a hit.
+    Function *San = cloneFunction(F, M, F.getName() + ".san");
+    {
+      PassManager SanPM(/*VerifyAfterEachPass=*/false);
+      SanPM.add(createSanitizePass(Opts.Pipeline));
+      AnalysisManager SanAM;
+      if (SanPM.run(*San, SanAM))
+        ++Out.Changed;
+    }
+    if (Hit) {
+      M.eraseFunction(San);
+      bookResult(rehydrate(CV), std::move(SrcText), std::move(CV.BlamedPass),
+                 Index, Opts, Cache, Out);
+      return;
+    }
+    SanCheckResult SR = checkSanitizedFunction(M, F, *San, Opts);
+    M.eraseFunction(San);
+    Out.SanTrueTrips += SR.TrueTrips;
+    Out.SanFalseNegatives += SR.FalseNegatives;
+    Out.SanFalsePositives += SR.FalsePositives;
+    if (Cacheable)
+      publishVerdict(CC, Key, std::move(Canon), SR.TV, /*Changed=*/false,
+                     SR.BlamedPass);
+    bookResult(SR.TV, std::move(SrcText), std::move(SR.BlamedPass), Index,
+               Opts, Cache, Out);
+    return;
+  }
+
   Function *Orig = cloneFunction(F, M, F.getName() + ".orig");
   PassManager PM(/*VerifyAfterEachPass=*/false);
   buildCampaignPipeline(PM, Opts);
@@ -343,6 +378,9 @@ void bumpStats(const ShardResult &R) {
   stats::add("tv.campaign.inputs", R.InputsChecked);
   stats::add("tv.campaign.paths", R.PathsExplored);
   stats::add("tv.campaign.shards_done", 1);
+  stats::add("san.true_trips", R.SanTrueTrips);
+  stats::add("san.false_negatives", R.SanFalseNegatives);
+  stats::add("san.false_positives", R.SanFalsePositives);
   uint64_t Poison = 0, Undef = 0;
   for (const Counterexample &CE : R.Counterexamples) {
     if (CE.Message.find("poison") != std::string::npos)
@@ -438,6 +476,8 @@ std::string tv::describeCampaign(const CampaignOptions &Opts) {
   if (Opts.Kind == CampaignKind::EndToEnd) {
     S += " target=end-to-end (codegen+regalloc+machine)";
   } else {
+    if (Opts.Kind == CampaignKind::Sanitizer)
+      S += " target=sanitizer (instrument+differential)";
     S += std::string(" pipeline=") +
          (Opts.Pipeline == PipelineMode::Proposed ? "proposed" : "legacy");
     if (!Opts.Passes.empty())
@@ -454,7 +494,11 @@ uint64_t tv::campaignConfigFingerprint(const CampaignOptions &Opts) {
   // ShardSize, and Engine are deliberately absent (see the declaration);
   // so are the space options (the function itself is the other key half).
   std::string S;
-  S += Opts.Kind == CampaignKind::EndToEnd ? "kind=e2e" : "kind=ir";
+  S += Opts.Kind == CampaignKind::EndToEnd    ? "kind=e2e"
+       : Opts.Kind == CampaignKind::Sanitizer ? "kind=sanitizer"
+                                              : "kind=ir";
+  // The sanitize pass variant follows Pipeline, so the pipeline line keeps
+  // sanitizer verdicts from leaking between legacy and proposed modes.
   if (Opts.Kind != CampaignKind::EndToEnd) {
     S += std::string(" pipeline=") +
          (Opts.Pipeline == PipelineMode::Proposed ? "proposed" : "legacy");
@@ -493,6 +537,8 @@ std::string CampaignResult::report() const {
   S += " paths=" + std::to_string(PathsExplored);
   S += " distinct_failures=" + std::to_string(DistinctFailures);
   S += " duplicate_failures=" + std::to_string(DuplicateFailures);
+  if (Sanitizer)
+    S += " san_checks=" + std::to_string(SanChecksInserted);
   S += "\n";
   for (const Counterexample &CE : Counterexamples) {
     S += "== counterexample #" + std::to_string(CE.Index) +
@@ -534,6 +580,16 @@ std::string CampaignResult::summary() const {
                   (unsigned long long)MemConfigs,
                   (unsigned long long)AliasQueries,
                   AliasQueries == 1 ? "y" : "ies");
+    S += Buf;
+  }
+  if (Sanitizer) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "\nsanitizer: %llu check(s) inserted, %llu true trip(s), "
+                  "%llu false negative(s), %llu false positive(s)",
+                  (unsigned long long)SanChecksInserted,
+                  (unsigned long long)SanTrueTrips,
+                  (unsigned long long)SanFalseNegatives,
+                  (unsigned long long)SanFalsePositives);
     S += Buf;
   }
   if (CacheHits || CacheMisses) {
@@ -578,6 +634,10 @@ CampaignResult tv::runCampaign(const CampaignOptions &Opts) {
   uint64_t SkipsBefore = stats::get("tv.isomorphic_skips");
   uint64_t CollisionsBefore = stats::get("tv.cache_collisions");
   uint64_t EvictionsBefore = stats::get("tv.dedup_evictions");
+  uint64_t SanChecksBefore = stats::get("san.checks_inserted");
+  uint64_t SanTripsBefore = stats::get("san.true_trips");
+  uint64_t SanFNBefore = stats::get("san.false_negatives");
+  uint64_t SanFPBefore = stats::get("san.false_positives");
 
   // Verdict reuse: an external cache when the driver passed one (warm
   // cross-run reuse), otherwise a campaign-private cache so isomorphs are
@@ -729,6 +789,11 @@ CampaignResult tv::runCampaign(const CampaignOptions &Opts) {
   R.IsomorphicSkips = stats::get("tv.isomorphic_skips") - SkipsBefore;
   R.CacheCollisions = stats::get("tv.cache_collisions") - CollisionsBefore;
   R.DedupEvictions = stats::get("tv.dedup_evictions") - EvictionsBefore;
+  R.Sanitizer = Opts.Kind == CampaignKind::Sanitizer;
+  R.SanChecksInserted = stats::get("san.checks_inserted") - SanChecksBefore;
+  R.SanTrueTrips = stats::get("san.true_trips") - SanTripsBefore;
+  R.SanFalseNegatives = stats::get("san.false_negatives") - SanFNBefore;
+  R.SanFalsePositives = stats::get("san.false_positives") - SanFPBefore;
   R.DistinctFailures = Cache.distinct();
   R.DuplicateFailures = TotalFailures - std::min(TotalFailures, R.DistinctFailures);
   stats::add("tv.campaign.dup_failures", R.DuplicateFailures);

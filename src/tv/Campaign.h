@@ -55,6 +55,11 @@ enum class CampaignKind {
               ///< the IR semantics (tv/EndToEnd.h). Pipeline options are
               ///< ignored; counterexamples blame a backend stage instead
               ///< of a pass.
+  Sanitizer,  ///< Instrument with sanitize<Pipeline-mode> and run the
+              ///< differential oracles of tv/Sanitizer.h: zero false
+              ///< negatives / false positives against the interpreter's
+              ///< SanOracle ground truth, plus a DESIL-style check that
+              ///< the pipeline still refines the instrumented program.
 };
 
 /// One full campaign configuration. The tuple (Source, Enum/Random shape,
@@ -179,6 +184,18 @@ struct CampaignResult {
   /// (delta of tv.dedup_evictions). Non-zero means duplicate failures may
   /// be over-reported; summary() prints a warning. Excluded from report().
   uint64_t DedupEvictions = 0;
+  /// Sanitizer campaigns only. ChecksInserted (delta of
+  /// san.checks_inserted) counts guards the instrumentation emitted; the
+  /// pass runs on every member — verdict-cache hit or miss — so it is
+  /// deterministic and part of report(). The oracle tallies (deltas of
+  /// san.true_trips / san.false_negatives / san.false_positives) are
+  /// skipped for members replayed from the verdict cache, so like the
+  /// cache stats they appear in summary() only.
+  bool Sanitizer = false;
+  uint64_t SanChecksInserted = 0;
+  uint64_t SanTrueTrips = 0;
+  uint64_t SanFalseNegatives = 0;
+  uint64_t SanFalsePositives = 0;
   double WallSeconds = 0;
   double CpuSeconds = 0;
 

@@ -316,6 +316,22 @@ bool tv::behaviorRefines(const ExecResult &Tgt, const ExecResult &Src,
     return true;
   if (Tgt.ub())
     return false;
+  // A trap is defined behaviour: it refines only a source trap with the
+  // same id, and vice versa. Observations made before the trap must still
+  // refine pointwise; final memory is never part of a trapping behaviour
+  // (the interpreter only snapshots it on a normal return).
+  if (Src.trapped() != Tgt.trapped())
+    return false;
+  if (Src.trapped()) {
+    if (Src.TrapId != Tgt.TrapId)
+      return false;
+    if (Src.Trace.size() != Tgt.Trace.size())
+      return false;
+    for (unsigned I = 0; I != Src.Trace.size(); ++I)
+      if (!Tgt.Trace[I].refines(Src.Trace[I]))
+        return false;
+    return true;
+  }
   // Returned value.
   if (Src.Ret.has_value() != Tgt.Ret.has_value())
     return false;

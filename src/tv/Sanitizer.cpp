@@ -1,0 +1,204 @@
+//===- Sanitizer.cpp - Differential sanitizer validation ---------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tv/Sanitizer.h"
+
+#include "ir/Cloning.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "opt/Pipeline.h"
+#include "sem/Interp.h"
+#include "sem/Oracle.h"
+
+#include <cassert>
+
+using namespace frost;
+using namespace frost::tv;
+
+namespace {
+
+/// The campaign's pipeline (textual Opts.Passes or the standard preset),
+/// appended to \p PM. Mirrors the campaign engine's builder; drivers
+/// validate the text before launching.
+void buildSanPipeline(PassManager &PM, const CampaignOptions &Opts) {
+  if (Opts.Passes.empty()) {
+    buildStandardPipeline(PM, Opts.Pipeline);
+    return;
+  }
+  std::string Error;
+  bool OK = parsePassPipeline(PM, Opts.Passes, Opts.Pipeline, &Error);
+  assert(OK && "campaign pipeline must be validated before launching");
+  (void)OK;
+}
+
+/// Replays the pipeline pass by pass on a fresh clone of \p San and blames
+/// the first pass whose output no longer refines the instrumented program
+/// under the sanitizer leg's pinned TVOptions.
+std::string blameSanPass(Module &M, Function &San, const CampaignOptions &Opts,
+                         const TVOptions &TVOpts) {
+  Function *Replay = cloneFunction(San, M, San.getName() + ".blame");
+  PassManager PM(/*VerifyAfterEachPass=*/false);
+  buildSanPipeline(PM, Opts);
+  std::string Blamed;
+  PM.instrumentation().onAfterPass(
+      [&](const Pass &P, const Function &,
+          const PassInstrumentation::AfterPassInfo &Info) {
+        if (!Blamed.empty() || !Info.Changed)
+          return;
+        TVResult TR = checkRefinement(San, *Replay, Opts.Semantics, TVOpts);
+        if (!TR.valid())
+          Blamed = P.pipelineText();
+      });
+  PM.run(*Replay);
+  M.eraseFunction(Replay);
+  return Blamed;
+}
+
+std::string trapName(int Id) { return "check " + std::to_string(Id); }
+
+} // namespace
+
+SanCheckResult tv::checkSanitizedFunction(Module &M, Function &F,
+                                          Function &San,
+                                          const CampaignOptions &Opts) {
+  SanCheckResult R;
+  TVResult &TR = R.TV;
+
+  // The observable-memory window is the ORIGINAL function's globals: the
+  // instrumentation's shadow globals must neither shift the InitialMem
+  // layout nor enter the compared FinalMem snapshot. Globals are assumed
+  // initialized (the pass zero-stamps their shadow cells on entry), so the
+  // default initial memory is all-zeros, not the interpreter's all-Uninit.
+  std::vector<const GlobalVariable *> DataGlobals = sem::referencedGlobals(F);
+  std::vector<sem::MemBit> ZeroMem;
+  const std::vector<sem::MemBit> *Init = Opts.TV.InitialMem;
+  if (!Init) {
+    ZeroMem.assign(sem::globalMemoryBits(F), sem::MemBit::Zero);
+    Init = &ZeroMem;
+  }
+
+  // Instrumented executions run many more instructions (every check is a
+  // compare + branch, plus the shadow-memory traffic), so they get a wider
+  // fuel allowance than the ground truth.
+  uint64_t SanFuel = Opts.TV.Fuel * 16 + 256;
+
+  TVOptions TVOpts = Opts.TV;
+  TVOpts.IncludePoisonInputs = false;
+  TVOpts.IncludeUndefInputs = false;
+  TVOpts.EnumerateMemory = false;
+  TVOpts.InitialMem = Init;
+  TVOpts.MemLayout = &DataGlobals;
+  TVOpts.Fuel = SanFuel;
+
+  std::vector<std::vector<sem::Value>> Inputs;
+  if (!enumerateInputTuples(F, Opts.Semantics, TVOpts, Inputs)) {
+    TR.St = TVResult::Status::Inconclusive;
+    TR.Message = "unsupported parameter type (pointer arguments are not "
+                 "enumerable; use globals instead)";
+    return R;
+  }
+
+  // Oracles (a) and (b): per concrete input, ground truth (SanOracle event
+  // mode over the original) versus the instrumented program, both driven by
+  // the deterministic oracle so the single compared path is the same one.
+  for (const std::vector<sem::Value> &Args : Inputs) {
+    ++TR.InputsChecked;
+
+    sem::InterpOptions IO;
+    IO.Fuel = Opts.TV.Fuel;
+    IO.InitialMem = Init;
+    IO.MemLayout = &DataGlobals;
+    IO.SanOracle = true;
+    sem::DeterministicOracle O0;
+    sem::Interpreter I0(Opts.Semantics, O0, IO);
+    sem::ExecResult R0 = I0.run(F, Args);
+    ++TR.PathsExplored;
+
+    IO.Fuel = SanFuel;
+    IO.SanOracle = false;
+    sem::DeterministicOracle O1;
+    sem::Interpreter I1(Opts.Semantics, O1, IO);
+    sem::ExecResult R1 = I1.run(San, Args);
+    ++TR.PathsExplored;
+
+    if (R0.St == sem::ExecResult::Status::Fuel ||
+        R1.St == sem::ExecResult::Status::Fuel) {
+      TR.St = TVResult::Status::Inconclusive;
+      TR.Message = "out of fuel on input " + describeInput(Args);
+      return R;
+    }
+    if (R0.St == sem::ExecResult::Status::Error ||
+        R1.St == sem::ExecResult::Status::Error) {
+      TR.St = TVResult::Status::Inconclusive;
+      TR.Message = "interpreter error on input " + describeInput(Args);
+      return R;
+    }
+    if (R0.ub()) {
+      // Every dynamic-UB event should have stopped the SanOracle run as a
+      // trap; raw UB means the oracle met something outside the catalogue.
+      TR.St = TVResult::Status::Inconclusive;
+      TR.Message = "sanitizer oracle hit unintercepted UB on input " +
+                   describeInput(Args);
+      return R;
+    }
+
+    if (behaviorRefines(R1, R0, TVOpts.CompareMemory)) {
+      if (R0.trapped())
+        ++R.TrueTrips;
+      continue;
+    }
+
+    TR.St = TVResult::Status::Invalid;
+    if (R0.trapped() && !R1.trapped()) {
+      ++R.FalseNegatives;
+      TR.Message = "sanitizer false negative: ground truth trips " +
+                   trapName(R0.TrapId) + " but the instrumented run " +
+                   (R1.ub() ? "hits UB" : "finishes clean") + " on input " +
+                   describeInput(Args);
+    } else if (!R0.trapped() && R1.trapped()) {
+      ++R.FalsePositives;
+      TR.Message = "sanitizer false positive: instrumented run trips " +
+                   trapName(R1.TrapId) + " on a UB-free execution on input " +
+                   describeInput(Args);
+    } else if (R0.trapped()) {
+      ++R.FalsePositives;
+      TR.Message = "sanitizer trap mismatch: ground truth trips " +
+                   trapName(R0.TrapId) + " but the instrumented run trips " +
+                   trapName(R1.TrapId) + " on input " + describeInput(Args);
+    } else {
+      ++R.FalsePositives;
+      TR.Message = "instrumentation is not behaviour-preserving on input " +
+                   describeInput(Args) + ": ground truth " + R0.str() +
+                   ", instrumented " + R1.str();
+    }
+    return R;
+  }
+
+  // Oracle (c): the optimization pipeline over the instrumented program
+  // must still refine it — a dropped or invented trap is a miscompile the
+  // new trap rule in behaviorRefines rejects.
+  Function *Optimized = cloneFunction(San, M, San.getName() + ".opt");
+  PassManager PM(/*VerifyAfterEachPass=*/false);
+  buildSanPipeline(PM, Opts);
+  AnalysisManager AM;
+  PM.run(*Optimized, AM);
+  TVResult DR = checkRefinement(San, *Optimized, Opts.Semantics, TVOpts);
+  TR.InputsChecked += DR.InputsChecked;
+  TR.PathsExplored += DR.PathsExplored;
+  M.eraseFunction(Optimized);
+  if (!DR.valid()) {
+    TR.St = DR.St;
+    TR.Message = "optimized sanitized program stops refining it: " +
+                 DR.Message;
+    if (DR.invalid())
+      R.BlamedPass = blameSanPass(M, San, Opts, TVOpts);
+    return R;
+  }
+
+  TR.St = TVResult::Status::Valid;
+  return R;
+}

@@ -1,0 +1,87 @@
+//===- Sanitizer.h - Differential sanitizer validation ----------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The UBfuzz-style differential oracles behind CampaignKind::Sanitizer
+/// (docs/sanitizer.md): given a program and its sanitize-instrumented twin,
+/// decide whether the instrumentation is *correct* — it must trap exactly
+/// when the interpreter's sanitizer-oracle mode (InterpOptions::SanOracle)
+/// says a dynamic-UB event fires, with the matching check id, and must be
+/// invisible otherwise.
+///
+/// Three oracles run per function:
+///
+///  (a) False-negative hunt: for every concrete input tuple, the ground
+///      truth (SanOracle run of the original) traps but the instrumented
+///      program finishes clean — a check the pass failed to insert.
+///  (b) False-positive hunt: the instrumented program traps on an input the
+///      ground truth executes cleanly — an over-eager or wrong guard. The
+///      same leg also rejects id mismatches and any divergence of the
+///      result / observation trace / final memory on clean runs (the
+///      instrumentation must be behaviour-preserving off the trap paths).
+///  (c) DESIL-style silent-miscompile check: the campaign's optimization
+///      pipeline over the *instrumented* program must still refine it, so
+///      optimizing sanitized code can neither drop a trap nor invent one.
+///      Failures are blamed on the first pass whose output stops refining.
+///
+/// All legs run over concrete inputs only (poison/undef argument lanes are
+/// the oracle's job to *detect*, not the harness's job to inject: a guard
+/// computing on a poison argument would itself be poisoned) and pin the
+/// observable-memory window to the ORIGINAL function's globals, so the
+/// instrumentation's shadow globals never shift the initial-memory layout
+/// or leak into the compared final-memory snapshot. Initial memory defaults
+/// to all-zeros (globals are assumed initialized; uninitialized-load
+/// coverage comes from allocas and from the SanOracle ground truth).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_TV_SANITIZER_H
+#define FROST_TV_SANITIZER_H
+
+#include "tv/Campaign.h"
+
+#include <cstdint>
+#include <string>
+
+namespace frost {
+
+class Function;
+class Module;
+
+namespace tv {
+
+/// Outcome of the three differential oracles over one function.
+struct SanCheckResult {
+  TVResult TV; ///< Valid = sanitizer correct on every checked input.
+  /// DESIL leg only: pipelineText() of the first pass whose output no
+  /// longer refines the instrumented program. Empty otherwise.
+  std::string BlamedPass;
+  /// Input tuples where ground truth and instrumented run agreed on a trap
+  /// (same check id, same observation prefix).
+  uint64_t TrueTrips = 0;
+  /// Tuples where the ground truth traps but the instrumented run does not
+  /// (counted at most once: the check stops at the first failure).
+  uint64_t FalseNegatives = 0;
+  /// Tuples where the instrumented run traps spuriously, traps with the
+  /// wrong id, or diverges on a clean execution.
+  uint64_t FalsePositives = 0;
+};
+
+/// Runs oracles (a)-(c) for \p San, the sanitize-instrumented clone of
+/// \p F. Both live in \p M (the DESIL leg clones \p San again to optimize
+/// it). Opts.Semantics selects the UB semantics of both executions;
+/// Opts.Pipeline/Passes describe the DESIL pipeline; Opts.TV supplies the
+/// budgets (instrumented runs get a widened fuel allowance, since guards
+/// multiply the instruction count). Deterministic: messages never mention
+/// value or function names, so verdicts replay across structural isomorphs.
+SanCheckResult checkSanitizedFunction(Module &M, Function &F, Function &San,
+                                      const CampaignOptions &Opts);
+
+} // namespace tv
+} // namespace frost
+
+#endif // FROST_TV_SANITIZER_H

@@ -19,6 +19,9 @@
 #include "ir/Context.h"
 #include "ir/Module.h"
 #include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "opt/Pass.h"
+#include "opt/Passes.h"
 #include "parser/Parser.h"
 
 #include <gtest/gtest.h>
@@ -101,6 +104,45 @@ TEST(RoundTrip, EveryMemoryEnumeratedFunctionIsStable) {
       << "memory shapes missing from the enumerated space: load=" << SawLoad
       << " store=" << SawStore << " gep=" << SawGep
       << " alloca=" << SawAlloca;
+}
+
+TEST(RoundTrip, SanitizedFunctionsVerifyAndAreStable) {
+  // Sanitizer campaigns print instrumented functions into counterexample
+  // reports and the verdict cache re-parses them, so everything the
+  // sanitize pass can emit — guard chains, shadow allocas/globals, and
+  // the `trap <id>` terminator — must be verifier-clean and survive the
+  // print/parse/print round trip byte-for-byte.
+  fuzz::EnumOptions Opts;
+  Opts.NumInsts = 2;
+  Opts.Width = 2;
+  Opts.NumArgs = 1;
+  Opts.WithPoison = true;
+  Opts.WithUndef = true;
+  Opts.WithFlags = true;
+  Opts.WithMemory = true;
+  Opts.MemBytes = 1;
+
+  std::unique_ptr<Pass> Sanitize = createSanitizePass(PipelineMode::Proposed);
+  IRContext Ctx;
+  Module M(Ctx, "enum-san");
+  uint64_t Checked = 0, Budget = 20000;
+  bool SawTrap = false, SawShadow = false;
+  fuzz::enumerateFunctions(M, Opts, [&](Function &F) {
+    Sanitize->runOnFunction(F);
+    std::vector<std::string> Errors;
+    EXPECT_TRUE(verifyFunction(F, &Errors))
+        << printFunction(F) << "\nfirst error: "
+        << (Errors.empty() ? "<none>" : Errors.front());
+    std::string Once = printFunction(F);
+    SawTrap |= Once.find("trap ") != std::string::npos;
+    SawShadow |= Once.find(".shadow") != std::string::npos;
+    std::string Twice = reprint(Once);
+    EXPECT_EQ(Once, Twice);
+    return ++Checked < Budget && !::testing::Test::HasFailure();
+  });
+  EXPECT_GT(Checked, 1000u) << "sanitized space unexpectedly small";
+  EXPECT_TRUE(SawTrap) << "no trap terminator in the sanitized space";
+  EXPECT_TRUE(SawShadow) << "no shadow cell in the sanitized space";
 }
 
 TEST(RoundTrip, RandomProgramsWithLoopsAndMemoryAreStable) {

@@ -51,6 +51,14 @@ const char *Usage =
     "                               codegen + regalloc and check the machine\n"
     "                               refines the IR semantics; failures blame\n"
     "                               the stage (isel/regalloc/sim)\n"
+    "  --sanitize                   validate the sanitize instrumentation pass\n"
+    "                               instead of an IR pipeline: instrument each\n"
+    "                               function with sanitize<--pipeline mode> and\n"
+    "                               run the differential oracles of\n"
+    "                               docs/sanitizer.md (false-negative hunt,\n"
+    "                               false-positive hunt, and a DESIL-style\n"
+    "                               check that --passes still refines the\n"
+    "                               instrumented program)\n"
     "  --poison-cond                also enumerate `i1 poison` as a select\n"
     "                               condition (exhaustive source)\n"
     "  --with-undef                 also enumerate a literal undef operand\n"
@@ -164,6 +172,8 @@ int main(int argc, char **argv) {
       Opts.Source = tv::CampaignSource::File;
     } else if (A == "--end-to-end")
       Opts.Kind = tv::CampaignKind::EndToEnd;
+    else if (A == "--sanitize")
+      Opts.Kind = tv::CampaignKind::Sanitizer;
     else if (A == "--poison-cond")
       Opts.Enum.WithPoisonCond = true;
     else if (A == "--with-undef")
@@ -406,6 +416,8 @@ int main(int argc, char **argv) {
       std::fputs(stats::report("e2e.").c_str(), stdout);
       std::fputs(stats::report("cg.").c_str(), stdout);
     }
+    if (Opts.Kind == tv::CampaignKind::Sanitizer)
+      std::fputs(stats::report("san.").c_str(), stdout);
   }
 
   if (R.Invalid)
