@@ -1,0 +1,389 @@
+//===- ServiceBench.cpp - frost-tvd vs one-shot CLI load bench ------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment behind the verification service: take the verdict-cache
+/// register sweep's function shape (2 insts, 3 args, i3, add/and — dense in
+/// isomorphs) and verify N functions three ways:
+///
+///   cli          one `frost-tv --file` process per function — the
+///                pre-daemon workflow every editor integration and CI
+///                script would run: spawn, parse, verify cold, exit.
+///   daemon_cold  one in-process frost-tvd server, every function as one
+///                pipelined batch over loopback TCP, empty cache.
+///   daemon_warm  the same batch again: every verdict now comes from the
+///                shared in-memory cache.
+///
+/// Recorded per leg: wall seconds and requests/s, plus cache hit/miss
+/// counts for the daemon legs. The acceptance gate this bench enforces
+/// (exit 1 on violation):
+///   - per-request report bytes from the daemon are byte-identical to the
+///     CLI's report lines for the same function, and
+///   - warm daemon throughput >= 5x the one-shot CLI.
+///
+/// The speedup is architectural, not parallelism (CI runs this on one
+/// core): the CLI pays process spawn + module parse + full verification
+/// per function, the warm daemon one socket round-trip + one cache lookup.
+///
+/// Output: merges a "service" section into an existing BENCH_TV.json
+/// (written by bench_tv, schema v4) right before its "total" key and bumps
+/// the schema to frost-bench-tv/v5 — every v1-v4 key is unchanged. If the
+/// file does not exist, a minimal v5 document is written instead.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Enumerate.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "service/Client.h"
+#include "service/Server.h"
+#include "support/Stats.h"
+#include "tv/Campaign.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+using namespace frost;
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The verdict-cache register sweep shape (bench_tv's "register" cache
+/// campaign), capped to a per-process-spawn-affordable population.
+std::vector<std::string> enumerateSweep(uint64_t MaxFunctions) {
+  fuzz::EnumOptions Enum;
+  Enum.NumInsts = 2;
+  Enum.NumArgs = 3;
+  Enum.Width = 3;
+  Enum.WithPoison = true;
+  Enum.WithFlags = true;
+  Enum.Opcodes = {Opcode::Add, Opcode::And};
+
+  std::vector<std::string> Fns;
+  Fns.reserve(MaxFunctions);
+  IRContext Ctx;
+  Module M(Ctx, "service-bench");
+  fuzz::enumerateFunctions(M, Enum, [&](Function &F) {
+    Fns.push_back(printFunction(F));
+    return Fns.size() < MaxFunctions;
+  });
+  return Fns;
+}
+
+/// The report lines a `frost-tv --file` run prints for its campaign: the
+/// lines strictly after the `engine=...` banner and strictly before the
+/// `report-hash=` line — exactly CampaignResult::report().
+std::string extractReport(const std::string &CliOutput) {
+  std::istringstream In(CliOutput);
+  std::string Line, Report;
+  bool InReport = false;
+  while (std::getline(In, Line)) {
+    if (Line.rfind("report-hash=", 0) == 0)
+      break;
+    if (InReport)
+      Report += Line + "\n";
+    if (Line.rfind("engine=", 0) == 0)
+      InReport = true;
+  }
+  return Report;
+}
+
+struct Leg {
+  double WallSeconds = 0;
+  uint64_t Hits = 0, Misses = 0;
+  std::vector<std::string> Reports;
+};
+
+/// One `frost-tv --file <fn>` process per function — spawn, parse, verify,
+/// exit. Returns false if any invocation fails outright.
+bool runCLILeg(const std::string &FrostTV, const std::vector<std::string> &Fns,
+               Leg &Out) {
+  std::string Dir = "/tmp/frost-service-bench." + std::to_string(::getpid());
+  ::mkdir(Dir.c_str(), 0755);
+  std::string Path = Dir + "/fn.fr";
+
+  double Start = now();
+  for (const std::string &Fn : Fns) {
+    {
+      std::ofstream F(Path, std::ios::trunc);
+      F << Fn;
+    }
+    std::string Cmd = FrostTV + " --file " + Path + " 2>/dev/null";
+    FILE *P = ::popen(Cmd.c_str(), "r");
+    if (!P) {
+      std::fprintf(stderr, "bench_service: cannot run '%s'\n", Cmd.c_str());
+      return false;
+    }
+    std::string Output;
+    char Buf[4096];
+    size_t N;
+    while ((N = ::fread(Buf, 1, sizeof(Buf), P)) > 0)
+      Output.append(Buf, N);
+    int Status = ::pclose(P);
+    if (Status != 0) {
+      std::fprintf(stderr,
+                   "bench_service: '%s' exited with status %d:\n%s\n",
+                   Cmd.c_str(), Status, Output.c_str());
+      return false;
+    }
+    Out.Reports.push_back(extractReport(Output));
+  }
+  Out.WallSeconds = now() - Start;
+
+  std::remove(Path.c_str());
+  ::rmdir(Dir.c_str());
+  return true;
+}
+
+/// One pipelined batch of every function against \p Port. Cache deltas are
+/// read from the process-global tv.* counters (the server is in-process).
+bool runDaemonLeg(unsigned Port, const std::vector<std::string> &Fns,
+                  Leg &Out) {
+  svc::Client Client;
+  std::string Error;
+  if (!Client.connect(Port, &Error)) {
+    std::fprintf(stderr, "bench_service: %s\n", Error.c_str());
+    return false;
+  }
+  uint64_t Hits0 = stats::get("tv.cache_hits");
+  uint64_t Misses0 = stats::get("tv.cache_misses");
+
+  double Start = now();
+  for (uint64_t I = 0; I != Fns.size(); ++I) {
+    svc::Request Req;
+    Req.Id = I;
+    Req.Function = Fns[I];
+    if (!Client.send(Req, &Error)) {
+      std::fprintf(stderr, "bench_service: %s\n", Error.c_str());
+      return false;
+    }
+  }
+  for (uint64_t I = 0; I != Fns.size(); ++I) {
+    svc::Response Resp;
+    if (!Client.receive(Resp, &Error)) {
+      std::fprintf(stderr, "bench_service: %s\n", Error.c_str());
+      return false;
+    }
+    if (Resp.V == svc::Response::Verdict::Error) {
+      std::fprintf(stderr, "bench_service: request %llu rejected: %s\n",
+                   (unsigned long long)Resp.Id, Resp.Report.c_str());
+      return false;
+    }
+    Out.Reports.push_back(Resp.Report);
+  }
+  Out.WallSeconds = now() - Start;
+  Out.Hits = stats::get("tv.cache_hits") - Hits0;
+  Out.Misses = stats::get("tv.cache_misses") - Misses0;
+  return true;
+}
+
+double reqPerSec(uint64_t N, double Wall) {
+  return Wall > 0 ? double(N) / Wall : 0;
+}
+
+/// Merges \p ServiceJson into the BENCH_TV.json at \p Path: inserted
+/// before the "total" key, schema bumped v4 -> v5. Writes a minimal v5
+/// document when the file is absent or has no "total" anchor.
+bool writeJson(const std::string &Path, const std::string &ServiceJson) {
+  std::string Doc;
+  {
+    std::ifstream In(Path);
+    if (In) {
+      std::stringstream Buf;
+      Buf << In.rdbuf();
+      Doc = Buf.str();
+    }
+  }
+  const std::string Anchor = "\n  \"total\":";
+  size_t At = Doc.find(Anchor);
+  if (!Doc.empty() && At != std::string::npos) {
+    Doc.insert(At + 1, ServiceJson);
+    size_t Schema = Doc.find("frost-bench-tv/v4");
+    if (Schema != std::string::npos)
+      Doc.replace(Schema, strlen("frost-bench-tv/v4"), "frost-bench-tv/v5");
+  } else {
+    Doc = "{\n  \"schema\": \"frost-bench-tv/v5\",\n" + ServiceJson;
+    // Close the object: drop the section's trailing ",\n".
+    Doc.erase(Doc.size() - 2);
+    Doc += "\n}\n";
+  }
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out) {
+    std::fprintf(stderr, "bench_service: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  Out << Doc;
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonPath = "BENCH_TV.json";
+  std::string FrostTV = "tools/frost-tv";
+  uint64_t Scale = 1;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
+      JsonPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--frost-tv") && I + 1 < argc)
+      FrostTV = argv[++I];
+    else if (!std::strcmp(argv[I], "--scale") && I + 1 < argc)
+      Scale = std::max(1l, std::atol(argv[++I]));
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_service [--json PATH] [--frost-tv PATH] "
+                   "[--scale N]\n");
+      return 2;
+    }
+  }
+  {
+    std::ifstream Probe(FrostTV);
+    if (!Probe) {
+      std::fprintf(stderr,
+                   "bench_service: frost-tv not found at '%s' (pass "
+                   "--frost-tv)\n",
+                   FrostTV.c_str());
+      return 2;
+    }
+  }
+
+  const uint64_t N = std::max<uint64_t>(4, 192 / Scale);
+  std::printf("=== Verification service: daemon vs one-shot CLI ===\n");
+  std::vector<std::string> Fns = enumerateSweep(N);
+  std::printf("register sweep shape (2 insts, 3 args, i3, add/and): %llu "
+              "functions\n",
+              (unsigned long long)Fns.size());
+
+  Leg CLI;
+  if (!runCLILeg(FrostTV, Fns, CLI))
+    return 1;
+  std::printf("cli        : %llu runs in %.3fs (%.0f req/s) — spawn + parse "
+              "+ cold verify each\n",
+              (unsigned long long)Fns.size(), CLI.WallSeconds,
+              reqPerSec(Fns.size(), CLI.WallSeconds));
+
+  svc::ServerOptions Opts;
+  Opts.Jobs = 1; // Single-core CI: the win must be architectural.
+  svc::Server Server(Opts);
+  std::string Error;
+  if (!Server.start(&Error)) {
+    std::fprintf(stderr, "bench_service: %s\n", Error.c_str());
+    return 1;
+  }
+
+  Leg Cold, Warm;
+  bool DaemonOk = runDaemonLeg(Server.port(), Fns, Cold) &&
+                  runDaemonLeg(Server.port(), Fns, Warm);
+  Server.requestShutdown();
+  Server.wait();
+  if (!DaemonOk)
+    return 1;
+
+  std::printf("daemon_cold: %llu reqs in %.3fs (%.0f req/s) — %llu hits "
+              "(isomorphs), %llu misses\n",
+              (unsigned long long)Fns.size(), Cold.WallSeconds,
+              reqPerSec(Fns.size(), Cold.WallSeconds),
+              (unsigned long long)Cold.Hits, (unsigned long long)Cold.Misses);
+  std::printf("daemon_warm: %llu reqs in %.3fs (%.0f req/s) — %llu hits, "
+              "%llu misses\n",
+              (unsigned long long)Fns.size(), Warm.WallSeconds,
+              reqPerSec(Fns.size(), Warm.WallSeconds),
+              (unsigned long long)Warm.Hits, (unsigned long long)Warm.Misses);
+
+  // Parity: every daemon report (cold and warm) byte-identical to the CLI's.
+  bool Parity = true;
+  std::string AllReports;
+  for (size_t I = 0; I != Fns.size(); ++I) {
+    if (Cold.Reports[I] != CLI.Reports[I] ||
+        Warm.Reports[I] != CLI.Reports[I]) {
+      Parity = false;
+      std::fprintf(stderr,
+                   "bench_service: report divergence on function %zu\n"
+                   "--- cli ---\n%s--- daemon(cold) ---\n%s"
+                   "--- daemon(warm) ---\n%s",
+                   I, CLI.Reports[I].c_str(), Cold.Reports[I].c_str(),
+                   Warm.Reports[I].c_str());
+    }
+    AllReports += CLI.Reports[I];
+  }
+  uint64_t ReportHash = tv::fingerprintFailure(AllReports);
+  double ColdSpeedup = Cold.WallSeconds > 0
+                           ? CLI.WallSeconds / Cold.WallSeconds
+                           : 0;
+  double WarmSpeedup = Warm.WallSeconds > 0
+                           ? CLI.WallSeconds / Warm.WallSeconds
+                           : 0;
+  std::printf("speedup    : cold %.1fx, warm %.1fx | report parity %s | "
+              "report hash %016llx\n",
+              ColdSpeedup, WarmSpeedup, Parity ? "byte-identical" : "NO",
+              (unsigned long long)ReportHash);
+
+  char Buf[512];
+  std::string Json;
+  Json += "  \"service\": {\n";
+  std::snprintf(Buf, sizeof(Buf),
+                "    \"campaign\": {\"source\": \"exhaustive\", \"insts\": 2, "
+                "\"args\": 3, \"width\": 3, \"opcodes\": \"add,and\", "
+                "\"functions\": %llu, \"scale\": %llu, \"jobs\": 1},\n",
+                (unsigned long long)Fns.size(), (unsigned long long)Scale);
+  Json += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "    \"cli\": {\"wall_s\": %.4f, \"requests_per_s\": %.0f},\n",
+                CLI.WallSeconds, reqPerSec(Fns.size(), CLI.WallSeconds));
+  Json += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "    \"daemon_cold\": {\"wall_s\": %.4f, \"requests_per_s\": "
+                "%.0f, \"cache_hits\": %llu, \"cache_misses\": %llu},\n",
+                Cold.WallSeconds, reqPerSec(Fns.size(), Cold.WallSeconds),
+                (unsigned long long)Cold.Hits,
+                (unsigned long long)Cold.Misses);
+  Json += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "    \"daemon_warm\": {\"wall_s\": %.4f, \"requests_per_s\": "
+                "%.0f, \"cache_hits\": %llu, \"cache_misses\": %llu},\n",
+                Warm.WallSeconds, reqPerSec(Fns.size(), Warm.WallSeconds),
+                (unsigned long long)Warm.Hits,
+                (unsigned long long)Warm.Misses);
+  Json += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "    \"cold_speedup\": %.2f, \"warm_speedup\": %.2f, "
+                "\"report_parity\": %s, \"report_hash\": \"%016llx\"\n  },\n",
+                ColdSpeedup, WarmSpeedup, Parity ? "true" : "false",
+                (unsigned long long)ReportHash);
+  Json += Buf;
+
+  if (!writeJson(JsonPath, Json))
+    return 1;
+  std::printf("wrote %s (schema frost-bench-tv/v5)\n", JsonPath.c_str());
+
+  if (!Parity) {
+    std::fprintf(stderr, "bench_service: FAIL — daemon reports diverge from "
+                         "the CLI\n");
+    return 1;
+  }
+  if (WarmSpeedup < 5.0) {
+    std::fprintf(stderr,
+                 "bench_service: FAIL — warm daemon %.1fx < 5x one-shot "
+                 "CLI\n",
+                 WarmSpeedup);
+    return 1;
+  }
+  return 0;
+}

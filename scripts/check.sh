@@ -72,6 +72,35 @@ WARM_HASH=$(grep "^report-hash=" /tmp/frost-cache-warm.txt)
 [ -n "$COLD_HASH" ] && [ "$COLD_HASH" = "$WARM_HASH" ] || {
   echo "check.sh: FAIL: cold and warm report hashes differ" >&2; exit 1; }
 
+echo "== service smoke: warm daemon batch must hit the cache, reports identical =="
+SVC_PORTF=$(mktemp) && rm -f "$SVC_PORTF"
+SVC_CACHE=$(mktemp) && rm -f "$SVC_CACHE"
+./build/tools/frost-tvd --port-file "$SVC_PORTF" --cache-file "$SVC_CACHE" \
+    --quiet &
+SVC_PID=$!
+i=0
+while [ ! -f "$SVC_PORTF" ] && [ "$i" -lt 100 ]; do i=$((i+1)); sleep 0.1; done
+[ -f "$SVC_PORTF" ] || {
+  echo "check.sh: FAIL: frost-tvd never published its port" >&2; exit 1; }
+./build/tools/frost-tvc --port-file "$SVC_PORTF" \
+    --file tests/service/batch.fr --quiet > /tmp/frost-svc-cold.txt
+./build/tools/frost-tvc --port-file "$SVC_PORTF" \
+    --file tests/service/batch.fr --quiet > /tmp/frost-svc-warm.txt
+./build/tools/frost-tvc --port-file "$SVC_PORTF" --stats \
+    > /tmp/frost-svc-stats.txt
+grep -q "svc.cache_hits = [1-9]" /tmp/frost-svc-stats.txt || {
+  echo "check.sh: FAIL: warm daemon batch recorded no cache hits" >&2
+  exit 1; }
+SVC_COLD=$(grep "^report-hash=" /tmp/frost-svc-cold.txt)
+SVC_WARM=$(grep "^report-hash=" /tmp/frost-svc-warm.txt)
+[ -n "$SVC_COLD" ] && [ "$SVC_COLD" = "$SVC_WARM" ] || {
+  echo "check.sh: FAIL: cold and warm daemon report hashes differ" >&2
+  exit 1; }
+./build/tools/frost-tvc --port-file "$SVC_PORTF" --shutdown >/dev/null
+wait "$SVC_PID" || {
+  echo "check.sh: FAIL: frost-tvd did not shut down cleanly" >&2; exit 1; }
+rm -f "$SVC_PORTF" "$SVC_CACHE"
+
 echo "== sanitizer smoke: sanitize<proposed> must be flawless (0 FN / 0 FP) =="
 ./build/tools/frost-tv --sanitize --insts 2 --width 2 --opcodes add,shl \
     --max-functions 4000 --jobs 2 --quiet

@@ -1,0 +1,110 @@
+//===- Client.cpp - frost-tvd protocol client ------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+using namespace frost;
+using namespace frost::svc;
+
+namespace {
+
+void setError(std::string *Error, std::string Msg) {
+  if (Error)
+    *Error = std::move(Msg);
+}
+
+} // namespace
+
+bool Client::connect(unsigned Port, std::string *Error) {
+  int Fd = connectLoopback(Port, Error);
+  if (Fd < 0)
+    return false;
+  Stream = SocketStream(Fd);
+  return true;
+}
+
+bool Client::send(const Request &Req, std::string *Error) {
+  if (!Stream.writeAll(serializeRequest(Req))) {
+    setError(Error, "send failed: connection to daemon lost");
+    return false;
+  }
+  return true;
+}
+
+bool Client::receive(Response &Resp, std::string *Error) {
+  std::string Line;
+  if (!Stream.readLine(Line)) {
+    setError(Error, "connection to daemon lost while awaiting a response");
+    return false;
+  }
+  if (Line.rfind("resp ", 0) == 0) {
+    uint64_t ReportLen = 0;
+    if (!parseResponseHeader(Line, Resp, ReportLen, Error))
+      return false;
+    if (!Stream.readBlob(ReportLen, Resp.Report)) {
+      setError(Error, "truncated response payload");
+      return false;
+    }
+    return true;
+  }
+  if (Line.rfind("err ", 0) == 0) {
+    uint64_t Len = 0;
+    std::string Word = Line.substr(4);
+    try {
+      Len = std::stoull(Word);
+    } catch (...) {
+      setError(Error, "malformed err frame header");
+      return false;
+    }
+    Resp.Id = ~uint64_t(0);
+    Resp.V = Response::Verdict::Error;
+    if (!Stream.readBlob(Len, Resp.Report)) {
+      setError(Error, "truncated err payload");
+      return false;
+    }
+    return true;
+  }
+  setError(Error, "unexpected frame from daemon: '" + Line + "'");
+  return false;
+}
+
+bool Client::stats(std::string &Payload, std::string *Error) {
+  if (!Stream.writeAll("stats\n")) {
+    setError(Error, "send failed: connection to daemon lost");
+    return false;
+  }
+  std::string Line;
+  if (!Stream.readLine(Line) || Line.rfind("stats ", 0) != 0) {
+    setError(Error, "daemon did not answer the stats query");
+    return false;
+  }
+  uint64_t Len = 0;
+  try {
+    Len = std::stoull(Line.substr(6));
+  } catch (...) {
+    setError(Error, "malformed stats frame header");
+    return false;
+  }
+  if (!Stream.readBlob(Len, Payload)) {
+    setError(Error, "truncated stats payload");
+    return false;
+  }
+  return true;
+}
+
+bool Client::shutdownServer(std::string *Error) {
+  if (!Stream.writeAll("shutdown\n")) {
+    setError(Error, "send failed: connection to daemon lost");
+    return false;
+  }
+  std::string Line;
+  if (!Stream.readLine(Line) || Line != "bye") {
+    setError(Error, "daemon did not acknowledge shutdown");
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,63 @@
+//===- Client.h - frost-tvd protocol client ---------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the frost-tvd protocol, shared by the frost-tvc tool,
+/// the service tests, and the load-generator bench: connect to a daemon,
+/// pipeline request frames, and read the in-order response stream. send()
+/// never waits for responses, so a batch producer keeps the daemon's lanes
+/// full; receive() blocks for the next frame on the wire.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SERVICE_CLIENT_H
+#define FROST_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+#include "service/Socket.h"
+
+#include <cstdint>
+#include <string>
+
+namespace frost {
+namespace svc {
+
+class Client {
+public:
+  /// Connects to the daemon on 127.0.0.1:\p Port.
+  bool connect(unsigned Port, std::string *Error = nullptr);
+
+  bool connected() const { return Stream.valid(); }
+
+  /// Writes one request frame; does not wait for the response.
+  bool send(const Request &Req, std::string *Error = nullptr);
+
+  /// Blocks for the next server frame. A `resp` frame fills \p Resp. An
+  /// `err` frame (the daemon rejecting a malformed frame) is surfaced as a
+  /// Response with Verdict::Error and Id = UINT64_MAX, so batch loops can
+  /// account for it without a second channel.
+  bool receive(Response &Resp, std::string *Error = nullptr);
+
+  /// Sends `stats` and blocks for the payload. Response-order guarantee:
+  /// the daemon samples after writing every response to requests sent
+  /// earlier on this connection — but the caller must have receive()d them
+  /// first, or the stats frame sits behind them in the stream.
+  bool stats(std::string &Payload, std::string *Error = nullptr);
+
+  /// Sends `shutdown` and blocks for `bye`. The daemon persists and exits.
+  bool shutdownServer(std::string *Error = nullptr);
+
+  void close() { Stream.close(); }
+
+private:
+  SocketStream Stream;
+};
+
+} // namespace svc
+} // namespace frost
+
+#endif // FROST_SERVICE_CLIENT_H

@@ -1,0 +1,146 @@
+//===- Corpus.cpp - Persistent counterexample corpus -----------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Corpus.h"
+
+#include "ir/Constants.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/StructuralHash.h"
+#include "parser/Parser.h"
+#include "support/AtomicFile.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+using namespace frost;
+using namespace frost::svc;
+
+namespace {
+
+/// The globals \p F's body references, in first-use order.
+std::vector<GlobalVariable *> referencedGlobals(Function &F) {
+  std::vector<GlobalVariable *> Globals;
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      for (unsigned Op = 0, E = I->getNumOperands(); Op != E; ++Op)
+        if (auto *G = dyn_cast<GlobalVariable>(I->getOperand(Op)))
+          if (std::find(Globals.begin(), Globals.end(), G) == Globals.end())
+            Globals.push_back(G);
+  return Globals;
+}
+
+std::string shapeOf(const GlobalVariable &G) {
+  return G.valueType()->str() + ", " + std::to_string(G.sizeBytes());
+}
+
+} // namespace
+
+bool Corpus::add(const std::string &FunctionText) {
+  // Parse in a private context so renaming below cannot disturb the caller.
+  IRContext Ctx;
+  Module EntryM(Ctx, "corpus.entry");
+  ParseResult P = parseModule(FunctionText, EntryM);
+  if (!P)
+    return false;
+  Function *F = nullptr;
+  for (Function *Cand : EntryM.functions())
+    if (!Cand->isDeclaration()) {
+      F = Cand;
+      break;
+    }
+  if (!F)
+    return false;
+
+  // Dedup on the canonical form *before* renaming: two campaigns hitting
+  // isomorphic counterexamples (same shape, different register or function
+  // names) store one corpus entry.
+  std::string HashStr = structuralHash(*F).str();
+
+  std::lock_guard<std::mutex> Lock(M);
+  if (!Hashes.insert(HashStr).second)
+    return false;
+
+  F->setName("cex" + std::to_string(NextId++));
+  for (GlobalVariable *G : referencedGlobals(*F)) {
+    std::string Shape = shapeOf(*G);
+    auto It = GlobalShapes.find(G->getName());
+    if (It == GlobalShapes.end()) {
+      GlobalShapes.emplace(G->getName(), std::move(Shape));
+    } else if (It->second != Shape) {
+      // Same name, different shape than an earlier campaign's global: the
+      // merged module would silently unify them, so rename ours.
+      std::string Fresh;
+      do {
+        Fresh = G->getName() + ".g" + std::to_string(NextGlobalRename++);
+      } while (GlobalShapes.count(Fresh));
+      G->setName(Fresh);
+      GlobalShapes.emplace(std::move(Fresh), std::move(Shape));
+    }
+  }
+  Entries.push_back(printFunction(*F));
+  return true;
+}
+
+uint64_t Corpus::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Entries.size();
+}
+
+std::string Corpus::renderModule() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::ostringstream OS;
+  OS << "; frost-tvd counterexample corpus\n"
+     << "; " << Entries.size()
+     << " structurally distinct counterexamples (canonical-form dedup)\n"
+     << "; replay: frost-tv --file <this file> [--pipeline ...]\n\n";
+  for (const std::string &E : Entries) {
+    OS << E;
+    if (!E.empty() && E.back() != '\n')
+      OS << "\n";
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+bool Corpus::load(const std::string &Path, std::string *Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    if (Error)
+      *Error = "cannot read corpus file '" + Path + "'";
+    return false;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  IRContext Ctx;
+  Module M(Ctx, "corpus.load");
+  ParseResult P = parseModule(Buf.str(), M);
+  if (!P) {
+    if (Error)
+      *Error = "corpus file '" + Path + "': " + P.Error;
+    return false;
+  }
+  for (Function *F : M.functions())
+    if (!F->isDeclaration())
+      add(printFunction(*F));
+  return true;
+}
+
+bool Corpus::save(const std::string &Path, std::string *Error) const {
+  std::string AtomicError;
+  if (!writeFileAtomic(Path, renderModule(), &AtomicError)) {
+    if (Error)
+      *Error = "corpus file '" + Path + "': " + AtomicError;
+    return false;
+  }
+  return true;
+}

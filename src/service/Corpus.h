@@ -1,0 +1,79 @@
+//===- Corpus.h - Persistent counterexample corpus --------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's memory of every miscompilation it has ever witnessed: each
+/// invalid verdict's counterexample function is parsed, deduplicated across
+/// campaigns by the structural hash of its canonical form (the same
+/// equivalence the verdict cache keys on — renamed registers or reordered
+/// blocks do not create "new" counterexamples), renamed to a stable cex<N>
+/// slot, and stored as standalone .fr text. The whole corpus renders as one
+/// parseable module, so a regression sweep is simply
+///
+///   frost-tv --file corpus.fr --pipeline <candidate> ...
+///
+/// — the UBfuzz workload shape: long-lived differential campaigns feeding a
+/// deduplicated corpus that future pipelines are re-validated against.
+///
+/// Entries may reference globals. Identical redefinitions across entries
+/// are harmless (the parser unifies them), but a later entry whose global
+/// shares a name with an earlier one at a different type/size gets its
+/// global renamed before storage — the merged module must stay parseable
+/// and mean what each counterexample meant in isolation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SERVICE_CORPUS_H
+#define FROST_SERVICE_CORPUS_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace frost {
+namespace svc {
+
+class Corpus {
+public:
+  /// Adds one standalone counterexample (printFunction text, as carried by
+  /// tv::Counterexample::Function). Returns true when it was structurally
+  /// novel and stored; false for duplicates of any earlier entry or text
+  /// that does not parse. Thread-safe.
+  bool add(const std::string &FunctionText);
+
+  uint64_t size() const;
+
+  /// The corpus as one standalone .fr module (header comment + entries).
+  std::string renderModule() const;
+
+  /// Merges the module at \p Path (a previous save, or any .fr file) into
+  /// the corpus through add(), so loading also dedups. False with \p Error
+  /// on an unreadable or unparseable file; a missing file is the caller's
+  /// cold-start case to check.
+  bool load(const std::string &Path, std::string *Error = nullptr);
+
+  /// Writes renderModule() to \p Path atomically (support/AtomicFile.h).
+  bool save(const std::string &Path, std::string *Error = nullptr) const;
+
+private:
+  mutable std::mutex M;
+  std::vector<std::string> Entries; ///< Standalone texts, renamed cex<N>.
+  std::set<std::string> Hashes;     ///< Canonical-form structural hashes.
+  /// Global name -> "<type>, <size>" shape, to detect cross-campaign name
+  /// collisions that must rename.
+  std::map<std::string, std::string> GlobalShapes;
+  uint64_t NextId = 0;
+  uint64_t NextGlobalRename = 0;
+};
+
+} // namespace svc
+} // namespace frost
+
+#endif // FROST_SERVICE_CORPUS_H

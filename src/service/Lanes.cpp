@@ -1,0 +1,64 @@
+//===- Lanes.cpp - Priority lanes with backpressure ------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Lanes.h"
+
+#include "support/Stats.h"
+
+using namespace frost;
+using namespace frost::svc;
+
+LaneScheduler::LaneScheduler(ThreadPool &Pool, uint64_t LaneCapacity)
+    : Pool(Pool), Capacity(LaneCapacity ? LaneCapacity : 1) {}
+
+void LaneScheduler::enqueue(Lane L, std::function<void()> Job) {
+  unsigned I = unsigned(L);
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    if (Q[I].size() >= Capacity) {
+      stats::add("svc.backpressure_waits");
+      SpaceCV.wait(Lock, [&] { return Q[I].size() < Capacity; });
+    }
+    Q[I].push_back(std::move(Job));
+    ++Admitted[I];
+  }
+  // One generic drain task per admitted job: the pool decides *when* work
+  // runs, the lanes decide *which* job runs next.
+  Pool.submit([this] { runOne(); });
+}
+
+void LaneScheduler::runOne() {
+  std::function<void()> Job;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    // Priority is realized at pop time: any queued interactive job beats
+    // every queued bulk job, regardless of arrival order.
+    if (!Q[unsigned(Lane::Interactive)].empty()) {
+      Job = std::move(Q[unsigned(Lane::Interactive)].front());
+      Q[unsigned(Lane::Interactive)].pop_front();
+    } else if (!Q[unsigned(Lane::Bulk)].empty()) {
+      Job = std::move(Q[unsigned(Lane::Bulk)].front());
+      Q[unsigned(Lane::Bulk)].pop_front();
+    } else {
+      return; // Every admitted job was claimed by a sibling drain task.
+    }
+  }
+  SpaceCV.notify_all();
+  Job();
+}
+
+uint64_t LaneScheduler::depth(Lane L) const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Q[unsigned(L)].size();
+}
+
+uint64_t LaneScheduler::enqueued(Lane L) const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Admitted[unsigned(L)];
+}
+
+void LaneScheduler::drain() { Pool.wait(); }

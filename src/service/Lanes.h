@@ -1,0 +1,77 @@
+//===- Lanes.h - Priority lanes with backpressure ---------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The admission layer between frost-tvd's connection readers and the shared
+/// work-stealing ThreadPool: two bounded FIFO lanes — interactive and bulk —
+/// drained in strict priority order. Every enqueue pairs one queued job with
+/// one generic drain task on the pool; a drain task pops the interactive
+/// lane first, so an interactive request submitted while a bulk backlog is
+/// queued overtakes every not-yet-started bulk job (it cannot preempt jobs
+/// already running — the pool is non-preemptive by design).
+///
+/// Backpressure: enqueue() blocks while the target lane is at capacity.
+/// The caller is a per-connection reader thread, so a saturated lane stops
+/// that connection's reads, TCP flow control pushes back to the client, and
+/// memory stays bounded no matter how fast a bulk producer pipelines —
+/// without ever slowing the interactive lane's admissions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SERVICE_LANES_H
+#define FROST_SERVICE_LANES_H
+
+#include "service/Protocol.h"
+#include "support/ThreadPool.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace frost {
+namespace svc {
+
+class LaneScheduler {
+public:
+  /// Jobs run on \p Pool; each lane admits at most \p LaneCapacity queued
+  /// (not yet started) jobs before enqueue() blocks.
+  LaneScheduler(ThreadPool &Pool, uint64_t LaneCapacity);
+
+  /// Queues \p Job on lane \p L, blocking while the lane is full (each
+  /// block bumps svc.backpressure_waits). Safe from any thread.
+  void enqueue(Lane L, std::function<void()> Job);
+
+  /// Jobs queued (admitted, not yet started) on lane \p L.
+  uint64_t depth(Lane L) const;
+
+  /// Total jobs ever admitted to lane \p L.
+  uint64_t enqueued(Lane L) const;
+
+  /// Blocks until every admitted job has finished. Forwards ThreadPool's
+  /// error contract: rethrows one captured job exception per call — the
+  /// server wraps jobs so they never throw, but a bare scheduler user must
+  /// loop until drain() returns cleanly.
+  void drain();
+
+private:
+  void runOne();
+
+  ThreadPool &Pool;
+  const uint64_t Capacity;
+
+  mutable std::mutex M;
+  std::condition_variable SpaceCV; ///< Signalled when a lane shrinks.
+  std::deque<std::function<void()>> Q[2]; ///< Indexed by Lane.
+  uint64_t Admitted[2] = {0, 0};
+};
+
+} // namespace svc
+} // namespace frost
+
+#endif // FROST_SERVICE_LANES_H

@@ -1,0 +1,235 @@
+//===- Protocol.cpp - frost-tvd wire protocol ------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include <sstream>
+#include <vector>
+
+using namespace frost;
+using namespace frost::svc;
+
+namespace {
+
+void setError(std::string *Error, std::string Msg) {
+  if (Error)
+    *Error = std::move(Msg);
+}
+
+bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    if (V > (~uint64_t(0) - uint64_t(C - '0')) / 10)
+      return false; // Overflow.
+    V = V * 10 + uint64_t(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+std::vector<std::string> splitWords(const std::string &Line) {
+  std::vector<std::string> Words;
+  std::istringstream In(Line);
+  std::string W;
+  while (In >> W)
+    Words.push_back(std::move(W));
+  return Words;
+}
+
+} // namespace
+
+const char *svc::laneName(Lane L) {
+  return L == Lane::Interactive ? "interactive" : "bulk";
+}
+
+bool svc::laneFromName(const std::string &Name, Lane &Out) {
+  if (Name == "interactive")
+    Out = Lane::Interactive;
+  else if (Name == "bulk")
+    Out = Lane::Bulk;
+  else
+    return false;
+  return true;
+}
+
+const char *svc::kindName(tv::CampaignKind K) {
+  switch (K) {
+  case tv::CampaignKind::IRPipeline:
+    return "ir";
+  case tv::CampaignKind::EndToEnd:
+    return "e2e";
+  case tv::CampaignKind::Sanitizer:
+    return "sanitizer";
+  }
+  return "ir";
+}
+
+bool svc::kindFromName(const std::string &Name, tv::CampaignKind &Out) {
+  if (Name == "ir")
+    Out = tv::CampaignKind::IRPipeline;
+  else if (Name == "e2e")
+    Out = tv::CampaignKind::EndToEnd;
+  else if (Name == "sanitizer")
+    Out = tv::CampaignKind::Sanitizer;
+  else
+    return false;
+  return true;
+}
+
+const char *svc::pipelineName(PipelineMode M) {
+  return M == PipelineMode::Legacy ? "legacy" : "proposed";
+}
+
+bool svc::pipelineFromName(const std::string &Name, PipelineMode &Out) {
+  if (Name == "proposed")
+    Out = PipelineMode::Proposed;
+  else if (Name == "legacy")
+    Out = PipelineMode::Legacy;
+  else
+    return false;
+  return true;
+}
+
+const char *svc::verdictName(Response::Verdict V) {
+  switch (V) {
+  case Response::Verdict::Valid:
+    return "valid";
+  case Response::Verdict::Invalid:
+    return "invalid";
+  case Response::Verdict::Inconclusive:
+    return "inconclusive";
+  case Response::Verdict::Error:
+    return "error";
+  }
+  return "error";
+}
+
+bool svc::verdictFromName(const std::string &Name, Response::Verdict &Out) {
+  if (Name == "valid")
+    Out = Response::Verdict::Valid;
+  else if (Name == "invalid")
+    Out = Response::Verdict::Invalid;
+  else if (Name == "inconclusive")
+    Out = Response::Verdict::Inconclusive;
+  else if (Name == "error")
+    Out = Response::Verdict::Error;
+  else
+    return false;
+  return true;
+}
+
+bool svc::semanticsFromName(const std::string &Name,
+                            sem::SemanticsConfig &Out) {
+  if (Name == "proposed")
+    Out = sem::SemanticsConfig::proposed();
+  else if (Name == "legacy-unswitch")
+    Out = sem::SemanticsConfig::legacyUnswitch();
+  else if (Name == "legacy-gvn")
+    Out = sem::SemanticsConfig::legacyGVN();
+  else if (Name == "legacy-langref")
+    Out = sem::SemanticsConfig::legacyLangRefSelect();
+  else
+    return false;
+  return true;
+}
+
+std::string svc::serializeRequest(const Request &R) {
+  std::string S = "req " + std::to_string(R.Id) + " " +
+                  laneName(R.L) + " " + kindName(R.Kind) + " " +
+                  pipelineName(R.Pipeline) + " " + R.Semantics + " " +
+                  (R.CompareMemory ? "compare-memory" : "-") + " " +
+                  std::to_string(R.Passes.size()) + " " +
+                  std::to_string(R.Function.size()) + "\n";
+  S += R.Passes;
+  S += '\n';
+  S += R.Function;
+  S += '\n';
+  return S;
+}
+
+std::string svc::serializeResponse(const Response &R) {
+  std::string S = "resp " + std::to_string(R.Id) + " " +
+                  verdictName(R.V) + " " + std::to_string(R.Report.size()) +
+                  "\n";
+  S += R.Report;
+  S += '\n';
+  return S;
+}
+
+bool svc::parseRequestHeader(const std::string &Line, Request &R,
+                             uint64_t &PassesLen, uint64_t &FnLen,
+                             std::string *Error) {
+  std::vector<std::string> W = splitWords(Line);
+  if (W.size() != 9 || W[0] != "req") {
+    setError(Error, "malformed req header: expected 'req <id> <lane> <kind> "
+                    "<pipeline> <sem> <mem> <passes-len> <fn-len>'");
+    return false;
+  }
+  if (!parseU64(W[1], R.Id)) {
+    setError(Error, "malformed req header: bad id '" + W[1] + "'");
+    return false;
+  }
+  if (!laneFromName(W[2], R.L)) {
+    setError(Error, "malformed req header: unknown lane '" + W[2] + "'");
+    return false;
+  }
+  if (!kindFromName(W[3], R.Kind)) {
+    setError(Error, "malformed req header: unknown kind '" + W[3] + "'");
+    return false;
+  }
+  if (!pipelineFromName(W[4], R.Pipeline)) {
+    setError(Error, "malformed req header: unknown pipeline '" + W[4] + "'");
+    return false;
+  }
+  sem::SemanticsConfig Probe;
+  if (!semanticsFromName(W[5], Probe)) {
+    setError(Error, "malformed req header: unknown semantics '" + W[5] + "'");
+    return false;
+  }
+  R.Semantics = W[5];
+  if (W[6] == "compare-memory")
+    R.CompareMemory = true;
+  else if (W[6] == "-")
+    R.CompareMemory = false;
+  else {
+    setError(Error, "malformed req header: unknown memory mode '" + W[6] +
+                        "'");
+    return false;
+  }
+  if (!parseU64(W[7], PassesLen) || !parseU64(W[8], FnLen)) {
+    setError(Error, "malformed req header: bad blob length");
+    return false;
+  }
+  return true;
+}
+
+bool svc::parseResponseHeader(const std::string &Line, Response &R,
+                              uint64_t &ReportLen, std::string *Error) {
+  std::vector<std::string> W = splitWords(Line);
+  if (W.size() != 4 || W[0] != "resp") {
+    setError(Error, "malformed resp header: expected 'resp <id> <verdict> "
+                    "<report-len>'");
+    return false;
+  }
+  if (!parseU64(W[1], R.Id)) {
+    setError(Error, "malformed resp header: bad id '" + W[1] + "'");
+    return false;
+  }
+  if (!verdictFromName(W[2], R.V)) {
+    setError(Error, "malformed resp header: unknown verdict '" + W[2] + "'");
+    return false;
+  }
+  if (!parseU64(W[3], ReportLen)) {
+    setError(Error, "malformed resp header: bad report length");
+    return false;
+  }
+  return true;
+}

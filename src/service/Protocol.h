@@ -1,0 +1,124 @@
+//===- Protocol.h - frost-tvd wire protocol ---------------------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The newline-delimited framed protocol between frost-tvc (and any other
+/// batch producer) and the frost-tvd verification daemon. Every frame is a
+/// space-separated ASCII header line; variable-length payloads follow as
+/// length-prefixed blobs, each terminated by a '\n' separator, so a reader
+/// never scans payload bytes for framing.
+///
+/// Client -> server:
+///
+///   req <id> <lane> <kind> <pipeline> <sem> <mem> <passes-len> <fn-len>\n
+///   <passes bytes>\n
+///   <fn bytes>\n
+///       One verification request: validate one standalone function text
+///       (printFunction output) under one campaign configuration.
+///       <id>       caller-chosen u64, echoed in the response
+///       <lane>     interactive | bulk     (queue priority, see Lanes.h)
+///       <kind>     ir | e2e | sanitizer   (CampaignKind)
+///       <pipeline> proposed | legacy      (PipelineMode)
+///       <sem>      proposed | legacy-unswitch | legacy-gvn | legacy-langref
+///       <mem>      compare-memory | -     (TVOptions memory comparison)
+///       <passes>   textual pass pipeline; empty means the default preset
+///
+///   stats\n      Sample the svc.* observability counters.
+///   shutdown\n   Persist state and stop the daemon (answered with bye).
+///
+/// Server -> client (per connection, in request order — responses to
+/// pipelined requests never reorder, so batch clients match by position as
+/// well as by id):
+///
+///   resp <id> <verdict> <report-len>\n<report bytes>\n
+///       <verdict>  valid | invalid | inconclusive | error
+///       <report>   the single-function CampaignResult::report() bytes —
+///                  byte-identical to what `frost-tv --file` prints for the
+///                  same function and configuration — or the error message.
+///
+///   stats <len>\n<payload bytes>\n
+///   bye\n
+///   err <len>\n<message bytes>\n
+///       A malformed frame. A syntactically bad header whose line was still
+///       consumed keeps the connection; a framing-level break (bad blob
+///       length, oversized frame) closes it. The daemon itself never goes
+///       down on client garbage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SERVICE_PROTOCOL_H
+#define FROST_SERVICE_PROTOCOL_H
+
+#include "opt/Pipeline.h"
+#include "sem/Config.h"
+#include "tv/Campaign.h"
+
+#include <cstdint>
+#include <string>
+
+namespace frost {
+namespace svc {
+
+/// Queue priority. Interactive requests (a developer's editor probing one
+/// function) overtake bulk ones (a CI fleet re-checking a corpus) at every
+/// dispatch point; see service/Lanes.h.
+enum class Lane : uint8_t { Interactive = 0, Bulk = 1 };
+
+struct Request {
+  uint64_t Id = 0;
+  Lane L = Lane::Bulk;
+  tv::CampaignKind Kind = tv::CampaignKind::IRPipeline;
+  PipelineMode Pipeline = PipelineMode::Proposed;
+  std::string Semantics = "proposed"; ///< One of the <sem> tokens above.
+  bool CompareMemory = false;
+  std::string Passes;   ///< Empty = the default preset.
+  std::string Function; ///< Standalone .fr text of one defined function.
+};
+
+struct Response {
+  enum class Verdict : uint8_t { Valid, Invalid, Inconclusive, Error };
+
+  uint64_t Id = 0;
+  Verdict V = Verdict::Valid;
+  std::string Report;
+};
+
+const char *laneName(Lane L);
+bool laneFromName(const std::string &Name, Lane &Out);
+
+const char *kindName(tv::CampaignKind K);
+bool kindFromName(const std::string &Name, tv::CampaignKind &Out);
+
+const char *pipelineName(PipelineMode M);
+bool pipelineFromName(const std::string &Name, PipelineMode &Out);
+
+const char *verdictName(Response::Verdict V);
+bool verdictFromName(const std::string &Name, Response::Verdict &Out);
+
+/// Resolves a <sem> token to its SemanticsConfig; false on unknown token.
+bool semanticsFromName(const std::string &Name, sem::SemanticsConfig &Out);
+
+/// Renders the full frame (header + blobs) for a request / response.
+std::string serializeRequest(const Request &R);
+std::string serializeResponse(const Response &R);
+
+/// Parses a `req ...` header line (already stripped of its newline) into
+/// \p R and the two blob lengths that follow on the wire. False with
+/// \p Error on any malformed field.
+bool parseRequestHeader(const std::string &Line, Request &R,
+                        uint64_t &PassesLen, uint64_t &FnLen,
+                        std::string *Error);
+
+/// Parses a `resp ...` header line into \p R (Report excluded) and the
+/// report blob length.
+bool parseResponseHeader(const std::string &Line, Response &R,
+                         uint64_t &ReportLen, std::string *Error);
+
+} // namespace svc
+} // namespace frost
+
+#endif // FROST_SERVICE_PROTOCOL_H

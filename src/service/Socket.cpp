@@ -1,0 +1,214 @@
+//===- Socket.cpp - Loopback TCP plumbing for frost-tvd --------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Socket.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace frost;
+using namespace frost::svc;
+
+namespace {
+
+void setError(std::string *Error, std::string Msg) {
+  if (Error)
+    *Error = std::move(Msg);
+}
+
+std::string errnoText() { return std::strerror(errno); }
+
+/// A peer closing its socket mid-write must surface as a write error, not
+/// kill the daemon with SIGPIPE. Installed once, before the first socket.
+void ignoreSigpipe() {
+  static const bool Done = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)Done;
+}
+
+sockaddr_in loopbackAddr(unsigned Port) {
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(uint16_t(Port));
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return Addr;
+}
+
+} // namespace
+
+int svc::listenLoopback(unsigned Port, unsigned *BoundPort,
+                        std::string *Error) {
+  ignoreSigpipe();
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setError(Error, "socket: " + errnoText());
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr = loopbackAddr(Port);
+  if (::bind(Fd, (sockaddr *)&Addr, sizeof(Addr)) != 0) {
+    setError(Error, "bind 127.0.0.1:" + std::to_string(Port) + ": " +
+                        errnoText());
+    ::close(Fd);
+    return -1;
+  }
+  if (::listen(Fd, 64) != 0) {
+    setError(Error, "listen: " + errnoText());
+    ::close(Fd);
+    return -1;
+  }
+  if (BoundPort) {
+    sockaddr_in Actual{};
+    socklen_t Len = sizeof(Actual);
+    if (::getsockname(Fd, (sockaddr *)&Actual, &Len) != 0) {
+      setError(Error, "getsockname: " + errnoText());
+      ::close(Fd);
+      return -1;
+    }
+    *BoundPort = ntohs(Actual.sin_port);
+  }
+  return Fd;
+}
+
+int svc::acceptConnection(int ListenFd) {
+  while (true) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd >= 0)
+      return Fd;
+    if (errno == EINTR)
+      continue;
+    return -1;
+  }
+}
+
+int svc::connectLoopback(unsigned Port, std::string *Error) {
+  ignoreSigpipe();
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setError(Error, "socket: " + errnoText());
+    return -1;
+  }
+  sockaddr_in Addr = loopbackAddr(Port);
+  if (::connect(Fd, (sockaddr *)&Addr, sizeof(Addr)) != 0) {
+    setError(Error, "connect 127.0.0.1:" + std::to_string(Port) + ": " +
+                        errnoText());
+    ::close(Fd);
+    return -1;
+  }
+  // The protocol is request/response with small frames; latency beats
+  // batching.
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Fd;
+}
+
+SocketStream &SocketStream::operator=(SocketStream &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = O.Fd;
+    Buf = std::move(O.Buf);
+    Pos = O.Pos;
+    O.Fd = -1;
+    O.Buf.clear();
+    O.Pos = 0;
+  }
+  return *this;
+}
+
+bool SocketStream::fill() {
+  if (Pos == Buf.size()) {
+    Buf.clear();
+    Pos = 0;
+  }
+  char Chunk[4096];
+  while (true) {
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N > 0) {
+      Buf.append(Chunk, size_t(N));
+      return true;
+    }
+    if (N == 0)
+      return false; // EOF.
+    if (errno != EINTR)
+      return false;
+  }
+}
+
+bool SocketStream::readLine(std::string &Out) {
+  Out.clear();
+  while (true) {
+    size_t Nl = Buf.find('\n', Pos);
+    if (Nl != std::string::npos) {
+      Out.append(Buf, Pos, Nl - Pos);
+      Pos = Nl + 1;
+      return true;
+    }
+    Out.append(Buf, Pos, Buf.size() - Pos);
+    Pos = Buf.size();
+    if (!fill())
+      return false;
+  }
+}
+
+bool SocketStream::readBlob(uint64_t Len, std::string &Out) {
+  Out.clear();
+  while (Out.size() < Len) {
+    uint64_t Avail = Buf.size() - Pos;
+    if (Avail == 0) {
+      if (!fill())
+        return false;
+      continue;
+    }
+    uint64_t Take = std::min<uint64_t>(Avail, Len - Out.size());
+    Out.append(Buf, Pos, size_t(Take));
+    Pos += size_t(Take);
+  }
+  // Trailing separator.
+  while (Pos == Buf.size())
+    if (!fill())
+      return false;
+  return Buf[Pos++] == '\n';
+}
+
+bool SocketStream::writeAll(const std::string &Bytes) {
+  const char *P = Bytes.data();
+  size_t Left = Bytes.size();
+  while (Left) {
+    ssize_t N = ::write(Fd, P, Left);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += N;
+    Left -= size_t(N);
+  }
+  return true;
+}
+
+void SocketStream::shutdownRead() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RD);
+}
+
+void SocketStream::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}

@@ -1,0 +1,82 @@
+//===- Socket.h - Loopback TCP plumbing for frost-tvd -----------*- C++ -*-===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thin POSIX layer under the verification service: bind/listen on a
+/// loopback port (0 picks an ephemeral one), connect to it, and a buffered
+/// SocketStream that reads the protocol's two primitives — a newline-
+/// terminated header line and a length-prefixed blob — and writes frames
+/// whole. Deliberately loopback-only: frost-tvd is a local daemon fronting
+/// a machine-wide verdict cache, not a network server, so it never binds a
+/// routable address.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FROST_SERVICE_SOCKET_H
+#define FROST_SERVICE_SOCKET_H
+
+#include <cstdint>
+#include <string>
+
+namespace frost {
+namespace svc {
+
+/// Binds and listens on 127.0.0.1:\p Port (0 = ephemeral). Returns the
+/// listening fd, or -1 with \p Error set. \p BoundPort receives the actual
+/// port (interesting when Port was 0).
+int listenLoopback(unsigned Port, unsigned *BoundPort, std::string *Error);
+
+/// Accepts one connection; returns the fd or -1 (listener closed / error).
+int acceptConnection(int ListenFd);
+
+/// Connects to 127.0.0.1:\p Port; returns the fd or -1 with \p Error set.
+int connectLoopback(unsigned Port, std::string *Error);
+
+/// Buffered reader/writer over a connected socket. Owns the fd. Reading is
+/// single-consumer, writing is single-writer; the server serializes writers
+/// externally (service/Server.cpp's ordered-response lock).
+class SocketStream {
+public:
+  SocketStream() = default;
+  explicit SocketStream(int Fd) : Fd(Fd) {}
+  ~SocketStream() { close(); }
+
+  SocketStream(const SocketStream &) = delete;
+  SocketStream &operator=(const SocketStream &) = delete;
+  SocketStream(SocketStream &&O) noexcept { *this = std::move(O); }
+  SocketStream &operator=(SocketStream &&O) noexcept;
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Reads up to (and consuming) the next '\n'; the newline is not part of
+  /// \p Out. False on EOF / error with no complete line.
+  bool readLine(std::string &Out);
+
+  /// Reads exactly \p Len bytes followed by a '\n' separator.
+  bool readBlob(uint64_t Len, std::string &Out);
+
+  /// Writes all of \p Bytes. False on error (e.g. peer gone).
+  bool writeAll(const std::string &Bytes);
+
+  /// Shuts down the read side (unblocks a reader stuck in readLine).
+  void shutdownRead();
+
+  void close();
+
+private:
+  bool fill(); ///< Pulls more bytes into Buf; false on EOF/error.
+
+  int Fd = -1;
+  std::string Buf;  ///< Bytes received but not yet consumed.
+  size_t Pos = 0;   ///< Consumption cursor into Buf.
+};
+
+} // namespace svc
+} // namespace frost
+
+#endif // FROST_SERVICE_SOCKET_H

@@ -1,0 +1,83 @@
+//===- AtomicFile.cpp - Atomic whole-file replacement ----------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AtomicFile.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace frost;
+
+namespace {
+
+void setError(std::string *Error, std::string Msg) {
+  if (Error)
+    *Error = std::move(Msg);
+}
+
+std::string errnoText() { return std::strerror(errno); }
+
+} // namespace
+
+bool frost::writeFileAtomic(const std::string &Path,
+                            const std::string &Contents, std::string *Error) {
+  // Unique staging name: pid distinguishes processes, the counter
+  // distinguishes threads (and successive calls) within one process. The
+  // temp must live in the destination's directory for rename() to be atomic.
+  static std::atomic<uint64_t> Counter{0};
+  std::string Tmp = Path + ".tmp." + std::to_string((long long)::getpid()) +
+                    "." + std::to_string(Counter.fetch_add(1));
+
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (Fd < 0) {
+    setError(Error, "cannot create temp file '" + Tmp + "': " + errnoText());
+    return false;
+  }
+
+  const char *P = Contents.data();
+  size_t Left = Contents.size();
+  while (Left) {
+    ssize_t N = ::write(Fd, P, Left);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      setError(Error, "write to '" + Tmp + "' failed: " + errnoText());
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      return false;
+    }
+    P += N;
+    Left -= size_t(N);
+  }
+
+  // Flush file contents to stable storage before publishing the name:
+  // rename-after-fsync guarantees the destination never points at a file
+  // whose blocks were still in flight when the machine died.
+  if (::fsync(Fd) != 0) {
+    setError(Error, "fsync of '" + Tmp + "' failed: " + errnoText());
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  if (::close(Fd) != 0) {
+    setError(Error, "close of '" + Tmp + "' failed: " + errnoText());
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    setError(Error,
+             "cannot rename '" + Tmp + "' to '" + Path + "': " + errnoText());
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  return true;
+}

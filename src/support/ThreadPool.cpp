@@ -53,12 +53,19 @@ void ThreadPool::submit(TaskQueue::Task T) {
 
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> Lock(Mutex);
+  // Drain first, rethrow second: every queued task runs to completion even
+  // when an earlier one threw, so an error never silently cancels work.
   IdleCV.wait(Lock, [this] { return Pending.load() == 0; });
-  if (FirstError) {
-    std::exception_ptr E = FirstError;
-    FirstError = nullptr;
+  if (!Errors.empty()) {
+    std::exception_ptr E = std::move(Errors.front());
+    Errors.pop_front();
     std::rethrow_exception(E);
   }
+}
+
+uint64_t ThreadPool::pendingErrors() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Errors.size();
 }
 
 std::optional<TaskQueue::Task> ThreadPool::take(unsigned Self) {
@@ -76,8 +83,7 @@ void ThreadPool::runTask(TaskQueue::Task &T) {
     T();
   } catch (...) {
     std::lock_guard<std::mutex> Lock(Mutex);
-    if (!FirstError)
-      FirstError = std::current_exception();
+    Errors.push_back(std::current_exception());
   }
   if (Pending.fetch_sub(1) == 1) {
     { std::lock_guard<std::mutex> Lock(Mutex); }

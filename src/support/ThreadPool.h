@@ -13,10 +13,15 @@
 /// leave the rest of the machine idle.
 ///
 /// Error contract: tasks submitted via async() report exceptions through the
-/// returned future; tasks submitted via submit() have their first exception
-/// captured and rethrown from wait(). The destructor drains all remaining
-/// work (it never drops submitted tasks) and swallows captured exceptions —
-/// call wait() first if you care about them.
+/// returned future; tasks submitted via submit() have EVERY exception
+/// captured (in completion order) and rethrown from wait(), one per call,
+/// after the pool has drained. A throwing task never cancels queued work and
+/// never poisons the pool: remaining tasks still run deterministically, and
+/// once wait() has surfaced the captured errors the pool accepts new work as
+/// if nothing happened — the property a long-lived daemon scheduling onto
+/// one shared pool depends on. The destructor drains all remaining work (it
+/// never drops submitted tasks) and swallows captured exceptions — call
+/// wait() until clean first if you care about them.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +33,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <future>
 #include <memory>
@@ -64,9 +70,16 @@ public:
   }
 
   /// Blocks until every task submitted so far (including tasks they spawned)
-  /// has finished, then rethrows the first exception captured from a
-  /// submit() task, if any.
+  /// has finished — work queued behind a throwing task is never dropped —
+  /// then rethrows the oldest captured submit() exception, if any, removing
+  /// it from the pool's error state. When tasks threw more than once, each
+  /// further wait() call (immediately re-satisfied: the pool is already
+  /// idle) surfaces the next one; a wait() that returns normally means no
+  /// captured errors remain and the pool is clean for reuse.
   void wait();
+
+  /// Captured submit() exceptions not yet surfaced by wait().
+  uint64_t pendingErrors() const;
 
   unsigned numThreads() const { return unsigned(Workers.size()); }
 
@@ -81,7 +94,7 @@ private:
   std::vector<std::unique_ptr<TaskQueue>> Queues;
   std::vector<std::thread> Workers;
 
-  std::mutex Mutex;
+  mutable std::mutex Mutex;
   std::condition_variable WorkCV; ///< Signalled on submit and shutdown.
   std::condition_variable IdleCV; ///< Signalled when Pending hits zero.
 
@@ -90,7 +103,10 @@ private:
   std::atomic<unsigned> NextQueue{0};   ///< Round-robin submission cursor.
   std::atomic<bool> Stopping{false};
 
-  std::exception_ptr FirstError; ///< Guarded by Mutex.
+  /// Every exception captured from submit() tasks, in completion order,
+  /// consumed one per wait(). Guarded by Mutex. (A single FirstError slot
+  /// here once dropped all but the first failure on the floor.)
+  std::deque<std::exception_ptr> Errors;
 };
 
 } // namespace frost

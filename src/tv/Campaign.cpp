@@ -43,6 +43,42 @@ uint64_t tv::fingerprintFailure(const std::string &Message) {
   return H ? H : 1; // 0 marks an empty cache slot.
 }
 
+bool tv::validateFileCampaign(const std::string &Text, const std::string &Path,
+                              std::string *Error) {
+  auto Fail = [&](std::string Msg) {
+    if (Error)
+      *Error = Path + ": " + std::move(Msg);
+    return false;
+  };
+  IRContext Ctx;
+  Module M(Ctx, "probe");
+  ParseResult P = parseModule(Text, M);
+  if (!P)
+    return Fail(P.Error);
+  // Check every defined function against the contract the sharder relies
+  // on: its printFunction() text (globals re-emitted, callee bodies not)
+  // must parse on its own, because that text is exactly what each worker
+  // re-parses inside its private context.
+  uint64_t Index = 0;
+  for (Function *F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    std::string Standalone = printFunction(*F);
+    IRContext FnCtx;
+    Module FnM(FnCtx, "probe.fn");
+    ParseResult FnP = parseModule(Standalone, FnM);
+    if (!FnP)
+      return Fail("function #" + std::to_string(Index) + " (@" +
+                  F->getName() + ") does not re-parse standalone: " +
+                  FnP.Error);
+    ++Index;
+  }
+  if (Index == 0)
+    return Fail("no functions to verify (the module defines none, so the "
+                "campaign would be an empty no-op)");
+  return true;
+}
+
 //===----------------------------------------------------------------------===//
 // CounterexampleCache
 //===----------------------------------------------------------------------===//
@@ -710,13 +746,17 @@ CampaignResult tv::runCampaign(const CampaignOptions &Opts) {
     // Each function of the module is one entry, in module order. Functions
     // are re-printed standalone (printFunction re-emits any globals they
     // reference), so global memory is fine but cross-function calls are
-    // not; drivers validate the file before launching.
-    std::ifstream In(Opts.FilePath);
-    std::stringstream Buf;
-    Buf << In.rdbuf();
+    // not; drivers validate with validateFileCampaign before launching.
+    std::string Text = Opts.FileText;
+    if (Text.empty()) {
+      std::ifstream In(Opts.FilePath);
+      std::stringstream Buf;
+      Buf << In.rdbuf();
+      Text = Buf.str();
+    }
     IRContext Ctx;
     Module M(Ctx, "campaign");
-    ParseResult P = parseModule(Buf.str(), M);
+    ParseResult P = parseModule(Text, M);
     assert(P && "campaign file must be validated before launching");
     (void)P;
     Shard Cur;

@@ -75,6 +75,13 @@ struct CampaignOptions {
   /// memory freely but must not call each other.
   std::string FilePath;
 
+  /// File source, in-memory variant: when non-empty, the module text itself
+  /// — used by the frost-tvd service, whose requests arrive over a socket
+  /// and never touch disk. Takes precedence over FilePath; FilePath then
+  /// only labels the campaign in describeCampaign(). Subject to the same
+  /// standalone-function contract, enforced by validateFileCampaign().
+  std::string FileText;
+
   unsigned Jobs = 1;         ///< Worker threads; 1 runs inline, serially.
   uint64_t ShardSize = 64;   ///< Functions per shard (work-unit granularity).
 
@@ -218,6 +225,20 @@ struct CampaignResult {
 
 /// Stable 64-bit fingerprint of a failure diagnostic (FNV-1a; never 0).
 uint64_t fingerprintFailure(const std::string &Message);
+
+/// Validates \p Text as a file-campaign space, attributing diagnostics to
+/// \p Path: the module must parse, must define at least one function (an
+/// empty or declarations-only file would otherwise "pass" as a clean
+/// 0-member campaign), and every defined function must re-parse standalone
+/// from its printFunction() text — the shard currency of the file source. A
+/// function calling a *defined* sibling is the standing violation (shard
+/// texts re-emit referenced globals, not callee bodies). Returns false with
+/// \p Error naming the path, the failing function's 0-based index among
+/// defined functions, and its name. Drivers treat a failure as exit code 2
+/// (frost-tv --file) or an error response (frost-tvd) — never as a silently
+/// clean campaign.
+bool validateFileCampaign(const std::string &Text, const std::string &Path,
+                          std::string *Error);
 
 /// One-line description of the campaign's space, pipeline, and semantics
 /// (Jobs-independent; suitable as a report header).

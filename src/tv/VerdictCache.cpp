@@ -7,6 +7,7 @@
 
 #include "tv/VerdictCache.h"
 
+#include "support/AtomicFile.h"
 #include "support/Stats.h"
 
 #include <algorithm>
@@ -178,37 +179,29 @@ bool VerdictCache::save(const std::string &Path, std::string *Error) const {
     return A->V.CanonText < B->V.CanonText;
   });
 
-  std::string Tmp = Path + ".tmp";
-  {
-    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-    if (!Out) {
-      setError(Error, "cannot write cache file '" + Tmp + "'");
-      return false;
-    }
-    Out << FileMagic << " v" << FileVersion << "\n" << All.size() << "\n";
-    char FP[17];
-    for (const Entry *E : All) {
-      std::snprintf(FP, sizeof(FP), "%016llx",
-                    (unsigned long long)E->Key.ConfigFP);
-      Out << "entry " << FP << " " << E->Key.Hash.str() << " "
-          << (unsigned)E->V.St << " " << (E->V.Changed ? 1 : 0) << " "
-          << E->V.InputsChecked << " " << E->V.PathsExplored << " "
-          << E->V.CanonText.size() << " " << E->V.Message.size() << " "
-          << E->V.BlamedPass.size() << "\n"
-          << E->V.CanonText << "\n"
-          << E->V.Message << "\n"
-          << E->V.BlamedPass << "\n";
-    }
-    Out.flush();
-    if (!Out) {
-      setError(Error, "write to cache file '" + Tmp + "' failed");
-      std::remove(Tmp.c_str());
-      return false;
-    }
+  // Render to memory, then hand off to writeFileAtomic: the staging file
+  // gets a per-process/per-call unique name (so concurrent savers — the
+  // daemon's periodic persist racing a CLI run on the same --cache-file —
+  // never clobber each other's temp), is fsync'd before the rename, and is
+  // unlinked on every error path.
+  std::ostringstream Out;
+  Out << FileMagic << " v" << FileVersion << "\n" << All.size() << "\n";
+  char FP[17];
+  for (const Entry *E : All) {
+    std::snprintf(FP, sizeof(FP), "%016llx",
+                  (unsigned long long)E->Key.ConfigFP);
+    Out << "entry " << FP << " " << E->Key.Hash.str() << " "
+        << (unsigned)E->V.St << " " << (E->V.Changed ? 1 : 0) << " "
+        << E->V.InputsChecked << " " << E->V.PathsExplored << " "
+        << E->V.CanonText.size() << " " << E->V.Message.size() << " "
+        << E->V.BlamedPass.size() << "\n"
+        << E->V.CanonText << "\n"
+        << E->V.Message << "\n"
+        << E->V.BlamedPass << "\n";
   }
-  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
-    setError(Error, "cannot rename '" + Tmp + "' to '" + Path + "'");
-    std::remove(Tmp.c_str());
+  std::string AtomicError;
+  if (!writeFileAtomic(Path, Out.str(), &AtomicError)) {
+    setError(Error, "cache file '" + Path + "': " + AtomicError);
     return false;
   }
   return true;

@@ -117,9 +117,11 @@ public:
   /// missing, corrupt, or version-mismatched file.
   bool load(const std::string &Path, std::string *Error = nullptr);
 
-  /// Writes every entry to \p Path atomically (Path + ".tmp", then rename),
-  /// in deterministic (key-sorted) order. Returns false with \p Error on
-  /// I/O failure.
+  /// Writes every entry to \p Path atomically (support/AtomicFile.h: a
+  /// uniquely named temp file — pid + counter, safe under concurrent savers
+  /// sharing one destination — fsync'd, then renamed into place), in
+  /// deterministic (key-sorted) order. Returns false with \p Error on I/O
+  /// failure; no temp file is left behind.
   bool save(const std::string &Path, std::string *Error = nullptr) const;
 
 private:

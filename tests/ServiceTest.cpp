@@ -1,0 +1,658 @@
+//===- ServiceTest.cpp - frost-tvd verification service tests -------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contracts the long-running verification service rests on: the wire
+/// protocol round-trips and rejects garbage without taking the daemon down,
+/// daemon responses are byte-identical to what `frost-tv --file` computes
+/// for the same function and configuration, the interactive lane overtakes
+/// a saturated bulk backlog, a full lane blocks its producer (backpressure)
+/// without blocking the other lane, and the counterexample corpus
+/// deduplicates structurally across campaigns while staying one parseable,
+/// replayable module.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "parser/Parser.h"
+#include "service/Client.h"
+#include "service/Corpus.h"
+#include "service/Lanes.h"
+#include "service/Protocol.h"
+#include "service/Server.h"
+#include "service/Socket.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+#include "tv/Campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace frost;
+
+namespace {
+
+/// A function the default proposed pipeline verifies valid, instantly.
+const char *ValidFn = "define i8 @tiny(i8 %a, i8 %b) {\n"
+                      "entry:\n"
+                      "  %t0 = add i8 %a, %b\n"
+                      "  %t1 = and i8 %t0, %a\n"
+                      "  ret i8 %t1\n"
+                      "}\n";
+
+/// The same computation under different register names: structurally
+/// isomorphic to ValidFn, so the shared verdict cache serves it for free.
+const char *ValidFnIso = "define i8 @tiny_iso(i8 %x, i8 %y) {\n"
+                         "entry:\n"
+                         "  %u0 = add i8 %x, %y\n"
+                         "  %u1 = and i8 %u0, %x\n"
+                         "  ret i8 %u1\n"
+                         "}\n";
+
+/// The canonical legacy-pipeline miscompile (select -> bare `or` drops the
+/// poison protection): invalid under `--pipeline legacy`, with a
+/// counterexample the corpus should capture.
+const char *SelOrFn = "define i1 @sel_or(i1 %c, i1 %x) {\n"
+                      "entry:\n"
+                      "  %s = select i1 %c, i1 true, i1 %x\n"
+                      "  ret i1 %s\n"
+                      "}\n";
+
+/// SelOrFn modulo names — a second campaign rediscovering the same bug.
+const char *SelOrFnIso = "define i1 @sel_or_again(i1 %p, i1 %q) {\n"
+                         "entry:\n"
+                         "  %r = select i1 %p, i1 true, i1 %q\n"
+                         "  ret i1 %r\n"
+                         "}\n";
+
+/// What `frost-tv --file` would report for one function: a single-function
+/// file-source campaign under the identical configuration handleRequest
+/// builds, with its own private cache (the report is cache-independent by
+/// the byte-identical guarantee).
+std::string cliReport(const std::string &Fn, PipelineMode Pipeline,
+                      tv::CampaignKind Kind = tv::CampaignKind::IRPipeline) {
+  tv::CampaignOptions O;
+  O.Source = tv::CampaignSource::File;
+  O.FileText = Fn;
+  O.FilePath = "<direct>";
+  O.Kind = Kind;
+  O.Pipeline = Pipeline;
+  // frost-tv defaults: memory comparison is opt-in on the command line.
+  O.TV.CompareMemory = false;
+  O.TV.EnumerateMemory = false;
+  O.Jobs = 1;
+  return tv::runCampaign(O).report();
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceProtocol, RequestRoundTrip) {
+  svc::Request R;
+  R.Id = 42;
+  R.L = svc::Lane::Interactive;
+  R.Kind = tv::CampaignKind::EndToEnd;
+  R.Pipeline = PipelineMode::Legacy;
+  R.Semantics = "legacy-gvn";
+  R.CompareMemory = true;
+  R.Passes = "instcombine,gvn";
+  R.Function = "define i8 @f(i8 %a) {\nentry:\n  ret i8 %a\n}\n";
+
+  std::string Frame = svc::serializeRequest(R);
+  // Header line, then each blob followed by its '\n' separator.
+  size_t HeaderEnd = Frame.find('\n');
+  ASSERT_NE(HeaderEnd, std::string::npos);
+  std::string Header = Frame.substr(0, HeaderEnd);
+
+  svc::Request Back;
+  uint64_t PassesLen = 0, FnLen = 0;
+  std::string Error;
+  ASSERT_TRUE(svc::parseRequestHeader(Header, Back, PassesLen, FnLen, &Error))
+      << Error;
+  EXPECT_EQ(Back.Id, 42u);
+  EXPECT_EQ(Back.L, svc::Lane::Interactive);
+  EXPECT_EQ(Back.Kind, tv::CampaignKind::EndToEnd);
+  EXPECT_EQ(Back.Pipeline, PipelineMode::Legacy);
+  EXPECT_EQ(Back.Semantics, "legacy-gvn");
+  EXPECT_TRUE(Back.CompareMemory);
+  EXPECT_EQ(PassesLen, R.Passes.size());
+  EXPECT_EQ(FnLen, R.Function.size());
+  EXPECT_EQ(Frame.substr(HeaderEnd + 1, PassesLen), R.Passes);
+  EXPECT_EQ(Frame.substr(HeaderEnd + 1 + PassesLen + 1, FnLen), R.Function);
+  EXPECT_EQ(Frame.back(), '\n');
+}
+
+TEST(ServiceProtocol, ResponseRoundTrip) {
+  svc::Response R;
+  R.Id = 7;
+  R.V = svc::Response::Verdict::Invalid;
+  R.Report = "functions=1 changed=1 valid=0 invalid=1 inconclusive=0\n";
+
+  std::string Frame = svc::serializeResponse(R);
+  size_t HeaderEnd = Frame.find('\n');
+  ASSERT_NE(HeaderEnd, std::string::npos);
+
+  svc::Response Back;
+  uint64_t ReportLen = 0;
+  std::string Error;
+  ASSERT_TRUE(svc::parseResponseHeader(Frame.substr(0, HeaderEnd), Back,
+                                       ReportLen, &Error))
+      << Error;
+  EXPECT_EQ(Back.Id, 7u);
+  EXPECT_EQ(Back.V, svc::Response::Verdict::Invalid);
+  EXPECT_EQ(ReportLen, R.Report.size());
+  EXPECT_EQ(Frame.substr(HeaderEnd + 1, ReportLen), R.Report);
+}
+
+TEST(ServiceProtocol, MalformedHeadersAreRejected) {
+  svc::Request R;
+  uint64_t PassesLen = 0, FnLen = 0;
+  std::string Error;
+  // Wrong verb, wrong field count, unknown enum tokens, non-numeric and
+  // overflowing lengths: every one must fail with a diagnostic, not crash.
+  const char *Bad[] = {
+      "res 0 bulk ir proposed proposed - 0 0",
+      "req 0 bulk ir proposed proposed - 0",
+      "req 0 bulk ir proposed proposed - 0 0 extra",
+      "req 0 express ir proposed proposed - 0 0",
+      "req 0 bulk mir proposed proposed - 0 0",
+      "req 0 bulk ir aggressive proposed - 0 0",
+      "req 0 bulk ir proposed classic - 0 0",
+      "req 0 bulk ir proposed proposed maybe 0 0",
+      "req x bulk ir proposed proposed - 0 0",
+      "req 0 bulk ir proposed proposed - 0 99999999999999999999999",
+      "",
+  };
+  for (const char *Line : Bad) {
+    Error.clear();
+    EXPECT_FALSE(svc::parseRequestHeader(Line, R, PassesLen, FnLen, &Error))
+        << "accepted: '" << Line << "'";
+    EXPECT_FALSE(Error.empty()) << Line;
+  }
+
+  svc::Response Resp;
+  uint64_t ReportLen = 0;
+  EXPECT_FALSE(svc::parseResponseHeader("resp 0 maybe 0", Resp, ReportLen,
+                                        &Error));
+  EXPECT_FALSE(svc::parseResponseHeader("resp 0 valid", Resp, ReportLen,
+                                        &Error));
+}
+
+//===----------------------------------------------------------------------===//
+// File-campaign validation (shared by frost-tv --file and the daemon)
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceValidate, EmptyAndDeclarationOnlyModulesAreRejected) {
+  std::string Error;
+  EXPECT_FALSE(tv::validateFileCampaign("", "empty.fr", &Error));
+  EXPECT_NE(Error.find("no functions to verify"), std::string::npos) << Error;
+
+  EXPECT_FALSE(
+      tv::validateFileCampaign("declare i8 @obs(i8)\n", "decl.fr", &Error));
+  EXPECT_NE(Error.find("no functions to verify"), std::string::npos) << Error;
+}
+
+TEST(ServiceValidate, CrossFunctionCallsNameTheOffender) {
+  std::string Module = "define i8 @callee(i8 %a) {\n"
+                       "entry:\n  ret i8 %a\n}\n"
+                       "define i8 @caller(i8 %a) {\n"
+                       "entry:\n"
+                       "  %r = call i8 @callee(i8 %a)\n"
+                       "  ret i8 %r\n}\n";
+  std::string Error;
+  EXPECT_FALSE(tv::validateFileCampaign(Module, "cross.fr", &Error));
+  // The diagnostic pins the function by index and name so a batch producer
+  // can skip or split it.
+  EXPECT_NE(Error.find("function #1 (@caller)"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("does not re-parse standalone"), std::string::npos)
+      << Error;
+  EXPECT_NE(Error.find("unknown function @callee"), std::string::npos)
+      << Error;
+}
+
+TEST(ServiceValidate, StandaloneFunctionsPass) {
+  std::string Error;
+  EXPECT_TRUE(tv::validateFileCampaign(ValidFn, "ok.fr", &Error)) << Error;
+  EXPECT_TRUE(tv::validateFileCampaign(SelOrFn, "ok2.fr", &Error)) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceCorpus, DeduplicatesStructurallyAcrossCampaigns) {
+  svc::Corpus C;
+  EXPECT_TRUE(C.add(SelOrFn));
+  // A later campaign rediscovering the same counterexample modulo names:
+  // not a new entry.
+  EXPECT_FALSE(C.add(SelOrFnIso));
+  EXPECT_EQ(C.size(), 1u);
+  // A genuinely different function is.
+  EXPECT_TRUE(C.add(ValidFn));
+  EXPECT_EQ(C.size(), 2u);
+  // Unparseable text is refused, not stored.
+  EXPECT_FALSE(C.add("define i8 @broken("));
+  EXPECT_EQ(C.size(), 2u);
+
+  // The rendered corpus is one parseable module with stable cex<N> names.
+  std::string Text = C.renderModule();
+  IRContext Ctx;
+  Module M(Ctx, "corpus");
+  ParseResult P = parseModule(Text, M);
+  ASSERT_TRUE(P) << P.Error;
+  std::vector<std::string> Names;
+  for (Function *F : M.functions())
+    if (!F->isDeclaration())
+      Names.push_back(F->getName());
+  EXPECT_EQ(Names, (std::vector<std::string>{"cex0", "cex1"}));
+}
+
+TEST(ServiceCorpus, ConflictingGlobalShapesAreRenamedApart) {
+  // Two campaigns both name a global @g, at different types. The merged
+  // module must stay parseable and mean what each entry meant alone — the
+  // parser silently unifies same-name globals, so the second @g must be
+  // renamed before storage.
+  svc::Corpus C;
+  EXPECT_TRUE(C.add("@g = global i8, 1\n"
+                    "define i8 @a() {\n"
+                    "entry:\n"
+                    "  %v = load i8, i8* @g\n"
+                    "  ret i8 %v\n"
+                    "}\n"));
+  EXPECT_TRUE(C.add("@g = global i8, 2\n"
+                    "define i8 @b() {\n"
+                    "entry:\n"
+                    "  %v = load i8, i8* @g\n"
+                    "  ret i8 %v\n"
+                    "}\n"));
+  std::string Text = C.renderModule();
+  IRContext Ctx;
+  Module M(Ctx, "corpus");
+  ParseResult P = parseModule(Text, M);
+  ASSERT_TRUE(P) << P.Error << "\n" << Text;
+  // Both shapes survive under distinct names.
+  EXPECT_NE(Text.find("global i8, 1"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("global i8, 2"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("@g.g"), std::string::npos) << Text;
+}
+
+TEST(ServiceCorpus, SaveLoadRoundTripKeepsDedup) {
+  std::string Path = ::testing::TempDir() + "frost-corpus-test.fr";
+  {
+    svc::Corpus C;
+    EXPECT_TRUE(C.add(SelOrFn));
+    EXPECT_TRUE(C.add(ValidFn));
+    std::string Error;
+    ASSERT_TRUE(C.save(Path, &Error)) << Error;
+  }
+  svc::Corpus Back;
+  std::string Error;
+  ASSERT_TRUE(Back.load(Path, &Error)) << Error;
+  EXPECT_EQ(Back.size(), 2u);
+  // Loading goes through add(), so a reload of known entries dedups to a
+  // no-op instead of doubling the corpus.
+  ASSERT_TRUE(Back.load(Path, &Error)) << Error;
+  EXPECT_EQ(Back.size(), 2u);
+  // And isomorphs of persisted entries are still recognized.
+  EXPECT_FALSE(Back.add(SelOrFnIso));
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Lane scheduling and backpressure
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceLanes, InteractiveOvertakesQueuedBulk) {
+  ThreadPool Pool(1); // One worker: dispatch order is fully observable.
+  svc::LaneScheduler Lanes(Pool, /*LaneCapacity=*/64);
+
+  std::mutex M;
+  std::condition_variable CV;
+  bool Release = false;
+  std::atomic<bool> GateRunning{false};
+
+  std::vector<std::string> Order;
+  auto Record = [&](std::string Tag) {
+    return [&Order, &M, Tag] {
+      std::lock_guard<std::mutex> Lock(M);
+      Order.push_back(Tag);
+    };
+  };
+
+  // Occupy the only worker, then build a bulk backlog and submit
+  // interactive work behind it.
+  Lanes.enqueue(svc::Lane::Bulk, [&] {
+    GateRunning = true;
+    std::unique_lock<std::mutex> Lock(M);
+    CV.wait(Lock, [&] { return Release; });
+  });
+  while (!GateRunning)
+    std::this_thread::yield();
+
+  for (int I = 0; I != 3; ++I)
+    Lanes.enqueue(svc::Lane::Bulk, Record("bulk" + std::to_string(I)));
+  for (int I = 0; I != 3; ++I)
+    Lanes.enqueue(svc::Lane::Interactive, Record("int" + std::to_string(I)));
+  EXPECT_EQ(Lanes.depth(svc::Lane::Bulk), 3u);
+  EXPECT_EQ(Lanes.depth(svc::Lane::Interactive), 3u);
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Release = true;
+  }
+  CV.notify_all();
+  Lanes.drain();
+
+  // Every interactive job ran before any bulk job, despite being enqueued
+  // after the whole bulk backlog. FIFO within each lane.
+  EXPECT_EQ(Order, (std::vector<std::string>{"int0", "int1", "int2", "bulk0",
+                                             "bulk1", "bulk2"}));
+  EXPECT_EQ(Lanes.enqueued(svc::Lane::Bulk), 4u); // Gate + 3.
+  EXPECT_EQ(Lanes.enqueued(svc::Lane::Interactive), 3u);
+  EXPECT_EQ(Lanes.depth(svc::Lane::Bulk), 0u);
+}
+
+TEST(ServiceLanes, FullBulkLaneBlocksProducerNotInteractive) {
+  ThreadPool Pool(1);
+  svc::LaneScheduler Lanes(Pool, /*LaneCapacity=*/1);
+  uint64_t WaitsBefore = stats::get("svc.backpressure_waits");
+
+  std::mutex M;
+  std::condition_variable CV;
+  bool Release = false;
+  std::atomic<bool> GateRunning{false};
+  std::atomic<unsigned> Ran{0};
+
+  Lanes.enqueue(svc::Lane::Bulk, [&] {
+    GateRunning = true;
+    std::unique_lock<std::mutex> Lock(M);
+    CV.wait(Lock, [&] { return Release; });
+  });
+  while (!GateRunning)
+    std::this_thread::yield();
+
+  // Fills the bulk lane to capacity (the gate was already popped).
+  Lanes.enqueue(svc::Lane::Bulk, [&] { Ran.fetch_add(1); });
+
+  // A second bulk producer must block until the lane drains.
+  std::atomic<bool> Admitted{false};
+  std::thread Producer([&] {
+    Lanes.enqueue(svc::Lane::Bulk, [&] { Ran.fetch_add(1); });
+    Admitted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(Admitted.load()) << "full lane did not exert backpressure";
+
+  // The interactive lane is independent: admission is immediate even while
+  // bulk is saturated and its producer is blocked.
+  Lanes.enqueue(svc::Lane::Interactive, [&] { Ran.fetch_add(1); });
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Release = true;
+  }
+  CV.notify_all();
+  Producer.join();
+  EXPECT_TRUE(Admitted.load());
+  Lanes.drain();
+  EXPECT_EQ(Ran.load(), 3u);
+  EXPECT_GT(stats::get("svc.backpressure_waits"), WaitsBefore);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end daemon
+//===----------------------------------------------------------------------===//
+
+/// Starts an in-process server on an ephemeral port.
+struct DaemonFixture {
+  svc::Server Server;
+  explicit DaemonFixture(svc::ServerOptions Opts = {}) : Server([&] {
+    Opts.Jobs = 2;
+    return Opts;
+  }()) {
+    std::string Error;
+    if (!Server.start(&Error))
+      ADD_FAILURE() << "server start failed: " << Error;
+  }
+  ~DaemonFixture() {
+    Server.requestShutdown();
+    Server.wait();
+  }
+};
+
+TEST(ServiceServer, BatchedResponsesAreByteIdenticalToCLIReports) {
+  DaemonFixture D;
+  svc::Client Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(D.Server.port(), &Error)) << Error;
+
+  // A mixed pipelined batch: valid, isomorphic-valid, invalid.
+  struct Case {
+    const char *Fn;
+    PipelineMode Pipeline;
+    svc::Response::Verdict Want;
+  } Cases[] = {
+      {ValidFn, PipelineMode::Proposed, svc::Response::Verdict::Valid},
+      {ValidFnIso, PipelineMode::Proposed, svc::Response::Verdict::Valid},
+      {SelOrFn, PipelineMode::Legacy, svc::Response::Verdict::Invalid},
+  };
+  uint64_t Id = 0;
+  for (const Case &C : Cases) {
+    svc::Request Req;
+    Req.Id = Id++;
+    Req.Pipeline = C.Pipeline;
+    Req.Function = C.Fn;
+    ASSERT_TRUE(Client.send(Req, &Error)) << Error;
+  }
+  for (const Case &C : Cases) {
+    svc::Response Resp;
+    ASSERT_TRUE(Client.receive(Resp, &Error)) << Error;
+    EXPECT_EQ(Resp.V, C.Want);
+    // The tentpole guarantee: the daemon's report bytes are exactly what a
+    // one-shot `frost-tv --file` computes for this function and config.
+    EXPECT_EQ(Resp.Report, cliReport(C.Fn, C.Pipeline));
+  }
+  // Responses arrived in request order (ids 0,1,2 matched positionally
+  // above); the invalid verdict landed in the corpus.
+  EXPECT_EQ(D.Server.corpus().size(), 1u);
+  EXPECT_EQ(D.Server.completedRequests(), 3u);
+}
+
+TEST(ServiceServer, IsomorphicRequestsHitTheSharedCache) {
+  DaemonFixture D;
+  svc::Client Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(D.Server.port(), &Error)) << Error;
+
+  uint64_t HitsBefore = stats::get("tv.cache_hits");
+  for (uint64_t Id = 0; Id != 2; ++Id) {
+    svc::Request Req;
+    Req.Id = Id;
+    Req.Function = Id == 0 ? ValidFn : ValidFnIso;
+    ASSERT_TRUE(Client.send(Req, &Error)) << Error;
+  }
+  for (uint64_t Id = 0; Id != 2; ++Id) {
+    svc::Response Resp;
+    ASSERT_TRUE(Client.receive(Resp, &Error)) << Error;
+    EXPECT_EQ(Resp.V, svc::Response::Verdict::Valid);
+  }
+  // The isomorph was served from the shared in-memory cache.
+  EXPECT_GT(stats::get("tv.cache_hits"), HitsBefore);
+  EXPECT_GE(D.Server.cache().size(), 1u);
+
+  // The stats frame reports the service counters.
+  std::string Payload;
+  ASSERT_TRUE(Client.stats(Payload, &Error)) << Error;
+  EXPECT_NE(Payload.find("svc.requests"), std::string::npos) << Payload;
+  EXPECT_NE(Payload.find("svc.cache_hits"), std::string::npos) << Payload;
+  EXPECT_NE(Payload.find("svc.cache_entries"), std::string::npos) << Payload;
+}
+
+TEST(ServiceServer, CorpusDeduplicatesAcrossConnections) {
+  // Two "campaigns" (separate connections) rediscover the same legacy
+  // miscompile modulo register names: one corpus entry, not two.
+  DaemonFixture D;
+  std::string Error;
+  for (int Campaign = 0; Campaign != 2; ++Campaign) {
+    svc::Client Client;
+    ASSERT_TRUE(Client.connect(D.Server.port(), &Error)) << Error;
+    svc::Request Req;
+    Req.Id = 0;
+    Req.Pipeline = PipelineMode::Legacy;
+    Req.Function = Campaign == 0 ? SelOrFn : SelOrFnIso;
+    ASSERT_TRUE(Client.send(Req, &Error)) << Error;
+    svc::Response Resp;
+    ASSERT_TRUE(Client.receive(Resp, &Error)) << Error;
+    EXPECT_EQ(Resp.V, svc::Response::Verdict::Invalid);
+    Client.close();
+  }
+  EXPECT_EQ(D.Server.corpus().size(), 1u);
+
+  // The corpus replays: its rendered module is a valid file-campaign space.
+  std::string CorpusText = D.Server.corpus().renderModule();
+  std::string ValidateError;
+  EXPECT_TRUE(
+      tv::validateFileCampaign(CorpusText, "<corpus>", &ValidateError))
+      << ValidateError;
+}
+
+TEST(ServiceServer, MalformedFramesDoNotKillTheDaemon) {
+  DaemonFixture D;
+  std::string Error;
+
+  // A syntactically bad header: the daemon answers `err` and keeps the
+  // connection; a valid request afterwards still works.
+  int Fd = svc::connectLoopback(D.Server.port(), &Error);
+  ASSERT_GE(Fd, 0) << Error;
+  svc::SocketStream Raw(Fd);
+  ASSERT_TRUE(Raw.writeAll("utterly bogus frame\n"));
+  std::string Line;
+  ASSERT_TRUE(Raw.readLine(Line));
+  EXPECT_EQ(Line.rfind("err ", 0), 0u) << Line;
+  uint64_t Len = std::stoull(Line.substr(4));
+  std::string Msg;
+  ASSERT_TRUE(Raw.readBlob(Len, Msg));
+  EXPECT_FALSE(Msg.empty());
+
+  svc::Request Req;
+  Req.Function = ValidFn;
+  ASSERT_TRUE(Raw.writeAll(svc::serializeRequest(Req)));
+  ASSERT_TRUE(Raw.readLine(Line));
+  EXPECT_EQ(Line.rfind("resp 0 valid ", 0), 0u) << Line;
+  uint64_t ReportLen = std::stoull(Line.substr(13));
+  std::string Report;
+  ASSERT_TRUE(Raw.readBlob(ReportLen, Report));
+  Raw.close();
+
+  // A framing-level break (blob length beyond the frame cap) closes that
+  // connection — but only that connection.
+  int Fd2 = svc::connectLoopback(D.Server.port(), &Error);
+  ASSERT_GE(Fd2, 0) << Error;
+  svc::SocketStream Broken(Fd2);
+  ASSERT_TRUE(Broken.writeAll(
+      "req 0 bulk ir proposed proposed - 0 99999999\n\n"));
+  // One final `err` frame explains the break, then the connection is gone.
+  ASSERT_TRUE(Broken.readLine(Line));
+  EXPECT_EQ(Line.rfind("err ", 0), 0u) << Line;
+  ASSERT_TRUE(Broken.readBlob(std::stoull(Line.substr(4)), Msg));
+  EXPECT_NE(Msg.find("exceeds limit"), std::string::npos) << Msg;
+  EXPECT_FALSE(Broken.readLine(Line)) << "connection should be closed";
+  Broken.close();
+
+  // The daemon is still serving.
+  svc::Client Alive;
+  ASSERT_TRUE(Alive.connect(D.Server.port(), &Error)) << Error;
+  svc::Request Probe;
+  Probe.Function = ValidFn;
+  ASSERT_TRUE(Alive.send(Probe, &Error)) << Error;
+  svc::Response Resp;
+  ASSERT_TRUE(Alive.receive(Resp, &Error)) << Error;
+  EXPECT_EQ(Resp.V, svc::Response::Verdict::Valid);
+}
+
+TEST(ServiceServer, InvalidCampaignSpaceIsAnErrorVerdictNotACrash) {
+  DaemonFixture D;
+  svc::Client Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(D.Server.port(), &Error)) << Error;
+
+  // A request whose function text calls an undefined callee: rejected with
+  // the same diagnostic shape frost-tv --file exits 2 with.
+  svc::Request Req;
+  Req.Id = 5;
+  Req.Function = "define i8 @caller(i8 %a) {\n"
+                 "entry:\n"
+                 "  %r = call i8 @callee(i8 %a)\n"
+                 "  ret i8 %r\n"
+                 "}\n";
+  ASSERT_TRUE(Client.send(Req, &Error)) << Error;
+  svc::Response Resp;
+  ASSERT_TRUE(Client.receive(Resp, &Error)) << Error;
+  EXPECT_EQ(Resp.V, svc::Response::Verdict::Error);
+  EXPECT_EQ(Resp.Id, 5u);
+  EXPECT_NE(Resp.Report.find("request 5"), std::string::npos) << Resp.Report;
+  EXPECT_NE(Resp.Report.find("unknown function @callee"), std::string::npos)
+      << Resp.Report;
+
+  // Bad pass pipelines are likewise an error verdict.
+  svc::Request Bad;
+  Bad.Id = 6;
+  Bad.Passes = "no-such-pass";
+  Bad.Function = ValidFn;
+  ASSERT_TRUE(Client.send(Bad, &Error)) << Error;
+  ASSERT_TRUE(Client.receive(Resp, &Error)) << Error;
+  EXPECT_EQ(Resp.V, svc::Response::Verdict::Error);
+  EXPECT_NE(Resp.Report.find("bad passes pipeline"), std::string::npos)
+      << Resp.Report;
+}
+
+TEST(ServiceServer, ShutdownFramePersistsAndStops) {
+  std::string CachePath = ::testing::TempDir() + "frost-svc-cache.bin";
+  std::string CorpusPath = ::testing::TempDir() + "frost-svc-corpus.fr";
+  std::remove(CachePath.c_str());
+  std::remove(CorpusPath.c_str());
+  {
+    svc::ServerOptions Opts;
+    Opts.CacheFile = CachePath;
+    Opts.CorpusFile = CorpusPath;
+    Opts.PersistEvery = 0; // Only at shutdown.
+    DaemonFixture D(Opts);
+    svc::Client Client;
+    std::string Error;
+    ASSERT_TRUE(Client.connect(D.Server.port(), &Error)) << Error;
+    svc::Request Req;
+    Req.Pipeline = PipelineMode::Legacy;
+    Req.Function = SelOrFn;
+    ASSERT_TRUE(Client.send(Req, &Error)) << Error;
+    svc::Response Resp;
+    ASSERT_TRUE(Client.receive(Resp, &Error)) << Error;
+    EXPECT_EQ(Resp.V, svc::Response::Verdict::Invalid);
+    ASSERT_TRUE(Client.shutdownServer(&Error)) << Error;
+    D.Server.wait(); // The shutdown frame alone stops the daemon.
+  }
+  // Both files were persisted and load back warm.
+  tv::VerdictCache Cache;
+  std::string Error;
+  ASSERT_TRUE(Cache.load(CachePath, &Error)) << Error;
+  EXPECT_GE(Cache.size(), 1u);
+  svc::Corpus Corpus;
+  ASSERT_TRUE(Corpus.load(CorpusPath, &Error)) << Error;
+  EXPECT_EQ(Corpus.size(), 1u);
+  std::remove(CachePath.c_str());
+  std::remove(CorpusPath.c_str());
+}
+
+} // namespace

@@ -32,9 +32,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <dirent.h>
 #include <fstream>
 #include <map>
+#include <sys/stat.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
 
 using namespace frost;
 
@@ -394,6 +402,108 @@ TEST(VerdictCache, SaveLoadRoundTrip) {
   EXPECT_EQ(SA, SB);
   std::remove(Path.c_str());
   std::remove(Path2.c_str());
+}
+
+/// Entries under \p Dir whose names start with \p Prefix.
+std::vector<std::string> entriesWithPrefix(const std::string &Dir,
+                                           const std::string &Prefix) {
+  std::vector<std::string> Found;
+  if (DIR *D = opendir(Dir.c_str())) {
+    while (struct dirent *E = readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name.rfind(Prefix, 0) == 0)
+        Found.push_back(Name);
+    }
+    closedir(D);
+  }
+  return Found;
+}
+
+TEST(VerdictCache, SaveSurvivesSquattedFixedTempName) {
+  // Regression test: save() used to stage through the fixed name
+  // "<path>.tmp", so anything squatting on that name — a concurrent saver,
+  // a stale crash leftover, here a directory — broke every future persist.
+  // The staging name must be unique per writer.
+  std::string Dir = ::testing::TempDir();
+  std::string Path = Dir + "frost-cache-squat.bin";
+  std::string Squat = Path + ".tmp";
+  std::remove(Path.c_str());
+  ::rmdir(Squat.c_str()); // A prior aborted run may have left it behind.
+  ASSERT_EQ(::mkdir(Squat.c_str(), 0755), 0) << strerror(errno);
+
+  tv::VerdictCache C;
+  C.insert({{3, 5}, 7}, mkVerdict(tv::CachedVerdict::Valid, "canon\n"));
+  std::string Error;
+  EXPECT_TRUE(C.save(Path, &Error)) << Error;
+
+  tv::VerdictCache Back;
+  ASSERT_TRUE(Back.load(Path, &Error)) << Error;
+  EXPECT_EQ(Back.size(), 1u);
+
+  ::rmdir(Squat.c_str());
+  std::remove(Path.c_str());
+}
+
+TEST(VerdictCache, FailedSaveLeavesNoTempFiles) {
+  // The rename target is a non-empty directory, so the final rename(2)
+  // fails after the temp file was fully written: save() must report the
+  // error and unlink its staging file rather than litter the cache dir.
+  std::string Dir = ::testing::TempDir();
+  std::string Path = Dir + "frost-cache-is-a-dir";
+  ASSERT_EQ(::mkdir(Path.c_str(), 0755), 0) << strerror(errno);
+  { std::ofstream Block(Path + "/occupant"); Block << "x"; }
+
+  tv::VerdictCache C;
+  C.insert({{3, 5}, 7}, mkVerdict(tv::CachedVerdict::Valid, "canon\n"));
+  std::string Error;
+  EXPECT_FALSE(C.save(Path, &Error));
+  EXPECT_NE(Error.find(Path), std::string::npos) << Error;
+  EXPECT_TRUE(entriesWithPrefix(Dir, "frost-cache-is-a-dir.tmp").empty());
+
+  // An unwritable staging location (missing parent) fails up front, again
+  // without leftovers.
+  EXPECT_FALSE(C.save(Dir + "no-such-dir/cache.bin", &Error));
+
+  std::remove((Path + "/occupant").c_str());
+  ::rmdir(Path.c_str());
+}
+
+TEST(VerdictCache, ConcurrentSavesYieldAConsistentFile) {
+  // Many threads persisting the same cache to the same path: with the old
+  // shared ".tmp" staging name their writes interleaved and the final
+  // rename could publish a torn file. With unique staging names, whichever
+  // rename lands last publishes one complete, loadable image.
+  std::string Path = ::testing::TempDir() + "frost-cache-hammer.bin";
+  std::remove(Path.c_str());
+
+  tv::VerdictCache C;
+  for (uint64_t I = 0; I != 64; ++I)
+    C.insert({{I + 1, I * 3 + 1}, I},
+             mkVerdict(tv::CachedVerdict::Valid,
+                       "canon " + std::to_string(I) + "\n"));
+
+  std::vector<std::thread> Savers;
+  std::atomic<unsigned> Failures{0};
+  for (unsigned T = 0; T != 8; ++T)
+    Savers.emplace_back([&] {
+      for (unsigned I = 0; I != 10; ++I) {
+        std::string Error;
+        if (!C.save(Path, &Error))
+          Failures.fetch_add(1);
+      }
+    });
+  for (std::thread &T : Savers)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0u);
+
+  tv::VerdictCache Back;
+  std::string Error;
+  ASSERT_TRUE(Back.load(Path, &Error)) << Error;
+  EXPECT_EQ(Back.size(), 64u);
+  EXPECT_TRUE(entriesWithPrefix(::testing::TempDir(),
+                                "frost-cache-hammer.bin.tmp")
+                  .empty());
+  std::remove(Path.c_str());
 }
 
 TEST(VerdictCache, CorruptAndMismatchedFilesAreRejected) {

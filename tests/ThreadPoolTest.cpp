@@ -21,6 +21,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
 #include <vector>
 
@@ -97,6 +98,86 @@ TEST(ThreadPoolTest, WaitRethrowsFirstSubmitException) {
   Pool.submit([&] { Ran.fetch_add(1); });
   Pool.wait();
   EXPECT_EQ(Ran.load(), 3u);
+}
+
+TEST(ThreadPoolTest, WaitDeliversEveryCapturedException) {
+  // Regression test: the pool used to keep only the first captured
+  // exception, so a batch with several failing shards reported one failure
+  // and silently swallowed the rest. Every captured exception must now be
+  // delivered — one per wait() call, deterministically drained.
+  ThreadPool Pool(4);
+  constexpr unsigned Failures = 6;
+  std::atomic<unsigned> Ran{0};
+  for (unsigned I = 0; I != Failures; ++I)
+    Pool.submit([I] { throw std::runtime_error("task " + std::to_string(I)); });
+  for (unsigned I = 0; I != 50; ++I)
+    Pool.submit([&Ran] { Ran.fetch_add(1); });
+
+  std::multiset<std::string> Messages;
+  for (unsigned Attempt = 0; Attempt != Failures; ++Attempt) {
+    try {
+      Pool.wait();
+      FAIL() << "expected a captured exception on drain " << Attempt;
+    } catch (const std::runtime_error &E) {
+      Messages.insert(E.what());
+    }
+  }
+  // All distinct failures were seen, none coalesced or dropped.
+  EXPECT_EQ(Messages.size(), Failures);
+  for (unsigned I = 0; I != Failures; ++I)
+    EXPECT_EQ(Messages.count("task " + std::to_string(I)), 1u) << I;
+  // The error queue is fully drained and the healthy tasks all ran.
+  EXPECT_EQ(Pool.pendingErrors(), 0u);
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 50u);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterExceptionBurst) {
+  // Regression test: after an error burst is drained, the pool must accept
+  // and run fresh work exactly as a clean pool would — no sticky error
+  // state, no dropped queues.
+  ThreadPool Pool(4);
+  for (unsigned I = 0; I != 8; ++I)
+    Pool.submit([] { throw std::logic_error("burst"); });
+  unsigned Delivered = 0;
+  for (;;) {
+    try {
+      Pool.wait();
+      break; // Clean wait(): the error queue is empty.
+    } catch (const std::logic_error &) {
+      ++Delivered;
+    }
+  }
+  EXPECT_EQ(Delivered, 8u);
+
+  std::vector<std::atomic<unsigned>> Runs(100);
+  for (unsigned I = 0; I != Runs.size(); ++I)
+    Pool.submit([&Runs, I] { Runs[I].fetch_add(1); });
+  Pool.wait(); // Must not throw: all prior errors already delivered.
+  for (unsigned I = 0; I != Runs.size(); ++I)
+    EXPECT_EQ(Runs[I].load(), 1u) << "task " << I;
+}
+
+TEST(ThreadPoolTest, ThrowingTasksDoNotDropQueuedWork) {
+  // A worker that hits a throwing task keeps draining its queue.
+  ThreadPool Pool(1); // Single worker: every task shares one queue.
+  std::atomic<unsigned> Ran{0};
+  for (unsigned I = 0; I != 20; ++I) {
+    Pool.submit([] { throw std::runtime_error("interleaved"); });
+    Pool.submit([&Ran] { Ran.fetch_add(1); });
+  }
+  unsigned Delivered = 0;
+  for (;;) {
+    try {
+      Pool.wait();
+      break;
+    } catch (const std::runtime_error &) {
+      ++Delivered;
+    }
+  }
+  EXPECT_EQ(Delivered, 20u);
+  EXPECT_EQ(Ran.load(), 20u);
+  EXPECT_EQ(Pool.pendingErrors(), 0u);
 }
 
 TEST(ThreadPoolTest, ShutdownUnderLoadCompletesAllTasks) {

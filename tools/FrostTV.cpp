@@ -12,8 +12,10 @@
 /// docs/tv-campaigns.md for the reproducibility contract and examples.
 ///
 /// Exit status: 0 clean, 1 a miscompilation (invalid result) was found,
-/// 2 only inconclusive results or an unknown flag (with a usage message),
-/// 3 other usage errors (bad flag values).
+/// 2 only inconclusive results, an unknown flag (with a usage message), or
+/// a --file module that parses but is not a valid campaign space (empty /
+/// declarations-only / a function that cannot re-parse standalone),
+/// 3 other usage errors (bad flag values, unreadable or unparseable files).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -351,6 +353,15 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "frost-tv: %s: %s\n", Opts.FilePath.c_str(),
                    P.Error.c_str());
       return 3;
+    }
+    // The module parses; now enforce the campaign-space contract. An empty
+    // or declarations-only file, or a function that cannot re-parse
+    // standalone (e.g. it calls a defined sibling), must be a diagnosed
+    // failure (exit 2) — never a silently clean functions=0 report.
+    std::string SpaceError;
+    if (!tv::validateFileCampaign(Buf.str(), Opts.FilePath, &SpaceError)) {
+      std::fprintf(stderr, "frost-tv: %s\n", SpaceError.c_str());
+      return 2;
     }
   }
 

@@ -1,0 +1,285 @@
+//===- FrostTVC.cpp - frost-tvd batch client -------------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client side of the verification service: submit every defined
+/// function of a .fr module to a running frost-tvd as one pipelined batch,
+/// print the per-request reports (byte-identical to frost-tv --file for the
+/// same configuration) plus an aggregate report-hash line, query the svc.*
+/// stats, or shut the daemon down.
+///
+/// Exit status mirrors frost-tv: 0 every verdict valid, 1 at least one
+/// invalid, 2 inconclusive / error responses or an unknown flag, 3 usage
+/// errors (bad values, no daemon, unreadable module).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "parser/Parser.h"
+#include "service/Client.h"
+#include "tv/Campaign.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace frost;
+
+namespace {
+
+const char *Usage =
+    "usage: frost-tvc [options]\n"
+    "\n"
+    "Daemon address:\n"
+    "  --port N                     daemon port on 127.0.0.1\n"
+    "  --port-file PATH             read the port from PATH (as written by\n"
+    "                               frost-tvd --port-file)\n"
+    "\n"
+    "Actions (any combination; batch runs first, then --stats, then\n"
+    "--shutdown):\n"
+    "  --file PATH                  submit every defined function of the .fr\n"
+    "                               module as one pipelined batch and print\n"
+    "                               each response's report\n"
+    "  --stats                      print the daemon's svc.* counters\n"
+    "  --shutdown                   ask the daemon to persist and exit\n"
+    "\n"
+    "Batch configuration (mirrors frost-tv):\n"
+    "  --lane interactive|bulk      queue priority (default bulk)\n"
+    "  --end-to-end                 validate the backend (kind e2e)\n"
+    "  --sanitize                   validate the sanitizer (kind sanitizer)\n"
+    "  --pipeline proposed|legacy   pipeline under test (default proposed)\n"
+    "  --passes p1,p2,...           textual pass pipeline (default preset)\n"
+    "  --sem proposed|legacy-unswitch|legacy-gvn|legacy-langref\n"
+    "                               checking semantics (default proposed)\n"
+    "  --compare-memory             include final memory + initial-memory\n"
+    "                               sweeps in the observable behaviour\n"
+    "  --quiet                      per-response verdict lines only, no\n"
+    "                               report bodies\n";
+
+uint64_t parseNum(const char *Flag, const char *S) {
+  char *End = nullptr;
+  uint64_t V = std::strtoull(S, &End, 10);
+  if (!End || *End) {
+    std::fprintf(stderr, "frost-tvc: bad value for %s: '%s'\n%s", Flag, S,
+                 Usage);
+    std::exit(3);
+  }
+  return V;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Port = 0;
+  std::string PortFile, FilePath;
+  bool DoStats = false, DoShutdown = false, Quiet = false;
+  svc::Request Proto; // Shared configuration for every batch request.
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "frost-tvc: %s needs a value\n%s", A.c_str(),
+                     Usage);
+        std::exit(3);
+      }
+      return argv[++I];
+    };
+    if (A == "--port")
+      Port = unsigned(parseNum("--port", Next()));
+    else if (A == "--port-file")
+      PortFile = Next();
+    else if (A == "--file")
+      FilePath = Next();
+    else if (A == "--stats")
+      DoStats = true;
+    else if (A == "--shutdown")
+      DoShutdown = true;
+    else if (A == "--lane") {
+      std::string V = Next();
+      if (!svc::laneFromName(V, Proto.L)) {
+        std::fprintf(stderr, "frost-tvc: unknown lane '%s'\n%s", V.c_str(),
+                     Usage);
+        return 3;
+      }
+    } else if (A == "--end-to-end")
+      Proto.Kind = tv::CampaignKind::EndToEnd;
+    else if (A == "--sanitize")
+      Proto.Kind = tv::CampaignKind::Sanitizer;
+    else if (A == "--pipeline") {
+      std::string V = Next();
+      if (!svc::pipelineFromName(V, Proto.Pipeline)) {
+        std::fprintf(stderr, "frost-tvc: unknown pipeline '%s'\n%s",
+                     V.c_str(), Usage);
+        return 3;
+      }
+    } else if (A == "--passes")
+      Proto.Passes = Next();
+    else if (A == "--sem") {
+      std::string V = Next();
+      sem::SemanticsConfig Probe;
+      if (!svc::semanticsFromName(V, Probe)) {
+        std::fprintf(stderr, "frost-tvc: unknown semantics '%s'\n%s",
+                     V.c_str(), Usage);
+        return 3;
+      }
+      Proto.Semantics = V;
+    } else if (A == "--compare-memory")
+      Proto.CompareMemory = true;
+    else if (A == "--quiet")
+      Quiet = true;
+    else if (A == "--help" || A == "-h") {
+      std::fputs(Usage, stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "frost-tvc: unknown option '%s'\n%s", A.c_str(),
+                   Usage);
+      return 2;
+    }
+  }
+
+  if (!PortFile.empty()) {
+    std::ifstream In(PortFile);
+    uint64_t P = 0;
+    if (!(In >> P) || P == 0 || P > 65535) {
+      std::fprintf(stderr, "frost-tvc: cannot read a port from '%s'\n",
+                   PortFile.c_str());
+      return 3;
+    }
+    Port = unsigned(P);
+  }
+  if (Port == 0) {
+    std::fprintf(stderr, "frost-tvc: need --port or --port-file\n%s", Usage);
+    return 3;
+  }
+  if (FilePath.empty() && !DoStats && !DoShutdown) {
+    std::fprintf(stderr, "frost-tvc: nothing to do (need --file, --stats, "
+                         "or --shutdown)\n%s",
+                 Usage);
+    return 3;
+  }
+
+  svc::Client Client;
+  std::string Error;
+  if (!Client.connect(Port, &Error)) {
+    std::fprintf(stderr, "frost-tvc: %s\n", Error.c_str());
+    return 3;
+  }
+
+  uint64_t Valid = 0, Invalid = 0, Inconclusive = 0, Errors = 0;
+
+  if (!FilePath.empty()) {
+    std::ifstream In(FilePath);
+    if (!In) {
+      std::fprintf(stderr, "frost-tvc: cannot read '%s'\n", FilePath.c_str());
+      return 3;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    IRContext Ctx;
+    Module M(Ctx, "batch");
+    ParseResult P = parseModule(Buf.str(), M);
+    if (!P) {
+      std::fprintf(stderr, "frost-tvc: %s: %s\n", FilePath.c_str(),
+                   P.Error.c_str());
+      return 3;
+    }
+    // Pipeline the whole batch before reading responses: the daemon's
+    // per-connection ordering returns them in submission order, and its
+    // lanes + backpressure govern memory, not this client.
+    std::vector<std::string> Names;
+    uint64_t Id = 0;
+    for (Function *F : M.functions()) {
+      if (F->isDeclaration())
+        continue;
+      svc::Request Req = Proto;
+      Req.Id = Id++;
+      Req.Function = printFunction(*F);
+      Names.push_back(F->getName());
+      if (!Client.send(Req, &Error)) {
+        std::fprintf(stderr, "frost-tvc: %s\n", Error.c_str());
+        return 3;
+      }
+    }
+    if (Id == 0) {
+      std::fprintf(stderr, "frost-tvc: %s: no functions to submit\n",
+                   FilePath.c_str());
+      return 2;
+    }
+
+    std::string AllReports;
+    for (uint64_t I = 0; I != Id; ++I) {
+      svc::Response Resp;
+      if (!Client.receive(Resp, &Error)) {
+        std::fprintf(stderr, "frost-tvc: %s\n", Error.c_str());
+        return 3;
+      }
+      switch (Resp.V) {
+      case svc::Response::Verdict::Valid:
+        ++Valid;
+        break;
+      case svc::Response::Verdict::Invalid:
+        ++Invalid;
+        break;
+      case svc::Response::Verdict::Inconclusive:
+        ++Inconclusive;
+        break;
+      case svc::Response::Verdict::Error:
+        ++Errors;
+        break;
+      }
+      std::string Label = Resp.Id < Names.size() ? Names[Resp.Id]
+                                                 : std::to_string(Resp.Id);
+      std::printf("== @%s: %s\n", Label.c_str(), svc::verdictName(Resp.V));
+      if (!Quiet) {
+        std::fputs(Resp.Report.c_str(), stdout);
+        if (!Resp.Report.empty() && Resp.Report.back() != '\n')
+          std::fputs("\n", stdout);
+      }
+      AllReports += Resp.Report;
+    }
+    // Aggregate fingerprint over the concatenated report bytes: comparable
+    // across cold/warm daemon runs (and against a frost-tv --file run's
+    // per-function reports) the same way frost-tv's report-hash is.
+    std::printf("report-hash=%016llx\n",
+                (unsigned long long)tv::fingerprintFailure(AllReports));
+    std::printf("batch: %llu requests: %llu valid, %llu invalid, %llu "
+                "inconclusive, %llu errors\n",
+                (unsigned long long)Id, (unsigned long long)Valid,
+                (unsigned long long)Invalid, (unsigned long long)Inconclusive,
+                (unsigned long long)Errors);
+  }
+
+  if (DoStats) {
+    std::string Payload;
+    if (!Client.stats(Payload, &Error)) {
+      std::fprintf(stderr, "frost-tvc: %s\n", Error.c_str());
+      return 3;
+    }
+    std::fputs(Payload.c_str(), stdout);
+  }
+
+  if (DoShutdown) {
+    if (!Client.shutdownServer(&Error)) {
+      std::fprintf(stderr, "frost-tvc: %s\n", Error.c_str());
+      return 3;
+    }
+    std::printf("frost-tvc: daemon acknowledged shutdown\n");
+  }
+
+  if (Invalid)
+    return 1;
+  if (Inconclusive || Errors)
+    return 2;
+  return 0;
+}

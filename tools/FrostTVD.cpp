@@ -1,0 +1,200 @@
+//===- FrostTVD.cpp - frost-tvd verification daemon ------------------------===//
+//
+// Part of the frost project: a reproduction of "Taming Undefined Behavior in
+// LLVM" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line entry point for the long-running verification service: bind
+/// a loopback port, keep the verdict cache hot in memory, answer batched
+/// verification requests (see docs/service.md for the protocol), feed every
+/// invalid verdict into the persistent counterexample corpus, and persist
+/// both periodically and at shutdown. frost-tvc is the matching client.
+///
+/// Exit status: 0 clean shutdown (via the shutdown frame or SIGINT/SIGTERM),
+/// 2 unknown flag or unusable persistent state (corrupt cache/corpus file),
+/// 3 bad flag values or an unbindable port.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+#include "support/AtomicFile.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+using namespace frost;
+
+namespace {
+
+const char *Usage =
+    "usage: frost-tvd [options]\n"
+    "\n"
+    "  --port N             loopback TCP port (default 0 = pick an\n"
+    "                       ephemeral port; see --port-file)\n"
+    "  --port-file PATH     write the bound port number to PATH once\n"
+    "                       listening (for scripts wrapping the daemon)\n"
+    "  --jobs N             verification worker threads (default: hardware)\n"
+    "  --cache-file PATH    persistent verdict cache: loaded on start (a\n"
+    "                       corrupt or version-mismatched file is a hard\n"
+    "                       error), kept hot in memory, persisted every\n"
+    "                       --persist-every completed requests and at\n"
+    "                       shutdown\n"
+    "  --corpus PATH        persistent counterexample corpus (.fr module,\n"
+    "                       structurally deduplicated across campaigns,\n"
+    "                       replayable via frost-tv --file); same load and\n"
+    "                       persist schedule as --cache-file\n"
+    "  --persist-every N    persist window in completed requests\n"
+    "                       (default 256; 0 = only at shutdown)\n"
+    "  --lane-capacity N    queued requests per priority lane before the\n"
+    "                       connection reader blocks (default 128)\n"
+    "  --quiet              no startup banner or final stats\n";
+
+uint64_t parseNum(const char *Flag, const char *S) {
+  char *End = nullptr;
+  uint64_t V = std::strtoull(S, &End, 10);
+  if (!End || *End) {
+    std::fprintf(stderr, "frost-tvd: bad value for %s: '%s'\n%s", Flag, S,
+                 Usage);
+    std::exit(3);
+  }
+  return V;
+}
+
+svc::Server *ActiveServer = nullptr;
+
+/// SIGINT/SIGTERM: only async-signal-safe work here — requestShutdown sets
+/// an atomic flag and shuts down the listen fd; the accept thread runs the
+/// ordered teardown (drain, persist) on its own stack.
+void onSignal(int) {
+  if (ActiveServer)
+    ActiveServer->requestShutdown();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  svc::ServerOptions Opts;
+  std::string PortFile;
+  bool Quiet = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "frost-tvd: %s needs a value\n%s", A.c_str(),
+                     Usage);
+        std::exit(3);
+      }
+      return argv[++I];
+    };
+    if (A == "--port")
+      Opts.Port = unsigned(parseNum("--port", Next()));
+    else if (A == "--port-file")
+      PortFile = Next();
+    else if (A == "--jobs")
+      Opts.Jobs = unsigned(parseNum("--jobs", Next()));
+    else if (A == "--cache-file")
+      Opts.CacheFile = Next();
+    else if (A == "--corpus")
+      Opts.CorpusFile = Next();
+    else if (A == "--persist-every")
+      Opts.PersistEvery = parseNum("--persist-every", Next());
+    else if (A == "--lane-capacity")
+      Opts.LaneCapacity = parseNum("--lane-capacity", Next());
+    else if (A == "--quiet")
+      Quiet = true;
+    else if (A == "--help" || A == "-h") {
+      std::fputs(Usage, stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "frost-tvd: unknown option '%s'\n%s", A.c_str(),
+                   Usage);
+      return 2;
+    }
+  }
+  if (Opts.Port > 65535) {
+    std::fprintf(stderr, "frost-tvd: --port must be <= 65535\n");
+    return 3;
+  }
+  if (Opts.LaneCapacity == 0) {
+    std::fprintf(stderr, "frost-tvd: --lane-capacity must be positive\n");
+    return 3;
+  }
+
+  svc::Server Server(Opts);
+
+  // Preload persistent state before accepting traffic. A missing file is a
+  // cold start; a file that exists but cannot be parsed is a hard error —
+  // the same contract as frost-tv --cache-file.
+  if (!Opts.CacheFile.empty()) {
+    std::ifstream Probe(Opts.CacheFile);
+    if (Probe) {
+      Probe.close();
+      std::string Error;
+      if (!Server.cache().load(Opts.CacheFile, &Error)) {
+        std::fprintf(stderr, "frost-tvd: %s\n", Error.c_str());
+        return 2;
+      }
+    }
+  }
+  if (!Opts.CorpusFile.empty()) {
+    std::ifstream Probe(Opts.CorpusFile);
+    if (Probe) {
+      Probe.close();
+      std::string Error;
+      if (!Server.corpus().load(Opts.CorpusFile, &Error)) {
+        std::fprintf(stderr, "frost-tvd: %s\n", Error.c_str());
+        return 2;
+      }
+    }
+  }
+
+  std::string Error;
+  if (!Server.start(&Error)) {
+    std::fprintf(stderr, "frost-tvd: %s\n", Error.c_str());
+    return 3;
+  }
+
+  ActiveServer = &Server;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  if (!Quiet) {
+    std::printf("frost-tvd: listening on 127.0.0.1:%u (jobs=%u, "
+                "lane-capacity=%llu, cache entries=%llu, corpus=%llu)\n",
+                Server.port(),
+                Opts.Jobs ? Opts.Jobs : ThreadPool::defaultThreadCount(),
+                (unsigned long long)Opts.LaneCapacity,
+                (unsigned long long)Server.cache().size(),
+                (unsigned long long)Server.corpus().size());
+    std::fflush(stdout);
+  }
+  if (!PortFile.empty()) {
+    std::string PortError;
+    if (!writeFileAtomic(PortFile, std::to_string(Server.port()) + "\n",
+                         &PortError)) {
+      std::fprintf(stderr, "frost-tvd: %s\n", PortError.c_str());
+      Server.requestShutdown();
+      Server.wait();
+      return 3;
+    }
+  }
+
+  Server.wait();
+  ActiveServer = nullptr;
+
+  if (!Quiet) {
+    std::printf("frost-tvd: shut down after %llu requests\n",
+                (unsigned long long)Server.completedRequests());
+    std::fputs(Server.statsReport().c_str(), stdout);
+  }
+  return 0;
+}
